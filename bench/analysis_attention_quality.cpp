@@ -1,0 +1,77 @@
+// Analysis beyond the paper: how well does each estimator recover the
+// simulator's ground-truth attention? The paper cannot report this
+// (footnote 4: real logs have no attention labels); the simulator can.
+//
+// Reported per estimator: MAE / Pearson correlation vs true alpha (all
+// events and passive-only), plus a calibration table for UAE and the
+// ground-truth Oracle skyline.
+
+#include "bench_common.h"
+
+#include <memory>
+
+#include "attention/attention_estimator.h"
+#include "attention/oracle.h"
+#include "common/table.h"
+#include "eval/attention_metrics.h"
+
+int main() {
+  using namespace uae;
+  bench::Banner("Analysis", "attention recovery quality per estimator");
+
+  const data::Dataset dataset =
+      data::GenerateDataset(bench::ProductConfig(), bench::kDatasetSeed);
+
+  std::vector<std::unique_ptr<attention::AttentionEstimator>> estimators;
+  estimators.push_back(std::make_unique<attention::OracleAttention>());
+  for (attention::AttentionMethod method :
+       {attention::AttentionMethod::kEdm, attention::AttentionMethod::kNdb,
+        attention::AttentionMethod::kPn, attention::AttentionMethod::kSar,
+        attention::AttentionMethod::kUae}) {
+    estimators.push_back(attention::CreateAttentionEstimator(method, 100));
+  }
+
+  AsciiTable table({"estimator", "MAE", "corr", "MAE (passive)",
+                    "corr (passive)", "mean a^", "mean a"});
+  CsvWriter csv({"estimator", "mae", "corr", "mae_passive", "corr_passive",
+                 "mean_pred", "mean_true"});
+  data::EventScores uae_alpha(dataset, 0.5f);
+  for (const auto& estimator : estimators) {
+    estimator->Fit(dataset);
+    const data::EventScores alpha = estimator->PredictAttention(dataset);
+    if (std::string(estimator->name()) == "UAE") uae_alpha = alpha;
+    const eval::AttentionQuality all =
+        eval::EvaluateAttentionRecovery(dataset, alpha);
+    const eval::AttentionQuality passive = eval::EvaluateAttentionRecovery(
+        dataset, alpha, eval::EventFilter::kPassiveOnly);
+    table.AddRow({estimator->name(), AsciiTable::Fmt(all.mae, 3),
+                  AsciiTable::Fmt(all.correlation, 3),
+                  AsciiTable::Fmt(passive.mae, 3),
+                  AsciiTable::Fmt(passive.correlation, 3),
+                  AsciiTable::Fmt(all.mean_predicted, 3),
+                  AsciiTable::Fmt(all.mean_true, 3)});
+    csv.AddRow({estimator->name(), AsciiTable::Fmt(all.mae, 4),
+                AsciiTable::Fmt(all.correlation, 4),
+                AsciiTable::Fmt(passive.mae, 4),
+                AsciiTable::Fmt(passive.correlation, 4),
+                AsciiTable::Fmt(all.mean_predicted, 4),
+                AsciiTable::Fmt(all.mean_true, 4)});
+    std::printf("  [%s done]\n", estimator->name());
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::ExportCsv(csv, "analysis_attention_quality");
+
+  std::printf("\nUAE calibration (reliability) table:\n");
+  AsciiTable calib({"bin", "mean a^", "empirical attention rate", "events"});
+  for (const eval::CalibrationBin& bin :
+       eval::AttentionCalibration(dataset, uae_alpha, 10)) {
+    if (bin.count == 0) continue;
+    calib.AddRow({AsciiTable::Fmt(bin.lower, 1) + "-" +
+                      AsciiTable::Fmt(bin.upper, 1),
+                  AsciiTable::Fmt(bin.mean_predicted, 3),
+                  AsciiTable::Fmt(bin.mean_true, 3),
+                  std::to_string(bin.count)});
+  }
+  std::printf("%s", calib.ToString().c_str());
+  return 0;
+}

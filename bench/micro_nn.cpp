@@ -1,0 +1,97 @@
+// google-benchmark micro-benchmarks of the uae::nn substrate: the op
+// throughput that bounds every experiment's wall clock.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::nn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  NodePtr a = Constant(UniformInit(&rng, n, n, 1.0f));
+  NodePtr b = Constant(UniformInit(&rng, n, n, 1.0f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b)->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Mlp mlp(&rng, 112, {64, 32, 1}, Activation::kRelu);
+  NodePtr x = Constant(UniformInit(&rng, batch, 112, 1.0f));
+  Tensor pos = Tensor::Ones(batch, 1);
+  for (auto _ : state) {
+    NodePtr loss = WeightedSoftplusSum(mlp.Forward(x), pos, -1.0f);
+    Backward(loss);
+    benchmark::DoNotOptimize(loss->value.ScalarValue());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(128)->Arg(512);
+
+void BM_GruUnroll(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  constexpr int kBatch = 64;
+  Rng rng(3);
+  GruCell gru(&rng, 54, 32);
+  std::vector<NodePtr> inputs;
+  for (int t = 0; t < steps; ++t) {
+    inputs.push_back(Constant(UniformInit(&rng, kBatch, 54, 1.0f)));
+  }
+  for (auto _ : state) {
+    std::vector<NodePtr> states = gru.Unroll(inputs);
+    NodePtr loss = MeanAll(states.back());
+    Backward(loss);
+    benchmark::DoNotOptimize(loss->value.ScalarValue());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * steps);
+}
+BENCHMARK(BM_GruUnroll)->Arg(8)->Arg(24);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(4);
+  NodePtr table =
+      MakeLeaf(NormalInit(&rng, 4000, 8, 0.05f), /*requires_grad=*/true);
+  std::vector<int> indices(batch);
+  for (int& i : indices) i = static_cast<int>(rng.UniformInt(4000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbeddingLookup(table, indices)->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EmbeddingLookup)->Arg(512);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<NodePtr> params;
+  for (int i = 0; i < 8; ++i) {
+    NodePtr p = MakeLeaf(UniformInit(&rng, 128, 64, 0.1f),
+                         /*requires_grad=*/true);
+    p->EnsureGrad();
+    p->grad = UniformInit(&rng, 128, 64, 0.01f);
+    params.push_back(p);
+  }
+  Adam adam(params, 1e-3f);
+  for (auto _ : state) {
+    adam.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 128 * 64);
+}
+BENCHMARK(BM_AdamStep);
+
+}  // namespace
+}  // namespace uae::nn
+
+BENCHMARK_MAIN();

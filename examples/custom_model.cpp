@@ -1,0 +1,95 @@
+// Extending the library: a user-defined downstream model.
+//
+// Any class deriving from models::Recommender plugs into the trainer, the
+// evaluator, the UAE re-weighting pipeline, and the A/B simulator. Here we
+// build a simple logistic regression over the dense features plus a song
+// embedding, train it with and without UAE weights, and compare.
+//
+// Run: ./build/examples/custom_model
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "models/features.h"
+#include "models/trainer.h"
+#include "nn/ops.h"
+
+namespace {
+
+using namespace uae;
+
+/// Logistic regression on dense features + a learned song embedding.
+class DenseLogistic : public models::Recommender {
+ public:
+  DenseLogistic(Rng* rng, const data::FeatureSchema& schema)
+      : song_field_(schema.SparseFieldIndex("song_id")),
+        song_embedding_(rng, schema.sparse_field(song_field_).vocab, 4),
+        head_(rng, schema.num_dense() + 4, 1) {}
+
+  const char* name() const override { return "DenseLogistic"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override {
+    nn::NodePtr dense = nn::Constant(models::DenseBlock(dataset, batch));
+    nn::NodePtr songs = song_embedding_.Forward(
+        models::SparseColumn(dataset, batch, song_field_));
+    return head_.Forward(nn::ConcatCols({dense, songs}));
+  }
+
+  std::vector<nn::NodePtr> Parameters() const override {
+    std::vector<nn::NodePtr> params = song_embedding_.Parameters();
+    for (const nn::NodePtr& p : head_.Parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  int song_field_;
+  nn::Embedding song_embedding_;
+  nn::Linear head_;
+};
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  data::GeneratorConfig config = data::GeneratorConfig::ProductPreset();
+  config.num_sessions = 1200;
+  const data::Dataset dataset = data::GenerateDataset(config, 42);
+
+  models::TrainConfig train_config;
+  train_config.epochs = 5;
+  train_config.seed = 3;
+
+  // Base run.
+  Rng rng_a(train_config.seed);
+  DenseLogistic base(&rng_a, dataset.schema);
+  models::TrainRecommender(&base, dataset, nullptr, train_config);
+  const models::EvalResult base_eval = models::EvaluateRecommender(
+      &base, dataset, data::SplitKind::kTest,
+      models::LabelKind::kOracleRelevance);
+
+  // Same model with UAE confidence weights on passive samples.
+  const core::AttentionArtifacts attention = core::FitAttention(
+      dataset, attention::AttentionMethod::kUae, /*gamma=*/1.0f, /*seed=*/7);
+  Rng rng_b(train_config.seed);
+  DenseLogistic treated(&rng_b, dataset.schema);
+  models::TrainRecommender(&treated, dataset, &attention.weights,
+                           train_config);
+  const models::EvalResult treated_eval = models::EvaluateRecommender(
+      &treated, dataset, data::SplitKind::kTest,
+      models::LabelKind::kOracleRelevance);
+
+  // A linear model cannot fit the non-monotone observed-feedback law, so
+  // this demo scores against the simulator's oracle relevance, where the
+  // dense affinity feature is monotonically predictive.
+  std::printf("%-22s %8s %8s  (oracle relevance)\n", "model", "AUC", "GAUC");
+  std::printf("%-22s %8.4f %8.4f\n", "DenseLogistic", base_eval.auc,
+              base_eval.gauc);
+  std::printf("%-22s %8.4f %8.4f\n", "DenseLogistic + UAE", treated_eval.auc,
+              treated_eval.gauc);
+  return 0;
+}

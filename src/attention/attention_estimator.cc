@@ -1,0 +1,54 @@
+#include "attention/attention_estimator.h"
+
+#include "attention/edm.h"
+#include "attention/pn_ndb.h"
+#include "attention/sar.h"
+#include "attention/uae_model.h"
+#include "common/check.h"
+
+namespace uae::attention {
+
+const char* AttentionMethodName(AttentionMethod method) {
+  switch (method) {
+    case AttentionMethod::kEdm:
+      return "EDM";
+    case AttentionMethod::kNdb:
+      return "NDB";
+    case AttentionMethod::kPn:
+      return "PN";
+    case AttentionMethod::kSar:
+      return "SAR";
+    case AttentionMethod::kUae:
+      return "UAE";
+  }
+  return "?";
+}
+
+std::unique_ptr<AttentionEstimator> CreateAttentionEstimator(
+    AttentionMethod method, uint64_t seed) {
+  switch (method) {
+    case AttentionMethod::kEdm:
+      return std::make_unique<Edm>();
+    case AttentionMethod::kNdb: {
+      HeuristicConfig config;
+      config.seed = seed;
+      return std::make_unique<Ndb>(config);
+    }
+    case AttentionMethod::kPn:
+      return std::make_unique<Pn>();
+    case AttentionMethod::kSar: {
+      SarConfig config;
+      config.seed = seed;
+      return std::make_unique<Sar>(config);
+    }
+    case AttentionMethod::kUae: {
+      UaeConfig config;
+      config.seed = seed;
+      return std::make_unique<Uae>(config);
+    }
+  }
+  UAE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace uae::attention

@@ -1,0 +1,41 @@
+#ifndef UAE_ATTENTION_ATTENTION_ESTIMATOR_H_
+#define UAE_ATTENTION_ATTENTION_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace uae::attention {
+
+/// Interface of a user-attention estimator: fits on a dataset's train
+/// split and predicts alpha-hat = Pr(a=1 | X_t) for every event.
+class AttentionEstimator {
+ public:
+  virtual ~AttentionEstimator() = default;
+
+  /// Display name as used in the paper's Table V ("EDM", "NDB", ...).
+  virtual const char* name() const = 0;
+
+  /// Trains the estimator on the dataset's train split. Heuristics
+  /// (e.g. EDM) are no-ops.
+  virtual void Fit(const data::Dataset& dataset) = 0;
+
+  /// Predicted attention probability for every event of every session.
+  virtual data::EventScores PredictAttention(
+      const data::Dataset& dataset) const = 0;
+};
+
+/// The attention/PU baselines of Table V plus UAE itself.
+enum class AttentionMethod { kEdm, kNdb, kPn, kSar, kUae };
+
+const char* AttentionMethodName(AttentionMethod method);
+
+/// Instantiates an estimator with library-default hyper-parameters.
+std::unique_ptr<AttentionEstimator> CreateAttentionEstimator(
+    AttentionMethod method, uint64_t seed);
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_ATTENTION_ESTIMATOR_H_

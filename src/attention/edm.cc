@@ -1,0 +1,35 @@
+#include "attention/edm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::attention {
+
+Edm::Edm(double decay_rate) : decay_rate_(decay_rate) {
+  UAE_CHECK(decay_rate > 0.0);
+}
+
+void Edm::Fit(const data::Dataset& dataset) {
+  (void)dataset;  // Heuristic: nothing to learn.
+}
+
+data::EventScores Edm::PredictAttention(const data::Dataset& dataset) const {
+  data::EventScores scores(dataset, 1.0f);
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const data::Session& session = dataset.sessions[s];
+    int steps_since_active = 0;
+    for (int t = 0; t < session.length(); ++t) {
+      if (session.events[t].active()) {
+        steps_since_active = 0;
+      }
+      scores.set(static_cast<int>(s), t,
+                 static_cast<float>(
+                     std::exp(-decay_rate_ * steps_since_active)));
+      ++steps_since_active;
+    }
+  }
+  return scores;
+}
+
+}  // namespace uae::attention

@@ -1,0 +1,35 @@
+#ifndef UAE_ATTENTION_EDM_H_
+#define UAE_ATTENTION_EDM_H_
+
+#include "attention/attention_estimator.h"
+
+namespace uae::attention {
+
+/// EDM (Spotify heuristic, Ahmed 2016): user attention decays
+/// exponentially with the number of songs since the last active feedback
+/// and resets to 1 whenever the user acts:
+///
+///   alpha-hat_t = exp(-decay_rate * steps_since_last_active)
+///
+/// With no active feedback yet in the session, the decay runs from the
+/// session start. Requires no training.
+class Edm : public AttentionEstimator {
+ public:
+  explicit Edm(double decay_rate = 0.3);
+
+  const char* name() const override { return "EDM"; }
+
+  void Fit(const data::Dataset& dataset) override;
+
+  data::EventScores PredictAttention(
+      const data::Dataset& dataset) const override;
+
+  double decay_rate() const { return decay_rate_; }
+
+ private:
+  double decay_rate_;
+};
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_EDM_H_

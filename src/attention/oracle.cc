@@ -1,0 +1,17 @@
+#include "attention/oracle.h"
+
+namespace uae::attention {
+
+data::EventScores OracleAttention::PredictAttention(
+    const data::Dataset& dataset) const {
+  data::EventScores scores(dataset, 0.0f);
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const data::Session& session = dataset.sessions[s];
+    for (int t = 0; t < session.length(); ++t) {
+      scores.set(static_cast<int>(s), t, session.events[t].true_alpha);
+    }
+  }
+  return scores;
+}
+
+}  // namespace uae::attention

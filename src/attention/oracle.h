@@ -1,0 +1,24 @@
+#ifndef UAE_ATTENTION_ORACLE_H_
+#define UAE_ATTENTION_ORACLE_H_
+
+#include "attention/attention_estimator.h"
+
+namespace uae::attention {
+
+/// Skyline estimator: returns the simulator's ground-truth attention
+/// probability alpha for every event. Not available on real logs —
+/// exists to upper-bound what any attention estimator can contribute to
+/// the downstream task (used by the ablation bench and analysis examples).
+class OracleAttention : public AttentionEstimator {
+ public:
+  const char* name() const override { return "Oracle"; }
+
+  void Fit(const data::Dataset& dataset) override { (void)dataset; }
+
+  data::EventScores PredictAttention(
+      const data::Dataset& dataset) const override;
+};
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_ORACLE_H_

@@ -1,0 +1,132 @@
+#include "attention/pn_ndb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "data/batcher.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::attention {
+namespace {
+
+/// (positive_weight, negative_weight) for one event of a heuristic risk.
+using WeightFn =
+    std::function<std::pair<float, float>(const data::Session&, int step)>;
+
+/// Trains an attention tower with per-event heuristic weights
+/// (covers both the PN risk of Eq. 4 and the NDB risk of Eq. 5).
+void TrainTower(AttentionTower* tower, const data::Dataset& dataset,
+                const HeuristicConfig& config, const WeightFn& weight_fn) {
+  Rng rng(config.seed + 17);
+  nn::Adam optimizer(tower->Parameters(), config.learning_rate);
+  data::SessionBatcher batcher(dataset, dataset.split.train,
+                               config.batch_sessions);
+  std::vector<int> batch;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    batcher.StartEpoch(&rng);
+    while (batcher.Next(&batch)) {
+      AttentionTower::Output out = tower->Forward(dataset, batch);
+      const int m = static_cast<int>(batch.size());
+      const int length = static_cast<int>(out.logits.size());
+      nn::NodePtr loss;
+      for (int t = 0; t < length; ++t) {
+        nn::Tensor pos_w(m, 1);
+        nn::Tensor neg_w(m, 1);
+        for (int r = 0; r < m; ++r) {
+          const auto [pw, nw] = weight_fn(dataset.sessions[batch[r]], t);
+          pos_w.at(r, 0) = pw;
+          neg_w.at(r, 0) = nw;
+        }
+        nn::NodePtr step_loss =
+            nn::Add(nn::WeightedSoftplusSum(out.logits[t], std::move(pos_w),
+                                            /*sign=*/-1.0f),
+                    nn::WeightedSoftplusSum(out.logits[t], std::move(neg_w),
+                                            /*sign=*/1.0f));
+        loss = loss == nullptr ? step_loss : nn::Add(loss, step_loss);
+      }
+      loss = nn::ScalarMul(loss, 1.0f / (static_cast<float>(m) * length));
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+data::EventScores PredictWithTower(const AttentionTower& tower,
+                                   const data::Dataset& dataset,
+                                   const HeuristicConfig& config) {
+  data::EventScores scores(dataset, 0.5f);
+  std::vector<int> all(dataset.sessions.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  data::SessionBatcher batcher(dataset, all, config.batch_sessions);
+  Rng rng(config.seed);
+  batcher.StartEpoch(&rng);
+  std::vector<int> batch;
+  while (batcher.Next(&batch)) {
+    AttentionTower::Output out = tower.Forward(dataset, batch);
+    for (size_t t = 0; t < out.logits.size(); ++t) {
+      for (size_t r = 0; r < batch.size(); ++r) {
+        const float z = out.logits[t]->value.at(static_cast<int>(r), 0);
+        scores.set(batch[r], static_cast<int>(t),
+                   1.0f / (1.0f + std::exp(-z)));
+      }
+    }
+  }
+  return scores;
+}
+
+/// NDB mask d_t: 1 iff the previous `window` events are all passive.
+bool NdbMask(const data::Session& session, int step, int window) {
+  if (step < window) return false;
+  for (int k = 1; k <= window; ++k) {
+    if (session.events[step - k].active()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Pn::Fit(const data::Dataset& dataset) {
+  (void)dataset;  // The PN assumption needs no training.
+}
+
+data::EventScores Pn::PredictAttention(const data::Dataset& dataset) const {
+  // alpha-hat = e: full attention at active feedback, zero at passive.
+  data::EventScores scores(dataset, 0.0f);
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const data::Session& session = dataset.sessions[s];
+    for (int t = 0; t < session.length(); ++t) {
+      scores.set(static_cast<int>(s), t,
+                 session.events[t].active() ? 1.0f : 0.0f);
+    }
+  }
+  return scores;
+}
+
+Ndb::Ndb(const HeuristicConfig& config) : config_(config) {}
+Ndb::~Ndb() = default;
+
+void Ndb::Fit(const data::Dataset& dataset) {
+  Rng rng(config_.seed);
+  tower_ = std::make_unique<AttentionTower>(&rng, dataset.schema,
+                                            config_.tower);
+  const int window = config_.ndb_window;
+  TrainTower(tower_.get(), dataset, config_,
+             [window](const data::Session& session, int step) {
+               if (session.events[step].active()) {
+                 return std::pair<float, float>(1.0f, 0.0f);
+               }
+               const float neg = NdbMask(session, step, window) ? 1.0f : 0.0f;
+               return std::pair<float, float>(0.0f, neg);
+             });
+}
+
+data::EventScores Ndb::PredictAttention(const data::Dataset& dataset) const {
+  UAE_CHECK_MSG(tower_ != nullptr, "Fit() must run first");
+  return PredictWithTower(*tower_, dataset, config_);
+}
+
+}  // namespace uae::attention

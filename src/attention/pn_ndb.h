@@ -1,0 +1,58 @@
+#ifndef UAE_ATTENTION_PN_NDB_H_
+#define UAE_ATTENTION_PN_NDB_H_
+
+#include <memory>
+
+#include "attention/attention_estimator.h"
+#include "attention/towers.h"
+
+namespace uae::attention {
+
+/// Shared hyper-parameters of the learned heuristic baselines.
+struct HeuristicConfig {
+  TowerConfig tower;
+  int epochs = 4;
+  int batch_sessions = 64;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 1;
+  int ndb_window = 10;  // NDB: negatives need 10 preceding passive events.
+};
+
+/// PN (ordinary supervised learning, Eq. 4): treats the attention of every
+/// unlabeled (passive) sample as zero — i.e. alpha-hat is the observed
+/// feedback type e itself. Under the Eq. 19 re-weighting this assigns
+/// passive samples weight w(0) = 0, so the downstream model trains on
+/// active feedback only; the paper reports this discards the bulk of the
+/// data and collapses performance (its worst baseline).
+class Pn : public AttentionEstimator {
+ public:
+  Pn() = default;
+
+  const char* name() const override { return "PN"; }
+  void Fit(const data::Dataset& dataset) override;
+  data::EventScores PredictAttention(
+      const data::Dataset& dataset) const override;
+};
+
+/// NDB (Zhang et al., 2022; Eq. 5): a learned attention model trained
+/// with a negative-sampling heuristic — a passive event counts as a
+/// negative attention example only after `ndb_window` consecutive passive
+/// events (mask d); other passive events are dropped from the risk.
+class Ndb : public AttentionEstimator {
+ public:
+  explicit Ndb(const HeuristicConfig& config);
+  ~Ndb() override;
+
+  const char* name() const override { return "NDB"; }
+  void Fit(const data::Dataset& dataset) override;
+  data::EventScores PredictAttention(
+      const data::Dataset& dataset) const override;
+
+ private:
+  HeuristicConfig config_;
+  std::unique_ptr<AttentionTower> tower_;
+};
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_PN_NDB_H_

@@ -1,0 +1,34 @@
+#include "attention/reweight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::attention {
+
+float ReweightFunction(float alpha, float gamma) {
+  UAE_CHECK(gamma > 0.0f);
+  const float a = std::clamp(alpha, 0.0f, 1.0f);
+  return 1.0f - std::pow(a + 1.0f, -gamma);
+}
+
+data::EventScores BuildSampleWeights(const data::Dataset& dataset,
+                                     const data::EventScores& alpha,
+                                     float gamma) {
+  data::EventScores weights(dataset, 1.0f);
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const data::Session& session = dataset.sessions[s];
+    for (int t = 0; t < session.length(); ++t) {
+      if (session.events[t].active()) {
+        weights.set(static_cast<int>(s), t, 1.0f);
+      } else {
+        weights.set(static_cast<int>(s), t,
+                    ReweightFunction(alpha.at(static_cast<int>(s), t), gamma));
+      }
+    }
+  }
+  return weights;
+}
+
+}  // namespace uae::attention

@@ -1,0 +1,23 @@
+#ifndef UAE_ATTENTION_REWEIGHT_H_
+#define UAE_ATTENTION_REWEIGHT_H_
+
+#include "data/dataset.h"
+
+namespace uae::attention {
+
+/// The paper's re-weighting function (Eq. 19):
+///   w = 1 - (alpha + 1)^(-gamma),  gamma > 0,
+/// mapping a predicted attention probability to a passive-sample
+/// confidence in [0, 1); monotone increasing in alpha.
+float ReweightFunction(float alpha, float gamma);
+
+/// Builds per-event training weights for the downstream risk (Eq. 18):
+/// active events get weight 1, passive events get
+/// ReweightFunction(alpha-hat, gamma).
+data::EventScores BuildSampleWeights(const data::Dataset& dataset,
+                                     const data::EventScores& alpha,
+                                     float gamma);
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_REWEIGHT_H_

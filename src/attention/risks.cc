@@ -1,0 +1,91 @@
+#include "attention/risks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace uae::attention {
+
+std::pair<float, float> InverseWeights(bool active, float denominator_logit,
+                                       float clip) {
+  const float denom = std::max(
+      clip, 1.0f / (1.0f + std::exp(-denominator_logit)));
+  const float inverse = active ? 1.0f / denom : 0.0f;
+  return {inverse, 1.0f - inverse};
+}
+
+std::vector<std::vector<bool>> SessionActivity(
+    const data::Dataset& dataset, const std::vector<int>& sessions,
+    int length) {
+  std::vector<std::vector<bool>> activity(
+      length, std::vector<bool>(sessions.size()));
+  for (int t = 0; t < length; ++t) {
+    for (size_t r = 0; r < sessions.size(); ++r) {
+      activity[t][r] = dataset.sessions[sessions[r]].events[t].active();
+    }
+  }
+  return activity;
+}
+
+nn::NodePtr BuildSessionRisk(
+    const data::Dataset& dataset, const std::vector<int>& sessions,
+    const std::vector<nn::NodePtr>& logits,
+    const std::vector<nn::NodePtr>& denominator_logits,
+    const RiskOptions& options) {
+  UAE_CHECK(!logits.empty());
+  UAE_CHECK(logits.size() == denominator_logits.size());
+  const int m = static_cast<int>(sessions.size());
+  const int length = static_cast<int>(logits.size());
+
+  nn::NodePtr pos_sum;
+  nn::NodePtr neg_sum;
+  for (int t = 0; t < length; ++t) {
+    nn::Tensor pos_w(m, 1);
+    nn::Tensor neg_w(m, 1);
+    for (int r = 0; r < m; ++r) {
+      const bool active = dataset.sessions[sessions[r]].events[t].active();
+      const auto [pw, nw] = InverseWeights(
+          active, denominator_logits[t]->value.at(r, 0), options.weight_clip);
+      pos_w.at(r, 0) = pw;
+      neg_w.at(r, 0) = nw;
+    }
+    nn::NodePtr pos = nn::WeightedSoftplusSum(logits[t], std::move(pos_w),
+                                              /*sign=*/-1.0f);
+    nn::NodePtr neg = nn::WeightedSoftplusSum(logits[t], std::move(neg_w),
+                                              /*sign=*/1.0f);
+    pos_sum = pos_sum == nullptr ? pos : nn::Add(pos_sum, pos);
+    neg_sum = neg_sum == nullptr ? neg : nn::Add(neg_sum, neg);
+  }
+  // Active samples carry a negative-loss weight (1 - 1/p) < 0, so the
+  // negative part can dip below zero; clip it (non-negative risk).
+  if (options.risk_clipping) neg_sum = nn::Relu(neg_sum);
+  return nn::ScalarMul(nn::Add(pos_sum, neg_sum),
+                       1.0f / (static_cast<float>(m) * length));
+}
+
+nn::NodePtr BuildFlatRisk(const data::Dataset& dataset,
+                          const std::vector<data::EventRef>& batch,
+                          const nn::NodePtr& logits,
+                          const nn::NodePtr& denominator_logits,
+                          const RiskOptions& options) {
+  UAE_CHECK(!batch.empty());
+  const int m = static_cast<int>(batch.size());
+  nn::Tensor pos_w(m, 1);
+  nn::Tensor neg_w(m, 1);
+  for (int r = 0; r < m; ++r) {
+    const bool active =
+        dataset.sessions[batch[r].session].events[batch[r].step].active();
+    const auto [pw, nw] = InverseWeights(
+        active, denominator_logits->value.at(r, 0), options.weight_clip);
+    pos_w.at(r, 0) = pw;
+    neg_w.at(r, 0) = nw;
+  }
+  nn::NodePtr pos = nn::WeightedSoftplusSum(logits, std::move(pos_w), -1.0f);
+  nn::NodePtr neg = nn::WeightedSoftplusSum(logits, std::move(neg_w), 1.0f);
+  if (options.risk_clipping) neg = nn::Relu(neg);
+  return nn::ScalarMul(nn::Add(pos, neg), 1.0f / m);
+}
+
+}  // namespace uae::attention

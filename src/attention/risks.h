@@ -1,0 +1,56 @@
+#ifndef UAE_ATTENTION_RISKS_H_
+#define UAE_ATTENTION_RISKS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/node.h"
+
+namespace uae::attention {
+
+/// Builders for the ERM risks of the paper, shared by UAE (session
+/// batches) and SAR (flat batches). All weights derived from the dual
+/// estimate are *detached* values, exactly as in Algorithm 1 where each
+/// phase treats the other estimator's output as given.
+
+/// Options of the inverse-weighted unbiased risk (Eq. 10/14/16/17).
+struct RiskOptions {
+  /// Lower clip on the detached sigmoid(denominator logit) inside the
+  /// inverse weights — the variance-control clipping of Section V-A.
+  float weight_clip = 0.05f;
+  /// Non-negative risk clipping of the negative part (Kiryo et al.).
+  bool risk_clipping = true;
+};
+
+/// Per-event activity flags for a batch of equal-length sessions:
+/// result[t][r] = e of session `sessions[r]` at step t.
+std::vector<std::vector<bool>> SessionActivity(
+    const data::Dataset& dataset, const std::vector<int>& sessions,
+    int length);
+
+/// Builds the unbiased risk over per-step logits of a session batch.
+/// `denominator_logits[t]` holds the *detached* dual estimate's logits
+/// (propensity when training attention, attention when training
+/// propensity). Returns a scalar node: mean over all batch events of
+///   (e / d) l+ + (1 - e / d) l-     with d = max(clip, sigmoid(logit)).
+nn::NodePtr BuildSessionRisk(
+    const data::Dataset& dataset, const std::vector<int>& sessions,
+    const std::vector<nn::NodePtr>& logits,
+    const std::vector<nn::NodePtr>& denominator_logits,
+    const RiskOptions& options);
+
+/// Flat-batch variant for local-feature models (SAR).
+nn::NodePtr BuildFlatRisk(const data::Dataset& dataset,
+                          const std::vector<data::EventRef>& batch,
+                          const nn::NodePtr& logits,
+                          const nn::NodePtr& denominator_logits,
+                          const RiskOptions& options);
+
+/// Inverse-weight pair for one event: (e/d, 1 - e/d) with the clip
+/// applied to d = sigmoid(denominator_logit). Exposed for testing.
+std::pair<float, float> InverseWeights(bool active, float denominator_logit,
+                                       float clip);
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_RISKS_H_

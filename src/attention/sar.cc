@@ -1,0 +1,153 @@
+#include "attention/sar.h"
+
+#include "attention/risks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "data/batcher.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::attention {
+
+/// A local-features-only scorer: per-field embeddings + dense block into
+/// an MLP producing one logit per event.
+struct Sar::LocalNet {
+  LocalNet(Rng* rng, const data::FeatureSchema& schema,
+           const SarConfig& config) {
+    for (int f = 0; f < schema.num_sparse(); ++f) {
+      embeddings.emplace_back(rng, schema.sparse_field(f).vocab,
+                              config.embed_dim);
+    }
+    const int input_dim =
+        schema.num_sparse() * config.embed_dim + schema.num_dense();
+    std::vector<int> dims = config.mlp_dims;
+    dims.push_back(1);
+    mlp = std::make_unique<nn::Mlp>(rng, input_dim, dims,
+                                    nn::Activation::kRelu);
+  }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) const {
+    std::vector<nn::NodePtr> parts;
+    parts.reserve(embeddings.size() + 1);
+    for (size_t f = 0; f < embeddings.size(); ++f) {
+      std::vector<int> column;
+      column.reserve(batch.size());
+      for (const data::EventRef& ref : batch) {
+        column.push_back(dataset.sessions[ref.session]
+                             .events[ref.step]
+                             .sparse[f]);
+      }
+      parts.push_back(embeddings[f].Forward(column));
+    }
+    const int nd = dataset.schema.num_dense();
+    nn::Tensor dense(static_cast<int>(batch.size()), nd);
+    for (size_t r = 0; r < batch.size(); ++r) {
+      const data::Event& event =
+          dataset.sessions[batch[r].session].events[batch[r].step];
+      for (int c = 0; c < nd; ++c) {
+        dense.at(static_cast<int>(r), c) = event.dense[c];
+      }
+    }
+    parts.push_back(nn::Constant(std::move(dense)));
+    return mlp->Forward(nn::ConcatCols(parts));
+  }
+
+  std::vector<nn::NodePtr> Parameters() const {
+    std::vector<nn::NodePtr> params;
+    for (const nn::Embedding& e : embeddings) {
+      for (const nn::NodePtr& p : e.Parameters()) params.push_back(p);
+    }
+    for (const nn::NodePtr& p : mlp->Parameters()) params.push_back(p);
+    return params;
+  }
+
+  std::vector<nn::Embedding> embeddings;
+  std::unique_ptr<nn::Mlp> mlp;
+};
+
+Sar::Sar(const SarConfig& config) : config_(config) {}
+Sar::~Sar() = default;
+
+void Sar::Fit(const data::Dataset& dataset) {
+  Rng rng(config_.seed);
+  attention_net_ = std::make_unique<LocalNet>(&rng, dataset.schema, config_);
+  propensity_net_ = std::make_unique<LocalNet>(&rng, dataset.schema, config_);
+
+  nn::Adam attention_opt(attention_net_->Parameters(), config_.learning_rate);
+  nn::Adam propensity_opt(propensity_net_->Parameters(),
+                          config_.learning_rate);
+  data::FlatBatcher batcher(
+      data::CollectEventRefs(dataset, data::SplitKind::kTrain),
+      config_.batch_size);
+  std::vector<data::EventRef> batch;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int na = 0; na < config_.attention_steps; ++na) {
+      batcher.StartEpoch(&rng);
+      while (batcher.Next(&batch)) {
+        nn::NodePtr att_logits = attention_net_->Logits(dataset, batch);
+        nn::NodePtr pro_logits = propensity_net_->Logits(dataset, batch);
+        const RiskOptions options{config_.weight_clip,
+                                  config_.risk_clipping};
+        nn::NodePtr risk =
+            BuildFlatRisk(dataset, batch, att_logits, pro_logits, options);
+        attention_opt.ZeroGrad();
+        nn::Backward(risk);
+        attention_opt.Step();
+      }
+    }
+    for (int np = 0; np < config_.propensity_steps; ++np) {
+      batcher.StartEpoch(&rng);
+      while (batcher.Next(&batch)) {
+        nn::NodePtr att_logits = attention_net_->Logits(dataset, batch);
+        nn::NodePtr pro_logits = propensity_net_->Logits(dataset, batch);
+        const RiskOptions options{config_.weight_clip,
+                                  config_.risk_clipping};
+        nn::NodePtr risk =
+            BuildFlatRisk(dataset, batch, pro_logits, att_logits, options);
+        propensity_opt.ZeroGrad();
+        nn::Backward(risk);
+        propensity_opt.Step();
+      }
+    }
+  }
+}
+
+data::EventScores Sar::Predict(const LocalNet& net,
+                               const data::Dataset& dataset) const {
+  data::EventScores scores(dataset, 0.5f);
+  std::vector<data::EventRef> refs;
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    for (int t = 0; t < dataset.sessions[s].length(); ++t) {
+      refs.push_back({static_cast<int>(s), t});
+    }
+  }
+  constexpr size_t kChunk = 1024;
+  for (size_t i = 0; i < refs.size(); i += kChunk) {
+    const size_t end = std::min(refs.size(), i + kChunk);
+    const std::vector<data::EventRef> batch(refs.begin() + i,
+                                            refs.begin() + end);
+    nn::NodePtr logits = net.Logits(dataset, batch);
+    for (size_t r = 0; r < batch.size(); ++r) {
+      const float z = logits->value.at(static_cast<int>(r), 0);
+      scores.set(batch[r].session, batch[r].step,
+                 1.0f / (1.0f + std::exp(-z)));
+    }
+  }
+  return scores;
+}
+
+data::EventScores Sar::PredictAttention(const data::Dataset& dataset) const {
+  UAE_CHECK_MSG(attention_net_ != nullptr, "Fit() must run first");
+  return Predict(*attention_net_, dataset);
+}
+
+data::EventScores Sar::PredictPropensity(const data::Dataset& dataset) const {
+  UAE_CHECK_MSG(propensity_net_ != nullptr, "Fit() must run first");
+  return Predict(*propensity_net_, dataset);
+}
+
+}  // namespace uae::attention

@@ -1,0 +1,59 @@
+#ifndef UAE_ATTENTION_SAR_H_
+#define UAE_ATTENTION_SAR_H_
+
+#include <memory>
+
+#include "attention/attention_estimator.h"
+#include "nn/layers.h"
+
+namespace uae::attention {
+
+/// Hyper-parameters of the SAR baseline.
+struct SarConfig {
+  int embed_dim = 4;
+  std::vector<int> mlp_dims = {32};
+  int epochs = 4;
+  int attention_steps = 1;
+  int propensity_steps = 2;
+  int batch_size = 512;
+  float learning_rate = 1e-3f;
+  float weight_clip = 0.05f;
+  bool risk_clipping = true;
+  uint64_t seed = 1;
+};
+
+/// SAR (Bekker et al., 2019): PU-learning under the Selected-At-Random
+/// assumption — the labeling propensity depends only on the *local*
+/// features x_t. Implemented as the same dual unbiased risks as UAE but
+/// with plain MLPs over the current event's features and no access to the
+/// feedback history, which is exactly what the paper argues makes it
+/// mis-specified for music streaming.
+class Sar : public AttentionEstimator {
+ public:
+  explicit Sar(const SarConfig& config);
+  ~Sar() override;
+
+  const char* name() const override { return "SAR"; }
+
+  void Fit(const data::Dataset& dataset) override;
+
+  data::EventScores PredictAttention(
+      const data::Dataset& dataset) const override;
+
+  /// Local-feature propensity estimate for every event.
+  data::EventScores PredictPropensity(const data::Dataset& dataset) const;
+
+ private:
+  struct LocalNet;  // Embedding bank + MLP over one event's features.
+
+  data::EventScores Predict(const LocalNet& net,
+                            const data::Dataset& dataset) const;
+
+  SarConfig config_;
+  std::unique_ptr<LocalNet> attention_net_;
+  std::unique_ptr<LocalNet> propensity_net_;
+};
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_SAR_H_

@@ -1,0 +1,163 @@
+#include "attention/towers.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace uae::attention {
+
+std::vector<int> SessionSparseColumn(const data::Dataset& dataset,
+                                     const std::vector<int>& sessions,
+                                     int step, int field) {
+  std::vector<int> column;
+  column.reserve(sessions.size());
+  for (int s : sessions) {
+    column.push_back(dataset.sessions[s].events[step].sparse[field]);
+  }
+  return column;
+}
+
+nn::Tensor SessionDenseBlock(const data::Dataset& dataset,
+                             const std::vector<int>& sessions, int step) {
+  const int nd = dataset.schema.num_dense();
+  nn::Tensor block(static_cast<int>(sessions.size()), nd);
+  for (size_t r = 0; r < sessions.size(); ++r) {
+    const data::Event& event = dataset.sessions[sessions[r]].events[step];
+    for (int c = 0; c < nd; ++c) {
+      block.at(static_cast<int>(r), c) = event.dense[c];
+    }
+  }
+  return block;
+}
+
+nn::Tensor PreviousFeedback(const data::Dataset& dataset,
+                            const std::vector<int>& sessions, int step) {
+  nn::Tensor prev(static_cast<int>(sessions.size()), 1);
+  if (step == 0) return prev;  // e_0 := 0.
+  for (size_t r = 0; r < sessions.size(); ++r) {
+    prev.at(static_cast<int>(r), 0) =
+        dataset.sessions[sessions[r]].events[step - 1].active() ? 1.0f : 0.0f;
+  }
+  return prev;
+}
+
+SequenceFeatureEncoder::SequenceFeatureEncoder(
+    Rng* rng, const data::FeatureSchema& schema, int embed_dim)
+    : num_dense_(schema.num_dense()) {
+  UAE_CHECK(embed_dim > 0);
+  embeddings_.reserve(schema.num_sparse());
+  for (int f = 0; f < schema.num_sparse(); ++f) {
+    embeddings_.emplace_back(rng, schema.sparse_field(f).vocab, embed_dim);
+  }
+}
+
+std::vector<nn::NodePtr> SequenceFeatureEncoder::Encode(
+    const data::Dataset& dataset, const std::vector<int>& sessions) const {
+  UAE_CHECK(!sessions.empty());
+  const int length = dataset.sessions[sessions[0]].length();
+  for (int s : sessions) {
+    UAE_CHECK_MSG(dataset.sessions[s].length() == length,
+                  "session batch must be equal-length");
+  }
+  std::vector<nn::NodePtr> steps;
+  steps.reserve(length);
+  for (int t = 0; t < length; ++t) {
+    std::vector<nn::NodePtr> parts;
+    parts.reserve(embeddings_.size() + 1);
+    for (size_t f = 0; f < embeddings_.size(); ++f) {
+      parts.push_back(embeddings_[f].Forward(SessionSparseColumn(
+          dataset, sessions, t, static_cast<int>(f))));
+    }
+    parts.push_back(nn::Constant(SessionDenseBlock(dataset, sessions, t)));
+    steps.push_back(nn::ConcatCols(parts));
+  }
+  return steps;
+}
+
+int SequenceFeatureEncoder::output_dim() const {
+  int dim = num_dense_;
+  for (const nn::Embedding& e : embeddings_) dim += e.dim();
+  return dim;
+}
+
+std::vector<nn::NodePtr> SequenceFeatureEncoder::Parameters() const {
+  std::vector<nn::NodePtr> params;
+  for (const nn::Embedding& e : embeddings_) {
+    for (const nn::NodePtr& p : e.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+AttentionTower::AttentionTower(Rng* rng, const data::FeatureSchema& schema,
+                               const TowerConfig& config) {
+  encoder_ =
+      std::make_unique<SequenceFeatureEncoder>(rng, schema, config.embed_dim);
+  gru_ = std::make_unique<nn::GruCell>(rng, encoder_->output_dim(),
+                                       config.gru_hidden);
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  mlp_ = std::make_unique<nn::Mlp>(rng, config.gru_hidden, dims,
+                                   nn::Activation::kRelu);
+}
+
+AttentionTower::Output AttentionTower::Forward(
+    const data::Dataset& dataset, const std::vector<int>& sessions) const {
+  Output out;
+  const std::vector<nn::NodePtr> inputs = encoder_->Encode(dataset, sessions);
+  out.states = gru_->Unroll(inputs);
+  out.logits.reserve(out.states.size());
+  for (const nn::NodePtr& state : out.states) {
+    out.logits.push_back(mlp_->Forward(state));
+  }
+  return out;
+}
+
+void AttentionTower::SetOutputBias(float logit) { mlp_->SetFinalBias(logit); }
+
+std::vector<nn::NodePtr> AttentionTower::Parameters() const {
+  std::vector<nn::NodePtr> params = encoder_->Parameters();
+  for (const nn::NodePtr& p : gru_->Parameters()) params.push_back(p);
+  for (const nn::NodePtr& p : mlp_->Parameters()) params.push_back(p);
+  return params;
+}
+
+PropensityTower::PropensityTower(Rng* rng, int z1_dim,
+                                 const TowerConfig& config, bool sequential)
+    : sequential_(sequential) {
+  gru_ = std::make_unique<nn::GruCell>(rng, /*input_dim=*/1,
+                                       config.gru_hidden);
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  mlp_ = std::make_unique<nn::Mlp>(rng, z1_dim + config.gru_hidden + 1, dims,
+                                   nn::Activation::kRelu);
+}
+
+std::vector<nn::NodePtr> PropensityTower::Forward(
+    const data::Dataset& dataset, const std::vector<int>& sessions,
+    const std::vector<nn::NodePtr>& z1_states) const {
+  UAE_CHECK(!z1_states.empty());
+  const int batch = z1_states[0]->value.rows();
+  const int length = static_cast<int>(z1_states.size());
+
+  std::vector<nn::NodePtr> logits;
+  logits.reserve(length);
+  nn::NodePtr h = gru_->InitialState(batch);
+  for (int t = 0; t < length; ++t) {
+    nn::Tensor prev_tensor = sequential_
+                                 ? PreviousFeedback(dataset, sessions, t)
+                                 : nn::Tensor(batch, 1);
+    nn::NodePtr prev = nn::Constant(std::move(prev_tensor));
+    h = gru_->Step(prev, h);  // z_2 after consuming e_{t-1}.
+    logits.push_back(mlp_->Forward(nn::ConcatCols({z1_states[t], h, prev})));
+  }
+  return logits;
+}
+
+void PropensityTower::SetOutputBias(float logit) { mlp_->SetFinalBias(logit); }
+
+std::vector<nn::NodePtr> PropensityTower::Parameters() const {
+  std::vector<nn::NodePtr> params = gru_->Parameters();
+  for (const nn::NodePtr& p : mlp_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::attention

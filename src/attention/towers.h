@@ -1,0 +1,115 @@
+#ifndef UAE_ATTENTION_TOWERS_H_
+#define UAE_ATTENTION_TOWERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+
+namespace uae::attention {
+
+/// Width/depth settings shared by the GRU towers.
+struct TowerConfig {
+  int embed_dim = 4;             // Sparse-field embedding width.
+  int gru_hidden = 32;           // GRU_1 / GRU_2 hidden size.
+  std::vector<int> mlp_dims = {32};  // Hidden layers of MLP_1 / MLP_2.
+};
+
+/// Embeds each step of a batch of equal-length sessions into the GRU_1
+/// input: concat(per-field embeddings, raw dense block) -> [m, D] per step.
+class SequenceFeatureEncoder : public nn::Module {
+ public:
+  SequenceFeatureEncoder(Rng* rng, const data::FeatureSchema& schema,
+                         int embed_dim);
+
+  /// steps[t] = encoded features of all sessions' t-th event. All session
+  /// ids must refer to sessions of identical length.
+  std::vector<nn::NodePtr> Encode(const data::Dataset& dataset,
+                                  const std::vector<int>& sessions) const;
+
+  int output_dim() const;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  std::vector<nn::Embedding> embeddings_;
+  int num_dense_;
+};
+
+/// The attention network g of the paper: GRU_1 over encoded features,
+/// MLP_1 on each hidden state -> per-step attention logits.
+class AttentionTower : public nn::Module {
+ public:
+  AttentionTower(Rng* rng, const data::FeatureSchema& schema,
+                 const TowerConfig& config);
+
+  struct Output {
+    std::vector<nn::NodePtr> logits;  // [m,1] per step; sigmoid => alpha.
+    std::vector<nn::NodePtr> states;  // z_1 per step ([m, gru_hidden]).
+  };
+
+  Output Forward(const data::Dataset& dataset,
+                 const std::vector<int>& sessions) const;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+  int state_dim() const { return gru_->hidden_dim(); }
+
+  /// Starts the sigmoid head at a chosen prior logit (identifiability
+  /// anchor for the alternating optimization; see UaeConfig).
+  void SetOutputBias(float logit);
+
+ private:
+  std::unique_ptr<SequenceFeatureEncoder> encoder_;
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+/// The propensity network h: GRU_2 over the observed feedback history
+/// e_1..e_{t-1}, MLP_2 on [z_1(x_t), z_2(e_{t-1}), e_{t-1}] -> per-step
+/// propensity logits.
+///
+/// `sequential` toggles the paper's sequential propensity; when false the
+/// feedback-history inputs are zeroed (ablation: local-features-only, the
+/// classical PU assumption).
+class PropensityTower : public nn::Module {
+ public:
+  PropensityTower(Rng* rng, int z1_dim, const TowerConfig& config,
+                  bool sequential = true);
+
+  /// `z1_states` are the attention tower's per-step states for the same
+  /// batch. Returns per-step propensity logits.
+  std::vector<nn::NodePtr> Forward(
+      const data::Dataset& dataset, const std::vector<int>& sessions,
+      const std::vector<nn::NodePtr>& z1_states) const;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+  /// Starts the sigmoid head at a chosen prior logit.
+  void SetOutputBias(float logit);
+
+ private:
+  bool sequential_;
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+/// Collects e_{t-1} for each session in the batch as a [m,1] tensor
+/// (e_0 := 0 at the first step).
+nn::Tensor PreviousFeedback(const data::Dataset& dataset,
+                            const std::vector<int>& sessions, int step);
+
+/// Per-step column extraction helpers for session batches.
+std::vector<int> SessionSparseColumn(const data::Dataset& dataset,
+                                     const std::vector<int>& sessions,
+                                     int step, int field);
+
+nn::Tensor SessionDenseBlock(const data::Dataset& dataset,
+                             const std::vector<int>& sessions, int step);
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_TOWERS_H_

@@ -1,0 +1,140 @@
+#include "attention/uae_model.h"
+
+#include "attention/risks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "data/batcher.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::attention {
+namespace {
+
+/// Runs sigmoid(logits) into the score store.
+void StoreSigmoid(const std::vector<int>& sessions,
+                  const std::vector<nn::NodePtr>& logits,
+                  data::EventScores* out) {
+  for (size_t t = 0; t < logits.size(); ++t) {
+    for (size_t r = 0; r < sessions.size(); ++r) {
+      const float z = logits[t]->value.at(static_cast<int>(r), 0);
+      out->set(sessions[r], static_cast<int>(t),
+               1.0f / (1.0f + std::exp(-z)));
+    }
+  }
+}
+
+}  // namespace
+
+Uae::Uae(const UaeConfig& config) : config_(config) {}
+
+Uae::~Uae() = default;
+
+void Uae::Fit(const data::Dataset& dataset) {
+  Rng rng(config_.seed);
+  attention_tower_ =
+      std::make_unique<AttentionTower>(&rng, dataset.schema, config_.tower);
+  propensity_tower_ = std::make_unique<PropensityTower>(
+      &rng, attention_tower_->state_dim(), config_.tower,
+      config_.sequential_propensity);
+  attention_tower_->SetOutputBias(config_.init_attention_logit);
+  propensity_tower_->SetOutputBias(config_.init_propensity_logit);
+
+  nn::Adam attention_opt(attention_tower_->Parameters(),
+                         config_.lr_attention);
+  nn::Adam propensity_opt(propensity_tower_->Parameters(),
+                          config_.lr_propensity);
+
+  data::SessionBatcher batcher(dataset, dataset.split.train,
+                               config_.batch_sessions);
+  std::vector<int> batch;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // ---- Unbiased attention risk minimizer (Algorithm 1, lines 3-7) ----
+    for (int na = 0; na < config_.attention_steps; ++na) {
+      batcher.StartEpoch(&rng);
+      double risk_sum = 0.0;
+      int batches = 0;
+      while (batcher.Next(&batch)) {
+        AttentionTower::Output att =
+            attention_tower_->Forward(dataset, batch);
+        std::vector<nn::NodePtr> pro_logits =
+            propensity_tower_->Forward(dataset, batch, att.states);
+        const RiskOptions options{config_.weight_clip,
+                                  config_.risk_clipping};
+        nn::NodePtr risk = BuildSessionRisk(dataset, batch, att.logits,
+                                            pro_logits, options);
+        attention_opt.ZeroGrad();
+        nn::Backward(risk);
+        attention_opt.Step();
+        risk_sum += risk->value.ScalarValue();
+        ++batches;
+      }
+      attention_risk_history_.push_back(risk_sum / std::max(1, batches));
+    }
+    // ---- Unbiased propensity risk minimizer (lines 9-12) ----
+    for (int np = 0; np < config_.propensity_steps; ++np) {
+      batcher.StartEpoch(&rng);
+      double risk_sum = 0.0;
+      int batches = 0;
+      while (batcher.Next(&batch)) {
+        AttentionTower::Output att =
+            attention_tower_->Forward(dataset, batch);
+        std::vector<nn::NodePtr> pro_logits =
+            propensity_tower_->Forward(dataset, batch, att.states);
+        const RiskOptions options{config_.weight_clip,
+                                  config_.risk_clipping};
+        nn::NodePtr risk = BuildSessionRisk(dataset, batch, pro_logits,
+                                            att.logits, options);
+        propensity_opt.ZeroGrad();
+        nn::Backward(risk);
+        propensity_opt.Step();
+        risk_sum += risk->value.ScalarValue();
+        ++batches;
+      }
+      propensity_risk_history_.push_back(risk_sum / std::max(1, batches));
+    }
+    UAE_LOG(Debug) << "UAE epoch " << epoch + 1 << "/" << config_.epochs
+                   << " att_risk=" << attention_risk_history_.back()
+                   << " pro_risk=" << propensity_risk_history_.back();
+  }
+}
+
+data::EventScores Uae::PredictAttention(const data::Dataset& dataset) const {
+  UAE_CHECK_MSG(attention_tower_ != nullptr, "Fit() must run first");
+  data::EventScores scores(dataset, 0.5f);
+  std::vector<int> all(dataset.sessions.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  data::SessionBatcher batcher(dataset, all, config_.batch_sessions);
+  std::vector<int> batch;
+  // No StartEpoch: deterministic order, no shuffling needed for inference.
+  Rng rng(config_.seed);
+  batcher.StartEpoch(&rng);
+  while (batcher.Next(&batch)) {
+    AttentionTower::Output att = attention_tower_->Forward(dataset, batch);
+    StoreSigmoid(batch, att.logits, &scores);
+  }
+  return scores;
+}
+
+data::EventScores Uae::PredictPropensity(const data::Dataset& dataset) const {
+  UAE_CHECK_MSG(propensity_tower_ != nullptr, "Fit() must run first");
+  data::EventScores scores(dataset, 0.5f);
+  std::vector<int> all(dataset.sessions.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  data::SessionBatcher batcher(dataset, all, config_.batch_sessions);
+  Rng rng(config_.seed);
+  batcher.StartEpoch(&rng);
+  std::vector<int> batch;
+  while (batcher.Next(&batch)) {
+    AttentionTower::Output att = attention_tower_->Forward(dataset, batch);
+    std::vector<nn::NodePtr> pro_logits =
+        propensity_tower_->Forward(dataset, batch, att.states);
+    StoreSigmoid(batch, pro_logits, &scores);
+  }
+  return scores;
+}
+
+}  // namespace uae::attention

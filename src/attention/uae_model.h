@@ -1,0 +1,78 @@
+#ifndef UAE_ATTENTION_UAE_MODEL_H_
+#define UAE_ATTENTION_UAE_MODEL_H_
+
+#include <memory>
+
+#include "attention/attention_estimator.h"
+#include "attention/towers.h"
+
+namespace uae::attention {
+
+/// Hyper-parameters of UAE (paper Section IV-B / VI-A).
+struct UaeConfig {
+  TowerConfig tower;
+  int epochs = 4;            // N_e.
+  int attention_steps = 1;   // N_a (paper setting).
+  int propensity_steps = 2;  // N_p (paper setting).
+  int batch_sessions = 64;   // Sessions per minibatch.
+  float lr_attention = 1e-3f;
+  float lr_propensity = 1e-3f;
+  /// Lower clip on p-hat / alpha-hat inside the inverse-propensity
+  /// weights — the variance-control clipping of Section V-A.
+  float weight_clip = 0.05f;
+  /// Non-negative risk clipping (Kiryo et al. style), per Section VI-A.
+  bool risk_clipping = true;
+  /// Ablation switch: false removes the feedback-history inputs from the
+  /// propensity tower (classical local-feature PU assumption).
+  bool sequential_propensity = true;
+  /// Prior logits the sigmoid heads start from. The (alpha, p)
+  /// decomposition of E[e] = p * alpha is only identified up to the scale
+  /// fixed by initialization (the dual risks constrain the product), so
+  /// the towers are anchored at domain priors: attention starts high
+  /// (~0.80 — most listeners attend early) and propensity low (~0.30 —
+  /// attentive users rarely act).
+  float init_attention_logit = 1.4f;
+  float init_propensity_logit = -0.85f;
+  uint64_t seed = 1;
+};
+
+/// UAE: the paper's unbiased attention estimator. Two GRU towers trained
+/// by alternating minimization of the dual unbiased risks (Algorithm 1):
+///
+///   R_att(g | p-hat) = mean[ (e/p) l+ + (1 - e/p) l- ]   (Eq. 16)
+///   R_pro(h | a-hat) = mean[ (e/a) l+ + (1 - e/a) l- ]   (Eq. 17)
+class Uae : public AttentionEstimator {
+ public:
+  explicit Uae(const UaeConfig& config);
+  ~Uae() override;
+
+  const char* name() const override { return "UAE"; }
+
+  void Fit(const data::Dataset& dataset) override;
+
+  data::EventScores PredictAttention(
+      const data::Dataset& dataset) const override;
+
+  /// Predicted sequential propensity p-hat for every event.
+  data::EventScores PredictPropensity(const data::Dataset& dataset) const;
+
+  /// Attention/propensity risk value per training pass (for convergence
+  /// analysis); one entry per optimization pass in Algorithm 1 order.
+  const std::vector<double>& attention_risk_history() const {
+    return attention_risk_history_;
+  }
+  const std::vector<double>& propensity_risk_history() const {
+    return propensity_risk_history_;
+  }
+
+ private:
+  UaeConfig config_;
+  std::unique_ptr<AttentionTower> attention_tower_;
+  std::unique_ptr<PropensityTower> propensity_tower_;
+  std::vector<double> attention_risk_history_;
+  std::vector<double> propensity_risk_history_;
+};
+
+}  // namespace uae::attention
+
+#endif  // UAE_ATTENTION_UAE_MODEL_H_

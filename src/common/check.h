@@ -1,0 +1,55 @@
+#ifndef UAE_COMMON_CHECK_H_
+#define UAE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace uae::internal {
+
+/// Terminates the process after printing a structured failure report.
+/// CHECK failures denote programmer errors (violated invariants), not
+/// recoverable conditions — those go through Status.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "UAE_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace uae::internal
+
+/// Aborts with a diagnostic if `cond` is false. Always on (release too):
+/// numerics code silently running on corrupted shapes is worse than a crash.
+#define UAE_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::uae::internal::CheckFail(__FILE__, __LINE__, #cond, "");     \
+    }                                                                \
+  } while (0)
+
+/// UAE_CHECK with a streamed message: UAE_CHECK_MSG(a == b, "got " << a).
+#define UAE_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream uae_check_oss_;                                  \
+      uae_check_oss_ << stream_expr;                                      \
+      ::uae::internal::CheckFail(__FILE__, __LINE__, #cond,               \
+                                 uae_check_oss_.str());                   \
+    }                                                                     \
+  } while (0)
+
+/// Aborts if a Status-returning expression fails.
+#define UAE_CHECK_OK(expr)                                                   \
+  do {                                                                       \
+    const ::uae::Status uae_check_status_ = (expr);                          \
+    if (!uae_check_status_.ok()) {                                           \
+      ::uae::internal::CheckFail(__FILE__, __LINE__, #expr,                  \
+                                 uae_check_status_.ToString());              \
+    }                                                                        \
+  } while (0)
+
+#endif  // UAE_COMMON_CHECK_H_

@@ -1,0 +1,70 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace uae {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  UAE_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  UAE_CHECK(row.size() == header_.size());
+  rows_.push_back(row);
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  AddRow(cells);
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += Escape(row[i]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  file << ToString();
+  if (!file.good()) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace uae

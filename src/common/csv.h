@@ -1,0 +1,38 @@
+#ifndef UAE_COMMON_CSV_H_
+#define UAE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uae {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file. Bench binaries use
+/// this to export the series behind each reproduced figure.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header arity.
+  void AddRow(const std::vector<std::string>& row);
+
+  /// Convenience overload for numeric rows.
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// Writes the accumulated rows to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  /// Renders the CSV content as a string.
+  std::string ToString() const;
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uae
+
+#endif  // UAE_COMMON_CSV_H_

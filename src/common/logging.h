@@ -1,0 +1,43 @@
+#ifndef UAE_COMMON_LOGGING_H_
+#define UAE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace uae {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity that is actually emitted. Defaults to
+/// kInfo; benches lower it to kWarning to keep table output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace uae
+
+#define UAE_LOG(level)                                                      \
+  ::uae::internal::LogMessage(::uae::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // UAE_COMMON_LOGGING_H_

@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four xoshiro words with splitmix64, per the reference
+  // implementation's recommendation (avoids the all-zero state).
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  UAE_CHECK(n > 0);
+  // Rejection sampling removes modulo bias.
+  const uint64_t limit = max() - max() % n;
+  uint64_t value = (*this)();
+  while (value >= limit) value = (*this)();
+  return value % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; guard against log(0).
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = radius * std::sin(2.0 * kPi * u2);
+  has_cached_normal_ = true;
+  return radius * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  UAE_CHECK(n > 0);
+  // Inverse-CDF on the harmonic partial sums would need O(n) memory; use
+  // rejection-free approximate inversion (adequate for workload skew).
+  // For small n fall back to exact CDF walk.
+  if (n <= 4096) {
+    double norm = 0.0;
+    for (uint64_t r = 0; r < n; ++r) norm += std::pow(r + 1.0, -s);
+    double u = Uniform() * norm;
+    for (uint64_t r = 0; r < n; ++r) {
+      u -= std::pow(r + 1.0, -s);
+      if (u <= 0.0) return r;
+    }
+    return n - 1;
+  }
+  // Approximate inversion of the continuous Zipf CDF.
+  const double exponent = 1.0 - s;
+  const double hi = std::pow(static_cast<double>(n), exponent);
+  const double u = Uniform();
+  const double x = std::pow(1.0 + u * (hi - 1.0), 1.0 / exponent);
+  uint64_t r = static_cast<uint64_t>(x) - 1;
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+int Rng::Poisson(double mean) {
+  UAE_CHECK(mean >= 0.0);
+  const double limit = std::exp(-mean);
+  double product = Uniform();
+  int count = 0;
+  while (product > limit) {
+    product *= Uniform();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace uae

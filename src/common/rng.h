@@ -1,0 +1,56 @@
+#ifndef UAE_COMMON_RNG_H_
+#define UAE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace uae {
+
+/// Deterministic pseudo-random generator (xoshiro256**). One instance per
+/// experiment/seed keeps every run reproducible without global state.
+/// Satisfies enough of UniformRandomBitGenerator to be used directly.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box–Muller.
+  double Normal();
+
+  /// Normal with given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-like categorical draw over [0, n): rank r has weight
+  /// (r+1)^-s. Used for popularity-skewed song sampling.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Poisson draw (Knuth's method; fine for small means).
+  int Poisson(double mean);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace uae
+
+#endif  // UAE_COMMON_RNG_H_

@@ -1,0 +1,141 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae {
+namespace {
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Lentz's algorithm), as in Numerical Recipes.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_beta = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(log_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+SampleSummary Summarize(const std::vector<double>& values) {
+  UAE_CHECK(!values.empty());
+  SampleSummary out;
+  out.n = static_cast<int>(values.size());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / out.n;
+  if (out.n > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double d = v - out.mean;
+      ss += d * d;
+    }
+    out.stddev = std::sqrt(ss / (out.n - 1));
+    out.stderr_ = out.stddev / std::sqrt(static_cast<double>(out.n));
+    out.ci95_half = TCritical95(out.n - 1) * out.stderr_;
+  }
+  return out;
+}
+
+double StudentTCdf(double t, double degrees_of_freedom) {
+  UAE_CHECK(degrees_of_freedom > 0.0);
+  const double x =
+      degrees_of_freedom / (degrees_of_freedom + t * t);
+  const double tail =
+      0.5 * RegularizedIncompleteBeta(degrees_of_freedom / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  UAE_CHECK(a.size() >= 2 && b.size() >= 2);
+  const SampleSummary sa = Summarize(a);
+  const SampleSummary sb = Summarize(b);
+  const double va = sa.stddev * sa.stddev / sa.n;
+  const double vb = sb.stddev * sb.stddev / sb.n;
+  TTestResult out;
+  if (va + vb <= 0.0) {
+    // Degenerate: zero variance in both samples.
+    out.t = (sa.mean == sb.mean) ? 0.0 : 1e9;
+    out.degrees_of_freedom = sa.n + sb.n - 2;
+    out.p_value = (sa.mean == sb.mean) ? 1.0 : 0.0;
+    return out;
+  }
+  out.t = (sa.mean - sb.mean) / std::sqrt(va + vb);
+  const double num = (va + vb) * (va + vb);
+  const double den =
+      va * va / (sa.n - 1) + vb * vb / (sb.n - 1);
+  out.degrees_of_freedom = num / den;
+  const double cdf = StudentTCdf(std::fabs(out.t), out.degrees_of_freedom);
+  out.p_value = 2.0 * (1.0 - cdf);
+  return out;
+}
+
+double TCritical95(double degrees_of_freedom) {
+  UAE_CHECK(degrees_of_freedom >= 1.0);
+  // Table of two-sided 95% critical values; linear interpolation between
+  // entries, asymptote 1.96.
+  static constexpr double kDf[] = {1, 2,  3,  4,  5,  6,  7,  8,
+                                   9, 10, 12, 15, 20, 30, 60, 120};
+  static constexpr double kT[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447,
+                                  2.365,  2.306, 2.262, 2.228, 2.179, 2.131,
+                                  2.086,  2.042, 2.000, 1.980};
+  constexpr int kN = sizeof(kDf) / sizeof(kDf[0]);
+  if (degrees_of_freedom >= kDf[kN - 1]) return 1.96;
+  for (int i = 1; i < kN; ++i) {
+    if (degrees_of_freedom <= kDf[i]) {
+      const double w =
+          (degrees_of_freedom - kDf[i - 1]) / (kDf[i] - kDf[i - 1]);
+      return kT[i - 1] + w * (kT[i] - kT[i - 1]);
+    }
+  }
+  return 1.96;
+}
+
+double RelaImpr(double evaluated, double base) {
+  return ((evaluated - 0.5) / (base - 0.5) - 1.0) * 100.0;
+}
+
+}  // namespace uae

@@ -1,0 +1,46 @@
+#ifndef UAE_COMMON_STATS_H_
+#define UAE_COMMON_STATS_H_
+
+#include <vector>
+
+namespace uae {
+
+/// Descriptive summary of a sample of runs (e.g. AUC over seeds).
+struct SampleSummary {
+  int n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;     // Sample (n-1) standard deviation.
+  double stderr_ = 0.0;    // stddev / sqrt(n).
+  double ci95_half = 0.0;  // Half-width of the 95% t-interval.
+};
+
+/// Computes mean / sample stddev / 95% t-confidence interval. Requires a
+/// non-empty sample; stddev and CI are 0 when n == 1.
+SampleSummary Summarize(const std::vector<double>& values);
+
+/// Result of a two-sample Welch t-test.
+struct TTestResult {
+  double t = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  // Two-sided.
+};
+
+/// Welch's unequal-variance t-test of H0: mean(a) == mean(b).
+/// Used for the paper's significance stars (p < 0.05).
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Two-sided critical value of Student's t at 95% confidence for the
+/// given degrees of freedom (>= 1; interpolated table).
+double TCritical95(double degrees_of_freedom);
+
+/// Student-t CDF via the regularized incomplete beta function.
+double StudentTCdf(double t, double degrees_of_freedom);
+
+/// RelaImpr metric from the paper: relative improvement of a metric whose
+/// random-strategy value is 0.5 (AUC / GAUC), in percent.
+double RelaImpr(double evaluated, double base);
+
+}  // namespace uae
+
+#endif  // UAE_COMMON_STATS_H_

@@ -1,0 +1,91 @@
+#ifndef UAE_COMMON_STATUS_H_
+#define UAE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace uae {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Abseil convention: cheap to construct, cheap to copy when OK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// A value-semantic error carrier. The library does not use exceptions;
+/// recoverable failures are reported through Status / StatusOr.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status keeps call sites terse
+  /// (`return MakeThing();` / `return Status::InvalidArgument(...)`).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  /// Requires ok(). Use status() to inspect failures first.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace uae
+
+#endif  // UAE_COMMON_STATUS_H_

@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace uae {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  UAE_CHECK(!header_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  UAE_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string AsciiTable::Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string AsciiTable::FmtStar(double value, int digits, bool significant) {
+  return Fmt(value, digits) + (significant ? "*" : "");
+}
+
+}  // namespace uae

@@ -1,0 +1,37 @@
+#ifndef UAE_COMMON_TABLE_H_
+#define UAE_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace uae {
+
+/// Minimal ASCII table builder used by the bench binaries to print
+/// paper-style tables. Cells are strings; numeric helpers format floats.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the table with aligned columns and border rules.
+  std::string ToString() const;
+
+  /// Formats `value` with `digits` decimals (e.g. Fmt(74.172, 2) -> "74.17").
+  static std::string Fmt(double value, int digits);
+
+  /// Formats a value with a significance star when significant.
+  static std::string FmtStar(double value, int digits, bool significant);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // Empty row == separator.
+};
+
+}  // namespace uae
+
+#endif  // UAE_COMMON_TABLE_H_

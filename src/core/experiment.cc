@@ -1,0 +1,57 @@
+#include "core/experiment.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace uae::core {
+
+CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
+                   const std::vector<const data::EventScores*>*
+                       shared_weights) {
+  UAE_CHECK(spec.num_seeds > 0);
+  if (shared_weights != nullptr) {
+    UAE_CHECK(static_cast<int>(shared_weights->size()) == spec.num_seeds);
+  }
+  CellResult result;
+  for (int run = 0; run < spec.num_seeds; ++run) {
+    const uint64_t seed = spec.base_seed + 1000ULL * run;
+
+    const data::EventScores* weights = nullptr;
+    std::optional<AttentionArtifacts> artifacts;
+    if (shared_weights != nullptr) {
+      weights = (*shared_weights)[run];
+    } else if (spec.method.has_value()) {
+      artifacts = FitAttention(dataset, *spec.method, spec.gamma, seed);
+      weights = &artifacts->weights;
+    }
+
+    models::TrainConfig train = spec.train_config;
+    train.seed = seed;
+    const RunResult run_result =
+        TrainModel(dataset, spec.model, weights, spec.model_config, train);
+    result.auc_runs.push_back(run_result.test.auc);
+    result.gauc_runs.push_back(run_result.test.gauc);
+    UAE_LOG(Debug) << models::ModelKindName(spec.model) << " run " << run
+                   << " auc=" << run_result.test.auc
+                   << " gauc=" << run_result.test.gauc;
+  }
+  result.auc = Summarize(result.auc_runs);
+  result.gauc = Summarize(result.gauc_runs);
+  return result;
+}
+
+Comparison Compare(const std::vector<double>& base_runs,
+                   const std::vector<double>& treated_runs) {
+  Comparison cmp;
+  cmp.base_mean = Summarize(base_runs).mean;
+  cmp.treated_mean = Summarize(treated_runs).mean;
+  cmp.relaimpr = RelaImpr(cmp.treated_mean, cmp.base_mean);
+  if (base_runs.size() >= 2 && treated_runs.size() >= 2) {
+    const TTestResult t = WelchTTest(treated_runs, base_runs);
+    cmp.p_value = t.p_value;
+    cmp.significant = t.p_value < 0.05 && cmp.treated_mean > cmp.base_mean;
+  }
+  return cmp;
+}
+
+}  // namespace uae::core

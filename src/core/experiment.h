@@ -1,0 +1,56 @@
+#ifndef UAE_CORE_EXPERIMENT_H_
+#define UAE_CORE_EXPERIMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/pipeline.h"
+
+namespace uae::core {
+
+/// One experiment cell: a (dataset, model, attention-method) combination
+/// run over several seeds.
+struct CellSpec {
+  models::ModelKind model = models::ModelKind::kDcnV2;
+  /// nullopt = plain base model, no re-weighting.
+  std::optional<attention::AttentionMethod> method;
+  float gamma = 15.0f;
+  int num_seeds = 5;
+  uint64_t base_seed = 100;
+  models::ModelConfig model_config;
+  models::TrainConfig train_config;  // seed field is overwritten per run.
+};
+
+/// Per-seed metric samples plus their summaries.
+struct CellResult {
+  std::vector<double> auc_runs;
+  std::vector<double> gauc_runs;
+  SampleSummary auc;
+  SampleSummary gauc;
+};
+
+/// Runs one cell: per seed, (re)fits the attention method if any, trains
+/// the model, evaluates on test. `shared_weights` (optional, one per
+/// seed) bypasses attention fitting — benches use it to share one UAE fit
+/// across the seven base models.
+CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
+                   const std::vector<const data::EventScores*>*
+                       shared_weights = nullptr);
+
+/// Significance + RelaImpr summary of treated-vs-base per the paper's
+/// table conventions (t-test over the per-seed samples, p < 0.05).
+struct Comparison {
+  double base_mean = 0.0;
+  double treated_mean = 0.0;
+  double relaimpr = 0.0;  // Percent.
+  bool significant = false;
+  double p_value = 1.0;
+};
+
+Comparison Compare(const std::vector<double>& base_runs,
+                   const std::vector<double>& treated_runs);
+
+}  // namespace uae::core
+
+#endif  // UAE_CORE_EXPERIMENT_H_

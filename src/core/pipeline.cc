@@ -1,0 +1,54 @@
+#include "core/pipeline.h"
+
+#include "attention/reweight.h"
+#include "common/check.h"
+#include "eval/attention_metrics.h"
+
+namespace uae::core {
+
+AttentionArtifacts FitAttention(const data::Dataset& dataset,
+                                attention::AttentionMethod method,
+                                float gamma, uint64_t seed) {
+  std::unique_ptr<attention::AttentionEstimator> estimator =
+      attention::CreateAttentionEstimator(method, seed);
+  return FitAttention(dataset, estimator.get(), gamma);
+}
+
+AttentionArtifacts FitAttention(const data::Dataset& dataset,
+                                attention::AttentionEstimator* estimator,
+                                float gamma) {
+  UAE_CHECK(estimator != nullptr);
+  estimator->Fit(dataset);
+  data::EventScores alpha = estimator->PredictAttention(dataset);
+  data::EventScores weights =
+      attention::BuildSampleWeights(dataset, alpha, gamma);
+  AttentionArtifacts artifacts{std::move(alpha), std::move(weights)};
+  artifacts.alpha_mae =
+      eval::EvaluateAttentionRecovery(dataset, artifacts.alpha).mae;
+  artifacts.alpha_mae_passive =
+      eval::EvaluateAttentionRecovery(dataset, artifacts.alpha,
+                                      eval::EventFilter::kPassiveOnly)
+          .mae;
+  return artifacts;
+}
+
+RunResult TrainModel(const data::Dataset& dataset, models::ModelKind kind,
+                     const data::EventScores* weights,
+                     const models::ModelConfig& model_config,
+                     const models::TrainConfig& train_config) {
+  Rng rng(train_config.seed);
+  std::unique_ptr<models::Recommender> model =
+      models::CreateRecommender(kind, &rng, dataset.schema, model_config);
+  RunResult result;
+  result.curves =
+      models::TrainRecommender(model.get(), dataset, weights, train_config);
+  result.test = models::EvaluateRecommender(
+      model.get(), dataset, data::SplitKind::kTest,
+      models::LabelKind::kObserved);
+  result.test_oracle = models::EvaluateRecommender(
+      model.get(), dataset, data::SplitKind::kTest,
+      models::LabelKind::kOracleRelevance);
+  return result;
+}
+
+}  // namespace uae::core

@@ -1,0 +1,55 @@
+#ifndef UAE_CORE_PIPELINE_H_
+#define UAE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "attention/attention_estimator.h"
+#include "data/dataset.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace uae::core {
+
+/// Outputs of fitting an attention estimator on a dataset: the predicted
+/// attention, the Eq. 19 sample weights, and ground-truth diagnostics
+/// only the simulator can provide.
+struct AttentionArtifacts {
+  data::EventScores alpha;
+  data::EventScores weights;
+  /// MAE of alpha-hat vs the simulator's true alpha over all events.
+  double alpha_mae = 0.0;
+  /// MAE restricted to passive events (the ones the weights act on).
+  double alpha_mae_passive = 0.0;
+};
+
+/// Fits the given attention method on the dataset and derives the Eq. 19
+/// weights with parameter `gamma`.
+AttentionArtifacts FitAttention(const data::Dataset& dataset,
+                                attention::AttentionMethod method,
+                                float gamma, uint64_t seed);
+
+/// Same, but with a caller-constructed estimator (custom hyper-params).
+AttentionArtifacts FitAttention(const data::Dataset& dataset,
+                                attention::AttentionEstimator* estimator,
+                                float gamma);
+
+/// Result of one downstream training run.
+struct RunResult {
+  models::EvalResult test;         // Test AUC/GAUC, observed labels
+                                   // (the paper's protocol).
+  models::EvalResult test_oracle;  // Same vs ground-truth relevance —
+                                   // a simulator-only diagnostic.
+  models::TrainResult curves;      // Per-epoch train/valid curves.
+};
+
+/// Trains a fresh model of `kind` (weights may be null = base model) and
+/// evaluates on the test split.
+RunResult TrainModel(const data::Dataset& dataset, models::ModelKind kind,
+                     const data::EventScores* weights,
+                     const models::ModelConfig& model_config,
+                     const models::TrainConfig& train_config);
+
+}  // namespace uae::core
+
+#endif  // UAE_CORE_PIPELINE_H_

@@ -1,0 +1,73 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace uae::data {
+namespace {
+
+/// Fisher–Yates with our Rng.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j = rng->UniformInt(i);
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace
+
+FlatBatcher::FlatBatcher(std::vector<EventRef> refs, int batch_size)
+    : refs_(std::move(refs)), batch_size_(batch_size) {
+  UAE_CHECK(batch_size > 0);
+  UAE_CHECK(!refs_.empty());
+}
+
+void FlatBatcher::StartEpoch(Rng* rng) {
+  UAE_CHECK(rng != nullptr);
+  Shuffle(&refs_, rng);
+  cursor_ = 0;
+}
+
+bool FlatBatcher::Next(std::vector<EventRef>* batch) {
+  batch->clear();
+  if (cursor_ >= refs_.size()) return false;
+  const size_t end = std::min(refs_.size(), cursor_ + batch_size_);
+  batch->assign(refs_.begin() + cursor_, refs_.begin() + end);
+  cursor_ = end;
+  return true;
+}
+
+SessionBatcher::SessionBatcher(const Dataset& dataset,
+                               std::vector<int> session_ids, int batch_size) {
+  UAE_CHECK(batch_size > 0);
+  UAE_CHECK(!session_ids.empty());
+  // Bucket by session length, then chunk each bucket.
+  std::map<int, std::vector<int>> buckets;
+  for (int s : session_ids) {
+    buckets[dataset.sessions[s].length()].push_back(s);
+  }
+  for (auto& [length, ids] : buckets) {
+    for (size_t i = 0; i < ids.size(); i += batch_size) {
+      const size_t end = std::min(ids.size(), i + batch_size);
+      batches_.emplace_back(ids.begin() + i, ids.begin() + end);
+    }
+  }
+}
+
+void SessionBatcher::StartEpoch(Rng* rng) {
+  UAE_CHECK(rng != nullptr);
+  Shuffle(&batches_, rng);
+  cursor_ = 0;
+}
+
+bool SessionBatcher::Next(std::vector<int>* batch) {
+  batch->clear();
+  if (cursor_ >= batches_.size()) return false;
+  *batch = batches_[cursor_++];
+  return true;
+}
+
+}  // namespace uae::data

@@ -1,0 +1,56 @@
+#ifndef UAE_DATA_BATCHER_H_
+#define UAE_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace uae::data {
+
+/// Shuffles event refs and yields fixed-size minibatches for the flat
+/// (non-sequential) downstream CTR models.
+class FlatBatcher {
+ public:
+  FlatBatcher(std::vector<EventRef> refs, int batch_size);
+
+  /// Reshuffles and restarts iteration (one call per epoch).
+  void StartEpoch(Rng* rng);
+
+  /// Fills `batch` with the next up-to-batch_size refs. Returns false when
+  /// the epoch is exhausted (batch left empty).
+  bool Next(std::vector<EventRef>* batch);
+
+  int batch_size() const { return batch_size_; }
+  size_t num_examples() const { return refs_.size(); }
+
+ private:
+  std::vector<EventRef> refs_;
+  int batch_size_;
+  size_t cursor_ = 0;
+};
+
+/// Groups sessions of equal length into minibatches so the GRU towers can
+/// be unrolled without padding/masking, then shuffles the batch order.
+class SessionBatcher {
+ public:
+  /// `session_ids` selects the sessions (e.g. the train split).
+  SessionBatcher(const Dataset& dataset, std::vector<int> session_ids,
+                 int batch_size);
+
+  void StartEpoch(Rng* rng);
+
+  /// Next batch of session ids, all with identical length. Returns false
+  /// at epoch end.
+  bool Next(std::vector<int>* batch);
+
+  size_t num_batches() const { return batches_.size(); }
+
+ private:
+  std::vector<std::vector<int>> batches_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_BATCHER_H_

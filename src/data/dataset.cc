@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace uae::data {
+
+const char* FeedbackActionName(FeedbackAction action) {
+  switch (action) {
+    case FeedbackAction::kAutoPlay:
+      return "Auto-play";
+    case FeedbackAction::kSkip:
+      return "Skip";
+    case FeedbackAction::kDislike:
+      return "Dislike";
+    case FeedbackAction::kLike:
+      return "Like";
+    case FeedbackAction::kShare:
+      return "Share";
+    case FeedbackAction::kDownload:
+      return "Download";
+  }
+  return "?";
+}
+
+size_t Dataset::TotalEvents() const {
+  size_t total = 0;
+  for (const Session& s : sessions) total += s.events.size();
+  return total;
+}
+
+double Dataset::ActiveRate() const {
+  size_t total = 0;
+  size_t active = 0;
+  for (const Session& s : sessions) {
+    for (const Event& e : s.events) {
+      ++total;
+      if (e.active()) ++active;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(active) / total;
+}
+
+DatasetSplit MakeChronologicalSplit(int num_sessions, double train_ratio,
+                                    double valid_ratio) {
+  UAE_CHECK(num_sessions > 0);
+  UAE_CHECK(train_ratio > 0.0 && valid_ratio >= 0.0 &&
+            train_ratio + valid_ratio < 1.0);
+  const int train_end = static_cast<int>(num_sessions * train_ratio);
+  const int valid_end =
+      static_cast<int>(num_sessions * (train_ratio + valid_ratio));
+  DatasetSplit split;
+  for (int i = 0; i < num_sessions; ++i) {
+    if (i < train_end) {
+      split.train.push_back(i);
+    } else if (i < valid_end) {
+      split.valid.push_back(i);
+    } else {
+      split.test.push_back(i);
+    }
+  }
+  UAE_CHECK(!split.train.empty() && !split.test.empty());
+  return split;
+}
+
+std::vector<EventRef> CollectEventRefs(const Dataset& dataset,
+                                       SplitKind kind) {
+  std::vector<EventRef> refs;
+  for (int s : dataset.split.Of(kind)) {
+    const int len = dataset.sessions[s].length();
+    for (int t = 0; t < len; ++t) refs.push_back({s, t});
+  }
+  return refs;
+}
+
+EventScores::EventScores(const Dataset& dataset, float initial) {
+  scores_.reserve(dataset.sessions.size());
+  for (const Session& s : dataset.sessions) {
+    scores_.emplace_back(s.events.size(), initial);
+  }
+}
+
+}  // namespace uae::data

@@ -1,0 +1,76 @@
+#ifndef UAE_DATA_EVENT_H_
+#define UAE_DATA_EVENT_H_
+
+#include <string>
+#include <vector>
+
+namespace uae::data {
+
+/// The feedback action types of the paper's Table I.
+enum class FeedbackAction {
+  kAutoPlay = 0,  // Passive.
+  kSkip,          // Active, negative.
+  kDislike,       // Active, negative.
+  kLike,          // Active, positive.
+  kShare,         // Active, positive.
+  kDownload,      // Active, positive.
+};
+
+/// e in the paper: 1 for active feedback, 0 for passive.
+inline bool IsActive(FeedbackAction action) {
+  return action != FeedbackAction::kAutoPlay;
+}
+
+/// y in the paper (Table I): Skip/Dislike -> 0; Like/Share/Download -> 1;
+/// Auto-play -> 1 (the unreliable "positive ?" the paper is about).
+inline int FeedbackLabel(FeedbackAction action) {
+  switch (action) {
+    case FeedbackAction::kSkip:
+    case FeedbackAction::kDislike:
+      return 0;
+    case FeedbackAction::kAutoPlay:
+    case FeedbackAction::kLike:
+    case FeedbackAction::kShare:
+    case FeedbackAction::kDownload:
+      return 1;
+  }
+  return 1;
+}
+
+const char* FeedbackActionName(FeedbackAction action);
+
+/// One listening event (x_i^t, e_i^t, y_i^t) plus — because the dataset
+/// comes from our simulator — the ground-truth latents the paper's theory
+/// reasons about but real logs never expose. Models must only read
+/// `sparse`, `dense`, `action` (thus `e`/`y`); the `true_*` fields exist
+/// for evaluation and for verifying the unbiasedness theorems.
+struct Event {
+  // ---- Observable (what a production log contains) ----
+  std::vector<int> sparse;   // Categorical ids, FeatureSchema order.
+  std::vector<float> dense;  // Dense features, FeatureSchema order.
+  FeedbackAction action = FeedbackAction::kAutoPlay;
+  float play_seconds = 0.0f;   // Observed playback duration.
+  float song_duration = 0.0f;  // Full song length in seconds.
+
+  // ---- Simulator ground truth (hidden from models) ----
+  bool true_attention = false;    // a_i^t.
+  float true_alpha = 0.0f;        // alpha_i^t = Pr(a=1 | X_t).
+  float true_propensity = 0.0f;   // p_i^t = Pr(e=1 | X_t, E_{t-1}, a=1).
+  int true_relevance = 0;         // r: user would enjoy this song.
+  float relevance_prob = 0.0f;    // Pr(r=1 | X_t).
+
+  bool active() const { return IsActive(action); }
+  int label() const { return FeedbackLabel(action); }
+};
+
+/// A chronologically ordered interaction session of one user.
+struct Session {
+  int user = 0;
+  std::vector<Event> events;
+
+  int length() const { return static_cast<int>(events.size()); }
+};
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_EVENT_H_

@@ -1,0 +1,105 @@
+#include "data/feedback_stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace uae::data {
+
+FeedbackStats ComputeFeedbackStats(const Dataset& dataset, int pattern_length,
+                                   int max_rank, int max_patterns) {
+  UAE_CHECK(pattern_length >= 1 && pattern_length <= 16);
+  UAE_CHECK(max_rank >= 1);
+  FeedbackStats stats;
+  stats.pattern_length = pattern_length;
+
+  int64_t transition_count[2][2] = {{0, 0}, {0, 0}};
+  int64_t total = 0, total_active = 0;
+  std::map<std::string, std::pair<int64_t, int64_t>> pattern_counts;
+  std::vector<std::pair<int64_t, int64_t>> by_recent(pattern_length + 1,
+                                                     {0, 0});
+  std::vector<std::pair<int64_t, int64_t>> by_rank(max_rank, {0, 0});
+
+  for (const Session& session : dataset.sessions) {
+    const int len = session.length();
+    for (int t = 0; t < len; ++t) {
+      const bool active = session.events[t].active();
+      ++total;
+      if (active) ++total_active;
+
+      if (t + 1 < len) {
+        const bool next_active = session.events[t + 1].active();
+        ++transition_count[active ? 0 : 1][next_active ? 0 : 1];
+      }
+
+      if (t >= pattern_length) {
+        std::string pattern(pattern_length, 'p');
+        int recent = 0;
+        for (int k = 0; k < pattern_length; ++k) {
+          // pattern[0] is the oldest of the window, as in Figure 2(b).
+          const bool was_active =
+              session.events[t - pattern_length + k].active();
+          if (was_active) {
+            pattern[k] = 'a';
+            ++recent;
+          }
+        }
+        auto& [n, n_active] = pattern_counts[pattern];
+        ++n;
+        if (active) ++n_active;
+        auto& [rn, rn_active] = by_recent[recent];
+        ++rn;
+        if (active) ++rn_active;
+      }
+
+      if (t < max_rank) {
+        auto& [n, n_active] = by_rank[t];
+        ++n;
+        if (active) ++n_active;
+      }
+    }
+  }
+
+  UAE_CHECK(total > 0);
+  stats.marginal_active = static_cast<double>(total_active) / total;
+  stats.marginal_passive = 1.0 - stats.marginal_active;
+
+  for (int i = 0; i < 2; ++i) {
+    const int64_t row =
+        transition_count[i][0] + transition_count[i][1];
+    for (int j = 0; j < 2; ++j) {
+      stats.transition[i][j] =
+          row > 0 ? static_cast<double>(transition_count[i][j]) / row : 0.0;
+    }
+  }
+
+  for (const auto& [pattern, counts] : pattern_counts) {
+    if (counts.first < 30) continue;  // Skip unsupported patterns.
+    FeedbackStats::PatternStat p;
+    p.pattern = pattern;
+    p.count = counts.first;
+    p.p_active = static_cast<double>(counts.second) / counts.first;
+    stats.patterns.push_back(std::move(p));
+  }
+  std::sort(stats.patterns.begin(), stats.patterns.end(),
+            [](const auto& a, const auto& b) { return a.p_active > b.p_active; });
+  if (static_cast<int>(stats.patterns.size()) > max_patterns) {
+    stats.patterns.resize(max_patterns);
+  }
+
+  for (const auto& [n, n_active] : by_recent) {
+    stats.p_active_by_recent_count.push_back(
+        n > 0 ? static_cast<double>(n_active) / n : 0.0);
+    stats.recent_count_support.push_back(n);
+  }
+  for (const auto& [n, n_active] : by_rank) {
+    const double rate = n > 0 ? static_cast<double>(n_active) / n : 0.0;
+    stats.active_rate_by_rank.push_back(rate);
+    stats.passive_rate_by_rank.push_back(n > 0 ? 1.0 - rate : 0.0);
+    stats.rank_support.push_back(n);
+  }
+  return stats;
+}
+
+}  // namespace uae::data

@@ -1,0 +1,48 @@
+#ifndef UAE_DATA_FEEDBACK_STATS_H_
+#define UAE_DATA_FEEDBACK_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace uae::data {
+
+/// Descriptive feedback statistics behind the paper's Figures 2 and 3.
+struct FeedbackStats {
+  // Figure 2(a): 2x2 transition matrix over {active, passive}.
+  // transition[i][j] = Pr(next = j | current = i), i/j in {a=1, p=0}.
+  double transition[2][2] = {{0, 0}, {0, 0}};
+  double marginal_active = 0.0;
+  double marginal_passive = 0.0;
+
+  // Figure 2(b): Pr(active) conditioned on the exact pattern of the
+  // previous `pattern_length` feedback types.
+  int pattern_length = 6;
+  struct PatternStat {
+    std::string pattern;  // e.g. "pppppa" (oldest..latest), 'a'/'p'.
+    double p_active = 0.0;
+    int64_t count = 0;
+  };
+  std::vector<PatternStat> patterns;  // Sorted by p_active descending.
+
+  // Figure 2(c): Pr(active) by the number of active actions in the last
+  // `pattern_length` events (index = count of active actions).
+  std::vector<double> p_active_by_recent_count;
+  std::vector<int64_t> recent_count_support;
+
+  // Figure 3: per play-rank active/passive rates.
+  std::vector<double> active_rate_by_rank;
+  std::vector<double> passive_rate_by_rank;  // == 1 - active rate.
+  std::vector<int64_t> rank_support;
+};
+
+/// Computes the statistics over the full dataset. `pattern_length` matches
+/// the paper's length-6 history window; `max_rank` caps Figure 3's x-axis.
+FeedbackStats ComputeFeedbackStats(const Dataset& dataset,
+                                   int pattern_length = 6, int max_rank = 24,
+                                   int max_patterns = 12);
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_FEEDBACK_STATS_H_

@@ -1,0 +1,381 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/world.h"
+
+namespace uae::data {
+namespace {
+
+constexpr int kLatentDim = 6;
+constexpr int kNumGenders = 3;
+constexpr int kNumAgeBuckets = 7;
+constexpr int kNumCountries = 20;
+constexpr int kNumDevices = 5;
+constexpr int kNumActivityBuckets = 5;
+constexpr int kNumHours = 24;
+constexpr int kNumWeekdays = 7;
+constexpr int kNumRankBuckets = 8;
+
+float SigmoidD(double x) {
+  return static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+}
+
+struct UserProfile {
+  std::vector<float> latent;
+  int taste_cluster = 0;
+  float engagement = 0.5f;  // Trait in [0,1]; drives propensity.
+  int gender = 0;
+  int age = 0;
+  int country = 0;
+  int device = 0;
+  int activity_bucket = 0;
+};
+
+struct SongProfile {
+  std::vector<float> latent;
+  int artist = 0;
+  int album = 0;
+  int genre = 0;
+  float duration = 180.0f;  // Seconds.
+};
+
+std::vector<float> SampleLatent(Rng* rng) {
+  std::vector<float> v(kLatentDim);
+  for (float& x : v) x = static_cast<float>(rng->Normal());
+  return v;
+}
+
+FeatureSchema BuildSchema(const GeneratorConfig& cfg) {
+  std::vector<SparseFieldSpec> sparse;
+  std::vector<std::string> dense;
+  if (cfg.product_features) {
+    sparse = {{"user_id", cfg.num_users},   {"gender", kNumGenders},
+              {"age", kNumAgeBuckets},      {"country", kNumCountries},
+              {"device", kNumDevices},      {"activity", kNumActivityBuckets},
+              {"song_id", cfg.num_songs},   {"artist", cfg.num_artists},
+              {"album", cfg.num_albums},    {"genre", cfg.num_genres},
+              {"hour", kNumHours},          {"rank_bucket", kNumRankBuckets}};
+    dense = {"affinity",   "popularity",      "rank_norm",
+             "engagement", "recent_affinity", "hour_norm"};
+  } else {
+    sparse = {{"user_id", cfg.num_users},  {"song_id", cfg.num_songs},
+              {"artist", cfg.num_artists}, {"album", cfg.num_albums},
+              {"genre", cfg.num_genres},   {"hour", kNumHours},
+              {"weekday", kNumWeekdays},   {"rank_bucket", kNumRankBuckets}};
+    dense = {"affinity", "popularity", "rank_norm", "recent_affinity"};
+  }
+  return FeatureSchema(std::move(sparse), std::move(dense));
+}
+
+}  // namespace
+
+GeneratorConfig GeneratorConfig::ProductPreset() {
+  GeneratorConfig cfg;
+  cfg.name = "Product";
+  return cfg;
+}
+
+GeneratorConfig GeneratorConfig::ThirtyMusicPreset() {
+  GeneratorConfig cfg;
+  cfg.name = "30-Music";
+  cfg.product_features = false;
+  cfg.num_feedback_types = 3;  // Auto-play, Skip, Like.
+  cfg.num_sessions = 3000;
+  cfg.num_users = 500;
+  cfg.num_songs = 8000;  // Songs dwarf users, as in the real 30-Music.
+  cfg.num_artists = 800;
+  cfg.num_albums = 1600;
+  cfg.num_genres = 20;
+  cfg.min_session_len = 12;
+  cfg.max_session_len = 30;
+  cfg.affinity_noise = 0.45;  // Public data: noisier affinity proxy.
+  // Weaker engagement/recentness signal than the product log.
+  cfg.act_pos_recent = 3.6;
+  cfg.att_engagement = 0.4;
+  return cfg;
+}
+
+struct World::Impl {
+  std::vector<UserProfile> users;
+  std::vector<SongProfile> songs;
+  // [cluster][genre] -> standardized taste score.
+  std::vector<std::vector<float>> cluster_genre;
+};
+
+World::World(const GeneratorConfig& config, uint64_t seed)
+    : config_(config), schema_(BuildSchema(config)),
+      impl_(std::make_unique<Impl>()) {
+  UAE_CHECK(config.num_users > 0 && config.num_songs > 0);
+  UAE_CHECK(config.min_session_len >= 2 &&
+            config.max_session_len >= config.min_session_len);
+  Rng rng(seed);
+  impl_->cluster_genre.resize(config.num_taste_clusters);
+  for (auto& row : impl_->cluster_genre) {
+    row.resize(config.num_genres);
+    for (float& v : row) v = static_cast<float>(rng.Normal());
+  }
+  impl_->users.resize(config.num_users);
+  for (UserProfile& u : impl_->users) {
+    u.latent = SampleLatent(&rng);
+    u.taste_cluster =
+        static_cast<int>(rng.UniformInt(config.num_taste_clusters));
+    u.engagement = static_cast<float>(rng.Uniform(0.15, 0.95));
+    u.gender = static_cast<int>(rng.UniformInt(kNumGenders));
+    u.age = static_cast<int>(rng.UniformInt(kNumAgeBuckets));
+    u.country = static_cast<int>(rng.UniformInt(kNumCountries));
+    u.device = static_cast<int>(rng.UniformInt(kNumDevices));
+    u.activity_bucket =
+        std::min(kNumActivityBuckets - 1,
+                 static_cast<int>(u.engagement * kNumActivityBuckets));
+  }
+  impl_->songs.resize(config.num_songs);
+  for (SongProfile& v : impl_->songs) {
+    v.latent = SampleLatent(&rng);
+    v.artist = static_cast<int>(rng.UniformInt(config.num_artists));
+    v.album = static_cast<int>(rng.UniformInt(config.num_albums));
+    v.genre = static_cast<int>(rng.UniformInt(config.num_genres));
+    v.duration = static_cast<float>(rng.Uniform(120.0, 300.0));
+  }
+}
+
+World::~World() = default;
+
+float World::Affinity(int user, int song) const {
+  const UserProfile& u = impl_->users[user];
+  const SongProfile& v = impl_->songs[song];
+  double dot = 0.0;
+  for (int k = 0; k < kLatentDim; ++k) dot += u.latent[k] * v.latent[k];
+  // Both terms are roughly standard normal; squash their mix to (0,1).
+  const double latent_part = dot / std::sqrt(static_cast<double>(kLatentDim));
+  const double cluster_part = impl_->cluster_genre[u.taste_cluster][v.genre];
+  return SigmoidD(config_.latent_affinity_weight * latent_part +
+                  config_.cluster_affinity_weight * cluster_part);
+}
+
+float World::SongDuration(int song) const {
+  return impl_->songs[song].duration;
+}
+
+int World::SampleSong(Rng* rng) const {
+  return static_cast<int>(
+      rng->Zipf(config_.num_songs, config_.song_popularity_skew));
+}
+
+Event World::ScoringEvent(int user, int song, int hour, int weekday) const {
+  const UserProfile& u = impl_->users[user];
+  const SongProfile& v = impl_->songs[song];
+  Event event;
+  const float aff = Affinity(user, song);
+  if (config_.product_features) {
+    event.sparse = {user,     u.gender, u.age,   u.country,
+                    u.device, u.activity_bucket,
+                    song,     v.artist, v.album, v.genre,
+                    hour,     0};
+    event.dense = {aff,
+                   1.0f - static_cast<float>(song) / config_.num_songs,
+                   0.0f,
+                   u.engagement,
+                   0.5f,
+                   static_cast<float>(hour) / (kNumHours - 1)};
+  } else {
+    event.sparse = {user, song, v.artist, v.album, v.genre, hour, weekday, 0};
+    event.dense = {aff, 1.0f - static_cast<float>(song) / config_.num_songs,
+                   0.0f, 0.5f};
+  }
+  event.song_duration = v.duration;
+  return event;
+}
+
+Session World::SimulateSession(int user, const std::vector<int>& playlist,
+                               int hour, int weekday, Rng* rng) const {
+  UAE_CHECK(rng != nullptr && !playlist.empty());
+  const GeneratorConfig& cfg = config_;
+  const UserProfile& u = impl_->users[user];
+
+  Session session;
+  session.user = user;
+  std::vector<int> active_history;       // e_1..e_{t-1} as 0/1.
+  std::vector<float> affinity_history;   // Observable noisy affinities.
+
+  for (int t = 0; t < static_cast<int>(playlist.size()); ++t) {
+    const int song_id = playlist[t];
+    const SongProfile& song = impl_->songs[song_id];
+
+    const float aff = Affinity(user, song_id);
+    const float aff_noisy = std::clamp(
+        aff + static_cast<float>(rng->Normal(0.0, cfg.affinity_noise)), 0.0f,
+        1.0f);
+    const float rank_norm =
+        static_cast<float>(t) / static_cast<float>(cfg.max_session_len);
+    float recent_aff = 0.5f;
+    if (!affinity_history.empty()) {
+      const int window = std::min<int>(3, affinity_history.size());
+      float sum = 0.0f;
+      for (int k = 0; k < window; ++k) {
+        sum += affinity_history[affinity_history.size() - 1 - k];
+      }
+      recent_aff = sum / window;
+    }
+
+    // ---- Relevance r_t ~ Bern(rho), rho a function of affinity ----
+    const float rho =
+        SigmoidD(cfg.rel_bias + cfg.rel_affinity * (aff - 0.5) * 2.0);
+    const int relevance = rng->Bernoulli(rho) ? 1 : 0;
+
+    // ---- Attention a_t ~ Bern(alpha), alpha a function of X_t only ----
+    const float alpha = SigmoidD(
+        cfg.att_bias + cfg.att_affinity * (aff_noisy - 0.5) * 2.0 +
+        cfg.att_rank_decay * (0.5 - rank_norm) * 2.0 +
+        cfg.att_recent_aff * (recent_aff - 0.5) * 2.0 +
+        cfg.att_engagement * (u.engagement - 0.5) * 2.0);
+    const bool attention = rng->Bernoulli(alpha);
+
+    // ---- Sequential propensity p_t = Pr(e=1 | X_t, E^{t-1}, a=1) ----
+    double recent_active =
+        cfg.propensity_seed * std::pow(cfg.propensity_decay, t);
+    for (int k = 0; k < cfg.propensity_window &&
+                    k < static_cast<int>(active_history.size());
+         ++k) {
+      recent_active += std::pow(cfg.propensity_decay, k) *
+                       active_history[active_history.size() - 1 - k];
+    }
+    recent_active = std::min(1.0, recent_active);
+    const float p_skip =
+        SigmoidD(cfg.skip_bias + cfg.skip_recent * recent_active);
+    const float p_act_pos = SigmoidD(
+        cfg.act_pos_bias + cfg.act_pos_recent * recent_active +
+        cfg.act_pos_engagement * (u.engagement - 0.5) * 2.0 +
+        cfg.act_pos_affinity * (aff_noisy - 0.5) * 2.0);
+    // Marginal over relevance: relevant songs can also be (capriciously)
+    // skipped after the positive-action draw fails.
+    const float p_rel_active =
+        p_act_pos + (1.0f - p_act_pos) *
+                        static_cast<float>(cfg.capricious_skip) * p_skip;
+    const float propensity = (1.0f - rho) * p_skip + rho * p_rel_active;
+
+    // ---- Emit feedback action ----
+    FeedbackAction action = FeedbackAction::kAutoPlay;
+    if (attention) {
+      if (relevance == 0) {
+        if (rng->Bernoulli(p_skip)) {
+          action = (cfg.num_feedback_types >= 6 &&
+                    rng->Bernoulli(cfg.dislike_given_neg))
+                       ? FeedbackAction::kDislike
+                       : FeedbackAction::kSkip;
+        }
+      } else {
+        if (rng->Bernoulli(p_act_pos)) {
+          if (cfg.num_feedback_types >= 6) {
+            const double draw = rng->Uniform();
+            if (draw < cfg.share_given_pos) {
+              action = FeedbackAction::kShare;
+            } else if (draw < cfg.share_given_pos + cfg.download_given_pos) {
+              action = FeedbackAction::kDownload;
+            } else {
+              action = FeedbackAction::kLike;
+            }
+          } else {
+            action = FeedbackAction::kLike;
+          }
+        } else if (rng->Bernoulli(cfg.capricious_skip * p_skip)) {
+          // Capricious skip of a relevant song.
+          action = FeedbackAction::kSkip;
+        }
+      }
+    }
+
+    // ---- Observable playback ----
+    float play_seconds;
+    switch (action) {
+      case FeedbackAction::kSkip:
+      case FeedbackAction::kDislike:
+        play_seconds = static_cast<float>(rng->Uniform(5.0, 30.0));
+        break;
+      default:
+        // Auto-play and positive actions play (nearly) the full song.
+        play_seconds =
+            song.duration * static_cast<float>(rng->Uniform(0.85, 1.0));
+        break;
+    }
+
+    // ---- Assemble the event ----
+    Event event;
+    if (cfg.product_features) {
+      event.sparse = {user,
+                      u.gender,
+                      u.age,
+                      u.country,
+                      u.device,
+                      u.activity_bucket,
+                      song_id,
+                      song.artist,
+                      song.album,
+                      song.genre,
+                      hour,
+                      std::min(kNumRankBuckets - 1, t / 4)};
+      event.dense = {aff_noisy,
+                     1.0f - static_cast<float>(song_id) / cfg.num_songs,
+                     rank_norm,
+                     u.engagement,
+                     recent_aff,
+                     static_cast<float>(hour) / (kNumHours - 1)};
+    } else {
+      event.sparse = {user, song_id, song.artist, song.album,
+                      song.genre, hour, weekday,
+                      std::min(kNumRankBuckets - 1, t / 4)};
+      event.dense = {aff_noisy,
+                     1.0f - static_cast<float>(song_id) / cfg.num_songs,
+                     rank_norm, recent_aff};
+    }
+    event.action = action;
+    event.play_seconds = play_seconds;
+    event.song_duration = song.duration;
+    event.true_attention = attention;
+    event.true_alpha = alpha;
+    event.true_propensity = propensity;
+    event.true_relevance = relevance;
+    event.relevance_prob = rho;
+    session.events.push_back(std::move(event));
+
+    active_history.push_back(IsActive(action) ? 1 : 0);
+    affinity_history.push_back(aff_noisy);
+  }
+  return session;
+}
+
+Dataset GenerateDataset(const GeneratorConfig& cfg, uint64_t seed) {
+  UAE_CHECK(cfg.num_sessions > 0);
+  World world(cfg, seed);
+  Rng rng(seed + 0x9e3779b9ULL);
+
+  Dataset dataset;
+  dataset.name = cfg.name;
+  dataset.schema = world.schema();
+  dataset.num_users = cfg.num_users;
+  dataset.num_songs = cfg.num_songs;
+  dataset.num_feedback_types = cfg.num_feedback_types;
+  dataset.sessions.reserve(cfg.num_sessions);
+  for (int s = 0; s < cfg.num_sessions; ++s) {
+    const int user = static_cast<int>(rng.UniformInt(cfg.num_users));
+    const int length =
+        cfg.min_session_len +
+        static_cast<int>(rng.UniformInt(
+            static_cast<uint64_t>(cfg.max_session_len - cfg.min_session_len) +
+            1));
+    const int hour = static_cast<int>(rng.UniformInt(kNumHours));
+    const int weekday = static_cast<int>(rng.UniformInt(kNumWeekdays));
+    std::vector<int> playlist(length);
+    for (int& song : playlist) song = world.SampleSong(&rng);
+    dataset.sessions.push_back(
+        world.SimulateSession(user, playlist, hour, weekday, &rng));
+  }
+  dataset.split = MakeChronologicalSplit(cfg.num_sessions, cfg.train_ratio,
+                                         cfg.valid_ratio);
+  return dataset;
+}
+
+}  // namespace uae::data

@@ -1,0 +1,115 @@
+#ifndef UAE_DATA_GENERATOR_H_
+#define UAE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace uae::data {
+
+/// Configuration of the synthetic music-streaming log generator.
+///
+/// The generator implements the exact probabilistic structure the paper's
+/// theory assumes (Section III/IV), with every latent exposed as ground
+/// truth on the generated events:
+///
+///   relevance   r_t ~ Bern(rho_t),   rho_t = sigmoid(rel_* features)
+///   attention   a_t ~ Bern(alpha_t), alpha_t = sigmoid(att_* features)
+///                       -- a function of X_t only (current + history
+///                          features), independent of E^{t-1} given X_t,
+///                          matching the proof of Proposition 1
+///   active flag e_t | a_t=0  = 0
+///               e_t | a_t=1 ~ Bern over action choice, whose marginal
+///                             over r_t is the sequential propensity
+///                             p_t = Pr(e=1 | X_t, E^{t-1}, a=1)
+///
+/// The propensity depends on the *recent active-feedback history* (the
+/// exponentially decayed count of active actions in the last
+/// `propensity_window` steps), which reproduces the Figure 2 transition
+/// statistics and is exactly the sequential dependence UAE models and
+/// local-feature baselines (SAR) cannot.
+struct GeneratorConfig {
+  std::string name = "Product";
+
+  // ---- Scale ----
+  int num_sessions = 4000;
+  int num_users = 600;
+  int num_songs = 1500;
+  int num_artists = 150;
+  int num_albums = 300;
+  int num_genres = 25;
+  // Users belong to latent taste clusters; cluster x genre affinities are
+  // the population structure CTR models can learn from feedback volume
+  // (user-id and genre embeddings interact to recover it).
+  int num_taste_clusters = 8;
+  double cluster_affinity_weight = 0.9;
+  double latent_affinity_weight = 1.0;
+  int min_session_len = 10;
+  int max_session_len = 24;
+  double song_popularity_skew = 0.9;  // Zipf exponent for served songs.
+
+  // ---- Feature space ----
+  bool product_features = true;  // false -> the smaller 30-Music layout.
+  // Stddev of the observable affinity proxy. Large enough that models must
+  // learn user/song structure from feedback (the paper's premise that the
+  // passive-data volume carries real value) rather than read it off a
+  // single dense feature.
+  double affinity_noise = 0.30;
+
+  // ---- Relevance model: rho = sigmoid(rel_bias + rel_affinity*(aff-.5)*2) ----
+  double rel_bias = 1.1;
+  double rel_affinity = 2.2;
+
+  // ---- Attention model (function of X_t only) ----
+  double att_bias = -0.1;
+  double att_affinity = 1.0;     // High user-song affinity keeps attention.
+  double att_rank_decay = 2.2;   // Attention drains as the playlist plays on.
+  double att_recent_aff = 0.9;   // Good recent songs keep the user engaged.
+  double att_engagement = 0.8;   // Engaged-trait users pay more attention.
+
+  // ---- Propensity model (function of X_t and E^{t-1}) ----
+  // The recent-activity score is min(1, seed*decay^t + sum_k decay^{k-1}
+  // e_{t-k}) over the last `propensity_window` steps: a single active
+  // action saturates it, reproducing Figure 2(a)'s sharp active->active
+  // transition; the seed term models the burst of UI interaction that
+  // starts a session, reproducing Figure 3's decay from rank 1.
+  int propensity_window = 6;        // Figure 2(b) uses length-6 history.
+  double propensity_decay = 0.30;   // Exponential decay of past activity.
+  double propensity_seed = 0.2;     // Session-start activity level.
+  double skip_bias = -1.2;          // Pr(skip | attentive, irrelevant) scale.
+  double skip_recent = 2.8;
+  double act_pos_bias = -3.2;       // Pr(active | attentive, relevant) scale.
+  double act_pos_recent = 4.4;      // Recent activity strongly boosts this.
+  double act_pos_engagement = 0.6;
+  double act_pos_affinity = 0.6;
+
+  // ---- Feedback-type mix ----
+  int num_feedback_types = 6;  // Product: all six of Table I; 30-Music: 3.
+  double dislike_given_neg = 0.15;   // Else skip.
+  double share_given_pos = 0.12;     // Else like/download mix.
+  double download_given_pos = 0.25;
+  // Capricious skips: an attentive user skips even a *relevant* song with
+  // probability capricious_skip * p_skip (mood, repetition). Keeps active
+  // negatives from being a noise-free relevance oracle.
+  double capricious_skip = 0.15;
+
+  // ---- Split ----
+  double train_ratio = 0.8;
+  double valid_ratio = 0.1;
+
+  /// Huawei-Product-like preset: rich features, 6 feedback types,
+  /// strong sequential propensity signal.
+  static GeneratorConfig ProductPreset();
+
+  /// 30-Music-like preset: 12 features, 3 feedback types (auto-play,
+  /// skip, like), longer sessions, noisier features.
+  static GeneratorConfig ThirtyMusicPreset();
+};
+
+/// Generates a complete dataset. Deterministic in (config, seed).
+Dataset GenerateDataset(const GeneratorConfig& config, uint64_t seed);
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_GENERATOR_H_

@@ -1,0 +1,194 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace uae::data {
+namespace {
+
+constexpr const char* kHeader = "# uae-dataset v1";
+
+const FeedbackAction kAllActions[] = {
+    FeedbackAction::kAutoPlay, FeedbackAction::kSkip,
+    FeedbackAction::kDislike,  FeedbackAction::kLike,
+    FeedbackAction::kShare,    FeedbackAction::kDownload};
+
+Status ParseError(int line, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+StatusOr<FeedbackAction> ParseFeedbackAction(const std::string& name) {
+  for (FeedbackAction action : kAllActions) {
+    if (name == FeedbackActionName(action)) return action;
+  }
+  return Status::InvalidArgument("unknown feedback action: " + name);
+}
+
+Status WriteDatasetText(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+
+  file << kHeader << "\n";
+  file << "name " << dataset.name << "\n";
+  file << "feedback_types " << dataset.num_feedback_types << "\n";
+  file << "sparse";
+  for (int f = 0; f < dataset.schema.num_sparse(); ++f) {
+    const SparseFieldSpec& spec = dataset.schema.sparse_field(f);
+    file << " " << spec.name << ":" << spec.vocab;
+  }
+  file << "\n";
+  file << "dense";
+  for (int f = 0; f < dataset.schema.num_dense(); ++f) {
+    file << " " << dataset.schema.dense_field(f);
+  }
+  file << "\n";
+
+  for (const Session& session : dataset.sessions) {
+    file << "session " << session.user << " " << session.events.size()
+         << "\n";
+    for (const Event& event : session.events) {
+      file << "event " << FeedbackActionName(event.action) << " "
+           << event.play_seconds << " " << event.song_duration << " |";
+      for (int id : event.sparse) file << " " << id;
+      file << " |";
+      for (float v : event.dense) file << " " << v;
+      file << "\n";
+    }
+  }
+  if (!file.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> ReadDatasetText(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+
+  Dataset dataset;
+  std::string line;
+  int line_no = 0;
+
+  if (!std::getline(file, line) || line != kHeader) {
+    return Status::InvalidArgument(path + ": missing uae-dataset header");
+  }
+  ++line_no;
+
+  std::vector<SparseFieldSpec> sparse_fields;
+  std::vector<std::string> dense_fields;
+  bool schema_done = false;
+  int pending_events = 0;
+
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string keyword;
+    in >> keyword;
+
+    if (keyword == "name") {
+      std::string rest;
+      std::getline(in, rest);
+      dataset.name = rest.empty() ? "" : rest.substr(1);
+    } else if (keyword == "feedback_types") {
+      in >> dataset.num_feedback_types;
+    } else if (keyword == "sparse") {
+      std::string field;
+      while (in >> field) {
+        const size_t colon = field.rfind(':');
+        if (colon == std::string::npos) {
+          return ParseError(line_no, "sparse field needs name:vocab");
+        }
+        SparseFieldSpec spec;
+        spec.name = field.substr(0, colon);
+        spec.vocab = std::atoi(field.c_str() + colon + 1);
+        if (spec.vocab <= 0) {
+          return ParseError(line_no, "bad vocab in " + field);
+        }
+        sparse_fields.push_back(std::move(spec));
+      }
+    } else if (keyword == "dense") {
+      std::string field;
+      while (in >> field) dense_fields.push_back(field);
+    } else if (keyword == "session") {
+      if (!schema_done) {
+        if (sparse_fields.empty()) {
+          return ParseError(line_no, "session before schema");
+        }
+        dataset.schema = FeatureSchema(sparse_fields, dense_fields);
+        schema_done = true;
+      }
+      if (pending_events > 0) {
+        return ParseError(line_no, "previous session is missing events");
+      }
+      Session session;
+      in >> session.user >> pending_events;
+      if (!in || session.user < 0 || pending_events <= 0) {
+        return ParseError(line_no, "bad session line");
+      }
+      dataset.sessions.push_back(std::move(session));
+    } else if (keyword == "event") {
+      if (dataset.sessions.empty() || pending_events <= 0) {
+        return ParseError(line_no, "event outside a session");
+      }
+      Event event;
+      std::string action_name, bar;
+      float play = 0, duration = 0;
+      in >> action_name >> play >> duration >> bar;
+      if (!in || bar != "|") return ParseError(line_no, "bad event prefix");
+      const StatusOr<FeedbackAction> action =
+          ParseFeedbackAction(action_name);
+      if (!action.ok()) return ParseError(line_no, action.status().message());
+      event.action = action.value();
+      event.play_seconds = play;
+      event.song_duration = duration;
+      for (int f = 0; f < dataset.schema.num_sparse(); ++f) {
+        int id = -1;
+        in >> id;
+        if (!in || id < 0 || id >= dataset.schema.sparse_field(f).vocab) {
+          return ParseError(line_no, "bad sparse id for field " +
+                                         dataset.schema.sparse_field(f).name);
+        }
+        event.sparse.push_back(id);
+      }
+      in >> bar;
+      if (!in || bar != "|") return ParseError(line_no, "missing dense bar");
+      for (int f = 0; f < dataset.schema.num_dense(); ++f) {
+        float v = 0;
+        in >> v;
+        if (!in) return ParseError(line_no, "bad dense value");
+        event.dense.push_back(v);
+      }
+      dataset.sessions.back().events.push_back(std::move(event));
+      --pending_events;
+    } else {
+      return ParseError(line_no, "unknown keyword " + keyword);
+    }
+  }
+  if (pending_events > 0) {
+    return Status::InvalidArgument("file ends mid-session");
+  }
+  if (dataset.sessions.empty()) {
+    return Status::InvalidArgument(path + ": no sessions");
+  }
+
+  // Recover the Table-III style counters and a chronological split.
+  int max_user = 0;
+  const int song_field = dataset.schema.SparseFieldIndex("song_id");
+  int max_song = 0;
+  for (const Session& session : dataset.sessions) {
+    max_user = std::max(max_user, session.user);
+    if (song_field >= 0) {
+      for (const Event& event : session.events) {
+        max_song = std::max(max_song, event.sparse[song_field]);
+      }
+    }
+  }
+  dataset.num_users = max_user + 1;
+  dataset.num_songs = song_field >= 0 ? max_song + 1 : 0;
+  dataset.split = MakeChronologicalSplit(
+      static_cast<int>(dataset.sessions.size()), 0.8, 0.1);
+  return dataset;
+}
+
+}  // namespace uae::data

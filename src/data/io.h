@@ -1,0 +1,41 @@
+#ifndef UAE_DATA_IO_H_
+#define UAE_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace uae::data {
+
+/// Text serialization of a dataset — the bridge for users who want to run
+/// UAE on their *own* logs: export a generated dataset to see the format,
+/// or write your production log in it and import.
+///
+/// Format (one file):
+///   # uae-dataset v1
+///   name <dataset name>
+///   feedback_types <n>
+///   sparse <name>:<vocab> ...          (one line)
+///   dense <name> ...                   (one line)
+///   session <user> <num_events>
+///   event <action> <play_seconds> <duration> | <sparse...> | <dense...>
+///   ... (events, then further sessions)
+///
+/// Ground-truth latents are intentionally NOT serialized: an imported
+/// dataset behaves like a real log (true_* fields default to 0), so
+/// oracle-dependent diagnostics are meaningless on it — exactly the
+/// footnote-4 situation of the paper. The split is rebuilt 8:1:1
+/// chronologically on import.
+Status WriteDatasetText(const Dataset& dataset, const std::string& path);
+
+/// Parses a file written by WriteDatasetText (or hand-authored in the
+/// same format).
+StatusOr<Dataset> ReadDatasetText(const std::string& path);
+
+/// Parses a FeedbackAction from its Table-I name ("Like", "Skip", ...).
+StatusOr<FeedbackAction> ParseFeedbackAction(const std::string& name);
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_IO_H_

@@ -1,0 +1,46 @@
+#include "data/schema.h"
+
+#include "common/check.h"
+
+namespace uae::data {
+
+FeatureSchema::FeatureSchema(std::vector<SparseFieldSpec> sparse_fields,
+                             std::vector<std::string> dense_fields)
+    : sparse_fields_(std::move(sparse_fields)),
+      dense_fields_(std::move(dense_fields)) {
+  for (const SparseFieldSpec& f : sparse_fields_) {
+    UAE_CHECK_MSG(f.vocab > 0, "field " << f.name << " has vocab " << f.vocab);
+  }
+}
+
+const SparseFieldSpec& FeatureSchema::sparse_field(int i) const {
+  UAE_CHECK(i >= 0 && i < num_sparse());
+  return sparse_fields_[i];
+}
+
+const std::string& FeatureSchema::dense_field(int i) const {
+  UAE_CHECK(i >= 0 && i < num_dense());
+  return dense_fields_[i];
+}
+
+int FeatureSchema::SparseFieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_sparse(); ++i) {
+    if (sparse_fields_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int FeatureSchema::DenseFieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_dense(); ++i) {
+    if (dense_fields_[i] == name) return i;
+  }
+  return -1;
+}
+
+int64_t FeatureSchema::TotalVocab() const {
+  int64_t total = 0;
+  for (const SparseFieldSpec& f : sparse_fields_) total += f.vocab;
+  return total;
+}
+
+}  // namespace uae::data

@@ -1,0 +1,47 @@
+#ifndef UAE_DATA_SCHEMA_H_
+#define UAE_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace uae::data {
+
+/// One categorical feature field (e.g. "genre" with a 25-way vocabulary).
+struct SparseFieldSpec {
+  std::string name;
+  int vocab = 0;
+};
+
+/// Describes the feature layout of a dataset: an ordered list of sparse
+/// (categorical) fields followed by named dense (float) fields. Every
+/// Event's `sparse` / `dense` vectors are laid out in this order.
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  FeatureSchema(std::vector<SparseFieldSpec> sparse_fields,
+                std::vector<std::string> dense_fields);
+
+  int num_sparse() const { return static_cast<int>(sparse_fields_.size()); }
+  int num_dense() const { return static_cast<int>(dense_fields_.size()); }
+  /// Total feature count as reported in the paper's Table III.
+  int num_features() const { return num_sparse() + num_dense(); }
+
+  const SparseFieldSpec& sparse_field(int i) const;
+  const std::string& dense_field(int i) const;
+
+  /// Index of the sparse field with the given name, or -1.
+  int SparseFieldIndex(const std::string& name) const;
+  /// Index of the dense field with the given name, or -1.
+  int DenseFieldIndex(const std::string& name) const;
+
+  /// Sum of all sparse vocabulary sizes (size of a one-hot encoding).
+  int64_t TotalVocab() const;
+
+ private:
+  std::vector<SparseFieldSpec> sparse_fields_;
+  std::vector<std::string> dense_fields_;
+};
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_SCHEMA_H_

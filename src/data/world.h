@@ -1,0 +1,60 @@
+#ifndef UAE_DATA_WORLD_H_
+#define UAE_DATA_WORLD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+
+namespace uae::data {
+
+/// The latent "world" behind a synthetic dataset: user traits/latents,
+/// song catalog, and the attention/propensity/relevance processes of
+/// GeneratorConfig. Exposing it separately from GenerateDataset lets the
+/// online A/B simulator (sim::AbTest) serve *custom, model-ranked*
+/// playlists to the same simulated users that produced the training log.
+class World {
+ public:
+  /// Builds user and song profiles deterministically from (config, seed).
+  World(const GeneratorConfig& config, uint64_t seed);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const GeneratorConfig& config() const { return config_; }
+  const FeatureSchema& schema() const { return schema_; }
+
+  /// Latent user-song affinity in (0,1) — ground truth, not observable.
+  float Affinity(int user, int song) const;
+
+  /// Song duration in seconds.
+  float SongDuration(int song) const;
+
+  /// Draws a song from the popularity-skewed serving distribution.
+  int SampleSong(Rng* rng) const;
+
+  /// Simulates one full session: the user walks `playlist` in order with
+  /// the attention/propensity/feedback process of the config. All
+  /// ground-truth latents are recorded on the events.
+  Session SimulateSession(int user, const std::vector<int>& playlist,
+                          int hour, int weekday, Rng* rng) const;
+
+  /// Event features for scoring song candidates *before* a session starts
+  /// (rank 0 context, neutral recent-affinity): what a production ranker
+  /// sees at request time.
+  Event ScoringEvent(int user, int song, int hour, int weekday) const;
+
+ private:
+  struct Impl;
+
+  GeneratorConfig config_;
+  FeatureSchema schema_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace uae::data
+
+#endif  // UAE_DATA_WORLD_H_

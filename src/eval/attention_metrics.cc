@@ -1,0 +1,106 @@
+#include "eval/attention_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::eval {
+namespace {
+
+bool Covered(const data::Event& event, EventFilter filter) {
+  switch (filter) {
+    case EventFilter::kAll:
+      return true;
+    case EventFilter::kPassiveOnly:
+      return !event.active();
+    case EventFilter::kActiveOnly:
+      return event.active();
+  }
+  return true;
+}
+
+template <typename TruthFn>
+AttentionQuality Recovery(const data::Dataset& dataset,
+                          const data::EventScores& predicted,
+                          EventFilter filter, TruthFn truth) {
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0, sum_xy = 0;
+  double abs_err = 0;
+  int64_t n = 0;
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const data::Session& session = dataset.sessions[s];
+    for (int t = 0; t < session.length(); ++t) {
+      if (!Covered(session.events[t], filter)) continue;
+      const double x = predicted.at(static_cast<int>(s), t);
+      const double y = truth(session.events[t]);
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_yy += y * y;
+      sum_xy += x * y;
+      abs_err += std::fabs(x - y);
+      ++n;
+    }
+  }
+  AttentionQuality quality;
+  quality.events = n;
+  if (n == 0) return quality;
+  quality.mae = abs_err / n;
+  quality.mean_predicted = sum_x / n;
+  quality.mean_true = sum_y / n;
+  const double cov = sum_xy / n - quality.mean_predicted * quality.mean_true;
+  const double var_x =
+      sum_xx / n - quality.mean_predicted * quality.mean_predicted;
+  const double var_y = sum_yy / n - quality.mean_true * quality.mean_true;
+  if (var_x > 1e-12 && var_y > 1e-12) {
+    quality.correlation = cov / std::sqrt(var_x * var_y);
+  }
+  return quality;
+}
+
+}  // namespace
+
+AttentionQuality EvaluateAttentionRecovery(const data::Dataset& dataset,
+                                           const data::EventScores& predicted,
+                                           EventFilter filter) {
+  return Recovery(dataset, predicted, filter,
+                  [](const data::Event& e) { return e.true_alpha; });
+}
+
+AttentionQuality EvaluatePropensityRecovery(
+    const data::Dataset& dataset, const data::EventScores& predicted,
+    EventFilter filter) {
+  return Recovery(dataset, predicted, filter,
+                  [](const data::Event& e) { return e.true_propensity; });
+}
+
+std::vector<CalibrationBin> AttentionCalibration(
+    const data::Dataset& dataset, const data::EventScores& predicted,
+    int bins) {
+  UAE_CHECK(bins > 0);
+  std::vector<CalibrationBin> table(bins);
+  for (int b = 0; b < bins; ++b) {
+    table[b].lower = static_cast<double>(b) / bins;
+    table[b].upper = static_cast<double>(b + 1) / bins;
+  }
+  for (size_t s = 0; s < dataset.sessions.size(); ++s) {
+    const data::Session& session = dataset.sessions[s];
+    for (int t = 0; t < session.length(); ++t) {
+      const double x = predicted.at(static_cast<int>(s), t);
+      int b = static_cast<int>(x * bins);
+      b = std::clamp(b, 0, bins - 1);
+      table[b].mean_predicted += x;
+      table[b].mean_true += session.events[t].true_attention ? 1.0 : 0.0;
+      ++table[b].count;
+    }
+  }
+  for (CalibrationBin& bin : table) {
+    if (bin.count > 0) {
+      bin.mean_predicted /= bin.count;
+      bin.mean_true /= bin.count;
+    }
+  }
+  return table;
+}
+
+}  // namespace uae::eval

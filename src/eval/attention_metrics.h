@@ -1,0 +1,55 @@
+#ifndef UAE_EVAL_ATTENTION_METRICS_H_
+#define UAE_EVAL_ATTENTION_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace uae::eval {
+
+/// Which events a ground-truth comparison covers.
+enum class EventFilter { kAll, kPassiveOnly, kActiveOnly };
+
+/// Quality of a predicted per-event score against a ground-truth latent
+/// (attention alpha or propensity p) — only computable on simulated data,
+/// where the paper's footnote-4 problem ("attention accuracy cannot be
+/// evaluated directly") does not apply.
+struct AttentionQuality {
+  double mae = 0.0;          // Mean absolute error.
+  double correlation = 0.0;  // Pearson correlation.
+  double mean_predicted = 0.0;
+  double mean_true = 0.0;
+  int64_t events = 0;
+};
+
+/// Compares predicted scores against the events' true_alpha.
+AttentionQuality EvaluateAttentionRecovery(
+    const data::Dataset& dataset, const data::EventScores& predicted,
+    EventFilter filter = EventFilter::kAll);
+
+/// Compares predicted scores against the events' true_propensity.
+AttentionQuality EvaluatePropensityRecovery(
+    const data::Dataset& dataset, const data::EventScores& predicted,
+    EventFilter filter = EventFilter::kAll);
+
+/// One row of a reliability (calibration) table: events bucketed by the
+/// predicted score; a calibrated estimator has mean_true ~ mean_predicted
+/// per bucket.
+struct CalibrationBin {
+  double lower = 0.0;
+  double upper = 0.0;
+  double mean_predicted = 0.0;
+  double mean_true = 0.0;  // Empirical rate of the true binary latent.
+  int64_t count = 0;
+};
+
+/// Buckets predicted attention into `bins` equal-width bins and reports
+/// the empirical attention rate (true a) per bin.
+std::vector<CalibrationBin> AttentionCalibration(
+    const data::Dataset& dataset, const data::EventScores& predicted,
+    int bins = 10);
+
+}  // namespace uae::eval
+
+#endif  // UAE_EVAL_ATTENTION_METRICS_H_

@@ -1,0 +1,93 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace uae::eval {
+
+double Auc(const std::vector<double>& scores, const std::vector<int>& labels) {
+  UAE_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  UAE_CHECK(n > 0);
+
+  // Rank-sum (Mann–Whitney) AUC with midranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  double positive_rank_sum = 0.0;
+  size_t positives = 0, negatives = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    // Midrank of the tie block [i, j), 1-based ranks.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) + j);
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) {
+        positive_rank_sum += midrank;
+        ++positives;
+      } else {
+        ++negatives;
+      }
+    }
+    i = j;
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+double GroupAuc(const std::vector<GroupedExample>& examples) {
+  UAE_CHECK(!examples.empty());
+  std::map<int, std::pair<std::vector<double>, std::vector<int>>> groups;
+  for (const GroupedExample& ex : examples) {
+    auto& [scores, labels] = groups[ex.group];
+    scores.push_back(ex.score);
+    labels.push_back(ex.label);
+  }
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const auto& [group, data] : groups) {
+    const auto& [scores, labels] = data;
+    int positives = 0;
+    for (int label : labels) positives += label;
+    const int negatives = static_cast<int>(labels.size()) - positives;
+    if (positives == 0 || negatives == 0) continue;  // AUC undefined.
+    const double weight = positives;  // w_u = user's click count.
+    weighted_sum += weight * Auc(scores, labels);
+    weight_total += weight;
+  }
+  if (weight_total == 0.0) return 0.5;
+  return weighted_sum / weight_total;
+}
+
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<int>& labels) {
+  UAE_CHECK(probs.size() == labels.size());
+  UAE_CHECK(!probs.empty());
+  constexpr double kEps = 1e-7;
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::clamp(probs[i], kEps, 1.0 - kEps);
+    total += labels[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / probs.size();
+}
+
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  UAE_CHECK(a.size() == b.size());
+  UAE_CHECK(!a.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return total / a.size();
+}
+
+}  // namespace uae::eval

@@ -1,0 +1,38 @@
+#ifndef UAE_EVAL_METRICS_H_
+#define UAE_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace uae::eval {
+
+/// Area under the ROC curve of `scores` against binary `labels`.
+/// Computed exactly via the rank-sum formulation with tie handling.
+/// Returns 0.5 when one class is absent.
+double Auc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// One scored example attributed to a user group, for GAUC.
+struct GroupedExample {
+  int group = 0;  // User id.
+  double score = 0.0;
+  int label = 0;
+};
+
+/// Group AUC (Zhu et al., 2017), as defined in the paper:
+///   GAUC = sum_u w_u * AUC_u / sum_u w_u,
+/// where w_u is the user's positive (click) count. Groups whose AUC is
+/// undefined (single-class) are skipped, matching common practice.
+double GroupAuc(const std::vector<GroupedExample>& examples);
+
+/// Log loss (binary cross entropy) of probability predictions; scores are
+/// clamped to [1e-7, 1-1e-7].
+double LogLoss(const std::vector<double>& probs, const std::vector<int>& labels);
+
+/// Mean absolute error between two aligned vectors (used to measure how
+/// well estimated attention/propensity recover the simulator's ground
+/// truth).
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace uae::eval
+
+#endif  // UAE_EVAL_METRICS_H_

@@ -1,0 +1,93 @@
+#include "models/autoint.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace uae::models {
+
+AutoInt::AutoInt(Rng* rng, const data::FeatureSchema& schema,
+                 const ModelConfig& config)
+    : attention_dim_(config.attention_dim),
+      bank_(rng, schema, config.embed_dim) {
+  const int d = config.embed_dim;
+  heads_.resize(config.attention_heads);
+  for (Head& head : heads_) {
+    head.wq = nn::MakeLeaf(nn::XavierUniform(rng, d, attention_dim_),
+                           /*requires_grad=*/true);
+    head.wk = nn::MakeLeaf(nn::XavierUniform(rng, d, attention_dim_),
+                           /*requires_grad=*/true);
+    head.wv = nn::MakeLeaf(nn::XavierUniform(rng, d, attention_dim_),
+                           /*requires_grad=*/true);
+  }
+  const int out_width = config.attention_heads * attention_dim_;
+  residual_ = nn::MakeLeaf(nn::XavierUniform(rng, d, out_width),
+                           /*requires_grad=*/true);
+  head_layer_ = std::make_unique<nn::Linear>(
+      rng, bank_.num_fields() * out_width, 1);
+}
+
+nn::NodePtr AutoInt::Logits(const data::Dataset& dataset,
+                            const std::vector<data::EventRef>& batch) {
+  const std::vector<nn::NodePtr> fields = bank_.Fields(dataset, batch);
+  const int num_fields = static_cast<int>(fields.size());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(attention_dim_));
+
+  // Per-head projections of every field.
+  struct Projected {
+    std::vector<nn::NodePtr> q, k, v;
+  };
+  std::vector<Projected> projected(heads_.size());
+  for (size_t h = 0; h < heads_.size(); ++h) {
+    for (const nn::NodePtr& field : fields) {
+      projected[h].q.push_back(nn::MatMul(field, heads_[h].wq));
+      projected[h].k.push_back(nn::MatMul(field, heads_[h].wk));
+      projected[h].v.push_back(nn::MatMul(field, heads_[h].wv));
+    }
+  }
+
+  std::vector<nn::NodePtr> outputs;  // One attended vector per field.
+  outputs.reserve(num_fields);
+  for (int i = 0; i < num_fields; ++i) {
+    std::vector<nn::NodePtr> head_outputs;
+    head_outputs.reserve(heads_.size());
+    for (size_t h = 0; h < heads_.size(); ++h) {
+      // Scaled dot-product attention of field i over all fields.
+      std::vector<nn::NodePtr> scores;
+      scores.reserve(num_fields);
+      for (int j = 0; j < num_fields; ++j) {
+        scores.push_back(nn::ScalarMul(
+            nn::RowSum(nn::Mul(projected[h].q[i], projected[h].k[j])),
+            scale));
+      }
+      nn::NodePtr attention = nn::SoftmaxRows(nn::ConcatCols(scores));
+      nn::NodePtr attended;
+      for (int j = 0; j < num_fields; ++j) {
+        nn::NodePtr weighted = nn::MulColVector(
+            projected[h].v[j], nn::SliceCols(attention, j, 1));
+        attended = attended == nullptr ? weighted : nn::Add(attended, weighted);
+      }
+      head_outputs.push_back(attended);
+    }
+    nn::NodePtr multi_head = nn::ConcatCols(head_outputs);
+    // Residual projection of the raw field embedding, then ReLU.
+    outputs.push_back(
+        nn::Relu(nn::Add(multi_head, nn::MatMul(fields[i], residual_))));
+  }
+  return head_layer_->Forward(nn::ConcatCols(outputs));
+}
+
+std::vector<nn::NodePtr> AutoInt::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const Head& head : heads_) {
+    params.push_back(head.wq);
+    params.push_back(head.wk);
+    params.push_back(head.wv);
+  }
+  params.push_back(residual_);
+  for (const nn::NodePtr& p : head_layer_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::models

@@ -1,0 +1,41 @@
+#ifndef UAE_MODELS_AUTOINT_H_
+#define UAE_MODELS_AUTOINT_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// AutoInt (Song et al., 2019): multi-head self-attention over the field
+/// embeddings learns high-order feature interactions; attended field
+/// representations (with a residual projection and ReLU) are concatenated
+/// into a linear head.
+class AutoInt : public Recommender {
+ public:
+  AutoInt(Rng* rng, const data::FeatureSchema& schema,
+          const ModelConfig& config);
+
+  const char* name() const override { return "AutoInt"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  struct Head {
+    nn::NodePtr wq, wk, wv;  // [embed_dim, attention_dim].
+  };
+
+  int attention_dim_;
+  FieldEmbeddingBank bank_;
+  std::vector<Head> heads_;
+  nn::NodePtr residual_;  // [embed_dim, heads*attention_dim].
+  std::unique_ptr<nn::Linear> head_layer_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_AUTOINT_H_

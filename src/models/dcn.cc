@@ -1,0 +1,44 @@
+#include "models/dcn.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace uae::models {
+
+Dcn::Dcn(Rng* rng, const data::FeatureSchema& schema,
+         const ModelConfig& config)
+    : bank_(rng, schema, config.embed_dim) {
+  const int d = bank_.concat_dim();
+  for (int l = 0; l < config.cross_layers; ++l) {
+    cross_w_.push_back(
+        nn::MakeLeaf(nn::XavierUniform(rng, d, 1), /*requires_grad=*/true));
+    cross_b_.push_back(
+        nn::MakeLeaf(nn::Tensor(1, d), /*requires_grad=*/true));
+  }
+  deep_ = std::make_unique<nn::Mlp>(rng, d, config.mlp_dims,
+                                    nn::Activation::kRelu);
+  head_ = std::make_unique<nn::Linear>(rng, d + config.mlp_dims.back(), 1);
+}
+
+nn::NodePtr Dcn::Logits(const data::Dataset& dataset,
+                        const std::vector<data::EventRef>& batch) {
+  nn::NodePtr x0 = bank_.Concat(dataset, batch);
+  nn::NodePtr x = x0;
+  for (size_t l = 0; l < cross_w_.size(); ++l) {
+    nn::NodePtr scale = nn::MatMul(x, cross_w_[l]);  // [m,1].
+    x = nn::Add(nn::AddRowVector(nn::MulColVector(x0, scale), cross_b_[l]), x);
+  }
+  nn::NodePtr deep = nn::Relu(deep_->Forward(x0));
+  return head_->Forward(nn::ConcatCols({x, deep}));
+}
+
+std::vector<nn::NodePtr> Dcn::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const nn::NodePtr& p : cross_w_) params.push_back(p);
+  for (const nn::NodePtr& p : cross_b_) params.push_back(p);
+  for (const nn::NodePtr& p : deep_->Parameters()) params.push_back(p);
+  for (const nn::NodePtr& p : head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::models

@@ -1,0 +1,36 @@
+#ifndef UAE_MODELS_DCN_H_
+#define UAE_MODELS_DCN_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// Deep & Cross Network (Wang et al., 2017). The cross tower applies
+///   x_{l+1} = x_0 * (x_l . w_l) + b_l + x_l
+/// with a rank-1 weight vector per layer; the deep tower is an MLP; their
+/// concatenation feeds a linear head.
+class Dcn : public Recommender {
+ public:
+  Dcn(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config);
+
+  const char* name() const override { return "DCN"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+  std::vector<nn::NodePtr> cross_w_;  // [D,1] per layer.
+  std::vector<nn::NodePtr> cross_b_;  // [1,D] per layer.
+  std::unique_ptr<nn::Mlp> deep_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_DCN_H_

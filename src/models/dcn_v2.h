@@ -1,0 +1,36 @@
+#ifndef UAE_MODELS_DCN_V2_H_
+#define UAE_MODELS_DCN_V2_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// DCN-V2 (Wang et al., 2021): cross layers with a full weight matrix,
+///   x_{l+1} = x_0 .* (W_l x_l + b_l) + x_l,
+/// stacked with a deep tower — the paper's strongest base model.
+class DcnV2 : public Recommender {
+ public:
+  DcnV2(Rng* rng, const data::FeatureSchema& schema,
+        const ModelConfig& config);
+
+  const char* name() const override { return "DCN-V2"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+  std::vector<nn::NodePtr> cross_w_;  // [D,D] per layer.
+  std::vector<nn::NodePtr> cross_b_;  // [1,D] per layer.
+  std::unique_ptr<nn::Mlp> deep_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_DCN_V2_H_

@@ -1,0 +1,43 @@
+#include "models/deepfm.h"
+
+#include "nn/ops.h"
+
+namespace uae::models {
+
+DeepFm::DeepFm(Rng* rng, const data::FeatureSchema& schema,
+               const ModelConfig& config)
+    : bank_(rng, schema, config.embed_dim) {
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  deep_ = std::make_unique<nn::Mlp>(rng, bank_.concat_dim(), dims,
+                                    nn::Activation::kRelu);
+}
+
+nn::NodePtr DeepFm::Logits(const data::Dataset& dataset,
+                           const std::vector<data::EventRef>& batch) {
+  const std::vector<nn::NodePtr> fields = bank_.Fields(dataset, batch);
+
+  // FM component over the shared embeddings.
+  nn::NodePtr sum = fields[0];
+  nn::NodePtr sum_of_squares = nn::Mul(fields[0], fields[0]);
+  for (size_t f = 1; f < fields.size(); ++f) {
+    sum = nn::Add(sum, fields[f]);
+    sum_of_squares = nn::Add(sum_of_squares, nn::Mul(fields[f], fields[f]));
+  }
+  nn::NodePtr fm = nn::Add(
+      bank_.FirstOrder(dataset, batch),
+      nn::ScalarMul(nn::RowSum(nn::Sub(nn::Mul(sum, sum), sum_of_squares)),
+                    0.5f));
+
+  // Deep component over the same embeddings.
+  nn::NodePtr deep = deep_->Forward(nn::ConcatCols(fields));
+  return nn::Add(fm, deep);
+}
+
+std::vector<nn::NodePtr> DeepFm::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const nn::NodePtr& p : deep_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::models

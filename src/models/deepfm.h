@@ -1,0 +1,32 @@
+#ifndef UAE_MODELS_DEEPFM_H_
+#define UAE_MODELS_DEEPFM_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// DeepFM (Guo et al., 2017): an FM component and a deep MLP component
+/// sharing the same field embeddings; logits are the sum of both.
+class DeepFm : public Recommender {
+ public:
+  DeepFm(Rng* rng, const data::FeatureSchema& schema,
+         const ModelConfig& config);
+
+  const char* name() const override { return "DeepFM"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_DEEPFM_H_

@@ -1,0 +1,121 @@
+#include "models/extra_models.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace uae::models {
+
+// ---------------------------------------------------------------- LR
+
+Lr::Lr(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config)
+    : bank_(rng, schema, config.embed_dim) {}
+
+nn::NodePtr Lr::Logits(const data::Dataset& dataset,
+                       const std::vector<data::EventRef>& batch) {
+  return bank_.FirstOrder(dataset, batch);
+}
+
+std::vector<nn::NodePtr> Lr::Parameters() const { return bank_.Parameters(); }
+
+// --------------------------------------------------------------- DNN
+
+Dnn::Dnn(Rng* rng, const data::FeatureSchema& schema,
+         const ModelConfig& config)
+    : bank_(rng, schema, config.embed_dim) {
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  tower_ = std::make_unique<nn::Mlp>(rng, bank_.concat_dim(), dims,
+                                     nn::Activation::kRelu);
+}
+
+nn::NodePtr Dnn::Logits(const data::Dataset& dataset,
+                        const std::vector<data::EventRef>& batch) {
+  return tower_->Forward(bank_.Concat(dataset, batch));
+}
+
+std::vector<nn::NodePtr> Dnn::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const nn::NodePtr& p : tower_->Parameters()) params.push_back(p);
+  return params;
+}
+
+// --------------------------------------------------------------- DIN
+
+Din::Din(Rng* rng, const data::FeatureSchema& schema,
+         const ModelConfig& config)
+    : history_length_(config.history_length),
+      song_field_(schema.SparseFieldIndex("song_id")),
+      bank_(rng, schema, config.embed_dim) {
+  UAE_CHECK_MSG(song_field_ >= 0, "schema lacks a song_id field");
+  UAE_CHECK(history_length_ > 0);
+  const int d = config.embed_dim;
+  history_embedding_ = std::make_unique<nn::Embedding>(
+      rng, schema.sparse_field(song_field_).vocab, d);
+  // Attention unit input: [history, candidate, history*candidate].
+  attention_unit_ = std::make_unique<nn::Mlp>(
+      rng, 3 * d, std::vector<int>{16, 1}, nn::Activation::kRelu);
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  tower_ = std::make_unique<nn::Mlp>(rng, bank_.concat_dim() + d, dims,
+                                     nn::Activation::kRelu);
+}
+
+nn::NodePtr Din::Logits(const data::Dataset& dataset,
+                        const std::vector<data::EventRef>& batch) {
+  // Candidate embedding (the current song, from the shared history table
+  // so attention compares like with like).
+  std::vector<int> candidate_ids;
+  candidate_ids.reserve(batch.size());
+  for (const data::EventRef& ref : batch) {
+    candidate_ids.push_back(
+        dataset.sessions[ref.session].events[ref.step].sparse[song_field_]);
+  }
+  nn::NodePtr candidate = history_embedding_->Forward(candidate_ids);
+
+  // History embeddings + per-position attention scores.
+  std::vector<nn::NodePtr> history;
+  std::vector<nn::NodePtr> scores;
+  for (int k = 1; k <= history_length_; ++k) {
+    std::vector<int> ids;
+    ids.reserve(batch.size());
+    for (const data::EventRef& ref : batch) {
+      const data::Session& session = dataset.sessions[ref.session];
+      const int step = ref.step - k >= 0 ? ref.step - k : 0;
+      ids.push_back(session.events[step].sparse[song_field_]);
+    }
+    nn::NodePtr hist = history_embedding_->Forward(ids);
+    nn::NodePtr unit_in = nn::ConcatCols(
+        {hist, candidate, nn::Mul(hist, candidate)});
+    scores.push_back(attention_unit_->Forward(unit_in));  // [m,1].
+    history.push_back(std::move(hist));
+  }
+
+  // Softmax over history positions, then weighted sum.
+  nn::NodePtr attention = nn::SoftmaxRows(nn::ConcatCols(scores));
+  nn::NodePtr interest;
+  for (int k = 0; k < history_length_; ++k) {
+    nn::NodePtr weighted =
+        nn::MulColVector(history[k], nn::SliceCols(attention, k, 1));
+    interest = interest == nullptr ? weighted : nn::Add(interest, weighted);
+  }
+
+  nn::NodePtr input =
+      nn::ConcatCols({bank_.Concat(dataset, batch), interest});
+  return tower_->Forward(input);
+}
+
+std::vector<nn::NodePtr> Din::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const nn::NodePtr& p : history_embedding_->Parameters()) {
+    params.push_back(p);
+  }
+  for (const nn::NodePtr& p : attention_unit_->Parameters()) {
+    params.push_back(p);
+  }
+  for (const nn::NodePtr& p : tower_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::models

@@ -1,0 +1,77 @@
+#ifndef UAE_MODELS_EXTRA_MODELS_H_
+#define UAE_MODELS_EXTRA_MODELS_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+// Extended model zoo beyond the paper's Table IV — classical baselines
+// that plug into the same pipeline (see ExtendedModelKinds() in
+// registry.h). All three are standard CTR architectures.
+
+/// Logistic regression: the first-order term only (one weight per
+/// categorical value + a linear map of the dense block).
+class Lr : public Recommender {
+ public:
+  Lr(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config);
+
+  const char* name() const override { return "LR"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+};
+
+/// Plain deep network over the concatenated field embeddings (the "Deep"
+/// part of Wide&Deep on its own).
+class Dnn : public Recommender {
+ public:
+  Dnn(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config);
+
+  const char* name() const override { return "DNN"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+/// DIN-style interest network (Zhou et al., 2018 — the paper's ref [56]):
+/// the user's recent listening history is pooled with an attention unit
+/// conditioned on the candidate song, so different candidates activate
+/// different parts of the history; the pooled interest vector joins the
+/// usual field embeddings in an MLP.
+class Din : public Recommender {
+ public:
+  Din(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config);
+
+  const char* name() const override { return "DIN"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  int history_length_;
+  int song_field_ = -1;
+  FieldEmbeddingBank bank_;
+  std::unique_ptr<nn::Embedding> history_embedding_;
+  std::unique_ptr<nn::Mlp> attention_unit_;  // [hist, cand, hist*cand] -> 1.
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_EXTRA_MODELS_H_

@@ -1,0 +1,105 @@
+#include "models/features.h"
+
+#include "common/check.h"
+
+namespace uae::models {
+
+std::vector<int> SparseColumn(const data::Dataset& dataset,
+                              const std::vector<data::EventRef>& batch,
+                              int field) {
+  std::vector<int> column;
+  column.reserve(batch.size());
+  for (const data::EventRef& ref : batch) {
+    const data::Event& event = dataset.sessions[ref.session].events[ref.step];
+    UAE_CHECK(field >= 0 && field < static_cast<int>(event.sparse.size()));
+    column.push_back(event.sparse[field]);
+  }
+  return column;
+}
+
+nn::Tensor DenseBlock(const data::Dataset& dataset,
+                      const std::vector<data::EventRef>& batch) {
+  UAE_CHECK(!batch.empty());
+  const int nd = dataset.schema.num_dense();
+  nn::Tensor block(static_cast<int>(batch.size()), nd);
+  for (size_t r = 0; r < batch.size(); ++r) {
+    const data::Event& event =
+        dataset.sessions[batch[r].session].events[batch[r].step];
+    UAE_CHECK(static_cast<int>(event.dense.size()) == nd);
+    for (int c = 0; c < nd; ++c) {
+      block.at(static_cast<int>(r), c) = event.dense[c];
+    }
+  }
+  return block;
+}
+
+FieldEmbeddingBank::FieldEmbeddingBank(Rng* rng,
+                                       const data::FeatureSchema& schema,
+                                       int embed_dim)
+    : embed_dim_(embed_dim) {
+  UAE_CHECK(embed_dim > 0);
+  embeddings_.reserve(schema.num_sparse());
+  scalar_embeddings_.reserve(schema.num_sparse());
+  for (int f = 0; f < schema.num_sparse(); ++f) {
+    embeddings_.emplace_back(rng, schema.sparse_field(f).vocab, embed_dim);
+    scalar_embeddings_.emplace_back(rng, schema.sparse_field(f).vocab, 1);
+  }
+  dense_projection_ =
+      std::make_unique<nn::Linear>(rng, schema.num_dense(), embed_dim);
+  dense_first_order_ = std::make_unique<nn::Linear>(rng, schema.num_dense(), 1);
+}
+
+std::vector<nn::NodePtr> FieldEmbeddingBank::Fields(
+    const data::Dataset& dataset,
+    const std::vector<data::EventRef>& batch) const {
+  std::vector<nn::NodePtr> fields;
+  fields.reserve(embeddings_.size() + 1);
+  for (size_t f = 0; f < embeddings_.size(); ++f) {
+    fields.push_back(embeddings_[f].Forward(
+        SparseColumn(dataset, batch, static_cast<int>(f))));
+  }
+  fields.push_back(dense_projection_->Forward(RawDense(dataset, batch)));
+  return fields;
+}
+
+nn::NodePtr FieldEmbeddingBank::Concat(
+    const data::Dataset& dataset,
+    const std::vector<data::EventRef>& batch) const {
+  return nn::ConcatCols(Fields(dataset, batch));
+}
+
+nn::NodePtr FieldEmbeddingBank::FirstOrder(
+    const data::Dataset& dataset,
+    const std::vector<data::EventRef>& batch) const {
+  nn::NodePtr total = dense_first_order_->Forward(RawDense(dataset, batch));
+  for (size_t f = 0; f < scalar_embeddings_.size(); ++f) {
+    total = nn::Add(total, scalar_embeddings_[f].Forward(SparseColumn(
+                               dataset, batch, static_cast<int>(f))));
+  }
+  return total;
+}
+
+nn::NodePtr FieldEmbeddingBank::RawDense(
+    const data::Dataset& dataset,
+    const std::vector<data::EventRef>& batch) const {
+  return nn::Constant(DenseBlock(dataset, batch));
+}
+
+std::vector<nn::NodePtr> FieldEmbeddingBank::Parameters() const {
+  std::vector<nn::NodePtr> params;
+  for (const nn::Embedding& e : embeddings_) {
+    for (const nn::NodePtr& p : e.Parameters()) params.push_back(p);
+  }
+  for (const nn::Embedding& e : scalar_embeddings_) {
+    for (const nn::NodePtr& p : e.Parameters()) params.push_back(p);
+  }
+  for (const nn::NodePtr& p : dense_projection_->Parameters()) {
+    params.push_back(p);
+  }
+  for (const nn::NodePtr& p : dense_first_order_->Parameters()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace uae::models

@@ -1,0 +1,68 @@
+#ifndef UAE_MODELS_FEATURES_H_
+#define UAE_MODELS_FEATURES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+
+namespace uae::models {
+
+/// Shared feature front-end of all CTR models: one embedding table per
+/// sparse field plus a linear projection of the dense block, so every
+/// model sees the batch as F+1 "field" embeddings of equal width (the
+/// layout AutoInt's field self-attention expects) or as one concatenated
+/// vector (the layout MLP-style models expect).
+class FieldEmbeddingBank : public nn::Module {
+ public:
+  FieldEmbeddingBank(Rng* rng, const data::FeatureSchema& schema,
+                     int embed_dim);
+
+  /// Per-field embedded representations: num_sparse + 1 tensors of
+  /// shape [batch, embed_dim] (the +1 is the projected dense block).
+  std::vector<nn::NodePtr> Fields(const data::Dataset& dataset,
+                                  const std::vector<data::EventRef>& batch) const;
+
+  /// Horizontal concat of Fields(): [batch, (num_sparse+1)*embed_dim].
+  nn::NodePtr Concat(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) const;
+
+  /// First-order (wide/linear) term: sum of per-field scalar weights plus
+  /// a linear map of the dense block -> [batch, 1].
+  nn::NodePtr FirstOrder(const data::Dataset& dataset,
+                         const std::vector<data::EventRef>& batch) const;
+
+  /// Raw dense features as a constant leaf [batch, num_dense].
+  nn::NodePtr RawDense(const data::Dataset& dataset,
+                       const std::vector<data::EventRef>& batch) const;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+  int embed_dim() const { return embed_dim_; }
+  /// Number of field slots (num_sparse + 1 for dense).
+  int num_fields() const { return static_cast<int>(embeddings_.size()) + 1; }
+  int concat_dim() const { return num_fields() * embed_dim_; }
+
+ private:
+  int embed_dim_;
+  std::vector<nn::Embedding> embeddings_;        // One per sparse field.
+  std::vector<nn::Embedding> scalar_embeddings_; // Dim-1, first-order term.
+  std::unique_ptr<nn::Linear> dense_projection_; // Dense -> embed_dim.
+  std::unique_ptr<nn::Linear> dense_first_order_;  // Dense -> 1.
+};
+
+/// Extracts one sparse field column of a batch.
+std::vector<int> SparseColumn(const data::Dataset& dataset,
+                              const std::vector<data::EventRef>& batch,
+                              int field);
+
+/// Extracts the dense block of a batch as a Tensor [batch, num_dense].
+nn::Tensor DenseBlock(const data::Dataset& dataset,
+                      const std::vector<data::EventRef>& batch);
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_FEATURES_H_

@@ -1,0 +1,29 @@
+#include "models/fm.h"
+
+#include "nn/ops.h"
+
+namespace uae::models {
+
+Fm::Fm(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config)
+    : bank_(rng, schema, config.embed_dim) {}
+
+nn::NodePtr Fm::Logits(const data::Dataset& dataset,
+                       const std::vector<data::EventRef>& batch) {
+  const std::vector<nn::NodePtr> fields = bank_.Fields(dataset, batch);
+
+  // 0.5 * sum_d [ (sum_f v_fd)^2 - sum_f v_fd^2 ].
+  nn::NodePtr sum = fields[0];
+  nn::NodePtr sum_of_squares = nn::Mul(fields[0], fields[0]);
+  for (size_t f = 1; f < fields.size(); ++f) {
+    sum = nn::Add(sum, fields[f]);
+    sum_of_squares = nn::Add(sum_of_squares, nn::Mul(fields[f], fields[f]));
+  }
+  nn::NodePtr second_order = nn::ScalarMul(
+      nn::RowSum(nn::Sub(nn::Mul(sum, sum), sum_of_squares)), 0.5f);
+
+  return nn::Add(bank_.FirstOrder(dataset, batch), second_order);
+}
+
+std::vector<nn::NodePtr> Fm::Parameters() const { return bank_.Parameters(); }
+
+}  // namespace uae::models

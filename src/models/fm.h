@@ -1,0 +1,29 @@
+#ifndef UAE_MODELS_FM_H_
+#define UAE_MODELS_FM_H_
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// Factorization Machine (Rendle, 2010): first-order linear term plus
+/// factorized pairwise interactions computed with the classic
+/// (sum-of-embeddings)^2 - sum-of-squares identity.
+class Fm : public Recommender {
+ public:
+  Fm(Rng* rng, const data::FeatureSchema& schema, const ModelConfig& config);
+
+  const char* name() const override { return "FM"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_FM_H_

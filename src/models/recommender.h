@@ -1,0 +1,42 @@
+#ifndef UAE_MODELS_RECOMMENDER_H_
+#define UAE_MODELS_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/layers.h"
+
+namespace uae::models {
+
+/// Hyper-parameters shared by the downstream CTR models. Defaults follow
+/// the paper's setup (embedding size 8, MLP hidden layers, Adam), scaled
+/// to CPU-friendly widths.
+struct ModelConfig {
+  int embed_dim = 8;
+  std::vector<int> mlp_dims = {64, 32};  // Hidden layers; a 1-unit head is
+                                         // appended by each model.
+  int cross_layers = 3;                  // DCN / DCN-V2 cross depth.
+  int attention_heads = 2;               // AutoInt.
+  int attention_dim = 8;                 // AutoInt per-head width.
+  int history_length = 5;                // YoutubeNet watch-history window.
+};
+
+/// Interface of a downstream music recommender f(x) producing a logit per
+/// event. All seven base models of the paper's Table IV implement this.
+class Recommender : public nn::Module {
+ public:
+  ~Recommender() override = default;
+
+  /// Model name as it appears in the paper's tables.
+  virtual const char* name() const = 0;
+
+  /// Scores a batch of events -> logits [batch, 1]. Building the graph
+  /// repeatedly per batch is the define-by-run contract of uae::nn.
+  virtual nn::NodePtr Logits(const data::Dataset& dataset,
+                             const std::vector<data::EventRef>& batch) = 0;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_RECOMMENDER_H_

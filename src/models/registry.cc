@@ -1,0 +1,95 @@
+#include "models/registry.h"
+
+#include "common/check.h"
+#include "models/autoint.h"
+#include "models/dcn.h"
+#include "models/dcn_v2.h"
+#include "models/extra_models.h"
+#include "models/deepfm.h"
+#include "models/fm.h"
+#include "models/wide_deep.h"
+#include "models/youtube_net.h"
+
+namespace uae::models {
+
+const std::vector<ModelKind>& AllModelKinds() {
+  static const std::vector<ModelKind> kKinds = {
+      ModelKind::kFm,         ModelKind::kWideDeep, ModelKind::kDeepFm,
+      ModelKind::kYoutubeNet, ModelKind::kDcn,      ModelKind::kAutoInt,
+      ModelKind::kDcnV2};
+  return kKinds;
+}
+
+const std::vector<ModelKind>& ExtendedModelKinds() {
+  static const std::vector<ModelKind> kKinds = {
+      ModelKind::kFm,      ModelKind::kWideDeep, ModelKind::kDeepFm,
+      ModelKind::kYoutubeNet, ModelKind::kDcn,   ModelKind::kAutoInt,
+      ModelKind::kDcnV2,   ModelKind::kLr,       ModelKind::kDnn,
+      ModelKind::kDin};
+  return kKinds;
+}
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kFm:
+      return "FM";
+    case ModelKind::kWideDeep:
+      return "Wide&Deep";
+    case ModelKind::kDeepFm:
+      return "DeepFM";
+    case ModelKind::kYoutubeNet:
+      return "YoutubeNet";
+    case ModelKind::kDcn:
+      return "DCN";
+    case ModelKind::kAutoInt:
+      return "AutoInt";
+    case ModelKind::kDcnV2:
+      return "DCN-V2";
+    case ModelKind::kLr:
+      return "LR";
+    case ModelKind::kDnn:
+      return "DNN";
+    case ModelKind::kDin:
+      return "DIN";
+  }
+  return "?";
+}
+
+ModelKind ModelKindFromName(const std::string& name) {
+  for (ModelKind kind : ExtendedModelKinds()) {
+    if (name == ModelKindName(kind)) return kind;
+  }
+  UAE_CHECK_MSG(false, "unknown model name: " << name);
+  return ModelKind::kFm;
+}
+
+std::unique_ptr<Recommender> CreateRecommender(
+    ModelKind kind, Rng* rng, const data::FeatureSchema& schema,
+    const ModelConfig& config) {
+  switch (kind) {
+    case ModelKind::kFm:
+      return std::make_unique<Fm>(rng, schema, config);
+    case ModelKind::kWideDeep:
+      return std::make_unique<WideDeep>(rng, schema, config);
+    case ModelKind::kDeepFm:
+      return std::make_unique<DeepFm>(rng, schema, config);
+    case ModelKind::kYoutubeNet:
+      return std::make_unique<YoutubeNet>(rng, schema, config);
+    case ModelKind::kDcn:
+      return std::make_unique<Dcn>(rng, schema, config);
+    case ModelKind::kAutoInt:
+      return std::make_unique<AutoInt>(rng, schema, config);
+    case ModelKind::kDcnV2:
+      return std::make_unique<DcnV2>(rng, schema, config);
+    case ModelKind::kLr:
+      return std::make_unique<Lr>(rng, schema, config);
+    case ModelKind::kDnn:
+      return std::make_unique<Dnn>(rng, schema, config);
+    case ModelKind::kDin:
+      return std::make_unique<Din>(rng, schema, config);
+  }
+  UAE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace uae::models

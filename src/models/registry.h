@@ -1,0 +1,47 @@
+#ifndef UAE_MODELS_REGISTRY_H_
+#define UAE_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// The downstream models: the paper's Table IV seven plus an extended
+/// zoo of classical CTR baselines (LR, DNN, DIN).
+enum class ModelKind {
+  kFm,
+  kWideDeep,
+  kDeepFm,
+  kYoutubeNet,
+  kDcn,
+  kAutoInt,
+  kDcnV2,
+  // ---- Extended zoo (not part of the paper's tables) ----
+  kLr,
+  kDnn,
+  kDin,
+};
+
+/// The paper's seven base models in Table IV order.
+const std::vector<ModelKind>& AllModelKinds();
+
+/// Every model the library ships, including the extended zoo.
+const std::vector<ModelKind>& ExtendedModelKinds();
+
+/// Paper-style display name, e.g. "DCN-V2".
+const char* ModelKindName(ModelKind kind);
+
+/// Parses a display name back to a kind; aborts on unknown names.
+ModelKind ModelKindFromName(const std::string& name);
+
+/// Instantiates a freshly initialized model of the given kind.
+std::unique_ptr<Recommender> CreateRecommender(ModelKind kind, Rng* rng,
+                                               const data::FeatureSchema& schema,
+                                               const ModelConfig& config);
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_REGISTRY_H_

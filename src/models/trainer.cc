@@ -1,0 +1,175 @@
+#include "models/trainer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/batcher.h"
+#include "eval/metrics.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::models {
+namespace {
+
+/// Deep-copies parameter values (for best-epoch restore).
+std::vector<nn::Tensor> SnapshotParameters(const Recommender& model) {
+  std::vector<nn::Tensor> snapshot;
+  for (const nn::NodePtr& p : model.Parameters()) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void RestoreParameters(Recommender* model,
+                       const std::vector<nn::Tensor>& snapshot) {
+  const std::vector<nn::NodePtr> params = model->Parameters();
+  UAE_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+/// EvaluateRecommender on a capped number of events (observed labels).
+EvalResult EvaluateSample(Recommender* model, const data::Dataset& dataset,
+                          data::SplitKind split, int max_events) {
+  std::vector<data::EventRef> refs = data::CollectEventRefs(dataset, split);
+  if (max_events > 0 && static_cast<int>(refs.size()) > max_events) {
+    refs.resize(max_events);
+  }
+  const std::vector<double> scores = ScoreEvents(model, dataset, refs);
+  std::vector<int> labels;
+  std::vector<eval::GroupedExample> grouped;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const data::Session& session = dataset.sessions[refs[i].session];
+    const int label = session.events[refs[i].step].label();
+    labels.push_back(label);
+    grouped.push_back({session.user, scores[i], label});
+  }
+  EvalResult result;
+  result.auc = eval::Auc(scores, labels);
+  result.gauc = eval::GroupAuc(grouped);
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> ScoreEvents(Recommender* model,
+                                const data::Dataset& dataset,
+                                const std::vector<data::EventRef>& refs,
+                                int batch_size) {
+  UAE_CHECK(model != nullptr && batch_size > 0);
+  std::vector<double> scores;
+  scores.reserve(refs.size());
+  for (size_t i = 0; i < refs.size(); i += batch_size) {
+    const size_t end = std::min(refs.size(), i + batch_size);
+    const std::vector<data::EventRef> batch(refs.begin() + i,
+                                            refs.begin() + end);
+    nn::NodePtr probs = nn::Sigmoid(model->Logits(dataset, batch));
+    for (int r = 0; r < probs->value.rows(); ++r) {
+      scores.push_back(probs->value.at(r, 0));
+    }
+  }
+  return scores;
+}
+
+EvalResult EvaluateRecommender(Recommender* model,
+                               const data::Dataset& dataset,
+                               data::SplitKind split, LabelKind label_kind) {
+  const std::vector<data::EventRef> refs = data::CollectEventRefs(dataset, split);
+  UAE_CHECK(!refs.empty());
+  const std::vector<double> scores = ScoreEvents(model, dataset, refs);
+
+  std::vector<int> labels;
+  std::vector<eval::GroupedExample> grouped;
+  labels.reserve(refs.size());
+  grouped.reserve(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const data::Session& session = dataset.sessions[refs[i].session];
+    const data::Event& event = session.events[refs[i].step];
+    const int label = label_kind == LabelKind::kObserved
+                          ? event.label()
+                          : event.true_relevance;
+    labels.push_back(label);
+    grouped.push_back({session.user, scores[i], label});
+  }
+  EvalResult result;
+  result.auc = eval::Auc(scores, labels);
+  result.gauc = eval::GroupAuc(grouped);
+  return result;
+}
+
+TrainResult TrainRecommender(Recommender* model, const data::Dataset& dataset,
+                             const data::EventScores* weights,
+                             const TrainConfig& config) {
+  UAE_CHECK(model != nullptr);
+  UAE_CHECK(config.epochs > 0);
+  Rng rng(config.seed);
+  data::FlatBatcher batcher(data::CollectEventRefs(dataset, data::SplitKind::kTrain),
+                            config.batch_size);
+  nn::Adam optimizer(model->Parameters(), config.learning_rate);
+
+  TrainResult result;
+  std::vector<nn::Tensor> best_snapshot;
+
+  std::vector<data::EventRef> batch;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    batcher.StartEpoch(&rng);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    while (batcher.Next(&batch)) {
+      const int m = static_cast<int>(batch.size());
+      // Per-sample weights of Eq. 18: active events weight 1, passive
+      // events the attention-derived confidence.
+      nn::Tensor pos_w(m, 1);
+      nn::Tensor neg_w(m, 1);
+      for (int r = 0; r < m; ++r) {
+        const data::Event& event =
+            dataset.sessions[batch[r].session].events[batch[r].step];
+        float w = 1.0f;
+        if (!event.active() && weights != nullptr) {
+          w = weights->at(batch[r].session, batch[r].step);
+        }
+        if (event.label() == 1) {
+          pos_w.at(r, 0) = w;
+        } else {
+          neg_w.at(r, 0) = w;
+        }
+      }
+      nn::NodePtr logits = model->Logits(dataset, batch);
+      nn::NodePtr loss = nn::ScalarMul(
+          nn::Add(nn::WeightedSoftplusSum(logits, std::move(pos_w), -1.0f),
+                  nn::WeightedSoftplusSum(logits, std::move(neg_w), 1.0f)),
+          1.0f / m);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      optimizer.Step();
+      loss_sum += loss->value.ScalarValue();
+      ++loss_count;
+    }
+    result.train_loss_per_epoch.push_back(loss_sum /
+                                          std::max<int64_t>(1, loss_count));
+
+    const EvalResult train_eval = EvaluateSample(
+        model, dataset, data::SplitKind::kTrain, config.train_eval_sample);
+    const EvalResult valid_eval =
+        EvaluateRecommender(model, dataset, data::SplitKind::kValid);
+    result.train_auc_per_epoch.push_back(train_eval.auc);
+    result.valid_auc_per_epoch.push_back(valid_eval.auc);
+    if (config.verbose) {
+      UAE_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
+                    << config.epochs << " loss="
+                    << result.train_loss_per_epoch.back()
+                    << " train_auc=" << train_eval.auc
+                    << " valid_auc=" << valid_eval.auc;
+    }
+    if (valid_eval.auc > result.best_valid_auc) {
+      result.best_valid_auc = valid_eval.auc;
+      result.best_epoch = epoch;
+      if (config.restore_best) best_snapshot = SnapshotParameters(*model);
+    }
+  }
+  if (config.restore_best && !best_snapshot.empty()) {
+    RestoreParameters(model, best_snapshot);
+  }
+  return result;
+}
+
+}  // namespace uae::models

@@ -1,0 +1,77 @@
+#ifndef UAE_MODELS_TRAINER_H_
+#define UAE_MODELS_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// Downstream-training hyper-parameters (Eq. 18 of the paper: weighted
+/// binary cross entropy on observed labels, weight 1 on active events and
+/// the attention-derived weight on passive events).
+struct TrainConfig {
+  int epochs = 6;
+  int batch_size = 512;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 1;
+  /// Keep the parameters of the best validation-AUC epoch.
+  bool restore_best = true;
+  /// Cap on train-split events scored for the per-epoch train-AUC curve
+  /// (full split when <= 0). Validation is always fully scored.
+  int train_eval_sample = 4000;
+  /// Log per-epoch metrics at INFO level.
+  bool verbose = false;
+};
+
+/// AUC / GAUC pair (percent-scale values are produced by benches, these
+/// are raw [0,1]).
+struct EvalResult {
+  double auc = 0.5;
+  double gauc = 0.5;
+};
+
+/// Per-epoch curves + the selected model's quality (used by Table IV/V
+/// and Figure 5).
+struct TrainResult {
+  int best_epoch = -1;
+  double best_valid_auc = 0.0;
+  std::vector<double> train_auc_per_epoch;
+  std::vector<double> valid_auc_per_epoch;
+  std::vector<double> train_loss_per_epoch;
+};
+
+/// Which labels a metric is computed against.
+enum class LabelKind {
+  /// The observed feedback label y (Table I): auto-plays count as
+  /// positives. This is the paper's evaluation protocol.
+  kObserved,
+  /// The simulator's ground-truth relevance r — an oracle unavailable on
+  /// real logs; reported as a secondary diagnostic.
+  kOracleRelevance,
+};
+
+/// Scores the given events with the model -> sigmoid probabilities.
+std::vector<double> ScoreEvents(Recommender* model,
+                                const data::Dataset& dataset,
+                                const std::vector<data::EventRef>& refs,
+                                int batch_size = 1024);
+
+/// Evaluates AUC and GAUC on a split against the chosen labels.
+EvalResult EvaluateRecommender(Recommender* model,
+                               const data::Dataset& dataset,
+                               data::SplitKind split,
+                               LabelKind labels = LabelKind::kObserved);
+
+/// Trains `model` on the dataset's train split with the weighted BCE of
+/// Eq. 18. `weights` carries the per-event confidence (1.0 for active
+/// events); pass nullptr for the unweighted base model.
+TrainResult TrainRecommender(Recommender* model, const data::Dataset& dataset,
+                             const data::EventScores* weights,
+                             const TrainConfig& config);
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_TRAINER_H_

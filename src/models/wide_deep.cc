@@ -1,0 +1,29 @@
+#include "models/wide_deep.h"
+
+#include "nn/ops.h"
+
+namespace uae::models {
+
+WideDeep::WideDeep(Rng* rng, const data::FeatureSchema& schema,
+                   const ModelConfig& config)
+    : bank_(rng, schema, config.embed_dim) {
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  deep_ = std::make_unique<nn::Mlp>(rng, bank_.concat_dim(), dims,
+                                    nn::Activation::kRelu);
+}
+
+nn::NodePtr WideDeep::Logits(const data::Dataset& dataset,
+                             const std::vector<data::EventRef>& batch) {
+  nn::NodePtr wide = bank_.FirstOrder(dataset, batch);
+  nn::NodePtr deep = deep_->Forward(bank_.Concat(dataset, batch));
+  return nn::Add(wide, deep);
+}
+
+std::vector<nn::NodePtr> WideDeep::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const nn::NodePtr& p : deep_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::models

@@ -1,0 +1,32 @@
+#ifndef UAE_MODELS_WIDE_DEEP_H_
+#define UAE_MODELS_WIDE_DEEP_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// Wide & Deep (Cheng et al., 2016): a linear "wide" term over the raw
+/// features plus a "deep" MLP over the concatenated field embeddings.
+class WideDeep : public Recommender {
+ public:
+  WideDeep(Rng* rng, const data::FeatureSchema& schema,
+           const ModelConfig& config);
+
+  const char* name() const override { return "Wide&Deep"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  FieldEmbeddingBank bank_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_WIDE_DEEP_H_

@@ -1,0 +1,57 @@
+#include "models/youtube_net.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace uae::models {
+
+YoutubeNet::YoutubeNet(Rng* rng, const data::FeatureSchema& schema,
+                       const ModelConfig& config)
+    : history_length_(config.history_length),
+      song_field_(schema.SparseFieldIndex("song_id")),
+      bank_(rng, schema, config.embed_dim) {
+  UAE_CHECK_MSG(song_field_ >= 0, "schema lacks a song_id field");
+  UAE_CHECK(history_length_ > 0);
+  history_embedding_ = std::make_unique<nn::Embedding>(
+      rng, schema.sparse_field(song_field_).vocab, config.embed_dim);
+  std::vector<int> dims = config.mlp_dims;
+  dims.push_back(1);
+  tower_ = std::make_unique<nn::Mlp>(
+      rng, bank_.concat_dim() + config.embed_dim, dims,
+      nn::Activation::kRelu);
+}
+
+nn::NodePtr YoutubeNet::Logits(const data::Dataset& dataset,
+                               const std::vector<data::EventRef>& batch) {
+  // Mean embedding of the previous `history_length_` songs in the session;
+  // positions before the session start repeat the earliest known song, so
+  // the average is always over history_length_ lookups.
+  nn::NodePtr history_mean;
+  for (int k = 1; k <= history_length_; ++k) {
+    std::vector<int> ids;
+    ids.reserve(batch.size());
+    for (const data::EventRef& ref : batch) {
+      const data::Session& session = dataset.sessions[ref.session];
+      const int step = ref.step - k >= 0 ? ref.step - k : 0;
+      ids.push_back(session.events[step].sparse[song_field_]);
+    }
+    nn::NodePtr emb = history_embedding_->Forward(ids);
+    history_mean = history_mean == nullptr ? emb : nn::Add(history_mean, emb);
+  }
+  history_mean = nn::ScalarMul(history_mean, 1.0f / history_length_);
+
+  nn::NodePtr input =
+      nn::ConcatCols({bank_.Concat(dataset, batch), history_mean});
+  return tower_->Forward(input);
+}
+
+std::vector<nn::NodePtr> YoutubeNet::Parameters() const {
+  std::vector<nn::NodePtr> params = bank_.Parameters();
+  for (const nn::NodePtr& p : history_embedding_->Parameters()) {
+    params.push_back(p);
+  }
+  for (const nn::NodePtr& p : tower_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace uae::models

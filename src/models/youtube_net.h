@@ -1,0 +1,37 @@
+#ifndef UAE_MODELS_YOUTUBE_NET_H_
+#define UAE_MODELS_YOUTUBE_NET_H_
+
+#include <memory>
+
+#include "models/features.h"
+#include "models/recommender.h"
+
+namespace uae::models {
+
+/// YoutubeNet (Covington et al., 2016) adapted to the listening-event
+/// setting: the user's recent listening history is summarized as the mean
+/// embedding of the last `history_length` songs in the session and fed,
+/// together with the current event's field embeddings, into a deep MLP.
+class YoutubeNet : public Recommender {
+ public:
+  YoutubeNet(Rng* rng, const data::FeatureSchema& schema,
+             const ModelConfig& config);
+
+  const char* name() const override { return "YoutubeNet"; }
+
+  nn::NodePtr Logits(const data::Dataset& dataset,
+                     const std::vector<data::EventRef>& batch) override;
+
+  std::vector<nn::NodePtr> Parameters() const override;
+
+ private:
+  int history_length_;
+  int song_field_ = -1;  // Index of "song_id" in the schema.
+  FieldEmbeddingBank bank_;
+  std::unique_ptr<nn::Embedding> history_embedding_;
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+}  // namespace uae::models
+
+#endif  // UAE_MODELS_YOUTUBE_NET_H_

@@ -1,0 +1,50 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::nn {
+
+GradCheckResult CheckGradients(const std::function<NodePtr()>& loss_fn,
+                               const std::vector<NodePtr>& leaves,
+                               double epsilon, double relative_floor) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (const NodePtr& leaf : leaves) {
+    UAE_CHECK(leaf->requires_grad);
+    leaf->EnsureGrad();
+    leaf->grad.SetZero();
+  }
+  NodePtr loss = loss_fn();
+  Backward(loss);
+
+  // Numeric pass, element by element.
+  for (const NodePtr& leaf : leaves) {
+    const int n = leaf->value.size();
+    for (int i = 0; i < n; ++i) {
+      const float saved = leaf->value.data()[i];
+      leaf->value.data()[i] = saved + static_cast<float>(epsilon);
+      const double plus = loss_fn()->value.ScalarValue();
+      leaf->value.data()[i] = saved - static_cast<float>(epsilon);
+      const double minus = loss_fn()->value.ScalarValue();
+      leaf->value.data()[i] = saved;
+
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double analytic = leaf->grad.data()[i];
+      const double abs_err = std::fabs(numeric - analytic);
+      const double denom =
+          std::max(std::fabs(numeric), std::fabs(analytic));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (denom > relative_floor) {
+        result.max_rel_error =
+            std::max(result.max_rel_error, abs_err / denom);
+      }
+      ++result.checked_elements;
+    }
+  }
+  return result;
+}
+
+}  // namespace uae::nn

@@ -1,0 +1,33 @@
+#ifndef UAE_NN_GRAD_CHECK_H_
+#define UAE_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/node.h"
+
+namespace uae::nn {
+
+/// Result of one numerical-vs-analytic gradient comparison.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  /// Max relative error over elements whose gradient magnitude exceeds
+  /// `relative_floor` — float32 central differences cannot resolve
+  /// smaller gradients, so those only count toward max_abs_error.
+  double max_rel_error = 0.0;
+  int checked_elements = 0;
+};
+
+/// Compares the autograd gradient of `loss_fn` w.r.t. each leaf in `leaves`
+/// against central finite differences with step `epsilon`.
+///
+/// `loss_fn` must rebuild the graph from the leaves on every call and
+/// return a scalar node. Used by the property-based gradient tests.
+GradCheckResult CheckGradients(
+    const std::function<NodePtr()>& loss_fn,
+    const std::vector<NodePtr>& leaves, double epsilon = 1e-3,
+    double relative_floor = 2e-3);
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_GRAD_CHECK_H_

@@ -1,0 +1,61 @@
+#include "nn/gru.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace uae::nn {
+
+GruCell::GruCell(Rng* rng, int input_dim, int hidden_dim)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  UAE_CHECK(input_dim > 0 && hidden_dim > 0);
+  auto weight = [&](int rows, int cols) {
+    return MakeLeaf(XavierUniform(rng, rows, cols), /*requires_grad=*/true);
+  };
+  auto bias = [&]() {
+    return MakeLeaf(Tensor(1, hidden_dim), /*requires_grad=*/true);
+  };
+  wz_ = weight(input_dim, hidden_dim);
+  uz_ = weight(hidden_dim, hidden_dim);
+  bz_ = bias();
+  wr_ = weight(input_dim, hidden_dim);
+  ur_ = weight(hidden_dim, hidden_dim);
+  br_ = bias();
+  wg_ = weight(input_dim, hidden_dim);
+  ug_ = weight(hidden_dim, hidden_dim);
+  bg_ = bias();
+}
+
+NodePtr GruCell::Step(const NodePtr& x, const NodePtr& h) const {
+  UAE_CHECK(x->value.cols() == input_dim_);
+  UAE_CHECK(h->value.cols() == hidden_dim_);
+  UAE_CHECK(x->value.rows() == h->value.rows());
+  NodePtr z = Sigmoid(AddRowVector(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
+  NodePtr r = Sigmoid(AddRowVector(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
+  NodePtr g =
+      Tanh(AddRowVector(Add(MatMul(x, wg_), MatMul(Mul(r, h), ug_)), bg_));
+  return Add(Mul(OneMinus(z), h), Mul(z, g));
+}
+
+NodePtr GruCell::InitialState(int batch) const {
+  UAE_CHECK(batch > 0);
+  return Constant(Tensor(batch, hidden_dim_));
+}
+
+std::vector<NodePtr> GruCell::Unroll(const std::vector<NodePtr>& steps) const {
+  UAE_CHECK(!steps.empty());
+  std::vector<NodePtr> states;
+  states.reserve(steps.size());
+  NodePtr h = InitialState(steps[0]->value.rows());
+  for (const NodePtr& x : steps) {
+    h = Step(x, h);
+    states.push_back(h);
+  }
+  return states;
+}
+
+std::vector<NodePtr> GruCell::Parameters() const {
+  return {wz_, uz_, bz_, wr_, ur_, br_, wg_, ug_, bg_};
+}
+
+}  // namespace uae::nn

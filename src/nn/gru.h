@@ -1,0 +1,47 @@
+#ifndef UAE_NN_GRU_H_
+#define UAE_NN_GRU_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/node.h"
+
+namespace uae::nn {
+
+/// Gated recurrent unit cell (Cho et al., 2014), the sequence encoder used
+/// by both UAE towers:
+///   z_t = sigmoid(x W_z + h U_z + b_z)
+///   r_t = sigmoid(x W_r + h U_r + b_r)
+///   g_t = tanh(x W_g + (r_t .* h) U_g + b_g)
+///   h_t = (1 - z_t) .* h + z_t .* g_t
+class GruCell : public Module {
+ public:
+  GruCell(Rng* rng, int input_dim, int hidden_dim);
+
+  /// One recurrence step; x is [m,input_dim], h is [m,hidden_dim].
+  NodePtr Step(const NodePtr& x, const NodePtr& h) const;
+
+  /// Zero initial state for a batch of m sequences.
+  NodePtr InitialState(int batch) const;
+
+  /// Unrolls over `steps` inputs (each [m,input_dim]) and returns the
+  /// hidden state after every step (h_1..h_T, weights shared across time).
+  std::vector<NodePtr> Unroll(const std::vector<NodePtr>& steps) const;
+
+  std::vector<NodePtr> Parameters() const override;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  NodePtr wz_, uz_, bz_;
+  NodePtr wr_, ur_, br_;
+  NodePtr wg_, ug_, bg_;
+};
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_GRU_H_

@@ -1,0 +1,37 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::nn {
+
+Tensor XavierUniform(Rng* rng, int rows, int cols) {
+  UAE_CHECK(rng != nullptr && rows > 0 && cols > 0);
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return UniformInit(rng, rows, cols, a);
+}
+
+Tensor UniformInit(Rng* rng, int rows, int cols, float scale) {
+  UAE_CHECK(rng != nullptr && rows > 0 && cols > 0);
+  Tensor t(rows, cols);
+  float* data = t.data();
+  const int n = t.size();
+  for (int i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng->Uniform(-scale, scale));
+  }
+  return t;
+}
+
+Tensor NormalInit(Rng* rng, int rows, int cols, float stddev) {
+  UAE_CHECK(rng != nullptr && rows > 0 && cols > 0);
+  Tensor t(rows, cols);
+  float* data = t.data();
+  const int n = t.size();
+  for (int i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+}  // namespace uae::nn

@@ -1,0 +1,20 @@
+#ifndef UAE_NN_INIT_H_
+#define UAE_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace uae::nn {
+
+/// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+Tensor XavierUniform(Rng* rng, int rows, int cols);
+
+/// Uniform initialization in [-scale, scale].
+Tensor UniformInit(Rng* rng, int rows, int cols, float scale);
+
+/// Normal initialization with mean 0 and the given stddev.
+Tensor NormalInit(Rng* rng, int rows, int cols, float stddev);
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_INIT_H_

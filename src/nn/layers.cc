@@ -1,0 +1,93 @@
+#include "nn/layers.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace uae::nn {
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const NodePtr& p : Parameters()) total += p->value.size();
+  return total;
+}
+
+NodePtr Activate(const NodePtr& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+  }
+  UAE_CHECK(false);
+  return x;
+}
+
+Linear::Linear(Rng* rng, int in_dim, int out_dim)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(MakeLeaf(XavierUniform(rng, in_dim, out_dim),
+                       /*requires_grad=*/true)),
+      bias_(MakeLeaf(Tensor(1, out_dim), /*requires_grad=*/true)) {
+  UAE_CHECK(in_dim > 0 && out_dim > 0);
+}
+
+NodePtr Linear::Forward(const NodePtr& x) const {
+  UAE_CHECK_MSG(x->value.cols() == in_dim_,
+                "Linear expects " << in_dim_ << " cols, got "
+                                  << x->value.cols());
+  return AddRowVector(MatMul(x, weight_), bias_);
+}
+
+Mlp::Mlp(Rng* rng, int in_dim, const std::vector<int>& layer_dims,
+         Activation hidden_activation)
+    : hidden_activation_(hidden_activation) {
+  UAE_CHECK(!layer_dims.empty());
+  int current = in_dim;
+  layers_.reserve(layer_dims.size());
+  for (int dim : layer_dims) {
+    layers_.emplace_back(rng, current, dim);
+    current = dim;
+  }
+}
+
+NodePtr Mlp::Forward(const NodePtr& x) const {
+  NodePtr h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Activate(h, hidden_activation_);
+  }
+  return h;
+}
+
+std::vector<NodePtr> Mlp::Parameters() const {
+  std::vector<NodePtr> params;
+  for (const Linear& layer : layers_) {
+    for (const NodePtr& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+int Mlp::out_dim() const { return layers_.back().out_dim(); }
+
+void Mlp::SetFinalBias(float value) {
+  const NodePtr bias = layers_.back().Parameters()[1];
+  for (int c = 0; c < bias->value.cols(); ++c) bias->value.at(0, c) = value;
+}
+
+Embedding::Embedding(Rng* rng, int vocab, int dim)
+    : vocab_(vocab),
+      dim_(dim),
+      table_(MakeLeaf(NormalInit(rng, vocab, dim, 0.05f),
+                      /*requires_grad=*/true)) {
+  UAE_CHECK(vocab > 0 && dim > 0);
+}
+
+NodePtr Embedding::Forward(const std::vector<int>& indices) const {
+  return EmbeddingLookup(table_, indices);
+}
+
+}  // namespace uae::nn

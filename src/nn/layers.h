@@ -1,0 +1,95 @@
+#ifndef UAE_NN_LAYERS_H_
+#define UAE_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/node.h"
+#include "nn/ops.h"
+
+namespace uae::nn {
+
+/// Base class for anything that owns trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable leaf nodes of the module, for the optimizer.
+  virtual std::vector<NodePtr> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const;
+};
+
+/// Activation applied between MLP layers.
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// Applies the given activation as a graph op.
+NodePtr Activate(const NodePtr& x, Activation act);
+
+/// Fully connected layer: y = x W + b, W[in,out], b[1,out].
+class Linear : public Module {
+ public:
+  Linear(Rng* rng, int in_dim, int out_dim);
+
+  NodePtr Forward(const NodePtr& x) const;
+
+  std::vector<NodePtr> Parameters() const override { return {weight_, bias_}; }
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  NodePtr weight_;
+  NodePtr bias_;
+};
+
+/// Multi-layer perceptron with a shared hidden activation and an optional
+/// (linear) output layer, e.g. Mlp(rng, 16, {256,128,64,1}, kRelu).
+class Mlp : public Module {
+ public:
+  Mlp(Rng* rng, int in_dim, const std::vector<int>& layer_dims,
+      Activation hidden_activation);
+
+  /// Runs all layers; the final layer's output is returned without
+  /// activation (callers add Sigmoid / loss on logits as needed).
+  NodePtr Forward(const NodePtr& x) const;
+
+  std::vector<NodePtr> Parameters() const override;
+
+  int out_dim() const;
+
+  /// Sets every bias of the final layer to `value` — used to start a
+  /// sigmoid head at a chosen prior probability instead of 0.5.
+  void SetFinalBias(float value);
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_activation_;
+};
+
+/// Embedding table [vocab, dim] with row-gather lookup.
+class Embedding : public Module {
+ public:
+  Embedding(Rng* rng, int vocab, int dim);
+
+  /// Gathers the rows at `indices` -> [indices.size(), dim].
+  NodePtr Forward(const std::vector<int>& indices) const;
+
+  std::vector<NodePtr> Parameters() const override { return {table_}; }
+
+  int vocab() const { return vocab_; }
+  int dim() const { return dim_; }
+
+ private:
+  int vocab_;
+  int dim_;
+  NodePtr table_;
+};
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_LAYERS_H_

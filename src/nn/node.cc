@@ -1,0 +1,71 @@
+#include "nn/node.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace uae::nn {
+
+NodePtr MakeLeaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+NodePtr Constant(Tensor value) { return MakeLeaf(std::move(value), false); }
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order (inputs before
+/// consumers). Recursion would overflow on long GRU chains.
+void TopoSort(Node* root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  // Stack frames: (node, next input index to expand).
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->inputs.size()) {
+      Node* child = node->inputs[idx].get();
+      ++idx;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const NodePtr& root) {
+  UAE_CHECK(root != nullptr);
+  UAE_CHECK_MSG(root->value.rows() == 1 && root->value.cols() == 1,
+                "Backward root must be scalar, got "
+                    << root->value.rows() << "x" << root->value.cols());
+  if (!root->requires_grad) return;  // Nothing trainable below.
+
+  std::vector<Node*> order;
+  TopoSort(root.get(), &order);
+
+  // Zero activation gradients in the reachable subgraph, then seed the root.
+  for (Node* node : order) {
+    node->EnsureGrad();
+    if (!node->inputs.empty()) node->grad.SetZero();
+  }
+  root->grad.SetZero();
+  root->grad.at(0, 0) = 1.0f;
+
+  // order is post-order (inputs first); walk it backwards so each node's
+  // gradient is final before being pushed into its inputs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward) node->backward();
+  }
+}
+
+}  // namespace uae::nn

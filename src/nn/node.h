@@ -1,0 +1,60 @@
+#ifndef UAE_NN_NODE_H_
+#define UAE_NN_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace uae::nn {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One vertex of the dynamic computation graph (define-by-run tape).
+///
+/// Every op in ops.h allocates a fresh Node whose `backward` closure knows
+/// how to push this node's gradient into its inputs' gradients. Parameters
+/// are long-lived leaf nodes with `requires_grad == true`; activations are
+/// short-lived and freed when the last NodePtr of a step goes out of scope.
+class Node {
+ public:
+  /// Forward value. Set by the op that created the node.
+  Tensor value;
+
+  /// Gradient of the loss w.r.t. `value`. Allocated lazily by EnsureGrad();
+  /// shape always matches `value` once allocated.
+  Tensor grad;
+
+  /// True if the subtree rooted here contains any trainable leaf.
+  /// Backward() skips gradient propagation into pure-constant subtrees.
+  bool requires_grad = false;
+
+  /// Inputs this node was computed from (empty for leaves).
+  std::vector<NodePtr> inputs;
+
+  /// Accumulates d(loss)/d(input) into each input's grad, reading this
+  /// node's grad. Null for leaves.
+  std::function<void()> backward;
+
+  /// Allocates (or re-zeroes the shape of) the gradient buffer.
+  void EnsureGrad() {
+    if (!grad.SameShape(value)) grad = Tensor(value.rows(), value.cols());
+  }
+};
+
+/// Creates a leaf node holding `value`. Set `requires_grad` for parameters.
+NodePtr MakeLeaf(Tensor value, bool requires_grad = false);
+
+/// Creates a constant leaf (no gradient).
+NodePtr Constant(Tensor value);
+
+/// Runs reverse-mode differentiation from `root`, which must be a [1,1]
+/// scalar. Gradients *accumulate* into leaf nodes' `grad`; call
+/// Optimizer::ZeroGrad() (or zero manually) between steps.
+void Backward(const NodePtr& root);
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_NODE_H_

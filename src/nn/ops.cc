@@ -1,0 +1,521 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::nn {
+namespace {
+
+/// Allocates a node over `inputs`; requires_grad is inherited.
+NodePtr NewNode(Tensor value, std::vector<NodePtr> inputs) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const auto& in : inputs) node->requires_grad |= in->requires_grad;
+  node->inputs = std::move(inputs);
+  return node;
+}
+
+float StableSoftplus(float x) {
+  // log(1+e^x) = max(x,0) + log(1+e^-|x|).
+  const float m = x > 0.0f ? x : 0.0f;
+  return m + std::log1p(std::exp(-std::fabs(x)));
+}
+
+float SigmoidScalar(float x) {
+  if (x >= 0.0f) {
+    const float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+/// Shorthand: elementwise unary op with derivative expressed in terms of
+/// (input value, output value).
+template <typename Fwd, typename Bwd>
+NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
+  Tensor out(a->value.rows(), a->value.cols());
+  const float* src = a->value.data();
+  float* dst = out.data();
+  const int n = out.size();
+  for (int i = 0; i < n; ++i) dst[i] = fwd(src[i]);
+  NodePtr node = NewNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = a.get();
+    node->backward = [self, in, bwd]() {
+      if (!in->requires_grad) return;
+      const int n = self->value.size();
+      const float* g = self->grad.data();
+      const float* x = in->value.data();
+      const float* y = self->value.data();
+      float* gx = in->grad.data();
+      for (int i = 0; i < n; ++i) gx[i] += g[i] * bwd(x[i], y[i]);
+    };
+  }
+  return node;
+}
+
+}  // namespace
+
+NodePtr MatMul(const NodePtr& a, const NodePtr& b) {
+  const Tensor& av = a->value;
+  const Tensor& bv = b->value;
+  UAE_CHECK_MSG(av.cols() == bv.rows(),
+                "MatMul " << av.rows() << "x" << av.cols() << " * "
+                          << bv.rows() << "x" << bv.cols());
+  const int m = av.rows(), k = av.cols(), n = bv.cols();
+  Tensor out(m, n);
+  {
+    const float* A = av.data();
+    const float* B = bv.data();
+    float* C = out.data();
+    for (int i = 0; i < m; ++i) {
+      const float* arow = A + static_cast<size_t>(i) * k;
+      float* crow = C + static_cast<size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float aip = arow[p];
+        if (aip == 0.0f) continue;
+        const float* brow = B + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+  NodePtr node = NewNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* na = a.get();
+    Node* nb = b.get();
+    node->backward = [self, na, nb, m, k, n]() {
+      const float* G = self->grad.data();
+      if (na->requires_grad) {
+        // dA = G * B^T.
+        const float* B = nb->value.data();
+        float* GA = na->grad.data();
+        for (int i = 0; i < m; ++i) {
+          const float* grow = G + static_cast<size_t>(i) * n;
+          float* garow = GA + static_cast<size_t>(i) * k;
+          for (int p = 0; p < k; ++p) {
+            const float* brow = B + static_cast<size_t>(p) * n;
+            float acc = 0.0f;
+            for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            garow[p] += acc;
+          }
+        }
+      }
+      if (nb->requires_grad) {
+        // dB = A^T * G.
+        const float* A = na->value.data();
+        float* GB = nb->grad.data();
+        for (int i = 0; i < m; ++i) {
+          const float* arow = A + static_cast<size_t>(i) * k;
+          const float* grow = G + static_cast<size_t>(i) * n;
+          for (int p = 0; p < k; ++p) {
+            const float aip = arow[p];
+            if (aip == 0.0f) continue;
+            float* gbrow = GB + static_cast<size_t>(p) * n;
+            for (int j = 0; j < n; ++j) gbrow[j] += aip * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr Add(const NodePtr& a, const NodePtr& b) {
+  UAE_CHECK(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  out.AddScaled(b->value, 1.0f);
+  NodePtr node = NewNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* na = a.get();
+    Node* nb = b.get();
+    node->backward = [self, na, nb]() {
+      if (na->requires_grad) na->grad.AddScaled(self->grad, 1.0f);
+      if (nb->requires_grad) nb->grad.AddScaled(self->grad, 1.0f);
+    };
+  }
+  return node;
+}
+
+NodePtr AddRowVector(const NodePtr& a, const NodePtr& b) {
+  const Tensor& av = a->value;
+  const Tensor& bv = b->value;
+  UAE_CHECK_MSG(bv.rows() == 1 && bv.cols() == av.cols(),
+                "AddRowVector wants [1," << av.cols() << "], got "
+                                         << bv.rows() << "x" << bv.cols());
+  Tensor out = av;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
+  }
+  NodePtr node = NewNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* na = a.get();
+    Node* nb = b.get();
+    node->backward = [self, na, nb]() {
+      if (na->requires_grad) na->grad.AddScaled(self->grad, 1.0f);
+      if (nb->requires_grad) {
+        for (int r = 0; r < self->grad.rows(); ++r) {
+          for (int c = 0; c < self->grad.cols(); ++c) {
+            nb->grad.at(0, c) += self->grad.at(r, c);
+          }
+        }
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr Sub(const NodePtr& a, const NodePtr& b) {
+  UAE_CHECK(a->value.SameShape(b->value));
+  Tensor out = a->value;
+  out.AddScaled(b->value, -1.0f);
+  NodePtr node = NewNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* na = a.get();
+    Node* nb = b.get();
+    node->backward = [self, na, nb]() {
+      if (na->requires_grad) na->grad.AddScaled(self->grad, 1.0f);
+      if (nb->requires_grad) nb->grad.AddScaled(self->grad, -1.0f);
+    };
+  }
+  return node;
+}
+
+NodePtr Mul(const NodePtr& a, const NodePtr& b) {
+  UAE_CHECK(a->value.SameShape(b->value));
+  Tensor out(a->value.rows(), a->value.cols());
+  const int n = out.size();
+  for (int i = 0; i < n; ++i) {
+    out.data()[i] = a->value.data()[i] * b->value.data()[i];
+  }
+  NodePtr node = NewNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* na = a.get();
+    Node* nb = b.get();
+    node->backward = [self, na, nb]() {
+      const int n = self->value.size();
+      const float* g = self->grad.data();
+      if (na->requires_grad) {
+        const float* bv = nb->value.data();
+        float* ga = na->grad.data();
+        for (int i = 0; i < n; ++i) ga[i] += g[i] * bv[i];
+      }
+      if (nb->requires_grad) {
+        const float* av = na->value.data();
+        float* gb = nb->grad.data();
+        for (int i = 0; i < n; ++i) gb[i] += g[i] * av[i];
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr MulColVector(const NodePtr& a, const NodePtr& b) {
+  const Tensor& av = a->value;
+  const Tensor& bv = b->value;
+  UAE_CHECK_MSG(bv.cols() == 1 && bv.rows() == av.rows(),
+                "MulColVector wants [" << av.rows() << ",1], got "
+                                       << bv.rows() << "x" << bv.cols());
+  Tensor out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    const float s = bv.at(r, 0);
+    for (int c = 0; c < av.cols(); ++c) out.at(r, c) = av.at(r, c) * s;
+  }
+  NodePtr node = NewNode(std::move(out), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* na = a.get();
+    Node* nb = b.get();
+    node->backward = [self, na, nb]() {
+      const int rows = self->value.rows();
+      const int cols = self->value.cols();
+      if (na->requires_grad) {
+        for (int r = 0; r < rows; ++r) {
+          const float s = nb->value.at(r, 0);
+          for (int c = 0; c < cols; ++c) {
+            na->grad.at(r, c) += self->grad.at(r, c) * s;
+          }
+        }
+      }
+      if (nb->requires_grad) {
+        for (int r = 0; r < rows; ++r) {
+          float acc = 0.0f;
+          for (int c = 0; c < cols; ++c) {
+            acc += self->grad.at(r, c) * na->value.at(r, c);
+          }
+          nb->grad.at(r, 0) += acc;
+        }
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr Neg(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return -x; },
+      [](float, float) { return -1.0f; });
+}
+
+NodePtr ScalarMul(const NodePtr& a, float s) {
+  return Unary(
+      a, [s](float x) { return s * x; },
+      [s](float, float) { return s; });
+}
+
+NodePtr AddScalar(const NodePtr& a, float s) {
+  return Unary(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+NodePtr OneMinus(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return 1.0f - x; },
+      [](float, float) { return -1.0f; });
+}
+
+NodePtr Sigmoid(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return SigmoidScalar(x); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+NodePtr Tanh(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+NodePtr Relu(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+NodePtr Exp(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+NodePtr Log(const NodePtr& a) {
+  constexpr float kFloor = 1e-12f;
+  return Unary(
+      a, [](float x) { return std::log(x < kFloor ? kFloor : x); },
+      [](float x, float) { return 1.0f / (x < kFloor ? kFloor : x); });
+}
+
+NodePtr Softplus(const NodePtr& a) {
+  return Unary(
+      a, [](float x) { return StableSoftplus(x); },
+      [](float x, float) { return SigmoidScalar(x); });
+}
+
+NodePtr SumAll(const NodePtr& a) {
+  Tensor out = Tensor::Scalar(a->value.Sum());
+  NodePtr node = NewNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = a.get();
+    node->backward = [self, in]() {
+      if (!in->requires_grad) return;
+      const float g = self->grad.at(0, 0);
+      float* gx = in->grad.data();
+      const int n = in->value.size();
+      for (int i = 0; i < n; ++i) gx[i] += g;
+    };
+  }
+  return node;
+}
+
+NodePtr MeanAll(const NodePtr& a) {
+  UAE_CHECK(a->value.size() > 0);
+  return ScalarMul(SumAll(a), 1.0f / a->value.size());
+}
+
+NodePtr RowSum(const NodePtr& a) {
+  const int m = a->value.rows(), n = a->value.cols();
+  Tensor out(m, 1);
+  for (int r = 0; r < m; ++r) {
+    float acc = 0.0f;
+    for (int c = 0; c < n; ++c) acc += a->value.at(r, c);
+    out.at(r, 0) = acc;
+  }
+  NodePtr node = NewNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = a.get();
+    node->backward = [self, in, m, n]() {
+      if (!in->requires_grad) return;
+      for (int r = 0; r < m; ++r) {
+        const float g = self->grad.at(r, 0);
+        for (int c = 0; c < n; ++c) in->grad.at(r, c) += g;
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr ConcatCols(const std::vector<NodePtr>& parts) {
+  UAE_CHECK(!parts.empty());
+  const int m = parts[0]->value.rows();
+  int total = 0;
+  for (const auto& p : parts) {
+    UAE_CHECK_MSG(p->value.rows() == m, "ConcatCols row mismatch");
+    total += p->value.cols();
+  }
+  Tensor out(m, total);
+  int offset = 0;
+  for (const auto& p : parts) {
+    const int w = p->value.cols();
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < w; ++c) out.at(r, offset + c) = p->value.at(r, c);
+    }
+    offset += w;
+  }
+  NodePtr node = NewNode(std::move(out), parts);
+  if (node->requires_grad) {
+    Node* self = node.get();
+    node->backward = [self, m]() {
+      int offset = 0;
+      for (const auto& in : self->inputs) {
+        const int w = in->value.cols();
+        if (in->requires_grad) {
+          for (int r = 0; r < m; ++r) {
+            for (int c = 0; c < w; ++c) {
+              in->grad.at(r, c) += self->grad.at(r, offset + c);
+            }
+          }
+        }
+        offset += w;
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr SliceCols(const NodePtr& a, int start, int len) {
+  const int m = a->value.rows();
+  UAE_CHECK_MSG(start >= 0 && len > 0 && start + len <= a->value.cols(),
+                "SliceCols [" << start << "," << start + len << ") of "
+                              << a->value.cols());
+  Tensor out(m, len);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < len; ++c) out.at(r, c) = a->value.at(r, start + c);
+  }
+  NodePtr node = NewNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = a.get();
+    node->backward = [self, in, m, start, len]() {
+      if (!in->requires_grad) return;
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < len; ++c) {
+          in->grad.at(r, start + c) += self->grad.at(r, c);
+        }
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr SoftmaxRows(const NodePtr& a) {
+  const int m = a->value.rows(), n = a->value.cols();
+  Tensor out(m, n);
+  for (int r = 0; r < m; ++r) {
+    float max = a->value.at(r, 0);
+    for (int c = 1; c < n; ++c) max = std::max(max, a->value.at(r, c));
+    float denom = 0.0f;
+    for (int c = 0; c < n; ++c) {
+      const float e = std::exp(a->value.at(r, c) - max);
+      out.at(r, c) = e;
+      denom += e;
+    }
+    for (int c = 0; c < n; ++c) out.at(r, c) /= denom;
+  }
+  NodePtr node = NewNode(std::move(out), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = a.get();
+    node->backward = [self, in, m, n]() {
+      if (!in->requires_grad) return;
+      for (int r = 0; r < m; ++r) {
+        float dot = 0.0f;
+        for (int c = 0; c < n; ++c) {
+          dot += self->grad.at(r, c) * self->value.at(r, c);
+        }
+        for (int c = 0; c < n; ++c) {
+          in->grad.at(r, c) +=
+              self->value.at(r, c) * (self->grad.at(r, c) - dot);
+        }
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& indices) {
+  const int vocab = table->value.rows();
+  const int dim = table->value.cols();
+  const int m = static_cast<int>(indices.size());
+  UAE_CHECK(m > 0);
+  Tensor out(m, dim);
+  for (int r = 0; r < m; ++r) {
+    UAE_CHECK_MSG(indices[r] >= 0 && indices[r] < vocab,
+                  "embedding index " << indices[r] << " out of " << vocab);
+    for (int c = 0; c < dim; ++c) out.at(r, c) = table->value.at(indices[r], c);
+  }
+  NodePtr node = NewNode(std::move(out), {table});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = table.get();
+    node->backward = [self, in, indices, m, dim]() {
+      if (!in->requires_grad) return;
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < dim; ++c) {
+          in->grad.at(indices[r], c) += self->grad.at(r, c);
+        }
+      }
+    };
+  }
+  return node;
+}
+
+NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights,
+                            float sign) {
+  const Tensor& z = logits->value;
+  UAE_CHECK_MSG(z.cols() == 1, "logits must be [m,1], got " << z.cols());
+  UAE_CHECK(weights.SameShape(z));
+  UAE_CHECK(sign == 1.0f || sign == -1.0f);
+  double acc = 0.0;
+  const int m = z.rows();
+  for (int r = 0; r < m; ++r) {
+    acc += weights.at(r, 0) * StableSoftplus(sign * z.at(r, 0));
+  }
+  NodePtr node = NewNode(Tensor::Scalar(static_cast<float>(acc)), {logits});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* in = logits.get();
+    auto w = std::make_shared<Tensor>(std::move(weights));
+    node->backward = [self, in, w, sign, m]() {
+      if (!in->requires_grad) return;
+      const float g = self->grad.at(0, 0);
+      for (int r = 0; r < m; ++r) {
+        const float z = in->value.at(r, 0);
+        in->grad.at(r, 0) +=
+            g * w->at(r, 0) * sign * SigmoidScalar(sign * z);
+      }
+    };
+  }
+  return node;
+}
+
+}  // namespace uae::nn

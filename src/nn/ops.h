@@ -1,0 +1,97 @@
+#ifndef UAE_NN_OPS_H_
+#define UAE_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/node.h"
+
+namespace uae::nn {
+
+// Differentiable op library. Every function builds one graph node; shapes
+// are checked eagerly with UAE_CHECK (shape bugs are programmer errors).
+// Gradient correctness for each op is property-tested against finite
+// differences in tests/nn_grad_check_test.cc.
+
+/// C[m,n] = A[m,k] * B[k,n].
+NodePtr MatMul(const NodePtr& a, const NodePtr& b);
+
+/// Elementwise sum of same-shape tensors.
+NodePtr Add(const NodePtr& a, const NodePtr& b);
+
+/// A[m,n] + broadcast of row vector b[1,n] to every row.
+NodePtr AddRowVector(const NodePtr& a, const NodePtr& b);
+
+/// Elementwise difference of same-shape tensors.
+NodePtr Sub(const NodePtr& a, const NodePtr& b);
+
+/// Elementwise (Hadamard) product of same-shape tensors.
+NodePtr Mul(const NodePtr& a, const NodePtr& b);
+
+/// A[m,n] scaled per-row by column vector b[m,1]: C_ij = A_ij * b_i.
+NodePtr MulColVector(const NodePtr& a, const NodePtr& b);
+
+/// -A.
+NodePtr Neg(const NodePtr& a);
+
+/// A * s for a compile-time-constant scalar s.
+NodePtr ScalarMul(const NodePtr& a, float s);
+
+/// A + s elementwise.
+NodePtr AddScalar(const NodePtr& a, float s);
+
+/// 1 - A elementwise (GRU gate complement).
+NodePtr OneMinus(const NodePtr& a);
+
+/// Elementwise logistic sigmoid.
+NodePtr Sigmoid(const NodePtr& a);
+
+/// Elementwise tanh.
+NodePtr Tanh(const NodePtr& a);
+
+/// Elementwise max(0, x).
+NodePtr Relu(const NodePtr& a);
+
+/// Elementwise exp.
+NodePtr Exp(const NodePtr& a);
+
+/// Elementwise natural log; inputs are clamped to >= 1e-12.
+NodePtr Log(const NodePtr& a);
+
+/// Elementwise softplus log(1 + e^x), computed stably.
+NodePtr Softplus(const NodePtr& a);
+
+/// Sum of all elements -> [1,1].
+NodePtr SumAll(const NodePtr& a);
+
+/// Mean of all elements -> [1,1].
+NodePtr MeanAll(const NodePtr& a);
+
+/// Row sums: [m,n] -> [m,1].
+NodePtr RowSum(const NodePtr& a);
+
+/// Horizontal concatenation; all inputs must share the row count.
+NodePtr ConcatCols(const std::vector<NodePtr>& parts);
+
+/// Column slice [start, start+len).
+NodePtr SliceCols(const NodePtr& a, int start, int len);
+
+/// Row-wise softmax (used by AutoInt field attention).
+NodePtr SoftmaxRows(const NodePtr& a);
+
+/// Gathers rows of `table`[V,d] at `indices` -> [indices.size(), d].
+/// Backward scatter-adds into the table rows.
+NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& indices);
+
+/// Sum_i w_i * softplus(sign * z_i) over logits z[m,1] with constant
+/// per-sample weights w[m,1] -> [1,1].
+///
+/// With sign=-1 and w=pos_weight this is the positive part of a weighted
+/// logistic risk on logits; with sign=+1 and w=neg_weight the negative
+/// part. The UAE risks (Eq. 10/14/16/17 of the paper) and the downstream
+/// weighted BCE (Eq. 18) are all compositions of this op, which keeps the
+/// loss numerically stable for large |z|.
+NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights, float sign);
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_OPS_H_

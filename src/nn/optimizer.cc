@@ -1,0 +1,71 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::nn {
+
+Optimizer::Optimizer(std::vector<NodePtr> params)
+    : params_(std::move(params)) {
+  for (const NodePtr& p : params_) {
+    UAE_CHECK(p != nullptr && p->requires_grad);
+    p->EnsureGrad();
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (const NodePtr& p : params_) {
+    p->EnsureGrad();
+    p->grad.SetZero();
+  }
+}
+
+Sgd::Sgd(std::vector<NodePtr> params, float lr)
+    : Optimizer(std::move(params)), lr_(lr) {
+  UAE_CHECK(lr > 0.0f);
+}
+
+void Sgd::Step() {
+  for (const NodePtr& p : params_) {
+    p->value.AddScaled(p->grad, -lr_);
+  }
+}
+
+Adam::Adam(std::vector<NodePtr> params, float lr, float beta1, float beta2,
+           float epsilon)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  UAE_CHECK(lr > 0.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const NodePtr& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    float* p = params_[i]->value.data();
+    const float* g = params_[i]->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int n = params_[i]->value.size();
+    for (int j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace uae::nn

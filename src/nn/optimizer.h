@@ -1,0 +1,53 @@
+#ifndef UAE_NN_OPTIMIZER_H_
+#define UAE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/node.h"
+
+namespace uae::nn {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NodePtr> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the
+  /// parameters, then leaves gradients untouched (call ZeroGrad next step).
+  virtual void Step() = 0;
+
+  /// Zeroes the gradient buffers of all parameters.
+  void ZeroGrad();
+
+ protected:
+  std::vector<NodePtr> params_;
+};
+
+/// Plain stochastic gradient descent: p -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NodePtr> params, float lr);
+  void Step() override;
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba, 2015) — the optimizer used throughout the paper.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<NodePtr> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_OPTIMIZER_H_

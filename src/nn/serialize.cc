@@ -1,0 +1,79 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace uae::nn {
+namespace {
+
+constexpr char kMagic[8] = {'U', 'A', 'E', 'C', 'K', 'P', 'T', '1'};
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+
+  file.write(kMagic, sizeof(kMagic));
+  const std::vector<NodePtr> params = module.Parameters();
+  const int32_t count = static_cast<int32_t>(params.size());
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const NodePtr& p : params) {
+    const int32_t rows = p->value.rows();
+    const int32_t cols = p->value.cols();
+    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    file.write(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::streamsize>(sizeof(float)) * p->value.size());
+  }
+  if (!file.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+
+  char magic[8];
+  file.read(magic, sizeof(magic));
+  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::FailedPrecondition(path + " is not a UAE checkpoint");
+  }
+  int32_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const std::vector<NodePtr> params = module->Parameters();
+  if (!file.good() || count != static_cast<int32_t>(params.size())) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) + " tensors, module has " +
+        std::to_string(params.size()));
+  }
+
+  // Stage into temporaries so a truncated file leaves the module intact.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (const NodePtr& p : params) {
+    int32_t rows = 0, cols = 0;
+    file.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    file.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!file.good() || rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::FailedPrecondition(
+          "checkpoint tensor shape mismatch: expected " +
+          std::to_string(p->value.rows()) + "x" +
+          std::to_string(p->value.cols()));
+    }
+    Tensor t(rows, cols);
+    file.read(reinterpret_cast<char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float)) * t.size());
+    if (!file.good()) return Status::IoError("truncated checkpoint " + path);
+    staged.push_back(std::move(t));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace uae::nn

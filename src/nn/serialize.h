@@ -1,0 +1,28 @@
+#ifndef UAE_NN_SERIALIZE_H_
+#define UAE_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/layers.h"
+
+namespace uae::nn {
+
+/// Binary checkpoint format for a module's parameters:
+///   magic "UAECKPT1" | int32 count | per tensor: int32 rows, int32 cols,
+///   rows*cols float32 values (little-endian, in Parameters() order).
+///
+/// Checkpoints are keyed by parameter *order and shape*, not by name: load
+/// into a module constructed with the same architecture/hyper-parameters.
+
+/// Writes the module's parameters to `path`.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters saved with SaveParameters. Fails with
+/// FailedPrecondition on count/shape mismatch (wrong architecture) and
+/// IoError on file problems; the module is unmodified on failure.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_SERIALIZE_H_

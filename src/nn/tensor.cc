@@ -1,0 +1,80 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace uae::nn {
+
+Tensor::Tensor(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0.0f) {
+  UAE_CHECK(rows >= 0 && cols >= 0);
+}
+
+Tensor::Tensor(int rows, int cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  UAE_CHECK(rows >= 0 && cols >= 0);
+  UAE_CHECK_MSG(data_.size() == static_cast<size_t>(rows) * cols,
+                "got " << data_.size() << " values for shape " << rows << "x"
+                       << cols);
+}
+
+Tensor Tensor::Full(int rows, int cols, float value) {
+  Tensor t(rows, cols);
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+float& Tensor::at(int r, int c) {
+  UAE_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "(" << r << "," << c << ") out of " << rows_ << "x" << cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+float Tensor::at(int r, int c) const {
+  UAE_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "(" << r << "," << c << ") out of " << rows_ << "x" << cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+void Tensor::SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Tensor::AddScaled(const Tensor& other, float scale) {
+  UAE_CHECK_MSG(SameShape(other), "AddScaled shape mismatch: "
+                                      << rows_ << "x" << cols_ << " vs "
+                                      << other.rows_ << "x" << other.cols_);
+  const float* src = other.data();
+  float* dst = data();
+  const int n = size();
+  for (int i = 0; i < n; ++i) dst[i] += scale * src[i];
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::ScalarValue() const {
+  UAE_CHECK_MSG(rows_ == 1 && cols_ == 1,
+                "ScalarValue on " << rows_ << "x" << cols_);
+  return data_[0];
+}
+
+std::string Tensor::DebugString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[%dx%d]", rows_, cols_);
+  std::string out = buf;
+  for (int r = 0; r < rows_; ++r) {
+    out += r == 0 ? " " : " / ";
+    for (int c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%g", at(r, c));
+      if (c > 0) out += " ";
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace uae::nn

@@ -1,0 +1,68 @@
+#ifndef UAE_NN_TENSOR_H_
+#define UAE_NN_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+namespace uae::nn {
+
+/// Dense row-major 2-D float tensor. All of uae::nn works on 2-D shapes:
+/// a scalar is [1,1], a column vector [m,1], a row vector [1,n]. This keeps
+/// the op library small while covering every model in the paper (field
+/// embeddings are kept as separate [m,d] tensors instead of a 3-D cube).
+class Tensor {
+ public:
+  /// Empty tensor (0x0).
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape. Requires rows, cols >= 0.
+  Tensor(int rows, int cols);
+
+  /// Tensor with explicit contents; `values.size()` must equal rows*cols,
+  /// laid out row-major.
+  Tensor(int rows, int cols, std::vector<float> values);
+
+  static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols); }
+  static Tensor Full(int rows, int cols, float value);
+  static Tensor Ones(int rows, int cols) { return Full(rows, cols, 1.0f); }
+  /// Convenience scalar constructor.
+  static Tensor Scalar(float value) { return Full(1, 1, value); }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& at(int r, int c);
+  float at(int r, int c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to zero, keeping the shape.
+  void SetZero();
+
+  /// this += scale * other. Shapes must match. Used by optimizers and
+  /// gradient accumulation.
+  void AddScaled(const Tensor& other, float scale);
+
+  /// Sum of all elements.
+  float Sum() const;
+
+  /// Value of a [1,1] tensor; checks the shape.
+  float ScalarValue() const;
+
+  /// Debug rendering like "[2x3] 1 2 3 / 4 5 6" (rows separated by '/').
+  std::string DebugString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_TENSOR_H_

@@ -1,0 +1,124 @@
+#include "sim/ab_test.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "models/trainer.h"
+
+namespace uae::sim {
+namespace {
+
+/// Ranks `candidates` for `user` with `model` and returns the top
+/// `playlist_length` song ids, best first.
+std::vector<int> RankPlaylist(const data::World& world,
+                              models::Recommender* model, int user,
+                              const std::vector<int>& candidates, int hour,
+                              int weekday, int playlist_length) {
+  // Wrap the candidate scoring events in a probe dataset so the model's
+  // standard batch interface can score them.
+  data::Dataset probe;
+  probe.schema = world.schema();
+  data::Session session;
+  session.user = user;
+  for (int song : candidates) {
+    session.events.push_back(world.ScoringEvent(user, song, hour, weekday));
+  }
+  probe.sessions.push_back(std::move(session));
+
+  std::vector<data::EventRef> refs;
+  refs.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    refs.push_back({0, static_cast<int>(i)});
+  }
+  const std::vector<double> scores =
+      models::ScoreEvents(model, probe, refs);
+
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<int> playlist;
+  playlist.reserve(playlist_length);
+  for (size_t i = 0;
+       i < order.size() && static_cast<int>(i) < playlist_length; ++i) {
+    playlist.push_back(candidates[order[i]]);
+  }
+  return playlist;
+}
+
+/// Accumulates the engagement metrics of one simulated session.
+void Accumulate(const data::Session& session, DayMetrics* metrics) {
+  for (const data::Event& event : session.events) {
+    const bool skipped = event.action == data::FeedbackAction::kSkip ||
+                         event.action == data::FeedbackAction::kDislike;
+    if (!skipped) metrics->play_count += 1.0;
+    metrics->play_time += event.play_seconds;
+  }
+}
+
+}  // namespace
+
+AbTestResult RunAbTest(const data::World& world,
+                       models::Recommender* control_model,
+                       models::Recommender* treatment_model,
+                       const AbTestConfig& config) {
+  UAE_CHECK(control_model != nullptr && treatment_model != nullptr);
+  UAE_CHECK(config.days > 0 && config.sessions_per_day > 0);
+  UAE_CHECK(config.candidate_pool >= config.playlist_length);
+
+  AbTestResult result;
+  Rng request_rng(config.seed);
+  for (int day = 0; day < config.days; ++day) {
+    AbDayResult day_result;
+    day_result.day = day + 1;
+    for (int request = 0; request < config.sessions_per_day; ++request) {
+      // Both groups receive identical requests (user, time, candidates);
+      // only the ranking differs, as in a real A/B split.
+      const int user = static_cast<int>(
+          request_rng.UniformInt(world.config().num_users));
+      const int hour = static_cast<int>(request_rng.UniformInt(24));
+      const int weekday = static_cast<int>(request_rng.UniformInt(7));
+      std::vector<int> candidates(config.candidate_pool);
+      for (int& song : candidates) song = world.SampleSong(&request_rng);
+
+      const std::vector<int> control_playlist =
+          RankPlaylist(world, control_model, user, candidates, hour, weekday,
+                       config.playlist_length);
+      const std::vector<int> treatment_playlist =
+          RankPlaylist(world, treatment_model, user, candidates, hour,
+                       weekday, config.playlist_length);
+
+      // Independent interaction randomness per group, deterministic in
+      // (seed, day, request).
+      const uint64_t request_id =
+          config.seed + 1000003ULL * day + 17ULL * request;
+      Rng control_rng(request_id * 2 + 1);
+      Rng treatment_rng(request_id * 2 + 2);
+      Accumulate(world.SimulateSession(user, control_playlist, hour, weekday,
+                                       &control_rng),
+                 &day_result.control);
+      Accumulate(world.SimulateSession(user, treatment_playlist, hour,
+                                       weekday, &treatment_rng),
+                 &day_result.treatment);
+    }
+    day_result.play_count_uplift_pct =
+        (day_result.treatment.play_count / day_result.control.play_count -
+         1.0) *
+        100.0;
+    day_result.play_time_uplift_pct =
+        (day_result.treatment.play_time / day_result.control.play_time -
+         1.0) *
+        100.0;
+    result.days.push_back(day_result);
+  }
+  for (const AbDayResult& day : result.days) {
+    result.avg_play_count_uplift_pct += day.play_count_uplift_pct;
+    result.avg_play_time_uplift_pct += day.play_time_uplift_pct;
+  }
+  result.avg_play_count_uplift_pct /= result.days.size();
+  result.avg_play_time_uplift_pct /= result.days.size();
+  return result;
+}
+
+}  // namespace uae::sim

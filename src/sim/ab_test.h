@@ -1,0 +1,55 @@
+#ifndef UAE_SIM_AB_TEST_H_
+#define UAE_SIM_AB_TEST_H_
+
+#include <vector>
+
+#include "data/world.h"
+#include "models/recommender.h"
+
+namespace uae::sim {
+
+/// Online A/B test setup (paper Section VI-D): users are served ranked
+/// playlists for `days` consecutive days; the control group is ranked by
+/// the base model, the treatment group by the UAE-equipped model.
+struct AbTestConfig {
+  int days = 7;
+  int sessions_per_day = 400;   // Serving requests per group per day.
+  int playlist_length = 15;     // Songs served per request.
+  int candidate_pool = 60;      // Candidates the ranker chooses from.
+  uint64_t seed = 777;
+};
+
+/// Engagement metrics of one group on one day.
+struct DayMetrics {
+  double play_count = 0.0;  // Songs played past the skip threshold.
+  double play_time = 0.0;   // Total seconds listened.
+};
+
+struct AbDayResult {
+  int day = 0;
+  DayMetrics control;
+  DayMetrics treatment;
+  double play_count_uplift_pct = 0.0;
+  double play_time_uplift_pct = 0.0;
+};
+
+struct AbTestResult {
+  std::vector<AbDayResult> days;
+  double avg_play_count_uplift_pct = 0.0;
+  double avg_play_time_uplift_pct = 0.0;
+};
+
+/// Runs the simulated A/B test. Each serving request draws a user, an
+/// hour-of-day, and a popularity-skewed candidate pool from `world`; each
+/// group's model ranks the pool, the top playlist_length songs are served,
+/// and the user's interaction is simulated with the world's ground-truth
+/// attention/feedback process. Both groups see identical requests; only
+/// the ranking differs.
+AbTestResult RunAbTest(const data::World& world,
+                       models::Recommender* control_model,
+                       models::Recommender* treatment_model,
+                       const AbTestConfig& config);
+
+}  // namespace uae::sim
+
+#endif  // UAE_SIM_AB_TEST_H_

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "attention/oracle.h"
+#include "data/generator.h"
+#include "eval/attention_metrics.h"
+
+namespace uae::eval {
+namespace {
+
+data::Dataset TinyDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 200;
+  cfg.num_users = 50;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 30;
+  return data::GenerateDataset(cfg, 13);
+}
+
+TEST(AttentionRecoveryTest, OraclePredictorIsPerfect) {
+  const data::Dataset d = TinyDataset();
+  attention::OracleAttention oracle;
+  oracle.Fit(d);
+  const AttentionQuality quality =
+      EvaluateAttentionRecovery(d, oracle.PredictAttention(d));
+  EXPECT_NEAR(quality.mae, 0.0, 1e-6);
+  EXPECT_NEAR(quality.correlation, 1.0, 1e-6);
+  EXPECT_EQ(quality.events, static_cast<int64_t>(d.TotalEvents()));
+}
+
+TEST(AttentionRecoveryTest, ConstantPredictorHasZeroCorrelation) {
+  const data::Dataset d = TinyDataset();
+  const data::EventScores constant(d, 0.5f);
+  const AttentionQuality quality = EvaluateAttentionRecovery(d, constant);
+  EXPECT_EQ(quality.correlation, 0.0);
+  EXPECT_GT(quality.mae, 0.0);
+  EXPECT_NEAR(quality.mean_predicted, 0.5, 1e-6);
+}
+
+TEST(AttentionRecoveryTest, FiltersPartitionTheEvents) {
+  const data::Dataset d = TinyDataset();
+  const data::EventScores constant(d, 0.5f);
+  const AttentionQuality all =
+      EvaluateAttentionRecovery(d, constant, EventFilter::kAll);
+  const AttentionQuality passive =
+      EvaluateAttentionRecovery(d, constant, EventFilter::kPassiveOnly);
+  const AttentionQuality active =
+      EvaluateAttentionRecovery(d, constant, EventFilter::kActiveOnly);
+  EXPECT_EQ(all.events, passive.events + active.events);
+  EXPECT_GT(active.events, 0);
+  EXPECT_GT(passive.events, active.events);  // Passive dominates.
+}
+
+TEST(PropensityRecoveryTest, TruePropensityScoresPerfectly) {
+  const data::Dataset d = TinyDataset();
+  data::EventScores truth(d, 0.0f);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      truth.set(static_cast<int>(s), t,
+                d.sessions[s].events[t].true_propensity);
+    }
+  }
+  const AttentionQuality quality = EvaluatePropensityRecovery(d, truth);
+  EXPECT_NEAR(quality.mae, 0.0, 1e-6);
+  EXPECT_NEAR(quality.correlation, 1.0, 1e-6);
+}
+
+TEST(CalibrationTest, OracleIsCalibratedPerBin) {
+  const data::Dataset d = TinyDataset();
+  attention::OracleAttention oracle;
+  const std::vector<CalibrationBin> bins =
+      AttentionCalibration(d, oracle.PredictAttention(d), 10);
+  ASSERT_EQ(bins.size(), 10u);
+  int64_t total = 0;
+  for (const CalibrationBin& bin : bins) {
+    total += bin.count;
+    if (bin.count < 100) continue;  // Skip thin bins (sampling noise).
+    // The true alpha IS the attention rate, so per-bin means must agree.
+    EXPECT_NEAR(bin.mean_true, bin.mean_predicted, 0.08)
+        << "bin [" << bin.lower << "," << bin.upper << ")";
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(d.TotalEvents()));
+}
+
+TEST(CalibrationTest, ConstantPredictorFillsOneBin) {
+  const data::Dataset d = TinyDataset();
+  const data::EventScores constant(d, 0.55f);
+  const std::vector<CalibrationBin> bins =
+      AttentionCalibration(d, constant, 10);
+  for (size_t b = 0; b < bins.size(); ++b) {
+    if (b == 5) {
+      EXPECT_EQ(bins[b].count, static_cast<int64_t>(d.TotalEvents()));
+    } else {
+      EXPECT_EQ(bins[b].count, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uae::eval

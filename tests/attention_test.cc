@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/attention_estimator.h"
+#include "attention/edm.h"
+#include "attention/pn_ndb.h"
+#include "attention/reweight.h"
+#include "attention/sar.h"
+#include "attention/uae_model.h"
+#include "data/generator.h"
+
+namespace uae::attention {
+namespace {
+
+data::Dataset TinyDataset(uint64_t seed = 3) {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 300;
+  cfg.num_users = 80;
+  cfg.num_songs = 200;
+  cfg.num_artists = 30;
+  cfg.num_albums = 60;
+  return data::GenerateDataset(cfg, seed);
+}
+
+/// Pearson correlation of predicted attention with the true alpha.
+double AlphaCorrelation(const data::Dataset& d,
+                        const data::EventScores& pred) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  int64_t n = 0;
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      const double x = pred.at(static_cast<int>(s), t);
+      const double y = d.sessions[s].events[t].true_alpha;
+      sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+      ++n;
+    }
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  return cov / std::sqrt(vx * vy + 1e-12);
+}
+
+// -------------------------------------------------------------- Reweight
+
+TEST(ReweightTest, MatchesEq19) {
+  // w = 1 - (alpha + 1)^(-gamma).
+  EXPECT_NEAR(ReweightFunction(0.0f, 15.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(ReweightFunction(1.0f, 1.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(ReweightFunction(0.5f, 2.0f), 1.0f - std::pow(1.5f, -2.0f),
+              1e-6);
+}
+
+TEST(ReweightTest, MonotoneInAlphaAndBounded) {
+  for (float gamma : {0.5f, 1.0f, 5.0f, 15.0f}) {
+    float prev = -1.0f;
+    for (float alpha = 0.0f; alpha <= 1.001f; alpha += 0.05f) {
+      const float w = ReweightFunction(alpha, gamma);
+      EXPECT_GE(w, 0.0f);
+      EXPECT_LT(w, 1.0f);
+      EXPECT_GE(w, prev);
+      prev = w;
+    }
+  }
+}
+
+TEST(ReweightTest, LargerGammaGivesLargerWeights) {
+  EXPECT_LT(ReweightFunction(0.4f, 1.0f), ReweightFunction(0.4f, 5.0f));
+  EXPECT_LT(ReweightFunction(0.4f, 5.0f), ReweightFunction(0.4f, 15.0f));
+}
+
+TEST(ReweightTest, BuildSampleWeightsKeepsActiveAtOne) {
+  const data::Dataset d = TinyDataset();
+  data::EventScores alpha(d, 0.3f);
+  const data::EventScores weights = BuildSampleWeights(d, alpha, 2.0f);
+  const float expected_passive = ReweightFunction(0.3f, 2.0f);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      if (d.sessions[s].events[t].active()) {
+        EXPECT_EQ(weights.at(static_cast<int>(s), t), 1.0f);
+      } else {
+        EXPECT_NEAR(weights.at(static_cast<int>(s), t), expected_passive,
+                    1e-6);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- EDM
+
+TEST(EdmTest, DecaysAndResets) {
+  const data::Dataset d = TinyDataset();
+  Edm edm(0.4);
+  edm.Fit(d);
+  const data::EventScores scores = edm.PredictAttention(d);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    int since = 0;
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      if (d.sessions[s].events[t].active()) since = 0;
+      EXPECT_NEAR(scores.at(static_cast<int>(s), t),
+                  std::exp(-0.4 * since), 1e-5);
+      ++since;
+    }
+  }
+}
+
+TEST(EdmTest, ActiveEventsGetFullAttention) {
+  const data::Dataset d = TinyDataset();
+  const data::EventScores scores = Edm(0.3).PredictAttention(d);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      if (d.sessions[s].events[t].active()) {
+        EXPECT_FLOAT_EQ(scores.at(static_cast<int>(s), t), 1.0f);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------- PN
+
+TEST(PnTest, PredictsHardAssumption) {
+  const data::Dataset d = TinyDataset();
+  Pn pn;
+  pn.Fit(d);
+  const data::EventScores scores = pn.PredictAttention(d);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      EXPECT_FLOAT_EQ(scores.at(static_cast<int>(s), t),
+                      d.sessions[s].events[t].active() ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(PnTest, WeightsDiscardPassiveData) {
+  const data::Dataset d = TinyDataset();
+  Pn pn;
+  pn.Fit(d);
+  const data::EventScores weights =
+      BuildSampleWeights(d, pn.PredictAttention(d), 15.0f);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      if (!d.sessions[s].events[t].active()) {
+        EXPECT_FLOAT_EQ(weights.at(static_cast<int>(s), t), 0.0f);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- NDB
+
+TEST(NdbTest, LearnsAttentionCorrelatedWithTruth) {
+  const data::Dataset d = TinyDataset();
+  HeuristicConfig cfg;
+  cfg.epochs = 3;
+  cfg.seed = 5;
+  Ndb ndb(cfg);
+  ndb.Fit(d);
+  const data::EventScores scores = ndb.PredictAttention(d);
+  // NDB is biased but should still correlate positively with attention.
+  EXPECT_GT(AlphaCorrelation(d, scores), 0.15);
+}
+
+// ------------------------------------------------------------------- UAE
+
+TEST(UaeTest, RequiresFitBeforePredictDeathTest) {
+  UaeConfig cfg;
+  Uae uae(cfg);
+  const data::Dataset d = TinyDataset();
+  EXPECT_DEATH(uae.PredictAttention(d), "Fit");
+}
+
+TEST(UaeTest, LearnsAttentionAndPropensity) {
+  const data::Dataset d = TinyDataset(11);
+  UaeConfig cfg;
+  cfg.epochs = 3;
+  cfg.seed = 9;
+  Uae uae(cfg);
+  uae.Fit(d);
+  const data::EventScores alpha = uae.PredictAttention(d);
+  EXPECT_GT(AlphaCorrelation(d, alpha), 0.3);
+
+  // Propensity should track the ground-truth propensity closely — the
+  // feedback history is a strong, directly observable driver.
+  const data::EventScores p_hat = uae.PredictPropensity(d);
+  double mae = 0.0;
+  int64_t n = 0;
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      mae += std::fabs(p_hat.at(static_cast<int>(s), t) -
+                       d.sessions[s].events[t].true_propensity);
+      ++n;
+    }
+  }
+  EXPECT_LT(mae / n, 0.2);
+}
+
+TEST(UaeTest, RiskHistoriesAreRecorded) {
+  const data::Dataset d = TinyDataset();
+  UaeConfig cfg;
+  cfg.epochs = 2;
+  Uae uae(cfg);
+  uae.Fit(d);
+  EXPECT_EQ(uae.attention_risk_history().size(),
+            static_cast<size_t>(cfg.epochs * cfg.attention_steps));
+  EXPECT_EQ(uae.propensity_risk_history().size(),
+            static_cast<size_t>(cfg.epochs * cfg.propensity_steps));
+  for (double r : uae.attention_risk_history()) EXPECT_GE(r, 0.0);
+}
+
+TEST(UaeTest, SequentialPropensityBeatsLocalAblation) {
+  // The sequential propensity tower should recover the true propensity
+  // better than the local-features ablation (the paper's core claim).
+  const data::Dataset d = TinyDataset(13);
+  auto propensity_mae = [&](bool sequential) {
+    UaeConfig cfg;
+    cfg.epochs = 3;
+    cfg.seed = 21;
+    cfg.sequential_propensity = sequential;
+    Uae uae(cfg);
+    uae.Fit(d);
+    const data::EventScores p_hat = uae.PredictPropensity(d);
+    double mae = 0.0;
+    int64_t n = 0;
+    for (size_t s = 0; s < d.sessions.size(); ++s) {
+      for (int t = 0; t < d.sessions[s].length(); ++t) {
+        mae += std::fabs(p_hat.at(static_cast<int>(s), t) -
+                         d.sessions[s].events[t].true_propensity);
+        ++n;
+      }
+    }
+    return mae / n;
+  };
+  EXPECT_LT(propensity_mae(true), propensity_mae(false));
+}
+
+// ------------------------------------------------------------------- SAR
+
+TEST(SarTest, FitsAndPredictsInRange) {
+  const data::Dataset d = TinyDataset();
+  SarConfig cfg;
+  cfg.epochs = 2;
+  cfg.seed = 3;
+  Sar sar(cfg);
+  sar.Fit(d);
+  const data::EventScores alpha = sar.PredictAttention(d);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      const float a = alpha.at(static_cast<int>(s), t);
+      EXPECT_GT(a, 0.0f);
+      EXPECT_LT(a, 1.0f);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Factory
+
+TEST(FactoryTest, CreatesEveryMethod) {
+  for (AttentionMethod method :
+       {AttentionMethod::kEdm, AttentionMethod::kNdb, AttentionMethod::kPn,
+        AttentionMethod::kSar, AttentionMethod::kUae}) {
+    const auto estimator = CreateAttentionEstimator(method, 1);
+    ASSERT_NE(estimator, nullptr);
+    EXPECT_STREQ(estimator->name(), AttentionMethodName(method));
+  }
+}
+
+}  // namespace
+}  // namespace uae::attention

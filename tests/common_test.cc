@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace uae {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(5);
+  int counts[7] = {0};
+  for (int i = 0; i < 70000; ++i) ++counts[rng.UniformInt(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(17);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t r = rng.Zipf(100, 1.0);
+    ASSERT_LT(r, 100u);
+    if (r < 10) ++low;
+    if (r >= 90) ++high;
+  }
+  EXPECT_GT(low, 5 * high);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Poisson(3.0);
+  EXPECT_NEAR(sum / 20000, 3.0, 0.1);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, SummarizeBasics) {
+  const SampleSummary s = Summarize({2.0, 4.0, 6.0, 8.0});
+  EXPECT_EQ(s.n, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(20.0 / 3.0), 1e-12);
+  EXPECT_GT(s.ci95_half, 0.0);
+}
+
+TEST(StatsTest, SummarizeSingleton) {
+  const SampleSummary s = Summarize({3.5});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(StatsTest, StudentTCdfSymmetry) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-9);
+  EXPECT_NEAR(StudentTCdf(2.0, 10.0) + StudentTCdf(-2.0, 10.0), 1.0, 1e-9);
+}
+
+TEST(StatsTest, StudentTCdfKnownValue) {
+  // t = 2.228 is the two-sided 95% critical value at df=10.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+}
+
+TEST(StatsTest, WelchDetectsClearDifference) {
+  const TTestResult r =
+      WelchTTest({10.0, 10.1, 9.9, 10.05}, {8.0, 8.1, 7.9, 8.05});
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(StatsTest, WelchAcceptsIdenticalDistributions) {
+  const TTestResult r =
+      WelchTTest({1.0, 2.0, 3.0, 4.0}, {2.5, 1.5, 3.5, 2.4});
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(StatsTest, TCritical95Table) {
+  EXPECT_NEAR(TCritical95(4), 2.776, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.96, 1e-6);
+}
+
+TEST(StatsTest, RelaImprMatchesPaperDefinition) {
+  // RelaImpr((0.74 - 0.5)/(0.73 - 0.5) - 1) * 100.
+  EXPECT_NEAR(RelaImpr(0.74, 0.73), (0.24 / 0.23 - 1.0) * 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(RelaImpr(0.6, 0.6), 0.0);
+  EXPECT_LT(RelaImpr(0.55, 0.6), 0.0);
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table({"model", "auc"});
+  table.AddRow({"FM", "74.90"});
+  table.AddSeparator();
+  table.AddRow({"DCN-V2", "73.95"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| model  | auc   |"), std::string::npos);
+  EXPECT_NE(out.find("| FM     | 74.90 |"), std::string::npos);
+  EXPECT_NE(out.find("| DCN-V2 | 73.95 |"), std::string::npos);
+}
+
+TEST(TableTest, FmtHelpers) {
+  EXPECT_EQ(AsciiTable::Fmt(74.172, 2), "74.17");
+  EXPECT_EQ(AsciiTable::FmtStar(74.172, 2, true), "74.17*");
+  EXPECT_EQ(AsciiTable::FmtStar(74.172, 2, false), "74.17");
+}
+
+// ------------------------------------------------------------------- Csv
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"name", "value"});
+  csv.AddRow({"a,b", "say \"hi\""});
+  const std::string out = csv.ToString();
+  EXPECT_EQ(out, "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, NumericRows) {
+  CsvWriter csv({"x", "y"});
+  csv.AddNumericRow({1.5, 2.25});
+  EXPECT_EQ(csv.ToString(), "x,y\n1.5,2.25\n");
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.AddNumericRow({1.0});
+  const std::string path = testing::TempDir() + "/uae_csv_test.csv";
+  EXPECT_TRUE(csv.WriteFile(path).ok());
+  EXPECT_FALSE(csv.WriteFile("/nonexistent-dir/f.csv").ok());
+}
+
+}  // namespace
+}  // namespace uae

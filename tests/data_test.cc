@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/schema.h"
+
+namespace uae::data {
+namespace {
+
+TEST(SchemaTest, FieldAccessAndLookup) {
+  FeatureSchema schema({{"user", 10}, {"song", 20}}, {"aff", "rank"});
+  EXPECT_EQ(schema.num_sparse(), 2);
+  EXPECT_EQ(schema.num_dense(), 2);
+  EXPECT_EQ(schema.num_features(), 4);
+  EXPECT_EQ(schema.sparse_field(1).name, "song");
+  EXPECT_EQ(schema.SparseFieldIndex("song"), 1);
+  EXPECT_EQ(schema.SparseFieldIndex("absent"), -1);
+  EXPECT_EQ(schema.DenseFieldIndex("rank"), 1);
+  EXPECT_EQ(schema.TotalVocab(), 30);
+}
+
+TEST(EventTest, FeedbackSemanticsMatchTableI) {
+  EXPECT_FALSE(IsActive(FeedbackAction::kAutoPlay));
+  for (FeedbackAction a :
+       {FeedbackAction::kSkip, FeedbackAction::kDislike, FeedbackAction::kLike,
+        FeedbackAction::kShare, FeedbackAction::kDownload}) {
+    EXPECT_TRUE(IsActive(a));
+  }
+  EXPECT_EQ(FeedbackLabel(FeedbackAction::kSkip), 0);
+  EXPECT_EQ(FeedbackLabel(FeedbackAction::kDislike), 0);
+  EXPECT_EQ(FeedbackLabel(FeedbackAction::kLike), 1);
+  EXPECT_EQ(FeedbackLabel(FeedbackAction::kShare), 1);
+  EXPECT_EQ(FeedbackLabel(FeedbackAction::kDownload), 1);
+  // The unreliable passive positive of the paper.
+  EXPECT_EQ(FeedbackLabel(FeedbackAction::kAutoPlay), 1);
+}
+
+TEST(SplitTest, ChronologicalRatios) {
+  const DatasetSplit split = MakeChronologicalSplit(100, 0.8, 0.1);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.valid.size(), 10u);
+  EXPECT_EQ(split.test.size(), 10u);
+  // Chronological: train ids < valid ids < test ids.
+  EXPECT_EQ(split.train.back(), 79);
+  EXPECT_EQ(split.valid.front(), 80);
+  EXPECT_EQ(split.test.back(), 99);
+}
+
+TEST(SplitTest, OfSelector) {
+  const DatasetSplit split = MakeChronologicalSplit(10, 0.6, 0.2);
+  EXPECT_EQ(&split.Of(SplitKind::kTrain), &split.train);
+  EXPECT_EQ(&split.Of(SplitKind::kValid), &split.valid);
+  EXPECT_EQ(&split.Of(SplitKind::kTest), &split.test);
+}
+
+Dataset SmallDataset() {
+  GeneratorConfig cfg = GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 60;
+  cfg.num_users = 20;
+  cfg.num_songs = 50;
+  cfg.num_artists = 10;
+  cfg.num_albums = 15;
+  return GenerateDataset(cfg, 5);
+}
+
+TEST(DatasetTest, EventRefsCoverSplit) {
+  const Dataset d = SmallDataset();
+  const auto refs = CollectEventRefs(d, SplitKind::kTrain);
+  size_t expected = 0;
+  for (int s : d.split.train) expected += d.sessions[s].events.size();
+  EXPECT_EQ(refs.size(), expected);
+}
+
+TEST(DatasetTest, EventScoresAligned) {
+  const Dataset d = SmallDataset();
+  EventScores scores(d, 0.25f);
+  EXPECT_EQ(scores.num_sessions(), static_cast<int>(d.sessions.size()));
+  EXPECT_EQ(scores.session_length(0), d.sessions[0].length());
+  EXPECT_EQ(scores.at(0, 0), 0.25f);
+  scores.set(0, 1, 0.75f);
+  EXPECT_EQ(scores.at(EventRef{0, 1}), 0.75f);
+}
+
+TEST(FlatBatcherTest, CoversEveryEventExactlyOnce) {
+  const Dataset d = SmallDataset();
+  auto refs = CollectEventRefs(d, SplitKind::kTrain);
+  const size_t total = refs.size();
+  FlatBatcher batcher(std::move(refs), 17);
+  Rng rng(1);
+  batcher.StartEpoch(&rng);
+  std::set<std::pair<int, int>> seen;
+  std::vector<EventRef> batch;
+  while (batcher.Next(&batch)) {
+    EXPECT_LE(batch.size(), 17u);
+    for (const EventRef& ref : batch) {
+      EXPECT_TRUE(seen.insert({ref.session, ref.step}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(FlatBatcherTest, ReshufflesBetweenEpochs) {
+  const Dataset d = SmallDataset();
+  FlatBatcher batcher(CollectEventRefs(d, SplitKind::kTrain), 1024);
+  Rng rng(2);
+  batcher.StartEpoch(&rng);
+  std::vector<EventRef> first;
+  batcher.Next(&first);
+  batcher.StartEpoch(&rng);
+  std::vector<EventRef> second;
+  batcher.Next(&second);
+  ASSERT_EQ(first.size(), second.size());
+  bool differs = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (first[i].session != second[i].session ||
+        first[i].step != second[i].step) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SessionBatcherTest, BatchesAreEqualLength) {
+  const Dataset d = SmallDataset();
+  SessionBatcher batcher(d, d.split.train, 8);
+  Rng rng(3);
+  batcher.StartEpoch(&rng);
+  std::set<int> seen;
+  std::vector<int> batch;
+  while (batcher.Next(&batch)) {
+    ASSERT_FALSE(batch.empty());
+    EXPECT_LE(batch.size(), 8u);
+    const int len = d.sessions[batch[0]].length();
+    for (int s : batch) {
+      EXPECT_EQ(d.sessions[s].length(), len);
+      EXPECT_TRUE(seen.insert(s).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), d.split.train.size());
+}
+
+}  // namespace
+}  // namespace uae::data

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/feedback_stats.h"
+#include "data/generator.h"
+#include "data/world.h"
+
+namespace uae::data {
+namespace {
+
+GeneratorConfig TestConfig() {
+  GeneratorConfig cfg = GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 800;
+  return cfg;
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorConfig cfg = TestConfig();
+  cfg.num_sessions = 50;
+  const Dataset a = GenerateDataset(cfg, 9);
+  const Dataset b = GenerateDataset(cfg, 9);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (size_t s = 0; s < a.sessions.size(); ++s) {
+    ASSERT_EQ(a.sessions[s].length(), b.sessions[s].length());
+    for (int t = 0; t < a.sessions[s].length(); ++t) {
+      EXPECT_EQ(a.sessions[s].events[t].action, b.sessions[s].events[t].action);
+      EXPECT_EQ(a.sessions[s].events[t].sparse, b.sessions[s].events[t].sparse);
+    }
+  }
+  const Dataset c = GenerateDataset(cfg, 10);
+  bool differs = false;
+  for (size_t s = 0; s < c.sessions.size() && !differs; ++s) {
+    differs = a.sessions[s].length() != c.sessions[s].length() ||
+              a.sessions[s].user != c.sessions[s].user;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, SchemaMatchesEvents) {
+  const Dataset d = GenerateDataset(TestConfig(), 1);
+  for (const Session& session : d.sessions) {
+    for (const Event& event : session.events) {
+      ASSERT_EQ(static_cast<int>(event.sparse.size()), d.schema.num_sparse());
+      ASSERT_EQ(static_cast<int>(event.dense.size()), d.schema.num_dense());
+      for (int f = 0; f < d.schema.num_sparse(); ++f) {
+        ASSERT_GE(event.sparse[f], 0);
+        ASSERT_LT(event.sparse[f], d.schema.sparse_field(f).vocab);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, LatentsAreValidProbabilities) {
+  const Dataset d = GenerateDataset(TestConfig(), 2);
+  for (const Session& session : d.sessions) {
+    for (const Event& event : session.events) {
+      EXPECT_GT(event.true_alpha, 0.0f);
+      EXPECT_LT(event.true_alpha, 1.0f);
+      EXPECT_GT(event.true_propensity, 0.0f);
+      EXPECT_LT(event.true_propensity, 1.0f);
+      EXPECT_GT(event.relevance_prob, 0.0f);
+      EXPECT_LT(event.relevance_prob, 1.0f);
+    }
+  }
+}
+
+TEST(GeneratorTest, ActiveFeedbackImpliesAttention) {
+  // Eq. 6 of the paper: e = 1 => a = 1, by construction.
+  const Dataset d = GenerateDataset(TestConfig(), 3);
+  for (const Session& session : d.sessions) {
+    for (const Event& event : session.events) {
+      if (event.active()) EXPECT_TRUE(event.true_attention);
+    }
+  }
+}
+
+TEST(GeneratorTest, PassiveEventsAreLabeledPositive) {
+  const Dataset d = GenerateDataset(TestConfig(), 3);
+  for (const Session& session : d.sessions) {
+    for (const Event& event : session.events) {
+      if (!event.active()) {
+        EXPECT_EQ(event.action, FeedbackAction::kAutoPlay);
+        EXPECT_EQ(event.label(), 1);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, MarginalActiveRateInPaperBand) {
+  // The paper reports ~8.8% active feedback; the simulator is calibrated
+  // to land in a low-activity band.
+  const Dataset d = GenerateDataset(TestConfig(), 4);
+  EXPECT_GT(d.ActiveRate(), 0.05);
+  EXPECT_LT(d.ActiveRate(), 0.25);
+}
+
+TEST(GeneratorTest, TransitionContrastMatchesFigure2a) {
+  const Dataset d = GenerateDataset(TestConfig(), 5);
+  const FeedbackStats stats = ComputeFeedbackStats(d);
+  // Active -> active must dwarf passive -> active (paper: 0.56 vs 0.05).
+  EXPECT_GT(stats.transition[0][0], 0.35);
+  EXPECT_LT(stats.transition[1][0], 0.15);
+  EXPECT_GT(stats.transition[0][0], 4.0 * stats.transition[1][0]);
+}
+
+TEST(GeneratorTest, ActiveProbabilityGrowsWithRecentCount) {
+  // Figure 2(c): P(active) increases with the number of recent actives.
+  const Dataset d = GenerateDataset(TestConfig(), 6);
+  const FeedbackStats stats = ComputeFeedbackStats(d);
+  ASSERT_GE(stats.p_active_by_recent_count.size(), 5u);
+  EXPECT_LT(stats.p_active_by_recent_count[0],
+            stats.p_active_by_recent_count[2]);
+  EXPECT_LT(stats.p_active_by_recent_count[2],
+            stats.p_active_by_recent_count[4]);
+}
+
+TEST(GeneratorTest, ActiveRateDecaysWithRank) {
+  // Figure 3: the active-feedback rate falls off along the playlist.
+  const Dataset d = GenerateDataset(TestConfig(), 7);
+  const FeedbackStats stats = ComputeFeedbackStats(d, 6, 20);
+  const double early = (stats.active_rate_by_rank[0] +
+                        stats.active_rate_by_rank[1] +
+                        stats.active_rate_by_rank[2]) /
+                       3.0;
+  const double late = (stats.active_rate_by_rank[17] +
+                       stats.active_rate_by_rank[18] +
+                       stats.active_rate_by_rank[19]) /
+                      3.0;
+  EXPECT_GT(early, 1.2 * late);
+}
+
+TEST(GeneratorTest, ObservedActiveRateMatchesAlphaTimesPropensity) {
+  // Proposition 1: E[e | X, E] = p * alpha. Bucket events by the product
+  // p*alpha and compare the empirical active rate per bucket.
+  GeneratorConfig cfg = TestConfig();
+  cfg.num_sessions = 3000;
+  const Dataset d = GenerateDataset(cfg, 8);
+  constexpr int kBuckets = 8;
+  double expected[kBuckets] = {0};
+  double observed[kBuckets] = {0};
+  int64_t count[kBuckets] = {0};
+  for (const Session& session : d.sessions) {
+    for (const Event& event : session.events) {
+      const double product = static_cast<double>(event.true_alpha) *
+                             event.true_propensity;
+      int b = static_cast<int>(product * 2.0 * kBuckets);  // p*a < ~0.5.
+      if (b >= kBuckets) b = kBuckets - 1;
+      expected[b] += product;
+      observed[b] += event.active() ? 1.0 : 0.0;
+      ++count[b];
+    }
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    if (count[b] < 400) continue;  // Skip unsupported buckets.
+    EXPECT_NEAR(observed[b] / count[b], expected[b] / count[b], 0.03)
+        << "bucket " << b << " (n=" << count[b] << ")";
+  }
+}
+
+TEST(GeneratorTest, ThirtyMusicPresetShape) {
+  GeneratorConfig cfg = GeneratorConfig::ThirtyMusicPreset();
+  cfg.num_sessions = 300;
+  const Dataset d = GenerateDataset(cfg, 11);
+  EXPECT_EQ(d.name, "30-Music");
+  EXPECT_EQ(d.num_feedback_types, 3);
+  EXPECT_EQ(d.schema.num_features(), 12);  // Matches the paper's Table III.
+  for (const Session& session : d.sessions) {
+    EXPECT_GE(session.length(), 12);
+    for (const Event& event : session.events) {
+      // Only Auto-play / Skip / Like exist in this preset.
+      EXPECT_TRUE(event.action == FeedbackAction::kAutoPlay ||
+                  event.action == FeedbackAction::kSkip ||
+                  event.action == FeedbackAction::kLike);
+    }
+  }
+}
+
+TEST(WorldTest, SimulateSessionWalksPlaylistInOrder) {
+  GeneratorConfig cfg = TestConfig();
+  const World world(cfg, 21);
+  Rng rng(1);
+  const std::vector<int> playlist = {5, 9, 3, 7, 11, 2, 8, 4, 1, 0};
+  const Session session = world.SimulateSession(3, playlist, 10, 2, &rng);
+  ASSERT_EQ(session.length(), 10);
+  const int song_field = world.schema().SparseFieldIndex("song_id");
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_EQ(session.events[t].sparse[song_field], playlist[t]);
+  }
+}
+
+TEST(WorldTest, AffinityIsDeterministicAndBounded) {
+  const World world(TestConfig(), 22);
+  for (int u = 0; u < 5; ++u) {
+    for (int v = 0; v < 5; ++v) {
+      const float a = world.Affinity(u, v);
+      EXPECT_GT(a, 0.0f);
+      EXPECT_LT(a, 1.0f);
+      EXPECT_EQ(a, world.Affinity(u, v));
+    }
+  }
+}
+
+TEST(WorldTest, ScoringEventMatchesSchema) {
+  const World world(TestConfig(), 23);
+  const Event event = world.ScoringEvent(1, 2, 10, 3);
+  EXPECT_EQ(static_cast<int>(event.sparse.size()),
+            world.schema().num_sparse());
+  EXPECT_EQ(static_cast<int>(event.dense.size()), world.schema().num_dense());
+}
+
+}  // namespace
+}  // namespace uae::data

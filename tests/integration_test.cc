@@ -1,0 +1,74 @@
+// End-to-end integration test of the headline pipeline shapes that are
+// robust to seed noise:
+//   1. PN (active-feedback-only training) collapses far below the base
+//      model under the paper's observed-label protocol.
+//   2. UAE weighting stays in the base model's league (never collapses).
+//   3. UAE's attention recovers ground truth far better than PN's.
+// The finer-grained comparisons (UAE > base on both metrics) live in the
+// bench binaries where they are averaged over seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "eval/attention_metrics.h"
+
+namespace uae::core {
+namespace {
+
+class PipelineIntegration : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+    cfg.num_sessions = 1200;
+    dataset_ = new data::Dataset(data::GenerateDataset(cfg, 42));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static models::TrainConfig Train() {
+    models::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.seed = 100;
+    return cfg;
+  }
+
+  static data::Dataset* dataset_;
+};
+
+data::Dataset* PipelineIntegration::dataset_ = nullptr;
+
+TEST_F(PipelineIntegration, PnCollapsesAndUaeDoesNot) {
+  const models::ModelConfig model_config;
+
+  const RunResult base = TrainModel(*dataset_, models::ModelKind::kDcnV2,
+                                    nullptr, model_config, Train());
+
+  const AttentionArtifacts pn =
+      FitAttention(*dataset_, attention::AttentionMethod::kPn, 0.5f, 100);
+  const RunResult pn_run = TrainModel(*dataset_, models::ModelKind::kDcnV2,
+                                      &pn.weights, model_config, Train());
+
+  const AttentionArtifacts uae =
+      FitAttention(*dataset_, attention::AttentionMethod::kUae, 0.5f, 100);
+  const RunResult uae_run = TrainModel(*dataset_, models::ModelKind::kDcnV2,
+                                       &uae.weights, model_config, Train());
+
+  // 1. PN discards ~85% of the data -> large observed-AUC collapse.
+  EXPECT_LT(pn_run.test.auc, base.test.auc - 0.02)
+      << "PN should collapse below base";
+  // 2. UAE stays in the base model's league.
+  EXPECT_GT(uae_run.test.auc, base.test.auc - 0.01);
+  EXPECT_GT(uae_run.test.auc, pn_run.test.auc + 0.02);
+
+  // 3. Attention recovery: UAE's alpha-hat is far closer to truth.
+  EXPECT_LT(uae.alpha_mae, pn.alpha_mae - 0.1);
+  const eval::AttentionQuality uae_quality =
+      eval::EvaluateAttentionRecovery(*dataset_, uae.alpha);
+  EXPECT_GT(uae_quality.correlation, 0.3);
+}
+
+}  // namespace
+}  // namespace uae::core

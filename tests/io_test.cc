@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "data/generator.h"
+#include "data/io.h"
+#include "nn/layers.h"
+#include "nn/serialize.h"
+
+namespace uae {
+namespace {
+
+// ------------------------------------------------------------ data::io
+
+data::Dataset TinyDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 40;
+  cfg.num_users = 15;
+  cfg.num_songs = 30;
+  cfg.num_artists = 8;
+  cfg.num_albums = 10;
+  return data::GenerateDataset(cfg, 3);
+}
+
+TEST(DatasetIoTest, RoundTripPreservesObservables) {
+  const data::Dataset original = TinyDataset();
+  const std::string path = testing::TempDir() + "/uae_dataset.txt";
+  ASSERT_TRUE(data::WriteDatasetText(original, path).ok());
+
+  const StatusOr<data::Dataset> loaded = data::ReadDatasetText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const data::Dataset& copy = loaded.value();
+
+  EXPECT_EQ(copy.name, original.name);
+  EXPECT_EQ(copy.num_feedback_types, original.num_feedback_types);
+  EXPECT_EQ(copy.schema.num_sparse(), original.schema.num_sparse());
+  EXPECT_EQ(copy.schema.num_dense(), original.schema.num_dense());
+  ASSERT_EQ(copy.sessions.size(), original.sessions.size());
+  for (size_t s = 0; s < copy.sessions.size(); ++s) {
+    ASSERT_EQ(copy.sessions[s].length(), original.sessions[s].length());
+    EXPECT_EQ(copy.sessions[s].user, original.sessions[s].user);
+    for (int t = 0; t < copy.sessions[s].length(); ++t) {
+      const data::Event& a = copy.sessions[s].events[t];
+      const data::Event& b = original.sessions[s].events[t];
+      EXPECT_EQ(a.action, b.action);
+      EXPECT_EQ(a.sparse, b.sparse);
+      ASSERT_EQ(a.dense.size(), b.dense.size());
+      for (size_t f = 0; f < a.dense.size(); ++f) {
+        EXPECT_NEAR(a.dense[f], b.dense[f], 1e-4);
+      }
+      EXPECT_NEAR(a.play_seconds, b.play_seconds, 1e-2);
+    }
+  }
+  // A loaded dataset behaves like a real log: latents are absent.
+  EXPECT_EQ(copy.sessions[0].events[0].true_alpha, 0.0f);
+  // And it carries a usable chronological split.
+  EXPECT_FALSE(copy.split.train.empty());
+  EXPECT_FALSE(copy.split.test.empty());
+}
+
+TEST(DatasetIoTest, ParseFeedbackActionNames) {
+  EXPECT_TRUE(data::ParseFeedbackAction("Like").ok());
+  EXPECT_EQ(data::ParseFeedbackAction("Auto-play").value(),
+            data::FeedbackAction::kAutoPlay);
+  EXPECT_FALSE(data::ParseFeedbackAction("Boost").ok());
+}
+
+TEST(DatasetIoTest, RejectsMissingHeader) {
+  const std::string path = testing::TempDir() + "/uae_bad_header.txt";
+  std::ofstream(path) << "not a dataset\n";
+  EXPECT_FALSE(data::ReadDatasetText(path).ok());
+}
+
+TEST(DatasetIoTest, RejectsOutOfVocabIds) {
+  const std::string path = testing::TempDir() + "/uae_bad_vocab.txt";
+  std::ofstream(path) << "# uae-dataset v1\n"
+                      << "name Bad\n"
+                      << "feedback_types 3\n"
+                      << "sparse user_id:2 song_id:2\n"
+                      << "dense affinity\n"
+                      << "session 0 1\n"
+                      << "event Like 10 100 | 0 5 | 0.5\n";  // song 5 >= 2.
+  const StatusOr<data::Dataset> loaded = data::ReadDatasetText(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, RejectsTruncatedSession) {
+  const std::string path = testing::TempDir() + "/uae_truncated.txt";
+  std::ofstream(path) << "# uae-dataset v1\n"
+                      << "name Bad\n"
+                      << "feedback_types 3\n"
+                      << "sparse user_id:2 song_id:2\n"
+                      << "dense affinity\n"
+                      << "session 0 2\n"
+                      << "event Like 10 100 | 0 1 | 0.5\n";  // 1 of 2 events.
+  EXPECT_FALSE(data::ReadDatasetText(path).ok());
+}
+
+TEST(DatasetIoTest, MissingFileIsIoError) {
+  const StatusOr<data::Dataset> loaded =
+      data::ReadDatasetText("/nonexistent/nowhere.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// --------------------------------------------------------- nn::serialize
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(1);
+  nn::Mlp original(&rng, 3, {4, 1}, nn::Activation::kRelu);
+  const std::string path = testing::TempDir() + "/uae_ckpt.bin";
+  ASSERT_TRUE(nn::SaveParameters(original, path).ok());
+
+  Rng rng2(99);  // Different init.
+  nn::Mlp restored(&rng2, 3, {4, 1}, nn::Activation::kRelu);
+  ASSERT_TRUE(nn::LoadParameters(&restored, path).ok());
+
+  const auto a = original.Parameters();
+  const auto b = restored.Parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i]->value.SameShape(b[i]->value));
+    for (int j = 0; j < a[i]->value.size(); ++j) {
+      EXPECT_EQ(a[i]->value.data()[j], b[i]->value.data()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, ArchitectureMismatchFails) {
+  Rng rng(1);
+  nn::Mlp small(&rng, 3, {4, 1}, nn::Activation::kRelu);
+  const std::string path = testing::TempDir() + "/uae_ckpt2.bin";
+  ASSERT_TRUE(nn::SaveParameters(small, path).ok());
+
+  nn::Mlp bigger(&rng, 3, {8, 1}, nn::Activation::kRelu);
+  const Status status = nn::LoadParameters(&bigger, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, GarbageFileFails) {
+  const std::string path = testing::TempDir() + "/uae_garbage.bin";
+  std::ofstream(path) << "garbage";
+  Rng rng(1);
+  nn::Mlp mlp(&rng, 2, {1}, nn::Activation::kNone);
+  EXPECT_FALSE(nn::LoadParameters(&mlp, path).ok());
+}
+
+}  // namespace
+}  // namespace uae

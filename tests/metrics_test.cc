@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace uae::eval {
+namespace {
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, HandComputedValue) {
+  // Positives {0.4, 0.8}, negatives {0.3, 0.5}: pairs won = (0.4>0.3) +
+  // (0.8>0.3) + (0.8>0.5) = 3 of 4.
+  EXPECT_DOUBLE_EQ(Auc({0.4, 0.3, 0.8, 0.5}, {1, 0, 1, 0}), 0.75);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5, 0.5}, {1, 0}), 0.5);
+  // One clear win + one tie of 2 pairs: (1 + 0.5) / 2.
+  EXPECT_DOUBLE_EQ(Auc({0.7, 0.5, 0.5}, {1, 1, 0}), 0.75);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  // Property: AUC depends only on the score ordering.
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(rng.Uniform(-3.0, 3.0));
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  const double base = Auc(scores, labels);
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(std::tanh(s) * 10.0 + 5.0);
+  EXPECT_NEAR(Auc(transformed, labels), base, 1e-12);
+}
+
+TEST(AucTest, MatchesNaivePairCountOnRandomData) {
+  Rng rng(4);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.UniformInt(20));  // Force ties.
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 1) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != 0) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  ASSERT_GT(pairs, 0);
+  EXPECT_NEAR(Auc(scores, labels), wins / pairs, 1e-12);
+}
+
+TEST(GroupAucTest, WeightsByPositiveCount) {
+  // Group 1: AUC 1.0 with 1 positive; group 2: AUC 0.0 with 3 positives.
+  std::vector<GroupedExample> examples = {
+      {1, 0.9, 1}, {1, 0.1, 0},
+      {2, 0.1, 1}, {2, 0.2, 1}, {2, 0.3, 1}, {2, 0.9, 0},
+  };
+  EXPECT_NEAR(GroupAuc(examples), (1.0 * 1.0 + 3.0 * 0.0) / 4.0, 1e-12);
+}
+
+TEST(GroupAucTest, SkipsSingleClassGroups) {
+  std::vector<GroupedExample> examples = {
+      {1, 0.9, 1}, {1, 0.1, 1},              // All-positive: skipped.
+      {2, 0.8, 1}, {2, 0.2, 0},              // AUC 1.
+  };
+  EXPECT_DOUBLE_EQ(GroupAuc(examples), 1.0);
+}
+
+TEST(GroupAucTest, AllGroupsDegenerate) {
+  std::vector<GroupedExample> examples = {{1, 0.9, 1}, {2, 0.1, 0}};
+  EXPECT_DOUBLE_EQ(GroupAuc(examples), 0.5);
+}
+
+TEST(LogLossTest, KnownValues) {
+  EXPECT_NEAR(LogLoss({0.5, 0.5}, {1, 0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogLoss({0.9}, {1}), -std::log(0.9), 1e-12);
+  // Clamps extreme predictions instead of producing inf.
+  EXPECT_LT(LogLoss({1.0}, {0}), 20.0);
+}
+
+TEST(MaeTest, Basics) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0}, {1.5, 1.0}), 0.75);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({3.0}, {3.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace uae::eval

@@ -1,0 +1,92 @@
+// Coverage for small utility paths not exercised elsewhere: logging
+// levels, backward on gradient-free graphs, and the large-vocabulary
+// Zipf sampling branch.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/node.h"
+#include "nn/ops.h"
+
+namespace uae {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, SuppressedBelowMinimumLevel) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  UAE_LOG(Info) << "should not appear";
+  UAE_LOG(Error) << "should appear";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR"), std::string::npos);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, MessageCarriesShortFileName) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  UAE_LOG(Warning) << "marker";
+  const std::string err = testing::internal::GetCapturedStderr();
+  // Directories stripped from __FILE__.
+  EXPECT_NE(err.find("misc_test.cc"), std::string::npos);
+  EXPECT_EQ(err.find("/root"), std::string::npos);
+  SetLogLevel(saved);
+}
+
+TEST(BackwardTest, ConstantRootIsNoOp) {
+  // A graph with no trainable leaves: Backward must not crash and must
+  // not allocate gradients anywhere.
+  nn::NodePtr a = nn::Constant(nn::Tensor(2, 2, {1, 2, 3, 4}));
+  nn::NodePtr loss = nn::SumAll(nn::Mul(a, a));
+  EXPECT_FALSE(loss->requires_grad);
+  nn::Backward(loss);  // No-op.
+  EXPECT_EQ(a->grad.size(), 0);
+}
+
+TEST(BackwardTest, MixedConstantAndTrainableInputs) {
+  nn::NodePtr w = nn::MakeLeaf(nn::Tensor(1, 2, {2.0f, 3.0f}),
+                               /*requires_grad=*/true);
+  nn::NodePtr c = nn::Constant(nn::Tensor(1, 2, {10.0f, 20.0f}));
+  // loss = sum(w * c) -> dw = c, constants untouched.
+  nn::Backward(nn::SumAll(nn::Mul(w, c)));
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 1), 20.0f);
+  EXPECT_EQ(c->grad.size(), 0);  // Never allocated for constants.
+}
+
+TEST(RngTest, ZipfLargeVocabularyBranch) {
+  // n > 4096 exercises the approximate-inversion path.
+  Rng rng(23);
+  constexpr uint64_t kN = 100000;
+  int64_t low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t r = rng.Zipf(kN, 0.9);
+    ASSERT_LT(r, kN);
+    if (r < kN / 10) ++low;
+    if (r >= 9 * kN / 10) ++high;
+  }
+  EXPECT_GT(low, 5 * high);  // Heavy head, light tail.
+}
+
+TEST(RngTest, ZipfSmallExponentStillSkewed) {
+  Rng rng(29);
+  double mean = 0.0;
+  for (int i = 0; i < 5000; ++i) mean += rng.Zipf(1000, 0.5);
+  mean /= 5000;
+  // Uniform would give ~500; Zipf(0.5) pulls the mean well below that.
+  EXPECT_LT(mean, 450.0);
+}
+
+}  // namespace
+}  // namespace uae

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "models/features.h"
+#include "models/registry.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::models {
+namespace {
+
+data::Dataset TinyDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 120;
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 30;
+  return data::GenerateDataset(cfg, 17);
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig cfg;
+  cfg.embed_dim = 4;
+  cfg.mlp_dims = {16, 8};
+  cfg.cross_layers = 2;
+  cfg.attention_heads = 2;
+  cfg.attention_dim = 4;
+  return cfg;
+}
+
+std::vector<data::EventRef> FirstRefs(const data::Dataset& d, int n) {
+  std::vector<data::EventRef> refs;
+  for (int s = 0; s < static_cast<int>(d.sessions.size()) &&
+                  static_cast<int>(refs.size()) < n;
+       ++s) {
+    for (int t = 0; t < d.sessions[s].length() &&
+                    static_cast<int>(refs.size()) < n;
+         ++t) {
+      refs.push_back({s, t});
+    }
+  }
+  return refs;
+}
+
+// ------------------------------------------------------ FieldEmbeddingBank
+
+TEST(FeatureBankTest, ShapesAndParameterOwnership) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(1);
+  FieldEmbeddingBank bank(&rng, d.schema, 4);
+  EXPECT_EQ(bank.num_fields(), d.schema.num_sparse() + 1);
+  EXPECT_EQ(bank.concat_dim(), bank.num_fields() * 4);
+
+  const auto refs = FirstRefs(d, 7);
+  const auto fields = bank.Fields(d, refs);
+  ASSERT_EQ(static_cast<int>(fields.size()), bank.num_fields());
+  for (const auto& f : fields) {
+    EXPECT_EQ(f->value.rows(), 7);
+    EXPECT_EQ(f->value.cols(), 4);
+  }
+  EXPECT_EQ(bank.Concat(d, refs)->value.cols(), bank.concat_dim());
+  EXPECT_EQ(bank.FirstOrder(d, refs)->value.cols(), 1);
+  EXPECT_GT(bank.ParameterCount(), 0);
+}
+
+TEST(FeatureBankTest, DenseBlockMatchesEvents) {
+  const data::Dataset d = TinyDataset();
+  const auto refs = FirstRefs(d, 5);
+  const nn::Tensor block = DenseBlock(d, refs);
+  for (int r = 0; r < 5; ++r) {
+    const data::Event& event =
+        d.sessions[refs[r].session].events[refs[r].step];
+    for (int c = 0; c < d.schema.num_dense(); ++c) {
+      EXPECT_EQ(block.at(r, c), event.dense[c]);
+    }
+  }
+}
+
+// ------------------------------------------------------------- All models
+
+class ModelSweep : public testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelSweep, LogitsShapeAndDeterminism) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(5);
+  auto model = CreateRecommender(GetParam(), &rng, d.schema, SmallConfig());
+  ASSERT_NE(model, nullptr);
+  EXPECT_STREQ(model->name(), ModelKindName(GetParam()));
+
+  const auto refs = FirstRefs(d, 9);
+  nn::NodePtr a = model->Logits(d, refs);
+  EXPECT_EQ(a->value.rows(), 9);
+  EXPECT_EQ(a->value.cols(), 1);
+  // Same parameters, same batch -> identical logits.
+  nn::NodePtr b = model->Logits(d, refs);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_FLOAT_EQ(a->value.at(r, 0), b->value.at(r, 0));
+  }
+}
+
+TEST_P(ModelSweep, HasTrainableParameters) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(6);
+  auto model = CreateRecommender(GetParam(), &rng, d.schema, SmallConfig());
+  const auto params = model->Parameters();
+  EXPECT_FALSE(params.empty());
+  for (const auto& p : params) {
+    EXPECT_TRUE(p->requires_grad);
+    EXPECT_GT(p->value.size(), 0);
+  }
+}
+
+TEST_P(ModelSweep, GradientStepReducesLoss) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(7);
+  auto model = CreateRecommender(GetParam(), &rng, d.schema, SmallConfig());
+  nn::Adam adam(model->Parameters(), 1e-2f);
+  const auto refs = FirstRefs(d, 64);
+  nn::Tensor pos(64, 1), neg(64, 1);
+  for (int r = 0; r < 64; ++r) {
+    const int label =
+        d.sessions[refs[r].session].events[refs[r].step].label();
+    (label == 1 ? pos : neg).at(r, 0) = 1.0f;
+  }
+  auto loss_value = [&]() {
+    nn::NodePtr logits = model->Logits(d, refs);
+    nn::NodePtr loss = nn::ScalarMul(
+        nn::Add(nn::WeightedSoftplusSum(logits, pos, -1.0f),
+                nn::WeightedSoftplusSum(logits, neg, 1.0f)),
+        1.0f / 64);
+    return loss;
+  };
+  const double initial = loss_value()->value.ScalarValue();
+  for (int i = 0; i < 30; ++i) {
+    nn::NodePtr loss = loss_value();
+    adam.ZeroGrad();
+    nn::Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(loss_value()->value.ScalarValue(), initial * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelSweep, testing::ValuesIn(ExtendedModelKinds()),
+    [](const testing::TestParamInfo<ModelKind>& info) {
+      std::string name = ModelKindName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --------------------------------------------------------------- Registry
+
+TEST(RegistryTest, SevenModelsInTableOrder) {
+  const auto& kinds = AllModelKinds();
+  ASSERT_EQ(kinds.size(), 7u);
+  EXPECT_STREQ(ModelKindName(kinds.front()), "FM");
+  EXPECT_STREQ(ModelKindName(kinds.back()), "DCN-V2");
+}
+
+TEST(RegistryTest, NameRoundTrip) {
+  for (ModelKind kind : ExtendedModelKinds()) {
+    EXPECT_EQ(ModelKindFromName(ModelKindName(kind)), kind);
+  }
+}
+
+TEST(RegistryTest, ExtendedZooSupersetOfPaperModels) {
+  const auto& paper = AllModelKinds();
+  const auto& extended = ExtendedModelKinds();
+  ASSERT_EQ(extended.size(), 10u);
+  for (size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(extended[i], paper[i]);
+  }
+  EXPECT_STREQ(ModelKindName(ModelKind::kDin), "DIN");
+}
+
+TEST(RegistryTest, UnknownNameAborts) {
+  EXPECT_DEATH(ModelKindFromName("NoSuchModel"), "unknown model");
+}
+
+}  // namespace
+}  // namespace uae::models

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace uae::nn {
+namespace {
+
+constexpr double kTolerance = 2e-2;  // Relative; float32 + eps=1e-3.
+
+NodePtr Leaf(Rng* rng, int rows, int cols, float scale = 1.0f) {
+  return MakeLeaf(UniformInit(rng, rows, cols, scale), /*requires_grad=*/true);
+}
+
+/// One named op-scenario for the parameterized gradient sweep: builds the
+/// leaves once, then a scalar loss from them on demand.
+struct GradCase {
+  std::string name;
+  std::function<NodePtr(const std::vector<NodePtr>&)> loss;
+  std::vector<std::pair<int, int>> leaf_shapes;
+};
+
+class GradCheckSweep : public testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckSweep, NumericMatchesAnalytic) {
+  const GradCase& scenario = GetParam();
+  Rng rng(42);
+  std::vector<NodePtr> leaves;
+  for (const auto& [rows, cols] : scenario.leaf_shapes) {
+    leaves.push_back(Leaf(&rng, rows, cols));
+  }
+  const GradCheckResult result = CheckGradients(
+      [&]() { return scenario.loss(leaves); }, leaves);
+  EXPECT_GT(result.checked_elements, 0);
+  EXPECT_LT(result.max_rel_error, kTolerance)
+      << scenario.name << ": max abs err " << result.max_abs_error;
+}
+
+/// Weighted mean-square-ish scalarizer keeping gradients non-uniform.
+NodePtr Scalarize(const NodePtr& x) {
+  return SumAll(Mul(x, AddScalar(ScalarMul(x, 0.1f), 0.5f)));
+}
+
+std::vector<GradCase> MakeCases() {
+  std::vector<GradCase> cases;
+  cases.push_back({"matmul",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(MatMul(l[0], l[1]));
+                   },
+                   {{3, 4}, {4, 2}}});
+  cases.push_back({"add",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(Add(l[0], l[1]));
+                   },
+                   {{2, 3}, {2, 3}}});
+  cases.push_back({"sub_mul",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(Mul(Sub(l[0], l[1]), l[1]));
+                   },
+                   {{2, 3}, {2, 3}}});
+  cases.push_back({"add_row_vector",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(AddRowVector(l[0], l[1]));
+                   },
+                   {{3, 4}, {1, 4}}});
+  cases.push_back({"mul_col_vector",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(MulColVector(l[0], l[1]));
+                   },
+                   {{3, 4}, {3, 1}}});
+  cases.push_back({"sigmoid",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(Sigmoid(l[0]));
+                   },
+                   {{2, 3}}});
+  cases.push_back({"tanh",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(Tanh(l[0]));
+                   },
+                   {{2, 3}}});
+  cases.push_back({"softplus",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(Softplus(l[0]));
+                   },
+                   {{2, 3}}});
+  cases.push_back({"exp",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(Exp(l[0]));
+                   },
+                   {{2, 3}}});
+  cases.push_back({"scalar_chain",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(OneMinus(AddScalar(
+                         ScalarMul(Neg(l[0]), 0.7f), 0.2f)));
+                   },
+                   {{2, 3}}});
+  cases.push_back({"row_sum",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(RowSum(l[0]));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"mean_all",
+                   [](const std::vector<NodePtr>& l) {
+                     return MeanAll(Mul(l[0], l[0]));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"concat_slice",
+                   [](const std::vector<NodePtr>& l) {
+                     NodePtr cat = ConcatCols({l[0], l[1]});
+                     return Scalarize(SliceCols(cat, 1, 3));
+                   },
+                   {{2, 2}, {2, 2}}});
+  cases.push_back({"softmax_rows",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(SoftmaxRows(l[0]));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"embedding_lookup",
+                   [](const std::vector<NodePtr>& l) {
+                     return Scalarize(
+                         EmbeddingLookup(l[0], {0, 2, 1, 2}));
+                   },
+                   {{3, 2}}});
+  cases.push_back({"weighted_softplus_sum",
+                   [](const std::vector<NodePtr>& l) {
+                     Tensor w(4, 1, {2.0f, -1.0f, 0.5f, 1.5f});
+                     return Add(
+                         WeightedSoftplusSum(l[0], w, 1.0f),
+                         WeightedSoftplusSum(l[0], Tensor::Ones(4, 1),
+                                             -1.0f));
+                   },
+                   {{4, 1}}});
+  cases.push_back({"fm_interaction",
+                   [](const std::vector<NodePtr>& l) {
+                     NodePtr sum = Add(l[0], l[1]);
+                     NodePtr sq = Add(Mul(l[0], l[0]), Mul(l[1], l[1]));
+                     return SumAll(
+                         ScalarMul(RowSum(Sub(Mul(sum, sum), sq)), 0.5f));
+                   },
+                   {{3, 4}, {3, 4}}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckSweep, testing::ValuesIn(MakeCases()),
+    [](const testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheckComposite, MlpLogLoss) {
+  Rng rng(7);
+  Mlp mlp(&rng, 3, {5, 1}, Activation::kTanh);
+  NodePtr x = Constant(UniformInit(&rng, 4, 3, 1.0f));
+  Tensor pos = Tensor::Ones(4, 1);
+  const auto loss = [&]() {
+    return WeightedSoftplusSum(mlp.Forward(x), pos, -1.0f);
+  };
+  const GradCheckResult result = CheckGradients(loss, mlp.Parameters());
+  EXPECT_LT(result.max_rel_error, kTolerance);
+}
+
+TEST(GradCheckComposite, GruStepThroughTime) {
+  Rng rng(9);
+  GruCell gru(&rng, 2, 3);
+  NodePtr x0 = Constant(UniformInit(&rng, 2, 2, 1.0f));
+  NodePtr x1 = Constant(UniformInit(&rng, 2, 2, 1.0f));
+  const auto loss = [&]() {
+    NodePtr h = gru.Step(x1, gru.Step(x0, gru.InitialState(2)));
+    return SumAll(Mul(h, h));
+  };
+  // GRU gradients after two gated steps are tiny; raise the floor below
+  // which only absolute error counts (float32 finite-difference noise).
+  const GradCheckResult result =
+      CheckGradients(loss, gru.Parameters(), /*epsilon=*/1e-3,
+                     /*relative_floor=*/5e-3);
+  EXPECT_GT(result.checked_elements, 40);
+  EXPECT_LT(result.max_rel_error, kTolerance);
+  EXPECT_LT(result.max_abs_error, 5e-3);
+}
+
+TEST(GradCheckComposite, LinearIntoSoftmaxAttention) {
+  Rng rng(11);
+  Linear wq(&rng, 3, 3), wk(&rng, 3, 3), wv(&rng, 3, 3);
+  NodePtr f0 = Constant(UniformInit(&rng, 2, 3, 1.0f));
+  NodePtr f1 = Constant(UniformInit(&rng, 2, 3, 1.0f));
+  const auto loss = [&]() {
+    // Mini AutoInt block: field 0 attends over {0, 1}.
+    NodePtr q = wq.Forward(f0);
+    NodePtr s0 = RowSum(Mul(q, wk.Forward(f0)));
+    NodePtr s1 = RowSum(Mul(q, wk.Forward(f1)));
+    NodePtr att = SoftmaxRows(ConcatCols({s0, s1}));
+    NodePtr out = Add(MulColVector(wv.Forward(f0), SliceCols(att, 0, 1)),
+                      MulColVector(wv.Forward(f1), SliceCols(att, 1, 1)));
+    return SumAll(Mul(out, out));
+  };
+  std::vector<NodePtr> params;
+  for (const Linear* l : {&wq, &wk, &wv}) {
+    for (const NodePtr& p : l->Parameters()) params.push_back(p);
+  }
+  const GradCheckResult result = CheckGradients(loss, params);
+  EXPECT_LT(result.max_rel_error, kTolerance);
+}
+
+}  // namespace
+}  // namespace uae::nn

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/node.h"
+#include "nn/ops.h"
+
+namespace uae::nn {
+namespace {
+
+NodePtr C(int rows, int cols, std::vector<float> v) {
+  return Constant(Tensor(rows, cols, std::move(v)));
+}
+
+TEST(OpsTest, MatMulValues) {
+  NodePtr a = C(2, 3, {1, 2, 3, 4, 5, 6});
+  NodePtr b = C(3, 2, {7, 8, 9, 10, 11, 12});
+  NodePtr c = MatMul(a, b);
+  EXPECT_EQ(c->value.rows(), 2);
+  EXPECT_EQ(c->value.cols(), 2);
+  EXPECT_FLOAT_EQ(c->value.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c->value.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c->value.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c->value.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, AddSubMul) {
+  NodePtr a = C(1, 3, {1, 2, 3});
+  NodePtr b = C(1, 3, {10, 20, 30});
+  EXPECT_FLOAT_EQ(Add(a, b)->value.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(Sub(b, a)->value.at(0, 2), 27.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)->value.at(0, 0), 10.0f);
+}
+
+TEST(OpsTest, Broadcasts) {
+  NodePtr a = C(2, 2, {1, 2, 3, 4});
+  NodePtr row = C(1, 2, {10, 20});
+  NodePtr col = C(2, 1, {2, 3});
+  NodePtr ar = AddRowVector(a, row);
+  EXPECT_FLOAT_EQ(ar->value.at(1, 1), 24.0f);
+  NodePtr mc = MulColVector(a, col);
+  EXPECT_FLOAT_EQ(mc->value.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(mc->value.at(1, 0), 9.0f);
+}
+
+TEST(OpsTest, ScalarAndUnary) {
+  NodePtr a = C(1, 2, {-1, 2});
+  EXPECT_FLOAT_EQ(Neg(a)->value.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ScalarMul(a, 3.0f)->value.at(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f)->value.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(OneMinus(a)->value.at(0, 1), -1.0f);
+  EXPECT_FLOAT_EQ(Relu(a)->value.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a)->value.at(0, 1), 2.0f);
+  EXPECT_NEAR(Sigmoid(C(1, 1, {0.0f}))->value.ScalarValue(), 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(C(1, 1, {0.5f}))->value.ScalarValue(), std::tanh(0.5f),
+              1e-6);
+  EXPECT_NEAR(Exp(C(1, 1, {1.0f}))->value.ScalarValue(), std::exp(1.0f),
+              1e-5);
+  EXPECT_NEAR(Log(C(1, 1, {2.0f}))->value.ScalarValue(), std::log(2.0f),
+              1e-6);
+}
+
+TEST(OpsTest, SoftplusIsStableForLargeInputs) {
+  EXPECT_NEAR(Softplus(C(1, 1, {100.0f}))->value.ScalarValue(), 100.0f, 1e-4);
+  EXPECT_NEAR(Softplus(C(1, 1, {-100.0f}))->value.ScalarValue(), 0.0f, 1e-6);
+  EXPECT_NEAR(Softplus(C(1, 1, {0.0f}))->value.ScalarValue(),
+              std::log(2.0f), 1e-6);
+}
+
+TEST(OpsTest, Reductions) {
+  NodePtr a = C(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(a)->value.ScalarValue(), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a)->value.ScalarValue(), 3.5f);
+  NodePtr rs = RowSum(a);
+  EXPECT_EQ(rs->value.cols(), 1);
+  EXPECT_FLOAT_EQ(rs->value.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(rs->value.at(1, 0), 15.0f);
+}
+
+TEST(OpsTest, ConcatAndSlice) {
+  NodePtr a = C(2, 1, {1, 2});
+  NodePtr b = C(2, 2, {3, 4, 5, 6});
+  NodePtr cat = ConcatCols({a, b});
+  EXPECT_EQ(cat->value.cols(), 3);
+  EXPECT_FLOAT_EQ(cat->value.at(1, 2), 6.0f);
+  NodePtr sl = SliceCols(cat, 1, 2);
+  EXPECT_FLOAT_EQ(sl->value.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(sl->value.at(1, 1), 6.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsNormalizes) {
+  NodePtr a = C(2, 3, {1, 2, 3, -1, 0, 1});
+  NodePtr s = SoftmaxRows(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GT(s->value.at(r, c), 0.0f);
+      sum += s->value.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+    // Monotone in the logits.
+    EXPECT_LT(s->value.at(r, 0), s->value.at(r, 2));
+  }
+}
+
+TEST(OpsTest, SoftmaxHandlesLargeLogits) {
+  NodePtr s = SoftmaxRows(C(1, 2, {1000.0f, 999.0f}));
+  EXPECT_NEAR(s->value.at(0, 0) + s->value.at(0, 1), 1.0f, 1e-6);
+  EXPECT_GT(s->value.at(0, 0), s->value.at(0, 1));
+}
+
+TEST(OpsTest, EmbeddingLookupGathersRows) {
+  NodePtr table = C(3, 2, {0, 1, 10, 11, 20, 21});
+  NodePtr out = EmbeddingLookup(table, {2, 0, 2});
+  EXPECT_EQ(out->value.rows(), 3);
+  EXPECT_FLOAT_EQ(out->value.at(0, 1), 21.0f);
+  EXPECT_FLOAT_EQ(out->value.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out->value.at(2, 0), 20.0f);
+}
+
+TEST(OpsTest, WeightedSoftplusSumMatchesManual) {
+  NodePtr z = C(3, 1, {0.5f, -1.0f, 2.0f});
+  Tensor w(3, 1, {1.0f, 2.0f, 0.5f});
+  NodePtr out = WeightedSoftplusSum(z, w, 1.0f);
+  const double expected = 1.0 * std::log1p(std::exp(0.5)) +
+                          2.0 * std::log1p(std::exp(-1.0)) +
+                          0.5 * std::log1p(std::exp(2.0));
+  EXPECT_NEAR(out->value.ScalarValue(), expected, 1e-5);
+}
+
+TEST(OpsTest, WeightedSoftplusSumIsLogLossOnLogits) {
+  // pos weight on sign=-1 plus neg weight on sign=+1 equals binary cross
+  // entropy of sigmoid(z).
+  const float z = 0.7f;
+  NodePtr logits = C(1, 1, {z});
+  NodePtr pos = WeightedSoftplusSum(logits, Tensor::Scalar(1.0f), -1.0f);
+  const double p = 1.0 / (1.0 + std::exp(-z));
+  EXPECT_NEAR(pos->value.ScalarValue(), -std::log(p), 1e-6);
+  NodePtr neg = WeightedSoftplusSum(logits, Tensor::Scalar(1.0f), 1.0f);
+  EXPECT_NEAR(neg->value.ScalarValue(), -std::log(1.0 - p), 1e-6);
+}
+
+TEST(OpsTest, RequiresGradPropagates) {
+  NodePtr leaf = MakeLeaf(Tensor(1, 2), /*requires_grad=*/true);
+  NodePtr constant = C(1, 2, {1, 2});
+  EXPECT_TRUE(Add(leaf, constant)->requires_grad);
+  EXPECT_FALSE(Add(constant, constant)->requires_grad);
+}
+
+TEST(OpsTest, BackwardAccumulatesIntoLeaves) {
+  NodePtr x = MakeLeaf(Tensor(1, 1, {3.0f}), /*requires_grad=*/true);
+  // y = x^2 -> dy/dx = 6.
+  NodePtr y = SumAll(Mul(x, x));
+  Backward(y);
+  EXPECT_NEAR(x->grad.ScalarValue(), 6.0f, 1e-5);
+  // A second backward accumulates.
+  NodePtr y2 = SumAll(Mul(x, x));
+  Backward(y2);
+  EXPECT_NEAR(x->grad.ScalarValue(), 12.0f, 1e-5);
+}
+
+TEST(OpsTest, DiamondGraphGradients) {
+  // z = (x + x) * x = 2x^2 -> dz/dx = 4x.
+  NodePtr x = MakeLeaf(Tensor(1, 1, {2.0f}), /*requires_grad=*/true);
+  NodePtr z = SumAll(Mul(Add(x, x), x));
+  Backward(z);
+  EXPECT_NEAR(x->grad.ScalarValue(), 8.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace uae::nn

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/tensor.h"
+
+namespace uae::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(t.at(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.data()[5], 6.0f);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  const Tensor full = Tensor::Full(2, 2, 7.0f);
+  EXPECT_EQ(full.at(1, 1), 7.0f);
+  const Tensor s = Tensor::Scalar(-2.5f);
+  EXPECT_EQ(s.ScalarValue(), -2.5f);
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor(2, 3).SameShape(Tensor(2, 3)));
+  EXPECT_FALSE(Tensor(2, 3).SameShape(Tensor(3, 2)));
+}
+
+TEST(TensorTest, AddScaled) {
+  Tensor a(1, 3, {1, 2, 3});
+  const Tensor b(1, 3, {10, 20, 30});
+  a.AddScaled(b, 0.5f);
+  EXPECT_EQ(a.at(0, 0), 6.0f);
+  EXPECT_EQ(a.at(0, 1), 12.0f);
+  EXPECT_EQ(a.at(0, 2), 18.0f);
+}
+
+TEST(TensorTest, SumAndSetZero) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.Sum(), 10.0f);
+  t.SetZero();
+  EXPECT_EQ(t.Sum(), 0.0f);
+}
+
+TEST(TensorTest, DebugString) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.DebugString(), "[2x2] 1 2 / 3 4");
+}
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  const Tensor t = XavierUniform(&rng, 30, 70);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  float max_abs = 0.0f;
+  double mean = 0.0;
+  for (int i = 0; i < t.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(t.data()[i]));
+    mean += t.data()[i];
+  }
+  EXPECT_LE(max_abs, bound);
+  EXPECT_NEAR(mean / t.size(), 0.0, 0.02);
+}
+
+TEST(InitTest, NormalInitStddev) {
+  Rng rng(2);
+  const Tensor t = NormalInit(&rng, 100, 100, 0.05f);
+  double sum_sq = 0.0;
+  for (int i = 0; i < t.size(); ++i) sum_sq += t.data()[i] * t.data()[i];
+  EXPECT_NEAR(std::sqrt(sum_sq / t.size()), 0.05, 0.005);
+}
+
+}  // namespace
+}  // namespace uae::nn

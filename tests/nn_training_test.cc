@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace uae::nn {
+namespace {
+
+TEST(OptimizerTest, SgdMinimizesQuadratic) {
+  NodePtr x = MakeLeaf(Tensor(1, 1, {5.0f}), /*requires_grad=*/true);
+  Sgd sgd({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    NodePtr loss = SumAll(Mul(x, x));
+    sgd.ZeroGrad();
+    Backward(loss);
+    sgd.Step();
+  }
+  EXPECT_NEAR(x->value.ScalarValue(), 0.0f, 1e-4);
+}
+
+TEST(OptimizerTest, AdamMinimizesShiftedQuadratic) {
+  NodePtr x = MakeLeaf(Tensor(1, 2, {4.0f, -3.0f}), /*requires_grad=*/true);
+  Adam adam({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    // loss = sum((x - [1, 2])^2).
+    NodePtr diff = AddRowVector(x, Constant(Tensor(1, 2, {-1.0f, -2.0f})));
+    NodePtr loss = SumAll(Mul(diff, diff));
+    adam.ZeroGrad();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(x->value.at(0, 0), 1.0f, 1e-2);
+  EXPECT_NEAR(x->value.at(0, 1), 2.0f, 1e-2);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAccumulation) {
+  NodePtr x = MakeLeaf(Tensor(1, 1, {2.0f}), /*requires_grad=*/true);
+  Sgd sgd({x}, 0.0001f);
+  Backward(SumAll(Mul(x, x)));
+  const float g1 = x->grad.ScalarValue();
+  sgd.ZeroGrad();
+  EXPECT_EQ(x->grad.ScalarValue(), 0.0f);
+  Backward(SumAll(Mul(x, x)));
+  EXPECT_NEAR(x->grad.ScalarValue(), g1, 1e-4);
+}
+
+TEST(TrainingTest, MlpLearnsXor) {
+  Rng rng(3);
+  Mlp mlp(&rng, 2, {8, 1}, Activation::kTanh);
+  NodePtr x = Constant(Tensor(4, 2, {0, 0, 0, 1, 1, 0, 1, 1}));
+  Tensor pos_w(4, 1, {0, 1, 1, 0});  // XOR labels as loss weights.
+  Tensor neg_w(4, 1, {1, 0, 0, 1});
+  Adam adam(mlp.Parameters(), 0.05f);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    NodePtr logits = mlp.Forward(x);
+    NodePtr loss =
+        Add(WeightedSoftplusSum(logits, pos_w, -1.0f),
+            WeightedSoftplusSum(logits, neg_w, 1.0f));
+    if (i == 0) first_loss = loss->value.ScalarValue();
+    last_loss = loss->value.ScalarValue();
+    adam.ZeroGrad();
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 0.1 * first_loss);
+  // Predictions order correctly.
+  NodePtr probs = Sigmoid(mlp.Forward(x));
+  EXPECT_GT(probs->value.at(1, 0), 0.5f);
+  EXPECT_GT(probs->value.at(2, 0), 0.5f);
+  EXPECT_LT(probs->value.at(0, 0), 0.5f);
+  EXPECT_LT(probs->value.at(3, 0), 0.5f);
+}
+
+TEST(TrainingTest, EmbeddingLearnsPerIdTargets) {
+  Rng rng(5);
+  Embedding table(&rng, 4, 1);
+  Adam adam(table.Parameters(), 0.1f);
+  const std::vector<int> ids = {0, 1, 2, 3};
+  const Tensor targets(4, 1, {0.1f, -0.2f, 0.3f, 0.7f});
+  for (int i = 0; i < 300; ++i) {
+    NodePtr out = table.Forward(ids);
+    NodePtr diff = Sub(out, Constant(targets));
+    adam.ZeroGrad();
+    Backward(SumAll(Mul(diff, diff)));
+    adam.Step();
+  }
+  NodePtr out = table.Forward(ids);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(out->value.at(r, 0), targets.at(r, 0), 1e-2);
+  }
+}
+
+TEST(TrainingTest, GruLearnsToRememberFirstInput) {
+  // Target: output after 4 steps equals the first step's input sign.
+  Rng rng(11);
+  GruCell gru(&rng, 1, 6);
+  Linear head(&rng, 6, 1);
+  std::vector<NodePtr> params = gru.Parameters();
+  for (const NodePtr& p : head.Parameters()) params.push_back(p);
+  Adam adam(params, 0.03f);
+
+  Rng data_rng(17);
+  double last_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    constexpr int kBatch = 16;
+    Tensor first(kBatch, 1);
+    std::vector<Tensor> inputs;
+    for (int t = 0; t < 4; ++t) {
+      Tensor in(kBatch, 1);
+      for (int r = 0; r < kBatch; ++r) {
+        const float v = data_rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+        in.at(r, 0) = v;
+        if (t == 0) first.at(r, 0) = v > 0 ? 1.0f : 0.0f;
+      }
+      inputs.push_back(std::move(in));
+    }
+    NodePtr h = gru.InitialState(kBatch);
+    for (const Tensor& in : inputs) h = gru.Step(Constant(in), h);
+    NodePtr logits = head.Forward(h);
+    Tensor pos = first;
+    Tensor neg(kBatch, 1);
+    for (int r = 0; r < kBatch; ++r) neg.at(r, 0) = 1.0f - pos.at(r, 0);
+    NodePtr loss = ScalarMul(
+        Add(WeightedSoftplusSum(logits, pos, -1.0f),
+            WeightedSoftplusSum(logits, neg, 1.0f)),
+        1.0f / kBatch);
+    last_loss = loss->value.ScalarValue();
+    adam.ZeroGrad();
+    Backward(loss);
+    adam.Step();
+  }
+  // Memorizing one bit across 4 steps should reach near-zero loss.
+  EXPECT_LT(last_loss, 0.2);
+}
+
+TEST(TrainingTest, ModuleParameterCount) {
+  Rng rng(1);
+  Linear linear(&rng, 3, 4);
+  EXPECT_EQ(linear.ParameterCount(), 3 * 4 + 4);
+  Mlp mlp(&rng, 2, {5, 1}, Activation::kRelu);
+  EXPECT_EQ(mlp.ParameterCount(), (2 * 5 + 5) + (5 * 1 + 1));
+  GruCell gru(&rng, 2, 3);
+  EXPECT_EQ(gru.ParameterCount(), 3 * (2 * 3 + 3 * 3 + 3));
+}
+
+TEST(TrainingTest, SetFinalBiasAnchorsSigmoidPrior) {
+  Rng rng(2);
+  Mlp mlp(&rng, 3, {4, 1}, Activation::kRelu);
+  mlp.SetFinalBias(1.4f);
+  // With zero input the hidden ReLU output may be nonzero; use the bias
+  // directly: feed zeros through a fresh graph and check the logit is
+  // near the bias (hidden contribution is small at init).
+  NodePtr out = mlp.Forward(Constant(Tensor(1, 3)));
+  EXPECT_NEAR(out->value.ScalarValue(), 1.4f, 0.75f);
+}
+
+}  // namespace
+}  // namespace uae::nn

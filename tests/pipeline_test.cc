@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/pipeline.h"
+#include "data/generator.h"
+
+namespace uae::core {
+namespace {
+
+data::Dataset TinyDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 250;
+  cfg.num_users = 60;
+  cfg.num_songs = 150;
+  cfg.num_artists = 25;
+  cfg.num_albums = 40;
+  cfg.affinity_noise = 0.1;  // Keep the tiny-data task easily learnable.
+  return data::GenerateDataset(cfg, 31);
+}
+
+models::ModelConfig SmallModel() {
+  models::ModelConfig cfg;
+  cfg.embed_dim = 4;
+  cfg.mlp_dims = {16};
+  cfg.cross_layers = 2;
+  return cfg;
+}
+
+models::TrainConfig FastTrain() {
+  models::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 256;
+  return cfg;
+}
+
+TEST(FitAttentionTest, EdmArtifactsAreValid) {
+  const data::Dataset d = TinyDataset();
+  const AttentionArtifacts artifacts =
+      FitAttention(d, attention::AttentionMethod::kEdm, 2.0f, 1);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      const float alpha = artifacts.alpha.at(static_cast<int>(s), t);
+      const float weight = artifacts.weights.at(static_cast<int>(s), t);
+      EXPECT_GE(alpha, 0.0f);
+      EXPECT_LE(alpha, 1.0f);
+      EXPECT_GE(weight, 0.0f);
+      EXPECT_LE(weight, 1.0f);
+      if (d.sessions[s].events[t].active()) EXPECT_EQ(weight, 1.0f);
+    }
+  }
+  EXPECT_GE(artifacts.alpha_mae, 0.0);
+  EXPECT_LE(artifacts.alpha_mae, 1.0);
+  EXPECT_GE(artifacts.alpha_mae_passive, 0.0);
+}
+
+TEST(FitAttentionTest, UaeRecoversAttentionBetterThanEdm) {
+  // Needs enough sessions for the GRU towers to learn; the heuristic EDM
+  // has no parameters and is insensitive to data volume.
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 800;
+  cfg.num_users = 200;
+  cfg.num_songs = 400;
+  cfg.num_artists = 60;
+  cfg.num_albums = 120;
+  const data::Dataset d = data::GenerateDataset(cfg, 31);
+  const AttentionArtifacts edm =
+      FitAttention(d, attention::AttentionMethod::kEdm, 2.0f, 1);
+  const AttentionArtifacts uae =
+      FitAttention(d, attention::AttentionMethod::kUae, 2.0f, 1);
+  EXPECT_LT(uae.alpha_mae, edm.alpha_mae);
+}
+
+TEST(TrainModelTest, ProducesBothMetricFamilies) {
+  const data::Dataset d = TinyDataset();
+  models::TrainConfig train = FastTrain();
+  train.seed = 3;
+  const RunResult result = TrainModel(d, models::ModelKind::kWideDeep,
+                                      nullptr, SmallModel(), train);
+  EXPECT_GT(result.test.auc, 0.5);
+  EXPECT_GT(result.test.gauc, 0.4);
+  EXPECT_GT(result.test_oracle.auc, 0.4);
+  EXPECT_EQ(result.curves.valid_auc_per_epoch.size(), 2u);
+}
+
+TEST(CompareTest, SignificanceAndRelaImpr) {
+  const Comparison cmp = Compare({0.70, 0.71, 0.69, 0.70},
+                                 {0.73, 0.74, 0.72, 0.73});
+  EXPECT_NEAR(cmp.base_mean, 0.70, 1e-9);
+  EXPECT_NEAR(cmp.treated_mean, 0.73, 1e-9);
+  EXPECT_NEAR(cmp.relaimpr, (0.23 / 0.20 - 1.0) * 100.0, 1e-6);
+  EXPECT_TRUE(cmp.significant);
+  EXPECT_LT(cmp.p_value, 0.05);
+}
+
+TEST(CompareTest, NoSignificanceForOverlappingRuns) {
+  const Comparison cmp =
+      Compare({0.70, 0.72, 0.68, 0.71}, {0.71, 0.69, 0.72, 0.70});
+  EXPECT_FALSE(cmp.significant);
+}
+
+TEST(CompareTest, WorseTreatmentNeverSignificant) {
+  const Comparison cmp = Compare({0.73, 0.74, 0.72, 0.73},
+                                 {0.70, 0.71, 0.69, 0.70});
+  EXPECT_LT(cmp.relaimpr, 0.0);
+  EXPECT_FALSE(cmp.significant);
+}
+
+TEST(RunCellTest, MultiSeedSummaries) {
+  const data::Dataset d = TinyDataset();
+  CellSpec spec;
+  spec.model = models::ModelKind::kFm;
+  spec.method = std::nullopt;
+  spec.num_seeds = 2;
+  spec.model_config = SmallModel();
+  spec.train_config = FastTrain();
+  const CellResult result = RunCell(d, spec);
+  ASSERT_EQ(result.auc_runs.size(), 2u);
+  ASSERT_EQ(result.gauc_runs.size(), 2u);
+  EXPECT_NE(result.auc_runs[0], result.auc_runs[1]);  // Seeds differ.
+  EXPECT_NEAR(result.auc.mean,
+              (result.auc_runs[0] + result.auc_runs[1]) / 2.0, 1e-12);
+}
+
+TEST(RunCellTest, SharedWeightsBypassAttentionFit) {
+  const data::Dataset d = TinyDataset();
+  const AttentionArtifacts artifacts =
+      FitAttention(d, attention::AttentionMethod::kEdm, 2.0f, 1);
+  std::vector<const data::EventScores*> shared = {&artifacts.weights,
+                                                  &artifacts.weights};
+  CellSpec spec;
+  spec.model = models::ModelKind::kFm;
+  spec.method = attention::AttentionMethod::kEdm;
+  spec.num_seeds = 2;
+  spec.model_config = SmallModel();
+  spec.train_config = FastTrain();
+  const CellResult result = RunCell(d, spec, &shared);
+  EXPECT_EQ(result.auc_runs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace uae::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/risks.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "nn/ops.h"
+
+namespace uae::attention {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double Softplus(double x) { return std::log1p(std::exp(x)); }
+
+TEST(InverseWeightsTest, ActiveEventGetsInversePropensity) {
+  const float logit = 0.0f;  // sigmoid = 0.5 -> inverse weight 2.
+  const auto [pos, neg] = InverseWeights(true, logit, 0.05f);
+  EXPECT_NEAR(pos, 2.0f, 1e-6);
+  EXPECT_NEAR(neg, -1.0f, 1e-6);
+}
+
+TEST(InverseWeightsTest, PassiveEventIsPlainNegative) {
+  const auto [pos, neg] = InverseWeights(false, 1.3f, 0.05f);
+  EXPECT_EQ(pos, 0.0f);
+  EXPECT_EQ(neg, 1.0f);
+}
+
+TEST(InverseWeightsTest, ClipBoundsTheInverse) {
+  // sigmoid(-10) ~ 4.5e-5 would give weight ~22000; the clip caps it.
+  const auto [pos, neg] = InverseWeights(true, -10.0f, 0.05f);
+  EXPECT_NEAR(pos, 20.0f, 1e-3);
+  EXPECT_NEAR(neg, -19.0f, 1e-3);
+}
+
+data::Dataset TinyDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 30;
+  cfg.num_users = 10;
+  cfg.num_songs = 20;
+  cfg.num_artists = 5;
+  cfg.num_albums = 8;
+  return data::GenerateDataset(cfg, 7);
+}
+
+TEST(FlatRiskTest, MatchesHandComputation) {
+  const data::Dataset d = TinyDataset();
+  // Two events: find one active, one passive.
+  data::EventRef active_ref{-1, -1}, passive_ref{-1, -1};
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      if (d.sessions[s].events[t].active() && active_ref.session < 0) {
+        active_ref = {static_cast<int>(s), t};
+      }
+      if (!d.sessions[s].events[t].active() && passive_ref.session < 0) {
+        passive_ref = {static_cast<int>(s), t};
+      }
+    }
+  }
+  ASSERT_GE(active_ref.session, 0);
+  ASSERT_GE(passive_ref.session, 0);
+
+  const std::vector<data::EventRef> batch = {active_ref, passive_ref};
+  nn::NodePtr logits =
+      nn::Constant(nn::Tensor(2, 1, {0.4f, -0.7f}));
+  nn::NodePtr denom =
+      nn::Constant(nn::Tensor(2, 1, {-0.5f, 0.9f}));
+  RiskOptions options;
+  options.risk_clipping = false;
+
+  nn::NodePtr risk = BuildFlatRisk(d, batch, logits, denom, options);
+
+  // Hand computation.
+  const double p0 = std::max(0.05, Sigmoid(-0.5));
+  const double inv0 = 1.0 / p0;
+  const double pos = inv0 * Softplus(-0.4);                  // Active l+.
+  const double neg = (1.0 - inv0) * Softplus(0.4)            // Active l-.
+                     + 1.0 * Softplus(-0.7);                 // Passive l-.
+  EXPECT_NEAR(risk->value.ScalarValue(), (pos + neg) / 2.0, 1e-5);
+}
+
+TEST(FlatRiskTest, ClippingNeverIncreasesBelowUnclipped) {
+  // When the negative part is positive, clipping is a no-op; when it is
+  // negative, clipping raises the total risk to the positive part.
+  const data::Dataset d = TinyDataset();
+  std::vector<data::EventRef> batch;
+  for (size_t s = 0; s < d.sessions.size() && batch.size() < 8; ++s) {
+    for (int t = 0; t < d.sessions[s].length() && batch.size() < 8; ++t) {
+      if (d.sessions[s].events[t].active()) {
+        batch.push_back({static_cast<int>(s), t});
+      }
+    }
+  }
+  ASSERT_GE(batch.size(), 4u);
+  const int m = static_cast<int>(batch.size());
+  // All-active batch with low propensity -> strongly negative neg part.
+  nn::NodePtr logits = nn::Constant(nn::Tensor::Full(m, 1, 1.0f));
+  nn::NodePtr denom = nn::Constant(nn::Tensor::Full(m, 1, -2.0f));
+
+  RiskOptions unclipped;
+  unclipped.risk_clipping = false;
+  RiskOptions clipped;
+  clipped.risk_clipping = true;
+  const double r_unclipped =
+      BuildFlatRisk(d, batch, logits, denom, unclipped)->value.ScalarValue();
+  const double r_clipped =
+      BuildFlatRisk(d, batch, logits, denom, clipped)->value.ScalarValue();
+  EXPECT_GE(r_clipped, r_unclipped);
+  EXPECT_GE(r_clipped, 0.0);
+}
+
+TEST(SessionRiskTest, AgreesWithFlatRiskOnSameEvents) {
+  const data::Dataset d = TinyDataset();
+  // Pick one session; build the session risk and the equivalent flat risk.
+  const int s = 0;
+  const int length = d.sessions[s].length();
+  uae::Rng rng(3);
+  std::vector<nn::NodePtr> logits, denom;
+  std::vector<data::EventRef> flat;
+  std::vector<float> flat_logits, flat_denoms;
+  for (int t = 0; t < length; ++t) {
+    const float z = static_cast<float>(rng.Uniform(-1, 1));
+    const float dz = static_cast<float>(rng.Uniform(-1, 1));
+    logits.push_back(nn::Constant(nn::Tensor(1, 1, {z})));
+    denom.push_back(nn::Constant(nn::Tensor(1, 1, {dz})));
+    flat.push_back({s, t});
+    flat_logits.push_back(z);
+    flat_denoms.push_back(dz);
+  }
+  RiskOptions options;
+  const double session_risk =
+      BuildSessionRisk(d, {s}, logits, denom, options)->value.ScalarValue();
+
+  nn::NodePtr flat_z =
+      nn::Constant(nn::Tensor(length, 1, std::move(flat_logits)));
+  nn::NodePtr flat_d =
+      nn::Constant(nn::Tensor(length, 1, std::move(flat_denoms)));
+  const double flat_risk =
+      BuildFlatRisk(d, flat, flat_z, flat_d, options)->value.ScalarValue();
+  EXPECT_NEAR(session_risk, flat_risk, 2e-5);
+}
+
+TEST(SessionActivityTest, MatchesEvents) {
+  const data::Dataset d = TinyDataset();
+  const std::vector<int> sessions = {0};
+  const auto activity =
+      SessionActivity(d, sessions, d.sessions[0].length());
+  ASSERT_EQ(static_cast<int>(activity.size()), d.sessions[0].length());
+  for (int t = 0; t < d.sessions[0].length(); ++t) {
+    EXPECT_EQ(activity[t][0], d.sessions[0].events[t].active());
+  }
+}
+
+}  // namespace
+}  // namespace uae::attention

@@ -1,0 +1,241 @@
+// Monte-Carlo verification of the paper's theoretical results
+// (Proposition 1, Theorems 1-6) on a synthetic population with known
+// attention and propensity. These tests validate the *estimators'
+// algebra* — the quantities UAE minimizes — independently of any neural
+// network.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uae {
+namespace {
+
+/// A fixed population item with known latents and per-item losses.
+struct Item {
+  double alpha;      // True attention probability.
+  double p;          // True sequential propensity.
+  double loss_pos;   // l+ (loss if predicted as attended).
+  double loss_neg;   // l-.
+};
+
+std::vector<Item> MakePopulation(int n, Rng* rng) {
+  std::vector<Item> items;
+  items.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    items.push_back({rng->Uniform(0.2, 0.9), rng->Uniform(0.1, 0.8),
+                     rng->Uniform(0.1, 2.0), rng->Uniform(0.1, 2.0)});
+  }
+  return items;
+}
+
+/// One realization of the observed feedback e_i ~ Bern(p_i * alpha_i)
+/// via the structural model e = a * Bern(p) (Proposition 1).
+std::vector<int> SampleFeedback(const std::vector<Item>& items, Rng* rng) {
+  std::vector<int> e(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const bool attention = rng->Bernoulli(items[i].alpha);
+    e[i] = attention && rng->Bernoulli(items[i].p);
+  }
+  return e;
+}
+
+double IdealAttentionRisk(const std::vector<Item>& items) {
+  double risk = 0.0;
+  for (const Item& it : items) {
+    risk += it.alpha * it.loss_pos + (1.0 - it.alpha) * it.loss_neg;
+  }
+  return risk / items.size();
+}
+
+double IdealPropensityRisk(const std::vector<Item>& items) {
+  double risk = 0.0;
+  for (const Item& it : items) {
+    risk += it.p * it.loss_pos + (1.0 - it.p) * it.loss_neg;
+  }
+  return risk / items.size();
+}
+
+/// Eq. 10 realization with inverse weights `denom` (= p for the attention
+/// risk, = alpha for the dual propensity risk).
+double UnbiasedRisk(const std::vector<Item>& items, const std::vector<int>& e,
+                    bool weight_by_propensity) {
+  double risk = 0.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const double denom = weight_by_propensity ? items[i].p : items[i].alpha;
+    const double inv = e[i] / denom;
+    risk += inv * items[i].loss_pos + (1.0 - inv) * items[i].loss_neg;
+  }
+  return risk / items.size();
+}
+
+constexpr int kItems = 40;
+constexpr int kTrials = 200000;
+
+TEST(Proposition1, FeedbackRateIsAlphaTimesP) {
+  Rng rng(1);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  std::vector<double> hits(kItems, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<int> e = SampleFeedback(items, &rng);
+    for (int i = 0; i < kItems; ++i) hits[i] += e[i];
+  }
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_NEAR(hits[i] / kTrials, items[i].alpha * items[i].p, 0.005);
+  }
+}
+
+TEST(Theorem1, AttentionRiskIsUnbiased) {
+  Rng rng(2);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  double mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    mean += UnbiasedRisk(items, SampleFeedback(items, &rng),
+                         /*weight_by_propensity=*/true);
+  }
+  mean /= kTrials;
+  EXPECT_NEAR(mean, IdealAttentionRisk(items), 0.003);
+}
+
+TEST(Theorem2, PropensityRiskIsUnbiased) {
+  Rng rng(3);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  double mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    mean += UnbiasedRisk(items, SampleFeedback(items, &rng),
+                         /*weight_by_propensity=*/false);
+  }
+  mean /= kTrials;
+  EXPECT_NEAR(mean, IdealPropensityRisk(items), 0.003);
+}
+
+TEST(Theorem3, AttentionRiskVarianceFormula) {
+  Rng rng(4);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  // Monte-Carlo variance of the risk realizations.
+  double sum = 0.0, sum_sq = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const double r = UnbiasedRisk(items, SampleFeedback(items, &rng),
+                                  /*weight_by_propensity=*/true);
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double mc_var = sum_sq / kTrials - (sum / kTrials) * (sum / kTrials);
+  // Theorem 3 closed form.
+  double formula = 0.0;
+  for (const Item& it : items) {
+    const double diff = it.loss_pos - it.loss_neg;
+    formula += it.alpha * (1.0 / it.p - it.alpha) * diff * diff;
+  }
+  formula /= static_cast<double>(kItems) * kItems;
+  EXPECT_NEAR(mc_var, formula, 0.05 * formula + 1e-6);
+}
+
+TEST(Theorem4, PropensityRiskVarianceFormula) {
+  Rng rng(5);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const double r = UnbiasedRisk(items, SampleFeedback(items, &rng),
+                                  /*weight_by_propensity=*/false);
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double mc_var = sum_sq / kTrials - (sum / kTrials) * (sum / kTrials);
+  double formula = 0.0;
+  for (const Item& it : items) {
+    const double diff = it.loss_pos - it.loss_neg;
+    formula += it.p * (1.0 / it.alpha - it.p) * diff * diff;
+  }
+  formula /= static_cast<double>(kItems) * kItems;
+  EXPECT_NEAR(mc_var, formula, 0.05 * formula + 1e-6);
+}
+
+/// Risk with *misestimated* inverse weights (Theorem 5/6 setting).
+double MisestimatedRisk(const std::vector<Item>& items,
+                        const std::vector<int>& e,
+                        const std::vector<double>& denom_hat) {
+  double risk = 0.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const double inv = e[i] / denom_hat[i];
+    risk += inv * items[i].loss_pos + (1.0 - inv) * items[i].loss_neg;
+  }
+  return risk / items.size();
+}
+
+TEST(Theorem5, BiasUnderMisestimatedPropensity) {
+  Rng rng(6);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  // p-hat = c * p (bounded to < 1), a systematic overestimate.
+  std::vector<double> p_hat;
+  for (const Item& it : items) p_hat.push_back(std::min(0.99, 1.4 * it.p));
+
+  double mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    mean += MisestimatedRisk(items, SampleFeedback(items, &rng), p_hat);
+  }
+  mean /= kTrials;
+
+  double formula = 0.0;  // Theorem 5 closed form (signed, then abs).
+  for (int i = 0; i < kItems; ++i) {
+    formula += (items[i].p / p_hat[i] - 1.0) * items[i].alpha *
+               (items[i].loss_pos - items[i].loss_neg);
+  }
+  formula /= kItems;
+  const double observed_bias = mean - IdealAttentionRisk(items);
+  EXPECT_NEAR(observed_bias, formula, 0.004);
+  EXPECT_GT(std::fabs(formula), 0.01);  // The setup is genuinely biased.
+}
+
+TEST(Theorem6, BiasUnderMisestimatedAttention) {
+  Rng rng(7);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  std::vector<double> alpha_hat;  // Systematic underestimate.
+  for (const Item& it : items) alpha_hat.push_back(0.7 * it.alpha);
+
+  double mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    mean += MisestimatedRisk(items, SampleFeedback(items, &rng), alpha_hat);
+  }
+  mean /= kTrials;
+
+  double formula = 0.0;
+  for (int i = 0; i < kItems; ++i) {
+    formula += (items[i].alpha / alpha_hat[i] - 1.0) * items[i].p *
+               (items[i].loss_pos - items[i].loss_neg);
+  }
+  formula /= kItems;
+  EXPECT_NEAR(mean - IdealPropensityRisk(items), formula, 0.004);
+}
+
+TEST(BiasOfBaselines, PnRiskIsBiased) {
+  // Section III-C: E[R_PN] = mean[p*alpha*l+ + (1 - p*alpha)*l-], which
+  // differs from the ideal risk by mean[(1-p)*alpha*(l+ - l-)].
+  Rng rng(8);
+  const std::vector<Item> items = MakePopulation(kItems, &rng);
+  double mean = 0.0;
+  for (int t = 0; t < kTrials / 10; ++t) {
+    const std::vector<int> e = SampleFeedback(items, &rng);
+    double risk = 0.0;
+    for (int i = 0; i < kItems; ++i) {
+      risk += e[i] * items[i].loss_pos + (1 - e[i]) * items[i].loss_neg;
+    }
+    mean += risk / kItems;
+  }
+  mean /= kTrials / 10;
+  double expected_gap = 0.0;
+  for (const Item& it : items) {
+    expected_gap +=
+        (1.0 - it.p) * it.alpha * (it.loss_pos - it.loss_neg);
+  }
+  expected_gap /= kItems;
+  const double observed_gap = IdealAttentionRisk(items) - mean;
+  EXPECT_NEAR(observed_gap, expected_gap, 0.01);
+  EXPECT_GT(std::fabs(expected_gap), 0.005);
+}
+
+}  // namespace
+}  // namespace uae

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace uae::models {
+namespace {
+
+data::Dataset TinyDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 250;
+  cfg.num_users = 60;
+  cfg.num_songs = 150;
+  cfg.num_artists = 25;
+  cfg.num_albums = 40;
+  cfg.affinity_noise = 0.1;  // Keep the tiny-data task easily learnable.
+  return data::GenerateDataset(cfg, 23);
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig cfg;
+  cfg.embed_dim = 4;
+  cfg.mlp_dims = {16};
+  cfg.cross_layers = 2;
+  return cfg;
+}
+
+TrainConfig FastTrain(uint64_t seed = 1) {
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 128;
+  cfg.learning_rate = 3e-3f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ScoreEventsTest, ReturnsProbabilityPerEvent) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(1);
+  auto model =
+      CreateRecommender(ModelKind::kFm, &rng, d.schema, SmallConfig());
+  const auto refs = data::CollectEventRefs(d, data::SplitKind::kTest);
+  const auto scores = ScoreEvents(model.get(), d, refs, /*batch_size=*/100);
+  ASSERT_EQ(scores.size(), refs.size());
+  for (double s : scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(TrainerTest, TrainingBeatsUntrainedModel) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(2);
+  auto model =
+      CreateRecommender(ModelKind::kWideDeep, &rng, d.schema, SmallConfig());
+  const EvalResult before =
+      EvaluateRecommender(model.get(), d, data::SplitKind::kTest);
+  const TrainResult result =
+      TrainRecommender(model.get(), d, nullptr, FastTrain());
+  const EvalResult after =
+      EvaluateRecommender(model.get(), d, data::SplitKind::kTest);
+  EXPECT_GT(after.auc, before.auc + 0.02);
+  EXPECT_GT(result.best_valid_auc, 0.5);
+  EXPECT_EQ(result.train_auc_per_epoch.size(), 6u);
+  EXPECT_EQ(result.valid_auc_per_epoch.size(), 6u);
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(3);
+  auto model =
+      CreateRecommender(ModelKind::kDeepFm, &rng, d.schema, SmallConfig());
+  const TrainResult result =
+      TrainRecommender(model.get(), d, nullptr, FastTrain());
+  EXPECT_LT(result.train_loss_per_epoch.back(),
+            result.train_loss_per_epoch.front());
+}
+
+TEST(TrainerTest, DeterministicForSeed) {
+  const data::Dataset d = TinyDataset();
+  auto run = [&](uint64_t seed) {
+    Rng rng(seed);
+    auto model =
+        CreateRecommender(ModelKind::kFm, &rng, d.schema, SmallConfig());
+    TrainRecommender(model.get(), d, nullptr, FastTrain(seed));
+    return EvaluateRecommender(model.get(), d, data::SplitKind::kTest).auc;
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(TrainerTest, ZeroPassiveWeightsTrainOnActiveOnly) {
+  // With all passive weights 0 the loss only sees ~14% of the events;
+  // training must still run and produce a finite model.
+  const data::Dataset d = TinyDataset();
+  data::EventScores weights(d, 0.0f);
+  Rng rng(4);
+  auto model =
+      CreateRecommender(ModelKind::kWideDeep, &rng, d.schema, SmallConfig());
+  const TrainResult result =
+      TrainRecommender(model.get(), d, &weights, FastTrain());
+  EXPECT_GT(result.best_valid_auc, 0.0);
+  for (double loss : result.train_loss_per_epoch) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(TrainerTest, ObservedVsOracleLabelsDiffer) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(5);
+  auto model =
+      CreateRecommender(ModelKind::kWideDeep, &rng, d.schema, SmallConfig());
+  TrainRecommender(model.get(), d, nullptr, FastTrain());
+  const EvalResult observed = EvaluateRecommender(
+      model.get(), d, data::SplitKind::kTest, LabelKind::kObserved);
+  const EvalResult oracle = EvaluateRecommender(
+      model.get(), d, data::SplitKind::kTest, LabelKind::kOracleRelevance);
+  EXPECT_NE(observed.auc, oracle.auc);
+}
+
+TEST(TrainerTest, RestoreBestKeepsBestValidationEpoch) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(6);
+  auto model =
+      CreateRecommender(ModelKind::kFm, &rng, d.schema, SmallConfig());
+  TrainConfig cfg = FastTrain();
+  cfg.epochs = 5;
+  cfg.restore_best = true;
+  const TrainResult result = TrainRecommender(model.get(), d, nullptr, cfg);
+  // The restored model's validation AUC equals the recorded best.
+  const EvalResult valid =
+      EvaluateRecommender(model.get(), d, data::SplitKind::kValid);
+  EXPECT_NEAR(valid.auc, result.best_valid_auc, 1e-9);
+  EXPECT_GE(result.best_epoch, 0);
+  EXPECT_LT(result.best_epoch, 5);
+}
+
+}  // namespace
+}  // namespace uae::models
