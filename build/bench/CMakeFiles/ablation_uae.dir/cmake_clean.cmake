@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uae.dir/ablation_uae.cpp.o"
+  "CMakeFiles/ablation_uae.dir/ablation_uae.cpp.o.d"
+  "ablation_uae"
+  "ablation_uae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_attention_quality.dir/analysis_attention_quality.cpp.o"
+  "CMakeFiles/analysis_attention_quality.dir/analysis_attention_quality.cpp.o.d"
+  "analysis_attention_quality"
+  "analysis_attention_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_attention_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_feedback_rates.dir/fig3_feedback_rates.cpp.o"
+  "CMakeFiles/fig3_feedback_rates.dir/fig3_feedback_rates.cpp.o.d"
+  "fig3_feedback_rates"
+  "fig3_feedback_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_feedback_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

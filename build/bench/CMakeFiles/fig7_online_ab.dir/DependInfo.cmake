@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_online_ab.cpp" "bench/CMakeFiles/fig7_online_ab.dir/fig7_online_ab.cpp.o" "gcc" "bench/CMakeFiles/fig7_online_ab.dir/fig7_online_ab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_attention.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_online_ab.dir/fig7_online_ab.cpp.o"
+  "CMakeFiles/fig7_online_ab.dir/fig7_online_ab.cpp.o.d"
+  "fig7_online_ab"
+  "fig7_online_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_online_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_attention_baselines.dir/table5_attention_baselines.cpp.o"
+  "CMakeFiles/table5_attention_baselines.dir/table5_attention_baselines.cpp.o.d"
+  "table5_attention_baselines"
+  "table5_attention_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_attention_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

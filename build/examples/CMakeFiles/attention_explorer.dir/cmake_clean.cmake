@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_explorer.dir/attention_explorer.cpp.o"
+  "CMakeFiles/attention_explorer.dir/attention_explorer.cpp.o.d"
+  "attention_explorer"
+  "attention_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

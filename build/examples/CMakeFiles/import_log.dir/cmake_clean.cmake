@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/import_log.dir/import_log.cpp.o"
+  "CMakeFiles/import_log.dir/import_log.cpp.o.d"
+  "import_log"
+  "import_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/import_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attention/attention_estimator.cc" "src/CMakeFiles/uae_attention.dir/attention/attention_estimator.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/attention_estimator.cc.o.d"
+  "/root/repo/src/attention/edm.cc" "src/CMakeFiles/uae_attention.dir/attention/edm.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/edm.cc.o.d"
+  "/root/repo/src/attention/oracle.cc" "src/CMakeFiles/uae_attention.dir/attention/oracle.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/oracle.cc.o.d"
+  "/root/repo/src/attention/pn_ndb.cc" "src/CMakeFiles/uae_attention.dir/attention/pn_ndb.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/pn_ndb.cc.o.d"
+  "/root/repo/src/attention/reweight.cc" "src/CMakeFiles/uae_attention.dir/attention/reweight.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/reweight.cc.o.d"
+  "/root/repo/src/attention/risks.cc" "src/CMakeFiles/uae_attention.dir/attention/risks.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/risks.cc.o.d"
+  "/root/repo/src/attention/sar.cc" "src/CMakeFiles/uae_attention.dir/attention/sar.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/sar.cc.o.d"
+  "/root/repo/src/attention/towers.cc" "src/CMakeFiles/uae_attention.dir/attention/towers.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/towers.cc.o.d"
+  "/root/repo/src/attention/uae_model.cc" "src/CMakeFiles/uae_attention.dir/attention/uae_model.cc.o" "gcc" "src/CMakeFiles/uae_attention.dir/attention/uae_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_attention.dir/attention/attention_estimator.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/attention_estimator.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/edm.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/edm.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/oracle.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/oracle.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/pn_ndb.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/pn_ndb.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/reweight.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/reweight.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/risks.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/risks.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/sar.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/sar.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/towers.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/towers.cc.o.d"
+  "CMakeFiles/uae_attention.dir/attention/uae_model.cc.o"
+  "CMakeFiles/uae_attention.dir/attention/uae_model.cc.o.d"
+  "libuae_attention.a"
+  "libuae_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

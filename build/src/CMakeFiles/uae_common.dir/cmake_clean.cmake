@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_common.dir/common/csv.cc.o"
+  "CMakeFiles/uae_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/uae_common.dir/common/logging.cc.o"
+  "CMakeFiles/uae_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/uae_common.dir/common/rng.cc.o"
+  "CMakeFiles/uae_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/uae_common.dir/common/stats.cc.o"
+  "CMakeFiles/uae_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/uae_common.dir/common/status.cc.o"
+  "CMakeFiles/uae_common.dir/common/status.cc.o.d"
+  "CMakeFiles/uae_common.dir/common/table.cc.o"
+  "CMakeFiles/uae_common.dir/common/table.cc.o.d"
+  "libuae_common.a"
+  "libuae_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

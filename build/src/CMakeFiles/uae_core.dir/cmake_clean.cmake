@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_core.dir/core/experiment.cc.o"
+  "CMakeFiles/uae_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/uae_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/uae_core.dir/core/pipeline.cc.o.d"
+  "libuae_core.a"
+  "libuae_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

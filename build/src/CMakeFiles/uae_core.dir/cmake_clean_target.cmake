@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuae_core.a"
+)

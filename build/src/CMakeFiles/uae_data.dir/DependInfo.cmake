@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/uae_data.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/uae_data.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/uae_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/uae_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/feedback_stats.cc" "src/CMakeFiles/uae_data.dir/data/feedback_stats.cc.o" "gcc" "src/CMakeFiles/uae_data.dir/data/feedback_stats.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/uae_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/uae_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/uae_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/uae_data.dir/data/io.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/uae_data.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/uae_data.dir/data/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_data.dir/data/batcher.cc.o"
+  "CMakeFiles/uae_data.dir/data/batcher.cc.o.d"
+  "CMakeFiles/uae_data.dir/data/dataset.cc.o"
+  "CMakeFiles/uae_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/uae_data.dir/data/feedback_stats.cc.o"
+  "CMakeFiles/uae_data.dir/data/feedback_stats.cc.o.d"
+  "CMakeFiles/uae_data.dir/data/generator.cc.o"
+  "CMakeFiles/uae_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/uae_data.dir/data/io.cc.o"
+  "CMakeFiles/uae_data.dir/data/io.cc.o.d"
+  "CMakeFiles/uae_data.dir/data/schema.cc.o"
+  "CMakeFiles/uae_data.dir/data/schema.cc.o.d"
+  "libuae_data.a"
+  "libuae_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_eval.dir/eval/attention_metrics.cc.o"
+  "CMakeFiles/uae_eval.dir/eval/attention_metrics.cc.o.d"
+  "CMakeFiles/uae_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/uae_eval.dir/eval/metrics.cc.o.d"
+  "libuae_eval.a"
+  "libuae_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/autoint.cc" "src/CMakeFiles/uae_models.dir/models/autoint.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/autoint.cc.o.d"
+  "/root/repo/src/models/dcn.cc" "src/CMakeFiles/uae_models.dir/models/dcn.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/dcn.cc.o.d"
+  "/root/repo/src/models/dcn_v2.cc" "src/CMakeFiles/uae_models.dir/models/dcn_v2.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/dcn_v2.cc.o.d"
+  "/root/repo/src/models/deepfm.cc" "src/CMakeFiles/uae_models.dir/models/deepfm.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/deepfm.cc.o.d"
+  "/root/repo/src/models/extra_models.cc" "src/CMakeFiles/uae_models.dir/models/extra_models.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/extra_models.cc.o.d"
+  "/root/repo/src/models/features.cc" "src/CMakeFiles/uae_models.dir/models/features.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/features.cc.o.d"
+  "/root/repo/src/models/fm.cc" "src/CMakeFiles/uae_models.dir/models/fm.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/fm.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/CMakeFiles/uae_models.dir/models/registry.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/registry.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/CMakeFiles/uae_models.dir/models/trainer.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/trainer.cc.o.d"
+  "/root/repo/src/models/wide_deep.cc" "src/CMakeFiles/uae_models.dir/models/wide_deep.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/wide_deep.cc.o.d"
+  "/root/repo/src/models/youtube_net.cc" "src/CMakeFiles/uae_models.dir/models/youtube_net.cc.o" "gcc" "src/CMakeFiles/uae_models.dir/models/youtube_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

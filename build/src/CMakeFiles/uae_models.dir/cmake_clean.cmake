@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_models.dir/models/autoint.cc.o"
+  "CMakeFiles/uae_models.dir/models/autoint.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/dcn.cc.o"
+  "CMakeFiles/uae_models.dir/models/dcn.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/dcn_v2.cc.o"
+  "CMakeFiles/uae_models.dir/models/dcn_v2.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/deepfm.cc.o"
+  "CMakeFiles/uae_models.dir/models/deepfm.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/extra_models.cc.o"
+  "CMakeFiles/uae_models.dir/models/extra_models.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/features.cc.o"
+  "CMakeFiles/uae_models.dir/models/features.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/fm.cc.o"
+  "CMakeFiles/uae_models.dir/models/fm.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/registry.cc.o"
+  "CMakeFiles/uae_models.dir/models/registry.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/trainer.cc.o"
+  "CMakeFiles/uae_models.dir/models/trainer.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/wide_deep.cc.o"
+  "CMakeFiles/uae_models.dir/models/wide_deep.cc.o.d"
+  "CMakeFiles/uae_models.dir/models/youtube_net.cc.o"
+  "CMakeFiles/uae_models.dir/models/youtube_net.cc.o.d"
+  "libuae_models.a"
+  "libuae_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_nn.dir/nn/grad_check.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/grad_check.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/gru.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/gru.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/init.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/node.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/node.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/ops.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/ops.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/uae_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/uae_nn.dir/nn/tensor.cc.o.d"
+  "libuae_nn.a"
+  "libuae_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

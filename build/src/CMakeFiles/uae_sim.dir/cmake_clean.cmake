@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uae_sim.dir/sim/ab_test.cc.o"
+  "CMakeFiles/uae_sim.dir/sim/ab_test.cc.o.d"
+  "libuae_sim.a"
+  "libuae_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uae_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

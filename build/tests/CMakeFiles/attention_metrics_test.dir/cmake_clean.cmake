@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_metrics_test.dir/attention_metrics_test.cc.o"
+  "CMakeFiles/attention_metrics_test.dir/attention_metrics_test.cc.o.d"
+  "attention_metrics_test"
+  "attention_metrics_test.pdb"
+  "attention_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_stats_test.dir/feedback_stats_test.cc.o"
+  "CMakeFiles/feedback_stats_test.dir/feedback_stats_test.cc.o.d"
+  "feedback_stats_test"
+  "feedback_stats_test.pdb"
+  "feedback_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

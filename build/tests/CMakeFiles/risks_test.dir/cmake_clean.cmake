@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risks_test.dir/risks_test.cc.o"
+  "CMakeFiles/risks_test.dir/risks_test.cc.o.d"
+  "risks_test"
+  "risks_test.pdb"
+  "risks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

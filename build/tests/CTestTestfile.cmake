@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_grad_check_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_training_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/feedback_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/attention_test[1]_include.cmake")
+include("/root/repo/build/tests/risks_test[1]_include.cmake")
+include("/root/repo/build/tests/towers_test[1]_include.cmake")
+include("/root/repo/build/tests/attention_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/theorems_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[PipelineIntegration.PnCollapsesAndUaeDoesNot]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=PipelineIntegration.PnCollapsesAndUaeDoesNot]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineIntegration.PnCollapsesAndUaeDoesNot]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS PipelineIntegration.PnCollapsesAndUaeDoesNot)
