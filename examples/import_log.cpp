@@ -7,6 +7,7 @@
 // (default path: /tmp/uae_demo_log.txt — the file is created first)
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -38,14 +39,32 @@ int main(int argc, char** argv) {
                 path.c_str());
   }
 
+  // Real export pipelines emit the occasional mangled record; splice a few
+  // in so the import below has something to tolerate.
+  {
+    std::ofstream file(path, std::ios::app);
+    file << "event Like 3 180 | truncated-mid-write\n"
+         << "evnt Skip 1 240 | 3 17 | 0.2\n";
+  }
+
   // --- Import: from here on, the code is what you'd run on real data. ---
-  const StatusOr<data::Dataset> loaded = data::ReadDatasetText(path);
+  // Strict mode (the default) refuses the dirty log outright, naming the
+  // first offending line; lenient mode skips up to max_bad_lines records.
+  const StatusOr<data::Dataset> strict = data::ReadDatasetText(path);
+  std::printf("strict import: %s\n", strict.status().ToString().c_str());
+
+  data::IoReadReport report;
+  const StatusOr<data::Dataset> loaded = data::ReadDatasetText(
+      path, data::IoOptions{.max_bad_lines = 100}, &report);
   if (!loaded.ok()) {
     std::fprintf(stderr, "import failed: %s\n",
                  loaded.status().ToString().c_str());
     return 1;
   }
   const data::Dataset& dataset = loaded.value();
+  std::printf("lenient import: skipped %d malformed lines, dropped %d "
+              "sessions\n",
+              report.bad_lines, report.dropped_sessions);
   std::printf("imported: %zu sessions, %zu events, %d features, "
               "%.1f%% active feedback\n",
               dataset.sessions.size(), dataset.TotalEvents(),

@@ -4,9 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/fault.h"
+#include "common/logging.h"
 #include "data/batcher.h"
+#include "nn/guard.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
 
@@ -76,43 +80,77 @@ void Sar::Fit(const data::Dataset& dataset) {
   Rng rng(config_.seed);
   attention_net_ = std::make_unique<LocalNet>(&rng, dataset.schema, config_);
   propensity_net_ = std::make_unique<LocalNet>(&rng, dataset.schema, config_);
+  recovered_steps_ = 0;
 
-  nn::Adam attention_opt(attention_net_->Parameters(), config_.learning_rate);
-  nn::Adam propensity_opt(propensity_net_->Parameters(),
-                          config_.learning_rate);
+  const std::vector<nn::NodePtr> att_params = attention_net_->Parameters();
+  const std::vector<nn::NodePtr> pro_params = propensity_net_->Parameters();
+  nn::Adam attention_opt(att_params, config_.learning_rate);
+  nn::Adam propensity_opt(pro_params, config_.learning_rate);
   data::FlatBatcher batcher(
       data::CollectEventRefs(dataset, data::SplitKind::kTrain),
       config_.batch_size);
+
+  // Same watchdog as the UAE loop this baseline clones: reject non-finite
+  // steps before they reach Step(), halving that net's learning rate.
+  int bad_steps = 0;
+  bool diverged = false;
+  auto guarded_step = [&](nn::Adam* opt,
+                          const std::vector<nn::NodePtr>& params,
+                          const nn::NodePtr& risk) {
+    opt->ZeroGrad();
+    nn::Backward(risk);
+    if (UAE_FAULT_POINT("grad.nan") && !params.empty()) {
+      params[0]->grad.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (std::isfinite(risk->value.ScalarValue()) &&
+        !nn::HasNonFiniteGrad(params)) {
+      if (config_.clip_grad_norm > 0.0f) {
+        nn::ClipGradNorm(params, config_.clip_grad_norm);
+      }
+      opt->Step();
+      return;
+    }
+    ++recovered_steps_;
+    ++bad_steps;
+    opt->SetLearningRate(opt->learning_rate() * 0.5f);
+    UAE_LOG(Warning) << "SAR: non-finite step skipped (" << bad_steps << "/"
+                     << config_.max_bad_steps << ")";
+    if (bad_steps > config_.max_bad_steps) diverged = true;
+  };
+
   std::vector<data::EventRef> batch;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    for (int na = 0; na < config_.attention_steps; ++na) {
+  for (int epoch = 0; epoch < config_.epochs && !diverged; ++epoch) {
+    // The halving above is a within-epoch brake; re-arm every epoch.
+    attention_opt.SetLearningRate(config_.learning_rate);
+    propensity_opt.SetLearningRate(config_.learning_rate);
+    for (int na = 0; na < config_.attention_steps && !diverged; ++na) {
       batcher.StartEpoch(&rng);
-      while (batcher.Next(&batch)) {
+      while (batcher.Next(&batch) && !diverged) {
         nn::NodePtr att_logits = attention_net_->Logits(dataset, batch);
         nn::NodePtr pro_logits = propensity_net_->Logits(dataset, batch);
         const RiskOptions options{config_.weight_clip,
                                   config_.risk_clipping};
         nn::NodePtr risk =
             BuildFlatRisk(dataset, batch, att_logits, pro_logits, options);
-        attention_opt.ZeroGrad();
-        nn::Backward(risk);
-        attention_opt.Step();
+        guarded_step(&attention_opt, att_params, risk);
       }
     }
-    for (int np = 0; np < config_.propensity_steps; ++np) {
+    for (int np = 0; np < config_.propensity_steps && !diverged; ++np) {
       batcher.StartEpoch(&rng);
-      while (batcher.Next(&batch)) {
+      while (batcher.Next(&batch) && !diverged) {
         nn::NodePtr att_logits = attention_net_->Logits(dataset, batch);
         nn::NodePtr pro_logits = propensity_net_->Logits(dataset, batch);
         const RiskOptions options{config_.weight_clip,
                                   config_.risk_clipping};
         nn::NodePtr risk =
             BuildFlatRisk(dataset, batch, pro_logits, att_logits, options);
-        propensity_opt.ZeroGrad();
-        nn::Backward(risk);
-        propensity_opt.Step();
+        guarded_step(&propensity_opt, pro_params, risk);
       }
     }
+  }
+  if (diverged) {
+    UAE_LOG(Error) << "SAR: watchdog exceeded max_bad_steps="
+                   << config_.max_bad_steps << ", stopping early";
   }
 }
 

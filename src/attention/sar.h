@@ -20,6 +20,10 @@ struct SarConfig {
   float weight_clip = 0.05f;
   bool risk_clipping = true;
   uint64_t seed = 1;
+  /// Watchdog knobs (same semantics as UaeConfig): gradient-norm clip per
+  /// step (<= 0 off) and the budget of skipped non-finite steps.
+  float clip_grad_norm = 0.0f;
+  int max_bad_steps = 8;
 };
 
 /// SAR (Bekker et al., 2019): PU-learning under the Selected-At-Random
@@ -43,6 +47,9 @@ class Sar : public AttentionEstimator {
   /// Local-feature propensity estimate for every event.
   data::EventScores PredictPropensity(const data::Dataset& dataset) const;
 
+  /// Watchdog report: non-finite steps skipped during Fit.
+  int recovered_steps() const { return recovered_steps_; }
+
  private:
   struct LocalNet;  // Embedding bank + MLP over one event's features.
 
@@ -52,6 +59,7 @@ class Sar : public AttentionEstimator {
   SarConfig config_;
   std::unique_ptr<LocalNet> attention_net_;
   std::unique_ptr<LocalNet> propensity_net_;
+  int recovered_steps_ = 0;
 };
 
 }  // namespace uae::attention

@@ -4,14 +4,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "data/batcher.h"
+#include "nn/guard.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 
 namespace uae::attention {
+
+/// Checkpointed Fit state at an outer-epoch boundary. Serialized with
+/// nn::SaveTensors (atomic + CRC), layout:
+///   [0] meta [1,6] : epochs_done, recovered_steps, lr_att, lr_pro,
+///                    att_param_count, pro_param_count
+///   [1] [2,2]      : Adam step counters (att, pro) as double bits
+///   [2] [n,2]      : attention risk history (double bits)
+///   [3] [m,2]      : propensity risk history (double bits)
+///   then per tower: parameters, Adam m, Adam v.
+struct UaeCheckpointState {
+  int epochs_done = 0;
+  int recovered_steps = 0;
+  float lr_att = 0.0f;
+  float lr_pro = 0.0f;
+  std::vector<double> att_risk;
+  std::vector<double> pro_risk;
+  std::vector<nn::Tensor> att_params;
+  std::vector<nn::Tensor> pro_params;
+  nn::Adam::State att_adam;
+  nn::Adam::State pro_adam;
+};
+
 namespace {
 
 /// Runs sigmoid(logits) into the score store.
@@ -27,13 +53,127 @@ void StoreSigmoid(const std::vector<int>& sessions,
   }
 }
 
+std::vector<nn::Tensor> SnapshotValues(
+    const std::vector<nn::NodePtr>& params) {
+  std::vector<nn::Tensor> snapshot;
+  snapshot.reserve(params.size());
+  for (const nn::NodePtr& p : params) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void RestoreValues(const std::vector<nn::NodePtr>& params,
+                   const std::vector<nn::Tensor>& snapshot) {
+  UAE_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+Status SaveUaeCheckpoint(const UaeCheckpointState& state,
+                         const std::string& path) {
+  std::vector<nn::Tensor> tensors;
+  nn::Tensor meta(1, 6);
+  meta.at(0, 0) = static_cast<float>(state.epochs_done);
+  meta.at(0, 1) = static_cast<float>(state.recovered_steps);
+  meta.at(0, 2) = state.lr_att;
+  meta.at(0, 3) = state.lr_pro;
+  meta.at(0, 4) = static_cast<float>(state.att_params.size());
+  meta.at(0, 5) = static_cast<float>(state.pro_params.size());
+  tensors.push_back(std::move(meta));
+  tensors.push_back(nn::PackDoubles({static_cast<double>(state.att_adam.t),
+                                     static_cast<double>(state.pro_adam.t)}));
+  tensors.push_back(nn::PackDoubles(state.att_risk));
+  tensors.push_back(nn::PackDoubles(state.pro_risk));
+  for (const nn::Tensor& t : state.att_params) tensors.push_back(t);
+  for (const nn::Tensor& t : state.att_adam.m) tensors.push_back(t);
+  for (const nn::Tensor& t : state.att_adam.v) tensors.push_back(t);
+  for (const nn::Tensor& t : state.pro_params) tensors.push_back(t);
+  for (const nn::Tensor& t : state.pro_adam.m) tensors.push_back(t);
+  for (const nn::Tensor& t : state.pro_adam.v) tensors.push_back(t);
+  return nn::SaveTensors(tensors, path);
+}
+
+Status LoadUaeCheckpoint(const std::string& path, UaeCheckpointState* state) {
+  StatusOr<std::vector<nn::Tensor>> loaded = nn::LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<nn::Tensor>& tensors = loaded.value();
+  if (tensors.size() < 4 || tensors[0].rows() != 1 ||
+      tensors[0].cols() != 6 || tensors[1].rows() != 2) {
+    return Status::FailedPrecondition(path + " is not a UAE Fit checkpoint");
+  }
+  const nn::Tensor& meta = tensors[0];
+  const int att_count = static_cast<int>(meta.at(0, 4));
+  const int pro_count = static_cast<int>(meta.at(0, 5));
+  if (att_count < 0 || pro_count < 0 ||
+      tensors.size() != 4 + 3 * static_cast<size_t>(att_count) +
+                            3 * static_cast<size_t>(pro_count)) {
+    return Status::FailedPrecondition("UAE Fit checkpoint " + path +
+                                      " has an inconsistent tensor count");
+  }
+  state->epochs_done = static_cast<int>(meta.at(0, 0));
+  state->recovered_steps = static_cast<int>(meta.at(0, 1));
+  state->lr_att = meta.at(0, 2);
+  state->lr_pro = meta.at(0, 3);
+  if (state->epochs_done < 0 || state->lr_att <= 0.0f ||
+      state->lr_pro <= 0.0f) {
+    return Status::FailedPrecondition("UAE Fit checkpoint " + path +
+                                      " has inconsistent metadata");
+  }
+  const std::vector<double> adam_t = nn::UnpackDoubles(tensors[1]);
+  state->att_adam.t = static_cast<int64_t>(adam_t[0]);
+  state->pro_adam.t = static_cast<int64_t>(adam_t[1]);
+  state->att_risk = nn::UnpackDoubles(tensors[2]);
+  state->pro_risk = nn::UnpackDoubles(tensors[3]);
+  size_t cursor = 4;
+  auto take = [&](int count, std::vector<nn::Tensor>* out) {
+    out->assign(std::make_move_iterator(tensors.begin() + cursor),
+                std::make_move_iterator(tensors.begin() + cursor + count));
+    cursor += count;
+  };
+  take(att_count, &state->att_params);
+  take(att_count, &state->att_adam.m);
+  take(att_count, &state->att_adam.v);
+  take(pro_count, &state->pro_params);
+  take(pro_count, &state->pro_adam.m);
+  take(pro_count, &state->pro_adam.v);
+  return Status::Ok();
+}
+
+/// Validates a loaded checkpoint against freshly constructed tower
+/// parameters (shape-for-shape, finite values).
+Status ValidateTowerState(const std::vector<nn::NodePtr>& params,
+                          const std::vector<nn::Tensor>& ckpt_params,
+                          const nn::Adam::State& adam,
+                          const std::string& path, const char* tower) {
+  if (ckpt_params.size() != params.size() ||
+      adam.m.size() != params.size() || adam.v.size() != params.size()) {
+    return Status::FailedPrecondition(
+        std::string("UAE Fit checkpoint ") + path + ": " + tower +
+        " tower parameter count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!ckpt_params[i].SameShape(params[i]->value) ||
+        !adam.m[i].SameShape(params[i]->value) ||
+        !adam.v[i].SameShape(params[i]->value)) {
+      return Status::FailedPrecondition(
+          std::string("UAE Fit checkpoint ") + path + ": " + tower +
+          " tower shape mismatch (different architecture?)");
+    }
+    if (nn::HasNonFinite(ckpt_params[i])) {
+      return Status::FailedPrecondition(
+          std::string("UAE Fit checkpoint ") + path + ": " + tower +
+          " tower holds non-finite parameters");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Uae::Uae(const UaeConfig& config) : config_(config) {}
 
 Uae::~Uae() = default;
 
-void Uae::Fit(const data::Dataset& dataset) {
+void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
+                 float lr_pro, const UaeCheckpointState* resume) {
   Rng rng(config_.seed);
   attention_tower_ =
       std::make_unique<AttentionTower>(&rng, dataset.schema, config_.tower);
@@ -43,18 +183,76 @@ void Uae::Fit(const data::Dataset& dataset) {
   attention_tower_->SetOutputBias(config_.init_attention_logit);
   propensity_tower_->SetOutputBias(config_.init_propensity_logit);
 
-  nn::Adam attention_opt(attention_tower_->Parameters(),
-                         config_.lr_attention);
-  nn::Adam propensity_opt(propensity_tower_->Parameters(),
-                          config_.lr_propensity);
+  const std::vector<nn::NodePtr> att_params = attention_tower_->Parameters();
+  const std::vector<nn::NodePtr> pro_params =
+      propensity_tower_->Parameters();
+  nn::Adam attention_opt(att_params, lr_att);
+  nn::Adam propensity_opt(pro_params, lr_pro);
 
   data::SessionBatcher batcher(dataset, dataset.split.train,
                                config_.batch_sessions);
-  std::vector<int> batch;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    // ---- Unbiased attention risk minimizer (Algorithm 1, lines 3-7) ----
-    for (int na = 0; na < config_.attention_steps; ++na) {
+  if (resume != nullptr) {
+    RestoreValues(att_params, resume->att_params);
+    RestoreValues(pro_params, resume->pro_params);
+    attention_opt.ImportState(resume->att_adam);
+    propensity_opt.ImportState(resume->pro_adam);
+    attention_risk_history_ = resume->att_risk;
+    propensity_risk_history_ = resume->pro_risk;
+    recovered_steps_ = resume->recovered_steps;
+    // Replay the shuffle draws the completed epochs consumed so the
+    // remaining epochs see the exact batch order of an uninterrupted run.
+    const int passes_per_epoch =
+        config_.attention_steps + config_.propensity_steps;
+    for (int i = 0; i < start_epoch * passes_per_epoch; ++i) {
       batcher.StartEpoch(&rng);
+    }
+  }
+
+  int bad_steps = 0;
+  // Shared watchdog: backward, reject non-finite steps (skip Step, halve
+  // that tower's LR, roll back poisoned parameters), optionally clip.
+  // Returns true when the step was applied.
+  auto guarded_step = [&](nn::Adam* opt,
+                          const std::vector<nn::NodePtr>& params,
+                          const nn::NodePtr& risk,
+                          const std::vector<nn::Tensor>& good_snapshot,
+                          const char* tower) {
+    opt->ZeroGrad();
+    nn::Backward(risk);
+    if (UAE_FAULT_POINT("grad.nan") && !params.empty()) {
+      params[0]->grad.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (std::isfinite(risk->value.ScalarValue()) &&
+        !nn::HasNonFiniteGrad(params)) {
+      if (config_.clip_grad_norm > 0.0f) {
+        nn::ClipGradNorm(params, config_.clip_grad_norm);
+      }
+      opt->Step();
+      return true;
+    }
+    ++recovered_steps_;
+    ++bad_steps;
+    if (nn::HasNonFinite(params)) RestoreValues(params, good_snapshot);
+    opt->SetLearningRate(opt->learning_rate() * 0.5f);
+    UAE_LOG(Warning) << "UAE " << tower << " tower: non-finite step skipped ("
+                     << bad_steps << "/" << config_.max_bad_steps
+                     << "), lr halved to " << opt->learning_rate();
+    if (bad_steps > config_.max_bad_steps) diverged_ = true;
+    return false;
+  };
+
+  std::vector<int> batch;
+  for (int epoch = start_epoch; epoch < config_.epochs && !diverged_;
+       ++epoch) {
+    // The watchdog's LR halving is a within-epoch brake: each outer epoch
+    // re-arms both towers at the configured rates (checkpoints are
+    // epoch-aligned, so resumed runs re-arm identically).
+    attention_opt.SetLearningRate(config_.lr_attention);
+    propensity_opt.SetLearningRate(config_.lr_propensity);
+    // ---- Unbiased attention risk minimizer (Algorithm 1, lines 3-7) ----
+    for (int na = 0; na < config_.attention_steps && !diverged_; ++na) {
+      batcher.StartEpoch(&rng);
+      const std::vector<nn::Tensor> good = SnapshotValues(att_params);
       double risk_sum = 0.0;
       int batches = 0;
       while (batcher.Next(&batch)) {
@@ -66,17 +264,20 @@ void Uae::Fit(const data::Dataset& dataset) {
                                   config_.risk_clipping};
         nn::NodePtr risk = BuildSessionRisk(dataset, batch, att.logits,
                                             pro_logits, options);
-        attention_opt.ZeroGrad();
-        nn::Backward(risk);
-        attention_opt.Step();
-        risk_sum += risk->value.ScalarValue();
-        ++batches;
+        if (guarded_step(&attention_opt, att_params, risk, good,
+                         "attention")) {
+          risk_sum += risk->value.ScalarValue();
+          ++batches;
+        } else if (diverged_) {
+          break;
+        }
       }
       attention_risk_history_.push_back(risk_sum / std::max(1, batches));
     }
     // ---- Unbiased propensity risk minimizer (lines 9-12) ----
-    for (int np = 0; np < config_.propensity_steps; ++np) {
+    for (int np = 0; np < config_.propensity_steps && !diverged_; ++np) {
       batcher.StartEpoch(&rng);
+      const std::vector<nn::Tensor> good = SnapshotValues(pro_params);
       double risk_sum = 0.0;
       int batches = 0;
       while (batcher.Next(&batch)) {
@@ -88,18 +289,90 @@ void Uae::Fit(const data::Dataset& dataset) {
                                   config_.risk_clipping};
         nn::NodePtr risk = BuildSessionRisk(dataset, batch, pro_logits,
                                             att.logits, options);
-        propensity_opt.ZeroGrad();
-        nn::Backward(risk);
-        propensity_opt.Step();
-        risk_sum += risk->value.ScalarValue();
-        ++batches;
+        if (guarded_step(&propensity_opt, pro_params, risk, good,
+                         "propensity")) {
+          risk_sum += risk->value.ScalarValue();
+          ++batches;
+        } else if (diverged_) {
+          break;
+        }
       }
       propensity_risk_history_.push_back(risk_sum / std::max(1, batches));
     }
     UAE_LOG(Debug) << "UAE epoch " << epoch + 1 << "/" << config_.epochs
                    << " att_risk=" << attention_risk_history_.back()
                    << " pro_risk=" << propensity_risk_history_.back();
+    if (!config_.checkpoint_path.empty() &&
+        ((epoch + 1) % std::max(1, config_.checkpoint_every) == 0 ||
+         epoch + 1 == config_.epochs)) {
+      UaeCheckpointState state;
+      state.epochs_done = epoch + 1;
+      state.recovered_steps = recovered_steps_;
+      state.lr_att = attention_opt.learning_rate();
+      state.lr_pro = propensity_opt.learning_rate();
+      state.att_risk = attention_risk_history_;
+      state.pro_risk = propensity_risk_history_;
+      state.att_params = SnapshotValues(att_params);
+      state.pro_params = SnapshotValues(pro_params);
+      state.att_adam = attention_opt.ExportState();
+      state.pro_adam = propensity_opt.ExportState();
+      const Status saved =
+          SaveUaeCheckpoint(state, config_.checkpoint_path);
+      if (!saved.ok()) {
+        // The previous durable checkpoint survives (atomic rename);
+        // training itself must not die on a failed save.
+        UAE_LOG(Warning) << "UAE checkpoint save failed (training "
+                            "continues): "
+                         << saved.ToString();
+      }
+    }
   }
+  if (diverged_) {
+    UAE_LOG(Error) << "UAE: watchdog exceeded max_bad_steps="
+                   << config_.max_bad_steps << ", stopping early";
+  }
+}
+
+void Uae::Fit(const data::Dataset& dataset) {
+  attention_risk_history_.clear();
+  propensity_risk_history_.clear();
+  recovered_steps_ = 0;
+  diverged_ = false;
+  RunFit(dataset, /*start_epoch=*/0, config_.lr_attention,
+         config_.lr_propensity, /*resume=*/nullptr);
+}
+
+Status Uae::Resume(const data::Dataset& dataset, const std::string& path) {
+  UaeCheckpointState state;
+  const Status loaded = LoadUaeCheckpoint(path, &state);
+  if (!loaded.ok()) return loaded;
+  if (state.epochs_done > config_.epochs) {
+    return Status::FailedPrecondition(
+        "checkpoint is past the configured horizon: " +
+        std::to_string(state.epochs_done) + " epochs done, config asks " +
+        std::to_string(config_.epochs));
+  }
+  {
+    // Probe towers: consume the same init draws RunFit will, purely to
+    // validate the checkpoint against this architecture before mutating
+    // any member state.
+    Rng rng(config_.seed);
+    AttentionTower att_probe(&rng, dataset.schema, config_.tower);
+    PropensityTower pro_probe(&rng, att_probe.state_dim(), config_.tower,
+                              config_.sequential_propensity);
+    Status valid = ValidateTowerState(att_probe.Parameters(),
+                                      state.att_params, state.att_adam,
+                                      path, "attention");
+    if (!valid.ok()) return valid;
+    valid = ValidateTowerState(pro_probe.Parameters(), state.pro_params,
+                               state.pro_adam, path, "propensity");
+    if (!valid.ok()) return valid;
+  }
+  UAE_LOG(Info) << "UAE: resuming from " << path << " at epoch "
+                << state.epochs_done << "/" << config_.epochs;
+  diverged_ = false;
+  RunFit(dataset, state.epochs_done, state.lr_att, state.lr_pro, &state);
+  return Status::Ok();
 }
 
 data::EventScores Uae::PredictAttention(const data::Dataset& dataset) const {

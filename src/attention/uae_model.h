@@ -2,9 +2,11 @@
 #define UAE_ATTENTION_UAE_MODEL_H_
 
 #include <memory>
+#include <string>
 
 #include "attention/attention_estimator.h"
 #include "attention/towers.h"
+#include "common/status.h"
 
 namespace uae::attention {
 
@@ -34,6 +36,19 @@ struct UaeConfig {
   float init_attention_logit = 1.4f;
   float init_propensity_logit = -0.85f;
   uint64_t seed = 1;
+
+  // --- Robustness knobs (DESIGN.md "Failure model & recovery"); defaults
+  // keep clean runs bit-identical to the unguarded alternating loop.
+  /// Global gradient-norm clip per tower step (<= 0 disables).
+  float clip_grad_norm = 0.0f;
+  /// Non-finite steps tolerated across Fit before giving up; each one is
+  /// skipped and halves that tower's learning rate for the rest of the
+  /// epoch.
+  int max_bad_steps = 8;
+  /// When non-empty, Fit writes a durable checkpoint of both towers here
+  /// every `checkpoint_every` outer epochs; Resume() continues from it.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 /// UAE: the paper's unbiased attention estimator. Two GRU towers trained
@@ -49,6 +64,20 @@ class Uae : public AttentionEstimator {
   const char* name() const override { return "UAE"; }
 
   void Fit(const data::Dataset& dataset) override;
+
+  /// Continues an interrupted Fit from the durable checkpoint at `path`
+  /// (written by Fit with UaeConfig::checkpoint_path set): rebuilds the
+  /// towers, restores parameters + optimizer moments + risk histories,
+  /// replays the RNG stream past the completed epochs, and runs the
+  /// remaining ones — step-for-step identical to an uninterrupted Fit
+  /// with the same seed. Fails with IoError on a missing/corrupt file and
+  /// FailedPrecondition on an architecture mismatch.
+  Status Resume(const data::Dataset& dataset, const std::string& path);
+
+  /// Watchdog report: non-finite tower steps skipped during Fit/Resume.
+  int recovered_steps() const { return recovered_steps_; }
+  /// True when the watchdog exhausted UaeConfig::max_bad_steps.
+  bool diverged() const { return diverged_; }
 
   data::EventScores PredictAttention(
       const data::Dataset& dataset) const override;
@@ -66,11 +95,19 @@ class Uae : public AttentionEstimator {
   }
 
  private:
+  /// Builds fresh towers with the config seed (consuming the same RNG
+  /// draws whether fitting or resuming) and runs Algorithm 1 starting at
+  /// `start_epoch` with the given tower learning rates.
+  void RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
+              float lr_pro, const struct UaeCheckpointState* resume);
+
   UaeConfig config_;
   std::unique_ptr<AttentionTower> attention_tower_;
   std::unique_ptr<PropensityTower> propensity_tower_;
   std::vector<double> attention_risk_history_;
   std::vector<double> propensity_risk_history_;
+  int recovered_steps_ = 0;
+  bool diverged_ = false;
 };
 
 }  // namespace uae::attention

@@ -6,7 +6,10 @@
 #include <sstream>
 #include <string>
 
-#include "common/status.h"
+// Deliberately does NOT include common/status.h (status.h uses these
+// macros in StatusOr, so the dependency points the other way). UAE_CHECK_OK
+// call sites need ::uae::Status visible, which every caller passing a
+// Status expression already has.
 
 namespace uae::internal {
 

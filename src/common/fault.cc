@@ -1,0 +1,63 @@
+#include "common/fault.h"
+
+#include <algorithm>
+
+namespace uae {
+
+std::atomic<bool> FaultInjector::armed_any_{false};
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State state;
+  state.spec = spec;
+  state.spec.probability = std::clamp(spec.probability, 0.0, 1.0);
+  state.rng = Rng(spec.seed);
+  states_[point] = std::move(state);
+  armed_any_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.erase(point);
+  armed_any_.store(!states_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.clear();
+  armed_any_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(point);
+  if (it == states_.end()) return false;
+  State& state = it->second;
+  ++state.stats.trials;
+  const bool fires = state.rng.Bernoulli(state.spec.probability);
+  if (fires) ++state.stats.fires;
+  return fires;
+}
+
+FaultInjector::FaultStats FaultInjector::Stats(
+    const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(point);
+  if (it == states_.end()) return {};
+  return it->second.stats;
+}
+
+std::vector<std::string> FaultInjector::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> points;
+  points.reserve(states_.size());
+  for (const auto& [name, state] : states_) points.push_back(name);
+  return points;
+}
+
+}  // namespace uae

@@ -1,0 +1,94 @@
+#ifndef UAE_COMMON_FAULT_H_
+#define UAE_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uae {
+
+/// Deterministic, seedable fault injection for chaos testing.
+///
+/// Production code marks recoverable failure sites with named fault
+/// points (UAE_FAULT_POINT("io.read")); tests arm a subset of them with a
+/// firing probability and a seed, run the workload, and assert that the
+/// recovery paths keep the system healthy. When nothing is armed the
+/// macro is a single relaxed atomic load — safe to leave in hot loops.
+///
+/// Registered fault points (see DESIGN.md "Failure model & recovery"):
+///   io.read     — dataset text import corrupts the current line
+///   ckpt.write  — checkpoint write aborts mid-payload (partial write)
+///   grad.nan    — a parameter gradient is poisoned with NaN post-backward
+///
+/// Each armed point draws from its own Rng, so firing sequences are
+/// reproducible per point and independent of arming order or of other
+/// points' draw counts.
+class FaultInjector {
+ public:
+  struct FaultSpec {
+    /// Probability in [0,1] that one ShouldFire() call fires.
+    double probability = 0.0;
+    uint64_t seed = 1;
+  };
+
+  /// Per-point counters, for asserting coverage in chaos tests.
+  struct FaultStats {
+    int64_t trials = 0;
+    int64_t fires = 0;
+  };
+
+  static FaultInjector& Instance();
+
+  /// True iff at least one fault point is armed (fast path gate).
+  static bool Enabled() {
+    return armed_any_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms `point` with the given spec; re-arming resets its Rng and stats.
+  void Arm(const std::string& point, const FaultSpec& spec);
+
+  /// Disarms one point (no-op if not armed).
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and clears all stats. Call in test teardown.
+  void DisarmAll();
+
+  /// Draws once for `point`; returns true if the fault fires. Unarmed
+  /// points never fire (but are counted as a trial only when armed).
+  bool ShouldFire(const std::string& point);
+
+  /// Stats for a point (zeros if never armed since the last DisarmAll).
+  FaultStats Stats(const std::string& point) const;
+
+  /// All points armed at the moment, sorted.
+  std::vector<std::string> ArmedPoints() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct State {
+    FaultSpec spec;
+    Rng rng{1};
+    FaultStats stats;
+  };
+
+  static std::atomic<bool> armed_any_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, State> states_;
+};
+
+}  // namespace uae
+
+/// Evaluates to true when the named fault point fires. Compiles to a
+/// relaxed load + branch when nothing is armed.
+#define UAE_FAULT_POINT(point) \
+  (::uae::FaultInjector::Enabled() && \
+   ::uae::FaultInjector::Instance().ShouldFire(point))
+
+#endif  // UAE_COMMON_FAULT_H_

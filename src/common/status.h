@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
+
 namespace uae {
 
 /// Error categories used across the library. Modeled after the RocksDB /
@@ -77,10 +79,21 @@ class StatusOr {
     return std::get<Status>(rep_);
   }
 
-  /// Requires ok(). Use status() to inspect failures first.
-  const T& value() const& { return std::get<T>(rep_); }
-  T& value() & { return std::get<T>(rep_); }
-  T&& value() && { return std::get<T>(std::move(rep_)); }
+  /// Requires ok(); aborts with the carried error otherwise (the library
+  /// convention is no exceptions, so letting std::get throw would be UB
+  /// in practice). Use status() to inspect failures first.
+  const T& value() const& {
+    UAE_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    UAE_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    UAE_CHECK_MSG(ok(), status().ToString());
+    return std::get<T>(std::move(rep_));
+  }
 
  private:
   std::variant<T, Status> rep_;

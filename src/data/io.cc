@@ -3,6 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+#include "common/logging.h"
+
 namespace uae::data {
 namespace {
 
@@ -15,6 +18,42 @@ const FeedbackAction kAllActions[] = {
 
 Status ParseError(int line, const std::string& what) {
   return Status::InvalidArgument("line " + std::to_string(line) + ": " + what);
+}
+
+/// Parses the tail of an "event ..." line (the stream is positioned right
+/// after the keyword). Returns a plain (line-less) message on failure so
+/// strict and lenient callers can frame it their own way.
+Status ParseEventLine(std::istringstream& in, const FeatureSchema& schema,
+                      Event* event) {
+  std::string action_name, bar;
+  float play = 0, duration = 0;
+  in >> action_name >> play >> duration >> bar;
+  if (!in || bar != "|") return Status::InvalidArgument("bad event prefix");
+  const StatusOr<FeedbackAction> action = ParseFeedbackAction(action_name);
+  if (!action.ok()) return action.status();
+  event->action = action.value();
+  event->play_seconds = play;
+  event->song_duration = duration;
+  for (int f = 0; f < schema.num_sparse(); ++f) {
+    int id = -1;
+    in >> id;
+    if (!in || id < 0 || id >= schema.sparse_field(f).vocab) {
+      return Status::InvalidArgument("bad sparse id for field " +
+                                     schema.sparse_field(f).name);
+    }
+    event->sparse.push_back(id);
+  }
+  in >> bar;
+  if (!in || bar != "|") {
+    return Status::InvalidArgument("missing dense bar");
+  }
+  for (int f = 0; f < schema.num_dense(); ++f) {
+    float v = 0;
+    in >> v;
+    if (!in) return Status::InvalidArgument("bad dense value");
+    event->dense.push_back(v);
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -62,15 +101,49 @@ Status WriteDatasetText(const Dataset& dataset, const std::string& path) {
 }
 
 StatusOr<Dataset> ReadDatasetText(const std::string& path) {
+  return ReadDatasetText(path, IoOptions{}, nullptr);
+}
+
+StatusOr<Dataset> ReadDatasetText(const std::string& path,
+                                  const IoOptions& options,
+                                  IoReadReport* report) {
   std::ifstream file(path);
   if (!file.is_open()) return Status::IoError("cannot open " + path);
 
   Dataset dataset;
   std::string line;
   int line_no = 0;
+  const bool lenient = options.max_bad_lines > 0;
+  IoReadReport local_report;
+
+  // Lenient-mode bad-line sink: logs and counts until the budget runs
+  // out, then turns into a hard (line-numbered) error.
+  auto skip_bad = [&](const std::string& what) -> Status {
+    if (!lenient) return ParseError(line_no, what);
+    ++local_report.bad_lines;
+    if (local_report.bad_lines > options.max_bad_lines) {
+      return ParseError(line_no, "too many malformed lines (" +
+                                     std::to_string(local_report.bad_lines) +
+                                     " > max_bad_lines=" +
+                                     std::to_string(options.max_bad_lines) +
+                                     "), last: " + what);
+    }
+    UAE_LOG(Warning) << path << " line " << line_no
+                     << ": skipping malformed line — " << what;
+    return Status::Ok();
+  };
+  // Closes out the session under construction: drops it if every one of
+  // its event lines was bad (lenient mode can produce empty sessions).
+  auto finish_session = [&] {
+    if (!dataset.sessions.empty() && dataset.sessions.back().events.empty()) {
+      dataset.sessions.pop_back();
+      ++local_report.dropped_sessions;
+    }
+  };
 
   if (!std::getline(file, line) || line != kHeader) {
-    return Status::InvalidArgument(path + ": missing uae-dataset header");
+    return Status::InvalidArgument(path +
+                                   " line 1: missing uae-dataset header");
   }
   ++line_no;
 
@@ -82,6 +155,12 @@ StatusOr<Dataset> ReadDatasetText(const std::string& path) {
   while (std::getline(file, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
+    // Chaos hook: a torn read truncates the current payload line. Only
+    // event lines are subject to it — exactly the bulk data a production
+    // ingest must survive; header/schema corruption is always fatal.
+    if (line.rfind("event", 0) == 0 && UAE_FAULT_POINT("io.read")) {
+      line = line.substr(0, line.size() / 2);
+    }
     std::istringstream in(line);
     std::string keyword;
     in >> keyword;
@@ -119,58 +198,68 @@ StatusOr<Dataset> ReadDatasetText(const std::string& path) {
         schema_done = true;
       }
       if (pending_events > 0) {
-        return ParseError(line_no, "previous session is missing events");
+        // Short sessions only arise in lenient mode (a skipped line may
+        // have been the declared count's last event); strict mode keeps
+        // the original hard failure.
+        if (!lenient) {
+          return ParseError(line_no, "previous session is missing events");
+        }
+        UAE_LOG(Warning) << path << " line " << line_no
+                         << ": previous session short by " << pending_events
+                         << " events";
+        pending_events = 0;
       }
+      finish_session();
       Session session;
       in >> session.user >> pending_events;
       if (!in || session.user < 0 || pending_events <= 0) {
-        return ParseError(line_no, "bad session line");
+        pending_events = 0;  // Orphans any following event lines.
+        const Status skipped = skip_bad("bad session line");
+        if (!skipped.ok()) return skipped;
+        continue;
       }
       dataset.sessions.push_back(std::move(session));
     } else if (keyword == "event") {
       if (dataset.sessions.empty() || pending_events <= 0) {
-        return ParseError(line_no, "event outside a session");
+        const Status skipped = skip_bad("event outside a session");
+        if (!skipped.ok()) return skipped;
+        continue;
       }
       Event event;
-      std::string action_name, bar;
-      float play = 0, duration = 0;
-      in >> action_name >> play >> duration >> bar;
-      if (!in || bar != "|") return ParseError(line_no, "bad event prefix");
-      const StatusOr<FeedbackAction> action =
-          ParseFeedbackAction(action_name);
-      if (!action.ok()) return ParseError(line_no, action.status().message());
-      event.action = action.value();
-      event.play_seconds = play;
-      event.song_duration = duration;
-      for (int f = 0; f < dataset.schema.num_sparse(); ++f) {
-        int id = -1;
-        in >> id;
-        if (!in || id < 0 || id >= dataset.schema.sparse_field(f).vocab) {
-          return ParseError(line_no, "bad sparse id for field " +
-                                         dataset.schema.sparse_field(f).name);
-        }
-        event.sparse.push_back(id);
-      }
-      in >> bar;
-      if (!in || bar != "|") return ParseError(line_no, "missing dense bar");
-      for (int f = 0; f < dataset.schema.num_dense(); ++f) {
-        float v = 0;
-        in >> v;
-        if (!in) return ParseError(line_no, "bad dense value");
-        event.dense.push_back(v);
+      const Status parsed = ParseEventLine(in, dataset.schema, &event);
+      if (!parsed.ok()) {
+        const Status skipped = skip_bad(parsed.message());
+        if (!skipped.ok()) return skipped;
+        --pending_events;  // The bad line still occupied an event slot.
+        continue;
       }
       dataset.sessions.back().events.push_back(std::move(event));
       --pending_events;
     } else {
-      return ParseError(line_no, "unknown keyword " + keyword);
+      const Status skipped = skip_bad("unknown keyword " + keyword);
+      if (!skipped.ok()) return skipped;
     }
   }
   if (pending_events > 0) {
-    return Status::InvalidArgument("file ends mid-session");
+    if (!lenient) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": file ends mid-session");
+    }
+    UAE_LOG(Warning) << path << " line " << line_no
+                     << ": file ends mid-session, keeping partial session";
   }
+  finish_session();
   if (dataset.sessions.empty()) {
-    return Status::InvalidArgument(path + ": no sessions");
+    return Status::InvalidArgument(path + " line " +
+                                   std::to_string(line_no) +
+                                   ": no sessions");
   }
+  if (lenient && local_report.bad_lines > 0) {
+    UAE_LOG(Warning) << path << ": lenient import skipped "
+                     << local_report.bad_lines << " malformed lines, dropped "
+                     << local_report.dropped_sessions << " sessions";
+  }
+  if (report != nullptr) *report = local_report;
 
   // Recover the Table-III style counters and a chronological split.
   int max_user = 0;

@@ -29,9 +29,31 @@ namespace uae::data {
 /// chronologically on import.
 Status WriteDatasetText(const Dataset& dataset, const std::string& path);
 
+/// Import behaviour knobs for real-world (messy) logs.
+struct IoOptions {
+  /// Strict when 0 (default): any malformed line fails the import. When
+  /// positive, up to this many malformed event/session lines are skipped
+  /// with a line-numbered warning instead; exceeding the budget fails
+  /// with InvalidArgument. Header/schema lines are always strict.
+  int max_bad_lines = 0;
+};
+
+/// What a lenient import had to tolerate.
+struct IoReadReport {
+  /// Malformed lines skipped (only ever non-zero in lenient mode).
+  int bad_lines = 0;
+  /// Declared sessions dropped because every event line was bad.
+  int dropped_sessions = 0;
+};
+
 /// Parses a file written by WriteDatasetText (or hand-authored in the
-/// same format).
+/// same format). All parse errors name the 1-based line they came from.
 StatusOr<Dataset> ReadDatasetText(const std::string& path);
+
+/// Same, with lenient-mode control; fills `*report` when given.
+StatusOr<Dataset> ReadDatasetText(const std::string& path,
+                                  const IoOptions& options,
+                                  IoReadReport* report = nullptr);
 
 /// Parses a FeedbackAction from its Table-I name ("Like", "Skip", ...).
 StatusOr<FeedbackAction> ParseFeedbackAction(const std::string& name);

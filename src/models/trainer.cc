@@ -1,14 +1,20 @@
 #include "models/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "data/batcher.h"
 #include "eval/metrics.h"
+#include "nn/guard.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 
 namespace uae::models {
 namespace {
@@ -46,6 +52,280 @@ EvalResult EvaluateSample(Recommender* model, const data::Dataset& dataset,
   EvalResult result;
   result.auc = eval::Auc(scores, labels);
   result.gauc = eval::GroupAuc(grouped);
+  return result;
+}
+
+// ----------------------------------------------------------------------
+// Durable training checkpoints. The whole optimizer state is serialized
+// as one nn::SaveTensors list so a resumed run replays bit-for-bit:
+//   [0] meta [1,6]  : epochs_done, best_epoch, recovered_steps,
+//                     learning_rate, has_best, param_count
+//   [1] [1,2]       : Adam step counter t (double bits)
+//   [2] [1,2]       : best_valid_auc (double bits)
+//   [3..5] [E,2]    : train_loss / train_auc / valid_auc curves
+//   then param_count tensors each of: parameters, Adam m, Adam v, and —
+//   when has_best — the best-epoch parameter snapshot.
+// Doubles ride in [n,2] float tensors holding their raw bit pattern
+// (nn::PackDoubles), so restored curves and the best-AUC comparison are
+// exact, not rounded.
+
+using nn::PackDoubles;
+using nn::UnpackDoubles;
+
+/// Mutable training state at an epoch boundary.
+struct TrainState {
+  int epochs_done = 0;
+  float learning_rate = 0.0f;
+  TrainResult partial;
+  std::vector<nn::Tensor> params;
+  nn::Adam::State adam;
+  std::vector<nn::Tensor> best_snapshot;  // Empty if no best epoch yet.
+};
+
+Status SaveTrainCheckpoint(const TrainState& state,
+                           const std::string& path) {
+  std::vector<nn::Tensor> tensors;
+  const int param_count = static_cast<int>(state.params.size());
+  nn::Tensor meta(1, 6);
+  meta.at(0, 0) = static_cast<float>(state.epochs_done);
+  meta.at(0, 1) = static_cast<float>(state.partial.best_epoch);
+  meta.at(0, 2) = static_cast<float>(state.partial.recovered_steps);
+  meta.at(0, 3) = state.learning_rate;
+  meta.at(0, 4) = state.best_snapshot.empty() ? 0.0f : 1.0f;
+  meta.at(0, 5) = static_cast<float>(param_count);
+  tensors.push_back(std::move(meta));
+  tensors.push_back(PackDoubles({static_cast<double>(state.adam.t)}));
+  tensors.push_back(PackDoubles({state.partial.best_valid_auc}));
+  tensors.push_back(PackDoubles(state.partial.train_loss_per_epoch));
+  tensors.push_back(PackDoubles(state.partial.train_auc_per_epoch));
+  tensors.push_back(PackDoubles(state.partial.valid_auc_per_epoch));
+  for (const nn::Tensor& t : state.params) tensors.push_back(t);
+  for (const nn::Tensor& t : state.adam.m) tensors.push_back(t);
+  for (const nn::Tensor& t : state.adam.v) tensors.push_back(t);
+  for (const nn::Tensor& t : state.best_snapshot) tensors.push_back(t);
+  return nn::SaveTensors(tensors, path);
+}
+
+Status LoadTrainCheckpoint(const std::string& path, size_t expected_params,
+                           TrainState* state) {
+  StatusOr<std::vector<nn::Tensor>> loaded = nn::LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<nn::Tensor>& tensors = loaded.value();
+  if (tensors.size() < 6 || tensors[0].rows() != 1 ||
+      tensors[0].cols() != 6) {
+    return Status::FailedPrecondition(path +
+                                      " is not a training checkpoint");
+  }
+  const nn::Tensor& meta = tensors[0];
+  const int param_count = static_cast<int>(meta.at(0, 5));
+  const bool has_best = meta.at(0, 4) != 0.0f;
+  const size_t expected_total =
+      6 + static_cast<size_t>(param_count) * (has_best ? 4 : 3);
+  if (param_count != static_cast<int>(expected_params) ||
+      tensors.size() != expected_total) {
+    return Status::FailedPrecondition(
+        "training checkpoint " + path + " does not match the model: has " +
+        std::to_string(param_count) + " parameter tensors, model has " +
+        std::to_string(expected_params));
+  }
+  state->epochs_done = static_cast<int>(meta.at(0, 0));
+  state->learning_rate = meta.at(0, 3);
+  state->partial.best_epoch = static_cast<int>(meta.at(0, 1));
+  state->partial.recovered_steps = static_cast<int>(meta.at(0, 2));
+  state->adam.t = static_cast<int64_t>(UnpackDoubles(tensors[1])[0]);
+  state->partial.best_valid_auc = UnpackDoubles(tensors[2])[0];
+  state->partial.train_loss_per_epoch = UnpackDoubles(tensors[3]);
+  state->partial.train_auc_per_epoch = UnpackDoubles(tensors[4]);
+  state->partial.valid_auc_per_epoch = UnpackDoubles(tensors[5]);
+  if (state->epochs_done < 0 ||
+      static_cast<int>(state->partial.valid_auc_per_epoch.size()) !=
+          state->epochs_done ||
+      state->learning_rate <= 0.0f) {
+    return Status::FailedPrecondition("training checkpoint " + path +
+                                      " has inconsistent metadata");
+  }
+  size_t cursor = 6;
+  auto take = [&](std::vector<nn::Tensor>* out) {
+    out->assign(std::make_move_iterator(tensors.begin() + cursor),
+                std::make_move_iterator(tensors.begin() + cursor +
+                                        param_count));
+    cursor += param_count;
+  };
+  take(&state->params);
+  take(&state->adam.m);
+  take(&state->adam.v);
+  if (has_best) take(&state->best_snapshot);
+  return Status::Ok();
+}
+
+/// One training step's watchdog verdict, shared by the trainer loop and
+/// (in spirit) the attention loops: reject non-finite loss/grads before
+/// they reach Optimizer::Step.
+bool StepIsHealthy(double loss_value,
+                   const std::vector<nn::NodePtr>& params) {
+  return std::isfinite(loss_value) && !nn::HasNonFiniteGrad(params);
+}
+
+/// Shared epoch loop. `resume` (optional) carries checkpointed state to
+/// continue from; clean runs pass nullptr.
+TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
+                        const data::EventScores* weights,
+                        const TrainConfig& config, TrainState* resume) {
+  UAE_CHECK(model != nullptr);
+  UAE_CHECK(config.epochs > 0);
+  Rng rng(config.seed);
+  data::FlatBatcher batcher(
+      data::CollectEventRefs(dataset, data::SplitKind::kTrain),
+      config.batch_size);
+  nn::Adam optimizer(model->Parameters(), config.learning_rate);
+  const std::vector<nn::NodePtr> params = model->Parameters();
+
+  TrainResult result;
+  std::vector<nn::Tensor> best_snapshot;
+  int start_epoch = 0;
+  if (resume != nullptr) {
+    // Restore parameters + optimizer, then replay the shuffle stream the
+    // completed epochs consumed so epoch k sees the exact batches it
+    // would have in an uninterrupted run.
+    UAE_CHECK(resume->params.size() == params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = resume->params[i];
+    }
+    optimizer.ImportState(resume->adam);
+    optimizer.SetLearningRate(resume->learning_rate);
+    result = resume->partial;
+    best_snapshot = resume->best_snapshot;
+    start_epoch = resume->epochs_done;
+    for (int epoch = 0; epoch < start_epoch; ++epoch) {
+      batcher.StartEpoch(&rng);
+    }
+  }
+  result.start_epoch = start_epoch;
+
+  int bad_steps = 0;
+  std::vector<data::EventRef> batch;
+  for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    batcher.StartEpoch(&rng);
+    // Rollback point for steps that poison the parameters themselves.
+    std::vector<nn::Tensor> good_snapshot = SnapshotParameters(*model);
+    // The emergency halving below is a within-epoch brake only; every
+    // epoch re-arms at the configured rate so a transient burst of bad
+    // steps cannot permanently stall learning. Checkpoints are written at
+    // epoch boundaries, so resumed runs see the same re-armed rate.
+    optimizer.SetLearningRate(config.learning_rate);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    while (batcher.Next(&batch)) {
+      const int m = static_cast<int>(batch.size());
+      // Per-sample weights of Eq. 18: active events weight 1, passive
+      // events the attention-derived confidence.
+      nn::Tensor pos_w(m, 1);
+      nn::Tensor neg_w(m, 1);
+      for (int r = 0; r < m; ++r) {
+        const data::Event& event =
+            dataset.sessions[batch[r].session].events[batch[r].step];
+        float w = 1.0f;
+        if (!event.active() && weights != nullptr) {
+          w = weights->at(batch[r].session, batch[r].step);
+        }
+        if (event.label() == 1) {
+          pos_w.at(r, 0) = w;
+        } else {
+          neg_w.at(r, 0) = w;
+        }
+      }
+      nn::NodePtr logits = model->Logits(dataset, batch);
+      nn::NodePtr loss = nn::ScalarMul(
+          nn::Add(nn::WeightedSoftplusSum(logits, std::move(pos_w), -1.0f),
+                  nn::WeightedSoftplusSum(logits, std::move(neg_w), 1.0f)),
+          1.0f / m);
+      optimizer.ZeroGrad();
+      nn::Backward(loss);
+      if (UAE_FAULT_POINT("grad.nan") && !params.empty()) {
+        params[0]->grad.data()[0] =
+            std::numeric_limits<float>::quiet_NaN();
+      }
+      const double loss_value = loss->value.ScalarValue();
+      if (!StepIsHealthy(loss_value, params)) {
+        ++result.recovered_steps;
+        ++bad_steps;
+        if (nn::HasNonFinite(params)) {
+          RestoreParameters(model, good_snapshot);
+        }
+        optimizer.SetLearningRate(optimizer.learning_rate() * 0.5f);
+        UAE_LOG(Warning) << model->name() << " epoch " << epoch + 1
+                         << ": non-finite step skipped (" << bad_steps
+                         << "/" << config.max_bad_steps
+                         << "), lr halved to "
+                         << optimizer.learning_rate();
+        if (bad_steps > config.max_bad_steps) {
+          result.diverged = true;
+          break;
+        }
+        continue;  // Skip the poisoned Step().
+      }
+      if (config.clip_grad_norm > 0.0f) {
+        nn::ClipGradNorm(params, config.clip_grad_norm);
+      }
+      optimizer.Step();
+      loss_sum += loss_value;
+      ++loss_count;
+    }
+    if (result.diverged) {
+      UAE_LOG(Error) << model->name()
+                     << ": watchdog exceeded max_bad_steps, stopping at "
+                        "epoch "
+                     << epoch + 1;
+      if (nn::HasNonFinite(params)) {
+        RestoreParameters(model, good_snapshot);
+      }
+      break;
+    }
+    result.train_loss_per_epoch.push_back(loss_sum /
+                                          std::max<int64_t>(1, loss_count));
+
+    const EvalResult train_eval = EvaluateSample(
+        model, dataset, data::SplitKind::kTrain, config.train_eval_sample);
+    const EvalResult valid_eval =
+        EvaluateRecommender(model, dataset, data::SplitKind::kValid);
+    result.train_auc_per_epoch.push_back(train_eval.auc);
+    result.valid_auc_per_epoch.push_back(valid_eval.auc);
+    if (config.verbose) {
+      UAE_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
+                    << config.epochs << " loss="
+                    << result.train_loss_per_epoch.back()
+                    << " train_auc=" << train_eval.auc
+                    << " valid_auc=" << valid_eval.auc;
+    }
+    if (valid_eval.auc > result.best_valid_auc) {
+      result.best_valid_auc = valid_eval.auc;
+      result.best_epoch = epoch;
+      if (config.restore_best) best_snapshot = SnapshotParameters(*model);
+    }
+    if (!config.checkpoint_path.empty() &&
+        ((epoch + 1) % std::max(1, config.checkpoint_every) == 0 ||
+         epoch + 1 == config.epochs)) {
+      TrainState state;
+      state.epochs_done = epoch + 1;
+      state.learning_rate = optimizer.learning_rate();
+      state.partial = result;
+      state.params = SnapshotParameters(*model);
+      state.adam = optimizer.ExportState();
+      state.best_snapshot = best_snapshot;
+      const Status saved =
+          SaveTrainCheckpoint(state, config.checkpoint_path);
+      if (!saved.ok()) {
+        // A failed save must never kill training: the previous durable
+        // checkpoint is still intact (atomic rename), so resumability
+        // merely lags an epoch.
+        UAE_LOG(Warning) << "checkpoint save failed (training continues): "
+                         << saved.ToString();
+      }
+    }
+  }
+  if (config.restore_best && !best_snapshot.empty()) {
+    RestoreParameters(model, best_snapshot);
+  }
   return result;
 }
 
@@ -99,77 +379,53 @@ EvalResult EvaluateRecommender(Recommender* model,
 TrainResult TrainRecommender(Recommender* model, const data::Dataset& dataset,
                              const data::EventScores* weights,
                              const TrainConfig& config) {
-  UAE_CHECK(model != nullptr);
-  UAE_CHECK(config.epochs > 0);
-  Rng rng(config.seed);
-  data::FlatBatcher batcher(data::CollectEventRefs(dataset, data::SplitKind::kTrain),
-                            config.batch_size);
-  nn::Adam optimizer(model->Parameters(), config.learning_rate);
+  return RunTraining(model, dataset, weights, config, /*resume=*/nullptr);
+}
 
-  TrainResult result;
-  std::vector<nn::Tensor> best_snapshot;
-
-  std::vector<data::EventRef> batch;
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    batcher.StartEpoch(&rng);
-    double loss_sum = 0.0;
-    int64_t loss_count = 0;
-    while (batcher.Next(&batch)) {
-      const int m = static_cast<int>(batch.size());
-      // Per-sample weights of Eq. 18: active events weight 1, passive
-      // events the attention-derived confidence.
-      nn::Tensor pos_w(m, 1);
-      nn::Tensor neg_w(m, 1);
-      for (int r = 0; r < m; ++r) {
-        const data::Event& event =
-            dataset.sessions[batch[r].session].events[batch[r].step];
-        float w = 1.0f;
-        if (!event.active() && weights != nullptr) {
-          w = weights->at(batch[r].session, batch[r].step);
-        }
-        if (event.label() == 1) {
-          pos_w.at(r, 0) = w;
-        } else {
-          neg_w.at(r, 0) = w;
-        }
-      }
-      nn::NodePtr logits = model->Logits(dataset, batch);
-      nn::NodePtr loss = nn::ScalarMul(
-          nn::Add(nn::WeightedSoftplusSum(logits, std::move(pos_w), -1.0f),
-                  nn::WeightedSoftplusSum(logits, std::move(neg_w), 1.0f)),
-          1.0f / m);
-      optimizer.ZeroGrad();
-      nn::Backward(loss);
-      optimizer.Step();
-      loss_sum += loss->value.ScalarValue();
-      ++loss_count;
+Status ResumeTrainRecommender(Recommender* model,
+                              const data::Dataset& dataset,
+                              const data::EventScores* weights,
+                              const TrainConfig& config,
+                              TrainResult* result) {
+  if (model == nullptr || result == nullptr) {
+    return Status::InvalidArgument("null model or result");
+  }
+  if (config.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "ResumeTrainRecommender needs TrainConfig::checkpoint_path");
+  }
+  TrainState state;
+  const Status loaded = LoadTrainCheckpoint(
+      config.checkpoint_path, model->Parameters().size(), &state);
+  if (!loaded.ok()) return loaded;
+  if (state.epochs_done > config.epochs) {
+    return Status::FailedPrecondition(
+        "checkpoint is past the configured horizon: " +
+        std::to_string(state.epochs_done) + " epochs done, config asks " +
+        std::to_string(config.epochs));
+  }
+  const std::vector<nn::NodePtr> params = model->Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!state.params[i].SameShape(params[i]->value) ||
+        !state.adam.m[i].SameShape(params[i]->value) ||
+        !state.adam.v[i].SameShape(params[i]->value) ||
+        (!state.best_snapshot.empty() &&
+         !state.best_snapshot[i].SameShape(params[i]->value))) {
+      return Status::FailedPrecondition(
+          "training checkpoint " + config.checkpoint_path +
+          " tensor shapes do not match the model architecture");
     }
-    result.train_loss_per_epoch.push_back(loss_sum /
-                                          std::max<int64_t>(1, loss_count));
-
-    const EvalResult train_eval = EvaluateSample(
-        model, dataset, data::SplitKind::kTrain, config.train_eval_sample);
-    const EvalResult valid_eval =
-        EvaluateRecommender(model, dataset, data::SplitKind::kValid);
-    result.train_auc_per_epoch.push_back(train_eval.auc);
-    result.valid_auc_per_epoch.push_back(valid_eval.auc);
-    if (config.verbose) {
-      UAE_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
-                    << config.epochs << " loss="
-                    << result.train_loss_per_epoch.back()
-                    << " train_auc=" << train_eval.auc
-                    << " valid_auc=" << valid_eval.auc;
-    }
-    if (valid_eval.auc > result.best_valid_auc) {
-      result.best_valid_auc = valid_eval.auc;
-      result.best_epoch = epoch;
-      if (config.restore_best) best_snapshot = SnapshotParameters(*model);
+    if (nn::HasNonFinite(state.params[i])) {
+      return Status::FailedPrecondition("checkpoint " +
+                                        config.checkpoint_path +
+                                        " holds non-finite parameters");
     }
   }
-  if (config.restore_best && !best_snapshot.empty()) {
-    RestoreParameters(model, best_snapshot);
-  }
-  return result;
+  UAE_LOG(Info) << model->name() << ": resuming from "
+                << config.checkpoint_path << " at epoch "
+                << state.epochs_done << "/" << config.epochs;
+  *result = RunTraining(model, dataset, weights, config, &state);
+  return Status::Ok();
 }
 
 }  // namespace uae::models

@@ -2,8 +2,10 @@
 #define UAE_MODELS_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/dataset.h"
 #include "models/recommender.h"
 
@@ -24,6 +26,23 @@ struct TrainConfig {
   int train_eval_sample = 4000;
   /// Log per-epoch metrics at INFO level.
   bool verbose = false;
+
+  // --- Robustness knobs (DESIGN.md "Failure model & recovery"). All
+  // default to the pre-watchdog behaviour for clean runs: clipping off,
+  // checkpointing off; the non-finite guard only engages on steps that
+  // would otherwise poison the parameters.
+  /// Global gradient-norm clip applied before every Step (<= 0 disables).
+  float clip_grad_norm = 0.0f;
+  /// Non-finite steps tolerated per run. Each one is skipped (no Step),
+  /// halves the learning rate for the rest of the epoch, and rolls
+  /// parameters back to the last good snapshot if they were poisoned;
+  /// exceeding the budget stops training with TrainResult::diverged set.
+  int max_bad_steps = 8;
+  /// When non-empty, a durable (atomic, CRC-checked) training checkpoint
+  /// is written here every `checkpoint_every` epochs; see
+  /// ResumeTrainRecommender.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 /// AUC / GAUC pair (percent-scale values are produced by benches, these
@@ -41,6 +60,14 @@ struct TrainResult {
   std::vector<double> train_auc_per_epoch;
   std::vector<double> valid_auc_per_epoch;
   std::vector<double> train_loss_per_epoch;
+  /// Watchdog report: steps whose loss/gradients came back non-finite and
+  /// were skipped-and-recovered instead of applied.
+  int recovered_steps = 0;
+  /// True when the watchdog exhausted TrainConfig::max_bad_steps and
+  /// stopped early (the model holds the last good parameters).
+  bool diverged = false;
+  /// First epoch this run actually executed (> 0 after a resume).
+  int start_epoch = 0;
 };
 
 /// Which labels a metric is computed against.
@@ -71,6 +98,21 @@ EvalResult EvaluateRecommender(Recommender* model,
 TrainResult TrainRecommender(Recommender* model, const data::Dataset& dataset,
                              const data::EventScores* weights,
                              const TrainConfig& config);
+
+/// Continues an interrupted run from the durable checkpoint at
+/// `config.checkpoint_path` (written by TrainRecommender with the same
+/// config): restores parameters, optimizer moments, learning rate, and
+/// per-epoch curves, replays the RNG stream past the completed epochs, and
+/// trains the remaining epochs. A resumed run is step-for-step identical
+/// to an uninterrupted run with the same seed — including the best-epoch
+/// selection. Fails with IoError on a missing/corrupt checkpoint and
+/// FailedPrecondition when the checkpoint does not match the model
+/// architecture or config; `model` and `*result` are unmodified then.
+Status ResumeTrainRecommender(Recommender* model,
+                              const data::Dataset& dataset,
+                              const data::EventScores* weights,
+                              const TrainConfig& config,
+                              TrainResult* result);
 
 }  // namespace uae::models
 

@@ -1,0 +1,53 @@
+#include "nn/guard.h"
+
+#include <cmath>
+
+namespace uae::nn {
+
+bool HasNonFinite(const Tensor& tensor) {
+  const float* data = tensor.data();
+  for (int i = 0; i < tensor.size(); ++i) {
+    if (!std::isfinite(data[i])) return true;
+  }
+  return false;
+}
+
+bool HasNonFinite(const std::vector<NodePtr>& params) {
+  for (const NodePtr& p : params) {
+    if (HasNonFinite(p->value)) return true;
+  }
+  return false;
+}
+
+bool HasNonFiniteGrad(const std::vector<NodePtr>& params) {
+  for (const NodePtr& p : params) {
+    if (p->grad.SameShape(p->value) && HasNonFinite(p->grad)) return true;
+  }
+  return false;
+}
+
+double GlobalGradNorm(const std::vector<NodePtr>& params) {
+  double sum_sq = 0.0;
+  for (const NodePtr& p : params) {
+    if (!p->grad.SameShape(p->value)) continue;
+    const float* g = p->grad.data();
+    for (int i = 0; i < p->grad.size(); ++i) {
+      sum_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double ClipGradNorm(const std::vector<NodePtr>& params, double max_norm) {
+  const double norm = GlobalGradNorm(params);
+  if (max_norm <= 0.0 || norm <= max_norm || norm == 0.0) return norm;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (const NodePtr& p : params) {
+    if (!p->grad.SameShape(p->value)) continue;
+    float* g = p->grad.data();
+    for (int i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+  }
+  return norm;
+}
+
+}  // namespace uae::nn

@@ -1,0 +1,36 @@
+#ifndef UAE_NN_GUARD_H_
+#define UAE_NN_GUARD_H_
+
+#include <vector>
+
+#include "nn/node.h"
+
+namespace uae::nn {
+
+/// Numeric health checks and gradient conditioning shared by every
+/// training loop. A "watchdog step" is: after Backward(), reject the step
+/// if the loss or any gradient is non-finite (skip Step(), decay the LR,
+/// restore the last good snapshot if the parameters themselves were
+/// poisoned), otherwise optionally clip the global gradient norm.
+
+/// True if any element of the tensor is NaN or +-inf.
+bool HasNonFinite(const Tensor& tensor);
+
+/// True if any parameter *value* contains a non-finite element.
+bool HasNonFinite(const std::vector<NodePtr>& params);
+
+/// True if any allocated parameter *gradient* contains a non-finite
+/// element. Parameters whose grad was never allocated are skipped.
+bool HasNonFiniteGrad(const std::vector<NodePtr>& params);
+
+/// L2 norm over the concatenation of all parameter gradients.
+double GlobalGradNorm(const std::vector<NodePtr>& params);
+
+/// Scales all gradients by max_norm / global_norm when the global norm
+/// exceeds `max_norm` (no-op otherwise, or when max_norm <= 0). Returns
+/// the pre-clip global norm.
+double ClipGradNorm(const std::vector<NodePtr>& params, double max_norm);
+
+}  // namespace uae::nn
+
+#endif  // UAE_NN_GUARD_H_

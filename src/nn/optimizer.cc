@@ -6,8 +6,9 @@
 
 namespace uae::nn {
 
-Optimizer::Optimizer(std::vector<NodePtr> params)
-    : params_(std::move(params)) {
+Optimizer::Optimizer(std::vector<NodePtr> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  UAE_CHECK(lr > 0.0f);
   for (const NodePtr& p : params_) {
     UAE_CHECK(p != nullptr && p->requires_grad);
     p->EnsureGrad();
@@ -21,10 +22,13 @@ void Optimizer::ZeroGrad() {
   }
 }
 
-Sgd::Sgd(std::vector<NodePtr> params, float lr)
-    : Optimizer(std::move(params)), lr_(lr) {
+void Optimizer::SetLearningRate(float lr) {
   UAE_CHECK(lr > 0.0f);
+  lr_ = lr;
 }
+
+Sgd::Sgd(std::vector<NodePtr> params, float lr)
+    : Optimizer(std::move(params), lr) {}
 
 void Sgd::Step() {
   for (const NodePtr& p : params_) {
@@ -34,12 +38,10 @@ void Sgd::Step() {
 
 Adam::Adam(std::vector<NodePtr> params, float lr, float beta1, float beta2,
            float epsilon)
-    : Optimizer(std::move(params)),
-      lr_(lr),
+    : Optimizer(std::move(params), lr),
       beta1_(beta1),
       beta2_(beta2),
       epsilon_(epsilon) {
-  UAE_CHECK(lr > 0.0f);
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const NodePtr& p : params_) {
@@ -68,4 +70,23 @@ void Adam::Step() {
   }
 }
 
+Adam::State Adam::ExportState() const {
+  State state;
+  state.m = m_;
+  state.v = v_;
+  state.t = t_;
+  return state;
+}
+
+void Adam::ImportState(const State& state) {
+  UAE_CHECK(state.m.size() == m_.size() && state.v.size() == v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    UAE_CHECK(state.m[i].SameShape(m_[i]) && state.v[i].SameShape(v_[i]));
+  }
+  m_ = state.m;
+  v_ = state.v;
+  t_ = state.t;
+}
+
 }  // namespace uae::nn
+

@@ -10,7 +10,7 @@ namespace uae::nn {
 /// Base class for first-order optimizers over a fixed parameter list.
 class Optimizer {
  public:
-  explicit Optimizer(std::vector<NodePtr> params);
+  Optimizer(std::vector<NodePtr> params, float lr);
   virtual ~Optimizer() = default;
 
   /// Applies one update using the gradients currently stored in the
@@ -20,8 +20,14 @@ class Optimizer {
   /// Zeroes the gradient buffers of all parameters.
   void ZeroGrad();
 
+  /// Current step size. Training watchdogs decay it after a rejected
+  /// (non-finite) step.
+  float learning_rate() const { return lr_; }
+  void SetLearningRate(float lr);
+
  protected:
   std::vector<NodePtr> params_;
+  float lr_;
 };
 
 /// Plain stochastic gradient descent: p -= lr * g.
@@ -29,9 +35,6 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<NodePtr> params, float lr);
   void Step() override;
-
- private:
-  float lr_;
 };
 
 /// Adam (Kingma & Ba, 2015) — the optimizer used throughout the paper.
@@ -41,8 +44,21 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float epsilon = 1e-8f);
   void Step() override;
 
+  /// Moment-vector snapshot, for durable training checkpoints. `State`
+  /// layout: first/second moments per parameter (Parameters() order) plus
+  /// the bias-correction step counter.
+  struct State {
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+    int64_t t = 0;
+  };
+  State ExportState() const;
+  /// Restores a snapshot taken by ExportState on an optimizer over the
+  /// same parameter shapes; checks shape agreement.
+  void ImportState(const State& state);
+
  private:
-  float lr_, beta1_, beta2_, epsilon_;
+  float beta1_, beta2_, epsilon_;
   int64_t t_ = 0;
   std::vector<Tensor> m_;
   std::vector<Tensor> v_;

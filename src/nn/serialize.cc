@@ -1,74 +1,217 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <vector>
+
+#include "common/fault.h"
 
 namespace uae::nn {
 namespace {
 
-constexpr char kMagic[8] = {'U', 'A', 'E', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV1[8] = {'U', 'A', 'E', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'U', 'A', 'E', 'C', 'K', 'P', 'T', '2'};
+
+void AppendBytes(std::vector<char>* out, const void* data, size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  out->insert(out->end(), bytes, bytes + size);
+}
+
+/// Serializes the tensor list into the (version-independent) payload.
+std::vector<char> BuildPayload(const std::vector<Tensor>& tensors) {
+  std::vector<char> payload;
+  const int32_t count = static_cast<int32_t>(tensors.size());
+  AppendBytes(&payload, &count, sizeof(count));
+  for (const Tensor& t : tensors) {
+    const int32_t rows = t.rows();
+    const int32_t cols = t.cols();
+    AppendBytes(&payload, &rows, sizeof(rows));
+    AppendBytes(&payload, &cols, sizeof(cols));
+    AppendBytes(&payload, t.data(), sizeof(float) * t.size());
+  }
+  return payload;
+}
+
+/// Parses a payload buffer back into tensors. `where` names the file for
+/// error messages.
+StatusOr<std::vector<Tensor>> ParsePayload(const char* data, size_t size,
+                                           const std::string& where) {
+  size_t cursor = 0;
+  auto read = [&](void* out, size_t n) {
+    if (cursor + n > size) return false;
+    std::memcpy(out, data + cursor, n);
+    cursor += n;
+    return true;
+  };
+  int32_t count = 0;
+  if (!read(&count, sizeof(count)) || count < 0) {
+    return Status::IoError("truncated checkpoint " + where);
+  }
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (int32_t i = 0; i < count; ++i) {
+    int32_t rows = 0, cols = 0;
+    if (!read(&rows, sizeof(rows)) || !read(&cols, sizeof(cols)) ||
+        rows < 0 || cols < 0) {
+      return Status::IoError("truncated checkpoint " + where);
+    }
+    Tensor t(rows, cols);
+    if (!read(t.data(), sizeof(float) * t.size())) {
+      return Status::IoError("truncated checkpoint " + where);
+    }
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
 
 }  // namespace
 
-Status SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file.is_open()) return Status::IoError("cannot open " + path);
-
-  file.write(kMagic, sizeof(kMagic));
-  const std::vector<NodePtr> params = module.Parameters();
-  const int32_t count = static_cast<int32_t>(params.size());
-  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const NodePtr& p : params) {
-    const int32_t rows = p->value.rows();
-    const int32_t cols = p->value.cols();
-    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    file.write(reinterpret_cast<const char*>(p->value.data()),
-               static_cast<std::streamsize>(sizeof(float)) * p->value.size());
+Tensor PackDoubles(const std::vector<double>& values) {
+  static_assert(sizeof(double) == 2 * sizeof(float));
+  Tensor t(static_cast<int>(values.size()), 2);
+  if (!values.empty()) {
+    std::memcpy(t.data(), values.data(), sizeof(double) * values.size());
   }
-  if (!file.good()) return Status::IoError("write failed for " + path);
+  return t;
+}
+
+std::vector<double> UnpackDoubles(const Tensor& tensor) {
+  std::vector<double> values(tensor.rows());
+  if (tensor.rows() > 0) {
+    std::memcpy(values.data(), tensor.data(),
+                sizeof(double) * values.size());
+  }
+  return values;
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Table-less bitwise CRC-32 (IEEE, reflected polynomial 0xEDB88320).
+  // Checkpoint payloads are small enough that the simple loop is fine.
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc ^= bytes[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status SaveTensors(const std::vector<Tensor>& tensors,
+                   const std::string& path) {
+  const std::vector<char> payload = BuildPayload(tensors);
+  const uint64_t payload_size = payload.size();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+
+  // Write the full image to a temp file first; only a verified-complete
+  // write is renamed over `path`, so readers never observe a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) return Status::IoError("cannot open " + tmp);
+    file.write(kMagicV2, sizeof(kMagicV2));
+    file.write(reinterpret_cast<const char*>(&payload_size),
+               sizeof(payload_size));
+    file.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    // Chaos hook: a crash mid-save leaves a truncated temp file behind.
+    // The previously renamed checkpoint at `path` stays untouched.
+    size_t write_size = payload.size();
+    bool torn = false;
+    if (UAE_FAULT_POINT("ckpt.write")) {
+      write_size /= 2;
+      torn = true;
+    }
+    file.write(payload.data(), static_cast<std::streamsize>(write_size));
+    if (!file.good() || torn) {
+      file.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed for " + tmp +
+                             (torn ? " (torn write)" : ""));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
   return Status::Ok();
 }
 
-Status LoadParameters(Module* module, const std::string& path) {
-  if (module == nullptr) return Status::InvalidArgument("null module");
+StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file.is_open()) return Status::IoError("cannot open " + path);
 
   char magic[8];
   file.read(magic, sizeof(magic));
-  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!file.good()) {
     return Status::FailedPrecondition(path + " is not a UAE checkpoint");
   }
-  int32_t count = 0;
-  file.read(reinterpret_cast<char*>(&count), sizeof(count));
-  const std::vector<NodePtr> params = module->Parameters();
-  if (!file.good() || count != static_cast<int32_t>(params.size())) {
-    return Status::FailedPrecondition(
-        "checkpoint has " + std::to_string(count) + " tensors, module has " +
-        std::to_string(params.size()));
+
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    uint64_t payload_size = 0;
+    uint32_t expected_crc = 0;
+    file.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+    file.read(reinterpret_cast<char*>(&expected_crc), sizeof(expected_crc));
+    if (!file.good()) return Status::IoError("truncated checkpoint " + path);
+    // Sanity-bound the declared size so a corrupted header cannot trigger
+    // a huge allocation.
+    constexpr uint64_t kMaxPayload = uint64_t{1} << 34;  // 16 GiB
+    if (payload_size > kMaxPayload) {
+      return Status::IoError("implausible payload size in " + path);
+    }
+    std::vector<char> payload(payload_size);
+    file.read(payload.data(), static_cast<std::streamsize>(payload_size));
+    if (static_cast<uint64_t>(file.gcount()) != payload_size) {
+      return Status::IoError("truncated checkpoint " + path);
+    }
+    const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+    if (actual_crc != expected_crc) {
+      return Status::IoError("CRC mismatch in " + path + ": stored " +
+                             std::to_string(expected_crc) + ", computed " +
+                             std::to_string(actual_crc) +
+                             " — checkpoint is corrupt");
+    }
+    return ParsePayload(payload.data(), payload.size(), path);
   }
 
-  // Stage into temporaries so a truncated file leaves the module intact.
-  std::vector<Tensor> staged;
-  staged.reserve(params.size());
-  for (const NodePtr& p : params) {
-    int32_t rows = 0, cols = 0;
-    file.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    file.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    if (!file.good() || rows != p->value.rows() || cols != p->value.cols()) {
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    // Legacy v1: raw payload to EOF, no CRC protection.
+    std::vector<char> payload(
+        (std::istreambuf_iterator<char>(file)),
+        std::istreambuf_iterator<char>());
+    return ParsePayload(payload.data(), payload.size(), path);
+  }
+
+  return Status::FailedPrecondition(path + " is not a UAE checkpoint");
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::vector<Tensor> tensors;
+  for (const NodePtr& p : module.Parameters()) tensors.push_back(p->value);
+  return SaveTensors(tensors, path);
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  StatusOr<std::vector<Tensor>> loaded = LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<Tensor>& staged = loaded.value();
+
+  const std::vector<NodePtr> params = module->Parameters();
+  if (staged.size() != params.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(staged.size()) +
+        " tensors, module has " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!staged[i].SameShape(params[i]->value)) {
       return Status::FailedPrecondition(
           "checkpoint tensor shape mismatch: expected " +
-          std::to_string(p->value.rows()) + "x" +
-          std::to_string(p->value.cols()));
+          std::to_string(params[i]->value.rows()) + "x" +
+          std::to_string(params[i]->value.cols()) + ", got " +
+          std::to_string(staged[i].rows()) + "x" +
+          std::to_string(staged[i].cols()));
     }
-    Tensor t(rows, cols);
-    file.read(reinterpret_cast<char*>(t.data()),
-              static_cast<std::streamsize>(sizeof(float)) * t.size());
-    if (!file.good()) return Status::IoError("truncated checkpoint " + path);
-    staged.push_back(std::move(t));
   }
   for (size_t i = 0; i < params.size(); ++i) {
     params[i]->value = std::move(staged[i]);

@@ -1,19 +1,53 @@
 #ifndef UAE_NN_SERIALIZE_H_
 #define UAE_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "nn/layers.h"
 
 namespace uae::nn {
 
-/// Binary checkpoint format for a module's parameters:
-///   magic "UAECKPT1" | int32 count | per tensor: int32 rows, int32 cols,
-///   rows*cols float32 values (little-endian, in Parameters() order).
+/// Binary checkpoint formats.
+///
+/// v2 (written by SaveParameters / SaveTensors):
+///   magic "UAECKPT2" | uint64 payload_size | uint32 crc32(payload) |
+///   payload
+/// where payload = int32 count | per tensor: int32 rows, int32 cols,
+/// rows*cols float32 values (little-endian, in Parameters() order).
+///
+/// v1 ("UAECKPT1") is the same payload with no size/CRC framing; it is
+/// still read for backward compatibility but no longer written.
+///
+/// Writes are atomic: the bytes go to `path + ".tmp"` and the temp file
+/// is renamed over `path` only after a fully validated write, so a crash
+/// mid-save can never shadow a good checkpoint with a torn one. Loads
+/// verify the CRC before touching the destination; a truncated or
+/// bit-flipped v2 file is rejected with IoError mentioning the CRC.
 ///
 /// Checkpoints are keyed by parameter *order and shape*, not by name: load
 /// into a module constructed with the same architecture/hyper-parameters.
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte buffer; used by the v2 format
+/// and exposed for tests.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Packs doubles bit-exactly into an [n,2] float tensor (and back), so
+/// training state like AUC curves survives a checkpoint round trip
+/// without rounding — resumed runs must make identical best-epoch
+/// comparisons.
+Tensor PackDoubles(const std::vector<double>& values);
+std::vector<double> UnpackDoubles(const Tensor& tensor);
+
+/// Writes a raw tensor list to `path` in the v2 format (atomic).
+Status SaveTensors(const std::vector<Tensor>& tensors,
+                   const std::string& path);
+
+/// Reads a tensor list written by SaveTensors (v2) or the legacy v1
+/// SaveParameters format.
+StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path);
 
 /// Writes the module's parameters to `path`.
 Status SaveParameters(const Module& module, const std::string& path);

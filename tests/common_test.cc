@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "common/csv.h"
 #include "common/rng.h"
@@ -37,6 +38,16 @@ TEST(StatusOrTest, HoldsError) {
   StatusOr<int> v = Status::NotFound("nope");
   ASSERT_FALSE(v.ok());
   EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOnErrorDiesWithStatusDeathTest) {
+  // value() on an error is a programming bug; it must abort loudly with
+  // the carried status, never return an indeterminate T.
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_DEATH((void)v.value(), "NotFound: nope");
+  const StatusOr<int>& cref = v;
+  EXPECT_DEATH((void)cref.value(), "NotFound: nope");
+  EXPECT_DEATH((void)std::move(v).value(), "NotFound: nope");
 }
 
 // ------------------------------------------------------------------- Rng

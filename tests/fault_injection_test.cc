@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "attention/sar.h"
+#include "attention/uae_model.h"
+#include "common/check.h"
+#include "common/fault.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace uae {
+namespace {
+
+/// Chaos suite: arm the production fault points at small probabilities and
+/// assert the recovery machinery — lenient import, atomic checkpoints, the
+/// non-finite-step watchdog, durable resume — keeps results healthy.
+/// Every test disarms in teardown so faults never leak across tests.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+data::Dataset TinyDataset(uint64_t seed = 23) {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 250;
+  cfg.num_users = 60;
+  cfg.num_songs = 150;
+  cfg.num_artists = 25;
+  cfg.num_albums = 40;
+  cfg.affinity_noise = 0.1;
+  return data::GenerateDataset(cfg, seed);
+}
+
+models::ModelConfig SmallConfig() {
+  models::ModelConfig cfg;
+  cfg.embed_dim = 4;
+  cfg.mlp_dims = {16};
+  cfg.cross_layers = 2;
+  return cfg;
+}
+
+models::TrainConfig FastTrain(uint64_t seed = 1) {
+  models::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 128;
+  cfg.learning_rate = 3e-3f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --------------------------------------------------------- FaultInjector
+
+TEST_F(FaultInjectionTest, FiringSequenceIsDeterministicPerSeed) {
+  auto draw = [](uint64_t seed) {
+    FaultInjector::Instance().Arm("test.point", {0.5, seed});
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(FaultInjector::Instance().ShouldFire("test.point"));
+    }
+    FaultInjector::Instance().DisarmAll();
+    return fires;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST_F(FaultInjectionTest, DisarmedPointsNeverFireAndCountNothing) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(UAE_FAULT_POINT("never.armed"));
+  }
+  EXPECT_EQ(FaultInjector::Instance().Stats("never.armed").trials, 0);
+  EXPECT_FALSE(FaultInjector::Enabled());
+}
+
+TEST_F(FaultInjectionTest, StatsCountTrialsAndFires) {
+  FaultInjector::Instance().Arm("test.stats", {1.0, 1});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(UAE_FAULT_POINT("test.stats"));
+  }
+  const FaultInjector::FaultStats stats =
+      FaultInjector::Instance().Stats("test.stats");
+  EXPECT_EQ(stats.trials, 10);
+  EXPECT_EQ(stats.fires, 10);
+  EXPECT_EQ(FaultInjector::Instance().ArmedPoints(),
+            std::vector<std::string>{"test.stats"});
+}
+
+// -------------------------------------------------- chaos: dataset import
+
+TEST_F(FaultInjectionTest, LenientImportSurvivesTornReads) {
+  const data::Dataset original = TinyDataset();
+  const std::string path = testing::TempDir() + "/uae_chaos_io.txt";
+  ASSERT_TRUE(data::WriteDatasetText(original, path).ok());
+
+  FaultInjector::Instance().Arm("io.read", {0.02, 41});
+  data::IoReadReport report;
+  const StatusOr<data::Dataset> loaded = data::ReadDatasetText(
+      path, data::IoOptions{.max_bad_lines = 1 << 20}, &report);
+  const FaultInjector::FaultStats stats =
+      FaultInjector::Instance().Stats("io.read");
+  FaultInjector::Instance().DisarmAll();
+
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(stats.fires, 0);
+  EXPECT_GE(report.bad_lines, 1);
+  EXPECT_LE(report.bad_lines, stats.fires);
+  // The import loses only the torn lines, never whole structure.
+  EXPECT_GE(loaded.value().TotalEvents(),
+            original.TotalEvents() - static_cast<size_t>(stats.fires));
+}
+
+// ----------------------------------------------- chaos: downstream model
+
+TEST_F(FaultInjectionTest, TrainingRecoversFromNanGradients) {
+  const data::Dataset d = TinyDataset();
+
+  auto run = [&](bool faulty) {
+    if (faulty) {
+      FaultInjector::Instance().Arm("grad.nan", {0.02, 17});
+    }
+    Rng rng(2);
+    auto model = models::CreateRecommender(models::ModelKind::kWideDeep,
+                                           &rng, d.schema, SmallConfig());
+    models::TrainConfig cfg = FastTrain(2);
+    cfg.max_bad_steps = 64;  // Plenty for p=0.02 over a short run.
+    const models::TrainResult result =
+        models::TrainRecommender(model.get(), d, nullptr, cfg);
+    FaultInjector::Instance().DisarmAll();
+    return result;
+  };
+
+  const models::TrainResult clean = run(false);
+  const models::TrainResult chaos = run(true);
+
+  EXPECT_EQ(clean.recovered_steps, 0);
+  EXPECT_GE(chaos.recovered_steps, 1);
+  EXPECT_FALSE(chaos.diverged);
+  EXPECT_TRUE(std::isfinite(chaos.best_valid_auc));
+  EXPECT_GT(chaos.best_valid_auc, 0.5);
+  // Skipping the poisoned steps keeps quality at the fault-free level.
+  EXPECT_NEAR(chaos.best_valid_auc, clean.best_valid_auc, 0.02);
+}
+
+TEST_F(FaultInjectionTest, TrainingSurvivesTornCheckpointWrites) {
+  const data::Dataset d = TinyDataset();
+  const std::string path = testing::TempDir() + "/uae_chaos_ckpt.bin";
+  std::remove(path.c_str());
+
+  // Every single checkpoint write is torn — training must shrug them all
+  // off (a failed save is a warning, never an abort).
+  FaultInjector::Instance().Arm("ckpt.write", {1.0, 5});
+  Rng rng(2);
+  auto model = models::CreateRecommender(models::ModelKind::kFm, &rng,
+                                         d.schema, SmallConfig());
+  models::TrainConfig cfg = FastTrain(2);
+  cfg.epochs = 2;
+  cfg.checkpoint_path = path;
+  const models::TrainResult result =
+      models::TrainRecommender(model.get(), d, nullptr, cfg);
+  FaultInjector::Instance().DisarmAll();
+
+  EXPECT_GT(result.best_valid_auc, 0.5);
+  EXPECT_EQ(result.train_loss_per_epoch.size(), 2u);
+  // No durable checkpoint was ever completed — and no torn file leaked.
+  std::ifstream leftover(path);
+  EXPECT_FALSE(leftover.is_open());
+}
+
+TEST_F(FaultInjectionTest, AllFaultsAtOnceStillTrainsWithinTolerance) {
+  // The acceptance scenario: io.read + ckpt.write + grad.nan all armed at
+  // p = 0.02 across the full pipeline — lenient import, checkpointed
+  // training — and quality stays within 0.02 AUC of the fault-free run.
+  const data::Dataset original = TinyDataset();
+  const std::string text_path = testing::TempDir() + "/uae_chaos_all.txt";
+  ASSERT_TRUE(data::WriteDatasetText(original, text_path).ok());
+
+  auto run = [&](bool faulty) {
+    if (faulty) {
+      FaultInjector::Instance().Arm("io.read", {0.02, 101});
+      FaultInjector::Instance().Arm("ckpt.write", {0.02, 102});
+      FaultInjector::Instance().Arm("grad.nan", {0.02, 103});
+    }
+    const StatusOr<data::Dataset> loaded = data::ReadDatasetText(
+        text_path, data::IoOptions{.max_bad_lines = 1 << 20}, nullptr);
+    UAE_CHECK_OK(loaded.status());
+    Rng rng(2);
+    auto model = models::CreateRecommender(models::ModelKind::kWideDeep,
+                                           &rng, loaded.value().schema,
+                                           SmallConfig());
+    models::TrainConfig cfg = FastTrain(2);
+    cfg.max_bad_steps = 64;
+    cfg.checkpoint_path =
+        testing::TempDir() +
+        (faulty ? "/uae_chaos_all_f.bin" : "/uae_chaos_all_c.bin");
+    const models::TrainResult result =
+        models::TrainRecommender(model.get(), loaded.value(), nullptr, cfg);
+    FaultInjector::Instance().DisarmAll();
+    return result;
+  };
+
+  const models::TrainResult clean = run(false);
+  const models::TrainResult chaos = run(true);
+  EXPECT_FALSE(chaos.diverged);
+  EXPECT_TRUE(std::isfinite(chaos.best_valid_auc));
+  EXPECT_NEAR(chaos.best_valid_auc, clean.best_valid_auc, 0.02);
+}
+
+// ------------------------------------------------------- durable resume
+
+TEST_F(FaultInjectionTest, KillResumeMatchesUninterruptedRun) {
+  const data::Dataset d = TinyDataset();
+  const std::string path = testing::TempDir() + "/uae_resume.bin";
+
+  auto make_model = [&] {
+    Rng rng(6);
+    return models::CreateRecommender(models::ModelKind::kFm, &rng, d.schema,
+                                     SmallConfig());
+  };
+  models::TrainConfig cfg = FastTrain(6);
+  cfg.checkpoint_path = path;
+
+  // Reference: uninterrupted 6-epoch run.
+  auto uninterrupted = make_model();
+  const models::TrainResult full =
+      models::TrainRecommender(uninterrupted.get(), d, nullptr, cfg);
+
+  // "Kill" after 3 epochs: run a truncated horizon, leaving a durable
+  // checkpoint behind, then resume a FRESH model to the full horizon.
+  auto interrupted = make_model();
+  models::TrainConfig half = cfg;
+  half.epochs = 3;
+  models::TrainRecommender(interrupted.get(), d, nullptr, half);
+
+  auto resumed = make_model();
+  models::TrainResult continued;
+  const Status status =
+      models::ResumeTrainRecommender(resumed.get(), d, nullptr, cfg,
+                                     &continued);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // Same best-epoch selection, bit-for-bit.
+  EXPECT_EQ(continued.start_epoch, 3);
+  EXPECT_EQ(continued.best_epoch, full.best_epoch);
+  EXPECT_EQ(continued.best_valid_auc, full.best_valid_auc);
+  ASSERT_EQ(continued.valid_auc_per_epoch.size(),
+            full.valid_auc_per_epoch.size());
+  for (size_t e = 0; e < full.valid_auc_per_epoch.size(); ++e) {
+    EXPECT_EQ(continued.valid_auc_per_epoch[e], full.valid_auc_per_epoch[e]);
+  }
+  const models::EvalResult a =
+      models::EvaluateRecommender(uninterrupted.get(), d,
+                                  data::SplitKind::kTest);
+  const models::EvalResult b =
+      models::EvaluateRecommender(resumed.get(), d, data::SplitKind::kTest);
+  EXPECT_EQ(a.auc, b.auc);
+}
+
+TEST_F(FaultInjectionTest, ResumeRejectsMissingAndMismatchedCheckpoints) {
+  const data::Dataset d = TinyDataset();
+  Rng rng(6);
+  auto model = models::CreateRecommender(models::ModelKind::kFm, &rng,
+                                         d.schema, SmallConfig());
+  models::TrainResult result;
+
+  models::TrainConfig cfg = FastTrain(6);
+  cfg.checkpoint_path = testing::TempDir() + "/uae_resume_missing.bin";
+  std::remove(cfg.checkpoint_path.c_str());
+  EXPECT_EQ(models::ResumeTrainRecommender(model.get(), d, nullptr, cfg,
+                                           &result)
+                .code(),
+            StatusCode::kIoError);
+
+  // A checkpoint from a different architecture must be rejected cleanly.
+  models::TrainConfig other = cfg;
+  other.checkpoint_path = testing::TempDir() + "/uae_resume_other.bin";
+  other.epochs = 1;
+  Rng rng2(6);
+  models::ModelConfig big = SmallConfig();
+  big.embed_dim = 8;
+  auto other_model = models::CreateRecommender(models::ModelKind::kFm, &rng2,
+                                               d.schema, big);
+  models::TrainRecommender(other_model.get(), d, nullptr, other);
+  cfg.checkpoint_path = other.checkpoint_path;
+  EXPECT_EQ(models::ResumeTrainRecommender(model.get(), d, nullptr, cfg,
+                                           &result)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------- UAE estimator
+
+/// Pearson correlation of predicted attention with the true alpha.
+double AlphaCorrelation(const data::Dataset& d,
+                        const data::EventScores& pred) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  int64_t n = 0;
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      const double x = pred.at(static_cast<int>(s), t);
+      const double y = d.sessions[s].events[t].true_alpha;
+      sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+      ++n;
+    }
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  return cov / std::sqrt(vx * vy + 1e-12);
+}
+
+TEST_F(FaultInjectionTest, UaeFitSurvivesChaos) {
+  const data::Dataset d = TinyDataset(11);
+
+  auto fit_correlation = [&](bool faulty) {
+    if (faulty) {
+      FaultInjector::Instance().Arm("grad.nan", {0.02, 301});
+      FaultInjector::Instance().Arm("ckpt.write", {0.02, 302});
+    }
+    attention::UaeConfig cfg;
+    cfg.epochs = 3;
+    cfg.seed = 9;
+    cfg.max_bad_steps = 64;
+    if (faulty) {
+      cfg.checkpoint_path = testing::TempDir() + "/uae_chaos_uae.bin";
+    }
+    attention::Uae uae(cfg);
+    uae.Fit(d);
+    FaultInjector::Instance().DisarmAll();
+    EXPECT_FALSE(uae.diverged());
+    if (faulty) EXPECT_GE(uae.recovered_steps(), 1);
+    return AlphaCorrelation(d, uae.PredictAttention(d));
+  };
+
+  const double clean = fit_correlation(false);
+  const double chaos = fit_correlation(true);
+  EXPECT_GT(clean, 0.3);
+  EXPECT_TRUE(std::isfinite(chaos));
+  EXPECT_NEAR(chaos, clean, 0.05);
+}
+
+TEST_F(FaultInjectionTest, UaeKillResumeMatchesUninterruptedFit) {
+  const data::Dataset d = TinyDataset(11);
+  const std::string path = testing::TempDir() + "/uae_uae_resume.bin";
+
+  attention::UaeConfig cfg;
+  cfg.epochs = 3;
+  cfg.seed = 9;
+  cfg.checkpoint_path = path;
+
+  attention::Uae full(cfg);
+  full.Fit(d);
+
+  attention::UaeConfig half = cfg;
+  half.epochs = 2;
+  attention::Uae interrupted(half);
+  interrupted.Fit(d);
+
+  attention::Uae resumed(cfg);
+  const Status status = resumed.Resume(d, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  ASSERT_EQ(resumed.attention_risk_history().size(),
+            full.attention_risk_history().size());
+  for (size_t i = 0; i < full.attention_risk_history().size(); ++i) {
+    EXPECT_EQ(resumed.attention_risk_history()[i],
+              full.attention_risk_history()[i]);
+  }
+  const data::EventScores a = full.PredictAttention(d);
+  const data::EventScores b = resumed.PredictAttention(d);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      ASSERT_EQ(a.at(static_cast<int>(s), t), b.at(static_cast<int>(s), t));
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, SarWatchdogRecoversFromNanGradients) {
+  const data::Dataset d = TinyDataset();
+  // SAR runs few (large-batch) steps, so fire more often than the p=0.02
+  // acceptance scenario to guarantee watchdog coverage.
+  FaultInjector::Instance().Arm("grad.nan", {0.1, 7});
+  attention::SarConfig cfg;
+  cfg.epochs = 2;
+  cfg.seed = 3;
+  cfg.max_bad_steps = 64;
+  attention::Sar sar(cfg);
+  sar.Fit(d);
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_GE(sar.recovered_steps(), 1);
+  const data::EventScores alpha = sar.PredictAttention(d);
+  for (size_t s = 0; s < d.sessions.size(); ++s) {
+    for (int t = 0; t < d.sessions[s].length(); ++t) {
+      EXPECT_TRUE(std::isfinite(alpha.at(static_cast<int>(s), t)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uae

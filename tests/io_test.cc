@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <vector>
 
+#include "common/fault.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "nn/layers.h"
@@ -145,6 +150,199 @@ TEST(SerializeTest, GarbageFileFails) {
   Rng rng(1);
   nn::Mlp mlp(&rng, 2, {1}, nn::Activation::kNone);
   EXPECT_FALSE(nn::LoadParameters(&mlp, path).ok());
+}
+
+TEST(SerializeTest, BitFlippedCheckpointRejectedByCrc) {
+  Rng rng(1);
+  nn::Mlp mlp(&rng, 3, {4, 1}, nn::Activation::kRelu);
+  const std::string path = testing::TempDir() + "/uae_bitflip.bin";
+  ASSERT_TRUE(nn::SaveParameters(mlp, path).ok());
+
+  // Flip one bit in the middle of the payload.
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  const std::streamoff target = size / 2;
+  file.seekg(target);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  file.seekp(target);
+  file.write(&byte, 1);
+  file.close();
+
+  const Status status = nn::LoadParameters(&mlp, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("CRC mismatch"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(SerializeTest, TruncatedCheckpointRejected) {
+  Rng rng(1);
+  nn::Mlp mlp(&rng, 3, {4, 1}, nn::Activation::kRelu);
+  const std::string path = testing::TempDir() + "/uae_truncated_ckpt.bin";
+  ASSERT_TRUE(nn::SaveParameters(mlp, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+
+  const Status status = nn::LoadParameters(&mlp, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, LegacyV1CheckpointStillLoads) {
+  // Hand-write a v1 file (no CRC framing) for an Mlp(2, {1}) — one
+  // Linear: weight [2,1], bias [1,1] — and load it with today's reader.
+  const std::string path = testing::TempDir() + "/uae_v1.bin";
+  {
+    std::ofstream file(path, std::ios::binary);
+    file.write("UAECKPT1", 8);
+    const int32_t count = 2;
+    file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    const float weight[2] = {0.25f, -0.5f};
+    const float bias[1] = {1.5f};
+    int32_t rows = 2, cols = 1;
+    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    file.write(reinterpret_cast<const char*>(weight), sizeof(weight));
+    rows = 1;
+    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    file.write(reinterpret_cast<const char*>(bias), sizeof(bias));
+  }
+  Rng rng(7);
+  nn::Mlp mlp(&rng, 2, {1}, nn::Activation::kNone);
+  ASSERT_TRUE(nn::LoadParameters(&mlp, path).ok());
+  const auto params = mlp.Parameters();
+  EXPECT_EQ(params[0]->value.at(0, 0), 0.25f);
+  EXPECT_EQ(params[0]->value.at(1, 0), -0.5f);
+  EXPECT_EQ(params[1]->value.at(0, 0), 1.5f);
+}
+
+TEST(SerializeTest, TornWriteKeepsPreviousCheckpoint) {
+  Rng rng(1);
+  nn::Mlp mlp(&rng, 3, {4, 1}, nn::Activation::kRelu);
+  const std::string path = testing::TempDir() + "/uae_atomic.bin";
+  ASSERT_TRUE(nn::SaveParameters(mlp, path).ok());
+
+  // Arm a fault that always tears the next write: the save must fail
+  // WITHOUT disturbing the durable copy at `path`.
+  FaultInjector::Instance().Arm("ckpt.write", {1.0, /*seed=*/3});
+  mlp.Parameters()[0]->value.at(0, 0) += 1.0f;
+  const Status torn = nn::SaveParameters(mlp, path);
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.code(), StatusCode::kIoError);
+
+  Rng rng2(99);
+  nn::Mlp restored(&rng2, 3, {4, 1}, nn::Activation::kRelu);
+  EXPECT_TRUE(nn::LoadParameters(&restored, path).ok());
+}
+
+TEST(SerializeTest, PackDoublesRoundTripsBitExactly) {
+  const std::vector<double> values = {0.123456789012345678, -1e300,
+                                      5e-324, 0.0, 0.9999999999999999};
+  const std::vector<double> back =
+      nn::UnpackDoubles(nn::PackDoubles(values));
+  ASSERT_EQ(back.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&back[i], &values[i], sizeof(double)), 0);
+  }
+}
+
+// ------------------------------------------------------- lenient import
+
+/// A well-formed 2-session file with `garbage` malformed lines spliced
+/// between event lines.
+std::string WriteDirtyDataset(const std::string& path) {
+  std::ofstream file(path);
+  file << "# uae-dataset v1\n"
+       << "name Dirty\n"
+       << "feedback_types 3\n"
+       << "sparse user_id:4 song_id:8\n"
+       << "dense affinity\n"
+       << "session 0 3\n"
+       << "event Like 10 100 | 0 1 | 0.5\n"
+       << "event Skip 3 200 | 0 2 X 0.25\n"    // Corrupt: bar replaced.
+       << "event Auto-play 90 90 | 0 3 | 0.75\n"
+       << "session 1 2\n"
+       << "evnt Like 10 100 | 1 4 | 0.5\n"     // Corrupt: keyword typo.
+       << "event Dislike 5 180 | 1 5 | 0.1\n";
+  return path;
+}
+
+TEST(DatasetIoTest, StrictModeRejectsGarbageLinesWithLineNumber) {
+  const std::string path =
+      WriteDirtyDataset(testing::TempDir() + "/uae_dirty_strict.txt");
+  const StatusOr<data::Dataset> loaded = data::ReadDatasetText(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // The first corrupt line is line 8.
+  EXPECT_NE(loaded.status().message().find("line 8"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(DatasetIoTest, LenientModeSkipsGarbageLines) {
+  const std::string path =
+      WriteDirtyDataset(testing::TempDir() + "/uae_dirty_lenient.txt");
+  data::IoReadReport report;
+  const StatusOr<data::Dataset> loaded =
+      data::ReadDatasetText(path, data::IoOptions{.max_bad_lines = 10},
+                            &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Both corrupt lines skipped; the typo'd keyword also orphans nothing.
+  EXPECT_EQ(report.bad_lines, 2);
+  EXPECT_EQ(report.dropped_sessions, 0);
+  ASSERT_EQ(loaded.value().sessions.size(), 2u);
+  EXPECT_EQ(loaded.value().sessions[0].events.size(), 2u);
+  EXPECT_EQ(loaded.value().sessions[1].events.size(), 1u);
+}
+
+TEST(DatasetIoTest, LenientModeBudgetIsEnforced) {
+  const std::string path =
+      WriteDirtyDataset(testing::TempDir() + "/uae_dirty_budget.txt");
+  const StatusOr<data::Dataset> loaded =
+      data::ReadDatasetText(path, data::IoOptions{.max_bad_lines = 1},
+                            nullptr);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("too many malformed lines"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(DatasetIoTest, LenientModeDropsFullyCorruptSessions) {
+  const std::string path = testing::TempDir() + "/uae_dirty_drop.txt";
+  {
+    std::ofstream file(path);
+    file << "# uae-dataset v1\n"
+         << "name Drop\n"
+         << "feedback_types 3\n"
+         << "sparse user_id:4 song_id:8\n"
+         << "dense affinity\n"
+         << "session 0 1\n"
+         << "event Boost 10 100 | 0 1 | 0.5\n";  // Unknown action.
+    // Enough clean sessions that the rebuilt 8:1:1 split stays valid.
+    for (int s = 1; s <= 3; ++s) {
+      file << "session " << s << " 1\n"
+           << "event Like 10 100 | " << s << " 2 | 0.5\n";
+    }
+  }
+  data::IoReadReport report;
+  const StatusOr<data::Dataset> loaded =
+      data::ReadDatasetText(path, data::IoOptions{.max_bad_lines = 10},
+                            &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(report.bad_lines, 1);
+  EXPECT_EQ(report.dropped_sessions, 1);
+  ASSERT_EQ(loaded.value().sessions.size(), 3u);
+  EXPECT_EQ(loaded.value().sessions[0].user, 1);
 }
 
 }  // namespace
