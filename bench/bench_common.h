@@ -8,9 +8,16 @@
 // environment so the default `for b in build/bench/*; do $b; done` run
 // finishes on a laptop while UAE_BENCH_SCALE=paper reruns at full size:
 //
-//   UAE_BENCH_SCALE  small (default) | paper
-//   UAE_BENCH_SEEDS  override the per-cell seed count
+//   UAE_BENCH_SCALE      small (default) | paper
+//   UAE_BENCH_SEEDS      override the per-cell seed count
+//   UAE_BENCH_TELEMETRY  directory: each bench streams a structured
+//                        <name>.jsonl trajectory + run manifest there
+//                        (first-class instrumentation instead of printf
+//                        scraping; see DESIGN.md §8)
+//   UAE_LOG_LEVEL        debug|info|warn|error (wins over the default
+//                        bench quieting)
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +25,7 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "data/generator.h"
 
 namespace uae::bench {
@@ -78,6 +86,28 @@ inline void ExportCsv(const CsvWriter& csv, const std::string& name) {
   }
 }
 
+/// Points the process telemetry sink at <dir>/<slug(experiment)>.jsonl
+/// when UAE_BENCH_TELEMETRY names a directory. UAE_TELEMETRY_PATH (one
+/// explicit file) still works for single-bench runs and wins if the
+/// directory flag is unset. A final metrics snapshot is flushed at exit.
+inline void MaybeEnableTelemetry(const char* experiment) {
+  const char* dir = std::getenv("UAE_BENCH_TELEMETRY");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::string slug;
+  for (const char* p = experiment; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    slug += std::isalnum(c) ? static_cast<char>(std::tolower(c)) : '_';
+  }
+  std::filesystem::create_directories(dir);
+  const std::string path = std::string(dir) + "/" + slug + ".jsonl";
+  if (!telemetry::ConfigureSink(path)) {
+    std::printf("[telemetry] cannot open %s\n", path.c_str());
+    return;
+  }
+  std::printf("[telemetry] %s\n", path.c_str());
+  std::atexit(+[] { telemetry::EmitMetricsSnapshot("bench_exit"); });
+}
+
 /// Common banner so bench output is self-describing.
 inline void Banner(const char* experiment, const char* description) {
   std::printf("==============================================================\n");
@@ -85,7 +115,9 @@ inline void Banner(const char* experiment, const char* description) {
   std::printf("scale=%s seeds=%d\n", PaperScale() ? "paper" : "small",
               NumSeeds());
   std::printf("==============================================================\n");
-  SetLogLevel(LogLevel::kWarning);
+  // Benches quiet the log by default, but an explicit UAE_LOG_LEVEL wins.
+  if (!LogLevelFromEnv()) SetLogLevel(LogLevel::kWarning);
+  MaybeEnableTelemetry(experiment);
 }
 
 }  // namespace uae::bench

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "data/batcher.h"
 #include "nn/guard.h"
 #include "nn/ops.h"
@@ -208,6 +209,23 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
     }
   }
 
+  // Telemetry (DESIGN.md §8). Alternating-risk training is exactly where
+  // health is hardest to eyeball: both risk terms, negative-risk batches
+  // (the Algorithm 1 non-negativity clip firing), watchdog recoveries and
+  // clip activations all land in per-epoch "uae.epoch" records.
+  telemetry::Counter* steps_counter = telemetry::GetCounter("uae.uae.steps");
+  telemetry::Counter* bad_counter =
+      telemetry::GetCounter("uae.uae.bad_steps");
+  telemetry::Counter* clip_counter =
+      telemetry::GetCounter("uae.uae.clip_activations");
+  telemetry::Counter* negative_risk_counter =
+      telemetry::GetCounter("uae.uae.negative_risk_batches");
+  telemetry::Histogram* epoch_hist =
+      telemetry::GetHistogram("uae.uae.epoch_s");
+  int epoch_clips = 0;
+  int epoch_bad_steps = 0;
+  int epoch_negative_risk = 0;
+
   int bad_steps = 0;
   // Shared watchdog: backward, reject non-finite steps (skip Step, halve
   // that tower's LR, roll back poisoned parameters), optionally clip.
@@ -224,14 +242,26 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
     }
     if (std::isfinite(risk->value.ScalarValue()) &&
         !nn::HasNonFiniteGrad(params)) {
+      if (risk->value.ScalarValue() < 0.0) {
+        ++epoch_negative_risk;
+        negative_risk_counter->Add();
+      }
       if (config_.clip_grad_norm > 0.0f) {
-        nn::ClipGradNorm(params, config_.clip_grad_norm);
+        const double pre_clip_norm =
+            nn::ClipGradNorm(params, config_.clip_grad_norm);
+        if (pre_clip_norm > config_.clip_grad_norm) {
+          ++epoch_clips;
+          clip_counter->Add();
+        }
       }
       opt->Step();
+      steps_counter->Add();
       return true;
     }
     ++recovered_steps_;
     ++bad_steps;
+    ++epoch_bad_steps;
+    bad_counter->Add();
     if (nn::HasNonFinite(params)) RestoreValues(params, good_snapshot);
     opt->SetLearningRate(opt->learning_rate() * 0.5f);
     UAE_LOG(Warning) << "UAE " << tower << " tower: non-finite step skipped ("
@@ -244,6 +274,12 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
   std::vector<int> batch;
   for (int epoch = start_epoch; epoch < config_.epochs && !diverged_;
        ++epoch) {
+    telemetry::ScopedTimer epoch_timer(epoch_hist);
+    int64_t epoch_sessions = 0;
+    int64_t epoch_events = 0;
+    epoch_clips = 0;
+    epoch_bad_steps = 0;
+    epoch_negative_risk = 0;
     // The watchdog's LR halving is a within-epoch brake: each outer epoch
     // re-arms both towers at the configured rates (checkpoints are
     // epoch-aligned, so resumed runs re-arm identically).
@@ -260,6 +296,9 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
             attention_tower_->Forward(dataset, batch);
         std::vector<nn::NodePtr> pro_logits =
             propensity_tower_->Forward(dataset, batch, att.states);
+        epoch_sessions += static_cast<int64_t>(batch.size());
+        epoch_events +=
+            static_cast<int64_t>(batch.size()) * att.logits.size();
         const RiskOptions options{config_.weight_clip,
                                   config_.risk_clipping};
         nn::NodePtr risk = BuildSessionRisk(dataset, batch, att.logits,
@@ -285,6 +324,9 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
             attention_tower_->Forward(dataset, batch);
         std::vector<nn::NodePtr> pro_logits =
             propensity_tower_->Forward(dataset, batch, att.states);
+        epoch_sessions += static_cast<int64_t>(batch.size());
+        epoch_events +=
+            static_cast<int64_t>(batch.size()) * att.logits.size();
         const RiskOptions options{config_.weight_clip,
                                   config_.risk_clipping};
         nn::NodePtr risk = BuildSessionRisk(dataset, batch, pro_logits,
@@ -302,6 +344,33 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
     UAE_LOG(Debug) << "UAE epoch " << epoch + 1 << "/" << config_.epochs
                    << " att_risk=" << attention_risk_history_.back()
                    << " pro_risk=" << propensity_risk_history_.back();
+    const double epoch_seconds = epoch_timer.Stop();
+    if (telemetry::SinkEnabled()) {
+      telemetry::Emit(
+          "uae.epoch",
+          telemetry::JsonObject()
+              .Set("epoch", epoch + 1)
+              .Set("epochs", config_.epochs)
+              .Set("att_risk", attention_risk_history_.empty()
+                                   ? 0.0
+                                   : attention_risk_history_.back())
+              .Set("pro_risk", propensity_risk_history_.empty()
+                                   ? 0.0
+                                   : propensity_risk_history_.back())
+              .Set("sessions", epoch_sessions)
+              .Set("events", epoch_events)
+              .Set("events_per_sec",
+                   epoch_seconds > 0.0 ? epoch_events / epoch_seconds : 0.0)
+              .Set("epoch_seconds", epoch_seconds)
+              .Set("negative_risk_batches", epoch_negative_risk)
+              .Set("clip_activations", epoch_clips)
+              .Set("bad_steps", epoch_bad_steps)
+              .Set("recovered_steps", recovered_steps_)
+              .Set("lr_att",
+                   static_cast<double>(attention_opt.learning_rate()))
+              .Set("lr_pro",
+                   static_cast<double>(propensity_opt.learning_rate())));
+    }
     if (!config_.checkpoint_path.empty() &&
         ((epoch + 1) % std::max(1, config_.checkpoint_every) == 0 ||
          epoch + 1 == config_.epochs)) {

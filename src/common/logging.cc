@@ -1,11 +1,45 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace uae {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_level_from_env{false};
+std::once_flag g_env_once;
+
+/// Reads UAE_LOG_LEVEL once, before the first level query. An explicit
+/// SetLogLevel afterwards still wins (it just stores over this).
+void InitLevelFromEnv() {
+  std::call_once(g_env_once, [] {
+    const char* value = std::getenv("UAE_LOG_LEVEL");
+    if (value == nullptr || value[0] == '\0') return;
+    LogLevel level = LogLevel::kInfo;
+    if (std::strcmp(value, "debug") == 0) {
+      level = LogLevel::kDebug;
+    } else if (std::strcmp(value, "info") == 0) {
+      level = LogLevel::kInfo;
+    } else if (std::strcmp(value, "warn") == 0 ||
+               std::strcmp(value, "warning") == 0) {
+      level = LogLevel::kWarning;
+    } else if (std::strcmp(value, "error") == 0) {
+      level = LogLevel::kError;
+    } else {
+      std::fprintf(stderr,
+                   "[WARN logging] unknown UAE_LOG_LEVEL '%s' "
+                   "(want debug|info|warn|error), keeping default\n",
+                   value);
+      return;
+    }
+    g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    g_level_from_env.store(true, std::memory_order_relaxed);
+  });
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,17 +58,29 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  InitLevelFromEnv();  // Consume the env read so it cannot clobber us.
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  InitLevelFromEnv();
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool LogLevelFromEnv() {
+  InitLevelFromEnv();
+  return g_level_from_env.load(std::memory_order_relaxed);
 }
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+bool LogEnabled(LogLevel level) {
+  InitLevelFromEnv();
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
   // Strip directories from __FILE__ so log lines stay short.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
@@ -44,11 +90,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
+  // UAE_LOG already gated on the level, so everything that reaches the
+  // destructor is emitted. One fwrite of the assembled line keeps
+  // concurrent threads from shearing each other's output (stderr is
+  // unbuffered, so this maps to a single write(2)).
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

@@ -10,14 +10,25 @@ namespace uae {
 /// Severity levels, lowest to highest.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum severity that is actually emitted. Defaults to
-/// kInfo; benches lower it to kWarning to keep table output clean.
+/// Process-wide minimum severity that is actually emitted. The initial
+/// value comes from the UAE_LOG_LEVEL environment variable
+/// (debug|info|warn|error, read once at first use; default kInfo);
+/// SetLogLevel overrides it for the rest of the process.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// True when UAE_LOG_LEVEL is set (benches leave the level alone then,
+/// so the environment wins over their default quieting).
+bool LogLevelFromEnv();
+
 namespace internal {
 
-/// Stream-style log line; flushes to stderr on destruction.
+/// Cheap suppression check: one relaxed atomic load (plus a one-time env
+/// read on the very first call).
+bool LogEnabled(LogLevel level);
+
+/// Stream-style log line; the destructor assembles the full line and
+/// emits it with a single write so concurrent threads cannot shear it.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -29,15 +40,28 @@ class LogMessage {
   std::ostream& stream() { return stream_; }
 
  private:
-  LogLevel level_;
   std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression in the suppressed branch of UAE_LOG
+/// so both arms of the ternary have type void.
+struct Voidify {
+  void operator&(std::ostream&) {}
 };
 
 }  // namespace internal
 }  // namespace uae
 
-#define UAE_LOG(level)                                                      \
-  ::uae::internal::LogMessage(::uae::LogLevel::k##level, __FILE__, __LINE__) \
-      .stream()
+// Lazy logging: when the level is suppressed, none of the streamed
+// arguments are evaluated — the whole statement costs one atomic load.
+// (operator& binds looser than << and tighter than ?:, so it swallows
+// the fully-streamed expression.)
+#define UAE_LOG(level)                                                   \
+  !::uae::internal::LogEnabled(::uae::LogLevel::k##level)                \
+      ? (void)0                                                          \
+      : ::uae::internal::Voidify() &                                     \
+            ::uae::internal::LogMessage(::uae::LogLevel::k##level,       \
+                                        __FILE__, __LINE__)              \
+                .stream()
 
 #endif  // UAE_COMMON_LOGGING_H_

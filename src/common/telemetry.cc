@@ -1,0 +1,454 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+
+namespace uae::telemetry {
+
+// ---------------------------------------------------------------------
+// JSON
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buf;
+}
+
+namespace {
+
+void AppendPair(std::string* body, const std::string& key,
+                const std::string& rendered_value) {
+  if (!body->empty()) *body += ',';
+  *body += '"';
+  *body += JsonEscape(key);
+  *body += "\":";
+  *body += rendered_value;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  // Built with += (not operator+) to dodge a GCC-12 -Wrestrict false
+  // positive on "literal" + std::string&&.
+  std::string rendered = "\"";
+  rendered += JsonEscape(value);
+  rendered += '"';
+  AppendPair(&body_, key, rendered);
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  AppendPair(&body_, key, JsonNumber(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
+  AppendPair(&body_, key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, bool value) {
+  AppendPair(&body_, key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::SetRaw(const std::string& key,
+                               const std::string& raw_json) {
+  AppendPair(&body_, key, raw_json);
+  return *this;
+}
+
+std::string JsonObject::Str() const { return "{" + body_ + "}"; }
+
+// ---------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    UAE_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Record(double value) {
+  // lower_bound -> first bound >= value: bucket i holds values <=
+  // bounds[i] (inclusive upper edges, as documented in the header).
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[bucket];
+  sum_ += value;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  snapshot.bounds = bounds_;
+  snapshot.buckets = buckets_;
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+const std::vector<double>& DefaultTimeBounds() {
+  // 1us .. 100s, half-decade steps.
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+      3e-2, 0.1,  0.3,  1.0,  3.0,  10.0, 30.0, 100.0};
+  return *bounds;
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+namespace {
+
+/// Name -> metric maps. unique_ptr values keep metric addresses stable
+/// across rehashes; the leaked singleton sidesteps shutdown-order races
+/// with other static destructors that might still log metrics.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+Counter* GetCounter(const std::string& name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::unique_ptr<Counter>& slot = registry.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* GetGauge(const std::string& name) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::unique_ptr<Gauge>& slot = registry.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* GetHistogram(const std::string& name) {
+  return GetHistogram(name, DefaultTimeBounds());
+}
+
+Histogram* GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::unique_ptr<Histogram>& slot = registry.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+void ResetRegistryForTest() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  // Values reset in place; entries (and the pointers handed out for
+  // them) survive, because hot paths cache metric pointers in statics.
+  for (auto& [name, counter] : registry.counters) counter->Reset();
+  for (auto& [name, gauge] : registry.gauges) gauge->Set(0.0);
+  for (auto& [name, histogram] : registry.histograms) histogram->Reset();
+}
+
+// ---------------------------------------------------------------------
+// ScopedTimer
+
+ScopedTimer::ScopedTimer(Histogram* histogram)
+    : histogram_(histogram), start_(std::chrono::steady_clock::now()) {
+  UAE_CHECK(histogram != nullptr);
+}
+
+ScopedTimer::~ScopedTimer() { Stop(); }
+
+double ScopedTimer::Stop() {
+  if (running_) {
+    running_ = false;
+    elapsed_ = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    histogram_->Record(elapsed_);
+  }
+  return elapsed_;
+}
+
+// ---------------------------------------------------------------------
+// Sink
+
+namespace {
+
+struct Sink {
+  std::mutex mu;
+  std::FILE* file = nullptr;  // Guarded by mu.
+  std::string path;           // Guarded by mu.
+  /// Fast-path flag mirroring file != nullptr, readable without mu.
+  std::atomic<bool> enabled{false};
+  /// One-shot env-var initialization.
+  std::once_flag env_once;
+};
+
+Sink& GlobalSink() {
+  static Sink* sink = new Sink();
+  return *sink;
+}
+
+/// Opens `path`, replacing any current sink file. Empty path = close.
+bool OpenSinkLocked(Sink* sink, const std::string& path) {
+  if (sink->file != nullptr) {
+    std::fclose(sink->file);
+    sink->file = nullptr;
+    sink->path.clear();
+    sink->enabled.store(false, std::memory_order_release);
+  }
+  if (path.empty()) return false;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  sink->file = file;
+  sink->path = path;
+  sink->enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+/// First-use hook: UAE_TELEMETRY_PATH opens the sink without any code
+/// changes (tests, benches, production runs alike).
+void InitSinkFromEnv(Sink* sink) {
+  std::call_once(sink->env_once, [sink] {
+    std::lock_guard<std::mutex> lock(sink->mu);
+    if (sink->file != nullptr) return;  // ConfigureSink got there first.
+    const char* path = std::getenv("UAE_TELEMETRY_PATH");
+    if (path != nullptr && path[0] != '\0') OpenSinkLocked(sink, path);
+  });
+}
+
+double UnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void WriteLine(Sink* sink, const std::string& line) {
+  std::lock_guard<std::mutex> lock(sink->mu);
+  if (sink->file == nullptr) return;
+  // Single fwrite per record: concurrent emitters cannot shear lines.
+  std::fwrite(line.data(), 1, line.size(), sink->file);
+  std::fflush(sink->file);
+}
+
+}  // namespace
+
+bool ConfigureSink(const std::string& path) {
+  Sink& sink = GlobalSink();
+  // Mark env-init as done so a later first Emit cannot clobber an
+  // explicitly configured sink.
+  std::call_once(sink.env_once, [] {});
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return OpenSinkLocked(&sink, path);
+}
+
+void CloseSink() {
+  Sink& sink = GlobalSink();
+  std::call_once(sink.env_once, [] {});
+  std::lock_guard<std::mutex> lock(sink.mu);
+  OpenSinkLocked(&sink, "");
+}
+
+bool SinkEnabled() {
+  Sink& sink = GlobalSink();
+  InitSinkFromEnv(&sink);
+  return sink.enabled.load(std::memory_order_acquire);
+}
+
+std::string SinkPath() {
+  Sink& sink = GlobalSink();
+  InitSinkFromEnv(&sink);
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return sink.path;
+}
+
+void Emit(const std::string& kind, const JsonObject& fields) {
+  if (!SinkEnabled()) return;
+  JsonObject header;
+  header.Set("type", kind).Set("ts", UnixSeconds());
+  std::string out = header.Str();
+  const std::string fields_json = fields.Str();
+  if (fields_json.size() > 2) {  // More than bare "{}": splice the pairs.
+    out.pop_back();
+    out += ',';
+    out += fields_json.substr(1);
+  }
+  out += '\n';
+  WriteLine(&GlobalSink(), out);
+}
+
+void EmitMetricsSnapshot(const std::string& label) {
+  if (!SinkEnabled()) return;
+  Registry& registry = GlobalRegistry();
+  // Copy the metric pointers out so Emit (which takes the sink lock) runs
+  // without holding the registry lock.
+  std::vector<std::pair<std::string, Counter*>> counters;
+  std::vector<std::pair<std::string, Gauge*>> gauges;
+  std::vector<std::pair<std::string, Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& [name, counter] : registry.counters) {
+      counters.emplace_back(name, counter.get());
+    }
+    for (const auto& [name, gauge] : registry.gauges) {
+      gauges.emplace_back(name, gauge.get());
+    }
+    for (const auto& [name, histogram] : registry.histograms) {
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  for (const auto& [name, counter] : counters) {
+    Emit("metric", JsonObject()
+                       .Set("label", label)
+                       .Set("kind", "counter")
+                       .Set("name", name)
+                       .Set("value", counter->Get()));
+  }
+  for (const auto& [name, gauge] : gauges) {
+    Emit("metric", JsonObject()
+                       .Set("label", label)
+                       .Set("kind", "gauge")
+                       .Set("name", name)
+                       .Set("value", gauge->Get()));
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    std::string bounds = "[";
+    std::string buckets = "[";
+    for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+      if (i > 0) buckets += ',';
+      buckets += std::to_string(snapshot.buckets[i]);
+      if (i < snapshot.bounds.size()) {
+        if (i > 0) bounds += ',';
+        bounds += JsonNumber(snapshot.bounds[i]);
+      }
+    }
+    bounds += ']';
+    buckets += ']';
+    Emit("metric", JsonObject()
+                       .Set("label", label)
+                       .Set("kind", "histogram")
+                       .Set("name", name)
+                       .Set("count", snapshot.count)
+                       .Set("sum", snapshot.sum)
+                       .Set("mean", snapshot.Mean())
+                       .Set("min", snapshot.min)
+                       .Set("max", snapshot.max)
+                       .SetRaw("bounds", bounds)
+                       .SetRaw("buckets", buckets));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Run manifest
+
+std::string ManifestPath() {
+  const std::string path = SinkPath();
+  return path.empty() ? "" : path + ".manifest.json";
+}
+
+bool WriteRunManifest(const JsonObject& manifest) {
+  const std::string path = ManifestPath();
+  if (path.empty()) return false;
+  JsonObject full;
+  full.Set("build", BuildVersion()).Set("ts", UnixSeconds());
+  std::string out = full.Str();
+  const std::string fields_json = manifest.Str();
+  if (fields_json.size() > 2) {
+    out.pop_back();
+    out += ',';
+    out += fields_json.substr(1);
+  }
+  out += '\n';
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  const bool ok = written == out.size() && std::fclose(file) == 0;
+  if (!ok) return false;
+  return true;
+}
+
+const char* BuildVersion() {
+#ifdef UAE_GIT_DESCRIBE
+  return UAE_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace uae::telemetry

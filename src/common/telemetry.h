@@ -1,0 +1,225 @@
+#ifndef UAE_COMMON_TELEMETRY_H_
+#define UAE_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uae::telemetry {
+
+// Process-wide observability layer (DESIGN.md §8 "Observability").
+//
+// Three pieces:
+//   1. A metrics registry of named counters / gauges / fixed-bucket
+//      histograms. Lookups are mutex-guarded; the returned pointers are
+//      stable for the process lifetime, so hot paths resolve a metric
+//      once and then update it with relaxed atomics.
+//   2. RAII ScopedTimer: wall-clock spans accumulated into histograms.
+//   3. A JSONL sink streaming structured records (epoch summaries, span
+//      events, metric snapshots) to a file. Enabled by the
+//      UAE_TELEMETRY_PATH environment variable or ConfigureSink(); when
+//      disabled every Emit is one relaxed atomic load.
+//
+// Metric names follow "uae.<layer>.<name>" (e.g. "uae.trainer.steps",
+// "uae.data.io.read_s"); timing histograms carry a "_s" suffix and
+// record seconds.
+
+// ---------------------------------------------------------------------
+// Minimal JSON object builder (flat key/value, escaped strings). Enough
+// for one-line JSONL records; nested values ride in via SetRaw.
+
+std::string JsonEscape(const std::string& s);
+
+/// Shortest decimal that round-trips to `value`; non-finite -> "null".
+std::string JsonNumber(double value);
+
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Set(const std::string& key, bool value);
+  /// Splices pre-rendered JSON (an array or object) as the value.
+  JsonObject& SetRaw(const std::string& key, const std::string& raw_json);
+
+  bool empty() const { return body_.empty(); }
+  /// Renders "{...}".
+  std::string Str() const;
+
+ private:
+  std::string body_;  // Comma-joined "key":value pairs, no braces.
+};
+
+// ---------------------------------------------------------------------
+// Metric primitives. All methods are thread-safe.
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram's state.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // Meaningless until count > 0.
+  double max = 0.0;
+  /// Inclusive upper bounds of the first bounds.size() buckets; one
+  /// implicit overflow bucket follows, so buckets.size() == bounds.size()+1.
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+/// Fixed-bucket histogram with min/max/sum/count sidecars.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; bucket i counts values
+  /// <= bounds[i], the final implicit bucket counts the overflow.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential seconds buckets 1us .. 100s — the default for "_s" timing
+/// histograms.
+const std::vector<double>& DefaultTimeBounds();
+
+// ---------------------------------------------------------------------
+// Registry. Get* creates on first use and returns the same pointer ever
+// after; a histogram's bounds are fixed by its first Get call.
+
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);  // DefaultTimeBounds().
+Histogram* GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds);
+
+/// Zeroes every registered metric in place (counters to 0, gauges to 0,
+/// histograms emptied). Previously returned pointers stay valid — code
+/// that cached a metric keeps working. Test isolation only.
+void ResetRegistryForTest();
+
+// ---------------------------------------------------------------------
+// Scoped wall-clock timer. Accumulates seconds into a histogram when
+// stopped (at destruction, or explicitly via Stop).
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram);
+  explicit ScopedTimer(const std::string& name)
+      : ScopedTimer(GetHistogram(name)) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records the elapsed seconds once and returns them; later calls (and
+  /// the destructor) are no-ops returning the same value.
+  double Stop();
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  double elapsed_ = 0.0;
+  bool running_ = true;
+};
+
+// ---------------------------------------------------------------------
+// JSONL sink. One JSON object per line:
+//   {"type":<kind>,"ts":<unix seconds>,...fields}
+// Lines are written with a single fwrite under a mutex, so concurrent
+// emitters never shear records.
+
+/// Opens (truncates) `path` as the process sink; replaces any previous
+/// sink. Returns false (sink disabled) when the file cannot be opened.
+bool ConfigureSink(const std::string& path);
+
+/// Flushes and disables the sink.
+void CloseSink();
+
+/// True when a sink is open. The first call (and the first Emit) consults
+/// UAE_TELEMETRY_PATH if ConfigureSink was never called.
+bool SinkEnabled();
+
+/// The configured sink path ("" when disabled).
+std::string SinkPath();
+
+/// Writes one record. No-op (one atomic load) when the sink is disabled.
+void Emit(const std::string& kind, const JsonObject& fields);
+
+/// Dumps every registered metric as one "metric" record each, tagged
+/// with `label`. Counters/gauges carry "value"; histograms carry
+/// count/sum/mean/min/max plus bounds/buckets arrays.
+void EmitMetricsSnapshot(const std::string& label);
+
+// ---------------------------------------------------------------------
+// Run manifest: a single JSON file describing one run (config, seed,
+// build version, duration, final metrics), written next to the JSONL.
+
+/// "<sink path>.manifest.json", or "" when the sink is disabled.
+std::string ManifestPath();
+
+/// Writes `manifest` (plus "build" and "ts" fields) to ManifestPath().
+/// Returns false when the sink is disabled or the write fails.
+bool WriteRunManifest(const JsonObject& manifest);
+
+/// git-describe of the build when CMake captured it, else "unknown".
+const char* BuildVersion();
+
+}  // namespace uae::telemetry
+
+// ---------------------------------------------------------------------
+// Zero-cost op profiling. UAE_PROFILE_SCOPE compiles to nothing unless
+// the build sets -DUAE_PROFILE_OPS (CMake option UAE_PROFILE_OPS), so the
+// nn hot loops carry no timer overhead in normal builds.
+#ifdef UAE_PROFILE_OPS
+#define UAE_PROFILE_CONCAT_INNER(a, b) a##b
+#define UAE_PROFILE_CONCAT(a, b) UAE_PROFILE_CONCAT_INNER(a, b)
+#define UAE_PROFILE_SCOPE(name)                     \
+  ::uae::telemetry::ScopedTimer UAE_PROFILE_CONCAT( \
+      uae_profile_scope_, __LINE__)(name)
+#else
+#define UAE_PROFILE_SCOPE(name) \
+  do {                          \
+  } while (false)
+#endif
+
+#endif  // UAE_COMMON_TELEMETRY_H_

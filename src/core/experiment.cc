@@ -2,8 +2,23 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace uae::core {
+namespace {
+
+/// Renders a per-seed sample vector as a JSON array.
+std::string JsonArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += telemetry::JsonNumber(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
 
 CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
                    const std::vector<const data::EventScores*>*
@@ -12,6 +27,8 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
   if (shared_weights != nullptr) {
     UAE_CHECK(static_cast<int>(shared_weights->size()) == spec.num_seeds);
   }
+  telemetry::ScopedTimer cell_timer(
+      telemetry::GetHistogram("uae.core.cell_s"));
   CellResult result;
   for (int run = 0; run < spec.num_seeds; ++run) {
     const uint64_t seed = spec.base_seed + 1000ULL * run;
@@ -37,6 +54,48 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
   }
   result.auc = Summarize(result.auc_runs);
   result.gauc = Summarize(result.gauc_runs);
+
+  // One manifest per cell next to the metrics JSONL: enough to re-run
+  // the cell (config + seeds + build) and to diff its outcome
+  // (final metric summaries + duration). The JSONL keeps the full
+  // trajectory; the manifest is the at-a-glance summary.
+  if (telemetry::SinkEnabled()) {
+    const double cell_seconds = cell_timer.Stop();
+    const char* method_name = spec.method.has_value()
+                                  ? attention::AttentionMethodName(*spec.method)
+                                  : "none";
+    telemetry::Emit("experiment.cell",
+                    telemetry::JsonObject()
+                        .Set("model", models::ModelKindName(spec.model))
+                        .Set("method", method_name)
+                        .Set("num_seeds", spec.num_seeds)
+                        .Set("auc_mean", result.auc.mean)
+                        .Set("gauc_mean", result.gauc.mean)
+                        .Set("seconds", cell_seconds));
+    telemetry::WriteRunManifest(
+        telemetry::JsonObject()
+            .Set("model", models::ModelKindName(spec.model))
+            .Set("method", method_name)
+            .Set("gamma", static_cast<double>(spec.gamma))
+            .Set("num_seeds", spec.num_seeds)
+            .Set("base_seed", static_cast<int64_t>(spec.base_seed))
+            .Set("epochs", spec.train_config.epochs)
+            .Set("batch_size", spec.train_config.batch_size)
+            .Set("learning_rate",
+                 static_cast<double>(spec.train_config.learning_rate))
+            .Set("clip_grad_norm",
+                 static_cast<double>(spec.train_config.clip_grad_norm))
+            .Set("dataset", dataset.name)
+            .Set("sessions", static_cast<int64_t>(dataset.sessions.size()))
+            .Set("duration_seconds", cell_seconds)
+            .Set("auc_mean", result.auc.mean)
+            .Set("auc_std", result.auc.stddev)
+            .Set("gauc_mean", result.gauc.mean)
+            .Set("gauc_std", result.gauc.stddev)
+            .SetRaw("auc_runs", JsonArray(result.auc_runs))
+            .SetRaw("gauc_runs", JsonArray(result.gauc_runs))
+            .Set("telemetry", telemetry::SinkPath()));
+  }
   return result;
 }
 

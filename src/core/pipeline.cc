@@ -2,6 +2,7 @@
 
 #include "attention/reweight.h"
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "eval/attention_metrics.h"
 
 namespace uae::core {
@@ -18,7 +19,10 @@ AttentionArtifacts FitAttention(const data::Dataset& dataset,
                                 attention::AttentionEstimator* estimator,
                                 float gamma) {
   UAE_CHECK(estimator != nullptr);
+  telemetry::ScopedTimer fit_timer(
+      telemetry::GetHistogram("uae.core.attention_fit_s"));
   estimator->Fit(dataset);
+  fit_timer.Stop();
   data::EventScores alpha = estimator->PredictAttention(dataset);
   data::EventScores weights =
       attention::BuildSampleWeights(dataset, alpha, gamma);
@@ -40,14 +44,30 @@ RunResult TrainModel(const data::Dataset& dataset, models::ModelKind kind,
   std::unique_ptr<models::Recommender> model =
       models::CreateRecommender(kind, &rng, dataset.schema, model_config);
   RunResult result;
+  telemetry::ScopedTimer train_timer(
+      telemetry::GetHistogram("uae.core.train_s"));
   result.curves =
       models::TrainRecommender(model.get(), dataset, weights, train_config);
+  const double train_seconds = train_timer.Stop();
   result.test = models::EvaluateRecommender(
       model.get(), dataset, data::SplitKind::kTest,
       models::LabelKind::kObserved);
   result.test_oracle = models::EvaluateRecommender(
       model.get(), dataset, data::SplitKind::kTest,
       models::LabelKind::kOracleRelevance);
+  if (telemetry::SinkEnabled()) {
+    telemetry::Emit("pipeline.run",
+                    telemetry::JsonObject()
+                        .Set("model", models::ModelKindName(kind))
+                        .Set("weighted", weights != nullptr)
+                        .Set("seed", static_cast<int64_t>(train_config.seed))
+                        .Set("train_seconds", train_seconds)
+                        .Set("test_auc", result.test.auc)
+                        .Set("test_gauc", result.test.gauc)
+                        .Set("oracle_auc", result.test_oracle.auc)
+                        .Set("best_epoch", result.curves.best_epoch)
+                        .Set("diverged", result.curves.diverged));
+  }
   return result;
 }
 

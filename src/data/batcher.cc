@@ -4,9 +4,37 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace uae::data {
 namespace {
+
+// Batch-assembly telemetry: counters are relaxed atomic adds on the
+// Next() path; shuffle/build timings land in "_s" histograms. Pointers
+// resolve once per process.
+telemetry::Counter* BatchCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("uae.data.batcher.batches");
+  return counter;
+}
+
+telemetry::Counter* BatchedEventCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("uae.data.batcher.events");
+  return counter;
+}
+
+telemetry::Counter* BatchedSessionCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("uae.data.batcher.sessions");
+  return counter;
+}
+
+telemetry::Histogram* ShuffleHistogram() {
+  static telemetry::Histogram* histogram =
+      telemetry::GetHistogram("uae.data.batcher.shuffle_s");
+  return histogram;
+}
 
 /// Fisher–Yates with our Rng.
 template <typename T>
@@ -27,6 +55,7 @@ FlatBatcher::FlatBatcher(std::vector<EventRef> refs, int batch_size)
 
 void FlatBatcher::StartEpoch(Rng* rng) {
   UAE_CHECK(rng != nullptr);
+  telemetry::ScopedTimer timer(ShuffleHistogram());
   Shuffle(&refs_, rng);
   cursor_ = 0;
 }
@@ -37,6 +66,8 @@ bool FlatBatcher::Next(std::vector<EventRef>* batch) {
   const size_t end = std::min(refs_.size(), cursor_ + batch_size_);
   batch->assign(refs_.begin() + cursor_, refs_.begin() + end);
   cursor_ = end;
+  BatchCounter()->Add();
+  BatchedEventCounter()->Add(static_cast<int64_t>(batch->size()));
   return true;
 }
 
@@ -44,6 +75,8 @@ SessionBatcher::SessionBatcher(const Dataset& dataset,
                                std::vector<int> session_ids, int batch_size) {
   UAE_CHECK(batch_size > 0);
   UAE_CHECK(!session_ids.empty());
+  telemetry::ScopedTimer timer(
+      telemetry::GetHistogram("uae.data.batcher.build_s"));
   // Bucket by session length, then chunk each bucket.
   std::map<int, std::vector<int>> buckets;
   for (int s : session_ids) {
@@ -59,6 +92,7 @@ SessionBatcher::SessionBatcher(const Dataset& dataset,
 
 void SessionBatcher::StartEpoch(Rng* rng) {
   UAE_CHECK(rng != nullptr);
+  telemetry::ScopedTimer timer(ShuffleHistogram());
   Shuffle(&batches_, rng);
   cursor_ = 0;
 }
@@ -67,6 +101,8 @@ bool SessionBatcher::Next(std::vector<int>* batch) {
   batch->clear();
   if (cursor_ >= batches_.size()) return false;
   *batch = batches_[cursor_++];
+  BatchCounter()->Add();
+  BatchedSessionCounter()->Add(static_cast<int64_t>(batch->size()));
   return true;
 }
 

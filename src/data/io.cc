@@ -5,6 +5,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace uae::data {
 namespace {
@@ -66,6 +67,8 @@ StatusOr<FeedbackAction> ParseFeedbackAction(const std::string& name) {
 }
 
 Status WriteDatasetText(const Dataset& dataset, const std::string& path) {
+  telemetry::ScopedTimer timer(
+      telemetry::GetHistogram("uae.data.io.write_s"));
   std::ofstream file(path);
   if (!file.is_open()) return Status::IoError("cannot open " + path);
 
@@ -107,6 +110,8 @@ StatusOr<Dataset> ReadDatasetText(const std::string& path) {
 StatusOr<Dataset> ReadDatasetText(const std::string& path,
                                   const IoOptions& options,
                                   IoReadReport* report) {
+  telemetry::ScopedTimer timer(
+      telemetry::GetHistogram("uae.data.io.read_s"));
   std::ifstream file(path);
   if (!file.is_open()) return Status::IoError("cannot open " + path);
 
@@ -260,6 +265,28 @@ StatusOr<Dataset> ReadDatasetText(const std::string& path,
                      << local_report.dropped_sessions << " sessions";
   }
   if (report != nullptr) *report = local_report;
+  telemetry::GetCounter("uae.data.io.lines")->Add(line_no);
+  telemetry::GetCounter("uae.data.io.bad_lines")
+      ->Add(local_report.bad_lines);
+  telemetry::GetCounter("uae.data.io.dropped_sessions")
+      ->Add(local_report.dropped_sessions);
+  if (telemetry::SinkEnabled()) {
+    int64_t events = 0;
+    for (const Session& session : dataset.sessions) {
+      events += static_cast<int64_t>(session.events.size());
+    }
+    telemetry::Emit("data.import",
+                    telemetry::JsonObject()
+                        .Set("path", path)
+                        .Set("lines", line_no)
+                        .Set("sessions", static_cast<int64_t>(
+                                 dataset.sessions.size()))
+                        .Set("events", events)
+                        .Set("bad_lines", local_report.bad_lines)
+                        .Set("dropped_sessions",
+                             local_report.dropped_sessions)
+                        .Set("seconds", timer.Stop()));
+  }
 
   // Recover the Table-III style counters and a chronological split.
   int max_user = 0;

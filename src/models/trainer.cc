@@ -9,6 +9,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "data/batcher.h"
 #include "eval/metrics.h"
 #include "nn/guard.h"
@@ -202,9 +203,26 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
   }
   result.start_epoch = start_epoch;
 
+  // Telemetry (DESIGN.md §8): per-step counters are relaxed atomic adds;
+  // the per-epoch "trainer.epoch" JSONL record costs nothing when no
+  // sink is configured.
+  telemetry::Counter* steps_counter = telemetry::GetCounter("uae.trainer.steps");
+  telemetry::Counter* bad_counter =
+      telemetry::GetCounter("uae.trainer.bad_steps");
+  telemetry::Counter* clip_counter =
+      telemetry::GetCounter("uae.trainer.clip_activations");
+  telemetry::Histogram* epoch_hist =
+      telemetry::GetHistogram("uae.trainer.epoch_s");
+
   int bad_steps = 0;
   std::vector<data::EventRef> batch;
   for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    telemetry::ScopedTimer epoch_timer(epoch_hist);
+    int64_t epoch_events = 0;
+    int epoch_bad_steps = 0;
+    int epoch_clips = 0;
+    double grad_norm_sum = 0.0;
+    int64_t grad_norm_count = 0;
     batcher.StartEpoch(&rng);
     // Rollback point for steps that poison the parameters themselves.
     std::vector<nn::Tensor> good_snapshot = SnapshotParameters(*model);
@@ -249,6 +267,8 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
       if (!StepIsHealthy(loss_value, params)) {
         ++result.recovered_steps;
         ++bad_steps;
+        ++epoch_bad_steps;
+        bad_counter->Add();
         if (nn::HasNonFinite(params)) {
           RestoreParameters(model, good_snapshot);
         }
@@ -265,9 +285,23 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
         continue;  // Skip the poisoned Step().
       }
       if (config.clip_grad_norm > 0.0f) {
-        nn::ClipGradNorm(params, config.clip_grad_norm);
+        const double pre_clip_norm =
+            nn::ClipGradNorm(params, config.clip_grad_norm);
+        grad_norm_sum += pre_clip_norm;
+        ++grad_norm_count;
+        if (pre_clip_norm > config.clip_grad_norm) {
+          ++epoch_clips;
+          clip_counter->Add();
+        }
+      } else if (telemetry::SinkEnabled()) {
+        // Clipping off: the norm is not a by-product, so only pay for the
+        // extra gradient pass when someone is actually recording.
+        grad_norm_sum += nn::GlobalGradNorm(params);
+        ++grad_norm_count;
       }
       optimizer.Step();
+      steps_counter->Add();
+      epoch_events += m;
       loss_sum += loss_value;
       ++loss_count;
     }
@@ -290,6 +324,29 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
         EvaluateRecommender(model, dataset, data::SplitKind::kValid);
     result.train_auc_per_epoch.push_back(train_eval.auc);
     result.valid_auc_per_epoch.push_back(valid_eval.auc);
+    const double epoch_seconds = epoch_timer.Stop();
+    if (telemetry::SinkEnabled()) {
+      telemetry::Emit(
+          "trainer.epoch",
+          telemetry::JsonObject()
+              .Set("model", model->name())
+              .Set("epoch", epoch + 1)
+              .Set("epochs", config.epochs)
+              .Set("loss", result.train_loss_per_epoch.back())
+              .Set("train_auc", train_eval.auc)
+              .Set("valid_auc", valid_eval.auc)
+              .Set("events", epoch_events)
+              .Set("events_per_sec",
+                   epoch_seconds > 0.0 ? epoch_events / epoch_seconds : 0.0)
+              .Set("epoch_seconds", epoch_seconds)
+              .Set("grad_norm_mean", grad_norm_count > 0
+                                         ? grad_norm_sum / grad_norm_count
+                                         : 0.0)
+              .Set("clip_activations", epoch_clips)
+              .Set("bad_steps", epoch_bad_steps)
+              .Set("recovered_steps", result.recovered_steps)
+              .Set("lr", static_cast<double>(optimizer.learning_rate())));
+    }
     if (config.verbose) {
       UAE_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
                     << config.epochs << " loss="
@@ -325,6 +382,18 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
   }
   if (config.restore_best && !best_snapshot.empty()) {
     RestoreParameters(model, best_snapshot);
+  }
+  if (telemetry::SinkEnabled()) {
+    telemetry::Emit("trainer.run",
+                    telemetry::JsonObject()
+                        .Set("model", model->name())
+                        .Set("epochs", static_cast<int>(
+                                 result.train_loss_per_epoch.size()))
+                        .Set("start_epoch", result.start_epoch)
+                        .Set("best_epoch", result.best_epoch)
+                        .Set("best_valid_auc", result.best_valid_auc)
+                        .Set("recovered_steps", result.recovered_steps)
+                        .Set("diverged", result.diverged));
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #include "nn/gru.h"
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 
@@ -27,6 +28,7 @@ GruCell::GruCell(Rng* rng, int input_dim, int hidden_dim)
 }
 
 NodePtr GruCell::Step(const NodePtr& x, const NodePtr& h) const {
+  UAE_PROFILE_SCOPE("uae.nn.gru.step_s");
   UAE_CHECK(x->value.cols() == input_dim_);
   UAE_CHECK(h->value.cols() == hidden_dim_);
   UAE_CHECK(x->value.rows() == h->value.rows());
@@ -43,6 +45,7 @@ NodePtr GruCell::InitialState(int batch) const {
 }
 
 std::vector<NodePtr> GruCell::Unroll(const std::vector<NodePtr>& steps) const {
+  UAE_PROFILE_SCOPE("uae.nn.gru.unroll_s");
   UAE_CHECK(!steps.empty());
   std::vector<NodePtr> states;
   states.reserve(steps.size());

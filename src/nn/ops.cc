@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace uae::nn {
 namespace {
@@ -60,6 +61,7 @@ NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
 }  // namespace
 
 NodePtr MatMul(const NodePtr& a, const NodePtr& b) {
+  UAE_PROFILE_SCOPE("uae.nn.ops.matmul_s");
   const Tensor& av = a->value;
   const Tensor& bv = b->value;
   UAE_CHECK_MSG(av.cols() == bv.rows(),
@@ -365,6 +367,7 @@ NodePtr RowSum(const NodePtr& a) {
 }
 
 NodePtr ConcatCols(const std::vector<NodePtr>& parts) {
+  UAE_PROFILE_SCOPE("uae.nn.ops.concat_cols_s");
   UAE_CHECK(!parts.empty());
   const int m = parts[0]->value.rows();
   int total = 0;
@@ -428,6 +431,7 @@ NodePtr SliceCols(const NodePtr& a, int start, int len) {
 }
 
 NodePtr SoftmaxRows(const NodePtr& a) {
+  UAE_PROFILE_SCOPE("uae.nn.ops.softmax_rows_s");
   const int m = a->value.rows(), n = a->value.cols();
   Tensor out(m, n);
   for (int r = 0; r < m; ++r) {
@@ -491,6 +495,7 @@ NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& indices) {
 
 NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights,
                             float sign) {
+  UAE_PROFILE_SCOPE("uae.nn.ops.weighted_softplus_sum_s");
   const Tensor& z = logits->value;
   UAE_CHECK_MSG(z.cols() == 1, "logits must be [m,1], got " << z.cols());
   UAE_CHECK(weights.SameShape(z));

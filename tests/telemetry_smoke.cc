@@ -1,0 +1,147 @@
+// Tier-1 smoke check for the telemetry pipeline (no gtest, pure ctest):
+// trains a 2-epoch cell with the JSONL sink enabled, then fails unless
+//   - the JSONL is non-empty and every line is one well-formed flat JSON
+//     object,
+//   - each epoch produced a "trainer.epoch" record carrying loss,
+//     events_per_sec throughput, and epoch_seconds timer stats,
+//   - the run manifest was written next to the JSONL.
+// Exits non-zero with a diagnostic on the first violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "core/experiment.h"
+#include "data/generator.h"
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "telemetry_smoke FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+bool WellFormed(const std::string& line) {
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return false;
+  }
+  bool in_string = false;
+  int depth = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return !in_string && depth == 0;
+}
+
+bool Has(const std::string& line, const std::string& key) {
+  return line.find("\"" + key + "\":") != std::string::npos;
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "uae_telemetry_smoke";
+  std::filesystem::create_directories(dir);
+  const std::string jsonl = dir + "/run.jsonl";
+  if (!uae::telemetry::ConfigureSink(jsonl)) {
+    return Fail("cannot open sink at " + jsonl);
+  }
+
+  uae::data::GeneratorConfig cfg =
+      uae::data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 150;
+  cfg.num_users = 40;
+  cfg.num_songs = 80;
+  cfg.num_artists = 15;
+  cfg.num_albums = 25;
+  const uae::data::Dataset dataset = uae::data::GenerateDataset(cfg, 3);
+
+  uae::core::CellSpec spec;
+  spec.model = uae::models::ModelKind::kFm;
+  spec.method = std::nullopt;  // Base model: 2 epochs stay sub-second.
+  spec.num_seeds = 1;
+  spec.model_config.embed_dim = 4;
+  spec.model_config.mlp_dims = {8};
+  spec.train_config.epochs = 2;
+  spec.train_config.batch_size = 64;
+  const uae::core::CellResult result = uae::core::RunCell(dataset, spec);
+  if (result.auc_runs.size() != 1) return Fail("cell did not run");
+  uae::telemetry::EmitMetricsSnapshot("smoke_end");
+  const std::string manifest_path = uae::telemetry::ManifestPath();
+  uae::telemetry::CloseSink();
+
+  std::ifstream file(jsonl);
+  if (!file.is_open()) return Fail("JSONL missing at " + jsonl);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  if (lines.empty()) return Fail("JSONL is empty");
+
+  int epoch_records = 0;
+  int metric_records = 0;
+  for (const std::string& record : lines) {
+    if (!WellFormed(record)) return Fail("malformed line: " + record);
+    if (!Has(record, "type") || !Has(record, "ts")) {
+      return Fail("record lacks type/ts: " + record);
+    }
+    if (record.find("\"type\":\"trainer.epoch\"") != std::string::npos) {
+      ++epoch_records;
+      for (const char* key :
+           {"loss", "events_per_sec", "epoch_seconds", "valid_auc"}) {
+        if (!Has(record, key)) {
+          return Fail(std::string("epoch record lacks ") + key + ": " +
+                      record);
+        }
+      }
+    }
+    if (record.find("\"type\":\"metric\"") != std::string::npos) {
+      ++metric_records;
+    }
+  }
+  if (epoch_records < 2) {
+    return Fail("want >= 1 trainer.epoch record per epoch (2), got " +
+                std::to_string(epoch_records));
+  }
+  if (metric_records == 0) return Fail("metrics snapshot missing");
+
+  std::ifstream manifest(manifest_path);
+  if (!manifest.is_open()) {
+    return Fail("run manifest missing at " + manifest_path);
+  }
+  std::string manifest_line;
+  std::getline(manifest, manifest_line);
+  if (!WellFormed(manifest_line)) {
+    return Fail("malformed manifest: " + manifest_line);
+  }
+  for (const char* key : {"model", "build", "duration_seconds", "auc_mean"}) {
+    if (!Has(manifest_line, key)) {
+      return Fail(std::string("manifest lacks ") + key);
+    }
+  }
+
+  std::filesystem::remove_all(dir);
+  std::printf("telemetry_smoke OK: %zu records, %d epoch records, "
+              "%d metric records, manifest verified\n",
+              lines.size(), epoch_records, metric_records);
+  return 0;
+}

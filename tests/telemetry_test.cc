@@ -1,0 +1,396 @@
+#include "common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace uae::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSONL readback helpers: enough structure checking to prove the
+// sink writes one well-formed flat JSON object per line, plus field
+// extraction for round-trip assertions.
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) lines.push_back(line);
+  return lines;
+}
+
+/// True when the line looks like one flat JSON object: brace-delimited,
+/// quotes balanced outside escapes, no stray control characters.
+bool LooksLikeJsonObject(const std::string& line) {
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return false;
+  }
+  bool in_string = false;
+  int depth = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // Skip the escaped character.
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return !in_string && depth == 0;
+}
+
+/// Extracts the raw value token for `key` ("" when absent).
+std::string Field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  size_t start = at + needle.size();
+  size_t end = start;
+  if (line[start] == '"') {
+    end = start + 1;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    return line.substr(start + 1, end - start - 1);
+  }
+  int depth = 0;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if ((c == ',') && depth == 0) break;
+    ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+bool HasField(const std::string& line, const std::string& key) {
+  return line.find("\"" + key + "\":") != std::string::npos;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "uae_telemetry_" + name;
+}
+
+class TelemetryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    CloseSink();
+    ResetRegistryForTest();
+  }
+  void TearDown() override { CloseSink(); }
+};
+
+// ---------------------------------------------------------------------
+// Metric semantics
+
+TEST_F(TelemetryTest, CounterAddsAndResets) {
+  Counter* counter = GetCounter("uae.test.counter");
+  EXPECT_EQ(counter->Get(), 0);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Get(), 42);
+  counter->Reset();
+  EXPECT_EQ(counter->Get(), 0);
+  // Same name -> same metric.
+  EXPECT_EQ(GetCounter("uae.test.counter"), counter);
+  EXPECT_NE(GetCounter("uae.test.other"), counter);
+}
+
+TEST_F(TelemetryTest, GaugeIsLastWriteWins) {
+  Gauge* gauge = GetGauge("uae.test.gauge");
+  gauge->Set(1.5);
+  gauge->Set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge->Get(), -3.25);
+  EXPECT_EQ(GetGauge("uae.test.gauge"), gauge);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndSidecars) {
+  Histogram* histogram =
+      GetHistogram("uae.test.hist", std::vector<double>{1.0, 10.0});
+  histogram->Record(0.5);   // Bucket 0 (<= 1).
+  histogram->Record(1.0);   // Bucket 0 (inclusive upper bound).
+  histogram->Record(5.0);   // Bucket 1.
+  histogram->Record(99.0);  // Overflow bucket.
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, 4);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 105.5);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.max, 99.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 105.5 / 4);
+  ASSERT_EQ(snapshot.buckets.size(), 3u);
+  EXPECT_EQ(snapshot.buckets[0], 2);
+  EXPECT_EQ(snapshot.buckets[1], 1);
+  EXPECT_EQ(snapshot.buckets[2], 1);
+
+  histogram->Reset();
+  EXPECT_EQ(histogram->Snapshot().count, 0);
+}
+
+TEST_F(TelemetryTest, RegistryResetKeepsPointersValid) {
+  Counter* counter = GetCounter("uae.test.survivor");
+  counter->Add(7);
+  ResetRegistryForTest();
+  EXPECT_EQ(counter->Get(), 0);  // Value cleared...
+  counter->Add(1);               // ...but the pointer still works,
+  EXPECT_EQ(GetCounter("uae.test.survivor"), counter);  // and is stable.
+}
+
+// ---------------------------------------------------------------------
+// ScopedTimer
+
+TEST_F(TelemetryTest, ScopedTimerAccumulatesIntoHistogram) {
+  Histogram* histogram = GetHistogram("uae.test.timer_s");
+  {
+    ScopedTimer timer(histogram);
+  }
+  {
+    ScopedTimer timer(histogram);
+    const double first = timer.Stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.Stop(), first);  // Idempotent, no double count.
+  }
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(snapshot.count, 2);
+  EXPECT_GE(snapshot.sum, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Multi-threaded increments
+
+TEST_F(TelemetryTest, ConcurrentCounterIncrementsAreLossless) {
+  Counter* counter = GetCounter("uae.test.mt_counter");
+  Histogram* histogram = GetHistogram("uae.test.mt_hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        if (i % 1000 == 0) histogram->Record(1e-4);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Get(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram->Snapshot().count, kThreads * (kPerThread / 1000));
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering
+
+TEST_F(TelemetryTest, JsonObjectRendersAndEscapes) {
+  const std::string json = JsonObject()
+                               .Set("s", "a\"b\\c\nd")
+                               .Set("i", int64_t{-7})
+                               .Set("d", 0.25)
+                               .Set("b", true)
+                               .SetRaw("arr", "[1,2]")
+                               .Str();
+  EXPECT_EQ(json,
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-7,\"d\":0.25,\"b\":true,"
+            "\"arr\":[1,2]}");
+  EXPECT_TRUE(LooksLikeJsonObject(json));
+}
+
+TEST_F(TelemetryTest, JsonNumberRoundTrips) {
+  for (const double v : {0.0, 1.0, -1.5, 0.1, 1e-9, 12345.6789, 1e300}) {
+    EXPECT_DOUBLE_EQ(std::stod(JsonNumber(v)), v) << JsonNumber(v);
+  }
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+}
+
+// ---------------------------------------------------------------------
+// Sink round-trip
+
+TEST_F(TelemetryTest, SinkWritesParseableRecords) {
+  const std::string path = TempPath("sink.jsonl");
+  ASSERT_TRUE(ConfigureSink(path));
+  EXPECT_TRUE(SinkEnabled());
+  EXPECT_EQ(SinkPath(), path);
+
+  Emit("unit.event", JsonObject().Set("name", "alpha").Set("value", 3));
+  Emit("unit.event", JsonObject().Set("name", "beta").Set("value", 0.5));
+  GetCounter("uae.test.emitted")->Add(9);
+  GetHistogram("uae.test.span_s")->Record(0.125);
+  EmitMetricsSnapshot("unit");
+  CloseSink();
+  EXPECT_FALSE(SinkEnabled());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_GE(lines.size(), 4u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(LooksLikeJsonObject(line)) << line;
+    EXPECT_TRUE(HasField(line, "type")) << line;
+    EXPECT_TRUE(HasField(line, "ts")) << line;
+  }
+  // Round-trip the event fields.
+  EXPECT_EQ(Field(lines[0], "type"), "unit.event");
+  EXPECT_EQ(Field(lines[0], "name"), "alpha");
+  EXPECT_EQ(Field(lines[0], "value"), "3");
+  EXPECT_EQ(Field(lines[1], "name"), "beta");
+  EXPECT_EQ(Field(lines[1], "value"), "0.5");
+  // The snapshot carries the counter and the histogram.
+  bool saw_counter = false;
+  bool saw_histogram = false;
+  for (const std::string& line : lines) {
+    if (Field(line, "type") != "metric") continue;
+    EXPECT_EQ(Field(line, "label"), "unit");
+    if (Field(line, "name") == "uae.test.emitted") {
+      saw_counter = true;
+      EXPECT_EQ(Field(line, "kind"), "counter");
+      EXPECT_EQ(Field(line, "value"), "9");
+    }
+    if (Field(line, "name") == "uae.test.span_s") {
+      saw_histogram = true;
+      EXPECT_EQ(Field(line, "kind"), "histogram");
+      EXPECT_EQ(Field(line, "count"), "1");
+      EXPECT_EQ(Field(line, "sum"), "0.125");
+      EXPECT_TRUE(HasField(line, "bounds"));
+      EXPECT_TRUE(HasField(line, "buckets"));
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, EmitIsANoOpWithoutASink) {
+  // Must not crash or create files.
+  Emit("orphan", JsonObject().Set("x", 1));
+  EXPECT_FALSE(SinkEnabled());
+  EXPECT_EQ(ManifestPath(), "");
+  EXPECT_FALSE(WriteRunManifest(JsonObject().Set("x", 1)));
+}
+
+TEST_F(TelemetryTest, ConcurrentEmittersDoNotShearLines) {
+  const std::string path = TempPath("mt_sink.jsonl");
+  ASSERT_TRUE(ConfigureSink(path));
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Emit("mt", JsonObject().Set("thread", t).Set("i", i).Set(
+                       "payload", std::string(64, 'x')));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  CloseSink();
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(LooksLikeJsonObject(line)) << line;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, RunManifestWritesNextToTheSink) {
+  const std::string path = TempPath("manifest.jsonl");
+  ASSERT_TRUE(ConfigureSink(path));
+  EXPECT_EQ(ManifestPath(), path + ".manifest.json");
+  ASSERT_TRUE(WriteRunManifest(
+      JsonObject().Set("model", "dcn_v2").Set("seed", 7)));
+  const std::vector<std::string> lines = ReadLines(path + ".manifest.json");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(LooksLikeJsonObject(lines[0]));
+  EXPECT_EQ(Field(lines[0], "model"), "dcn_v2");
+  EXPECT_EQ(Field(lines[0], "seed"), "7");
+  EXPECT_TRUE(HasField(lines[0], "build"));
+  EXPECT_TRUE(HasField(lines[0], "ts"));
+  CloseSink();
+  std::remove(path.c_str());
+  std::remove((path + ".manifest.json").c_str());
+}
+
+// ---------------------------------------------------------------------
+// Trainer smoke: per-epoch records flow end to end.
+
+TEST_F(TelemetryTest, TrainerEmitsPerEpochRecords) {
+  const std::string path = TempPath("trainer.jsonl");
+  ASSERT_TRUE(ConfigureSink(path));
+
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 120;
+  cfg.num_users = 30;
+  cfg.num_songs = 60;
+  cfg.num_artists = 12;
+  cfg.num_albums = 20;
+  const data::Dataset dataset = data::GenerateDataset(cfg, 11);
+
+  Rng rng(1);
+  models::ModelConfig model_config;
+  model_config.embed_dim = 4;
+  model_config.mlp_dims = {8};
+  auto model = models::CreateRecommender(models::ModelKind::kFm, &rng,
+                                         dataset.schema, model_config);
+  models::TrainConfig train;
+  train.epochs = 2;
+  train.batch_size = 64;
+  const models::TrainResult curves =
+      models::TrainRecommender(model.get(), dataset, nullptr, train);
+  CloseSink();
+  ASSERT_EQ(curves.train_loss_per_epoch.size(), 2u);
+
+  int epoch_records = 0;
+  int run_records = 0;
+  for (const std::string& line : ReadLines(path)) {
+    ASSERT_TRUE(LooksLikeJsonObject(line)) << line;
+    if (Field(line, "type") == "trainer.epoch") {
+      ++epoch_records;
+      for (const char* key :
+           {"model", "epoch", "epochs", "loss", "train_auc", "valid_auc",
+            "events", "events_per_sec", "epoch_seconds", "grad_norm_mean",
+            "clip_activations", "bad_steps", "recovered_steps", "lr"}) {
+        EXPECT_TRUE(HasField(line, key)) << key << " missing in " << line;
+      }
+      EXPECT_EQ(Field(line, "model"), "FM");
+      EXPECT_GT(std::stod(Field(line, "events")), 0.0);
+      EXPECT_GT(std::stod(Field(line, "events_per_sec")), 0.0);
+      // The emitted loss must match the returned curve.
+      const int epoch = std::stoi(Field(line, "epoch"));
+      EXPECT_NEAR(std::stod(Field(line, "loss")),
+                  curves.train_loss_per_epoch[epoch - 1], 1e-12);
+    } else if (Field(line, "type") == "trainer.run") {
+      ++run_records;
+      EXPECT_EQ(Field(line, "diverged"), "false");
+    }
+  }
+  EXPECT_EQ(epoch_records, 2);
+  EXPECT_EQ(run_records, 1);
+  // The instrumented counters saw the steps.
+  EXPECT_GT(GetCounter("uae.trainer.steps")->Get(), 0);
+  EXPECT_GT(GetCounter("uae.data.batcher.batches")->Get(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uae::telemetry
