@@ -41,8 +41,8 @@ struct Variant {
 
 }  // namespace
 
-int main() {
-  bench::Banner("Ablation", "UAE design choices");
+int main(int argc, char** argv) {
+  bench::Banner(argc, argv, "ablation_uae", "Ablation", "UAE design choices");
 
   const data::Dataset dataset =
       data::GenerateDataset(bench::ProductConfig(), bench::kDatasetSeed);
@@ -107,5 +107,5 @@ int main() {
   }
   std::printf("%s", table.ToString().c_str());
   bench::ExportCsv(csv, "ablation_uae");
-  return 0;
+  return bench::Finish();
 }

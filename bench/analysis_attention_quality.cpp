@@ -15,9 +15,9 @@
 #include "common/table.h"
 #include "eval/attention_metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Analysis", "attention recovery quality per estimator");
+  bench::Banner(argc, argv, "analysis_attention_quality", "Analysis", "attention recovery quality per estimator");
 
   const data::Dataset dataset =
       data::GenerateDataset(bench::ProductConfig(), bench::kDatasetSeed);
@@ -73,5 +73,5 @@ int main() {
                   std::to_string(bin.count)});
   }
   std::printf("%s", calib.ToString().c_str());
-  return 0;
+  return bench::Finish();
 }

@@ -16,14 +16,28 @@
 //                        scraping; see DESIGN.md §8)
 //   UAE_LOG_LEVEL        debug|info|warn|error (wins over the default
 //                        bench quieting)
+//   UAE_BENCH_TOLERANCE  allowed slowdown ratio for the regression gate
+//                        (default 1.3 = +30%)
+//
+// Every bench also writes a machine-readable perf baseline
+// bench_out/BENCH_<name>.json (wall time, events/sec, peak RSS) from
+// Finish(). Passing `--check-against <old BENCH json>` on the command
+// line makes Finish() gate the fresh numbers against the old baseline
+// and return nonzero on regression (wall up or events/sec down beyond
+// tolerance), so CI can catch perf drift: see also `uae_trace --compare`.
+
+#include <sys/resource.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
 #include "data/generator.h"
@@ -108,8 +122,45 @@ inline void MaybeEnableTelemetry(const char* experiment) {
   std::atexit(+[] { telemetry::EmitMetricsSnapshot("bench_exit"); });
 }
 
-/// Common banner so bench output is self-describing.
-inline void Banner(const char* experiment, const char* description) {
+namespace internal {
+
+/// Per-process bench bookkeeping between Banner() and Finish().
+struct BenchState {
+  std::string name;           // Machine slug, e.g. "fig5_convergence".
+  std::string check_against;  // Old BENCH_<name>.json to gate against.
+  std::chrono::steady_clock::time_point start;
+  int64_t events_start = 0;   // Batcher counter values at Banner() time,
+  int64_t sessions_start = 0; // so events/sec covers only this bench.
+  bool active = false;
+};
+
+inline BenchState& State() {
+  static BenchState state;
+  return state;
+}
+
+}  // namespace internal
+
+/// Allowed slowdown ratio before the perf gate trips.
+inline double Tolerance() {
+  const char* value = std::getenv("UAE_BENCH_TOLERANCE");
+  const double tolerance = value != nullptr ? std::atof(value) : 1.3;
+  return tolerance > 0.0 ? tolerance : 1.3;
+}
+
+/// Common banner so bench output is self-describing. `name` is the
+/// machine slug for the BENCH_<name>.json baseline; argc/argv feed the
+/// `--check-against <old baseline>` regression gate (see Finish()).
+inline void Banner(int argc, char** argv, const char* name,
+                   const char* experiment, const char* description) {
+  internal::BenchState& state = internal::State();
+  state.name = name;
+  state.active = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-against") == 0 && i + 1 < argc) {
+      state.check_against = argv[++i];
+    }
+  }
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment, description);
   std::printf("scale=%s seeds=%d\n", PaperScale() ? "paper" : "small",
@@ -118,6 +169,84 @@ inline void Banner(const char* experiment, const char* description) {
   // Benches quiet the log by default, but an explicit UAE_LOG_LEVEL wins.
   if (!LogLevelFromEnv()) SetLogLevel(LogLevel::kWarning);
   MaybeEnableTelemetry(experiment);
+  state.events_start = telemetry::GetCounter("uae.data.batcher.events")->Get();
+  state.sessions_start =
+      telemetry::GetCounter("uae.data.batcher.sessions")->Get();
+  state.start = std::chrono::steady_clock::now();
+}
+
+/// Writes bench_out/BENCH_<name>.json and, when --check-against was
+/// given, gates against the old baseline. Bench mains end with
+/// `return bench::Finish();` — an atexit hook cannot set the exit code.
+inline int Finish() {
+  internal::BenchState& state = internal::State();
+  if (!state.active) return 0;
+  state.active = false;
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    state.start)
+          .count();
+  const int64_t events =
+      telemetry::GetCounter("uae.data.batcher.events")->Get() -
+      state.events_start;
+  const int64_t sessions =
+      telemetry::GetCounter("uae.data.batcher.sessions")->Get() -
+      state.sessions_start;
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const int64_t peak_rss_bytes = usage.ru_maxrss * 1024;  // Linux: KiB.
+
+  telemetry::JsonObject baseline;
+  baseline.Set("bench", state.name)
+      .Set("wall_s", wall_s)
+      .Set("events", events)
+      .Set("sessions", sessions)
+      .Set("events_per_sec",
+           wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0)
+      .Set("peak_rss_bytes", peak_rss_bytes)
+      .Set("scale", PaperScale() ? "paper" : "small")
+      .Set("seeds", NumSeeds())
+      .Set("build", telemetry::BuildVersion());
+
+  std::filesystem::create_directories("bench_out");
+  const std::string path = "bench_out/BENCH_" + state.name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("[bench] cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(file, "%s\n", baseline.Str().c_str());
+  std::fclose(file);
+  std::printf("[bench] %s (wall %.3fs, %.1f events/s, peak RSS %.1f MiB)\n",
+              path.c_str(), wall_s,
+              wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0,
+              static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
+
+  if (state.check_against.empty()) return 0;
+  const StatusOr<json::Value> old_baseline =
+      json::ParseFile(state.check_against);
+  if (!old_baseline.ok()) {
+    std::printf("[bench] --check-against: %s\n",
+                old_baseline.status().message().c_str());
+    return 1;
+  }
+  const double tolerance = Tolerance();
+  const double old_wall = old_baseline.value().GetNumber("wall_s");
+  const double old_eps = old_baseline.value().GetNumber("events_per_sec");
+  const double new_eps =
+      wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  double worst = 0.0;
+  if (old_wall > 0.0) worst = std::max(worst, wall_s / old_wall);
+  if (new_eps > 0.0 && old_eps > 0.0) {
+    worst = std::max(worst, old_eps / new_eps);
+  }
+  const bool regression = worst > tolerance;
+  std::printf("[bench] gate vs %s: wall %.3fs -> %.3fs, worst ratio %.2f "
+              "(tolerance %.2f): %s\n",
+              state.check_against.c_str(), old_wall, wall_s, worst, tolerance,
+              regression ? "REGRESSION" : "ok");
+  return regression ? 1 : 0;
 }
 
 }  // namespace uae::bench

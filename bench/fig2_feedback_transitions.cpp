@@ -11,9 +11,9 @@
 #include "common/table.h"
 #include "data/feedback_stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Figure 2", "feedback transition statistics");
+  bench::Banner(argc, argv, "fig2_feedback_transitions", "Figure 2", "feedback transition statistics");
 
   data::GeneratorConfig cfg = bench::ProductConfig();
   cfg.num_sessions *= 2;  // Statistics only: cheap, use more sessions.
@@ -64,5 +64,6 @@ int main() {
   std::printf("\nshape check (active->active >> passive->active, monotone "
               "(c) curve): %s\n",
               shape_ok ? "PASS" : "FAIL");
-  return shape_ok ? 0 : 1;
+  const int gate = bench::Finish();
+  return shape_ok ? gate : 1;
 }

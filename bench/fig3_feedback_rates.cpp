@@ -7,9 +7,9 @@
 #include "common/table.h"
 #include "data/feedback_stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Figure 3", "feedback rates vs. play rank");
+  bench::Banner(argc, argv, "fig3_feedback_rates", "Figure 3", "feedback rates vs. play rank");
 
   data::GeneratorConfig cfg = bench::ProductConfig();
   cfg.num_sessions *= 2;
@@ -55,5 +55,6 @@ int main() {
               "%s; passive dominates every rank: %s\n",
               early, late, early > late ? "PASS" : "FAIL",
               passive_dominates ? "PASS" : "FAIL");
-  return (early > late && passive_dominates) ? 0 : 1;
+  const int gate = bench::Finish();
+  return (early > late && passive_dominates) ? gate : 1;
 }

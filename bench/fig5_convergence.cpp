@@ -13,9 +13,9 @@
 #include "common/table.h"
 #include "core/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Figure 5", "convergence curves of DCN-V2 +/- UAE");
+  bench::Banner(argc, argv, "fig5_convergence", "Figure 5", "convergence curves of DCN-V2 +/- UAE");
 
   const int runs = bench::PaperScale() ? 10 : 4;
   const int epochs = bench::PaperScale() ? 20 : 10;
@@ -91,5 +91,5 @@ int main() {
   }
   std::printf("\nshape check: peak valid AUC +UAE %.4f vs base %.4f: %s\n",
               peak_uae, peak_base, peak_uae >= peak_base ? "PASS" : "mixed");
-  return 0;
+  return bench::Finish();
 }

@@ -18,9 +18,9 @@
 #include "core/experiment.h"
 #include "core/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Figure 6", "re-weighting parameter gamma");
+  bench::Banner(argc, argv, "fig6_gamma_sweep", "Figure 6", "re-weighting parameter gamma");
 
   // (a) The re-weight curves themselves (pure function of Eq. 19).
   std::printf("\n(a) w(alpha) for several gamma\n");
@@ -89,5 +89,5 @@ int main() {
   }
   std::printf("%s", table.ToString().c_str());
   bench::ExportCsv(csv, "fig6_gamma_sweep");
-  return 0;
+  return bench::Finish();
 }

@@ -18,9 +18,9 @@
 #include "models/trainer.h"
 #include "sim/ab_test.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Figure 7", "7-day online A/B test on the serving simulator");
+  bench::Banner(argc, argv, "fig7_online_ab", "Figure 7", "7-day online A/B test on the serving simulator");
 
   const data::GeneratorConfig cfg = bench::ProductConfig();
   const data::World world(cfg, bench::kDatasetSeed);
@@ -77,5 +77,5 @@ int main() {
                         result.avg_play_time_uplift_pct > 0.0;
   std::printf("\nshape check: positive average uplift on both metrics: %s\n",
               shape_ok ? "PASS" : "mixed");
-  return 0;
+  return bench::Finish();
 }

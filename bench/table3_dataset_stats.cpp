@@ -28,9 +28,9 @@ std::pair<size_t, size_t> DistinctUsersSongs(const uae::data::Dataset& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Table III", "dataset statistics");
+  bench::Banner(argc, argv, "table3_dataset_stats", "Table III", "dataset statistics");
 
   AsciiTable table({"Dataset", "#Sessions", "#Events", "#Users", "#Songs",
                     "#Features", "#Feedback Types", "Active %"});
@@ -62,5 +62,5 @@ int main() {
               "(simulator presets keep the *relative* structure at bench "
               "scale; see DESIGN.md)\n");
   bench::ExportCsv(csv, "table3_dataset_stats");
-  return 0;
+  return bench::Finish();
 }

@@ -14,9 +14,9 @@
 #include "core/experiment.h"
 #include "core/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Table IV", "7 base models +/- UAE on both datasets");
+  bench::Banner(argc, argv, "table4_overall", "Table IV", "7 base models +/- UAE on both datasets");
   std::printf("gamma=%.2f (override with UAE_BENCH_GAMMA)\n", bench::Gamma());
 
   const int seeds = bench::NumSeeds();
@@ -104,5 +104,5 @@ int main() {
   std::printf("\nshape check: +UAE improves %d / %d model-metric cells "
               "(paper: all cells improve)\n",
               improved_cells, total_cells);
-  return 0;
+  return bench::Finish();
 }

@@ -15,9 +15,9 @@
 #include "core/experiment.h"
 #include "core/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uae;
-  bench::Banner("Table V", "attention/PU baselines vs UAE");
+  bench::Banner(argc, argv, "table5_attention_baselines", "Table V", "attention/PU baselines vs UAE");
 
   const int seeds = bench::NumSeeds();
   const float gamma = bench::Gamma();
@@ -120,5 +120,5 @@ int main() {
               "every block: %s\n",
               uae_always_best ? "PASS" : "mixed",
               pn_always_worst ? "PASS" : "mixed");
-  return 0;
+  return bench::Finish();
 }

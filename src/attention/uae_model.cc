@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "data/batcher.h"
 #include "nn/guard.h"
 #include "nn/ops.h"
@@ -243,6 +244,9 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
     if (std::isfinite(risk->value.ScalarValue()) &&
         !nn::HasNonFiniteGrad(params)) {
       if (risk->value.ScalarValue() < 0.0) {
+        // The Algorithm 1 non-negativity clip fired: mark the timeline
+        // so traces show exactly which batches went negative.
+        trace::Instant("uae.negative_risk");
         ++epoch_negative_risk;
         negative_risk_counter->Add();
       }
@@ -258,6 +262,7 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
       steps_counter->Add();
       return true;
     }
+    trace::Instant("uae.bad_step");
     ++recovered_steps_;
     ++bad_steps;
     ++epoch_bad_steps;
@@ -274,6 +279,7 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
   std::vector<int> batch;
   for (int epoch = start_epoch; epoch < config_.epochs && !diverged_;
        ++epoch) {
+    trace::Span epoch_span("uae.epoch", "epoch", epoch + 1);
     telemetry::ScopedTimer epoch_timer(epoch_hist);
     int64_t epoch_sessions = 0;
     int64_t epoch_events = 0;
@@ -287,11 +293,16 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
     propensity_opt.SetLearningRate(config_.lr_propensity);
     // ---- Unbiased attention risk minimizer (Algorithm 1, lines 3-7) ----
     for (int na = 0; na < config_.attention_steps && !diverged_; ++na) {
+      trace::Span phase_span("uae.attention_risk", "epoch", epoch + 1,
+                             "pass", na + 1);
       batcher.StartEpoch(&rng);
       const std::vector<nn::Tensor> good = SnapshotValues(att_params);
       double risk_sum = 0.0;
       int batches = 0;
+      int batch_index = 0;
       while (batcher.Next(&batch)) {
+        trace::Span batch_span("uae.batch", "batch", batch_index++,
+                               "epoch", epoch + 1);
         AttentionTower::Output att =
             attention_tower_->Forward(dataset, batch);
         std::vector<nn::NodePtr> pro_logits =
@@ -315,11 +326,16 @@ void Uae::RunFit(const data::Dataset& dataset, int start_epoch, float lr_att,
     }
     // ---- Unbiased propensity risk minimizer (lines 9-12) ----
     for (int np = 0; np < config_.propensity_steps && !diverged_; ++np) {
+      trace::Span phase_span("uae.propensity_risk", "epoch", epoch + 1,
+                             "pass", np + 1);
       batcher.StartEpoch(&rng);
       const std::vector<nn::Tensor> good = SnapshotValues(pro_params);
       double risk_sum = 0.0;
       int batches = 0;
+      int batch_index = 0;
       while (batcher.Next(&batch)) {
+        trace::Span batch_span("uae.batch", "batch", batch_index++,
+                               "epoch", epoch + 1);
         AttentionTower::Output att =
             attention_tower_->Forward(dataset, batch);
         std::vector<nn::NodePtr> pro_logits =

@@ -1,0 +1,254 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace uae::json {
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (auto it = object.rbegin(); it != object.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+double Value::GetNumber(const std::string& key, double fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_value : fallback;
+}
+
+std::string Value::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value : fallback;
+}
+
+namespace {
+
+/// Hand-rolled recursive-descent parser. Depth-limited so adversarial
+/// nesting cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> Run() {
+    Value value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseLiteral(const char* word, Value* out, Value&& value) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("bad literal, expected ") + word);
+      }
+    }
+    *out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    Status status = Expect('"');
+    if (!status.ok()) return status;
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are beyond
+          // what our own emitters produce; pass them through raw).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("bad number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    out->kind = Value::Kind::kNumber;
+    out->number_value = parsed;
+    return Status::Ok();
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out->kind = Value::Kind::kObject;
+        SkipWhitespace();
+        if (Consume('}')) return Status::Ok();
+        while (true) {
+          SkipWhitespace();
+          std::string key;
+          Status status = ParseString(&key);
+          if (!status.ok()) return status;
+          SkipWhitespace();
+          status = Expect(':');
+          if (!status.ok()) return status;
+          Value member;
+          status = ParseValue(&member, depth + 1);
+          if (!status.ok()) return status;
+          out->object.emplace_back(std::move(key), std::move(member));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          return Expect('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        out->kind = Value::Kind::kArray;
+        SkipWhitespace();
+        if (Consume(']')) return Status::Ok();
+        while (true) {
+          Value element;
+          Status status = ParseValue(&element, depth + 1);
+          if (!status.ok()) return status;
+          out->array.push_back(std::move(element));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          return Expect(']');
+        }
+      }
+      case '"': {
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->string_value);
+      }
+      case 't': {
+        Value value;
+        value.kind = Value::Kind::kBool;
+        value.bool_value = true;
+        return ParseLiteral("true", out, std::move(value));
+      }
+      case 'f': {
+        Value value;
+        value.kind = Value::Kind::kBool;
+        value.bool_value = false;
+        return ParseLiteral("false", out, std::move(value));
+      }
+      case 'n':
+        return ParseLiteral("null", out, Value());
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+StatusOr<Value> ParseFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str());
+}
+
+}  // namespace uae::json

@@ -1,0 +1,57 @@
+#ifndef UAE_COMMON_JSON_H_
+#define UAE_COMMON_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uae::json {
+
+// Minimal JSON document model + recursive-descent parser. The write
+// side of our observability stack (telemetry JSONL, trace exports,
+// bench baselines) emits JSON by string-building; this is the matching
+// read side used by the `uae_trace` analyzer, the bench
+// `--check-against` gate, and the round-trip tests. Full JSON (RFC
+// 8259) minus one simplification: numbers are always doubles.
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<Value> array;
+  /// Insertion-ordered; duplicate keys keep the last occurrence on
+  /// lookup (Find scans back-to-front).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  /// Typed member accessors with fallbacks — the idiom for optional
+  /// fields in analyzer inputs.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+StatusOr<Value> Parse(const std::string& text);
+
+/// Parses the whole file at `path` as one document.
+StatusOr<Value> ParseFile(const std::string& path);
+
+}  // namespace uae::json
+
+#endif  // UAE_COMMON_JSON_H_

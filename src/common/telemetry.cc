@@ -4,10 +4,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace uae::telemetry {
 
@@ -154,6 +157,34 @@ void Histogram::Reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the requested quantile among `count` samples, then a linear
+  // interpolation inside the bucket that rank lands in. Bucket i covers
+  // (bounds[i-1], bounds[i]]; the first bucket's lower edge is min and
+  // the overflow bucket's upper edge is max, so estimates never leave
+  // the observed range.
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (rank <= next || i + 1 == buckets.size()) {
+      const double lower = i == 0 ? min : std::max(min, bounds[i - 1]);
+      const double upper = i < bounds.size() ? std::min(max, bounds[i]) : max;
+      if (upper <= lower) return upper;
+      const double fraction =
+          std::clamp((rank - cumulative) / static_cast<double>(buckets[i]),
+                     0.0, 1.0);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
 const std::vector<double>& DefaultTimeBounds() {
   // 1us .. 100s, half-decade steps.
   static const std::vector<double>* bounds = new std::vector<double>{
@@ -273,8 +304,23 @@ bool OpenSinkLocked(Sink* sink, const std::string& path) {
     sink->enabled.store(false, std::memory_order_release);
   }
   if (path.empty()) return false;
+  // A sink path in a not-yet-created run directory must not silently
+  // drop every record: create missing parents first.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      UAE_LOG(Warning) << "telemetry: cannot create " << parent.string()
+                       << ": " << ec.message();
+    }
+  }
   std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) return false;
+  if (file == nullptr) {
+    UAE_LOG(Warning) << "telemetry: cannot open sink at " << path;
+    return false;
+  }
   sink->file = file;
   sink->path = path;
   sink->enabled.store(true, std::memory_order_release);
@@ -409,6 +455,9 @@ void EmitMetricsSnapshot(const std::string& label) {
                        .Set("mean", snapshot.Mean())
                        .Set("min", snapshot.min)
                        .Set("max", snapshot.max)
+                       .Set("p50", snapshot.Quantile(0.50))
+                       .Set("p95", snapshot.Quantile(0.95))
+                       .Set("p99", snapshot.Quantile(0.99))
                        .SetRaw("bounds", bounds)
                        .SetRaw("buckets", buckets));
   }
@@ -425,8 +474,18 @@ std::string ManifestPath() {
 bool WriteRunManifest(const JsonObject& manifest) {
   const std::string path = ManifestPath();
   if (path.empty()) return false;
+  // Pin the producing tree loudly: when the build could not run
+  // `git describe`, the manifest says "unknown" in an explicit "git"
+  // field (never an empty value) and the run log carries a warning, so
+  // unreproducible artifacts cannot masquerade as pinned ones.
+  const char* git = BuildVersion();
+  if (std::strcmp(git, "unknown") == 0) {
+    UAE_LOG(Warning)
+        << "run manifest: git describe was unavailable at build time; "
+           "recording git=\"unknown\" (artifact is not pinned to a tree)";
+  }
   JsonObject full;
-  full.Set("build", BuildVersion()).Set("ts", UnixSeconds());
+  full.Set("build", git).Set("git", git).Set("ts", UnixSeconds());
   std::string out = full.Str();
   const std::string fields_json = manifest.Str();
   if (fields_json.size() > 2) {

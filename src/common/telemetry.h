@@ -95,6 +95,13 @@ struct HistogramSnapshot {
   std::vector<int64_t> buckets;
 
   double Mean() const { return count > 0 ? sum / count : 0.0; }
+
+  /// Estimated q-quantile (q in [0,1]), linearly interpolated inside
+  /// the bucket the rank falls in. Bucket edges come from `bounds`; the
+  /// first bucket's lower edge is `min` and the overflow bucket's upper
+  /// edge is `max`, so the estimate is always within [min, max]. Exact
+  /// for count <= 1; 0 when the histogram is empty.
+  double Quantile(double q) const;
 };
 
 /// Fixed-bucket histogram with min/max/sum/count sidecars.
@@ -207,19 +214,22 @@ const char* BuildVersion();
 }  // namespace uae::telemetry
 
 // ---------------------------------------------------------------------
-// Zero-cost op profiling. UAE_PROFILE_SCOPE compiles to nothing unless
-// the build sets -DUAE_PROFILE_OPS (CMake option UAE_PROFILE_OPS), so the
-// nn hot loops carry no timer overhead in normal builds.
+// Hot-path op instrumentation. UAE_PROFILE_SCOPE always emits a trace
+// span (common/trace.h: one relaxed atomic load when tracing is off, so
+// UAE_TRACE_PATH works on any build); the histogram ScopedTimer — whose
+// registry lookup is the expensive part — additionally compiles in only
+// under -DUAE_PROFILE_OPS (CMake option UAE_PROFILE_OPS).
+#include "common/trace.h"
+
 #ifdef UAE_PROFILE_OPS
 #define UAE_PROFILE_CONCAT_INNER(a, b) a##b
 #define UAE_PROFILE_CONCAT(a, b) UAE_PROFILE_CONCAT_INNER(a, b)
-#define UAE_PROFILE_SCOPE(name)                     \
-  ::uae::telemetry::ScopedTimer UAE_PROFILE_CONCAT( \
-      uae_profile_scope_, __LINE__)(name)
+#define UAE_PROFILE_SCOPE(name)                      \
+  ::uae::telemetry::ScopedTimer UAE_PROFILE_CONCAT(  \
+      uae_profile_scope_, __LINE__)(name);           \
+  UAE_TRACE_SCOPE(name)
 #else
-#define UAE_PROFILE_SCOPE(name) \
-  do {                          \
-  } while (false)
+#define UAE_PROFILE_SCOPE(name) UAE_TRACE_SCOPE(name)
 #endif
 
 #endif  // UAE_COMMON_TELEMETRY_H_

@@ -1,0 +1,311 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace uae::trace {
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One completed timeline entry. Name/key pointers are borrowed string
+/// literals (see the header contract), so events are POD and the ring
+/// never allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_keys[2] = {nullptr, nullptr};
+  int64_t arg_values[2] = {0, 0};
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int8_t num_args = 0;
+  char phase = 'X';  // 'X' complete span, 'i' instant.
+};
+
+/// A span begun but not yet ended; lives on the owner thread's stack.
+struct OpenSpan {
+  const char* name = nullptr;
+  const char* arg_keys[2] = {nullptr, nullptr};
+  int64_t arg_values[2] = {0, 0};
+  uint64_t start_ns = 0;
+  int8_t num_args = 0;
+};
+
+/// Per-thread event ring. The owning thread is the only writer: it
+/// fills the slot first, then publishes with a release store of head,
+/// so the exporter (reading head with acquire) only sees completed
+/// slots. Once the ring wraps, the oldest events are overwritten —
+/// newest-wins, because recent events are the ones a trace is for.
+struct ThreadLog {
+  explicit ThreadLog(size_t capacity, int tid)
+      : events(capacity), tid(tid) {}
+
+  std::vector<TraceEvent> events;
+  std::atomic<uint64_t> head{0};  // Total events ever pushed.
+  const int tid;
+  /// head value when the current session started (set by Start under
+  /// the registry mutex; approximate for threads mid-push, which only
+  /// blurs the dropped-event count, never event data).
+  std::atomic<uint64_t> session_start_head{0};
+  std::vector<OpenSpan> stack;  // Owner thread only.
+
+  void Push(const TraceEvent& event) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    events[h % events.size()] = event;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+/// All thread logs ever created, plus the session state. Leaked
+/// singleton: logs must outlive their threads so a trace exported after
+/// a worker pool joins still has the workers' timelines.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  int next_tid = 1;  // 0 is reserved for the metadata ("M") row.
+  std::string path;            // Export target; "" before first Start.
+  uint64_t session_start_ns = 0;
+  bool session_active = false;
+  bool atexit_registered = false;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+ThreadLog* RegisterThreadLog() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.logs.push_back(
+      std::make_unique<ThreadLog>(BufferCapacity(), registry.next_tid++));
+  return registry.logs.back().get();
+}
+
+ThreadLog* GetThreadLog() {
+  thread_local ThreadLog* log = RegisterThreadLog();
+  return log;
+}
+
+/// Renders one event as a Chrome trace-event object. Timestamps are
+/// microseconds (with ns precision) relative to the session start.
+void WriteEvent(std::FILE* file, const TraceEvent& event, int tid,
+                uint64_t base_ns, bool* first) {
+  if (!*first) std::fputs(",\n", file);
+  *first = false;
+  const double ts_us = static_cast<double>(event.start_ns - base_ns) / 1e3;
+  std::fprintf(file, "{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"name\":\"%s\"",
+               event.phase, tid,
+               telemetry::JsonEscape(event.name).c_str());
+  std::fprintf(file, ",\"cat\":\"uae\",\"ts\":%.3f", ts_us);
+  if (event.phase == 'X') {
+    std::fprintf(file, ",\"dur\":%.3f",
+                 static_cast<double>(event.dur_ns) / 1e3);
+  } else {
+    std::fputs(",\"s\":\"t\"", file);  // Instant, thread-scoped.
+  }
+  if (event.num_args > 0) {
+    std::fputs(",\"args\":{", file);
+    for (int a = 0; a < event.num_args; ++a) {
+      std::fprintf(file, "%s\"%s\":%lld", a > 0 ? "," : "",
+                   telemetry::JsonEscape(event.arg_keys[a]).c_str(),
+                   static_cast<long long>(event.arg_values[a]));
+    }
+    std::fputc('}', file);
+  }
+  std::fputc('}', file);
+}
+
+/// Serializes every session event to `path`. Caller holds registry.mu.
+bool ExportLocked(Registry* registry) {
+  const std::filesystem::path parent =
+      std::filesystem::path(registry->path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::FILE* file = std::fopen(registry->path.c_str(), "w");
+  if (file == nullptr) {
+    UAE_LOG(Warning) << "trace: cannot open " << registry->path;
+    return false;
+  }
+  uint64_t dropped = 0;
+  for (const auto& log : registry->logs) {
+    const uint64_t head = log->head.load(std::memory_order_acquire);
+    const uint64_t pushed =
+        head - log->session_start_head.load(std::memory_order_relaxed);
+    if (pushed > log->events.size()) dropped += pushed - log->events.size();
+  }
+  std::fprintf(file,
+               "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"build\":\"%s\","
+               "\"dropped_events\":%llu},\n\"traceEvents\":[\n",
+               telemetry::JsonEscape(telemetry::BuildVersion()).c_str(),
+               static_cast<unsigned long long>(dropped));
+  bool first = true;
+  std::fputs(
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"uae\"}}",
+      file);
+  first = false;
+  for (const auto& log : registry->logs) {
+    const uint64_t head = log->head.load(std::memory_order_acquire);
+    const uint64_t capacity = log->events.size();
+    const uint64_t begin = head > capacity ? head - capacity : 0;
+    for (uint64_t i = begin; i < head; ++i) {
+      const TraceEvent& event = log->events[i % capacity];
+      // Older sessions' leftovers (and spans finishing after Stop) sit
+      // outside the session window; skip them.
+      if (event.start_ns < registry->session_start_ns) continue;
+      WriteEvent(file, event, log->tid, registry->session_start_ns, &first);
+    }
+  }
+  std::fputs("\n]}\n", file);
+  const bool ok = std::fclose(file) == 0;
+  if (ok) {
+    UAE_LOG(Info) << "trace: wrote " << registry->path
+                  << (dropped > 0
+                          ? " (ring dropped " + std::to_string(dropped) +
+                                " oldest events)"
+                          : "");
+  }
+  return ok;
+}
+
+/// UAE_TRACE_PATH is consulted once, before main, so the per-span fast
+/// path stays a single relaxed load with no once-flag in the way.
+const bool g_env_initialized = [] {
+  const char* path = std::getenv("UAE_TRACE_PATH");
+  if (path != nullptr && path[0] != '\0') Start(path);
+  return true;
+}();
+
+}  // namespace
+
+void BeginSpan(const char* name, int num_args, const char* key0,
+               int64_t value0, const char* key1, int64_t value1) {
+  ThreadLog* log = GetThreadLog();
+  OpenSpan open;
+  open.name = name;
+  open.num_args = static_cast<int8_t>(num_args);
+  open.arg_keys[0] = key0;
+  open.arg_values[0] = value0;
+  open.arg_keys[1] = key1;
+  open.arg_values[1] = value1;
+  open.start_ns = NowNs();  // Last: registration time is not span time.
+  log->stack.push_back(open);
+}
+
+void EndSpan() {
+  const uint64_t end_ns = NowNs();
+  ThreadLog* log = GetThreadLog();
+  if (log->stack.empty()) return;  // Stop() raced a span; drop it.
+  const OpenSpan open = log->stack.back();
+  log->stack.pop_back();
+  TraceEvent event;
+  event.name = open.name;
+  event.num_args = open.num_args;
+  event.arg_keys[0] = open.arg_keys[0];
+  event.arg_values[0] = open.arg_values[0];
+  event.arg_keys[1] = open.arg_keys[1];
+  event.arg_values[1] = open.arg_values[1];
+  event.start_ns = open.start_ns;
+  event.dur_ns = end_ns >= open.start_ns ? end_ns - open.start_ns : 0;
+  event.phase = 'X';
+  log->Push(event);
+}
+
+void Instant(const char* name, int num_args, const char* key0,
+             int64_t value0) {
+  ThreadLog* log = GetThreadLog();
+  TraceEvent event;
+  event.name = name;
+  event.num_args = static_cast<int8_t>(num_args);
+  event.arg_keys[0] = key0;
+  event.arg_values[0] = value0;
+  event.start_ns = NowNs();
+  event.dur_ns = 0;
+  event.phase = 'i';
+  log->Push(event);
+}
+
+}  // namespace internal
+
+size_t BufferCapacity() {
+  static const size_t capacity = [] {
+    size_t events = 65536;
+    const char* env = std::getenv("UAE_TRACE_BUFFER_EVENTS");
+    if (env != nullptr && env[0] != '\0') {
+      const long parsed = std::atol(env);
+      if (parsed > 0) events = static_cast<size_t>(parsed);
+    }
+    if (events < 1024) events = 1024;
+    if (events > (1u << 22)) events = 1u << 22;
+    return events;
+  }();
+  return capacity;
+}
+
+bool Start(const std::string& path) {
+  if (path.empty()) return false;
+  internal::Registry& registry = internal::GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.path = path;
+  registry.session_start_ns = internal::NowNs();
+  for (const auto& log : registry.logs) {
+    log->session_start_head.store(log->head.load(std::memory_order_acquire),
+                                  std::memory_order_relaxed);
+  }
+  registry.session_active = true;
+  if (!registry.atexit_registered) {
+    registry.atexit_registered = true;
+    std::atexit(+[] { Stop(); });
+  }
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Stop() {
+  internal::Registry& registry = internal::GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.session_active) return false;
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  registry.session_active = false;
+  return internal::ExportLocked(&registry);
+}
+
+std::string TracePath() {
+  internal::Registry& registry = internal::GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.path;
+}
+
+uint64_t DroppedEvents() {
+  internal::Registry& registry = internal::GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t dropped = 0;
+  for (const auto& log : registry.logs) {
+    const uint64_t head = log->head.load(std::memory_order_acquire);
+    const uint64_t pushed =
+        head - log->session_start_head.load(std::memory_order_relaxed);
+    if (pushed > log->events.size()) dropped += pushed - log->events.size();
+  }
+  return dropped;
+}
+
+}  // namespace uae::trace

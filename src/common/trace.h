@@ -1,0 +1,139 @@
+#ifndef UAE_COMMON_TRACE_H_
+#define UAE_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace uae::trace {
+
+// Hierarchical span tracer (DESIGN.md §8 "Tracing & profiling").
+//
+// Where the telemetry registry answers "how much, in aggregate", the
+// tracer answers "where did the time go, in this exact run": every
+// instrumented scope becomes a span on a per-thread timeline, nested
+// spans reconstruct the call structure (epoch → batch → op), and the
+// whole timeline exports as Chrome trace-event JSON loadable in
+// Perfetto / chrome://tracing and by the offline `uae_trace` analyzer.
+//
+// Design constraints, in priority order:
+//   1. Disabled cost: one relaxed atomic load per span. The hooks stay
+//      compiled into the hot paths of every build; UAE_TRACE_PATH (read
+//      once before main) or Start() flips them on.
+//   2. No locks on the record path: each thread owns a fixed-size ring
+//      buffer of completed events and is its only writer. A full ring
+//      overwrites its oldest events (newest-wins) and counts the drops;
+//      recording never blocks and never allocates after the first span
+//      on a thread.
+//   3. Well-nested by construction: spans are RAII scopes, so a child
+//      always completes before its parent. Events are stored as Chrome
+//      "X" (complete) events — begin/end pairs cannot be torn apart.
+//
+// Nesting state lives on a thread-local span stack; only completed
+// spans reach the ring, so an export (Stop) taken while spans are still
+// open simply omits the unfinished ones.
+
+namespace internal {
+
+/// Fast-path flag. Spans read it with one relaxed load; Start/Stop
+/// write it. Exposed only so the inline Span constructor can see it.
+extern std::atomic<bool> g_enabled;
+
+void BeginSpan(const char* name, int num_args, const char* key0,
+               int64_t value0, const char* key1, int64_t value1);
+void EndSpan();
+void Instant(const char* name, int num_args, const char* key0,
+             int64_t value0);
+
+}  // namespace internal
+
+/// True while tracing is recording. One relaxed atomic load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Recording. Span names and arg keys must be string literals (or
+// otherwise outlive the process until Stop): the tracer stores the
+// pointers, never copies, so the record path stays allocation-free.
+
+/// RAII span: the scope between construction and destruction becomes
+/// one complete ("X") trace event on the calling thread's timeline.
+/// Up to two integer args (e.g. epoch / batch ids) ride along.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Enabled()) {
+      active_ = true;
+      internal::BeginSpan(name, 0, nullptr, 0, nullptr, 0);
+    }
+  }
+  Span(const char* name, const char* key0, int64_t value0) {
+    if (Enabled()) {
+      active_ = true;
+      internal::BeginSpan(name, 1, key0, value0, nullptr, 0);
+    }
+  }
+  Span(const char* name, const char* key0, int64_t value0, const char* key1,
+       int64_t value1) {
+    if (Enabled()) {
+      active_ = true;
+      internal::BeginSpan(name, 2, key0, value0, key1, value1);
+    }
+  }
+  ~Span() {
+    if (active_) internal::EndSpan();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Zero-duration marker on the calling thread's timeline (watchdog
+/// trips, negative-risk clips, fault injections...).
+inline void Instant(const char* name) {
+  if (Enabled()) internal::Instant(name, 0, nullptr, 0);
+}
+inline void Instant(const char* name, const char* key0, int64_t value0) {
+  if (Enabled()) internal::Instant(name, 1, key0, value0);
+}
+
+// ---------------------------------------------------------------------
+// Control. UAE_TRACE_PATH=<file> (consulted once, before main) starts
+// tracing automatically and exports at process exit; Start/Stop do the
+// same programmatically.
+
+/// Starts recording; the export lands at `path` on Stop (or process
+/// exit). Restarting while already tracing discards the previous
+/// session's unexported events. Returns false for an empty path.
+bool Start(const std::string& path);
+
+/// Stops recording and writes the Chrome trace-event JSON for every
+/// event recorded since Start. Returns false when tracing was off or
+/// the file cannot be written. Idempotent: a second Stop is a no-op.
+bool Stop();
+
+/// The configured export path ("" when tracing never started).
+std::string TracePath();
+
+/// Events overwritten by ring wrap-around since Start (all threads).
+uint64_t DroppedEvents();
+
+/// Per-thread ring capacity in events. UAE_TRACE_BUFFER_EVENTS
+/// overrides the 65536 default (clamped to [1024, 1<<22]); fixed once
+/// the first thread registers.
+size_t BufferCapacity();
+
+}  // namespace uae::trace
+
+// Block-scope span with a unique variable name, for macro-generated
+// instrumentation sites (see UAE_PROFILE_SCOPE in common/telemetry.h).
+#define UAE_TRACE_CONCAT_INNER(a, b) a##b
+#define UAE_TRACE_CONCAT(a, b) UAE_TRACE_CONCAT_INNER(a, b)
+#define UAE_TRACE_SCOPE(name) \
+  ::uae::trace::Span UAE_TRACE_CONCAT(uae_trace_scope_, __LINE__)(name)
+
+#endif  // UAE_COMMON_TRACE_H_

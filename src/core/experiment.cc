@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace uae::core {
 namespace {
@@ -27,11 +28,14 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
   if (shared_weights != nullptr) {
     UAE_CHECK(static_cast<int>(shared_weights->size()) == spec.num_seeds);
   }
+  trace::Span cell_span("core.cell", "seeds", spec.num_seeds);
   telemetry::ScopedTimer cell_timer(
       telemetry::GetHistogram("uae.core.cell_s"));
   CellResult result;
   for (int run = 0; run < spec.num_seeds; ++run) {
     const uint64_t seed = spec.base_seed + 1000ULL * run;
+    trace::Span run_span("core.cell_run", "run", run, "seed",
+                         static_cast<int64_t>(seed));
 
     const data::EventScores* weights = nullptr;
     std::optional<AttentionArtifacts> artifacts;
@@ -61,6 +65,8 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
   // trajectory; the manifest is the at-a-glance summary.
   if (telemetry::SinkEnabled()) {
     const double cell_seconds = cell_timer.Stop();
+    const telemetry::HistogramSnapshot epoch_snapshot =
+        telemetry::GetHistogram("uae.trainer.epoch_s")->Snapshot();
     const char* method_name = spec.method.has_value()
                                   ? attention::AttentionMethodName(*spec.method)
                                   : "none";
@@ -88,6 +94,14 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
             .Set("dataset", dataset.name)
             .Set("sessions", static_cast<int64_t>(dataset.sessions.size()))
             .Set("duration_seconds", cell_seconds)
+            // Epoch wall-time distribution (process-cumulative: a bench
+            // running several cells folds them all in). p50≈p95 means a
+            // steady trainer; a long p99 tail is the first hint to go
+            // pull a trace.
+            .Set("epoch_s_count", epoch_snapshot.count)
+            .Set("epoch_s_p50", epoch_snapshot.Quantile(0.50))
+            .Set("epoch_s_p95", epoch_snapshot.Quantile(0.95))
+            .Set("epoch_s_p99", epoch_snapshot.Quantile(0.99))
             .Set("auc_mean", result.auc.mean)
             .Set("auc_std", result.auc.stddev)
             .Set("gauc_mean", result.gauc.mean)

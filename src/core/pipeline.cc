@@ -3,6 +3,7 @@
 #include "attention/reweight.h"
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "eval/attention_metrics.h"
 
 namespace uae::core {
@@ -19,6 +20,7 @@ AttentionArtifacts FitAttention(const data::Dataset& dataset,
                                 attention::AttentionEstimator* estimator,
                                 float gamma) {
   UAE_CHECK(estimator != nullptr);
+  trace::Span span("core.attention_fit");
   telemetry::ScopedTimer fit_timer(
       telemetry::GetHistogram("uae.core.attention_fit_s"));
   estimator->Fit(dataset);
@@ -44,6 +46,8 @@ RunResult TrainModel(const data::Dataset& dataset, models::ModelKind kind,
   std::unique_ptr<models::Recommender> model =
       models::CreateRecommender(kind, &rng, dataset.schema, model_config);
   RunResult result;
+  trace::Span span("core.train", "seed",
+                   static_cast<int64_t>(train_config.seed));
   telemetry::ScopedTimer train_timer(
       telemetry::GetHistogram("uae.core.train_s"));
   result.curves =

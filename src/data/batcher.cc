@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace uae::data {
 namespace {
@@ -55,6 +56,7 @@ FlatBatcher::FlatBatcher(std::vector<EventRef> refs, int batch_size)
 
 void FlatBatcher::StartEpoch(Rng* rng) {
   UAE_CHECK(rng != nullptr);
+  trace::Span span("data.batcher.shuffle");
   telemetry::ScopedTimer timer(ShuffleHistogram());
   Shuffle(&refs_, rng);
   cursor_ = 0;
@@ -75,6 +77,7 @@ SessionBatcher::SessionBatcher(const Dataset& dataset,
                                std::vector<int> session_ids, int batch_size) {
   UAE_CHECK(batch_size > 0);
   UAE_CHECK(!session_ids.empty());
+  trace::Span span("data.batcher.build");
   telemetry::ScopedTimer timer(
       telemetry::GetHistogram("uae.data.batcher.build_s"));
   // Bucket by session length, then chunk each bucket.
@@ -92,6 +95,7 @@ SessionBatcher::SessionBatcher(const Dataset& dataset,
 
 void SessionBatcher::StartEpoch(Rng* rng) {
   UAE_CHECK(rng != nullptr);
+  trace::Span span("data.batcher.shuffle");
   telemetry::ScopedTimer timer(ShuffleHistogram());
   Shuffle(&batches_, rng);
   cursor_ = 0;

@@ -6,6 +6,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace uae::data {
 namespace {
@@ -67,6 +68,7 @@ StatusOr<FeedbackAction> ParseFeedbackAction(const std::string& name) {
 }
 
 Status WriteDatasetText(const Dataset& dataset, const std::string& path) {
+  trace::Span span("data.io.write");
   telemetry::ScopedTimer timer(
       telemetry::GetHistogram("uae.data.io.write_s"));
   std::ofstream file(path);
@@ -110,6 +112,7 @@ StatusOr<Dataset> ReadDatasetText(const std::string& path) {
 StatusOr<Dataset> ReadDatasetText(const std::string& path,
                                   const IoOptions& options,
                                   IoReadReport* report) {
+  trace::Span span("data.io.read");
   telemetry::ScopedTimer timer(
       telemetry::GetHistogram("uae.data.io.read_s"));
   std::ifstream file(path);

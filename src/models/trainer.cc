@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "data/batcher.h"
 #include "eval/metrics.h"
 #include "nn/guard.h"
@@ -217,7 +218,14 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
   int bad_steps = 0;
   std::vector<data::EventRef> batch;
   for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
+    trace::Span epoch_span("trainer.epoch", "epoch", epoch + 1);
     telemetry::ScopedTimer epoch_timer(epoch_hist);
+    // Per-step wall times for this epoch only: feeds the step_p50/95/99
+    // fields of the trainer.epoch record, so epoch summaries carry the
+    // step-time distribution, not just the mean.
+    telemetry::Histogram step_hist(telemetry::DefaultTimeBounds());
+    const bool record_steps = telemetry::SinkEnabled();
+    int batch_index = 0;
     int64_t epoch_events = 0;
     int epoch_bad_steps = 0;
     int epoch_clips = 0;
@@ -234,6 +242,10 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
     double loss_sum = 0.0;
     int64_t loss_count = 0;
     while (batcher.Next(&batch)) {
+      trace::Span batch_span("trainer.batch", "batch", batch_index++,
+                             "epoch", epoch + 1);
+      const std::chrono::steady_clock::time_point step_start =
+          std::chrono::steady_clock::now();
       const int m = static_cast<int>(batch.size());
       // Per-sample weights of Eq. 18: active events weight 1, passive
       // events the attention-derived confidence.
@@ -265,6 +277,7 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
       }
       const double loss_value = loss->value.ScalarValue();
       if (!StepIsHealthy(loss_value, params)) {
+        trace::Instant("trainer.bad_step", "epoch", epoch + 1);
         ++result.recovered_steps;
         ++bad_steps;
         ++epoch_bad_steps;
@@ -304,6 +317,11 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
       epoch_events += m;
       loss_sum += loss_value;
       ++loss_count;
+      if (record_steps) {
+        step_hist.Record(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - step_start)
+                             .count());
+      }
     }
     if (result.diverged) {
       UAE_LOG(Error) << model->name()
@@ -318,14 +336,21 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
     result.train_loss_per_epoch.push_back(loss_sum /
                                           std::max<int64_t>(1, loss_count));
 
-    const EvalResult train_eval = EvaluateSample(
-        model, dataset, data::SplitKind::kTrain, config.train_eval_sample);
-    const EvalResult valid_eval =
-        EvaluateRecommender(model, dataset, data::SplitKind::kValid);
+    EvalResult train_eval;
+    EvalResult valid_eval;
+    {
+      trace::Span eval_span("trainer.eval", "epoch", epoch + 1);
+      train_eval = EvaluateSample(model, dataset, data::SplitKind::kTrain,
+                                  config.train_eval_sample);
+      valid_eval =
+          EvaluateRecommender(model, dataset, data::SplitKind::kValid);
+    }
     result.train_auc_per_epoch.push_back(train_eval.auc);
     result.valid_auc_per_epoch.push_back(valid_eval.auc);
     const double epoch_seconds = epoch_timer.Stop();
     if (telemetry::SinkEnabled()) {
+      const telemetry::HistogramSnapshot step_snapshot =
+          step_hist.Snapshot();
       telemetry::Emit(
           "trainer.epoch",
           telemetry::JsonObject()
@@ -339,6 +364,10 @@ TrainResult RunTraining(Recommender* model, const data::Dataset& dataset,
               .Set("events_per_sec",
                    epoch_seconds > 0.0 ? epoch_events / epoch_seconds : 0.0)
               .Set("epoch_seconds", epoch_seconds)
+              .Set("batches", static_cast<int64_t>(batch_index))
+              .Set("step_p50", step_snapshot.Quantile(0.50))
+              .Set("step_p95", step_snapshot.Quantile(0.95))
+              .Set("step_p99", step_snapshot.Quantile(0.99))
               .Set("grad_norm_mean", grad_norm_count > 0
                                          ? grad_norm_sum / grad_norm_count
                                          : 0.0)

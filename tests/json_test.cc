@@ -1,0 +1,90 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace uae::json {
+namespace {
+
+Value MustParse(const std::string& text) {
+  StatusOr<Value> parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? std::move(parsed).value() : Value{};
+}
+
+TEST(JsonTest, ParsesPrimitives) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").is_bool());
+  EXPECT_TRUE(MustParse("true").bool_value);
+  EXPECT_FALSE(MustParse("false").bool_value);
+  EXPECT_DOUBLE_EQ(MustParse("-12.5e2").number_value, -1250.0);
+  EXPECT_EQ(MustParse("\"hi\"").string_value, "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const Value doc = MustParse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": -3})");
+  ASSERT_TRUE(doc.is_object());
+  const Value* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number_value, 2.0);
+  EXPECT_EQ(a->array[2].GetString("b"), "c");
+  EXPECT_DOUBLE_EQ(doc.GetNumber("f"), -3.0);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.GetNumber("missing", 7.5), 7.5);
+  EXPECT_EQ(doc.GetString("missing", "x"), "x");
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  const Value doc = MustParse(R"({"s": "a\"b\\c\n\tAé"})");
+  EXPECT_EQ(doc.GetString("s"), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  // Trailing garbage after a complete value is an error, not ignored.
+  EXPECT_FALSE(Parse("{} {}").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += '[';
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonTest, ParseFileRoundTrip) {
+  const std::string path = testing::TempDir() + "uae_json_test.json";
+  {
+    std::ofstream file(path);
+    file << R"({"name": "trace", "n": 3})";
+  }
+  StatusOr<Value> doc = ParseFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().GetString("name"), "trace");
+  EXPECT_DOUBLE_EQ(doc.value().GetNumber("n"), 3.0);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(ParseFile(path).ok());  // Now missing.
+}
+
+TEST(JsonTest, FindReturnsLatestDuplicate) {
+  // JSONL merge semantics: a later duplicate key wins, matching how the
+  // telemetry writer would overwrite a field.
+  const Value doc = MustParse(R"({"k": 1, "k": 2})");
+  const Value* k = doc.Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_DOUBLE_EQ(k->number_value, 2.0);
+}
+
+}  // namespace
+}  // namespace uae::json

@@ -1,0 +1,65 @@
+// Build-rot guard for the UAE_PROFILE_OPS hooks (no gtest, pure ctest).
+//
+// The per-op ScopedTimers in nn/ops.cc and nn/gru.cc are compiled out of
+// normal builds, so nothing in the default test suite would notice if
+// they stopped compiling or stopped feeding the histogram registry. This
+// target recompiles exactly those translation units with UAE_PROFILE_OPS
+// defined (see tests/CMakeLists.txt) and fails unless running a matmul
+// and a GRU step leaves samples in the expected histograms — the same
+// check `-DUAE_PROFILE_OPS=ON` users rely on.
+
+#ifndef UAE_PROFILE_OPS
+#error "profile_ops_check must be compiled with UAE_PROFILE_OPS defined"
+#endif
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "nn/gru.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "profile_ops_check FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace uae;
+
+  Rng rng(7);
+  nn::Tensor a(4, 8);
+  nn::Tensor b(8, 3);
+  for (int i = 0; i < a.size(); ++i) a.data()[i] = 0.01f * i;
+  for (int i = 0; i < b.size(); ++i) b.data()[i] = 0.02f * i;
+  const nn::NodePtr product = nn::MatMul(nn::Constant(a), nn::Constant(b));
+  if (product->value.rows() != 4 || product->value.cols() != 3) {
+    return Fail("matmul produced a wrong shape");
+  }
+
+  nn::GruCell gru(&rng, /*input_dim=*/6, /*hidden_dim=*/5);
+  nn::Tensor x(2, 6);
+  const nn::NodePtr h =
+      gru.Step(nn::Constant(x), gru.InitialState(/*batch=*/2));
+  if (h->value.cols() != 5) return Fail("gru step produced a wrong shape");
+
+  // The profiling hooks must have fed the registry.
+  for (const char* name : {"uae.nn.ops.matmul_s", "uae.nn.gru.step_s"}) {
+    const telemetry::HistogramSnapshot snapshot =
+        telemetry::GetHistogram(name)->Snapshot();
+    if (snapshot.count <= 0) {
+      return Fail(std::string("histogram ") + name +
+                  " has no samples; UAE_PROFILE_OPS hooks are rotten");
+    }
+  }
+
+  std::printf("profile_ops_check OK: UAE_PROFILE_OPS hooks compile and "
+              "record\n");
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -150,6 +151,69 @@ TEST_F(TelemetryTest, HistogramBucketsAndSidecars) {
 
   histogram->Reset();
   EXPECT_EQ(histogram->Snapshot().count, 0);
+}
+
+TEST_F(TelemetryTest, QuantileInterpolatesInsideBuckets) {
+  Histogram* histogram =
+      GetHistogram("uae.test.quantile", std::vector<double>{10.0});
+  for (int v = 1; v <= 100; ++v) histogram->Record(v);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  // 10 samples land in (-inf,10], 90 in the overflow bucket whose edges
+  // clamp to [10, max=100] — uniform data, so the estimates are exact.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.99), 99.0);
+  // Inside the first bucket the lower edge is the observed min.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.05), 1.0 + 0.5 * 9.0);
+  // The ends clamp to the observed range.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 100.0);
+}
+
+TEST_F(TelemetryTest, QuantileDegenerateCases) {
+  Histogram* empty = GetHistogram("uae.test.quantile_empty");
+  EXPECT_DOUBLE_EQ(empty->Snapshot().Quantile(0.5), 0.0);
+
+  Histogram* single =
+      GetHistogram("uae.test.quantile_single", std::vector<double>{1.0});
+  single->Record(0.25);
+  const HistogramSnapshot snapshot = single->Snapshot();
+  // One sample: every quantile is that sample (bucket edges collapse).
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.99), 0.25);
+}
+
+TEST_F(TelemetryTest, SnapshotRecordsCarryQuantiles) {
+  const std::string path = TempPath("quantile_sink.jsonl");
+  ASSERT_TRUE(ConfigureSink(path));
+  GetHistogram("uae.test.q_hist")->Record(0.5);
+  EmitMetricsSnapshot("unit");
+  CloseSink();
+  bool found = false;
+  for (const std::string& line : ReadLines(path)) {
+    if (line.find("uae.test.q_hist") == std::string::npos) continue;
+    found = true;
+    for (const char* key : {"p50", "p95", "p99"}) {
+      EXPECT_TRUE(HasField(line, key)) << line;
+    }
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, ConfigureSinkCreatesMissingParentDirs) {
+  const std::string dir = TempPath("nested_sink_dir");
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/a/b/sink.jsonl";
+  ASSERT_TRUE(ConfigureSink(path));  // Parents made on demand, no drop.
+  Emit("unit.event", JsonObject().Set("ok", true));
+  CloseSink();
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open());
+  std::string line;
+  EXPECT_TRUE(static_cast<bool>(std::getline(file, line)));
+  EXPECT_TRUE(HasField(line, "ok"));
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(TelemetryTest, RegistryResetKeepsPointersValid) {

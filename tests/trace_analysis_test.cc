@@ -1,0 +1,256 @@
+#include "trace_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace uae::tools {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "uae_trace_analysis_" + name;
+}
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = TempPath(name);
+  std::ofstream file(path);
+  file << content;
+  return path;
+}
+
+/// One "X" span as Chrome trace JSON.
+std::string SpanJson(const std::string& name, int tid, double ts_us,
+                     double dur_us, const std::string& extra_args = "") {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                R"({"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%.3f,)"
+                R"("dur":%.3f,"args":{%s}})",
+                name.c_str(), tid, ts_us, dur_us, extra_args.c_str());
+  return buf;
+}
+
+TraceData MustLoadTrace(const std::string& events_json) {
+  StatusOr<json::Value> doc = json::Parse(
+      R"({"displayTimeUnit":"ms","traceEvents":[)" + events_json + "]}");
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  StatusOr<TraceData> trace = FromChromeTraceJson(doc.value());
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  return trace.ok() ? std::move(trace).value() : TraceData{};
+}
+
+// ---------------------------------------------------------------------
+// Self time
+
+TEST(TraceAnalysisTest, SelfTimeSubtractsDirectChildren) {
+  // parent [0,100] > child [10,40] > grandchild [15,25]; sibling [50,70].
+  const TraceData trace = MustLoadTrace(
+      SpanJson("parent", 1, 0, 100) + "," + SpanJson("child", 1, 10, 30) +
+      "," + SpanJson("grandchild", 1, 15, 10) + "," +
+      SpanJson("child", 1, 50, 20));
+  const std::vector<OpStat> ops = SelfTimePerOp(trace);
+  ASSERT_EQ(ops.size(), 3u);
+  // Sorted by self time: parent 100-30-20=50, child 30+20-10=40, gc 10.
+  EXPECT_EQ(ops[0].name, "parent");
+  EXPECT_DOUBLE_EQ(ops[0].self_us, 50.0);
+  EXPECT_DOUBLE_EQ(ops[0].total_us, 100.0);
+  EXPECT_EQ(ops[1].name, "child");
+  EXPECT_EQ(ops[1].count, 2);
+  EXPECT_DOUBLE_EQ(ops[1].self_us, 40.0);
+  EXPECT_DOUBLE_EQ(ops[1].max_us, 30.0);
+  EXPECT_EQ(ops[2].name, "grandchild");
+  EXPECT_DOUBLE_EQ(ops[2].self_us, 10.0);
+}
+
+TEST(TraceAnalysisTest, SelfTimeKeepsThreadsIndependent) {
+  // Identical timestamps on two tids must not nest across threads.
+  const TraceData trace = MustLoadTrace(SpanJson("op", 1, 0, 100) + "," +
+                                        SpanJson("op", 2, 0, 100));
+  const std::vector<OpStat> ops = SelfTimePerOp(trace);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].count, 2);
+  EXPECT_DOUBLE_EQ(ops[0].self_us, 200.0);
+}
+
+// ---------------------------------------------------------------------
+// Nesting validation
+
+TEST(TraceAnalysisTest, ValidatesWellNestedTrace) {
+  const TraceData trace = MustLoadTrace(SpanJson("a", 1, 0, 100) + "," +
+                                        SpanJson("b", 1, 20, 30));
+  EXPECT_TRUE(ValidateNesting(trace).ok());
+}
+
+TEST(TraceAnalysisTest, DetectsShearedSpans) {
+  // b starts inside a but ends after it: not a tree.
+  const TraceData trace = MustLoadTrace(SpanJson("a", 1, 0, 50) + "," +
+                                        SpanJson("b", 1, 40, 50));
+  const Status status = ValidateNesting(trace);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("\"b\""), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, ShearAcrossThreadsIsFine) {
+  const TraceData trace = MustLoadTrace(SpanJson("a", 1, 0, 50) + "," +
+                                        SpanJson("b", 2, 40, 50));
+  EXPECT_TRUE(ValidateNesting(trace).ok());
+}
+
+// ---------------------------------------------------------------------
+// Phase breakdown + outliers
+
+TEST(TraceAnalysisTest, EpochPhaseBreakdownGroupsByEpochArg) {
+  const TraceData trace = MustLoadTrace(
+      SpanJson("trainer.batch", 1, 0, 10, R"("epoch":1,"batch":0)") + "," +
+      SpanJson("trainer.batch", 1, 10, 14, R"("epoch":1,"batch":1)") + "," +
+      SpanJson("trainer.batch", 1, 30, 20, R"("epoch":2,"batch":0)") + "," +
+      SpanJson("no.epoch.arg", 1, 60, 5));
+  const std::vector<PhaseRow> rows = EpochPhaseBreakdown(trace);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].epoch, 1);
+  EXPECT_EQ(rows[0].count, 2);
+  EXPECT_DOUBLE_EQ(rows[0].total_us, 24.0);
+  EXPECT_EQ(rows[1].epoch, 2);
+  EXPECT_DOUBLE_EQ(rows[1].total_us, 20.0);
+}
+
+TEST(TraceAnalysisTest, SlowestSpansFiltersAndRanks) {
+  const TraceData trace = MustLoadTrace(
+      SpanJson("trainer.batch", 1, 0, 10) + "," +
+      SpanJson("trainer.batch", 1, 10, 90) + "," +
+      SpanJson("trainer.batch", 1, 100, 40) + "," +
+      SpanJson("trainer.eval", 1, 140, 500));
+  const std::vector<AnalyzerEvent> top =
+      SlowestSpans(trace, "batch", /*top_n=*/2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].dur_us, 90.0);
+  EXPECT_DOUBLE_EQ(top[1].dur_us, 40.0);
+}
+
+// ---------------------------------------------------------------------
+// Compare
+
+TEST(TraceAnalysisTest, CompareFlagsTwoTimesSlowdown) {
+  const TraceData old_trace = MustLoadTrace(
+      SpanJson("matmul", 1, 0, 1000) + "," + SpanJson("gru", 1, 2000, 500));
+  const TraceData new_trace = MustLoadTrace(
+      SpanJson("matmul", 1, 0, 2000) + "," + SpanJson("gru", 1, 3000, 500));
+  const CompareResult slow = CompareTraces(old_trace, new_trace, 1.3);
+  EXPECT_TRUE(slow.regression);
+  EXPECT_NEAR(slow.worst_ratio, 2.0, 1e-9);
+  ASSERT_FALSE(slow.rows.empty());
+  EXPECT_EQ(slow.rows[0].name, "matmul");  // Worst ratio first.
+  EXPECT_NE(slow.summary.find("REGRESSION"), std::string::npos);
+
+  // The same pair passes under a generous tolerance, and an
+  // old-vs-old comparison is clean under the strict one.
+  EXPECT_FALSE(CompareTraces(old_trace, new_trace, 3.0).regression);
+  const CompareResult same = CompareTraces(old_trace, old_trace, 1.3);
+  EXPECT_FALSE(same.regression);
+  EXPECT_NEAR(same.worst_ratio, 1.0, 1e-9);
+}
+
+TEST(TraceAnalysisTest, CompareIgnoresInsignificantNoise) {
+  // A 5x blowup of a 2µs helper must not trip the gate while the ops
+  // that dominate the timeline hold steady.
+  const TraceData old_trace = MustLoadTrace(
+      SpanJson("matmul", 1, 0, 100000) + "," + SpanJson("tiny", 1, 200000, 2));
+  const TraceData new_trace = MustLoadTrace(
+      SpanJson("matmul", 1, 0, 100000) + "," +
+      SpanJson("tiny", 1, 200000, 10));
+  EXPECT_FALSE(CompareTraces(old_trace, new_trace, 1.3).regression);
+}
+
+TEST(TraceAnalysisTest, CompareBenchGatesWallAndThroughput) {
+  auto bench = [](double wall_s, double eps, double rss) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  R"({"bench":"fig5_convergence","wall_s":%f,)"
+                  R"("events_per_sec":%f,"peak_rss_bytes":%f})",
+                  wall_s, eps, rss);
+    const std::string path = WriteTemp("bench.json", buf);
+    StatusOr<TraceData> trace = Load(path);
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    EXPECT_EQ(trace.value().kind, InputKind::kBenchBaseline);
+    return std::move(trace).value();
+  };
+  const TraceData old_bench = bench(10.0, 5000.0, 1e8);
+  // 2x slower wall -> regression.
+  EXPECT_TRUE(CompareBench(old_bench, bench(20.0, 5000.0, 1e8), 1.3)
+                  .regression);
+  // Throughput halved -> regression even with wall flat.
+  EXPECT_TRUE(CompareBench(old_bench, bench(10.0, 2500.0, 1e8), 1.3)
+                  .regression);
+  // RSS doubling alone is informational, never gates.
+  EXPECT_FALSE(CompareBench(old_bench, bench(10.0, 5000.0, 2e8), 1.3)
+                   .regression);
+  std::remove(TempPath("bench.json").c_str());
+}
+
+TEST(TraceAnalysisTest, CompareRejectsMixedKinds) {
+  const TraceData trace = MustLoadTrace(SpanJson("a", 1, 0, 10));
+  TraceData bench;
+  bench.kind = InputKind::kBenchBaseline;
+  EXPECT_FALSE(Compare(trace, bench, 1.3).ok());
+}
+
+// ---------------------------------------------------------------------
+// Loading + rendering
+
+TEST(TraceAnalysisTest, LoadsTelemetryJsonl) {
+  const std::string path = WriteTemp(
+      "stream.jsonl",
+      R"({"type":"run.start","ts":1}
+{"type":"metric","kind":"histogram","name":"uae.nn.ops.matmul_s","count":4,"sum":0.002,"max":0.001}
+{"type":"trainer.epoch","epoch":1,"epoch_seconds":1.5,"events_per_sec":2000,"loss":0.4}
+{"type":"trainer.epoch","epoch":2,"epoch_seconds":1.4,"events_per_sec":2100,"loss":0.35}
+)");
+  StatusOr<TraceData> trace = Load(path);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace.value().kind, InputKind::kTelemetryJsonl);
+  ASSERT_EQ(trace.value().jsonl_ops.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.value().jsonl_ops[0].total_us, 2000.0);
+  ASSERT_EQ(trace.value().jsonl_epochs.size(), 2u);
+  EXPECT_EQ(trace.value().jsonl_epochs[1].epoch, 2);
+
+  // JSONL streams also compare: total op time regressions flag.
+  const CompareResult same =
+      CompareTraces(trace.value(), trace.value(), 1.3);
+  EXPECT_FALSE(same.regression);
+  std::remove(path.c_str());
+}
+
+TEST(TraceAnalysisTest, LoadRejectsGarbage) {
+  const std::string path = WriteTemp("garbage.bin", "not json at all\n");
+  EXPECT_FALSE(Load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(Load(TempPath("missing.json")).ok());
+}
+
+TEST(TraceAnalysisTest, RenderSummaryShowsTablesAndDrops) {
+  TraceData trace = MustLoadTrace(
+      SpanJson("trainer.epoch", 1, 0, 100, R"("epoch":1)") + "," +
+      SpanJson("trainer.batch", 1, 10, 50, R"("epoch":1,"batch":3)"));
+  trace.dropped_events = 7;
+  const std::string summary = RenderSummary(trace, 10, 5);
+  EXPECT_NE(summary.find("self time per op"), std::string::npos);
+  EXPECT_NE(summary.find("trainer.epoch"), std::string::npos);
+  EXPECT_NE(summary.find("per-epoch phases"), std::string::npos);
+  EXPECT_NE(summary.find("slowest batches"), std::string::npos);
+  EXPECT_NE(summary.find("dropped 7"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, RenderCompareGolden) {
+  const TraceData old_trace = MustLoadTrace(SpanJson("matmul", 1, 0, 1000));
+  const TraceData new_trace = MustLoadTrace(SpanJson("matmul", 1, 0, 2000));
+  const std::string rendered =
+      RenderCompare(CompareTraces(old_trace, new_trace, 1.3));
+  EXPECT_NE(rendered.find("matmul"), std::string::npos);
+  EXPECT_NE(rendered.find("2.00"), std::string::npos);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(rendered.find("tolerance 1.30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uae::tools

@@ -1,0 +1,142 @@
+// Tier-1 smoke check for the tracing pipeline (no gtest, pure ctest):
+// ctest launches this with UAE_TRACE_PATH pointing into the build tree,
+// so tracing arms itself exactly the way a user run would (env read
+// before main). The binary trains a 2-epoch cell, forces the export,
+// and fails unless
+//   - the Chrome trace JSON exists, parses, and is strictly well-nested
+//     per thread (the Perfetto-loadability contract),
+//   - the epoch -> batch -> op span hierarchy actually emitted
+//     (trainer.epoch, trainer.batch, uae.nn.* all present, with epoch
+//     ids as args and real thread ids),
+//   - the `uae_trace` CLI (path in argv[1]) summarizes and validates the
+//     same file with exit code 0.
+// Exits non-zero with a diagnostic on the first violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/trace.h"
+#include "core/experiment.h"
+#include "data/generator.h"
+#include "trace_analysis.h"
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "trace_smoke FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+int CountSpans(const uae::tools::TraceData& trace, const std::string& name,
+               bool* saw_epoch_arg = nullptr) {
+  int count = 0;
+  for (const uae::tools::AnalyzerEvent& event : trace.events) {
+    if (event.phase == 'X' && event.name == name) {
+      ++count;
+      if (saw_epoch_arg != nullptr && event.HasArg("epoch")) {
+        *saw_epoch_arg = true;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* trace_path = std::getenv("UAE_TRACE_PATH");
+  if (trace_path == nullptr || trace_path[0] == '\0') {
+    return Fail("UAE_TRACE_PATH is not set; ctest must provide it");
+  }
+  if (!uae::trace::Enabled()) {
+    return Fail("tracing did not arm itself from UAE_TRACE_PATH");
+  }
+
+  uae::data::GeneratorConfig cfg =
+      uae::data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 150;
+  cfg.num_users = 40;
+  cfg.num_songs = 80;
+  cfg.num_artists = 15;
+  cfg.num_albums = 25;
+  const uae::data::Dataset dataset = uae::data::GenerateDataset(cfg, 3);
+
+  uae::core::CellSpec spec;
+  spec.model = uae::models::ModelKind::kFm;
+  spec.method = std::nullopt;  // Base model: 2 epochs stay sub-second.
+  spec.num_seeds = 1;
+  spec.model_config.embed_dim = 4;
+  spec.model_config.mlp_dims = {8};
+  spec.train_config.epochs = 2;
+  spec.train_config.batch_size = 64;
+  const uae::core::CellResult result = uae::core::RunCell(dataset, spec);
+  if (result.auc_runs.size() != 1) return Fail("cell did not run");
+
+  if (!uae::trace::Stop()) return Fail("trace export failed");
+
+  // 1. The export parses and honors the structural invariant.
+  uae::StatusOr<uae::tools::TraceData> loaded =
+      uae::tools::Load(trace_path);
+  if (!loaded.ok()) {
+    return Fail("trace unloadable: " + loaded.status().message());
+  }
+  const uae::tools::TraceData& trace = loaded.value();
+  if (trace.kind != uae::tools::InputKind::kChromeTrace) {
+    return Fail("trace did not load as a Chrome trace");
+  }
+  const uae::Status nesting = uae::tools::ValidateNesting(trace);
+  if (!nesting.ok()) {
+    return Fail("nesting violated: " + nesting.message());
+  }
+
+  // 2. The span hierarchy is really there: cell > run > train > epoch >
+  //    batch > nn op, with epoch ids riding as args.
+  bool epoch_has_arg = false, batch_has_arg = false;
+  const int epochs = CountSpans(trace, "trainer.epoch", &epoch_has_arg);
+  const int batches = CountSpans(trace, "trainer.batch", &batch_has_arg);
+  if (CountSpans(trace, "core.cell") != 1) return Fail("no core.cell span");
+  if (CountSpans(trace, "core.train") != 1) {
+    return Fail("no core.train span");
+  }
+  if (epochs != 2) {
+    return Fail("want 2 trainer.epoch spans, got " + std::to_string(epochs));
+  }
+  if (batches < 2) return Fail("trainer.batch spans missing");
+  if (!epoch_has_arg || !batch_has_arg) {
+    return Fail("epoch/batch spans lack the epoch arg");
+  }
+  bool saw_nn_op = false;
+  bool saw_tid = false;
+  for (const uae::tools::AnalyzerEvent& event : trace.events) {
+    saw_nn_op |= event.name.rfind("uae.nn.", 0) == 0;
+    saw_tid |= event.tid > 0;
+  }
+  if (!saw_nn_op) return Fail("no uae.nn.* op spans under the batches");
+  if (!saw_tid) return Fail("events carry no thread ids");
+
+  // 3. The shipped CLI agrees, end to end.
+  if (argc > 1) {
+    const std::string quoted = std::string("\"") + argv[1] + "\"";
+    const std::string validate =
+        quoted + " --validate \"" + trace_path + "\"";
+    if (std::system(validate.c_str()) != 0) {
+      return Fail("`uae_trace --validate` rejected the trace");
+    }
+    const std::string summarize = quoted + " \"" + trace_path + "\"";
+    if (std::system(summarize.c_str()) != 0) {
+      return Fail("`uae_trace` could not summarize the trace");
+    }
+    // A trace compared against itself must never flag a regression.
+    const std::string compare = quoted + " --compare \"" + trace_path +
+                                "\" \"" + trace_path + "\" > /dev/null";
+    if (std::system(compare.c_str()) != 0) {
+      return Fail("`uae_trace --compare` flagged trace vs itself");
+    }
+  }
+
+  std::printf("trace_smoke OK: %zu events, %d epoch spans, %d batch spans, "
+              "nesting + uae_trace verified\n",
+              trace.events.size(), epochs, batches);
+  return 0;
+}

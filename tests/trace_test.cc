@@ -1,0 +1,239 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace uae::trace {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "uae_trace_" + name;
+}
+
+struct ParsedSpan {
+  std::string name;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  double Arg(const json::Value& event, const std::string& key) const {
+    const json::Value* args = event.Find("args");
+    return args != nullptr ? args->GetNumber(key, -1.0) : -1.0;
+  }
+};
+
+/// Loads an export and returns its "X" spans; hard-fails on malformed
+/// JSON (the export must be loadable by Perfetto, so any parse error is
+/// a test failure, not a skip).
+std::vector<json::Value> LoadSpans(const std::string& path) {
+  StatusOr<json::Value> doc = json::ParseFile(path);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) return {};
+  const json::Value* events = doc.value().Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr) return {};
+  std::vector<json::Value> spans;
+  for (const json::Value& event : events->array) {
+    if (event.GetString("ph") == "X") spans.push_back(event);
+  }
+  return spans;
+}
+
+/// Strict well-nestedness check on one thread's timeline: sorted by
+/// start (ties: longer first), every span must lie fully inside the
+/// innermost still-open enclosing span. Any shear means a torn ring
+/// slot or a tracer bug.
+void ExpectWellNested(std::vector<const json::Value*> spans, int tid) {
+  std::sort(spans.begin(), spans.end(),
+            [](const json::Value* a, const json::Value* b) {
+              const double ta = a->GetNumber("ts"), tb = b->GetNumber("ts");
+              if (ta != tb) return ta < tb;
+              return a->GetNumber("dur") > b->GetNumber("dur");
+            });
+  std::vector<const json::Value*> stack;
+  for (const json::Value* span : spans) {
+    const double ts = span->GetNumber("ts");
+    const double end = ts + span->GetNumber("dur");
+    while (!stack.empty() &&
+           stack.back()->GetNumber("ts") + stack.back()->GetNumber("dur") <=
+               ts) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      const double parent_end = stack.back()->GetNumber("ts") +
+                                stack.back()->GetNumber("dur");
+      EXPECT_LE(end, parent_end + 1e-6)
+          << "tid " << tid << ": span \"" << span->GetString("name")
+          << "\" shears out of \"" << stack.back()->GetString("name")
+          << "\"";
+    }
+    stack.push_back(span);
+  }
+}
+
+TEST(TraceTest, DisabledByDefaultAndRecordsNothing) {
+  ASSERT_FALSE(Enabled());  // UAE_TRACE_PATH must be unset for the suite.
+  {
+    Span span("should.not.record");
+    Instant("nor.this");
+  }
+  const std::string path = TempPath("disabled.json");
+  ASSERT_TRUE(Start(path));
+  ASSERT_TRUE(Stop());  // Session held zero events.
+  EXPECT_TRUE(LoadSpans(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ExportsNestedSpansWithArgs) {
+  const std::string path = TempPath("basic.json");
+  ASSERT_TRUE(Start(path));
+  EXPECT_TRUE(Enabled());
+  EXPECT_EQ(TracePath(), path);
+  {
+    Span epoch("test.epoch", "epoch", 3);
+    {
+      Span batch("test.batch", "batch", 7, "epoch", 3);
+      Instant("test.blip", "code", 42);
+    }
+    { Span batch("test.batch", "batch", 8, "epoch", 3); }
+  }
+  ASSERT_TRUE(Stop());
+  EXPECT_FALSE(Enabled());
+  EXPECT_FALSE(Stop());  // Idempotent.
+
+  StatusOr<json::Value> doc = json::ParseFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* events = doc.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  int spans = 0, instants = 0;
+  double epoch_ts = 0, epoch_end = 0;
+  for (const json::Value& event : events->array) {
+    const std::string phase = event.GetString("ph");
+    const std::string name = event.GetString("name");
+    if (phase == "X") {
+      ++spans;
+      if (name == "test.epoch") {
+        epoch_ts = event.GetNumber("ts");
+        epoch_end = epoch_ts + event.GetNumber("dur");
+        EXPECT_DOUBLE_EQ(event.Find("args")->GetNumber("epoch"), 3.0);
+      }
+    } else if (phase == "i") {
+      ++instants;
+      EXPECT_EQ(name, "test.blip");
+      EXPECT_EQ(event.GetString("s"), "t");  // Thread-scoped instant.
+      EXPECT_DOUBLE_EQ(event.Find("args")->GetNumber("code"), 42.0);
+    }
+  }
+  EXPECT_EQ(spans, 3);
+  EXPECT_EQ(instants, 1);
+
+  // Both batches nest inside the epoch span.
+  for (const json::Value& event : events->array) {
+    if (event.GetString("ph") != "X" ||
+        event.GetString("name") != "test.batch") {
+      continue;
+    }
+    EXPECT_GE(event.GetNumber("ts"), epoch_ts);
+    EXPECT_LE(event.GetNumber("ts") + event.GetNumber("dur"),
+              epoch_end + 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MultithreadedRoundTripIsCompleteAndWellNested) {
+  constexpr int kThreads = 8;
+  constexpr int kOuterPerThread = 300;  // 900 events/thread << capacity.
+  ASSERT_LT(kThreads * kOuterPerThread * 3,
+            static_cast<int>(BufferCapacity() * kThreads));
+
+  const std::string path = TempPath("mt.json");
+  ASSERT_TRUE(Start(path));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kOuterPerThread; ++i) {
+        Span outer("mt.outer", "worker", t, "i", i);
+        Span mid("mt.mid");
+        { Span inner("mt.inner", "i", i); }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_TRUE(Stop());
+  EXPECT_EQ(DroppedEvents(), 0u);
+
+  const std::vector<json::Value> spans = LoadSpans(path);
+  std::map<std::string, int> by_name;
+  std::map<int, std::vector<const json::Value*>> by_tid;
+  std::map<int, int> outers_per_tid;
+  for (const json::Value& span : spans) {
+    by_name[span.GetString("name")]++;
+    const int tid = static_cast<int>(span.GetNumber("tid"));
+    by_tid[tid].push_back(&span);
+    if (span.GetString("name") == "mt.outer") outers_per_tid[tid]++;
+  }
+  // No dropped or duplicated pairs anywhere.
+  EXPECT_EQ(by_name["mt.outer"], kThreads * kOuterPerThread);
+  EXPECT_EQ(by_name["mt.mid"], kThreads * kOuterPerThread);
+  EXPECT_EQ(by_name["mt.inner"], kThreads * kOuterPerThread);
+  // Each worker landed on its own thread timeline, whole.
+  ASSERT_EQ(by_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, count] : outers_per_tid) {
+    EXPECT_EQ(count, kOuterPerThread) << "tid " << tid;
+  }
+  for (auto& [tid, tid_spans] : by_tid) {
+    ExpectWellNested(tid_spans, tid);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  const std::string path = TempPath("wrap.json");
+  ASSERT_TRUE(Start(path));
+  const int overshoot = static_cast<int>(BufferCapacity()) + 500;
+  for (int i = 0; i < overshoot; ++i) {
+    Span span("wrap.span", "i", i);
+  }
+  ASSERT_TRUE(Stop());
+  EXPECT_GE(DroppedEvents(), 500u);
+
+  // The survivors are the newest events, still parseable.
+  const std::vector<json::Value> spans = LoadSpans(path);
+  EXPECT_LE(spans.size(), BufferCapacity());
+  double max_i = -1.0;
+  for (const json::Value& span : spans) {
+    if (span.GetString("name") == "wrap.span") {
+      max_i = std::max(max_i, span.Find("args")->GetNumber("i"));
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_i, overshoot - 1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RestartDiscardsPreviousSession) {
+  const std::string first = TempPath("s1.json");
+  const std::string second = TempPath("s2.json");
+  ASSERT_TRUE(Start(first));
+  { Span span("session.one"); }
+  // Restart without Stop: session one's events must not leak into two.
+  ASSERT_TRUE(Start(second));
+  { Span span("session.two"); }
+  ASSERT_TRUE(Stop());
+  const std::vector<json::Value> spans = LoadSpans(second);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].GetString("name"), "session.two");
+  EXPECT_FALSE(Start(""));  // An empty path cannot be a session.
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+}  // namespace
+}  // namespace uae::trace

@@ -1,0 +1,517 @@
+#include "trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace uae::tools {
+namespace {
+
+/// Self-time sweeps treat ratios above this as "infinite" (op absent
+/// from the old trace).
+constexpr double kHugeRatio = 1e9;
+
+/// Ops below this share of the old total are too small to gate a
+/// regression verdict on — a 3x blowup of a 2µs op is noise.
+constexpr double kSignificantShare = 0.005;
+constexpr double kSignificantFloorUs = 100.0;
+
+std::string FormatUs(double us) {
+  char buf[64];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us / 1e6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", us);
+  }
+  return buf;
+}
+
+StatusOr<TraceData> FromBenchJson(const json::Value& doc) {
+  TraceData trace;
+  trace.kind = InputKind::kBenchBaseline;
+  trace.bench = doc;
+  trace.build = doc.GetString("build", "unknown");
+  return trace;
+}
+
+StatusOr<TraceData> FromTelemetryJsonl(const std::string& text) {
+  TraceData trace;
+  trace.kind = InputKind::kTelemetryJsonl;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  int parsed_lines = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    StatusOr<json::Value> parsed = json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + parsed.status().message());
+    }
+    const json::Value& record = parsed.value();
+    ++parsed_lines;
+    const std::string type = record.GetString("type");
+    if (type == "metric" && record.GetString("kind") == "histogram") {
+      OpStat op;
+      op.name = record.GetString("name");
+      op.count = static_cast<int64_t>(record.GetNumber("count"));
+      op.total_us = record.GetNumber("sum") * 1e6;  // Histograms: seconds.
+      op.self_us = op.total_us;  // No hierarchy in JSONL metrics.
+      op.max_us = record.GetNumber("max") * 1e6;
+      if (op.count > 0) trace.jsonl_ops.push_back(std::move(op));
+    } else if (type == "trainer.epoch" || type == "uae.epoch") {
+      EpochRecord epoch;
+      epoch.type = type;
+      epoch.epoch = static_cast<int>(record.GetNumber("epoch"));
+      epoch.seconds = record.GetNumber("epoch_seconds");
+      epoch.events_per_sec = record.GetNumber("events_per_sec");
+      epoch.loss = record.GetNumber(
+          type == "uae.epoch" ? "att_risk" : "loss");
+      trace.jsonl_epochs.push_back(std::move(epoch));
+    }
+  }
+  if (parsed_lines == 0) {
+    return Status::InvalidArgument("no JSON records found");
+  }
+  return trace;
+}
+
+/// Sort order for nesting sweeps: by start, then longer spans first so
+/// a parent sharing its child's start timestamp is visited first.
+bool SpanBefore(const AnalyzerEvent& a, const AnalyzerEvent& b) {
+  if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+  return a.dur_us > b.dur_us;
+}
+
+/// Groups complete ("X") span indices by tid, each sorted for sweeping.
+std::map<int, std::vector<const AnalyzerEvent*>> SpansByThread(
+    const TraceData& trace) {
+  std::map<int, std::vector<const AnalyzerEvent*>> by_tid;
+  for (const AnalyzerEvent& event : trace.events) {
+    if (event.phase == 'X') by_tid[event.tid].push_back(&event);
+  }
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const AnalyzerEvent* a, const AnalyzerEvent* b) {
+                return SpanBefore(*a, *b);
+              });
+  }
+  return by_tid;
+}
+
+}  // namespace
+
+double AnalyzerEvent::Arg(const std::string& key, double fallback) const {
+  for (const auto& [name, value] : args) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+bool AnalyzerEvent::HasArg(const std::string& key) const {
+  for (const auto& [name, value] : args) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+StatusOr<TraceData> FromChromeTraceJson(const json::Value& doc) {
+  const json::Value* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("no traceEvents array");
+  }
+  TraceData trace;
+  trace.kind = InputKind::kChromeTrace;
+  const json::Value* other = doc.Find("otherData");
+  if (other != nullptr) {
+    trace.build = other->GetString("build", "unknown");
+    trace.dropped_events =
+        static_cast<uint64_t>(other->GetNumber("dropped_events"));
+  }
+  for (const json::Value& entry : events->array) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("traceEvents entry is not an object");
+    }
+    const std::string phase = entry.GetString("ph");
+    if (phase == "M") continue;  // Metadata (process/thread names).
+    if (phase != "X" && phase != "i") continue;  // Foreign phases: skip.
+    AnalyzerEvent event;
+    event.phase = phase[0];
+    event.name = entry.GetString("name", "<unnamed>");
+    event.tid = static_cast<int>(entry.GetNumber("tid"));
+    event.ts_us = entry.GetNumber("ts");
+    event.dur_us = entry.GetNumber("dur");
+    const json::Value* args = entry.Find("args");
+    if (args != nullptr && args->is_object()) {
+      for (const auto& [key, value] : args->object) {
+        if (value.is_number()) {
+          event.args.emplace_back(key, value.number_value);
+        }
+      }
+    }
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+StatusOr<TraceData> Load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  StatusOr<TraceData> result = [&]() -> StatusOr<TraceData> {
+    StatusOr<json::Value> whole = json::Parse(text);
+    if (whole.ok() && whole.value().is_object()) {
+      const json::Value& doc = whole.value();
+      if (doc.Find("traceEvents") != nullptr) {
+        return FromChromeTraceJson(doc);
+      }
+      if (doc.Find("bench") != nullptr) return FromBenchJson(doc);
+      // A single-object file without either marker: a one-line JSONL
+      // stream (e.g. a manifest) — fall through to the JSONL reader.
+    }
+    return FromTelemetryJsonl(text);
+  }();
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  path + ": " + result.status().message());
+  }
+  result.value().path = path;
+  return result;
+}
+
+std::vector<OpStat> SelfTimePerOp(const TraceData& trace) {
+  if (trace.kind == InputKind::kTelemetryJsonl) {
+    std::vector<OpStat> ops = trace.jsonl_ops;
+    std::sort(ops.begin(), ops.end(), [](const OpStat& a, const OpStat& b) {
+      return a.self_us > b.self_us;
+    });
+    return ops;
+  }
+  std::map<std::string, OpStat> by_name;
+  for (const auto& [tid, spans] : SpansByThread(trace)) {
+    // Sweep with an open-span stack; each span's self time starts at
+    // its duration and loses every direct child's duration.
+    struct Open {
+      const AnalyzerEvent* span;
+      double self_us;
+    };
+    std::vector<Open> stack;
+    auto close_until = [&](double ts) {
+      while (!stack.empty() &&
+             stack.back().span->ts_us + stack.back().span->dur_us <= ts) {
+        OpStat& op = by_name[stack.back().span->name];
+        op.name = stack.back().span->name;
+        ++op.count;
+        op.total_us += stack.back().span->dur_us;
+        op.self_us += std::max(0.0, stack.back().self_us);
+        op.max_us = std::max(op.max_us, stack.back().span->dur_us);
+        stack.pop_back();
+      }
+    };
+    for (const AnalyzerEvent* span : spans) {
+      close_until(span->ts_us);
+      if (!stack.empty()) stack.back().self_us -= span->dur_us;
+      stack.push_back({span, span->dur_us});
+    }
+    close_until(1e300);
+  }
+  std::vector<OpStat> ops;
+  ops.reserve(by_name.size());
+  for (auto& [name, op] : by_name) ops.push_back(std::move(op));
+  std::sort(ops.begin(), ops.end(), [](const OpStat& a, const OpStat& b) {
+    return a.self_us > b.self_us;
+  });
+  return ops;
+}
+
+Status ValidateNesting(const TraceData& trace) {
+  if (trace.kind != InputKind::kChromeTrace) {
+    return Status::InvalidArgument("nesting check needs a Chrome trace");
+  }
+  for (const auto& [tid, spans] : SpansByThread(trace)) {
+    std::vector<const AnalyzerEvent*> stack;
+    for (const AnalyzerEvent* span : spans) {
+      while (!stack.empty() &&
+             stack.back()->ts_us + stack.back()->dur_us <= span->ts_us) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        const AnalyzerEvent* parent = stack.back();
+        // The span starts inside the parent, so it must end inside too;
+        // a partial overlap is shear.
+        if (span->ts_us + span->dur_us >
+            parent->ts_us + parent->dur_us + 1e-6) {
+          return Status::FailedPrecondition(
+              "tid " + std::to_string(tid) + ": span \"" + span->name +
+              "\" at ts=" + std::to_string(span->ts_us) +
+              " overlaps \"" + parent->name + "\" without nesting");
+        }
+      }
+      stack.push_back(span);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<PhaseRow> EpochPhaseBreakdown(const TraceData& trace) {
+  std::map<std::pair<int, std::string>, PhaseRow> rows;
+  for (const AnalyzerEvent& event : trace.events) {
+    if (event.phase != 'X' || !event.HasArg("epoch")) continue;
+    const int epoch = static_cast<int>(event.Arg("epoch", 0));
+    PhaseRow& row = rows[{epoch, event.name}];
+    row.epoch = epoch;
+    row.name = event.name;
+    ++row.count;
+    row.total_us += event.dur_us;
+  }
+  std::vector<PhaseRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  return out;  // Already (epoch, name)-sorted via the map key.
+}
+
+std::vector<AnalyzerEvent> SlowestSpans(const TraceData& trace,
+                                        const std::string& name_substr,
+                                        int top_n) {
+  std::vector<AnalyzerEvent> matching;
+  for (const AnalyzerEvent& event : trace.events) {
+    if (event.phase == 'X' &&
+        event.name.find(name_substr) != std::string::npos) {
+      matching.push_back(event);
+    }
+  }
+  std::sort(matching.begin(), matching.end(),
+            [](const AnalyzerEvent& a, const AnalyzerEvent& b) {
+              return a.dur_us > b.dur_us;
+            });
+  if (static_cast<int>(matching.size()) > top_n) matching.resize(top_n);
+  return matching;
+}
+
+CompareResult CompareTraces(const TraceData& old_trace,
+                            const TraceData& new_trace, double tolerance) {
+  const std::vector<OpStat> old_ops = SelfTimePerOp(old_trace);
+  const std::vector<OpStat> new_ops = SelfTimePerOp(new_trace);
+  std::map<std::string, const OpStat*> old_by_name;
+  for (const OpStat& op : old_ops) old_by_name[op.name] = &op;
+
+  CompareResult result;
+  for (const OpStat& op : old_ops) result.total_old_us += op.self_us;
+  for (const OpStat& op : new_ops) result.total_new_us += op.self_us;
+  const double floor_us = std::max(
+      kSignificantFloorUs, kSignificantShare * result.total_old_us);
+
+  for (const OpStat& new_op : new_ops) {
+    CompareRow row;
+    row.name = new_op.name;
+    row.new_us = new_op.self_us;
+    auto it = old_by_name.find(new_op.name);
+    row.old_us = it != old_by_name.end() ? it->second->self_us : 0.0;
+    row.ratio = row.old_us > 0.0
+                    ? row.new_us / row.old_us
+                    : (row.new_us > 0.0 ? kHugeRatio : 1.0);
+    row.significant = std::max(row.old_us, row.new_us) >= floor_us &&
+                      row.old_us > 0.0;
+    result.rows.push_back(std::move(row));
+  }
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const CompareRow& a, const CompareRow& b) {
+              return a.ratio > b.ratio;
+            });
+  for (const CompareRow& row : result.rows) {
+    if (row.significant) {
+      result.worst_ratio = std::max(result.worst_ratio, row.ratio);
+    }
+  }
+  if (result.total_old_us > 0.0) {
+    result.worst_ratio = std::max(
+        result.worst_ratio, result.total_new_us / result.total_old_us);
+  }
+  result.regression = result.worst_ratio > tolerance;
+  std::ostringstream summary;
+  summary << (result.regression ? "REGRESSION" : "ok") << ": total self "
+          << FormatUs(result.total_old_us) << " -> "
+          << FormatUs(result.total_new_us) << ", worst significant ratio "
+          << AsciiTable::Fmt(result.worst_ratio, 2) << " (tolerance "
+          << AsciiTable::Fmt(tolerance, 2) << ")";
+  result.summary = summary.str();
+  return result;
+}
+
+CompareResult CompareBench(const TraceData& old_trace,
+                           const TraceData& new_trace, double tolerance) {
+  CompareResult result;
+  result.bench = true;
+  const json::Value& old_bench = old_trace.bench;
+  const json::Value& new_bench = new_trace.bench;
+
+  auto add = [&](const std::string& name, double old_value,
+                 double new_value, bool gate, bool higher_is_worse) {
+    if (old_value <= 0.0 && new_value <= 0.0) return;
+    CompareRow row;
+    row.name = name;
+    row.old_us = old_value;  // Field units, not really µs, for bench rows.
+    row.new_us = new_value;
+    const double worse_ratio =
+        higher_is_worse
+            ? (old_value > 0.0 ? new_value / old_value : kHugeRatio)
+            : (new_value > 0.0 ? old_value / new_value : kHugeRatio);
+    row.ratio = worse_ratio;
+    row.significant = gate;
+    result.rows.push_back(row);
+    if (gate) result.worst_ratio = std::max(result.worst_ratio, worse_ratio);
+  };
+  add("wall_s", old_bench.GetNumber("wall_s"), new_bench.GetNumber("wall_s"),
+      /*gate=*/true, /*higher_is_worse=*/true);
+  add("events_per_sec", old_bench.GetNumber("events_per_sec"),
+      new_bench.GetNumber("events_per_sec"), /*gate=*/true,
+      /*higher_is_worse=*/false);
+  add("peak_rss_bytes", old_bench.GetNumber("peak_rss_bytes"),
+      new_bench.GetNumber("peak_rss_bytes"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  result.total_old_us = old_bench.GetNumber("wall_s") * 1e6;
+  result.total_new_us = new_bench.GetNumber("wall_s") * 1e6;
+  result.regression = result.worst_ratio > tolerance;
+  std::ostringstream summary;
+  summary << (result.regression ? "REGRESSION" : "ok") << ": bench \""
+          << new_bench.GetString("bench", "?") << "\" wall "
+          << AsciiTable::Fmt(old_bench.GetNumber("wall_s"), 3) << "s -> "
+          << AsciiTable::Fmt(new_bench.GetNumber("wall_s"), 3)
+          << "s, worst ratio " << AsciiTable::Fmt(result.worst_ratio, 2)
+          << " (tolerance " << AsciiTable::Fmt(tolerance, 2) << ")";
+  result.summary = summary.str();
+  return result;
+}
+
+StatusOr<CompareResult> Compare(const TraceData& old_trace,
+                                const TraceData& new_trace,
+                                double tolerance) {
+  if (old_trace.kind != new_trace.kind) {
+    return Status::InvalidArgument(
+        "cannot compare different artifact kinds (" + old_trace.path +
+        " vs " + new_trace.path + ")");
+  }
+  if (old_trace.kind == InputKind::kBenchBaseline) {
+    return CompareBench(old_trace, new_trace, tolerance);
+  }
+  return CompareTraces(old_trace, new_trace, tolerance);
+}
+
+std::string RenderSummary(const TraceData& trace, int top_ops,
+                          int top_outliers) {
+  std::ostringstream out;
+  if (trace.kind == InputKind::kBenchBaseline) {
+    out << "bench baseline " << trace.bench.GetString("bench", "?")
+        << ": wall " << AsciiTable::Fmt(trace.bench.GetNumber("wall_s"), 3)
+        << "s, " << AsciiTable::Fmt(trace.bench.GetNumber("events_per_sec"), 1)
+        << " events/s, peak RSS "
+        << AsciiTable::Fmt(
+               trace.bench.GetNumber("peak_rss_bytes") / (1024.0 * 1024.0), 1)
+        << " MiB (build " << trace.build << ")\n";
+    return out.str();
+  }
+
+  const std::vector<OpStat> ops = SelfTimePerOp(trace);
+  out << trace.path << ": "
+      << (trace.kind == InputKind::kChromeTrace ? trace.events.size()
+                                                : trace.jsonl_ops.size())
+      << (trace.kind == InputKind::kChromeTrace ? " events" : " op metrics");
+  if (trace.dropped_events > 0) {
+    out << " (ring dropped " << trace.dropped_events << " oldest events)";
+  }
+  out << "\n\n-- self time per op --\n";
+  AsciiTable op_table({"op", "count", "self", "total", "mean", "max"});
+  int shown = 0;
+  for (const OpStat& op : ops) {
+    if (shown++ >= top_ops) break;
+    op_table.AddRow({op.name, std::to_string(op.count), FormatUs(op.self_us),
+                     FormatUs(op.total_us),
+                     FormatUs(op.count > 0 ? op.total_us / op.count : 0.0),
+                     FormatUs(op.max_us)});
+  }
+  out << op_table.ToString();
+
+  if (trace.kind == InputKind::kTelemetryJsonl) {
+    if (!trace.jsonl_epochs.empty()) {
+      out << "\n-- epochs --\n";
+      AsciiTable epoch_table(
+          {"type", "epoch", "seconds", "events/s", "loss|risk"});
+      for (const EpochRecord& epoch : trace.jsonl_epochs) {
+        epoch_table.AddRow({epoch.type, std::to_string(epoch.epoch),
+                            AsciiTable::Fmt(epoch.seconds, 3),
+                            AsciiTable::Fmt(epoch.events_per_sec, 1),
+                            AsciiTable::Fmt(epoch.loss, 4)});
+      }
+      out << epoch_table.ToString();
+    }
+    return out.str();
+  }
+
+  const std::vector<PhaseRow> phases = EpochPhaseBreakdown(trace);
+  if (!phases.empty()) {
+    out << "\n-- per-epoch phases --\n";
+    AsciiTable phase_table({"epoch", "phase", "count", "total"});
+    for (const PhaseRow& row : phases) {
+      phase_table.AddRow({std::to_string(row.epoch), row.name,
+                          std::to_string(row.count),
+                          FormatUs(row.total_us)});
+    }
+    out << phase_table.ToString();
+  }
+
+  const std::vector<AnalyzerEvent> outliers =
+      SlowestSpans(trace, "batch", top_outliers);
+  if (!outliers.empty()) {
+    out << "\n-- slowest batches --\n";
+    AsciiTable outlier_table({"span", "tid", "ts", "dur", "epoch", "batch"});
+    for (const AnalyzerEvent& event : outliers) {
+      outlier_table.AddRow(
+          {event.name, std::to_string(event.tid), FormatUs(event.ts_us),
+           FormatUs(event.dur_us),
+           std::to_string(static_cast<int>(event.Arg("epoch", -1))),
+           std::to_string(static_cast<int>(event.Arg("batch", -1)))});
+    }
+    out << outlier_table.ToString();
+  }
+
+  int instants = 0;
+  for (const AnalyzerEvent& event : trace.events) {
+    if (event.phase == 'i') ++instants;
+  }
+  if (instants > 0) {
+    out << "\n" << instants
+        << " instant event(s) (bad steps / negative-risk clips)\n";
+  }
+  return out.str();
+}
+
+std::string RenderCompare(const CompareResult& result) {
+  std::ostringstream out;
+  AsciiTable table({"name", "old", "new", "ratio", "gates"});
+  for (const CompareRow& row : result.rows) {
+    // Bench rows hold raw baseline fields (seconds, events/s, bytes)
+    // rather than microseconds, so print them unscaled.
+    const std::string old_str = result.bench ? AsciiTable::Fmt(row.old_us, 3)
+                                             : FormatUs(row.old_us);
+    const std::string new_str = result.bench ? AsciiTable::Fmt(row.new_us, 3)
+                                             : FormatUs(row.new_us);
+    table.AddRow({row.name, old_str, new_str,
+                  row.ratio >= kHugeRatio ? "new"
+                                          : AsciiTable::Fmt(row.ratio, 2),
+                  row.significant ? "yes" : ""});
+  }
+  out << table.ToString() << result.summary << "\n";
+  return out.str();
+}
+
+}  // namespace uae::tools

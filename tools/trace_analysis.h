@@ -1,0 +1,148 @@
+#ifndef UAE_TOOLS_TRACE_ANALYSIS_H_
+#define UAE_TOOLS_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace uae::tools {
+
+// Offline analysis behind the `uae_trace` CLI (see tools/uae_trace.cc).
+// Ingests any of the three machine-readable perf artifacts this repo
+// produces and reduces them to the tables an optimization loop needs:
+//   - Chrome trace-event JSON from common/trace (hierarchical spans),
+//   - telemetry JSONL streams from common/telemetry (PR-2 format),
+//   - BENCH_<name>.json baselines from bench/bench_common.h.
+// Kept as a library so tests can drive every code path without
+// spawning the binary.
+
+/// One ingested trace event (Chrome "X" span or "i" instant).
+struct AnalyzerEvent {
+  std::string name;
+  char phase = 'X';
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<std::pair<std::string, double>> args;
+
+  double Arg(const std::string& key, double fallback) const;
+  bool HasArg(const std::string& key) const;
+};
+
+enum class InputKind { kChromeTrace, kTelemetryJsonl, kBenchBaseline };
+
+/// Per-op aggregate. `self_us` excludes time spent in child spans, so
+/// the column sums to wall time instead of double-counting parents.
+struct OpStat {
+  std::string name;
+  int64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One per-epoch record from a telemetry JSONL ("trainer.epoch" or
+/// "uae.epoch").
+struct EpochRecord {
+  std::string type;
+  int epoch = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double loss = 0.0;
+};
+
+struct TraceData {
+  InputKind kind = InputKind::kChromeTrace;
+  std::string path;
+  std::string build;
+  uint64_t dropped_events = 0;
+  std::vector<AnalyzerEvent> events;   // Chrome traces.
+  std::vector<OpStat> jsonl_ops;       // JSONL histogram metrics.
+  std::vector<EpochRecord> jsonl_epochs;
+  json::Value bench;                   // Bench baselines.
+};
+
+/// Loads `path`, auto-detecting the format: a JSON object with
+/// "traceEvents" is a Chrome trace, one with "bench" is a baseline,
+/// anything line-delimited is telemetry JSONL.
+StatusOr<TraceData> Load(const std::string& path);
+
+/// Parses an in-memory Chrome trace document (exposed for tests).
+StatusOr<TraceData> FromChromeTraceJson(const json::Value& doc);
+
+/// Self/total time per span name, sorted by self time descending.
+/// Works for both Chrome traces (true self time via the span hierarchy)
+/// and JSONL metrics (self == total; no hierarchy recorded).
+std::vector<OpStat> SelfTimePerOp(const TraceData& trace);
+
+/// Verifies every thread's spans are strictly well-nested: sorted by
+/// start time, each span lies fully inside the enclosing open span.
+/// This is the exporter's structural invariant — a violation means a
+/// torn ring slot or a tracer bug.
+Status ValidateNesting(const TraceData& trace);
+
+/// Per-epoch, per-span-name totals (spans carrying an "epoch" arg).
+struct PhaseRow {
+  int epoch = 0;
+  std::string name;
+  int64_t count = 0;
+  double total_us = 0.0;
+};
+std::vector<PhaseRow> EpochPhaseBreakdown(const TraceData& trace);
+
+/// The `top_n` longest spans whose name contains `name_substr` — the
+/// slowest-batch outlier list when called with "batch".
+std::vector<AnalyzerEvent> SlowestSpans(const TraceData& trace,
+                                        const std::string& name_substr,
+                                        int top_n);
+
+// ---------------------------------------------------------------------
+// Regression comparison. `tolerance` is the allowed slowdown ratio
+// (1.3 = +30%); anything above it flags a regression.
+
+struct CompareRow {
+  std::string name;
+  double old_us = 0.0;
+  double new_us = 0.0;
+  double ratio = 1.0;     // new/old; +inf encoded as a large number.
+  bool significant = false;  // Large enough to count toward the gate.
+};
+
+struct CompareResult {
+  std::vector<CompareRow> rows;  // Sorted by ratio descending.
+  bool bench = false;  // Rows are raw baseline fields, not µs self times.
+  double total_old_us = 0.0;
+  double total_new_us = 0.0;
+  double worst_ratio = 0.0;  // Over significant rows + the totals row.
+  bool regression = false;
+  std::string summary;  // One-line human verdict.
+};
+
+/// Compares per-op self times of two traces (or two JSONL streams).
+CompareResult CompareTraces(const TraceData& old_trace,
+                            const TraceData& new_trace, double tolerance);
+
+/// Compares two BENCH_<name>.json baselines: wall_s up, events/sec
+/// down, peak RSS up (RSS informational only, never gates).
+CompareResult CompareBench(const TraceData& old_trace,
+                           const TraceData& new_trace, double tolerance);
+
+/// Dispatches on input kind; it is an error to mix kinds.
+StatusOr<CompareResult> Compare(const TraceData& old_trace,
+                                const TraceData& new_trace,
+                                double tolerance);
+
+// ---------------------------------------------------------------------
+// Text rendering (stdout of the CLI).
+
+std::string RenderSummary(const TraceData& trace, int top_ops,
+                          int top_outliers);
+std::string RenderCompare(const CompareResult& result);
+
+}  // namespace uae::tools
+
+#endif  // UAE_TOOLS_TRACE_ANALYSIS_H_

@@ -1,0 +1,119 @@
+// uae_trace: offline analyzer for the repo's perf artifacts.
+//
+//   uae_trace <trace>                     summary tables
+//   uae_trace --validate <trace>          nesting check only (CI gate)
+//   uae_trace --compare <old> <new>       regression diff, nonzero on fail
+//
+// <trace> may be a Chrome trace-event JSON (UAE_TRACE_PATH output), a
+// telemetry JSONL stream (UAE_BENCH_TELEMETRY output), or a
+// BENCH_<name>.json baseline. --compare requires both sides to be the
+// same kind. Exit codes: 0 ok, 1 regression / invalid trace, 2 usage or
+// I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace_analysis.h"
+
+namespace {
+
+constexpr double kDefaultTolerance = 1.3;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: uae_trace [--top N] <trace>\n"
+               "       uae_trace --validate <trace>\n"
+               "       uae_trace --compare <old> <new> [--tolerance R]\n");
+  return 2;
+}
+
+uae::StatusOr<uae::tools::TraceData> LoadOrExplain(const std::string& path) {
+  uae::StatusOr<uae::tools::TraceData> trace = uae::tools::Load(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "uae_trace: %s\n",
+                 trace.status().message().c_str());
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate = false;
+  bool compare = false;
+  int top = 20;
+  double tolerance = kDefaultTolerance;
+  if (const char* env = std::getenv("UAE_BENCH_TOLERANCE")) {
+    tolerance = std::atof(env);
+  }
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--compare") {
+      compare = true;
+    } else if (arg == "--top" && i + 1 < argc) {
+      top = std::atoi(argv[++i]);
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "uae_trace: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (tolerance <= 0.0) {
+    std::fprintf(stderr, "uae_trace: tolerance must be positive\n");
+    return 2;
+  }
+
+  if (compare) {
+    if (paths.size() != 2) return Usage();
+    uae::StatusOr<uae::tools::TraceData> old_trace = LoadOrExplain(paths[0]);
+    if (!old_trace.ok()) return 2;
+    uae::StatusOr<uae::tools::TraceData> new_trace = LoadOrExplain(paths[1]);
+    if (!new_trace.ok()) return 2;
+    uae::StatusOr<uae::tools::CompareResult> result = uae::tools::Compare(
+        old_trace.value(), new_trace.value(), tolerance);
+    if (!result.ok()) {
+      std::fprintf(stderr, "uae_trace: %s\n",
+                   result.status().message().c_str());
+      return 2;
+    }
+    std::fputs(uae::tools::RenderCompare(result.value()).c_str(), stdout);
+    return result.value().regression ? 1 : 0;
+  }
+
+  if (paths.size() != 1) return Usage();
+  uae::StatusOr<uae::tools::TraceData> trace = LoadOrExplain(paths[0]);
+  if (!trace.ok()) return 2;
+
+  if (trace.value().kind == uae::tools::InputKind::kChromeTrace) {
+    const uae::Status nesting = uae::tools::ValidateNesting(trace.value());
+    if (!nesting.ok()) {
+      std::fprintf(stderr, "uae_trace: nesting violation: %s\n",
+                   nesting.message().c_str());
+      return 1;
+    }
+    if (validate) {
+      std::printf("%s: %zu events, nesting ok\n", paths[0].c_str(),
+                  trace.value().events.size());
+      return 0;
+    }
+  } else if (validate) {
+    std::fprintf(stderr,
+                 "uae_trace: --validate needs a Chrome trace, got %s\n",
+                 paths[0].c_str());
+    return 2;
+  }
+
+  std::fputs(uae::tools::RenderSummary(trace.value(), top, /*top_outliers=*/5)
+                 .c_str(),
+             stdout);
+  return 0;
+}
