@@ -35,10 +35,13 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "data/generator.h"
 
@@ -132,6 +135,8 @@ struct BenchState {
   int64_t events_start = 0;   // Batcher counter values at Banner() time,
   int64_t sessions_start = 0; // so events/sec covers only this bench.
   bool active = false;
+  /// Extra (key, raw JSON) pairs spliced into the baseline by Finish().
+  std::vector<std::pair<std::string, std::string>> extras;
 };
 
 inline BenchState& State() {
@@ -140,6 +145,14 @@ inline BenchState& State() {
 }
 
 }  // namespace internal
+
+/// Attaches a bench-specific field (pre-rendered JSON: a number, array,
+/// or object) to the BENCH_<name>.json baseline Finish() writes — e.g.
+/// micro_nn records its thread-count scaling sweep this way.
+inline void RecordBaselineExtra(const std::string& key,
+                                const std::string& raw_json) {
+  internal::State().extras.emplace_back(key, raw_json);
+}
 
 /// Allowed slowdown ratio before the perf gate trips.
 inline double Tolerance() {
@@ -207,10 +220,19 @@ inline int Finish() {
       .Set("peak_rss_bytes", peak_rss_bytes)
       .Set("scale", PaperScale() ? "paper" : "small")
       .Set("seeds", NumSeeds())
+      .Set("num_threads", parallel::NumThreads())
       .Set("build", telemetry::BuildVersion());
+  for (const auto& [key, raw] : state.extras) baseline.SetRaw(key, raw);
 
+  // UAE_BENCH_VARIANT=<tag> writes BENCH_<name>_<tag>.json so baselines
+  // at different configurations (e.g. thread counts) can coexist.
+  std::string variant;
+  if (const char* tag = std::getenv("UAE_BENCH_VARIANT");
+      tag != nullptr && tag[0] != '\0') {
+    variant = std::string("_") + tag;
+  }
   std::filesystem::create_directories("bench_out");
-  const std::string path = "bench_out/BENCH_" + state.name + ".json";
+  const std::string path = "bench_out/BENCH_" + state.name + variant + ".json";
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::printf("[bench] cannot write %s\n", path.c_str());

@@ -1,9 +1,21 @@
 // google-benchmark micro-benchmarks of the uae::nn substrate: the op
-// throughput that bounds every experiment's wall clock.
+// throughput that bounds every experiment's wall clock. The main also
+// runs a fixed-work thread sweep (matmul + GRU step, forward+backward at
+// UAE_NUM_THREADS 1/2/4/8) and records it in the BENCH_micro_nn.json
+// baseline, so perf history tracks parallel scaling alongside absolute
+// speed; `--check-against <old baseline>` gates on wall-clock drift.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "nn/gru.h"
 #include "nn/init.h"
 #include "nn/layers.h"
@@ -91,7 +103,88 @@ void BM_AdamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStep);
 
+/// Seconds to run `fn` a fixed number of times — fixed work, not fixed
+/// time, so the same computation is timed at every thread count.
+template <typename Fn>
+double TimeFixedWork(int iterations, const Fn& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Times matmul and GRU-step forward+backward at 1/2/4/8 threads and
+/// splices the per-count wall times and speedups into the baseline.
+void RunThreadSweep() {
+  constexpr int kMatMulIters = 40;
+  constexpr int kGruIters = 40;
+  Rng rng(6);
+  NodePtr a = MakeLeaf(UniformInit(&rng, 128, 128, 1.0f),
+                       /*requires_grad=*/true);
+  NodePtr b = MakeLeaf(UniformInit(&rng, 128, 128, 1.0f),
+                       /*requires_grad=*/true);
+  GruCell gru(&rng, 54, 32);
+  NodePtr x = Constant(UniformInit(&rng, 64, 54, 1.0f));
+
+  const auto matmul_step = [&]() {
+    NodePtr loss = MeanAll(MatMul(a, b));
+    Backward(loss);
+    benchmark::DoNotOptimize(loss->value.ScalarValue());
+  };
+  const auto gru_step = [&]() {
+    NodePtr loss = MeanAll(gru.Step(x, gru.InitialState(64)));
+    Backward(loss);
+    benchmark::DoNotOptimize(loss->value.ScalarValue());
+  };
+
+  const int prev_threads = parallel::NumThreads();
+  std::printf("\nthread sweep (fixed work, %d matmul / %d gru iters):\n",
+              kMatMulIters, kGruIters);
+  std::string sweep = "[";
+  double matmul_serial = 0.0;
+  double gru_serial = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    parallel::SetNumThreads(threads);
+    matmul_step();  // Warm the pool outside the timed region.
+    const double matmul_s = TimeFixedWork(kMatMulIters, matmul_step);
+    const double gru_s = TimeFixedWork(kGruIters, gru_step);
+    if (threads == 1) {
+      matmul_serial = matmul_s;
+      gru_serial = gru_s;
+    }
+    const double matmul_speedup = matmul_s > 0.0 ? matmul_serial / matmul_s
+                                                 : 0.0;
+    const double gru_speedup = gru_s > 0.0 ? gru_serial / gru_s : 0.0;
+    std::printf("  threads=%d matmul128 %.4fs (%.2fx)  gru_step %.4fs "
+                "(%.2fx)\n",
+                threads, matmul_s, matmul_speedup, gru_s, gru_speedup);
+    if (sweep.size() > 1) sweep += ',';
+    sweep += telemetry::JsonObject()
+                 .Set("threads", threads)
+                 .Set("matmul128_s", matmul_s)
+                 .Set("matmul128_speedup", matmul_speedup)
+                 .Set("gru_step_s", gru_s)
+                 .Set("gru_step_speedup", gru_speedup)
+                 .Str();
+  }
+  sweep += ']';
+  parallel::SetNumThreads(prev_threads);
+  bench::RecordBaselineExtra("threads_sweep", sweep);
+  bench::RecordBaselineExtra(
+      "hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+}
+
 }  // namespace
 }  // namespace uae::nn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  uae::bench::Banner(argc, argv, "micro_nn", "micro_nn",
+                     "nn substrate micro-benchmarks + thread scaling");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  uae::nn::RunThreadSweep();
+  return uae::bench::Finish();
+}

@@ -1,0 +1,241 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace uae::parallel {
+namespace {
+
+/// Set while the thread is inside a shard body; gates the nested-loop
+/// serial fallback.
+thread_local bool t_in_region = false;
+
+/// One ParallelFor invocation. Heap-allocated and shared between the
+/// caller and any worker that picked it up, so a slow worker holding a
+/// stale reference can never touch freed memory: the Loop dies with its
+/// last shared_ptr, after the caller has already moved on.
+struct Loop {
+  const std::function<void(int64_t, int64_t, int64_t)>* body = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t shards = 0;
+
+  /// Work claiming: fetch_add hands out shard indices. Claiming order is
+  /// irrelevant to results (partitioning is static), so relaxed is enough;
+  /// completion publication happens via `mu` below.
+  std::atomic<int64_t> next{0};
+
+  /// Guarded by mu; the mutex also publishes every shard body's writes
+  /// to the caller waiting on done_cv.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t completed = 0;
+};
+
+/// Claims and runs shards of `loop` until none are left. Runs on workers
+/// and on the calling thread alike.
+void RunShards(Loop* loop) {
+  t_in_region = true;
+  while (true) {
+    const int64_t shard = loop->next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= loop->shards) break;
+    const int64_t b = loop->begin + shard * loop->grain;
+    const int64_t e = std::min(loop->end, b + loop->grain);
+    {
+      trace::Span span("parallel.shard", "shard", shard);
+      (*loop->body)(shard, b, e);
+    }
+    // Count + notify under the mutex: the caller's predicate can only
+    // observe completion while holding mu, so it cannot destroy the Loop
+    // between our increment and our notify (shared_ptr keeps the memory
+    // alive regardless).
+    std::lock_guard<std::mutex> lock(loop->mu);
+    if (++loop->completed == loop->shards) loop->done_cv.notify_all();
+  }
+  t_in_region = false;
+}
+
+/// The process-wide pool. Leaked (workers are detached and never joined)
+/// so exit-time trace export can still read worker timelines and no
+/// static-destruction order issue can hang the process.
+struct Pool {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::shared_ptr<Loop> active;  // The loop workers should help with.
+  uint64_t generation = 0;       // Bumped on every publish.
+  int workers = 0;               // Spawned so far.
+};
+
+Pool& GlobalPool() {
+  static Pool* pool = new Pool();
+  return *pool;
+}
+
+void WorkerMain() {
+  Pool& pool = GlobalPool();
+  uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Loop> loop;
+    {
+      std::unique_lock<std::mutex> lock(pool.mu);
+      pool.cv.wait(lock, [&] { return pool.generation != seen; });
+      seen = pool.generation;
+      loop = pool.active;
+    }
+    if (loop != nullptr) RunShards(loop.get());
+  }
+}
+
+/// Ensures at least `count` workers exist. Caller holds pool.mu.
+void SpawnWorkersLocked(Pool* pool, int count) {
+  while (pool->workers < count) {
+    std::thread(WorkerMain).detach();
+    ++pool->workers;
+  }
+}
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet latched from env.
+
+int LatchNumThreads() {
+  int threads = 0;
+  const char* env = std::getenv("UAE_NUM_THREADS");
+  if (env != nullptr && env[0] != '\0') threads = std::atoi(env);
+  if (threads < 1) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  return threads;
+}
+
+telemetry::Counter* LoopCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("uae.parallel.loops");
+  return counter;
+}
+
+telemetry::Counter* ShardCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("uae.parallel.shards");
+  return counter;
+}
+
+telemetry::Counter* SerialLoopCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("uae.parallel.serial_loops");
+  return counter;
+}
+
+/// Inline execution of the identical shard sequence, in index order.
+void RunSerial(const std::function<void(int64_t, int64_t, int64_t)>& body,
+               int64_t begin, int64_t end, int64_t grain, int64_t shards) {
+  const bool was_in_region = t_in_region;
+  t_in_region = true;
+  for (int64_t shard = 0; shard < shards; ++shard) {
+    const int64_t b = begin + shard * grain;
+    const int64_t e = std::min(end, b + grain);
+    trace::Span span("parallel.shard", "shard", shard);
+    body(shard, b, e);
+  }
+  t_in_region = was_in_region;
+}
+
+}  // namespace
+
+int NumThreads() {
+  int threads = g_num_threads.load(std::memory_order_relaxed);
+  if (threads == 0) {
+    threads = LatchNumThreads();
+    int expected = 0;
+    if (!g_num_threads.compare_exchange_strong(expected, threads,
+                                               std::memory_order_relaxed)) {
+      threads = expected;  // Lost the race to a SetNumThreads.
+    }
+  }
+  return threads;
+}
+
+void SetNumThreads(int n) {
+  if (n < 1) n = 1;
+  g_num_threads.store(n, std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return t_in_region; }
+
+int64_t NumShards(int64_t begin, int64_t end, int64_t grain) {
+  UAE_CHECK(grain > 0);
+  if (end <= begin) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+namespace internal {
+
+void Run(int64_t begin, int64_t end, int64_t grain,
+         const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  const int64_t shards = NumShards(begin, end, grain);
+  if (shards <= 0) return;
+  LoopCounter()->Add();
+  ShardCounter()->Add(shards);
+  const int threads = NumThreads();
+  // A single shard carries no parallelism and must not count as a
+  // region (so a one-shard outer loop does not serialize inner ops).
+  if (shards == 1) {
+    const int64_t e = std::min(end, begin + grain);
+    trace::Span span("parallel.shard", "shard", 0);
+    body(0, begin, e);
+    return;
+  }
+  if (threads <= 1 || t_in_region) {
+    SerialLoopCounter()->Add();
+    RunSerial(body, begin, end, grain, shards);
+    return;
+  }
+
+  auto loop = std::make_shared<Loop>();
+  loop->body = &body;
+  loop->begin = begin;
+  loop->end = end;
+  loop->grain = grain;
+  loop->shards = shards;
+
+  Pool& pool = GlobalPool();
+  bool published = false;
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (pool.active == nullptr) {
+      SpawnWorkersLocked(&pool, threads - 1);
+      pool.active = loop;
+      ++pool.generation;
+      published = true;
+    }
+  }
+  if (!published) {
+    // Another top-level loop owns the pool; results do not depend on who
+    // executes shards, so just run ours inline.
+    SerialLoopCounter()->Add();
+    RunSerial(body, begin, end, grain, shards);
+    return;
+  }
+  pool.cv.notify_all();
+
+  RunShards(loop.get());  // The caller is a full team member.
+
+  {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->done_cv.wait(lock, [&] { return loop->completed == loop->shards; });
+  }
+  std::lock_guard<std::mutex> lock(pool.mu);
+  pool.active.reset();
+}
+
+}  // namespace internal
+
+}  // namespace uae::parallel

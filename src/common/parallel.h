@@ -1,0 +1,105 @@
+#ifndef UAE_COMMON_PARALLEL_H_
+#define UAE_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace uae::parallel {
+
+// Process-wide parallel execution substrate (DESIGN.md §10 "Parallel
+// execution").
+//
+// A lazily-initialized thread pool drives ParallelFor over statically
+// partitioned index ranges. The contract, in priority order:
+//
+//   1. Determinism: the shard partition of [begin, end) depends only on
+//      the range and the grain — never on the thread count or on which
+//      thread runs which shard. Shard bodies write disjoint outputs (or
+//      shard-local accumulators merged in shard-index order via
+//      ParallelReduce), so a run with UAE_NUM_THREADS=8 is bit-identical
+//      to UAE_NUM_THREADS=1. The serial path executes the exact same
+//      shards in index order.
+//   2. UAE_NUM_THREADS=1 means fully serial: the pool is never created
+//      and ParallelFor degenerates to an inline loop over the shards.
+//   3. Nested ParallelFor (from inside a shard body, on any thread)
+//      degrades to inline serial execution instead of deadlocking or
+//      oversubscribing; so does a second concurrent top-level loop.
+//   4. Workers are detached and never joined: the trace exporter's
+//      atexit hook can still walk their (leaked) per-thread timelines,
+//      and pool teardown can never deadlock against static destructors.
+//
+// Each shard body runs under a "parallel.shard" trace span, so an armed
+// tracer (UAE_TRACE_PATH) shows the per-thread shard timelines.
+
+/// Configured thread count (>= 1). First call latches UAE_NUM_THREADS
+/// from the environment (default: hardware_concurrency); SetNumThreads
+/// overrides it afterwards.
+int NumThreads();
+
+/// Overrides the thread count at runtime (tests, bench thread sweeps).
+/// Values < 1 clamp to 1. Growing past the current pool size spawns
+/// workers; shrinking leaves the extra workers parked. Not safe to call
+/// concurrently with a running ParallelFor.
+void SetNumThreads(int n);
+
+/// True while the calling thread is executing a ParallelFor shard body
+/// (nested loops run serially inline).
+bool InParallelRegion();
+
+/// Number of shards ParallelFor cuts [begin, end) into: ceil(n / grain).
+/// Thread-count independent by design. Zero for an empty range.
+int64_t NumShards(int64_t begin, int64_t end, int64_t grain);
+
+namespace internal {
+/// Executes body(shard, shard_begin, shard_end) for every shard of
+/// [begin, end); on the pool when profitable, inline otherwise.
+void Run(int64_t begin, int64_t end, int64_t grain,
+         const std::function<void(int64_t, int64_t, int64_t)>& body);
+}  // namespace internal
+
+/// Runs body(shard_begin, shard_end) over every shard of [begin, end).
+/// Shards are disjoint, cover the range exactly, and their boundaries
+/// depend only on (begin, end, grain). The body must not write to
+/// locations another shard writes (telemetry counters and trace spans
+/// are fine — they are thread-safe by construction).
+inline void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& body) {
+  internal::Run(begin, end, grain,
+                [&body](int64_t, int64_t b, int64_t e) { body(b, e); });
+}
+
+/// ParallelFor variant passing the shard index too (for shard-local
+/// accumulator slots).
+inline void ParallelForShard(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& body) {
+  internal::Run(begin, end, grain, body);
+}
+
+/// Deterministic reduction: shard_fn(shard_begin, shard_end) -> T runs
+/// per shard (in parallel), then the per-shard results are merged with
+/// merge(acc, shard_result) strictly in shard-index order on the calling
+/// thread. Identical partitioning + ordered merge = bit-identical result
+/// for any thread count. Returns `identity` for an empty range.
+template <typename T, typename ShardFn, typename MergeFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
+                 const ShardFn& shard_fn, const MergeFn& merge) {
+  const int64_t shards = NumShards(begin, end, grain);
+  if (shards <= 0) return identity;
+  std::vector<T> slots(static_cast<size_t>(shards), identity);
+  internal::Run(begin, end, grain,
+                [&](int64_t shard, int64_t b, int64_t e) {
+                  slots[static_cast<size_t>(shard)] = shard_fn(b, e);
+                });
+  T acc = std::move(slots[0]);
+  for (int64_t s = 1; s < shards; ++s) {
+    acc = merge(std::move(acc), std::move(slots[static_cast<size_t>(s)]));
+  }
+  return acc;
+}
+
+}  // namespace uae::parallel
+
+#endif  // UAE_COMMON_PARALLEL_H_

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 
@@ -32,30 +33,47 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
   telemetry::ScopedTimer cell_timer(
       telemetry::GetHistogram("uae.core.cell_s"));
   CellResult result;
-  for (int run = 0; run < spec.num_seeds; ++run) {
-    const uint64_t seed = spec.base_seed + 1000ULL * run;
-    trace::Span run_span("core.cell_run", "run", run, "seed",
-                         static_cast<int64_t>(seed));
+  // Seed-level parallelism: runs are independent by construction (each
+  // derives every RNG stream from its own seed, and the only shared
+  // state — telemetry counters, trace rings, the JSONL sink — is
+  // thread-safe). Results land in per-run slots, so the summaries are
+  // bit-identical for any UAE_NUM_THREADS; nn-op ParallelFor inside a
+  // worker degrades to serial, keeping the machine busy but never
+  // oversubscribed.
+  result.auc_runs.assign(spec.num_seeds, 0.0);
+  result.gauc_runs.assign(spec.num_seeds, 0.0);
+  parallel::ParallelFor(
+      0, spec.num_seeds, /*grain=*/1, [&](int64_t run_begin, int64_t run_end) {
+        for (int64_t run = run_begin; run < run_end; ++run) {
+          const uint64_t seed = spec.base_seed + 1000ULL * run;
+          trace::Span run_span("core.cell_run", "run", run, "seed",
+                               static_cast<int64_t>(seed));
 
-    const data::EventScores* weights = nullptr;
-    std::optional<AttentionArtifacts> artifacts;
-    if (shared_weights != nullptr) {
-      weights = (*shared_weights)[run];
-    } else if (spec.method.has_value()) {
-      artifacts = FitAttention(dataset, *spec.method, spec.gamma, seed);
-      weights = &artifacts->weights;
-    }
+          const data::EventScores* weights = nullptr;
+          std::optional<AttentionArtifacts> artifacts;
+          if (shared_weights != nullptr) {
+            weights = (*shared_weights)[run];
+          } else if (spec.method.has_value()) {
+            artifacts = FitAttention(dataset, *spec.method, spec.gamma, seed);
+            weights = &artifacts->weights;
+          }
 
-    models::TrainConfig train = spec.train_config;
-    train.seed = seed;
-    const RunResult run_result =
-        TrainModel(dataset, spec.model, weights, spec.model_config, train);
-    result.auc_runs.push_back(run_result.test.auc);
-    result.gauc_runs.push_back(run_result.test.gauc);
-    UAE_LOG(Debug) << models::ModelKindName(spec.model) << " run " << run
-                   << " auc=" << run_result.test.auc
-                   << " gauc=" << run_result.test.gauc;
-  }
+          models::TrainConfig train = spec.train_config;
+          train.seed = seed;
+          // Runs may now train concurrently: a shared checkpoint path
+          // would interleave writes, so each run gets its own file.
+          if (!train.checkpoint_path.empty()) {
+            train.checkpoint_path += "-run" + std::to_string(run);
+          }
+          const RunResult run_result = TrainModel(dataset, spec.model, weights,
+                                                  spec.model_config, train);
+          result.auc_runs[run] = run_result.test.auc;
+          result.gauc_runs[run] = run_result.test.gauc;
+          UAE_LOG(Debug) << models::ModelKindName(spec.model) << " run " << run
+                         << " auc=" << run_result.test.auc
+                         << " gauc=" << run_result.test.gauc;
+        }
+      });
   result.auc = Summarize(result.auc_runs);
   result.gauc = Summarize(result.gauc_runs);
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 
@@ -80,10 +81,36 @@ SessionBatcher::SessionBatcher(const Dataset& dataset,
   trace::Span span("data.batcher.build");
   telemetry::ScopedTimer timer(
       telemetry::GetHistogram("uae.data.batcher.build_s"));
-  // Bucket by session length, then chunk each bucket.
+  // Bucket by session length, then chunk each bucket. The bucket build
+  // shards over session_ids with shard-local maps merged in shard-index
+  // order, which reproduces the serial insertion order exactly — batch
+  // composition is independent of UAE_NUM_THREADS.
+  constexpr int64_t kBucketGrain = 4096;
+  const int64_t n = static_cast<int64_t>(session_ids.size());
   std::map<int, std::vector<int>> buckets;
-  for (int s : session_ids) {
-    buckets[dataset.sessions[s].length()].push_back(s);
+  const int64_t shards = parallel::NumShards(0, n, kBucketGrain);
+  if (shards <= 1) {
+    for (int s : session_ids) {
+      buckets[dataset.sessions[s].length()].push_back(s);
+    }
+  } else {
+    std::vector<std::map<int, std::vector<int>>> partial(
+        static_cast<size_t>(shards));
+    parallel::ParallelForShard(
+        0, n, kBucketGrain, [&](int64_t shard, int64_t b, int64_t e) {
+          std::map<int, std::vector<int>>& local =
+              partial[static_cast<size_t>(shard)];
+          for (int64_t i = b; i < e; ++i) {
+            const int s = session_ids[i];
+            local[dataset.sessions[s].length()].push_back(s);
+          }
+        });
+    for (const auto& local : partial) {
+      for (const auto& [length, ids] : local) {
+        std::vector<int>& bucket = buckets[length];
+        bucket.insert(bucket.end(), ids.begin(), ids.end());
+      }
+    }
   }
   for (auto& [length, ids] : buckets) {
     for (size_t i = 0; i < ids.size(); i += batch_size) {

@@ -3,10 +3,19 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 
 namespace uae::nn {
 namespace {
+
+// Shard grains for the parallel kernels (DESIGN.md §10). The partition
+// depends only on the problem size and these constants — never on the
+// thread count — so results are bit-identical for any UAE_NUM_THREADS.
+constexpr int64_t kEltGrain = 8192;    // Flat elementwise ops.
+constexpr int64_t kRowGrain = 16;      // MatMul row / column blocks.
+constexpr int64_t kSoftmaxGrain = 64;  // Softmax rows.
+constexpr int64_t kGatherGrain = 256;  // Embedding rows per shard.
 
 /// Allocates a node over `inputs`; requires_grad is inherited.
 NodePtr NewNode(Tensor value, std::vector<NodePtr> inputs) {
@@ -40,7 +49,9 @@ NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
   const float* src = a->value.data();
   float* dst = out.data();
   const int n = out.size();
-  for (int i = 0; i < n; ++i) dst[i] = fwd(src[i]);
+  parallel::ParallelFor(0, n, kEltGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) dst[i] = fwd(src[i]);
+  });
   NodePtr node = NewNode(std::move(out), {a});
   if (node->requires_grad) {
     Node* self = node.get();
@@ -52,7 +63,9 @@ NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
       const float* x = in->value.data();
       const float* y = self->value.data();
       float* gx = in->grad.data();
-      for (int i = 0; i < n; ++i) gx[i] += g[i] * bwd(x[i], y[i]);
+      parallel::ParallelFor(0, n, kEltGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) gx[i] += g[i] * bwd(x[i], y[i]);
+      });
     };
   }
   return node;
@@ -73,16 +86,20 @@ NodePtr MatMul(const NodePtr& a, const NodePtr& b) {
     const float* A = av.data();
     const float* B = bv.data();
     float* C = out.data();
-    for (int i = 0; i < m; ++i) {
-      const float* arow = A + static_cast<size_t>(i) * k;
-      float* crow = C + static_cast<size_t>(i) * n;
-      for (int p = 0; p < k; ++p) {
-        const float aip = arow[p];
-        if (aip == 0.0f) continue;
-        const float* brow = B + static_cast<size_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    // Rows of C are independent; the per-row accumulation order over p is
+    // unchanged, so the parallel result is bit-identical to the serial one.
+    parallel::ParallelFor(0, m, kRowGrain, [&](int64_t rb, int64_t re) {
+      for (int64_t i = rb; i < re; ++i) {
+        const float* arow = A + static_cast<size_t>(i) * k;
+        float* crow = C + static_cast<size_t>(i) * n;
+        for (int p = 0; p < k; ++p) {
+          const float aip = arow[p];
+          if (aip == 0.0f) continue;
+          const float* brow = B + static_cast<size_t>(p) * n;
+          for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
       }
-    }
+    });
   }
   NodePtr node = NewNode(std::move(out), {a, b});
   if (node->requires_grad) {
@@ -92,34 +109,40 @@ NodePtr MatMul(const NodePtr& a, const NodePtr& b) {
     node->backward = [self, na, nb, m, k, n]() {
       const float* G = self->grad.data();
       if (na->requires_grad) {
-        // dA = G * B^T.
+        // dA = G * B^T; rows of dA are independent.
         const float* B = nb->value.data();
         float* GA = na->grad.data();
-        for (int i = 0; i < m; ++i) {
-          const float* grow = G + static_cast<size_t>(i) * n;
-          float* garow = GA + static_cast<size_t>(i) * k;
-          for (int p = 0; p < k; ++p) {
-            const float* brow = B + static_cast<size_t>(p) * n;
-            float acc = 0.0f;
-            for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            garow[p] += acc;
+        parallel::ParallelFor(0, m, kRowGrain, [&](int64_t rb, int64_t re) {
+          for (int64_t i = rb; i < re; ++i) {
+            const float* grow = G + static_cast<size_t>(i) * n;
+            float* garow = GA + static_cast<size_t>(i) * k;
+            for (int p = 0; p < k; ++p) {
+              const float* brow = B + static_cast<size_t>(p) * n;
+              float acc = 0.0f;
+              for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+              garow[p] += acc;
+            }
           }
-        }
+        });
       }
       if (nb->requires_grad) {
-        // dB = A^T * G.
+        // dB = A^T * G, sharded over rows p of dB. Each dB element still
+        // accumulates over i in ascending order — exactly the serial
+        // order — so no atomics and no numeric drift.
         const float* A = na->value.data();
         float* GB = nb->grad.data();
-        for (int i = 0; i < m; ++i) {
-          const float* arow = A + static_cast<size_t>(i) * k;
-          const float* grow = G + static_cast<size_t>(i) * n;
-          for (int p = 0; p < k; ++p) {
-            const float aip = arow[p];
-            if (aip == 0.0f) continue;
-            float* gbrow = GB + static_cast<size_t>(p) * n;
-            for (int j = 0; j < n; ++j) gbrow[j] += aip * grow[j];
+        parallel::ParallelFor(0, k, kRowGrain, [&](int64_t pb, int64_t pe) {
+          for (int i = 0; i < m; ++i) {
+            const float* arow = A + static_cast<size_t>(i) * k;
+            const float* grow = G + static_cast<size_t>(i) * n;
+            for (int64_t p = pb; p < pe; ++p) {
+              const float aip = arow[p];
+              if (aip == 0.0f) continue;
+              float* gbrow = GB + static_cast<size_t>(p) * n;
+              for (int j = 0; j < n; ++j) gbrow[j] += aip * grow[j];
+            }
           }
-        }
+        });
       }
     };
   }
@@ -193,8 +216,13 @@ NodePtr Mul(const NodePtr& a, const NodePtr& b) {
   UAE_CHECK(a->value.SameShape(b->value));
   Tensor out(a->value.rows(), a->value.cols());
   const int n = out.size();
-  for (int i = 0; i < n; ++i) {
-    out.data()[i] = a->value.data()[i] * b->value.data()[i];
+  {
+    const float* av = a->value.data();
+    const float* bv = b->value.data();
+    float* dst = out.data();
+    parallel::ParallelFor(0, n, kEltGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) dst[i] = av[i] * bv[i];
+    });
   }
   NodePtr node = NewNode(std::move(out), {a, b});
   if (node->requires_grad) {
@@ -207,12 +235,16 @@ NodePtr Mul(const NodePtr& a, const NodePtr& b) {
       if (na->requires_grad) {
         const float* bv = nb->value.data();
         float* ga = na->grad.data();
-        for (int i = 0; i < n; ++i) ga[i] += g[i] * bv[i];
+        parallel::ParallelFor(0, n, kEltGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += g[i] * bv[i];
+        });
       }
       if (nb->requires_grad) {
         const float* av = na->value.data();
         float* gb = nb->grad.data();
-        for (int i = 0; i < n; ++i) gb[i] += g[i] * av[i];
+        parallel::ParallelFor(0, n, kEltGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) gb[i] += g[i] * av[i];
+        });
       }
     };
   }
@@ -434,33 +466,37 @@ NodePtr SoftmaxRows(const NodePtr& a) {
   UAE_PROFILE_SCOPE("uae.nn.ops.softmax_rows_s");
   const int m = a->value.rows(), n = a->value.cols();
   Tensor out(m, n);
-  for (int r = 0; r < m; ++r) {
-    float max = a->value.at(r, 0);
-    for (int c = 1; c < n; ++c) max = std::max(max, a->value.at(r, c));
-    float denom = 0.0f;
-    for (int c = 0; c < n; ++c) {
-      const float e = std::exp(a->value.at(r, c) - max);
-      out.at(r, c) = e;
-      denom += e;
+  parallel::ParallelFor(0, m, kSoftmaxGrain, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      float max = a->value.at(r, 0);
+      for (int c = 1; c < n; ++c) max = std::max(max, a->value.at(r, c));
+      float denom = 0.0f;
+      for (int c = 0; c < n; ++c) {
+        const float e = std::exp(a->value.at(r, c) - max);
+        out.at(r, c) = e;
+        denom += e;
+      }
+      for (int c = 0; c < n; ++c) out.at(r, c) /= denom;
     }
-    for (int c = 0; c < n; ++c) out.at(r, c) /= denom;
-  }
+  });
   NodePtr node = NewNode(std::move(out), {a});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* in = a.get();
     node->backward = [self, in, m, n]() {
       if (!in->requires_grad) return;
-      for (int r = 0; r < m; ++r) {
-        float dot = 0.0f;
-        for (int c = 0; c < n; ++c) {
-          dot += self->grad.at(r, c) * self->value.at(r, c);
+      parallel::ParallelFor(0, m, kSoftmaxGrain, [&](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          float dot = 0.0f;
+          for (int c = 0; c < n; ++c) {
+            dot += self->grad.at(r, c) * self->value.at(r, c);
+          }
+          for (int c = 0; c < n; ++c) {
+            in->grad.at(r, c) +=
+                self->value.at(r, c) * (self->grad.at(r, c) - dot);
+          }
         }
-        for (int c = 0; c < n; ++c) {
-          in->grad.at(r, c) +=
-              self->value.at(r, c) * (self->grad.at(r, c) - dot);
-        }
-      }
+      });
     };
   }
   return node;
@@ -471,23 +507,50 @@ NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& indices) {
   const int dim = table->value.cols();
   const int m = static_cast<int>(indices.size());
   UAE_CHECK(m > 0);
-  Tensor out(m, dim);
   for (int r = 0; r < m; ++r) {
     UAE_CHECK_MSG(indices[r] >= 0 && indices[r] < vocab,
                   "embedding index " << indices[r] << " out of " << vocab);
-    for (int c = 0; c < dim; ++c) out.at(r, c) = table->value.at(indices[r], c);
   }
+  Tensor out(m, dim);
+  parallel::ParallelFor(0, m, kGatherGrain, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      for (int c = 0; c < dim; ++c) {
+        out.at(r, c) = table->value.at(indices[r], c);
+      }
+    }
+  });
   NodePtr node = NewNode(std::move(out), {table});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* in = table.get();
-    node->backward = [self, in, indices, m, dim]() {
+    node->backward = [self, in, indices, vocab, m, dim]() {
       if (!in->requires_grad) return;
-      for (int r = 0; r < m; ++r) {
-        for (int c = 0; c < dim; ++c) {
-          in->grad.at(indices[r], c) += self->grad.at(r, c);
+      const int64_t shards = parallel::NumShards(0, m, kGatherGrain);
+      if (shards <= 1) {
+        for (int r = 0; r < m; ++r) {
+          for (int c = 0; c < dim; ++c) {
+            in->grad.at(indices[r], c) += self->grad.at(r, c);
+          }
         }
+        return;
       }
+      // Duplicate indices land in the same table row, so the scatter-add
+      // cannot shard over rows directly (and atomics on float would break
+      // determinism). Instead every shard accumulates into its own dense
+      // table-shaped buffer and the buffers merge in shard-index order —
+      // the same partition, hence the same result, for any thread count.
+      std::vector<Tensor> partial(static_cast<size_t>(shards));
+      parallel::ParallelForShard(
+          0, m, kGatherGrain, [&](int64_t shard, int64_t rb, int64_t re) {
+            Tensor local(vocab, dim);
+            for (int64_t r = rb; r < re; ++r) {
+              for (int c = 0; c < dim; ++c) {
+                local.at(indices[r], c) += self->grad.at(r, c);
+              }
+            }
+            partial[static_cast<size_t>(shard)] = std::move(local);
+          });
+      for (const Tensor& t : partial) in->grad.AddScaled(t, 1.0f);
     };
   }
   return node;
@@ -500,11 +563,19 @@ NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights,
   UAE_CHECK_MSG(z.cols() == 1, "logits must be [m,1], got " << z.cols());
   UAE_CHECK(weights.SameShape(z));
   UAE_CHECK(sign == 1.0f || sign == -1.0f);
-  double acc = 0.0;
   const int m = z.rows();
-  for (int r = 0; r < m; ++r) {
-    acc += weights.at(r, 0) * StableSoftplus(sign * z.at(r, 0));
-  }
+  // Ordered per-shard reduce: shard sums merge in shard-index order, so
+  // the total is bit-identical for any thread count.
+  const double acc = parallel::ParallelReduce<double>(
+      0, m, kEltGrain, 0.0,
+      [&](int64_t rb, int64_t re) {
+        double s = 0.0;
+        for (int64_t r = rb; r < re; ++r) {
+          s += weights.at(r, 0) * StableSoftplus(sign * z.at(r, 0));
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; });
   NodePtr node = NewNode(Tensor::Scalar(static_cast<float>(acc)), {logits});
   if (node->requires_grad) {
     Node* self = node.get();
@@ -513,11 +584,13 @@ NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights,
     node->backward = [self, in, w, sign, m]() {
       if (!in->requires_grad) return;
       const float g = self->grad.at(0, 0);
-      for (int r = 0; r < m; ++r) {
-        const float z = in->value.at(r, 0);
-        in->grad.at(r, 0) +=
-            g * w->at(r, 0) * sign * SigmoidScalar(sign * z);
-      }
+      parallel::ParallelFor(0, m, kEltGrain, [&](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const float z = in->value.at(r, 0);
+          in->grad.at(r, 0) +=
+              g * w->at(r, 0) * sign * SigmoidScalar(sign * z);
+        }
+      });
     };
   }
   return node;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace uae::nn {
 
@@ -60,13 +61,16 @@ void Adam::Step() {
     float* m = m_[i].data();
     float* v = v_[i].data();
     const int n = params_[i]->value.size();
-    for (int j = 0; j < n; ++j) {
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    // Elementwise and disjoint, so sharding cannot change the result.
+    parallel::ParallelFor(0, n, /*grain=*/8192, [&](int64_t b, int64_t e) {
+      for (int64_t j = b; j < e; ++j) {
+        m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+        v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+        const float m_hat = m[j] / bias1;
+        const float v_hat = v[j] / bias2;
+        p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      }
+    });
   }
 }
 

@@ -2,7 +2,9 @@
 
 #include <functional>
 #include <string>
+#include <tuple>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "nn/grad_check.h"
 #include "nn/gru.h"
@@ -27,10 +29,28 @@ struct GradCase {
   std::vector<std::pair<int, int>> leaf_shapes;
 };
 
-class GradCheckSweep : public testing::TestWithParam<GradCase> {};
+/// Restores the previous thread count so the sweep cannot leak its
+/// setting into other tests in the binary.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : prev_(parallel::NumThreads()) {
+    parallel::SetNumThreads(n);
+  }
+  ~ScopedThreads() { parallel::SetNumThreads(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// The full op sweep runs at 1 and 4 threads: the analytic side of the
+/// check exercises the parallel kernel paths, and the determinism
+/// contract says the numbers must be the same either way.
+class GradCheckSweep
+    : public testing::TestWithParam<std::tuple<GradCase, int>> {};
 
 TEST_P(GradCheckSweep, NumericMatchesAnalytic) {
-  const GradCase& scenario = GetParam();
+  const GradCase& scenario = std::get<0>(GetParam());
+  ScopedThreads scope(std::get<1>(GetParam()));
   Rng rng(42);
   std::vector<NodePtr> leaves;
   for (const auto& [rows, cols] : scenario.leaf_shapes) {
@@ -149,63 +169,74 @@ std::vector<GradCase> MakeCases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllOps, GradCheckSweep, testing::ValuesIn(MakeCases()),
-    [](const testing::TestParamInfo<GradCase>& info) {
-      return info.param.name;
+    AllOps, GradCheckSweep,
+    testing::Combine(testing::ValuesIn(MakeCases()), testing::Values(1, 4)),
+    [](const testing::TestParamInfo<std::tuple<GradCase, int>>& info) {
+      return std::get<0>(info.param).name + "_t" +
+             std::to_string(std::get<1>(info.param));
     });
 
 TEST(GradCheckComposite, MlpLogLoss) {
-  Rng rng(7);
-  Mlp mlp(&rng, 3, {5, 1}, Activation::kTanh);
-  NodePtr x = Constant(UniformInit(&rng, 4, 3, 1.0f));
-  Tensor pos = Tensor::Ones(4, 1);
-  const auto loss = [&]() {
-    return WeightedSoftplusSum(mlp.Forward(x), pos, -1.0f);
-  };
-  const GradCheckResult result = CheckGradients(loss, mlp.Parameters());
-  EXPECT_LT(result.max_rel_error, kTolerance);
+  for (int threads : {1, 4}) {
+    ScopedThreads scope(threads);
+    Rng rng(7);
+    Mlp mlp(&rng, 3, {5, 1}, Activation::kTanh);
+    NodePtr x = Constant(UniformInit(&rng, 4, 3, 1.0f));
+    Tensor pos = Tensor::Ones(4, 1);
+    const auto loss = [&]() {
+      return WeightedSoftplusSum(mlp.Forward(x), pos, -1.0f);
+    };
+    const GradCheckResult result = CheckGradients(loss, mlp.Parameters());
+    EXPECT_LT(result.max_rel_error, kTolerance) << "threads=" << threads;
+  }
 }
 
 TEST(GradCheckComposite, GruStepThroughTime) {
-  Rng rng(9);
-  GruCell gru(&rng, 2, 3);
-  NodePtr x0 = Constant(UniformInit(&rng, 2, 2, 1.0f));
-  NodePtr x1 = Constant(UniformInit(&rng, 2, 2, 1.0f));
-  const auto loss = [&]() {
-    NodePtr h = gru.Step(x1, gru.Step(x0, gru.InitialState(2)));
-    return SumAll(Mul(h, h));
-  };
-  // GRU gradients after two gated steps are tiny; raise the floor below
-  // which only absolute error counts (float32 finite-difference noise).
-  const GradCheckResult result =
-      CheckGradients(loss, gru.Parameters(), /*epsilon=*/1e-3,
-                     /*relative_floor=*/5e-3);
-  EXPECT_GT(result.checked_elements, 40);
-  EXPECT_LT(result.max_rel_error, kTolerance);
-  EXPECT_LT(result.max_abs_error, 5e-3);
+  for (int threads : {1, 4}) {
+    ScopedThreads scope(threads);
+    Rng rng(9);
+    GruCell gru(&rng, 2, 3);
+    NodePtr x0 = Constant(UniformInit(&rng, 2, 2, 1.0f));
+    NodePtr x1 = Constant(UniformInit(&rng, 2, 2, 1.0f));
+    const auto loss = [&]() {
+      NodePtr h = gru.Step(x1, gru.Step(x0, gru.InitialState(2)));
+      return SumAll(Mul(h, h));
+    };
+    // GRU gradients after two gated steps are tiny; raise the floor below
+    // which only absolute error counts (float32 finite-difference noise).
+    const GradCheckResult result =
+        CheckGradients(loss, gru.Parameters(), /*epsilon=*/1e-3,
+                       /*relative_floor=*/5e-3);
+    EXPECT_GT(result.checked_elements, 40);
+    EXPECT_LT(result.max_rel_error, kTolerance) << "threads=" << threads;
+    EXPECT_LT(result.max_abs_error, 5e-3) << "threads=" << threads;
+  }
 }
 
 TEST(GradCheckComposite, LinearIntoSoftmaxAttention) {
-  Rng rng(11);
-  Linear wq(&rng, 3, 3), wk(&rng, 3, 3), wv(&rng, 3, 3);
-  NodePtr f0 = Constant(UniformInit(&rng, 2, 3, 1.0f));
-  NodePtr f1 = Constant(UniformInit(&rng, 2, 3, 1.0f));
-  const auto loss = [&]() {
-    // Mini AutoInt block: field 0 attends over {0, 1}.
-    NodePtr q = wq.Forward(f0);
-    NodePtr s0 = RowSum(Mul(q, wk.Forward(f0)));
-    NodePtr s1 = RowSum(Mul(q, wk.Forward(f1)));
-    NodePtr att = SoftmaxRows(ConcatCols({s0, s1}));
-    NodePtr out = Add(MulColVector(wv.Forward(f0), SliceCols(att, 0, 1)),
-                      MulColVector(wv.Forward(f1), SliceCols(att, 1, 1)));
-    return SumAll(Mul(out, out));
-  };
-  std::vector<NodePtr> params;
-  for (const Linear* l : {&wq, &wk, &wv}) {
-    for (const NodePtr& p : l->Parameters()) params.push_back(p);
+  for (int threads : {1, 4}) {
+    ScopedThreads scope(threads);
+    Rng rng(11);
+    Linear wq(&rng, 3, 3), wk(&rng, 3, 3), wv(&rng, 3, 3);
+    NodePtr f0 = Constant(UniformInit(&rng, 2, 3, 1.0f));
+    NodePtr f1 = Constant(UniformInit(&rng, 2, 3, 1.0f));
+    const auto loss = [&]() {
+      // Mini AutoInt block: field 0 attends over {0, 1}.
+      NodePtr q = wq.Forward(f0);
+      NodePtr s0 = RowSum(Mul(q, wk.Forward(f0)));
+      NodePtr s1 = RowSum(Mul(q, wk.Forward(f1)));
+      NodePtr att = SoftmaxRows(ConcatCols({s0, s1}));
+      NodePtr out = Add(MulColVector(wv.Forward(f0), SliceCols(att, 0, 1)),
+                        MulColVector(wv.Forward(f1), SliceCols(att, 1, 1)));
+      return SumAll(Mul(out, out));
+    };
+    std::vector<NodePtr> params;
+    for (const Linear* l : {&wq, &wk, &wv}) {
+      for (const NodePtr& p : l->Parameters()) params.push_back(p);
+    }
+    const GradCheckResult result = CheckGradients(loss, params);
+    EXPECT_LT(result.max_rel_error, kTolerance) << "threads=" << threads;
   }
-  const GradCheckResult result = CheckGradients(loss, params);
-  EXPECT_LT(result.max_rel_error, kTolerance);
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// Determinism goldens for the parallel substrate: the partitioning
+// contract in common/parallel promises bit-identical numerics for any
+// UAE_NUM_THREADS. These tests pin that promise at every level the pool
+// is wired into — raw nn kernels (matmul backward, embedding
+// scatter-add, a GRU step), batch composition, full training curves, and
+// seed-parallel experiment cells.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+#include "nn/gru.h"
+#include "nn/node.h"
+#include "nn/ops.h"
+
+namespace uae {
+namespace {
+
+/// Thread counts every golden is replayed under. 1 is the pure-serial
+/// reference path; 2 and 8 exercise real pool scheduling (including more
+/// workers than cores on small machines).
+const int kThreadCounts[] = {1, 2, 8};
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : prev_(parallel::NumThreads()) {
+    parallel::SetNumThreads(n);
+  }
+  ~ScopedThreads() { parallel::SetNumThreads(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// Bitwise tensor comparison — EXPECT_FLOAT_EQ tolerance would hide
+/// exactly the accumulation-order drift these tests exist to catch.
+::testing::AssertionResult BytesEqual(const nn::Tensor& a,
+                                      const nn::Tensor& b) {
+  if (!a.SameShape(b)) {
+    return ::testing::AssertionFailure()
+           << "shape [" << a.rows() << "x" << a.cols() << "] vs ["
+           << b.rows() << "x" << b.cols() << "]";
+  }
+  if (std::memcmp(a.data(), b.data(),
+                  static_cast<size_t>(a.size()) * sizeof(float)) != 0) {
+    for (int i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a.data()[i], &b.data()[i], sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first differing element (" << i / a.cols() << ","
+               << i % a.cols() << "): " << a.data()[i] << " vs "
+               << b.data()[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+nn::Tensor RandomTensor(int rows, int cols, Rng* rng) {
+  nn::Tensor t(rows, cols);
+  for (int i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Normal());
+  }
+  return t;
+}
+
+TEST(KernelDeterminism, MatMulForwardBackwardBitIdentical) {
+  // 64 rows crosses the 16-row matmul grain: forward, dA, and dB all
+  // take multi-shard paths at 2+ threads.
+  Rng rng(11);
+  const nn::Tensor a0 = RandomTensor(64, 48, &rng);
+  const nn::Tensor b0 = RandomTensor(48, 32, &rng);
+  const nn::Tensor upstream = RandomTensor(64, 32, &rng);
+
+  auto run = [&](int threads) {
+    ScopedThreads scope(threads);
+    nn::NodePtr a = nn::MakeLeaf(a0, /*requires_grad=*/true);
+    nn::NodePtr b = nn::MakeLeaf(b0, /*requires_grad=*/true);
+    nn::NodePtr c = nn::MatMul(a, b);
+    nn::NodePtr loss = nn::SumAll(nn::Mul(c, nn::Constant(upstream)));
+    nn::Backward(loss);
+    return std::vector<nn::Tensor>{c->value, a->grad, b->grad};
+  };
+
+  const std::vector<nn::Tensor> ref = run(1);
+  for (int threads : kThreadCounts) {
+    const std::vector<nn::Tensor> got = run(threads);
+    EXPECT_TRUE(BytesEqual(ref[0], got[0])) << "forward @" << threads;
+    EXPECT_TRUE(BytesEqual(ref[1], got[1])) << "dA @" << threads;
+    EXPECT_TRUE(BytesEqual(ref[2], got[2])) << "dB @" << threads;
+  }
+}
+
+TEST(KernelDeterminism, EmbeddingScatterAddBitIdentical) {
+  // 700 lookups crosses the 256-row gather grain (3 shards) and the
+  // duplicate-heavy index stream makes the scatter-add order matter:
+  // per-shard accumulators merged in shard order must reproduce the
+  // serial accumulation exactly.
+  Rng rng(12);
+  const nn::Tensor table0 = RandomTensor(40, 8, &rng);
+  std::vector<int> indices(700);
+  for (int& idx : indices) {
+    idx = static_cast<int>(rng.UniformInt(40));
+  }
+  const nn::Tensor upstream = RandomTensor(700, 8, &rng);
+
+  auto run = [&](int threads) {
+    ScopedThreads scope(threads);
+    nn::NodePtr table = nn::MakeLeaf(table0, /*requires_grad=*/true);
+    nn::NodePtr rows = nn::EmbeddingLookup(table, indices);
+    nn::NodePtr loss = nn::SumAll(nn::Mul(rows, nn::Constant(upstream)));
+    nn::Backward(loss);
+    return std::vector<nn::Tensor>{rows->value, table->grad};
+  };
+
+  const std::vector<nn::Tensor> ref = run(1);
+  for (int threads : kThreadCounts) {
+    const std::vector<nn::Tensor> got = run(threads);
+    EXPECT_TRUE(BytesEqual(ref[0], got[0])) << "gather @" << threads;
+    EXPECT_TRUE(BytesEqual(ref[1], got[1])) << "scatter-add @" << threads;
+  }
+}
+
+TEST(KernelDeterminism, GruStepBitIdentical) {
+  Rng seed_rng(13);
+  const nn::Tensor x0 = RandomTensor(64, 24, &seed_rng);
+  const nn::Tensor upstream = RandomTensor(64, 16, &seed_rng);
+
+  auto run = [&](int threads) {
+    ScopedThreads scope(threads);
+    Rng rng(13);  // Same init for every replay.
+    nn::GruCell cell(&rng, 24, 16);
+    nn::NodePtr x = nn::Constant(x0);
+    nn::NodePtr h = cell.InitialState(64);
+    nn::NodePtr h1 = cell.Step(x, h);
+    nn::NodePtr loss = nn::SumAll(nn::Mul(h1, nn::Constant(upstream)));
+    nn::Backward(loss);
+    std::vector<nn::Tensor> out{h1->value};
+    for (const nn::NodePtr& p : cell.Parameters()) {
+      out.push_back(p->grad);
+    }
+    return out;
+  };
+
+  const std::vector<nn::Tensor> ref = run(1);
+  for (int threads : kThreadCounts) {
+    const std::vector<nn::Tensor> got = run(threads);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_TRUE(BytesEqual(ref[i], got[i]))
+          << "tensor " << i << " @" << threads;
+    }
+  }
+}
+
+TEST(BatcherDeterminism, SessionBucketCompositionThreadIndependent) {
+  // 9000 sessions crosses the 4096-id bucket grain, so the build runs
+  // the shard-local-map merge path. Batch composition and epoch order
+  // must match the serial build exactly.
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 9000;
+  cfg.num_users = 120;
+  cfg.num_songs = 200;
+  cfg.num_artists = 30;
+  cfg.num_albums = 50;
+  const data::Dataset dataset = data::GenerateDataset(cfg, 31);
+  std::vector<int> ids(dataset.sessions.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+
+  auto run = [&](int threads) {
+    ScopedThreads scope(threads);
+    data::SessionBatcher batcher(dataset, ids, /*batch_size=*/16);
+    Rng rng(7);
+    batcher.StartEpoch(&rng);
+    std::vector<std::vector<int>> batches;
+    std::vector<int> batch;
+    while (batcher.Next(&batch)) batches.push_back(batch);
+    return batches;
+  };
+
+  const auto ref = run(1);
+  ASSERT_FALSE(ref.empty());
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(ref, run(threads)) << "@" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end goldens: a full small-cell training run replayed at every
+// thread count must produce the same curves, the same best epoch, the
+// same bytes in every parameter, and the same test metrics.
+
+data::Dataset SmallCellDataset() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 250;
+  cfg.num_users = 60;
+  cfg.num_songs = 150;
+  cfg.num_artists = 25;
+  cfg.num_albums = 40;
+  cfg.affinity_noise = 0.1;
+  return data::GenerateDataset(cfg, 23);
+}
+
+struct TrainingGolden {
+  models::TrainResult result;
+  std::vector<nn::Tensor> parameters;
+  double test_auc = 0.0;
+  double test_gauc = 0.0;
+};
+
+TrainingGolden TrainAt(const data::Dataset& dataset, int threads) {
+  ScopedThreads scope(threads);
+  Rng rng(42);
+  models::ModelConfig model_cfg;
+  model_cfg.embed_dim = 4;
+  model_cfg.mlp_dims = {16};
+  auto model = models::CreateRecommender(models::ModelKind::kWideDeep, &rng,
+                                         dataset.schema, model_cfg);
+  models::TrainConfig train_cfg;
+  train_cfg.epochs = 3;
+  train_cfg.batch_size = 128;
+  train_cfg.learning_rate = 3e-3f;
+  train_cfg.seed = 42;
+  TrainingGolden golden;
+  golden.result =
+      models::TrainRecommender(model.get(), dataset, nullptr, train_cfg);
+  for (const nn::NodePtr& p : model->Parameters()) {
+    golden.parameters.push_back(p->value);
+  }
+  const models::EvalResult test =
+      models::EvaluateRecommender(model.get(), dataset, data::SplitKind::kTest);
+  golden.test_auc = test.auc;
+  golden.test_gauc = test.gauc;
+  return golden;
+}
+
+TEST(TrainingDeterminism, CurvesParametersAndMetricsBitIdentical) {
+  const data::Dataset dataset = SmallCellDataset();
+  const TrainingGolden ref = TrainAt(dataset, 1);
+  ASSERT_EQ(ref.result.train_loss_per_epoch.size(), 3u);
+  ASSERT_FALSE(ref.parameters.empty());
+
+  for (int threads : kThreadCounts) {
+    const TrainingGolden got = TrainAt(dataset, threads);
+    // EXPECT_EQ on doubles is exact equality — any accumulation-order
+    // drift in the parallel kernels shows up here.
+    EXPECT_EQ(ref.result.train_loss_per_epoch, got.result.train_loss_per_epoch)
+        << "loss curve @" << threads;
+    EXPECT_EQ(ref.result.valid_auc_per_epoch, got.result.valid_auc_per_epoch)
+        << "valid AUC curve @" << threads;
+    EXPECT_EQ(ref.result.train_auc_per_epoch, got.result.train_auc_per_epoch)
+        << "train AUC curve @" << threads;
+    EXPECT_EQ(ref.result.best_epoch, got.result.best_epoch)
+        << "best epoch @" << threads;
+    EXPECT_EQ(ref.result.best_valid_auc, got.result.best_valid_auc)
+        << "best valid AUC @" << threads;
+    ASSERT_EQ(ref.parameters.size(), got.parameters.size());
+    for (size_t i = 0; i < ref.parameters.size(); ++i) {
+      EXPECT_TRUE(BytesEqual(ref.parameters[i], got.parameters[i]))
+          << "parameter " << i << " @" << threads;
+    }
+    EXPECT_EQ(ref.test_auc, got.test_auc) << "test AUC @" << threads;
+    EXPECT_EQ(ref.test_gauc, got.test_gauc) << "test GAUC @" << threads;
+  }
+}
+
+TEST(TrainingDeterminism, SeedParallelCellMatchesSerialCell) {
+  // RunCell fans the per-seed runs across the pool; the per-run result
+  // slots must land exactly where the serial loop would put them.
+  const data::Dataset dataset = SmallCellDataset();
+  core::CellSpec spec;
+  spec.model = models::ModelKind::kFm;
+  spec.method = std::nullopt;
+  spec.num_seeds = 2;
+  spec.base_seed = 77;
+  spec.model_config.embed_dim = 4;
+  spec.model_config.mlp_dims = {16};
+  spec.train_config.epochs = 2;
+  spec.train_config.batch_size = 128;
+  spec.train_config.learning_rate = 3e-3f;
+
+  auto run = [&](int threads) {
+    ScopedThreads scope(threads);
+    return core::RunCell(dataset, spec);
+  };
+
+  const core::CellResult ref = run(1);
+  ASSERT_EQ(ref.auc_runs.size(), 2u);
+  for (int threads : kThreadCounts) {
+    const core::CellResult got = run(threads);
+    EXPECT_EQ(ref.auc_runs, got.auc_runs) << "@" << threads;
+    EXPECT_EQ(ref.gauc_runs, got.gauc_runs) << "@" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace uae

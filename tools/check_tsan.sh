@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and runs the concurrency-labeled
+# test subset (parallel_*, trace_test, telemetry_test) against it.
+#
+# TSan and ASan runtimes cannot coexist, so this uses a dedicated
+# build-tsan/ tree (-DUAE_SANITIZE=thread) next to the normal build.
+# A clean exit means the pool, the trace rings, and the telemetry
+# registry raced nothing under real multi-thread schedules.
+#
+# Usage: tools/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-tsan"
+
+cmake -S "$repo" -B "$build" -DUAE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j"$(nproc)" --target \
+  parallel_test parallel_determinism_test trace_test telemetry_test
+
+# second_deadlock_stack gives both stacks on lock-order reports;
+# halt_on_error fails fast instead of drowning in repeats.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+cd "$build"
+ctest -L concurrency --output-on-failure "$@"
+echo "TSan concurrency subset: clean"
