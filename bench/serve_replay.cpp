@@ -1,0 +1,104 @@
+// Serving replay baseline: the online engine under simulated traffic.
+//
+// Closed loop: every request replayed twice — cold (full session-tail
+// GRU replay) then warm (cached hidden state) — so the cold/warm ratio
+// isolates what the session-state cache buys. Open loop: the same
+// requests offered at 3x the measured warm capacity with 10ms deadlines;
+// the engine must shed the excess instead of stalling the clients.
+//
+// The committed BENCH_serve_replay.json gates wall time via the usual
+// --check-against machinery and records warm speedup, latency
+// percentiles, cache hit-rate, and shed-rate as baseline extras
+// (surfaced side by side in `uae_trace --compare`).
+
+#include "bench_common.h"
+
+#include "common/table.h"
+#include "serve/replay.h"
+
+int main(int argc, char** argv) {
+  using namespace uae;
+  bench::Banner(argc, argv, "serve_replay", "Serving replay",
+                "online engine throughput/latency under simulated traffic");
+
+  serve::ReplayConfig config;
+  config.world = data::GeneratorConfig::ProductPreset();
+  config.world.num_sessions = 200;  // The replay only needs the world.
+  config.requests = bench::PaperScale() ? 512 : 192;
+  config.history_length = 96;
+  config.candidates = 10;
+  config.client_threads = 8;
+  // Latency-focused engine: dispatch immediately, never linger.
+  config.engine.max_wait_us = 0;
+  // Stage through real checkpoint files: the bench then also covers the
+  // UAECKPT2 load + architecture-fingerprint path of a rollout.
+  config.checkpoint_dir = "bench_out";
+  config.offered_qps_factor = 3.0;
+  // Long enough that issuing at 3x capacity drifts the schedule well
+  // past the deadline — that drift, not queue depth, is what sheds when
+  // clients block on their own responses.
+  config.open_loop_requests = 8 * config.requests;
+  config.deadline_ms = 10;
+
+  std::printf("replaying %d requests (history %d, %d candidates), then "
+              "offering 3x warm capacity...\n",
+              config.requests, config.history_length, config.candidates);
+  const StatusOr<serve::ReplayReport> replayed = serve::RunReplay(config);
+  if (!replayed.ok()) {
+    std::printf("replay failed: %s\n", replayed.status().ToString().c_str());
+    return 1;
+  }
+  const serve::ReplayReport& r = replayed.value();
+
+  AsciiTable table({"metric", "value"});
+  table.AddRow({"cold pass (s)", AsciiTable::Fmt(r.cold_seconds, 3)});
+  table.AddRow({"warm pass (s)", AsciiTable::Fmt(r.warm_seconds, 3)});
+  table.AddRow({"warm speedup", AsciiTable::Fmt(r.warm_speedup, 1) + "x"});
+  table.AddRow({"warm throughput (req/s)", AsciiTable::Fmt(r.warm_qps, 1)});
+  table.AddRow({"warm p50 (ms)", AsciiTable::Fmt(r.p50_ms, 2)});
+  table.AddRow({"warm p95 (ms)", AsciiTable::Fmt(r.p95_ms, 2)});
+  table.AddRow({"warm p99 (ms)", AsciiTable::Fmt(r.p99_ms, 2)});
+  table.AddRow({"cache hit rate", AsciiTable::Fmt(r.cache_hit_rate, 3)});
+  table.AddRow({"offered QPS", AsciiTable::Fmt(r.offered_qps, 1)});
+  table.AddRow({"achieved QPS", AsciiTable::Fmt(r.achieved_qps, 1)});
+  table.AddRow({"shed rate", AsciiTable::Fmt(r.shed_rate, 3)});
+  std::printf("%s", table.ToString().c_str());
+
+  CsvWriter csv({"metric", "value"});
+  csv.AddRow({"cold_seconds", AsciiTable::Fmt(r.cold_seconds, 4)});
+  csv.AddRow({"warm_seconds", AsciiTable::Fmt(r.warm_seconds, 4)});
+  csv.AddRow({"warm_speedup", AsciiTable::Fmt(r.warm_speedup, 2)});
+  csv.AddRow({"warm_qps", AsciiTable::Fmt(r.warm_qps, 1)});
+  csv.AddRow({"p50_ms", AsciiTable::Fmt(r.p50_ms, 3)});
+  csv.AddRow({"p95_ms", AsciiTable::Fmt(r.p95_ms, 3)});
+  csv.AddRow({"p99_ms", AsciiTable::Fmt(r.p99_ms, 3)});
+  csv.AddRow({"cache_hit_rate", AsciiTable::Fmt(r.cache_hit_rate, 3)});
+  csv.AddRow({"offered_qps", AsciiTable::Fmt(r.offered_qps, 1)});
+  csv.AddRow({"achieved_qps", AsciiTable::Fmt(r.achieved_qps, 1)});
+  csv.AddRow({"shed_rate", AsciiTable::Fmt(r.shed_rate, 3)});
+  bench::ExportCsv(csv, "serve_replay");
+
+  bench::RecordBaselineExtra("serve_warm_speedup",
+                             telemetry::JsonNumber(r.warm_speedup));
+  bench::RecordBaselineExtra("serve_warm_qps",
+                             telemetry::JsonNumber(r.warm_qps));
+  bench::RecordBaselineExtra("serve_p50_ms",
+                             telemetry::JsonNumber(r.p50_ms));
+  bench::RecordBaselineExtra("serve_p95_ms",
+                             telemetry::JsonNumber(r.p95_ms));
+  bench::RecordBaselineExtra("serve_p99_ms",
+                             telemetry::JsonNumber(r.p99_ms));
+  bench::RecordBaselineExtra("serve_cache_hit_rate",
+                             telemetry::JsonNumber(r.cache_hit_rate));
+  bench::RecordBaselineExtra("serve_shed_rate",
+                             telemetry::JsonNumber(r.shed_rate));
+
+  const bool warm_ok = r.warm_speedup >= 5.0;
+  const bool shed_ok = r.open_shed > 0 && r.open_completed > 0;
+  std::printf("\nshape check: warm cache >= 5x over full replay: %s\n",
+              warm_ok ? "PASS" : "FAIL");
+  std::printf("shape check: overload sheds while still serving: %s\n",
+              shed_ok ? "PASS" : "FAIL");
+  const int finish = bench::Finish();
+  return (warm_ok && shed_ok) ? finish : 1;
+}

@@ -5,6 +5,17 @@
 
 namespace uae::attention {
 
+std::string TowerArchConfig(const TowerConfig& config) {
+  std::string s = "attention_tower embed_dim=" +
+                  std::to_string(config.embed_dim) +
+                  " gru_hidden=" + std::to_string(config.gru_hidden) + " mlp=";
+  for (size_t i = 0; i < config.mlp_dims.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(config.mlp_dims[i]);
+  }
+  return s;
+}
+
 std::vector<int> SessionSparseColumn(const data::Dataset& dataset,
                                      const std::vector<int>& sessions,
                                      int step, int field) {
@@ -73,6 +84,31 @@ std::vector<nn::NodePtr> SequenceFeatureEncoder::Encode(
   return steps;
 }
 
+nn::Tensor SequenceFeatureEncoder::EncodeEventsInference(
+    const std::vector<const data::Event*>& events) const {
+  UAE_CHECK(!events.empty());
+  std::vector<nn::Tensor> parts;
+  parts.reserve(embeddings_.size() + 1);
+  std::vector<int> column(events.size());
+  for (size_t f = 0; f < embeddings_.size(); ++f) {
+    for (size_t r = 0; r < events.size(); ++r) {
+      column[r] = events[r]->sparse[f];
+    }
+    parts.push_back(embeddings_[f].ForwardInference(column));
+  }
+  nn::Tensor dense(static_cast<int>(events.size()), num_dense_);
+  for (size_t r = 0; r < events.size(); ++r) {
+    for (int c = 0; c < num_dense_; ++c) {
+      dense.at(static_cast<int>(r), c) = events[r]->dense[c];
+    }
+  }
+  parts.push_back(std::move(dense));
+  std::vector<const nn::Tensor*> part_ptrs;
+  part_ptrs.reserve(parts.size());
+  for (const nn::Tensor& p : parts) part_ptrs.push_back(&p);
+  return nn::infer::ConcatCols(part_ptrs);
+}
+
 int SequenceFeatureEncoder::output_dim() const {
   int dim = num_dense_;
   for (const nn::Embedding& e : embeddings_) dim += e.dim();
@@ -109,6 +145,25 @@ AttentionTower::Output AttentionTower::Forward(
     out.logits.push_back(mlp_->Forward(state));
   }
   return out;
+}
+
+nn::Tensor AttentionTower::InitialStateInference(int batch) const {
+  UAE_CHECK(batch > 0);
+  return nn::Tensor(batch, gru_->hidden_dim());
+}
+
+nn::Tensor AttentionTower::EncodeEventsInference(
+    const std::vector<const data::Event*>& events) const {
+  return encoder_->EncodeEventsInference(events);
+}
+
+nn::Tensor AttentionTower::AdvanceStateInference(const nn::Tensor& x,
+                                                 const nn::Tensor& h) const {
+  return gru_->StepInference(x, h);
+}
+
+nn::Tensor AttentionTower::HeadLogitsInference(const nn::Tensor& states) const {
+  return mlp_->ForwardInference(states);
 }
 
 void AttentionTower::SetOutputBias(float logit) { mlp_->SetFinalBias(logit); }

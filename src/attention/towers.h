@@ -2,6 +2,7 @@
 #define UAE_ATTENTION_TOWERS_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,6 +19,12 @@ struct TowerConfig {
   std::vector<int> mlp_dims = {32};  // Hidden layers of MLP_1 / MLP_2.
 };
 
+/// Canonical description of a TowerConfig for checkpoint fingerprinting
+/// (nn::ArchFingerprint). The serving loader rejects a checkpoint whose
+/// config string or tensor shapes disagree with the tower it is restored
+/// into.
+std::string TowerArchConfig(const TowerConfig& config);
+
 /// Embeds each step of a batch of equal-length sessions into the GRU_1
 /// input: concat(per-field embeddings, raw dense block) -> [m, D] per step.
 class SequenceFeatureEncoder : public nn::Module {
@@ -29,6 +36,12 @@ class SequenceFeatureEncoder : public nn::Module {
   /// ids must refer to sessions of identical length.
   std::vector<nn::NodePtr> Encode(const data::Dataset& dataset,
                                   const std::vector<int>& sessions) const;
+
+  /// Tape-free encode of standalone events (the serving path): the same
+  /// per-field embedding gather + dense concat as one step of Encode,
+  /// -> [events.size(), output_dim()].
+  nn::Tensor EncodeEventsInference(
+      const std::vector<const data::Event*>& events) const;
 
   int output_dim() const;
 
@@ -57,6 +70,24 @@ class AttentionTower : public nn::Module {
   std::vector<nn::NodePtr> Parameters() const override;
 
   int state_dim() const { return gru_->hidden_dim(); }
+
+  // --- Tape-free serving surface (serve::Engine). All methods allocate
+  // no autograd nodes, never mutate the tower, and produce values
+  // byte-identical to the graph Forward on the same inputs.
+
+  /// Zero GRU state for `batch` parallel sessions.
+  nn::Tensor InitialStateInference(int batch) const;
+
+  /// Encodes standalone events into GRU inputs -> [events.size(), D].
+  nn::Tensor EncodeEventsInference(
+      const std::vector<const data::Event*>& events) const;
+
+  /// One GRU step: x [m,D], h [m,hidden] -> next state [m,hidden].
+  nn::Tensor AdvanceStateInference(const nn::Tensor& x,
+                                   const nn::Tensor& h) const;
+
+  /// MLP head logits from states -> [m,1]; sigmoid gives alpha-hat.
+  nn::Tensor HeadLogitsInference(const nn::Tensor& states) const;
 
   /// Starts the sigmoid head at a chosen prior logit (identifiability
   /// anchor for the alternating optimization; see UaeConfig).

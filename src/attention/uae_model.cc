@@ -460,6 +460,15 @@ Status Uae::Resume(const data::Dataset& dataset, const std::string& path) {
   return Status::Ok();
 }
 
+Status Uae::ExportAttentionTower(const std::string& path) const {
+  if (attention_tower_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ExportAttentionTower: Fit() must run first");
+  }
+  const std::string arch = TowerArchConfig(config_.tower);
+  return nn::SaveParameters(*attention_tower_, path, &arch);
+}
+
 data::EventScores Uae::PredictAttention(const data::Dataset& dataset) const {
   UAE_CHECK_MSG(attention_tower_ != nullptr, "Fit() must run first");
   data::EventScores scores(dataset, 0.5f);

@@ -82,6 +82,12 @@ class Uae : public AttentionEstimator {
   data::EventScores PredictAttention(
       const data::Dataset& dataset) const override;
 
+  /// Writes the trained attention tower (parameters + architecture
+  /// fingerprint) to `path` for the serving engine; serve::ModelSnapshot
+  /// restores it into a tower built from the same TowerConfig and rejects
+  /// any other architecture. Fails with FailedPrecondition before Fit().
+  Status ExportAttentionTower(const std::string& path) const;
+
   /// Predicted sequential propensity p-hat for every event.
   data::EventScores PredictPropensity(const data::Dataset& dataset) const;
 

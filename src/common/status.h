@@ -19,6 +19,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  /// Transient overload: the operation was refused (not failed) and may
+  /// succeed if retried later — e.g. the serving engine shedding load.
+  kUnavailable,
 };
 
 /// A value-semantic error carrier. The library does not use exceptions;
@@ -48,6 +51,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

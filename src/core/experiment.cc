@@ -96,9 +96,8 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
                         .Set("auc_mean", result.auc.mean)
                         .Set("gauc_mean", result.gauc.mean)
                         .Set("seconds", cell_seconds));
-    telemetry::WriteRunManifest(
-        telemetry::JsonObject()
-            .Set("model", models::ModelKindName(spec.model))
+    telemetry::JsonObject manifest;
+    manifest.Set("model", models::ModelKindName(spec.model))
             .Set("method", method_name)
             .Set("gamma", static_cast<double>(spec.gamma))
             .Set("num_seeds", spec.num_seeds)
@@ -126,7 +125,35 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
             .Set("gauc_std", result.gauc.stddev)
             .SetRaw("auc_runs", JsonArray(result.auc_runs))
             .SetRaw("gauc_runs", JsonArray(result.gauc_runs))
-            .Set("telemetry", telemetry::SinkPath()));
+            .Set("telemetry", telemetry::SinkPath());
+    // When the process also served traffic (a serve replay ran alongside
+    // this cell), fold a serving summary into the manifest so
+    // `uae_trace --compare` can diff serving regressions next to the
+    // training ones. Counters are process-cumulative, like epoch_s above.
+    const int64_t serve_requests =
+        telemetry::GetCounter("uae.serve.requests")->Get();
+    if (serve_requests > 0) {
+      const telemetry::HistogramSnapshot request_snapshot =
+          telemetry::GetHistogram("uae.serve.request_s")->Snapshot();
+      manifest.SetRaw(
+          "serving",
+          telemetry::JsonObject()
+              .Set("snapshot_version",
+                   static_cast<int64_t>(
+                       telemetry::GetGauge("uae.serve.snapshot_version")
+                           ->Get()))
+              .Set("requests", serve_requests)
+              .Set("shed", telemetry::GetCounter("uae.serve.shed")->Get())
+              .Set("cache_hits",
+                   telemetry::GetCounter("uae.serve.cache_hits")->Get())
+              .Set("cache_misses",
+                   telemetry::GetCounter("uae.serve.cache_misses")->Get())
+              .Set("request_s_p50", request_snapshot.Quantile(0.50))
+              .Set("request_s_p95", request_snapshot.Quantile(0.95))
+              .Set("request_s_p99", request_snapshot.Quantile(0.99))
+              .Str());
+    }
+    telemetry::WriteRunManifest(manifest);
   }
   return result;
 }

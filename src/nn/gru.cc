@@ -39,6 +39,25 @@ NodePtr GruCell::Step(const NodePtr& x, const NodePtr& h) const {
   return Add(Mul(OneMinus(z), h), Mul(z, g));
 }
 
+Tensor GruCell::StepInference(const Tensor& x, const Tensor& h) const {
+  UAE_PROFILE_SCOPE("uae.nn.gru.step_infer_s");
+  UAE_CHECK(x.cols() == input_dim_);
+  UAE_CHECK(h.cols() == hidden_dim_);
+  UAE_CHECK(x.rows() == h.rows());
+  namespace inf = infer;
+  Tensor z = inf::Sigmoid(inf::AddRowVector(
+      inf::Add(inf::MatMul(x, wz_->value), inf::MatMul(h, uz_->value)),
+      bz_->value));
+  Tensor r = inf::Sigmoid(inf::AddRowVector(
+      inf::Add(inf::MatMul(x, wr_->value), inf::MatMul(h, ur_->value)),
+      br_->value));
+  Tensor g = inf::Tanh(inf::AddRowVector(
+      inf::Add(inf::MatMul(x, wg_->value),
+               inf::MatMul(inf::Mul(r, h), ug_->value)),
+      bg_->value));
+  return inf::Add(inf::Mul(inf::OneMinus(z), h), inf::Mul(z, g));
+}
+
 NodePtr GruCell::InitialState(int batch) const {
   UAE_CHECK(batch > 0);
   return Constant(Tensor(batch, hidden_dim_));

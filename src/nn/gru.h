@@ -22,6 +22,12 @@ class GruCell : public Module {
   /// One recurrence step; x is [m,input_dim], h is [m,hidden_dim].
   NodePtr Step(const NodePtr& x, const NodePtr& h) const;
 
+  /// Tape-free recurrence step for serving: same kernels and op order as
+  /// Step(), so the returned state is byte-identical to a graph forward,
+  /// but no autograd nodes are allocated and `this` is never mutated —
+  /// safe to call concurrently on an immutable snapshot.
+  Tensor StepInference(const Tensor& x, const Tensor& h) const;
+
   /// Zero initial state for a batch of m sequences.
   NodePtr InitialState(int batch) const;
 

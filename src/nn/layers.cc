@@ -26,6 +26,21 @@ NodePtr Activate(const NodePtr& x, Activation act) {
   return x;
 }
 
+Tensor ActivateInference(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return infer::Relu(x);
+    case Activation::kTanh:
+      return infer::Tanh(x);
+    case Activation::kSigmoid:
+      return infer::Sigmoid(x);
+  }
+  UAE_CHECK(false);
+  return x;
+}
+
 Linear::Linear(Rng* rng, int in_dim, int out_dim)
     : in_dim_(in_dim),
       out_dim_(out_dim),
@@ -40,6 +55,12 @@ NodePtr Linear::Forward(const NodePtr& x) const {
                 "Linear expects " << in_dim_ << " cols, got "
                                   << x->value.cols());
   return AddRowVector(MatMul(x, weight_), bias_);
+}
+
+Tensor Linear::ForwardInference(const Tensor& x) const {
+  UAE_CHECK_MSG(x.cols() == in_dim_,
+                "Linear expects " << in_dim_ << " cols, got " << x.cols());
+  return infer::AddRowVector(infer::MatMul(x, weight_->value), bias_->value);
 }
 
 Mlp::Mlp(Rng* rng, int in_dim, const std::vector<int>& layer_dims,
@@ -59,6 +80,15 @@ NodePtr Mlp::Forward(const NodePtr& x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) h = Activate(h, hidden_activation_);
+  }
+  return h;
+}
+
+Tensor Mlp::ForwardInference(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].ForwardInference(h);
+    if (i + 1 < layers_.size()) h = ActivateInference(h, hidden_activation_);
   }
   return h;
 }
@@ -88,6 +118,10 @@ Embedding::Embedding(Rng* rng, int vocab, int dim)
 
 NodePtr Embedding::Forward(const std::vector<int>& indices) const {
   return EmbeddingLookup(table_, indices);
+}
+
+Tensor Embedding::ForwardInference(const std::vector<int>& indices) const {
+  return infer::EmbeddingRows(table_->value, indices);
 }
 
 }  // namespace uae::nn

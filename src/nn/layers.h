@@ -28,12 +28,19 @@ enum class Activation { kNone, kRelu, kTanh, kSigmoid };
 /// Applies the given activation as a graph op.
 NodePtr Activate(const NodePtr& x, Activation act);
 
+/// Tape-free counterpart of Activate, built on the nn::infer kernels;
+/// byte-identical to the graph op's forward.
+Tensor ActivateInference(const Tensor& x, Activation act);
+
 /// Fully connected layer: y = x W + b, W[in,out], b[1,out].
 class Linear : public Module {
  public:
   Linear(Rng* rng, int in_dim, int out_dim);
 
   NodePtr Forward(const NodePtr& x) const;
+
+  /// Tape-free forward: same kernels as Forward, no graph nodes.
+  Tensor ForwardInference(const Tensor& x) const;
 
   std::vector<NodePtr> Parameters() const override { return {weight_, bias_}; }
 
@@ -58,6 +65,9 @@ class Mlp : public Module {
   /// activation (callers add Sigmoid / loss on logits as needed).
   NodePtr Forward(const NodePtr& x) const;
 
+  /// Tape-free forward: same layer/activation sequence as Forward.
+  Tensor ForwardInference(const Tensor& x) const;
+
   std::vector<NodePtr> Parameters() const override;
 
   int out_dim() const;
@@ -78,6 +88,9 @@ class Embedding : public Module {
 
   /// Gathers the rows at `indices` -> [indices.size(), dim].
   NodePtr Forward(const std::vector<int>& indices) const;
+
+  /// Tape-free row gather: same kernel as Forward, no graph nodes.
+  Tensor ForwardInference(const std::vector<int>& indices) const;
 
   std::vector<NodePtr> Parameters() const override { return {table_}; }
 

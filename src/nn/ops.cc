@@ -41,18 +41,101 @@ float SigmoidScalar(float x) {
   return e / (1.0f + e);
 }
 
-/// Shorthand: elementwise unary op with derivative expressed in terms of
-/// (input value, output value).
-template <typename Fwd, typename Bwd>
-NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
-  Tensor out(a->value.rows(), a->value.cols());
-  const float* src = a->value.data();
+/// Forward of every elementwise unary op; shared verbatim by the graph
+/// ops and the tape-free infer:: kernels so both produce the same bits.
+template <typename Fwd>
+Tensor UnaryForward(const Tensor& a, Fwd fwd) {
+  Tensor out(a.rows(), a.cols());
+  const float* src = a.data();
   float* dst = out.data();
   const int n = out.size();
   parallel::ParallelFor(0, n, kEltGrain, [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) dst[i] = fwd(src[i]);
   });
-  NodePtr node = NewNode(std::move(out), {a});
+  return out;
+}
+
+/// Forward of MatMul; shared by the graph op and infer::MatMul. Rows of C
+/// are independent and each row accumulates over p in ascending order, so
+/// the result is bit-identical for any thread count and any row batching.
+Tensor MatMulForward(const Tensor& av, const Tensor& bv) {
+  UAE_CHECK_MSG(av.cols() == bv.rows(),
+                "MatMul " << av.rows() << "x" << av.cols() << " * "
+                          << bv.rows() << "x" << bv.cols());
+  const int m = av.rows(), k = av.cols(), n = bv.cols();
+  Tensor out(m, n);
+  const float* A = av.data();
+  const float* B = bv.data();
+  float* C = out.data();
+  parallel::ParallelFor(0, m, kRowGrain, [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* arow = A + static_cast<size_t>(i) * k;
+      float* crow = C + static_cast<size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float aip = arow[p];
+        if (aip == 0.0f) continue;
+        const float* brow = B + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  });
+  return out;
+}
+
+/// Forward of AddRowVector; shared by the graph op and the infer kernel.
+Tensor AddRowVectorForward(const Tensor& av, const Tensor& bv) {
+  UAE_CHECK_MSG(bv.rows() == 1 && bv.cols() == av.cols(),
+                "AddRowVector wants [1," << av.cols() << "], got "
+                                         << bv.rows() << "x" << bv.cols());
+  Tensor out = av;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
+  }
+  return out;
+}
+
+/// Forward of elementwise Mul; shared by the graph op and infer::Mul.
+Tensor MulForward(const Tensor& av, const Tensor& bv) {
+  UAE_CHECK(av.SameShape(bv));
+  Tensor out(av.rows(), av.cols());
+  const int n = out.size();
+  const float* a = av.data();
+  const float* b = bv.data();
+  float* dst = out.data();
+  parallel::ParallelFor(0, n, kEltGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] = a[i] * b[i];
+  });
+  return out;
+}
+
+/// Forward of EmbeddingLookup; shared by the graph op and the infer
+/// kernel.
+Tensor EmbeddingRowsForward(const Tensor& table,
+                            const std::vector<int>& indices) {
+  const int vocab = table.rows();
+  const int dim = table.cols();
+  const int m = static_cast<int>(indices.size());
+  UAE_CHECK(m > 0);
+  for (int r = 0; r < m; ++r) {
+    UAE_CHECK_MSG(indices[r] >= 0 && indices[r] < vocab,
+                  "embedding index " << indices[r] << " out of " << vocab);
+  }
+  Tensor out(m, dim);
+  parallel::ParallelFor(0, m, kGatherGrain, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      for (int c = 0; c < dim; ++c) {
+        out.at(r, c) = table.at(indices[r], c);
+      }
+    }
+  });
+  return out;
+}
+
+/// Shorthand: elementwise unary op with derivative expressed in terms of
+/// (input value, output value).
+template <typename Fwd, typename Bwd>
+NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
+  NodePtr node = NewNode(UnaryForward(a->value, fwd), {a});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* in = a.get();
@@ -75,33 +158,8 @@ NodePtr Unary(const NodePtr& a, Fwd fwd, Bwd bwd) {
 
 NodePtr MatMul(const NodePtr& a, const NodePtr& b) {
   UAE_PROFILE_SCOPE("uae.nn.ops.matmul_s");
-  const Tensor& av = a->value;
-  const Tensor& bv = b->value;
-  UAE_CHECK_MSG(av.cols() == bv.rows(),
-                "MatMul " << av.rows() << "x" << av.cols() << " * "
-                          << bv.rows() << "x" << bv.cols());
-  const int m = av.rows(), k = av.cols(), n = bv.cols();
-  Tensor out(m, n);
-  {
-    const float* A = av.data();
-    const float* B = bv.data();
-    float* C = out.data();
-    // Rows of C are independent; the per-row accumulation order over p is
-    // unchanged, so the parallel result is bit-identical to the serial one.
-    parallel::ParallelFor(0, m, kRowGrain, [&](int64_t rb, int64_t re) {
-      for (int64_t i = rb; i < re; ++i) {
-        const float* arow = A + static_cast<size_t>(i) * k;
-        float* crow = C + static_cast<size_t>(i) * n;
-        for (int p = 0; p < k; ++p) {
-          const float aip = arow[p];
-          if (aip == 0.0f) continue;
-          const float* brow = B + static_cast<size_t>(p) * n;
-          for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
-        }
-      }
-    });
-  }
-  NodePtr node = NewNode(std::move(out), {a, b});
+  const int m = a->value.rows(), k = a->value.cols(), n = b->value.cols();
+  NodePtr node = NewNode(MatMulForward(a->value, b->value), {a, b});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* na = a.get();
@@ -167,16 +225,7 @@ NodePtr Add(const NodePtr& a, const NodePtr& b) {
 }
 
 NodePtr AddRowVector(const NodePtr& a, const NodePtr& b) {
-  const Tensor& av = a->value;
-  const Tensor& bv = b->value;
-  UAE_CHECK_MSG(bv.rows() == 1 && bv.cols() == av.cols(),
-                "AddRowVector wants [1," << av.cols() << "], got "
-                                         << bv.rows() << "x" << bv.cols());
-  Tensor out = av;
-  for (int r = 0; r < out.rows(); ++r) {
-    for (int c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
-  }
-  NodePtr node = NewNode(std::move(out), {a, b});
+  NodePtr node = NewNode(AddRowVectorForward(a->value, b->value), {a, b});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* na = a.get();
@@ -213,18 +262,7 @@ NodePtr Sub(const NodePtr& a, const NodePtr& b) {
 }
 
 NodePtr Mul(const NodePtr& a, const NodePtr& b) {
-  UAE_CHECK(a->value.SameShape(b->value));
-  Tensor out(a->value.rows(), a->value.cols());
-  const int n = out.size();
-  {
-    const float* av = a->value.data();
-    const float* bv = b->value.data();
-    float* dst = out.data();
-    parallel::ParallelFor(0, n, kEltGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) dst[i] = av[i] * bv[i];
-    });
-  }
-  NodePtr node = NewNode(std::move(out), {a, b});
+  NodePtr node = NewNode(MulForward(a->value, b->value), {a, b});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* na = a.get();
@@ -506,20 +544,7 @@ NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& indices) {
   const int vocab = table->value.rows();
   const int dim = table->value.cols();
   const int m = static_cast<int>(indices.size());
-  UAE_CHECK(m > 0);
-  for (int r = 0; r < m; ++r) {
-    UAE_CHECK_MSG(indices[r] >= 0 && indices[r] < vocab,
-                  "embedding index " << indices[r] << " out of " << vocab);
-  }
-  Tensor out(m, dim);
-  parallel::ParallelFor(0, m, kGatherGrain, [&](int64_t rb, int64_t re) {
-    for (int64_t r = rb; r < re; ++r) {
-      for (int c = 0; c < dim; ++c) {
-        out.at(r, c) = table->value.at(indices[r], c);
-      }
-    }
-  });
-  NodePtr node = NewNode(std::move(out), {table});
+  NodePtr node = NewNode(EmbeddingRowsForward(table->value, indices), {table});
   if (node->requires_grad) {
     Node* self = node.get();
     Node* in = table.get();
@@ -595,5 +620,66 @@ NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights,
   }
   return node;
 }
+
+namespace infer {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) { return MatMulForward(a, b); }
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  UAE_CHECK(a.SameShape(b));
+  Tensor out = a;
+  out.AddScaled(b, 1.0f);
+  return out;
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& b) {
+  return AddRowVectorForward(a, b);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) { return MulForward(a, b); }
+
+Tensor OneMinus(const Tensor& a) {
+  return UnaryForward(a, [](float x) { return 1.0f - x; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryForward(a, [](float x) { return SigmoidScalar(x); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryForward(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryForward(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor ConcatCols(const std::vector<const Tensor*>& parts) {
+  UAE_CHECK(!parts.empty());
+  const int m = parts[0]->rows();
+  int total = 0;
+  for (const Tensor* p : parts) {
+    UAE_CHECK_MSG(p->rows() == m, "ConcatCols row mismatch");
+    total += p->cols();
+  }
+  Tensor out(m, total);
+  int offset = 0;
+  for (const Tensor* p : parts) {
+    const int w = p->cols();
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < w; ++c) out.at(r, offset + c) = p->at(r, c);
+    }
+    offset += w;
+  }
+  return out;
+}
+
+Tensor EmbeddingRows(const Tensor& table, const std::vector<int>& indices) {
+  return EmbeddingRowsForward(table, indices);
+}
+
+float SigmoidValue(float x) { return SigmoidScalar(x); }
+
+}  // namespace infer
 
 }  // namespace uae::nn

@@ -92,6 +92,31 @@ NodePtr EmbeddingLookup(const NodePtr& table, const std::vector<int>& indices);
 /// loss numerically stable for large |z|.
 NodePtr WeightedSoftplusSum(const NodePtr& logits, Tensor weights, float sign);
 
+// ---------------------------------------------------------------------
+// Tape-free inference kernels. Raw-tensor forwards sharing the exact
+// kernels (loop structure, per-row accumulation order, scalar math) of
+// the graph ops above, so inference paths that bypass the autograd tape
+// — the serving engine's incremental GRU, in particular — produce values
+// byte-identical to a full graph forward. No Node is ever allocated.
+
+namespace infer {
+
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor AddRowVector(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor OneMinus(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor ConcatCols(const std::vector<const Tensor*>& parts);
+/// Gathers rows of `table`[V,d] at `indices` -> [indices.size(), d].
+Tensor EmbeddingRows(const Tensor& table, const std::vector<int>& indices);
+/// Scalar sigmoid with the same branch structure as the graph op.
+float SigmoidValue(float x);
+
+}  // namespace infer
+
 }  // namespace uae::nn
 
 #endif  // UAE_NN_OPS_H_

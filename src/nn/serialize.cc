@@ -11,6 +11,11 @@ namespace {
 
 constexpr char kMagicV1[8] = {'U', 'A', 'E', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'U', 'A', 'E', 'C', 'K', 'P', 'T', '2'};
+// Marker of the optional architecture-fingerprint block between the v2
+// header and the payload. A v2 reader distinguishes "block present" from
+// "payload starts here" by byte count: the remaining file is either
+// payload_size bytes (no block) or payload_size + 12 (marker + hash).
+constexpr char kFingerprintMagic[4] = {'U', 'A', 'E', 'F'};
 
 void AppendBytes(std::vector<char>* out, const void* data, size_t size) {
   const char* bytes = static_cast<const char*>(data);
@@ -98,8 +103,34 @@ uint32_t Crc32(const void* data, size_t size) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+uint64_t ArchFingerprint(const std::vector<Tensor>& tensors,
+                         const std::string& arch_config) {
+  // FNV-1a over (count, per-tensor rows/cols, config bytes). Values are
+  // deliberately excluded: the fingerprint identifies the architecture,
+  // not the training state.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const int32_t count = static_cast<int32_t>(tensors.size());
+  mix(&count, sizeof(count));
+  for (const Tensor& t : tensors) {
+    const int32_t rows = t.rows();
+    const int32_t cols = t.cols();
+    mix(&rows, sizeof(rows));
+    mix(&cols, sizeof(cols));
+  }
+  mix(arch_config.data(), arch_config.size());
+  return h;
+}
+
 Status SaveTensors(const std::vector<Tensor>& tensors,
-                   const std::string& path) {
+                   const std::string& path,
+                   const std::string* arch_config) {
   const std::vector<char> payload = BuildPayload(tensors);
   const uint64_t payload_size = payload.size();
   const uint32_t crc = Crc32(payload.data(), payload.size());
@@ -114,6 +145,12 @@ Status SaveTensors(const std::vector<Tensor>& tensors,
     file.write(reinterpret_cast<const char*>(&payload_size),
                sizeof(payload_size));
     file.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (arch_config != nullptr) {
+      const uint64_t fingerprint = ArchFingerprint(tensors, *arch_config);
+      file.write(kFingerprintMagic, sizeof(kFingerprintMagic));
+      file.write(reinterpret_cast<const char*>(&fingerprint),
+                 sizeof(fingerprint));
+    }
     // Chaos hook: a crash mid-save leaves a truncated temp file behind.
     // The previously renamed checkpoint at `path` stays untouched.
     size_t write_size = payload.size();
@@ -137,7 +174,7 @@ Status SaveTensors(const std::vector<Tensor>& tensors,
   return Status::Ok();
 }
 
-StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
+StatusOr<LoadedTensors> LoadTensorsWithInfo(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file.is_open()) return Status::IoError("cannot open " + path);
 
@@ -159,6 +196,31 @@ StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
     if (payload_size > kMaxPayload) {
       return Status::IoError("implausible payload size in " + path);
     }
+    LoadedTensors out;
+    // The optional fingerprint block sits between the fixed header and
+    // the payload; its presence is decided by what remains in the file
+    // (payload_size + block vs payload_size bytes), never by guessing at
+    // payload bytes.
+    const std::streampos payload_pos = file.tellg();
+    file.seekg(0, std::ios::end);
+    const uint64_t remaining =
+        static_cast<uint64_t>(file.tellg() - payload_pos);
+    file.seekg(payload_pos);
+    constexpr uint64_t kBlockSize =
+        sizeof(kFingerprintMagic) + sizeof(out.fingerprint);
+    if (remaining == payload_size + kBlockSize) {
+      char marker[4];
+      file.read(marker, sizeof(marker));
+      file.read(reinterpret_cast<char*>(&out.fingerprint),
+                sizeof(out.fingerprint));
+      if (!file.good() ||
+          std::memcmp(marker, kFingerprintMagic, sizeof(marker)) != 0) {
+        return Status::IoError("malformed fingerprint block in " + path);
+      }
+      out.has_fingerprint = true;
+    } else if (remaining != payload_size) {
+      return Status::IoError("truncated checkpoint " + path);
+    }
     std::vector<char> payload(payload_size);
     file.read(payload.data(), static_cast<std::streamsize>(payload_size));
     if (static_cast<uint64_t>(file.gcount()) != payload_size) {
@@ -171,32 +233,47 @@ StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
                              std::to_string(actual_crc) +
                              " — checkpoint is corrupt");
     }
-    return ParsePayload(payload.data(), payload.size(), path);
+    StatusOr<std::vector<Tensor>> parsed =
+        ParsePayload(payload.data(), payload.size(), path);
+    if (!parsed.ok()) return parsed.status();
+    out.tensors = std::move(parsed.value());
+    return out;
   }
 
   if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
-    // Legacy v1: raw payload to EOF, no CRC protection.
+    // Legacy v1: raw payload to EOF, no CRC protection, no fingerprint.
     std::vector<char> payload(
         (std::istreambuf_iterator<char>(file)),
         std::istreambuf_iterator<char>());
-    return ParsePayload(payload.data(), payload.size(), path);
+    StatusOr<std::vector<Tensor>> parsed =
+        ParsePayload(payload.data(), payload.size(), path);
+    if (!parsed.ok()) return parsed.status();
+    LoadedTensors out;
+    out.tensors = std::move(parsed.value());
+    return out;
   }
 
   return Status::FailedPrecondition(path + " is not a UAE checkpoint");
 }
 
-Status SaveParameters(const Module& module, const std::string& path) {
-  std::vector<Tensor> tensors;
-  for (const NodePtr& p : module.Parameters()) tensors.push_back(p->value);
-  return SaveTensors(tensors, path);
+StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  StatusOr<LoadedTensors> loaded = LoadTensorsWithInfo(path);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded.value().tensors);
 }
 
-Status LoadParameters(Module* module, const std::string& path) {
-  if (module == nullptr) return Status::InvalidArgument("null module");
-  StatusOr<std::vector<Tensor>> loaded = LoadTensors(path);
-  if (!loaded.ok()) return loaded.status();
-  std::vector<Tensor>& staged = loaded.value();
+Status SaveParameters(const Module& module, const std::string& path,
+                      const std::string* arch_config) {
+  std::vector<Tensor> tensors;
+  for (const NodePtr& p : module.Parameters()) tensors.push_back(p->value);
+  return SaveTensors(tensors, path, arch_config);
+}
 
+namespace {
+
+/// Moves a validated tensor list into the module's parameters; the module
+/// is untouched unless every count/shape check passes.
+Status StageParameters(Module* module, std::vector<Tensor>& staged) {
   const std::vector<NodePtr> params = module->Parameters();
   if (staged.size() != params.size()) {
     return Status::FailedPrecondition(
@@ -217,6 +294,34 @@ Status LoadParameters(Module* module, const std::string& path) {
     params[i]->value = std::move(staged[i]);
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status LoadParameters(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  StatusOr<std::vector<Tensor>> loaded = LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  return StageParameters(module, loaded.value());
+}
+
+Status LoadParametersChecked(Module* module, const std::string& path,
+                             const std::string& arch_config) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  StatusOr<LoadedTensors> loaded = LoadTensorsWithInfo(path);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded.value().has_fingerprint) {
+    std::vector<Tensor> shapes;
+    for (const NodePtr& p : module->Parameters()) shapes.push_back(p->value);
+    const uint64_t expected = ArchFingerprint(shapes, arch_config);
+    if (expected != loaded.value().fingerprint) {
+      return Status::InvalidArgument(
+          "architecture fingerprint mismatch for " + path + ": checkpoint " +
+          std::to_string(loaded.value().fingerprint) + ", module expects " +
+          std::to_string(expected));
+    }
+  }
+  return StageParameters(module, loaded.value().tensors);
 }
 
 }  // namespace uae::nn

@@ -14,9 +14,17 @@ namespace uae::nn {
 ///
 /// v2 (written by SaveParameters / SaveTensors):
 ///   magic "UAECKPT2" | uint64 payload_size | uint32 crc32(payload) |
-///   payload
+///   [optional "UAEF" | uint64 fingerprint] | payload
 /// where payload = int32 count | per tensor: int32 rows, int32 cols,
 /// rows*cols float32 values (little-endian, in Parameters() order).
+///
+/// The optional fingerprint block carries ArchFingerprint(shapes,
+/// config): a hash of the per-tensor shape list plus a caller-supplied
+/// architecture string. Loaders that know the architecture they are
+/// restoring into (serve::ModelSnapshot) compare fingerprints and reject
+/// a checkpoint/architecture mismatch with InvalidArgument before any
+/// tensor is staged; files written without the block (and all v1 files)
+/// still load everywhere.
 ///
 /// v1 ("UAECKPT1") is the same payload with no size/CRC framing; it is
 /// still read for backward compatibility but no longer written.
@@ -41,21 +49,48 @@ uint32_t Crc32(const void* data, size_t size);
 Tensor PackDoubles(const std::vector<double>& values);
 std::vector<double> UnpackDoubles(const Tensor& tensor);
 
-/// Writes a raw tensor list to `path` in the v2 format (atomic).
+/// Architecture fingerprint: FNV-1a over the tensor shape list and the
+/// caller's architecture/config description string. Two checkpoints agree
+/// iff every tensor shape and the config string agree.
+uint64_t ArchFingerprint(const std::vector<Tensor>& tensors,
+                         const std::string& arch_config);
+
+/// Writes a raw tensor list to `path` in the v2 format (atomic). When
+/// `arch_config` is non-null the optional fingerprint block is written
+/// with ArchFingerprint(tensors, *arch_config).
 Status SaveTensors(const std::vector<Tensor>& tensors,
-                   const std::string& path);
+                   const std::string& path,
+                   const std::string* arch_config = nullptr);
 
 /// Reads a tensor list written by SaveTensors (v2) or the legacy v1
 /// SaveParameters format.
 StatusOr<std::vector<Tensor>> LoadTensors(const std::string& path);
 
-/// Writes the module's parameters to `path`.
-Status SaveParameters(const Module& module, const std::string& path);
+/// LoadTensors plus the optional fingerprint read back from the header.
+struct LoadedTensors {
+  std::vector<Tensor> tensors;
+  bool has_fingerprint = false;
+  uint64_t fingerprint = 0;  // Meaningful only when has_fingerprint.
+};
+StatusOr<LoadedTensors> LoadTensorsWithInfo(const std::string& path);
+
+/// Writes the module's parameters to `path`. A non-null `arch_config`
+/// adds the architecture-fingerprint block (see SaveTensors).
+Status SaveParameters(const Module& module, const std::string& path,
+                      const std::string* arch_config = nullptr);
 
 /// Restores parameters saved with SaveParameters. Fails with
 /// FailedPrecondition on count/shape mismatch (wrong architecture) and
 /// IoError on file problems; the module is unmodified on failure.
 Status LoadParameters(Module* module, const std::string& path);
+
+/// LoadParameters plus fingerprint validation: when the checkpoint
+/// carries a fingerprint block it must equal ArchFingerprint(module
+/// parameter shapes, arch_config); a disagreement fails with
+/// InvalidArgument before any tensor is staged. Checkpoints written
+/// without the block (and v1 files) load exactly as LoadParameters.
+Status LoadParametersChecked(Module* module, const std::string& path,
+                             const std::string& arch_config);
 
 }  // namespace uae::nn
 

@@ -1,0 +1,292 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+
+#include "attention/reweight.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+#include "models/trainer.h"
+#include "nn/ops.h"
+
+namespace uae::serve {
+namespace {
+
+/// Scores one request against one snapshot. Pure w.r.t. the snapshot;
+/// the only shared mutable state is the (internally locked) cache.
+ScoreResponse ScoreOne(const ModelSnapshot& snap, const EngineConfig& config,
+                       SessionStateCache* cache, telemetry::Counter* hits,
+                       telemetry::Counter* misses, const ScoreRequest& req) {
+  ScoreResponse resp;
+  resp.snapshot_version = snap.version();
+  const int n = static_cast<int>(req.candidates.size());
+
+  // CTR through the model's standard batch interface, wrapped in a
+  // single-session probe dataset — the exact code path offline ranking
+  // (sim::RankPlaylist) takes, so engine and direct scores share bits.
+  data::Dataset probe;
+  probe.schema = snap.schema();
+  data::Session session;
+  session.user = req.user;
+  session.events = req.candidates;
+  probe.sessions.push_back(std::move(session));
+  std::vector<data::EventRef> refs;
+  refs.reserve(req.candidates.size());
+  for (int i = 0; i < n; ++i) refs.push_back({0, i});
+  const std::vector<double> ctr =
+      models::ScoreEvents(snap.model(), probe, refs);
+
+  std::vector<float> alpha(req.candidates.size(), 1.0f);
+  if (snap.tower() != nullptr) {
+    const attention::AttentionTower& tower = *snap.tower();
+    const int hist = static_cast<int>(req.history.size());
+    SessionStateCache::Entry entry;
+    if (cache->Lookup(req.user, snap.version(), hist, &entry)) {
+      hits->Add();
+    } else {
+      misses->Add();
+      entry.snapshot_version = snap.version();
+      entry.event_count = 0;
+      entry.state = tower.InitialStateInference(1);
+    }
+    // Advance only over the events the cached prefix has not seen; GRU
+    // steps are deterministic, so a warm resume is byte-identical to a
+    // cold replay of the whole tail.
+    for (int t = entry.event_count; t < hist; ++t) {
+      const data::Event* step = &req.history[t];
+      entry.state = tower.AdvanceStateInference(
+          tower.EncodeEventsInference({step}), entry.state);
+    }
+    entry.event_count = hist;
+    nn::Tensor state = entry.state;
+    cache->Put(req.user, std::move(entry));
+
+    // Hypothetically advance by each candidate, batched as rows — the
+    // per-row kernels make this byte-identical to n separate steps.
+    std::vector<const data::Event*> cand_ptrs;
+    cand_ptrs.reserve(req.candidates.size());
+    for (const data::Event& e : req.candidates) cand_ptrs.push_back(&e);
+    nn::Tensor tiled(n, state.cols());
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < state.cols(); ++c) tiled.at(r, c) = state.at(0, c);
+    }
+    const nn::Tensor states = tower.AdvanceStateInference(
+        tower.EncodeEventsInference(cand_ptrs), tiled);
+    const nn::Tensor logits = tower.HeadLogitsInference(states);
+    for (int i = 0; i < n; ++i) {
+      alpha[static_cast<size_t>(i)] =
+          nn::infer::SigmoidValue(logits.at(i, 0));
+    }
+  }
+
+  resp.scores.reserve(req.candidates.size());
+  for (int i = 0; i < n; ++i) {
+    CandidateScore cs;
+    cs.song = req.candidate_songs[static_cast<size_t>(i)];
+    cs.ctr = ctr[static_cast<size_t>(i)];
+    cs.alpha = alpha[static_cast<size_t>(i)];
+    cs.reweighted =
+        snap.tower() != nullptr
+            ? cs.ctr * static_cast<double>(attention::ReweightFunction(
+                           cs.alpha, snap.gamma()))
+            : cs.ctr;
+    resp.scores.push_back(cs);
+  }
+
+  // Same sort call as sim::RankPlaylist, so an engine-ranked playlist
+  // reproduces the offline ranking permutation exactly.
+  std::vector<size_t> order(req.candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double sa = config.rank_by_reweighted ? resp.scores[a].reweighted
+                                                : resp.scores[a].ctr;
+    const double sb = config.rank_by_reweighted ? resp.scores[b].reweighted
+                                                : resp.scores[b].ctr;
+    return sa > sb;
+  });
+  resp.playlist.reserve(std::min(
+      order.size(), static_cast<size_t>(config.playlist_length)));
+  for (size_t i = 0;
+       i < order.size() && static_cast<int>(i) < config.playlist_length;
+       ++i) {
+    resp.playlist.push_back(resp.scores[order[i]].song);
+  }
+  return resp;
+}
+
+}  // namespace
+
+struct Engine::Pending {
+  ScoreRequest request;
+  std::promise<StatusOr<ScoreResponse>> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
+               const EngineConfig& config)
+    : config_(config),
+      snapshot_(std::move(snapshot)),
+      cache_(config.cache),
+      requests_(telemetry::GetCounter("uae.serve.requests")),
+      shed_(telemetry::GetCounter("uae.serve.shed")),
+      batches_(telemetry::GetCounter("uae.serve.batches")),
+      cache_hits_(telemetry::GetCounter("uae.serve.cache_hits")),
+      cache_misses_(telemetry::GetCounter("uae.serve.cache_misses")),
+      swaps_(telemetry::GetCounter("uae.serve.swaps")),
+      queue_depth_(telemetry::GetGauge("uae.serve.queue_depth")),
+      snapshot_version_(telemetry::GetGauge("uae.serve.snapshot_version")),
+      request_hist_(telemetry::GetHistogram("uae.serve.request_s")),
+      batch_hist_(telemetry::GetHistogram("uae.serve.batch_s")) {
+  UAE_CHECK(snapshot_ != nullptr);
+  UAE_CHECK(config_.max_batch > 0 && config_.max_queue > 0);
+  UAE_CHECK(config_.playlist_length > 0);
+  snapshot_version_->Set(static_cast<double>(snapshot_->version()));
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+Engine::~Engine() { Stop(); }
+
+void Engine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void Engine::Swap(std::shared_ptr<const ModelSnapshot> next) {
+  UAE_CHECK(next != nullptr);
+  snapshot_version_->Set(static_cast<double>(next->version()));
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_.swap(next);
+  }
+  // `next` now holds the retired bundle; if this was its last reference
+  // it is destroyed here, outside the critical section.
+  swaps_->Add();
+}
+
+std::shared_ptr<const ModelSnapshot> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
+  requests_->Add();
+  if (request.candidates.empty()) {
+    return Status::InvalidArgument("request has no candidates");
+  }
+  if (request.candidates.size() != request.candidate_songs.size()) {
+    return Status::InvalidArgument(
+        "candidates and candidate_songs disagree: " +
+        std::to_string(request.candidates.size()) + " vs " +
+        std::to_string(request.candidate_songs.size()));
+  }
+  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  const int num_sparse = snap->schema().num_sparse();
+  const int num_dense = snap->schema().num_dense();
+  auto malformed = [&](const data::Event& e) {
+    return static_cast<int>(e.sparse.size()) != num_sparse ||
+           static_cast<int>(e.dense.size()) != num_dense;
+  };
+  for (const data::Event& e : request.history) {
+    if (malformed(e)) {
+      return Status::InvalidArgument("history event feature width mismatch");
+    }
+  }
+  for (const data::Event& e : request.candidates) {
+    if (malformed(e)) {
+      return Status::InvalidArgument(
+          "candidate event feature width mismatch");
+    }
+  }
+
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued = std::chrono::steady_clock::now();
+  std::future<StatusOr<ScoreResponse>> future =
+      pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return Status::FailedPrecondition("engine stopped");
+    if (static_cast<int>(queue_.size()) >= config_.max_queue) {
+      shed_->Add();
+      return Status::Unavailable("serve queue full (" +
+                                 std::to_string(queue_.size()) + ")");
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  return future.get();
+}
+
+void Engine::DispatcherLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ set and everything drained.
+      if (static_cast<int>(queue_.size()) < config_.max_batch &&
+          config_.max_wait_us > 0 && !stop_) {
+        // Linger briefly for a fuller batch; stop_ or a full batch ends
+        // the wait early.
+        cv_.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
+                     [&] {
+                       return stop_ || static_cast<int>(queue_.size()) >=
+                                           config_.max_batch;
+                     });
+      }
+      const int take = std::min(config_.max_batch,
+                                static_cast<int>(queue_.size()));
+      batch.reserve(static_cast<size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    ProcessBatch(std::move(batch), snapshot());
+  }
+}
+
+void Engine::ProcessBatch(
+    std::vector<std::unique_ptr<Pending>> batch,
+    const std::shared_ptr<const ModelSnapshot>& snapshot) {
+  trace::Span batch_span("uae.serve.batch", "size",
+                         static_cast<int64_t>(batch.size()));
+  telemetry::ScopedTimer batch_timer(batch_hist_);
+  batches_->Add();
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  // Requests are independent (the cache locks internally), so they fan
+  // out across the pool; the nn kernels inside degrade to serial inline
+  // in nested context, keeping thread usage bounded.
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(batch.size()), 1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          Pending& pending = *batch[static_cast<size_t>(i)];
+          trace::Span request_span("uae.serve.request", "user",
+                                   pending.request.user);
+          if (dispatch_time > pending.request.deadline) {
+            shed_->Add();
+            pending.promise.set_value(Status::Unavailable(
+                "deadline expired before dispatch"));
+            continue;
+          }
+          pending.promise.set_value(ScoreOne(*snapshot, config_, &cache_,
+                                             cache_hits_, cache_misses_,
+                                             pending.request));
+          request_hist_->Record(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - pending.enqueued)
+                  .count());
+        }
+      });
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,155 @@
+#ifndef UAE_SERVE_ENGINE_H_
+#define UAE_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "data/event.h"
+#include "serve/model_snapshot.h"
+#include "serve/session_cache.h"
+
+namespace uae::serve {
+
+/// Engine tuning knobs. The defaults favor latency over batching; the
+/// replay tool sweeps them.
+struct EngineConfig {
+  /// Requests coalesced into one dispatch.
+  int max_batch = 8;
+  /// How long the dispatcher lingers for a fuller batch once a request
+  /// is waiting (0 dispatches immediately).
+  int max_wait_us = 200;
+  /// Bounded request queue; arrivals beyond this are shed immediately
+  /// with kUnavailable instead of stalling the client.
+  int max_queue = 64;
+  /// Songs returned in ScoreResponse::playlist.
+  int playlist_length = 15;
+  /// Ranking policy: false ranks by CTR (the paper's serving setup — the
+  /// treatment model is already *trained* with UAE weights, Eq. 18);
+  /// true ranks by the Eq. 19 attention-reweighted score instead.
+  bool rank_by_reweighted = false;
+  SessionStateCache::Config cache;
+};
+
+/// One scoring request: the session tail observed so far plus the
+/// candidates to rank (feature events and their song ids, aligned).
+struct ScoreRequest {
+  int user = 0;
+  std::vector<data::Event> history;
+  std::vector<data::Event> candidates;
+  std::vector<int> candidate_songs;
+  /// Requests not *started* by this steady-clock deadline are shed with
+  /// kUnavailable. Default: no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Per-candidate scores, in request order.
+struct CandidateScore {
+  int song = 0;
+  double ctr = 0.0;        // sigmoid(f(x)), the downstream model.
+  float alpha = 1.0f;      // alpha-hat from the attention tower.
+  double reweighted = 0.0; // ctr * (1 - (alpha+1)^-gamma), Eq. 19.
+};
+
+struct ScoreResponse {
+  /// Version of the snapshot that produced these scores; lets callers
+  /// attribute results across hot-swaps.
+  uint64_t snapshot_version = 0;
+  std::vector<CandidateScore> scores;
+  /// Top playlist_length song ids, best first, by the configured policy.
+  std::vector<int> playlist;
+};
+
+/// In-process online inference engine.
+///
+/// A dispatcher thread drains a bounded request queue, coalescing up to
+/// max_batch requests per dispatch (lingering max_wait_us for a fuller
+/// batch) and scoring them via parallel::ParallelFor. Scores are
+/// byte-identical to a direct offline forward of the same snapshot at
+/// any thread count or batch composition: every kernel under the engine
+/// computes each output row independently with a fixed accumulation
+/// order (see nn::infer).
+///
+/// The active ModelSnapshot is published under a dedicated mutex whose
+/// critical section is a single shared_ptr copy: Swap never blocks on
+/// scoring work, requests in flight finish on the snapshot they started
+/// with, and the session cache invalidates itself lazily via version
+/// tags.
+///
+/// Overload sheds instead of stalling: a full queue or an expired
+/// deadline returns kUnavailable (counted in uae.serve.shed) while the
+/// engine keeps serving what it can.
+class Engine {
+ public:
+  Engine(std::shared_ptr<const ModelSnapshot> snapshot,
+         const EngineConfig& config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Scores synchronously: enqueues and blocks for the response.
+  /// Fails with kUnavailable when shed, InvalidArgument on a malformed
+  /// request, FailedPrecondition after the engine stopped.
+  StatusOr<ScoreResponse> Score(ScoreRequest request);
+
+  /// Publishes a new snapshot. In-flight requests complete on the
+  /// snapshot they dequeued; subsequent dispatches use `next`.
+  void Swap(std::shared_ptr<const ModelSnapshot> next);
+
+  /// The currently published snapshot.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Stops the dispatcher after draining queued requests; later Score
+  /// calls fail with FailedPrecondition. Idempotent (also run by the
+  /// destructor).
+  void Stop();
+
+ private:
+  struct Pending;
+
+  void DispatcherLoop();
+  void ProcessBatch(
+      std::vector<std::unique_ptr<Pending>> batch,
+      const std::shared_ptr<const ModelSnapshot>& snapshot);
+
+  EngineConfig config_;
+  // Publication point for the active bundle. A plain mutex (critical
+  // section: one shared_ptr copy) instead of std::atomic<shared_ptr> —
+  // libstdc++ 12's lock-bit _Sp_atomic trips ThreadSanitizer under
+  // contended load/store, and suppressing that would blind TSan to real
+  // races on this pointer.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  SessionStateCache cache_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool stop_ = false;
+
+  // Hot-path metrics, resolved once (registry lookups are mutex-guarded).
+  telemetry::Counter* requests_;
+  telemetry::Counter* shed_;
+  telemetry::Counter* batches_;
+  telemetry::Counter* cache_hits_;
+  telemetry::Counter* cache_misses_;
+  telemetry::Counter* swaps_;
+  telemetry::Gauge* queue_depth_;
+  telemetry::Gauge* snapshot_version_;
+  telemetry::Histogram* request_hist_;
+  telemetry::Histogram* batch_hist_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_ENGINE_H_

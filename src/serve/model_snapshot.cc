@@ -1,0 +1,81 @@
+#include "serve/model_snapshot.h"
+
+#include <atomic>
+
+#include "nn/serialize.h"
+
+namespace uae::serve {
+namespace {
+
+/// Process-wide monotone version source; version 0 is never issued so
+/// "no snapshot yet" is representable.
+uint64_t NextVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+std::string ModelArchConfig(models::ModelKind kind,
+                            const models::ModelConfig& config) {
+  std::string s = std::string("recommender kind=") +
+                  models::ModelKindName(kind) +
+                  " embed_dim=" + std::to_string(config.embed_dim) + " mlp=";
+  for (size_t i = 0; i < config.mlp_dims.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(config.mlp_dims[i]);
+  }
+  s += " cross_layers=" + std::to_string(config.cross_layers) +
+       " attention_heads=" + std::to_string(config.attention_heads) +
+       " attention_dim=" + std::to_string(config.attention_dim) +
+       " history_length=" + std::to_string(config.history_length);
+  return s;
+}
+
+Status SaveRecommender(const models::Recommender& model,
+                       models::ModelKind kind,
+                       const models::ModelConfig& config,
+                       const std::string& path) {
+  const std::string arch = ModelArchConfig(kind, config);
+  return nn::SaveParameters(model, path, &arch);
+}
+
+StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
+    const SnapshotSpec& spec) {
+  // The construction RNG only seeds weights that the checkpoint
+  // immediately overwrites; any fixed seed gives identical serving.
+  Rng rng(1);
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      spec.kind, &rng, spec.schema, spec.model_config);
+  Status loaded = nn::LoadParametersChecked(
+      model.get(), spec.model_path,
+      ModelArchConfig(spec.kind, spec.model_config));
+  if (!loaded.ok()) return loaded;
+
+  std::unique_ptr<attention::AttentionTower> tower;
+  if (!spec.tower_path.empty()) {
+    tower = std::make_unique<attention::AttentionTower>(&rng, spec.schema,
+                                                        spec.tower_config);
+    loaded = nn::LoadParametersChecked(
+        tower.get(), spec.tower_path,
+        attention::TowerArchConfig(spec.tower_config));
+    if (!loaded.ok()) return loaded;
+  }
+  return FromModules(spec.schema, std::move(model), std::move(tower),
+                     spec.gamma, spec.version);
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromModules(
+    data::FeatureSchema schema, std::shared_ptr<models::Recommender> model,
+    std::shared_ptr<const attention::AttentionTower> tower, float gamma,
+    uint64_t version) {
+  auto snapshot = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snapshot->schema_ = std::move(schema);
+  snapshot->model_ = std::move(model);
+  snapshot->tower_ = std::move(tower);
+  snapshot->gamma_ = gamma;
+  snapshot->version_ = version != 0 ? version : NextVersion();
+  return snapshot;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,102 @@
+#ifndef UAE_SERVE_MODEL_SNAPSHOT_H_
+#define UAE_SERVE_MODEL_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "attention/towers.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "models/recommender.h"
+#include "models/registry.h"
+
+namespace uae::serve {
+
+/// What ModelSnapshot::Load restores: which recommender, which files,
+/// and the Eq. 19 reweight exponent the snapshot serves with.
+struct SnapshotSpec {
+  data::FeatureSchema schema;
+  models::ModelKind kind = models::ModelKind::kDcnV2;
+  models::ModelConfig model_config;
+  /// UAECKPT2 checkpoint of the recommender's parameters (written by
+  /// SaveRecommender, which adds the architecture fingerprint).
+  std::string model_path;
+  /// Attention-tower checkpoint (Uae::ExportAttentionTower); "" serves
+  /// CTR-only with alpha-hat pinned to 1.
+  std::string tower_path;
+  attention::TowerConfig tower_config;
+  /// gamma of the paper's re-weighting function (Eq. 19).
+  float gamma = 1.0f;
+  /// 0 assigns the next process-wide version; explicit values let tests
+  /// pin versions.
+  uint64_t version = 0;
+};
+
+/// Immutable forward-only model bundle: one downstream recommender plus
+/// (optionally) the UAE attention tower, frozen at load time. Engines
+/// publish snapshots as shared_ptr copies behind a pointer-copy critical
+/// section, so request threads always see a complete bundle and
+/// hot-swaps never tear a forward pass.
+///
+/// Every scoring entry point is const and builds request-local state
+/// only: Recommender::Logits constructs a fresh graph from constant
+/// parameters on each call, and the tower's *Inference methods allocate
+/// no autograd nodes at all. Concurrent scoring against one snapshot is
+/// therefore safe (the serve hot-swap hammer runs it under TSan).
+class ModelSnapshot {
+ public:
+  /// Restores a snapshot from checkpoint files. Checkpoints carrying an
+  /// architecture fingerprint are validated against the spec's
+  /// architecture and rejected with InvalidArgument on mismatch;
+  /// fingerprint-less (older v2 and v1) files load unchecked.
+  static StatusOr<std::shared_ptr<const ModelSnapshot>> Load(
+      const SnapshotSpec& spec);
+
+  /// Adopts already-built modules (the in-process path used by
+  /// sim::RunAbTest and tests). `tower` may be null for CTR-only
+  /// serving. Borrowed modules can ride in via a shared_ptr with a
+  /// no-op deleter; the caller then guarantees they outlive the
+  /// snapshot and stay unmodified while it serves.
+  static std::shared_ptr<const ModelSnapshot> FromModules(
+      data::FeatureSchema schema,
+      std::shared_ptr<models::Recommender> model,
+      std::shared_ptr<const attention::AttentionTower> tower,
+      float gamma = 1.0f, uint64_t version = 0);
+
+  /// The downstream recommender. Logits is declared non-const on the
+  /// training interface, but every implementation reads only constant
+  /// parameters into a request-local graph — concurrent calls are safe.
+  models::Recommender* model() const { return model_.get(); }
+
+  /// The attention tower, or nullptr for CTR-only snapshots.
+  const attention::AttentionTower* tower() const { return tower_.get(); }
+
+  const data::FeatureSchema& schema() const { return schema_; }
+  uint64_t version() const { return version_; }
+  float gamma() const { return gamma_; }
+
+ private:
+  ModelSnapshot() = default;
+
+  data::FeatureSchema schema_;
+  std::shared_ptr<models::Recommender> model_;
+  std::shared_ptr<const attention::AttentionTower> tower_;
+  float gamma_ = 1.0f;
+  uint64_t version_ = 0;
+};
+
+/// Canonical architecture string for recommender checkpoints, the
+/// nn::ArchFingerprint companion of attention::TowerArchConfig.
+std::string ModelArchConfig(models::ModelKind kind,
+                            const models::ModelConfig& config);
+
+/// Writes the recommender's parameters with the architecture-fingerprint
+/// block, so ModelSnapshot::Load can reject a kind/config mismatch.
+Status SaveRecommender(const models::Recommender& model,
+                       models::ModelKind kind,
+                       const models::ModelConfig& config,
+                       const std::string& path);
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_MODEL_SNAPSHOT_H_

@@ -1,0 +1,269 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "data/world.h"
+#include "nn/serialize.h"
+
+namespace uae::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Exact q-quantile of a sorted sample, linearly interpolated.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::vector<ScoreRequest> BuildRequests(const data::World& world,
+                                        const ReplayConfig& config,
+                                        Rng* rng) {
+  std::vector<ScoreRequest> requests;
+  requests.reserve(static_cast<size_t>(config.requests));
+  for (int i = 0; i < config.requests; ++i) {
+    ScoreRequest req;
+    req.user = i % world.config().num_users;
+    const int hour = static_cast<int>(rng->UniformInt(24));
+    const int weekday = static_cast<int>(rng->UniformInt(7));
+    // The session tail: simulate the user walking a served playlist, so
+    // the history events carry realistic feature/feedback structure.
+    std::vector<int> played(static_cast<size_t>(config.history_length));
+    for (int& song : played) song = world.SampleSong(rng);
+    req.history =
+        world.SimulateSession(req.user, played, hour, weekday, rng).events;
+    req.candidates.reserve(static_cast<size_t>(config.candidates));
+    req.candidate_songs.reserve(static_cast<size_t>(config.candidates));
+    for (int c = 0; c < config.candidates; ++c) {
+      const int song = world.SampleSong(rng);
+      req.candidate_songs.push_back(song);
+      req.candidates.push_back(
+          world.ScoringEvent(req.user, song, hour, weekday));
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::vector<double> latencies_ms;  // Completed requests only.
+  int64_t completed = 0;
+  int64_t shed = 0;
+  std::string first_error;  // Non-shed failure, "" when clean.
+};
+
+/// Client threads issue their share of `requests` back-to-back.
+PassResult RunClosedLoop(Engine* engine,
+                         const std::vector<ScoreRequest>& requests,
+                         int threads) {
+  std::vector<PassResult> per_thread(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  const Clock::time_point start = Clock::now();
+  for (int k = 0; k < threads; ++k) {
+    workers.emplace_back([&, k] {
+      PassResult& local = per_thread[static_cast<size_t>(k)];
+      for (size_t i = static_cast<size_t>(k); i < requests.size();
+           i += static_cast<size_t>(threads)) {
+        const Clock::time_point t0 = Clock::now();
+        const StatusOr<ScoreResponse> response = engine->Score(requests[i]);
+        if (response.ok()) {
+          ++local.completed;
+          local.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+        } else if (response.status().code() == StatusCode::kUnavailable) {
+          ++local.shed;
+        } else if (local.first_error.empty()) {
+          local.first_error = response.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  PassResult merged;
+  merged.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (PassResult& local : per_thread) {
+    merged.completed += local.completed;
+    merged.shed += local.shed;
+    merged.latencies_ms.insert(merged.latencies_ms.end(),
+                               local.latencies_ms.begin(),
+                               local.latencies_ms.end());
+    if (merged.first_error.empty()) merged.first_error = local.first_error;
+  }
+  return merged;
+}
+
+/// Paced arrivals: request i is released at start + i/qps with a
+/// deadline, cycling over the prepared request set. Shed requests return
+/// immediately, so issuer threads hold the schedule even past capacity.
+PassResult RunOpenLoop(Engine* engine,
+                       const std::vector<ScoreRequest>& requests,
+                       double qps, int total, int threads, int deadline_ms) {
+  std::vector<PassResult> per_thread(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  const Clock::time_point start = Clock::now();
+  for (int k = 0; k < threads; ++k) {
+    workers.emplace_back([&, k] {
+      PassResult& local = per_thread[static_cast<size_t>(k)];
+      for (int i = k; i < total; i += threads) {
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(i / qps));
+        std::this_thread::sleep_until(scheduled);
+        ScoreRequest req = requests[static_cast<size_t>(i) % requests.size()];
+        req.deadline = scheduled + std::chrono::milliseconds(deadline_ms);
+        const StatusOr<ScoreResponse> response = engine->Score(std::move(req));
+        if (response.ok()) {
+          ++local.completed;
+        } else if (response.status().code() == StatusCode::kUnavailable) {
+          ++local.shed;
+        } else if (local.first_error.empty()) {
+          local.first_error = response.status().ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  PassResult merged;
+  merged.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (PassResult& local : per_thread) {
+    merged.completed += local.completed;
+    merged.shed += local.shed;
+    if (merged.first_error.empty()) merged.first_error = local.first_error;
+  }
+  return merged;
+}
+
+}  // namespace
+
+StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
+  UAE_CHECK(config.requests > 0 && config.history_length > 0);
+  UAE_CHECK(config.candidates > 0 && config.client_threads > 0);
+  data::World world(config.world, config.world_seed);
+  Rng rng(config.seed);
+
+  // Untrained weights serve the same FLOPs as trained ones; the replay
+  // measures the serving machinery, not ranking quality.
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      config.kind, &rng, world.schema(), config.model_config);
+  auto tower = std::make_unique<attention::AttentionTower>(
+      &rng, world.schema(), config.tower_config);
+
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  if (!config.checkpoint_dir.empty()) {
+    // Stage through real checkpoint files so the replay also covers the
+    // load + fingerprint-validation path a production rollout takes.
+    const std::string model_path =
+        config.checkpoint_dir + "/replay_model.ckpt";
+    const std::string tower_path =
+        config.checkpoint_dir + "/replay_tower.ckpt";
+    Status staged =
+        SaveRecommender(*model, config.kind, config.model_config, model_path);
+    if (!staged.ok()) return staged;
+    const std::string tower_arch =
+        attention::TowerArchConfig(config.tower_config);
+    staged = nn::SaveParameters(*tower, tower_path, &tower_arch);
+    if (!staged.ok()) return staged;
+    SnapshotSpec spec;
+    spec.schema = world.schema();
+    spec.kind = config.kind;
+    spec.model_config = config.model_config;
+    spec.model_path = model_path;
+    spec.tower_path = tower_path;
+    spec.tower_config = config.tower_config;
+    spec.gamma = config.gamma;
+    StatusOr<std::shared_ptr<const ModelSnapshot>> loaded =
+        ModelSnapshot::Load(spec);
+    if (!loaded.ok()) return loaded.status();
+    snapshot = loaded.value();
+  } else {
+    snapshot = ModelSnapshot::FromModules(world.schema(), std::move(model),
+                                          std::move(tower), config.gamma);
+  }
+
+  Engine engine(snapshot, config.engine);
+  const std::vector<ScoreRequest> requests =
+      BuildRequests(world, config, &rng);
+
+  telemetry::Counter* hits = telemetry::GetCounter("uae.serve.cache_hits");
+  telemetry::Counter* misses =
+      telemetry::GetCounter("uae.serve.cache_misses");
+  const int64_t hits_before = hits->Get();
+  const int64_t misses_before = misses->Get();
+
+  ReplayReport report;
+  report.snapshot_version = snapshot->version();
+  report.closed_requests = static_cast<int64_t>(requests.size());
+
+  PassResult cold = RunClosedLoop(&engine, requests, config.client_threads);
+  if (!cold.first_error.empty()) {
+    return Status::Internal("replay cold pass failed: " + cold.first_error);
+  }
+  PassResult warm = RunClosedLoop(&engine, requests, config.client_threads);
+  if (!warm.first_error.empty()) {
+    return Status::Internal("replay warm pass failed: " + warm.first_error);
+  }
+  report.cold_seconds = cold.seconds;
+  report.warm_seconds = warm.seconds;
+  report.warm_speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  report.warm_qps = warm.seconds > 0.0
+                        ? static_cast<double>(warm.completed) / warm.seconds
+                        : 0.0;
+  std::sort(warm.latencies_ms.begin(), warm.latencies_ms.end());
+  report.p50_ms = Percentile(warm.latencies_ms, 0.50);
+  report.p95_ms = Percentile(warm.latencies_ms, 0.95);
+  report.p99_ms = Percentile(warm.latencies_ms, 0.99);
+  const int64_t hit_delta = hits->Get() - hits_before;
+  const int64_t miss_delta = misses->Get() - misses_before;
+  report.cache_hit_rate =
+      hit_delta + miss_delta > 0
+          ? static_cast<double>(hit_delta) /
+                static_cast<double>(hit_delta + miss_delta)
+          : 0.0;
+
+  double offered_qps = config.offered_qps;
+  if (config.offered_qps_factor > 0.0) {
+    offered_qps = config.offered_qps_factor * report.warm_qps;
+  }
+  if (offered_qps > 0.0 && config.open_loop_requests > 0) {
+    PassResult open =
+        RunOpenLoop(&engine, requests, offered_qps,
+                    config.open_loop_requests, config.client_threads,
+                    config.deadline_ms);
+    if (!open.first_error.empty()) {
+      return Status::Internal("replay open loop failed: " +
+                              open.first_error);
+    }
+    report.open_requests = open.completed + open.shed;
+    report.open_completed = open.completed;
+    report.open_shed = open.shed;
+    report.offered_qps = offered_qps;
+    report.achieved_qps =
+        open.seconds > 0.0
+            ? static_cast<double>(open.completed) / open.seconds
+            : 0.0;
+    report.shed_rate =
+        report.open_requests > 0
+            ? static_cast<double>(open.shed) /
+                  static_cast<double>(report.open_requests)
+            : 0.0;
+  }
+  return report;
+}
+
+}  // namespace uae::serve

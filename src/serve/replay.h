@@ -1,0 +1,87 @@
+#ifndef UAE_SERVE_REPLAY_H_
+#define UAE_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/generator.h"
+#include "serve/engine.h"
+
+namespace uae::serve {
+
+/// Configuration of the serving replay driver shared by the
+/// uae_serve_replay tool and bench/serve_replay.
+///
+/// The driver builds a simulated world, stages a snapshot through real
+/// checkpoint files (exercising the fingerprint path), pre-generates one
+/// request per user — a session tail plus a candidate pool — and drives
+/// the engine two ways:
+///
+///   closed loop: client threads issue requests back-to-back, twice over
+///     the same request set. Pass 1 runs on a cold session cache, pass 2
+///     warm; the ratio isolates what the incremental GRU state buys.
+///   open loop: requests arrive on a fixed-QPS schedule with deadlines;
+///     offered load beyond capacity must shed, not stall.
+struct ReplayConfig {
+  data::GeneratorConfig world;
+  uint64_t world_seed = 42;
+
+  models::ModelKind kind = models::ModelKind::kLr;
+  models::ModelConfig model_config;
+  attention::TowerConfig tower_config;
+  float gamma = 1.0f;
+  EngineConfig engine;
+  /// Staging directory for the snapshot checkpoints; "" skips the
+  /// save/load round trip and adopts the modules in process.
+  std::string checkpoint_dir;
+
+  int requests = 256;        // Distinct users, one request per user.
+  int history_length = 96;   // Session-tail events per request.
+  int candidates = 10;       // Candidate pool per request.
+  int client_threads = 8;
+  uint64_t seed = 99;
+
+  /// Open-loop phase; offered_qps <= 0 disables it (unless the factor
+  /// below is set).
+  double offered_qps = 0.0;
+  /// When > 0, overrides offered_qps with factor x the *measured* warm
+  /// closed-loop throughput. A factor above 1 therefore always offers
+  /// more than the engine can serve, on any host — the self-calibrating
+  /// way to demonstrate shedding.
+  double offered_qps_factor = 0.0;
+  int open_loop_requests = 0;
+  int deadline_ms = 50;
+};
+
+struct ReplayReport {
+  uint64_t snapshot_version = 0;
+
+  // Closed loop.
+  int64_t closed_requests = 0;  // Per pass.
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double warm_speedup = 0.0;  // cold_seconds / warm_seconds.
+  double warm_qps = 0.0;
+  // Exact client-side latency percentiles of the warm pass.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;  // Across both passes.
+
+  // Open loop.
+  int64_t open_requests = 0;
+  int64_t open_completed = 0;
+  int64_t open_shed = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // Completed responses per second.
+  double shed_rate = 0.0;     // open_shed / open_requests.
+};
+
+/// Runs the replay; fails if staging the snapshot fails or any request
+/// errors for a reason other than shedding.
+StatusOr<ReplayReport> RunReplay(const ReplayConfig& config);
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_REPLAY_H_

@@ -1,0 +1,66 @@
+#include "serve/session_cache.h"
+
+#include "common/check.h"
+
+namespace uae::serve {
+
+SessionStateCache::SessionStateCache(const Config& config)
+    : capacity_per_shard_(config.capacity_per_shard),
+      shards_(static_cast<size_t>(config.shards > 0 ? config.shards : 1)) {
+  UAE_CHECK(config.capacity_per_shard > 0);
+}
+
+bool SessionStateCache::Lookup(int user, uint64_t snapshot_version,
+                               int max_event_count, Entry* out) {
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(user);
+  if (it == shard.index.end()) return false;
+  Entry& entry = it->second->second;
+  if (entry.snapshot_version != snapshot_version) {
+    // Computed by a previous snapshot: dead weight after a hot-swap.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return false;
+  }
+  if (entry.event_count > max_event_count) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = entry;
+  return true;
+}
+
+void SessionStateCache::Put(int user, Entry entry) {
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(user);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(user, std::move(entry));
+  shard.index[user] = shard.lru.begin();
+  while (static_cast<int>(shard.lru.size()) > capacity_per_shard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+}
+
+void SessionStateCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+int64_t SessionStateCache::size() const {
+  int64_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.lru.size());
+  }
+  return total;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,79 @@
+#ifndef UAE_SERVE_SESSION_CACHE_H_
+#define UAE_SERVE_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace uae::serve {
+
+/// Sharded LRU cache of per-user GRU hidden states.
+///
+/// A warm request only advances the attention GRU over the events that
+/// arrived since the cached prefix, instead of replaying the whole
+/// session tail. Entries are keyed by user and carry the snapshot
+/// version and event count they were computed at; a lookup hits only
+/// when the versions match and the cached prefix is no longer than the
+/// requested history (GRU steps are deterministic, so resuming from a
+/// cached prefix is byte-identical to recomputing it). Entries computed
+/// by an older snapshot are invalidated lazily — the first lookup after
+/// a hot-swap misses and erases them, so a swap needs no global flush.
+///
+/// Sharding keeps the locks fine-grained: each user maps to one shard
+/// (own mutex + LRU list), so concurrent requests for different users
+/// rarely contend.
+class SessionStateCache {
+ public:
+  struct Config {
+    int shards = 8;
+    int capacity_per_shard = 256;  // LRU-evicted beyond this.
+  };
+
+  struct Entry {
+    uint64_t snapshot_version = 0;
+    int event_count = 0;  // History prefix `state` was computed over.
+    nn::Tensor state;     // [1, gru_hidden].
+  };
+
+  explicit SessionStateCache(const Config& config);
+
+  /// Fills `out` and returns true when the cache holds state for `user`
+  /// computed by `snapshot_version` over at most `max_event_count`
+  /// events. A version mismatch erases the stale entry (miss); an entry
+  /// ahead of the requested history (user restarted the session) also
+  /// misses but is kept for the longer-history requests still in flight.
+  bool Lookup(int user, uint64_t snapshot_version, int max_event_count,
+              Entry* out);
+
+  /// Inserts or refreshes the user's entry and marks it most-recent.
+  void Put(int user, Entry entry);
+
+  void Clear();
+
+  /// Total entries across shards (approximate under concurrent writes).
+  int64_t size() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::list<std::pair<int, Entry>> lru;  // Front = most recently used.
+    std::unordered_map<int, std::list<std::pair<int, Entry>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(int user) const {
+    return shards_[static_cast<size_t>(user) % shards_.size()];
+  }
+
+  int capacity_per_shard_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_SESSION_CACHE_H_

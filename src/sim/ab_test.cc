@@ -47,6 +47,27 @@ std::vector<int> RankPlaylist(const data::World& world,
   return playlist;
 }
 
+/// Ranks the same request through the serving engine. The engine's CTR
+/// path runs the identical probe-dataset scoring and sort as
+/// RankPlaylist, so the returned playlist matches the offline ranking.
+std::vector<int> RankViaEngine(const data::World& world,
+                               serve::Engine* engine, int user,
+                               const std::vector<int>& candidates, int hour,
+                               int weekday) {
+  serve::ScoreRequest request;
+  request.user = user;
+  request.candidate_songs = candidates;
+  request.candidates.reserve(candidates.size());
+  for (int song : candidates) {
+    request.candidates.push_back(
+        world.ScoringEvent(user, song, hour, weekday));
+  }
+  StatusOr<serve::ScoreResponse> response =
+      engine->Score(std::move(request));
+  UAE_CHECK_MSG(response.ok(), response.status().ToString());
+  return response.value().playlist;
+}
+
 /// Accumulates the engagement metrics of one simulated session.
 void Accumulate(const data::Session& session, DayMetrics* metrics) {
   for (const data::Event& event : session.events) {
@@ -63,7 +84,27 @@ AbTestResult RunAbTest(const data::World& world,
                        models::Recommender* control_model,
                        models::Recommender* treatment_model,
                        const AbTestConfig& config) {
-  UAE_CHECK(control_model != nullptr && treatment_model != nullptr);
+  UAE_CHECK(treatment_model != nullptr);
+  // Serve the treatment group through the online engine. The model is
+  // borrowed (no-op deleter): the caller owns it past this call.
+  const std::shared_ptr<const serve::ModelSnapshot> snapshot =
+      serve::ModelSnapshot::FromModules(
+          world.schema(),
+          std::shared_ptr<models::Recommender>(treatment_model,
+                                               [](models::Recommender*) {}),
+          /*tower=*/nullptr);
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;  // Requests are sequential; never linger.
+  engine_config.playlist_length = config.playlist_length;
+  serve::Engine engine(snapshot, engine_config);
+  return RunAbTest(world, control_model, &engine, config);
+}
+
+AbTestResult RunAbTest(const data::World& world,
+                       models::Recommender* control_model,
+                       serve::Engine* treatment_engine,
+                       const AbTestConfig& config) {
+  UAE_CHECK(control_model != nullptr && treatment_engine != nullptr);
   UAE_CHECK(config.days > 0 && config.sessions_per_day > 0);
   UAE_CHECK(config.candidate_pool >= config.playlist_length);
 
@@ -85,9 +126,13 @@ AbTestResult RunAbTest(const data::World& world,
       const std::vector<int> control_playlist =
           RankPlaylist(world, control_model, user, candidates, hour, weekday,
                        config.playlist_length);
-      const std::vector<int> treatment_playlist =
-          RankPlaylist(world, treatment_model, user, candidates, hour,
-                       weekday, config.playlist_length);
+      const std::vector<int> treatment_playlist = RankViaEngine(
+          world, treatment_engine, user, candidates, hour, weekday);
+      UAE_CHECK_MSG(static_cast<int>(treatment_playlist.size()) ==
+                        config.playlist_length,
+                    "treatment engine must be configured with "
+                    "playlist_length="
+                        << config.playlist_length);
 
       // Independent interaction randomness per group, deterministic in
       // (seed, day, request).

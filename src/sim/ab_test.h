@@ -5,6 +5,7 @@
 
 #include "data/world.h"
 #include "models/recommender.h"
+#include "serve/engine.h"
 
 namespace uae::sim {
 
@@ -48,6 +49,18 @@ struct AbTestResult {
 AbTestResult RunAbTest(const data::World& world,
                        models::Recommender* control_model,
                        models::Recommender* treatment_model,
+                       const AbTestConfig& config);
+
+/// Same experiment with the treatment group served by the online engine:
+/// each treatment request goes through serve::Engine::Score and the
+/// returned playlist is what the simulated user walks. The engine's CTR
+/// ranking is byte-identical to the offline path, so this overload
+/// reproduces the model-vs-model results exactly while exercising the
+/// queue/batching/snapshot machinery end to end. (The plain signature
+/// above wraps the treatment model in a snapshot and delegates here.)
+AbTestResult RunAbTest(const data::World& world,
+                       models::Recommender* control_model,
+                       serve::Engine* treatment_engine,
                        const AbTestConfig& config);
 
 }  // namespace uae::sim

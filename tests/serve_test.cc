@@ -1,0 +1,459 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/telemetry.h"
+#include "data/world.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/replay.h"
+#include "serve/session_cache.h"
+
+namespace uae::serve {
+namespace {
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 60;
+  cfg.num_songs = 150;
+  cfg.num_artists = 25;
+  cfg.num_albums = 50;
+  return cfg;
+}
+
+std::shared_ptr<const ModelSnapshot> BuildSnapshot(
+    const data::World& world, uint64_t seed, uint64_t version = 0,
+    bool with_tower = true) {
+  Rng rng(seed);
+  models::ModelConfig model_config;
+  std::shared_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), model_config);
+  std::shared_ptr<const attention::AttentionTower> tower;
+  if (with_tower) {
+    tower = std::make_shared<attention::AttentionTower>(
+        &rng, world.schema(), attention::TowerConfig());
+  }
+  return ModelSnapshot::FromModules(world.schema(), std::move(model),
+                                    std::move(tower), /*gamma=*/1.0f,
+                                    version);
+}
+
+ScoreRequest MakeRequest(const data::World& world, int user, int history_len,
+                         int num_candidates, Rng* rng) {
+  ScoreRequest req;
+  req.user = user;
+  const int hour = static_cast<int>(rng->UniformInt(24));
+  const int weekday = static_cast<int>(rng->UniformInt(7));
+  std::vector<int> played(static_cast<size_t>(history_len));
+  for (int& song : played) song = world.SampleSong(rng);
+  req.history =
+      world.SimulateSession(user, played, hour, weekday, rng).events;
+  for (int c = 0; c < num_candidates; ++c) {
+    const int song = world.SampleSong(rng);
+    req.candidate_songs.push_back(song);
+    req.candidates.push_back(world.ScoringEvent(user, song, hour, weekday));
+  }
+  return req;
+}
+
+EngineConfig ImmediateDispatch() {
+  EngineConfig config;
+  config.max_wait_us = 0;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// Session-state cache.
+
+TEST(SessionCacheTest, LruEvictsOldestPerShard) {
+  SessionStateCache::Config config;
+  config.shards = 1;
+  config.capacity_per_shard = 2;
+  SessionStateCache cache(config);
+
+  auto put = [&](int user) {
+    SessionStateCache::Entry entry;
+    entry.snapshot_version = 1;
+    entry.event_count = 3;
+    entry.state = nn::Tensor(1, 4);
+    cache.Put(user, entry);
+  };
+  put(1);
+  put(2);
+  SessionStateCache::Entry out;
+  // Touch user 1 so user 2 is the LRU entry when 3 arrives.
+  ASSERT_TRUE(cache.Lookup(1, 1, 3, &out));
+  put(3);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_FALSE(cache.Lookup(2, 1, 3, &out));
+  EXPECT_TRUE(cache.Lookup(1, 1, 3, &out));
+  EXPECT_TRUE(cache.Lookup(3, 1, 3, &out));
+}
+
+TEST(SessionCacheTest, VersionMismatchErasesStaleEntry) {
+  SessionStateCache cache(SessionStateCache::Config{});
+  SessionStateCache::Entry entry;
+  entry.snapshot_version = 1;
+  entry.event_count = 5;
+  entry.state = nn::Tensor(1, 4);
+  cache.Put(7, entry);
+
+  SessionStateCache::Entry out;
+  // A lookup from a newer snapshot misses and drops the stale state...
+  EXPECT_FALSE(cache.Lookup(7, 2, 5, &out));
+  EXPECT_EQ(cache.size(), 0);
+  // ...so even the original version misses afterwards.
+  EXPECT_FALSE(cache.Lookup(7, 1, 5, &out));
+}
+
+TEST(SessionCacheTest, LongerCachedPrefixMissesButSurvives) {
+  SessionStateCache cache(SessionStateCache::Config{});
+  SessionStateCache::Entry entry;
+  entry.snapshot_version = 1;
+  entry.event_count = 10;
+  entry.state = nn::Tensor(1, 4);
+  cache.Put(7, entry);
+
+  // A request with a shorter history (user restarted the session) cannot
+  // use state computed over 10 events, but the entry stays for the
+  // longer-history requests.
+  SessionStateCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(7, 1, 4, &out));
+  EXPECT_EQ(cache.size(), 1);
+  ASSERT_TRUE(cache.Lookup(7, 1, 10, &out));
+  EXPECT_EQ(out.event_count, 10);
+}
+
+// ---------------------------------------------------------------------
+// Determinism goldens: engine scores == direct offline forward, bit for
+// bit, cold and warm, at 1 and 8 threads.
+
+TEST(ServeGoldenTest, EngineMatchesDirectForwardColdAndWarm) {
+  const data::World world(SmallWorldConfig(), 11);
+  const std::shared_ptr<const ModelSnapshot> snapshot =
+      BuildSnapshot(world, 21);
+  Rng rng(5);
+  const ScoreRequest request = MakeRequest(world, 9, 8, 5, &rng);
+  const int n = static_cast<int>(request.candidates.size());
+
+  // Direct CTR: the engine's probe-dataset construction, done by hand.
+  data::Dataset probe;
+  probe.schema = world.schema();
+  data::Session probe_session;
+  probe_session.user = request.user;
+  probe_session.events = request.candidates;
+  probe.sessions.push_back(probe_session);
+  std::vector<data::EventRef> refs;
+  for (int i = 0; i < n; ++i) refs.push_back({0, i});
+  const std::vector<double> direct_ctr =
+      models::ScoreEvents(snapshot->model(), probe, refs);
+
+  // Direct alpha-hat per candidate: the *training* graph forward over
+  // history + candidate; the last step's logit is the candidate's.
+  std::vector<float> direct_alpha;
+  for (int i = 0; i < n; ++i) {
+    data::Dataset full;
+    full.schema = world.schema();
+    data::Session session;
+    session.user = request.user;
+    session.events = request.history;
+    session.events.push_back(request.candidates[static_cast<size_t>(i)]);
+    full.sessions.push_back(std::move(session));
+    const attention::AttentionTower::Output out =
+        snapshot->tower()->Forward(full, {0});
+    direct_alpha.push_back(
+        nn::infer::SigmoidValue(out.logits.back()->value.at(0, 0)));
+  }
+
+  const int restore_threads = parallel::NumThreads();
+  for (const int threads : {1, 8}) {
+    parallel::SetNumThreads(threads);
+    Engine engine(snapshot, ImmediateDispatch());
+    const StatusOr<ScoreResponse> cold = engine.Score(request);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    const StatusOr<ScoreResponse> warm = engine.Score(request);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+    for (int i = 0; i < n; ++i) {
+      const size_t k = static_cast<size_t>(i);
+      // Exact equality on purpose: the serving path must share bits with
+      // the offline forward, not just approximate it.
+      EXPECT_EQ(cold.value().scores[k].ctr, direct_ctr[k])
+          << "threads=" << threads << " candidate=" << i;
+      EXPECT_EQ(cold.value().scores[k].alpha, direct_alpha[k])
+          << "threads=" << threads << " candidate=" << i;
+      EXPECT_EQ(warm.value().scores[k].ctr, cold.value().scores[k].ctr);
+      EXPECT_EQ(warm.value().scores[k].alpha, cold.value().scores[k].alpha);
+      EXPECT_EQ(warm.value().scores[k].reweighted,
+                cold.value().scores[k].reweighted);
+    }
+    EXPECT_EQ(warm.value().playlist, cold.value().playlist);
+  }
+  parallel::SetNumThreads(restore_threads);
+}
+
+TEST(ServeGoldenTest, WarmRequestsHitTheCache) {
+  const data::World world(SmallWorldConfig(), 12);
+  Engine engine(BuildSnapshot(world, 22), ImmediateDispatch());
+  Rng rng(6);
+  const ScoreRequest request = MakeRequest(world, 3, 6, 3, &rng);
+
+  telemetry::Counter* hits = telemetry::GetCounter("uae.serve.cache_hits");
+  telemetry::Counter* misses =
+      telemetry::GetCounter("uae.serve.cache_misses");
+  const int64_t hits_before = hits->Get();
+  const int64_t misses_before = misses->Get();
+  ASSERT_TRUE(engine.Score(request).ok());
+  EXPECT_EQ(misses->Get() - misses_before, 1);
+  EXPECT_EQ(hits->Get() - hits_before, 0);
+  ASSERT_TRUE(engine.Score(request).ok());
+  EXPECT_EQ(hits->Get() - hits_before, 1);
+}
+
+// ---------------------------------------------------------------------
+// Batching, shedding, validation.
+
+TEST(EngineTest, CoalescesConcurrentRequestsIntoBatches) {
+  const data::World world(SmallWorldConfig(), 13);
+  EngineConfig config;
+  config.max_batch = 8;
+  config.max_wait_us = 50000;  // Linger long enough to gather the burst.
+  Engine engine(BuildSnapshot(world, 23), config);
+
+  Rng rng(7);
+  std::vector<ScoreRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(MakeRequest(world, i, 4, 2, &rng));
+  }
+  telemetry::Counter* batches = telemetry::GetCounter("uae.serve.batches");
+  const int64_t batches_before = batches->Get();
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      if (engine.Score(requests[static_cast<size_t>(i)]).ok()) ++ok_count;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), 8);
+  // 8 requests in fewer than 8 dispatches proves coalescing happened;
+  // the exact grouping depends on arrival timing.
+  EXPECT_LT(batches->Get() - batches_before, 8);
+}
+
+TEST(EngineTest, ExpiredDeadlineIsShedNotServed) {
+  const data::World world(SmallWorldConfig(), 14);
+  Engine engine(BuildSnapshot(world, 24), ImmediateDispatch());
+  Rng rng(8);
+  ScoreRequest request = MakeRequest(world, 1, 4, 2, &rng);
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  telemetry::Counter* shed = telemetry::GetCounter("uae.serve.shed");
+  const int64_t shed_before = shed->Get();
+  const StatusOr<ScoreResponse> response = engine.Score(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed->Get() - shed_before, 1);
+}
+
+TEST(EngineTest, FullQueueShedsInsteadOfStalling) {
+  const data::World world(SmallWorldConfig(), 15);
+  EngineConfig config;
+  config.max_wait_us = 0;
+  config.max_batch = 1;
+  config.max_queue = 1;
+  Engine engine(BuildSnapshot(world, 25), config);
+
+  // Slow requests: a long cold history keeps the dispatcher busy while
+  // the burst arrives, so the bounded queue must turn clients away.
+  Rng rng(9);
+  const data::Event step = world.ScoringEvent(0, world.SampleSong(&rng), 3, 2);
+  auto slow_request = [&](int user) {
+    ScoreRequest req;
+    req.user = user;
+    req.history.assign(1500, step);
+    req.candidate_songs = {0};
+    req.candidates = {world.ScoringEvent(user, 0, 3, 2)};
+    return req;
+  };
+
+  telemetry::Counter* shed = telemetry::GetCounter("uae.serve.shed");
+  const int64_t shed_before = shed->Get();
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      const StatusOr<ScoreResponse> response = engine.Score(slow_request(i));
+      if (response.ok()) {
+        ++ok_count;
+      } else {
+        EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+        ++shed_count;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_GE(ok_count.load(), 1);
+  EXPECT_GE(shed_count.load(), 1);
+  EXPECT_EQ(shed->Get() - shed_before, shed_count.load());
+}
+
+TEST(EngineTest, RejectsMalformedRequests) {
+  const data::World world(SmallWorldConfig(), 16);
+  Engine engine(BuildSnapshot(world, 26), ImmediateDispatch());
+  Rng rng(10);
+
+  ScoreRequest empty;
+  empty.user = 1;
+  EXPECT_EQ(engine.Score(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ScoreRequest misaligned = MakeRequest(world, 1, 2, 2, &rng);
+  misaligned.candidate_songs.pop_back();
+  EXPECT_EQ(engine.Score(misaligned).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ScoreRequest narrow = MakeRequest(world, 1, 2, 2, &rng);
+  narrow.candidates[0].sparse.pop_back();
+  EXPECT_EQ(engine.Score(narrow).status().code(),
+            StatusCode::kInvalidArgument);
+
+  engine.Stop();
+  ScoreRequest after_stop = MakeRequest(world, 1, 2, 2, &rng);
+  EXPECT_EQ(engine.Score(after_stop).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot versioning and hot-swap.
+
+TEST(EngineTest, ResponsesTagSnapshotVersionAcrossSwap) {
+  const data::World world(SmallWorldConfig(), 17);
+  Engine engine(BuildSnapshot(world, 27, /*version=*/70),
+                ImmediateDispatch());
+  Rng rng(11);
+  const ScoreRequest request = MakeRequest(world, 2, 5, 3, &rng);
+
+  const StatusOr<ScoreResponse> before = engine.Score(request);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().snapshot_version, 70u);
+
+  telemetry::Counter* misses =
+      telemetry::GetCounter("uae.serve.cache_misses");
+  const int64_t misses_before = misses->Get();
+  engine.Swap(BuildSnapshot(world, 28, /*version=*/71));
+  const StatusOr<ScoreResponse> after = engine.Score(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().snapshot_version, 71u);
+  // The cached hidden state was computed by snapshot 70, so the first
+  // request after the swap must miss (lazy invalidation).
+  EXPECT_EQ(misses->Get() - misses_before, 1);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint loading and fingerprint validation.
+
+TEST(SnapshotTest, LoadRoundTripsThroughCheckpoints) {
+  const data::World world(SmallWorldConfig(), 18);
+  Rng rng(30);
+  models::ModelConfig model_config;
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), model_config);
+  attention::AttentionTower tower(&rng, world.schema(),
+                                  attention::TowerConfig());
+
+  const std::string model_path = testing::TempDir() + "/serve_model.ckpt";
+  const std::string tower_path = testing::TempDir() + "/serve_tower.ckpt";
+  ASSERT_TRUE(SaveRecommender(*model, models::ModelKind::kLr, model_config,
+                              model_path)
+                  .ok());
+  const std::string tower_arch =
+      attention::TowerArchConfig(attention::TowerConfig());
+  ASSERT_TRUE(nn::SaveParameters(tower, tower_path, &tower_arch).ok());
+
+  SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_config = model_config;
+  spec.model_path = model_path;
+  spec.tower_path = tower_path;
+  const StatusOr<std::shared_ptr<const ModelSnapshot>> loaded =
+      ModelSnapshot::Load(spec);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded.value()->tower(), nullptr);
+  EXPECT_GT(loaded.value()->version(), 0u);
+}
+
+TEST(SnapshotTest, LoadRejectsArchitectureMismatch) {
+  const data::World world(SmallWorldConfig(), 19);
+  Rng rng(31);
+  models::ModelConfig model_config;
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), model_config);
+  const std::string model_path = testing::TempDir() + "/serve_mismatch.ckpt";
+  ASSERT_TRUE(SaveRecommender(*model, models::ModelKind::kLr, model_config,
+                              model_path)
+                  .ok());
+
+  SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_config = model_config;
+  spec.model_config.history_length += 1;  // Not the trained architecture.
+  spec.model_path = model_path;
+  const StatusOr<std::shared_ptr<const ModelSnapshot>> loaded =
+      ModelSnapshot::Load(spec);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, LoadAcceptsFingerprintlessCheckpoints) {
+  const data::World world(SmallWorldConfig(), 20);
+  Rng rng(32);
+  models::ModelConfig model_config;
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), model_config);
+  // Written without the fingerprint block, like pre-existing checkpoints.
+  const std::string model_path = testing::TempDir() + "/serve_legacy.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(*model, model_path).ok());
+
+  SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_config = model_config;
+  spec.model_path = model_path;
+  EXPECT_TRUE(ModelSnapshot::Load(spec).ok());
+}
+
+// ---------------------------------------------------------------------
+// Replay driver smoke.
+
+TEST(ReplayTest, ReportsClosedLoopAndCacheEffect) {
+  ReplayConfig config;
+  config.world = SmallWorldConfig();
+  config.requests = 8;
+  config.history_length = 10;
+  config.candidates = 3;
+  config.client_threads = 2;
+  config.engine.max_wait_us = 0;
+  const StatusOr<ReplayReport> report = RunReplay(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().closed_requests, 8);
+  EXPECT_GT(report.value().snapshot_version, 0u);
+  EXPECT_GT(report.value().cold_seconds, 0.0);
+  EXPECT_GT(report.value().warm_seconds, 0.0);
+  // Pass 1 misses every user, pass 2 hits every user.
+  EXPECT_DOUBLE_EQ(report.value().cache_hit_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace uae::serve

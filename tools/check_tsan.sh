@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-labeled
-# test subset (parallel_*, trace_test, telemetry_test) against it.
+# test subset (parallel_*, trace_test, telemetry_test, the serve
+# hot-swap hammer) against it.
 #
 # TSan and ASan runtimes cannot coexist, so this uses a dedicated
 # build-tsan/ tree (-DUAE_SANITIZE=thread) next to the normal build.
@@ -16,7 +17,8 @@ build="$repo/build-tsan"
 cmake -S "$repo" -B "$build" -DUAE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j"$(nproc)" --target \
-  parallel_test parallel_determinism_test trace_test telemetry_test
+  parallel_test parallel_determinism_test trace_test telemetry_test \
+  serve_hammer_test
 
 # second_deadlock_stack gives both stacks on lock-order reports;
 # halt_on_error fails fast instead of drowning in repeats.

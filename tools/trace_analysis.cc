@@ -379,6 +379,31 @@ CompareResult CompareBench(const TraceData& old_trace,
   add("peak_rss_bytes", old_bench.GetNumber("peak_rss_bytes"),
       new_bench.GetNumber("peak_rss_bytes"), /*gate=*/false,
       /*higher_is_worse=*/true);
+  // Serving extras (bench/serve_replay baselines). Informational rows:
+  // the replay's wall time is already gated above, and these are noisier
+  // than wall — but a latency or hit-rate drift shows up side by side
+  // with the training numbers here.
+  add("serve_warm_speedup", old_bench.GetNumber("serve_warm_speedup"),
+      new_bench.GetNumber("serve_warm_speedup"), /*gate=*/false,
+      /*higher_is_worse=*/false);
+  add("serve_warm_qps", old_bench.GetNumber("serve_warm_qps"),
+      new_bench.GetNumber("serve_warm_qps"), /*gate=*/false,
+      /*higher_is_worse=*/false);
+  add("serve_p50_ms", old_bench.GetNumber("serve_p50_ms"),
+      new_bench.GetNumber("serve_p50_ms"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_p95_ms", old_bench.GetNumber("serve_p95_ms"),
+      new_bench.GetNumber("serve_p95_ms"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_p99_ms", old_bench.GetNumber("serve_p99_ms"),
+      new_bench.GetNumber("serve_p99_ms"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_cache_hit_rate", old_bench.GetNumber("serve_cache_hit_rate"),
+      new_bench.GetNumber("serve_cache_hit_rate"), /*gate=*/false,
+      /*higher_is_worse=*/false);
+  add("serve_shed_rate", old_bench.GetNumber("serve_shed_rate"),
+      new_bench.GetNumber("serve_shed_rate"), /*gate=*/false,
+      /*higher_is_worse=*/true);
   result.total_old_us = old_bench.GetNumber("wall_s") * 1e6;
   result.total_new_us = new_bench.GetNumber("wall_s") * 1e6;
   result.regression = result.worst_ratio > tolerance;

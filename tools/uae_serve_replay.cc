@@ -1,0 +1,142 @@
+// uae_serve_replay: drives serve::Engine with simulated traffic.
+//
+//   uae_serve_replay [flags]
+//
+// Two phases (see serve/replay.h): a closed loop that replays the same
+// request set cold then warm — the ratio is what the session-state cache
+// buys — and an optional open loop that offers a fixed QPS with
+// per-request deadlines to demonstrate shedding beyond capacity.
+//
+//   --requests N        distinct users / requests per pass   (256)
+//   --history N         session-tail events per request      (96)
+//   --candidates N      candidate pool per request           (10)
+//   --threads N         client threads                       (8)
+//   --max-batch N       engine batch size                    (8)
+//   --max-queue N       engine queue bound                   (64)
+//   --max-wait-us N     dispatcher linger                    (0)
+//   --qps X             open-loop offered QPS (0 = skip)     (0)
+//   --qps-factor F      offer F x the measured warm
+//                       throughput instead of a fixed QPS    (0)
+//   --open-requests N   open-loop request count              (4 * requests)
+//   --deadline-ms N     open-loop per-request deadline       (50)
+//   --checkpoint-dir D  stage the snapshot through UAECKPT2
+//                       files in D (exercises fingerprint
+//                       validation); default serves in-process
+//   --sessions N        simulated world size                 (400)
+//
+// Exit codes: 0 ok, 1 replay failed, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "serve/replay.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: uae_serve_replay [--requests N] [--history N] "
+               "[--candidates N]\n"
+               "                        [--threads N] [--max-batch N] "
+               "[--max-queue N]\n"
+               "                        [--max-wait-us N] [--qps X] "
+               "[--qps-factor F] [--open-requests N]\n"
+               "                        [--deadline-ms N] "
+               "[--checkpoint-dir DIR] [--sessions N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uae;
+  SetLogLevel(LogLevel::kWarning);
+
+  serve::ReplayConfig config;
+  config.world = data::GeneratorConfig::ProductPreset();
+  config.world.num_sessions = 400;
+  config.engine.max_wait_us = 0;
+  int open_requests = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoi(argv[++i]);
+      return true;
+    };
+    if (arg == "--requests") {
+      if (!next_int(&config.requests)) return Usage();
+    } else if (arg == "--history") {
+      if (!next_int(&config.history_length)) return Usage();
+    } else if (arg == "--candidates") {
+      if (!next_int(&config.candidates)) return Usage();
+    } else if (arg == "--threads") {
+      if (!next_int(&config.client_threads)) return Usage();
+    } else if (arg == "--max-batch") {
+      if (!next_int(&config.engine.max_batch)) return Usage();
+    } else if (arg == "--max-queue") {
+      if (!next_int(&config.engine.max_queue)) return Usage();
+    } else if (arg == "--max-wait-us") {
+      if (!next_int(&config.engine.max_wait_us)) return Usage();
+    } else if (arg == "--qps" && i + 1 < argc) {
+      config.offered_qps = std::atof(argv[++i]);
+    } else if (arg == "--qps-factor" && i + 1 < argc) {
+      config.offered_qps_factor = std::atof(argv[++i]);
+    } else if (arg == "--open-requests") {
+      if (!next_int(&open_requests)) return Usage();
+    } else if (arg == "--deadline-ms") {
+      if (!next_int(&config.deadline_ms)) return Usage();
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      config.checkpoint_dir = argv[++i];
+    } else if (arg == "--sessions") {
+      if (!next_int(&config.world.num_sessions)) return Usage();
+    } else {
+      std::fprintf(stderr, "uae_serve_replay: unknown flag %s\n",
+                   arg.c_str());
+      return Usage();
+    }
+  }
+  config.open_loop_requests =
+      open_requests > 0 ? open_requests : 4 * config.requests;
+
+  std::printf("replaying %d requests (history %d, %d candidates) on %d "
+              "client threads%s...\n",
+              config.requests, config.history_length, config.candidates,
+              config.client_threads,
+              config.checkpoint_dir.empty() ? ""
+                                            : " via staged checkpoints");
+  const StatusOr<serve::ReplayReport> replayed = serve::RunReplay(config);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "uae_serve_replay: %s\n",
+                 replayed.status().ToString().c_str());
+    return 1;
+  }
+  const serve::ReplayReport& r = replayed.value();
+
+  std::printf("\nsnapshot version  %llu\n",
+              static_cast<unsigned long long>(r.snapshot_version));
+  std::printf("closed loop       %lld requests/pass\n",
+              static_cast<long long>(r.closed_requests));
+  std::printf("  cold pass       %.3fs (full-history replay)\n",
+              r.cold_seconds);
+  std::printf("  warm pass       %.3fs (cached GRU state)\n",
+              r.warm_seconds);
+  std::printf("  warm speedup    %.1fx\n", r.warm_speedup);
+  std::printf("  warm throughput %.1f req/s\n", r.warm_qps);
+  std::printf("  warm latency    p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+              r.p50_ms, r.p95_ms, r.p99_ms);
+  std::printf("  cache hit rate  %.1f%%\n", 100.0 * r.cache_hit_rate);
+  if (r.open_requests > 0) {
+    std::printf("open loop         %lld requests offered at %.1f QPS\n",
+                static_cast<long long>(r.open_requests), r.offered_qps);
+    std::printf("  completed       %lld (%.1f QPS achieved)\n",
+                static_cast<long long>(r.open_completed), r.achieved_qps);
+    std::printf("  shed            %lld (%.1f%%)\n",
+                static_cast<long long>(r.open_shed), 100.0 * r.shed_rate);
+  }
+  return 0;
+}
