@@ -39,6 +39,13 @@ int main(int argc, char** argv) {
   // clients block on their own responses.
   config.open_loop_requests = 8 * config.requests;
   config.deadline_ms = 10;
+  // Resilience phase: after the closed loop, promote a functionally
+  // identical candidate through a full canary -> ramp -> full rollout
+  // under live traffic, with shed retries on. The baseline then carries
+  // degraded-rate and rollback-count — both should stay pinned at zero
+  // on a healthy serve path, so any drift is a regression signal.
+  config.exercise_rollout = true;
+  config.retries = 2;
 
   std::printf("replaying %d requests (history %d, %d candidates), then "
               "offering 3x warm capacity...\n",
@@ -62,6 +69,9 @@ int main(int argc, char** argv) {
   table.AddRow({"offered QPS", AsciiTable::Fmt(r.offered_qps, 1)});
   table.AddRow({"achieved QPS", AsciiTable::Fmt(r.achieved_qps, 1)});
   table.AddRow({"shed rate", AsciiTable::Fmt(r.shed_rate, 3)});
+  table.AddRow({"degraded rate", AsciiTable::Fmt(r.degraded_rate, 3)});
+  table.AddRow({"rollout finished", r.rollout_stage});
+  table.AddRow({"rollbacks", AsciiTable::Fmt(double(r.rollout_rollbacks), 0)});
   std::printf("%s", table.ToString().c_str());
 
   CsvWriter csv({"metric", "value"});
@@ -76,6 +86,8 @@ int main(int argc, char** argv) {
   csv.AddRow({"offered_qps", AsciiTable::Fmt(r.offered_qps, 1)});
   csv.AddRow({"achieved_qps", AsciiTable::Fmt(r.achieved_qps, 1)});
   csv.AddRow({"shed_rate", AsciiTable::Fmt(r.shed_rate, 3)});
+  csv.AddRow({"degraded_rate", AsciiTable::Fmt(r.degraded_rate, 3)});
+  csv.AddRow({"rollbacks", AsciiTable::Fmt(double(r.rollout_rollbacks), 0)});
   bench::ExportCsv(csv, "serve_replay");
 
   bench::RecordBaselineExtra("serve_warm_speedup",
@@ -92,13 +104,24 @@ int main(int argc, char** argv) {
                              telemetry::JsonNumber(r.cache_hit_rate));
   bench::RecordBaselineExtra("serve_shed_rate",
                              telemetry::JsonNumber(r.shed_rate));
+  bench::RecordBaselineExtra("serve_degraded_rate",
+                             telemetry::JsonNumber(r.degraded_rate));
+  bench::RecordBaselineExtra(
+      "serve_rollbacks",
+      telemetry::JsonNumber(static_cast<double>(r.rollout_rollbacks)));
 
   const bool warm_ok = r.warm_speedup >= 5.0;
   const bool shed_ok = r.open_shed > 0 && r.open_completed > 0;
+  // A healthy, identical candidate must ride the whole ladder without
+  // the health gate firing.
+  const bool rollout_ok = r.rollout_stage == "idle" &&
+                          r.rollout_rollbacks == 0;
   std::printf("\nshape check: warm cache >= 5x over full replay: %s\n",
               warm_ok ? "PASS" : "FAIL");
   std::printf("shape check: overload sheds while still serving: %s\n",
               shed_ok ? "PASS" : "FAIL");
+  std::printf("shape check: identical candidate promotes cleanly: %s\n",
+              rollout_ok ? "PASS" : "FAIL");
   const int finish = bench::Finish();
-  return (warm_ok && shed_ok) ? finish : 1;
+  return (warm_ok && shed_ok && rollout_ok) ? finish : 1;
 }

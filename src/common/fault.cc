@@ -1,6 +1,8 @@
 #include "common/fault.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace uae {
 
@@ -42,6 +44,25 @@ bool FaultInjector::ShouldFire(const std::string& point) {
   const bool fires = state.rng.Bernoulli(state.spec.probability);
   if (fires) ++state.stats.fires;
   return fires;
+}
+
+int64_t FaultInjector::DelayMicros(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(point);
+  if (it == states_.end()) return 0;
+  State& state = it->second;
+  ++state.stats.trials;
+  if (!state.rng.Bernoulli(state.spec.probability)) return 0;
+  ++state.stats.fires;
+  return state.spec.delay_micros;
+}
+
+int64_t FaultInjector::InjectDelay(const std::string& point) {
+  const int64_t micros = Instance().DelayMicros(point);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+  return micros;
 }
 
 FaultInjector::FaultStats FaultInjector::Stats(

@@ -20,10 +20,26 @@ namespace uae {
 /// recovery paths keep the system healthy. When nothing is armed the
 /// macro is a single relaxed atomic load — safe to leave in hot loops.
 ///
+/// Two flavors of fault site:
+///   - Failure points (UAE_FAULT_POINT): a boolean draw; the call site
+///     decides what "failing" means (corrupt a line, tear a write, ...).
+///   - Latency points (UAE_FAULT_DELAY): when the draw fires, the calling
+///     thread sleeps for the armed delay_micros — a deterministic
+///     *sequence* of latency spikes (which calls stall is reproducible;
+///     the wall-clock effect of course is not).
+///
 /// Registered fault points (see DESIGN.md "Failure model & recovery"):
-///   io.read     — dataset text import corrupts the current line
-///   ckpt.write  — checkpoint write aborts mid-payload (partial write)
-///   grad.nan    — a parameter gradient is poisoned with NaN post-backward
+///   io.read               — dataset text import corrupts the current line
+///   ckpt.write            — checkpoint write aborts mid-payload
+///   grad.nan              — a parameter gradient is poisoned with NaN
+///   snapshot.load.corrupt — a checkpoint payload byte is flipped after
+///                           the read, before CRC validation (the load
+///                           must reject it cleanly, never abort)
+///   serve.score.delay     — latency spike injected in the serve engine's
+///                           scoring path (delay_micros per fire)
+///   cache.evict.storm     — the session-state cache evicts the looked-up
+///                           entry instead of returning it (cold-cache
+///                           storm: every hit turns into a miss + replay)
 ///
 /// Each armed point draws from its own Rng, so firing sequences are
 /// reproducible per point and independent of arming order or of other
@@ -34,6 +50,9 @@ class FaultInjector {
     /// Probability in [0,1] that one ShouldFire() call fires.
     double probability = 0.0;
     uint64_t seed = 1;
+    /// Sleep injected when a latency point fires (UAE_FAULT_DELAY).
+    /// Ignored by plain failure points.
+    int64_t delay_micros = 0;
   };
 
   /// Per-point counters, for asserting coverage in chaos tests.
@@ -61,6 +80,14 @@ class FaultInjector {
   /// Draws once for `point`; returns true if the fault fires. Unarmed
   /// points never fire (but are counted as a trial only when armed).
   bool ShouldFire(const std::string& point);
+
+  /// Draws once for `point`; returns the armed delay_micros when the
+  /// draw fires, 0 otherwise (and always 0 for unarmed points).
+  int64_t DelayMicros(const std::string& point);
+
+  /// Sleeps the calling thread for DelayMicros(point) when armed; the
+  /// body of UAE_FAULT_DELAY. Returns the injected micros (0 = none).
+  static int64_t InjectDelay(const std::string& point);
 
   /// Stats for a point (zeros if never armed since the last DisarmAll).
   FaultStats Stats(const std::string& point) const;
@@ -90,5 +117,11 @@ class FaultInjector {
 #define UAE_FAULT_POINT(point) \
   (::uae::FaultInjector::Enabled() && \
    ::uae::FaultInjector::Instance().ShouldFire(point))
+
+/// Injects the armed latency spike (sleeps the calling thread) when the
+/// named point fires. One relaxed load when nothing is armed.
+#define UAE_FAULT_DELAY(point) \
+  (void)(::uae::FaultInjector::Enabled() && \
+         (::uae::FaultInjector::InjectDelay(point), true))
 
 #endif  // UAE_COMMON_FAULT_H_

@@ -91,8 +91,12 @@ double StudentTCdf(double t, double degrees_of_freedom) {
 TTestResult WelchTTest(const std::vector<double>& a,
                        const std::vector<double>& b) {
   UAE_CHECK(a.size() >= 2 && b.size() >= 2);
-  const SampleSummary sa = Summarize(a);
-  const SampleSummary sb = Summarize(b);
+  return WelchTTestFromSummary(Summarize(a), Summarize(b));
+}
+
+TTestResult WelchTTestFromSummary(const SampleSummary& sa,
+                                  const SampleSummary& sb) {
+  UAE_CHECK(sa.n >= 2 && sb.n >= 2);
   const double va = sa.stddev * sa.stddev / sa.n;
   const double vb = sb.stddev * sb.stddev / sb.n;
   TTestResult out;

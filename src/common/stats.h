@@ -30,6 +30,13 @@ struct TTestResult {
 TTestResult WelchTTest(const std::vector<double>& a,
                        const std::vector<double>& b);
 
+/// The same test from precomputed summaries (n/mean/stddev), so callers
+/// that maintain sliding-window statistics (serve::HealthTracker) can
+/// judge without materializing the raw samples. Requires n >= 2 on both
+/// sides.
+TTestResult WelchTTestFromSummary(const SampleSummary& a,
+                                  const SampleSummary& b);
+
 /// Two-sided critical value of Student's t at 95% confidence for the
 /// given degrees of freedom (>= 1; interpolated table).
 double TCritical95(double degrees_of_freedom);

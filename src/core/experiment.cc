@@ -144,6 +144,27 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
                            ->Get()))
               .Set("requests", serve_requests)
               .Set("shed", telemetry::GetCounter("uae.serve.shed")->Get())
+              // Per-reason shed breakdown plus the resilience-layer
+              // counters: a jump in shed.deadline points at batching or
+              // model cost, shed.breaker_open at an upstream failure
+              // cascade, rollout.rollbacks at a bad candidate that the
+              // health gate caught. `draining` sheds are excluded from
+              // the `shed` total above (shutdown, not overload).
+              .Set("shed_deadline",
+                   telemetry::GetCounter("uae.serve.shed.deadline")->Get())
+              .Set("shed_queue_full",
+                   telemetry::GetCounter("uae.serve.shed.queue_full")->Get())
+              .Set("shed_breaker_open",
+                   telemetry::GetCounter("uae.serve.shed.breaker_open")->Get())
+              .Set("shed_draining",
+                   telemetry::GetCounter("uae.serve.shed.draining")->Get())
+              .Set("degraded",
+                   telemetry::GetCounter("uae.serve.degraded")->Get())
+              .Set("breaker_transitions",
+                   telemetry::GetCounter("uae.serve.breaker.transitions")
+                       ->Get())
+              .Set("rollout_rollbacks",
+                   telemetry::GetCounter("uae.serve.rollout.rollbacks")->Get())
               .Set("cache_hits",
                    telemetry::GetCounter("uae.serve.cache_hits")->Get())
               .Set("cache_misses",

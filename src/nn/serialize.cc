@@ -226,6 +226,12 @@ StatusOr<LoadedTensors> LoadTensorsWithInfo(const std::string& path) {
     if (static_cast<uint64_t>(file.gcount()) != payload_size) {
       return Status::IoError("truncated checkpoint " + path);
     }
+    // Chaos hook: flip one payload byte post-read, pre-CRC — models a
+    // bit-rotted or torn file arriving at a snapshot load. The CRC below
+    // must reject it with a clean Status, never abort or stage tensors.
+    if (!payload.empty() && UAE_FAULT_POINT("snapshot.load.corrupt")) {
+      payload[payload.size() / 2] ^= 0x40;
+    }
     const uint32_t actual_crc = Crc32(payload.data(), payload.size());
     if (actual_crc != expected_crc) {
       return Status::IoError("CRC mismatch in " + path + ": stored " +

@@ -6,6 +6,7 @@
 
 #include "attention/reweight.h"
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "models/trainer.h"
@@ -116,6 +117,73 @@ ScoreResponse ScoreOne(const ModelSnapshot& snap, const EngineConfig& config,
   return resp;
 }
 
+/// Ranks `scores` in place into a playlist, sharing the sort call with
+/// ScoreOne so degraded and full responses use the same tie behavior.
+void BuildPlaylist(const EngineConfig& config, ScoreResponse* resp) {
+  std::vector<size_t> order(resp->scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double sa = config.rank_by_reweighted ? resp->scores[a].reweighted
+                                                : resp->scores[a].ctr;
+    const double sb = config.rank_by_reweighted ? resp->scores[b].reweighted
+                                                : resp->scores[b].ctr;
+    return sa > sb;
+  });
+  resp->playlist.clear();
+  resp->playlist.reserve(std::min(
+      order.size(), static_cast<size_t>(config.playlist_length)));
+  for (size_t i = 0;
+       i < order.size() && static_cast<int>(i) < config.playlist_length;
+       ++i) {
+    resp->playlist.push_back(resp->scores[order[i]].song);
+  }
+}
+
+/// The degraded fallback: a response from the snapshot's popularity
+/// prior — no queue wait, no GRU replay, no session-cache traffic. A
+/// snapshot without a prior table gets a history-free CTR pass instead
+/// (still no recurrent replay, which is the expensive part). Never
+/// fails: this is what the engine serves when it must answer *something*.
+ScoreResponse DegradedScore(const ModelSnapshot& snap,
+                            const EngineConfig& config,
+                            const ScoreRequest& req) {
+  ScoreResponse resp;
+  resp.snapshot_version = snap.version();
+  resp.degraded = true;
+  const int n = static_cast<int>(req.candidates.size());
+
+  std::vector<double> base(static_cast<size_t>(n), 0.0);
+  if (snap.has_prior()) {
+    for (int i = 0; i < n; ++i) {
+      base[static_cast<size_t>(i)] =
+          snap.PriorScore(req.candidate_songs[static_cast<size_t>(i)]);
+    }
+  } else {
+    data::Dataset probe;
+    probe.schema = snap.schema();
+    data::Session session;
+    session.user = req.user;
+    session.events = req.candidates;
+    probe.sessions.push_back(std::move(session));
+    std::vector<data::EventRef> refs;
+    refs.reserve(req.candidates.size());
+    for (int i = 0; i < n; ++i) refs.push_back({0, i});
+    base = models::ScoreEvents(snap.model(), probe, refs);
+  }
+
+  resp.scores.reserve(req.candidates.size());
+  for (int i = 0; i < n; ++i) {
+    CandidateScore cs;
+    cs.song = req.candidate_songs[static_cast<size_t>(i)];
+    cs.ctr = base[static_cast<size_t>(i)];
+    cs.alpha = 1.0f;  // No attention estimate in degraded mode.
+    cs.reweighted = cs.ctr;
+    resp.scores.push_back(cs);
+  }
+  BuildPlaylist(config, &resp);
+  return resp;
+}
+
 }  // namespace
 
 struct Engine::Pending {
@@ -131,10 +199,18 @@ Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
       cache_(config.cache),
       requests_(telemetry::GetCounter("uae.serve.requests")),
       shed_(telemetry::GetCounter("uae.serve.shed")),
+      shed_deadline_(telemetry::GetCounter("uae.serve.shed.deadline")),
+      shed_queue_full_(telemetry::GetCounter("uae.serve.shed.queue_full")),
+      shed_breaker_(telemetry::GetCounter("uae.serve.shed.breaker_open")),
+      shed_draining_(telemetry::GetCounter("uae.serve.shed.draining")),
+      degraded_(telemetry::GetCounter("uae.serve.degraded")),
       batches_(telemetry::GetCounter("uae.serve.batches")),
       cache_hits_(telemetry::GetCounter("uae.serve.cache_hits")),
       cache_misses_(telemetry::GetCounter("uae.serve.cache_misses")),
       swaps_(telemetry::GetCounter("uae.serve.swaps")),
+      breaker_transitions_(
+          telemetry::GetCounter("uae.serve.breaker.transitions")),
+      breaker_state_gauge_(telemetry::GetGauge("uae.serve.breaker.state")),
       queue_depth_(telemetry::GetGauge("uae.serve.queue_depth")),
       snapshot_version_(telemetry::GetGauge("uae.serve.snapshot_version")),
       request_hist_(telemetry::GetHistogram("uae.serve.request_s")),
@@ -142,6 +218,13 @@ Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
   UAE_CHECK(snapshot_ != nullptr);
   UAE_CHECK(config_.max_batch > 0 && config_.max_queue > 0);
   UAE_CHECK(config_.playlist_length > 0);
+  if (config_.breaker.enabled) {
+    UAE_CHECK(config_.breaker.window > 0);
+    UAE_CHECK(config_.breaker.failure_threshold > 0 &&
+              config_.breaker.failure_threshold <= config_.breaker.window);
+    UAE_CHECK(config_.breaker.open_budget > 0);
+  }
+  breaker_state_gauge_->Set(0.0);
   snapshot_version_->Set(static_cast<double>(snapshot_->version()));
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
@@ -185,7 +268,11 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
         std::to_string(request.candidates.size()) + " vs " +
         std::to_string(request.candidate_songs.size()));
   }
-  const std::shared_ptr<const ModelSnapshot> snap = snapshot();
+  // A pinned snapshot (canary traffic) overrides the published one for
+  // this request only; validation runs against whichever will score it.
+  const std::shared_ptr<const ModelSnapshot> snap =
+      request.pinned_snapshot != nullptr ? request.pinned_snapshot
+                                         : snapshot();
   const int num_sparse = snap->schema().num_sparse();
   const int num_dense = snap->schema().num_dense();
   auto malformed = [&](const data::Event& e) {
@@ -204,6 +291,25 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
     }
   }
 
+  // Breaker front door: while open, requests never touch the queue.
+  bool probe = false;
+  if (config_.breaker.enabled) {
+    switch (BreakerAdmit(&probe)) {
+      case Admission::kAdmit:
+        break;
+      case Admission::kDegrade: {
+        degraded_->Add();
+        ScoreResponse resp = DegradedScore(*snap, config_, request);
+        resp.degraded_reason = "breaker_open";
+        return resp;
+      }
+      case Admission::kShed:
+        shed_->Add();
+        shed_breaker_->Add();
+        return Status::Unavailable("breaker open");
+    }
+  }
+
   auto pending = std::make_unique<Pending>();
   pending->request = std::move(request);
   pending->enqueued = std::chrono::steady_clock::now();
@@ -211,9 +317,19 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
       pending->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) return Status::FailedPrecondition("engine stopped");
+    if (stop_) {
+      // Shutdown is not overload: a distinct status (and shed reason)
+      // lets clients tell "stop retrying, we're going away" from "back
+      // off and retry".
+      shed_draining_->Add();
+      if (config_.breaker.enabled && probe) BreakerRecord(false, true);
+      return Status::FailedPrecondition(
+          queue_.empty() ? "engine stopped" : "engine draining");
+    }
     if (static_cast<int>(queue_.size()) >= config_.max_queue) {
       shed_->Add();
+      shed_queue_full_->Add();
+      if (config_.breaker.enabled) BreakerRecord(true, probe);
       return Status::Unavailable("serve queue full (" +
                                  std::to_string(queue_.size()) + ")");
     }
@@ -221,7 +337,90 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
     queue_depth_->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
-  return future.get();
+  StatusOr<ScoreResponse> result = future.get();
+  if (config_.breaker.enabled) {
+    // Deadline-degraded answers count as failures: the full path did
+    // not deliver, even though the client got a (fallback) response.
+    const bool failure =
+        !result.ok() ||
+        (result.value().degraded && result.value().degraded_reason == "deadline");
+    BreakerRecord(failure, probe);
+  }
+  return result;
+}
+
+Engine::BreakerState Engine::breaker_state() const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breaker_;
+}
+
+void Engine::BreakerTransitionLocked(BreakerState next) {
+  breaker_ = next;
+  breaker_transitions_->Add();
+  breaker_state_gauge_->Set(static_cast<double>(next));
+  trace::Instant("uae.serve.breaker.transition", "state",
+                 static_cast<int64_t>(next));
+}
+
+Engine::Admission Engine::BreakerAdmit(bool* probe) {
+  *probe = false;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  switch (breaker_) {
+    case BreakerState::kClosed:
+      return Admission::kAdmit;
+    case BreakerState::kOpen:
+      if (breaker_open_served_ < config_.breaker.open_budget) {
+        ++breaker_open_served_;
+        return config_.breaker.degrade_when_open ? Admission::kDegrade
+                                                 : Admission::kShed;
+      }
+      // Open budget spent: this request becomes the half-open probe.
+      BreakerTransitionLocked(BreakerState::kHalfOpen);
+      breaker_probe_in_flight_ = true;
+      *probe = true;
+      return Admission::kAdmit;
+    case BreakerState::kHalfOpen:
+      if (!breaker_probe_in_flight_) {
+        breaker_probe_in_flight_ = true;
+        *probe = true;
+        return Admission::kAdmit;
+      }
+      // A probe is already in flight; keep holding the line.
+      return config_.breaker.degrade_when_open ? Admission::kDegrade
+                                               : Admission::kShed;
+  }
+  return Admission::kAdmit;
+}
+
+void Engine::BreakerRecord(bool failure, bool probe) {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  if (probe) {
+    breaker_probe_in_flight_ = false;
+    if (breaker_ == BreakerState::kHalfOpen) {
+      if (failure) {
+        breaker_open_served_ = 0;
+        BreakerTransitionLocked(BreakerState::kOpen);
+      } else {
+        breaker_window_.clear();
+        breaker_failures_ = 0;
+        BreakerTransitionLocked(BreakerState::kClosed);
+      }
+    }
+    return;
+  }
+  if (breaker_ != BreakerState::kClosed) return;
+  breaker_window_.push_back(failure);
+  if (failure) ++breaker_failures_;
+  if (static_cast<int>(breaker_window_.size()) > config_.breaker.window) {
+    if (breaker_window_.front()) --breaker_failures_;
+    breaker_window_.pop_front();
+  }
+  if (breaker_failures_ >= config_.breaker.failure_threshold) {
+    breaker_window_.clear();
+    breaker_failures_ = 0;
+    breaker_open_served_ = 0;
+    BreakerTransitionLocked(BreakerState::kOpen);
+  }
 }
 
 void Engine::DispatcherLoop() {
@@ -272,13 +471,29 @@ void Engine::ProcessBatch(
           Pending& pending = *batch[static_cast<size_t>(i)];
           trace::Span request_span("uae.serve.request", "user",
                                    pending.request.user);
+          // Canary requests score against their pinned snapshot; the
+          // batch snapshot serves everyone else.
+          const ModelSnapshot& snap =
+              pending.request.pinned_snapshot != nullptr
+                  ? *pending.request.pinned_snapshot
+                  : *snapshot;
           if (dispatch_time > pending.request.deadline) {
-            shed_->Add();
-            pending.promise.set_value(Status::Unavailable(
-                "deadline expired before dispatch"));
+            if (config_.degrade_on_deadline) {
+              degraded_->Add();
+              ScoreResponse resp =
+                  DegradedScore(snap, config_, pending.request);
+              resp.degraded_reason = "deadline";
+              pending.promise.set_value(std::move(resp));
+            } else {
+              shed_->Add();
+              shed_deadline_->Add();
+              pending.promise.set_value(Status::Unavailable(
+                  "deadline expired before dispatch"));
+            }
             continue;
           }
-          pending.promise.set_value(ScoreOne(*snapshot, config_, &cache_,
+          UAE_FAULT_DELAY("serve.score.delay");
+          pending.promise.set_value(ScoreOne(snap, config_, &cache_,
                                              cache_hits_, cache_misses_,
                                              pending.request));
           request_hist_->Record(

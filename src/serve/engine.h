@@ -17,6 +17,32 @@
 
 namespace uae::serve {
 
+/// Count-based circuit breaker over the serve path's error/deadline
+/// budget (DESIGN.md §12). All state transitions are driven by request
+/// *counts*, never wall time, so breaker cycles are deterministic in
+/// tests and independent of host speed.
+///
+/// Closed: outcomes of admitted requests land in a sliding window; when
+/// failures (deadline misses, queue-full sheds, internal errors) in the
+/// window reach failure_threshold the breaker opens. Open: the next
+/// open_budget requests never touch the queue — they are served the
+/// degraded fallback score (or cleanly shed when degrade_when_open is
+/// off). Half-open: the request after the open budget is admitted as a
+/// probe; its success closes the breaker (window reset), its failure
+/// re-opens it for another open_budget requests.
+struct BreakerConfig {
+  bool enabled = false;
+  /// Outcomes remembered while closed.
+  int window = 64;
+  /// Failures within the window that trip the breaker open.
+  int failure_threshold = 16;
+  /// Requests served degraded/shed per open period before probing.
+  int open_budget = 32;
+  /// Open behavior: degraded fallback response (true) or kUnavailable
+  /// shed counted under breaker_open (false).
+  bool degrade_when_open = true;
+};
+
 /// Engine tuning knobs. The defaults favor latency over batching; the
 /// replay tool sweeps them.
 struct EngineConfig {
@@ -34,6 +60,13 @@ struct EngineConfig {
   /// treatment model is already *trained* with UAE weights, Eq. 18);
   /// true ranks by the Eq. 19 attention-reweighted score instead.
   bool rank_by_reweighted = false;
+  /// A request whose deadline expired before dispatch is served the
+  /// degraded fallback score (tagged degraded=true) instead of being
+  /// shed with kUnavailable. Off by default: shedding is the right
+  /// default for replay/batch clients that retry; degraded answers are
+  /// for interactive traffic where *an* answer beats none.
+  bool degrade_on_deadline = false;
+  BreakerConfig breaker;
   SessionStateCache::Config cache;
 };
 
@@ -45,9 +78,16 @@ struct ScoreRequest {
   std::vector<data::Event> candidates;
   std::vector<int> candidate_songs;
   /// Requests not *started* by this steady-clock deadline are shed with
-  /// kUnavailable. Default: no deadline.
+  /// kUnavailable (or served degraded under degrade_on_deadline).
+  /// Default: no deadline.
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// When set, the request is scored against this snapshot instead of
+  /// the engine's published one. The rollout controller splits canary
+  /// traffic this way: the engine keeps publishing the incumbent while a
+  /// configured fraction of requests ride the candidate. The session
+  /// cache stays correct either way (entries are keyed by version).
+  std::shared_ptr<const ModelSnapshot> pinned_snapshot;
 };
 
 /// Per-candidate scores, in request order.
@@ -65,6 +105,13 @@ struct ScoreResponse {
   std::vector<CandidateScore> scores;
   /// Top playlist_length song ids, best first, by the configured policy.
   std::vector<int> playlist;
+  /// True when the fallback scorer answered (breaker open or deadline
+  /// pressure): scores are the snapshot's popularity prior (or a
+  /// history-free CTR pass), not the full GRU-reweighted model.
+  bool degraded = false;
+  /// Why the fallback served: "breaker_open" or "deadline" ("" when not
+  /// degraded).
+  std::string degraded_reason;
 };
 
 /// In-process online inference engine.
@@ -84,10 +131,17 @@ struct ScoreResponse {
 /// tags.
 ///
 /// Overload sheds instead of stalling: a full queue or an expired
-/// deadline returns kUnavailable (counted in uae.serve.shed) while the
-/// engine keeps serving what it can.
+/// deadline returns kUnavailable (counted in uae.serve.shed, with
+/// per-reason breakdowns in uae.serve.shed.*) while the engine keeps
+/// serving what it can. With the circuit breaker enabled, a burst of
+/// failures flips the engine into degraded mode instead: requests are
+/// answered synchronously from the snapshot's popularity prior (no
+/// queue, no GRU replay) until a half-open probe proves the full path
+/// healthy again.
 class Engine {
  public:
+  /// Breaker state, exposed for tests and the rollout controller.
+  enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
   Engine(std::shared_ptr<const ModelSnapshot> snapshot,
          const EngineConfig& config);
   ~Engine();
@@ -108,12 +162,25 @@ class Engine {
   std::shared_ptr<const ModelSnapshot> snapshot() const;
 
   /// Stops the dispatcher after draining queued requests; later Score
-  /// calls fail with FailedPrecondition. Idempotent (also run by the
-  /// destructor).
+  /// calls fail with FailedPrecondition ("engine draining" while the
+  /// queue empties, "engine stopped" after — never a kUnavailable shed,
+  /// so clients can tell shutdown from overload). Idempotent (also run
+  /// by the destructor).
   void Stop();
+
+  BreakerState breaker_state() const;
+
+  const EngineConfig& config() const { return config_; }
 
  private:
   struct Pending;
+
+  /// Breaker front-door decision for one arriving request.
+  enum class Admission { kAdmit, kDegrade, kShed };
+
+  Admission BreakerAdmit(bool* probe);
+  void BreakerRecord(bool failure, bool probe);
+  void BreakerTransitionLocked(BreakerState next);
 
   void DispatcherLoop();
   void ProcessBatch(
@@ -135,13 +202,29 @@ class Engine {
   std::deque<std::unique_ptr<Pending>> queue_;
   bool stop_ = false;
 
+  // Circuit-breaker state (own mutex: touched on every Score call, must
+  // not contend with the dispatcher queue lock).
+  mutable std::mutex breaker_mu_;
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::deque<bool> breaker_window_;  // true = failure.
+  int breaker_failures_ = 0;         // Failures in breaker_window_.
+  int breaker_open_served_ = 0;      // Degraded/shed served this period.
+  bool breaker_probe_in_flight_ = false;
+
   // Hot-path metrics, resolved once (registry lookups are mutex-guarded).
   telemetry::Counter* requests_;
   telemetry::Counter* shed_;
+  telemetry::Counter* shed_deadline_;
+  telemetry::Counter* shed_queue_full_;
+  telemetry::Counter* shed_breaker_;
+  telemetry::Counter* shed_draining_;
+  telemetry::Counter* degraded_;
   telemetry::Counter* batches_;
   telemetry::Counter* cache_hits_;
   telemetry::Counter* cache_misses_;
   telemetry::Counter* swaps_;
+  telemetry::Counter* breaker_transitions_;
+  telemetry::Gauge* breaker_state_gauge_;
   telemetry::Gauge* queue_depth_;
   telemetry::Gauge* snapshot_version_;
   telemetry::Histogram* request_hist_;

@@ -1,0 +1,172 @@
+#include "serve/health.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace uae::serve {
+namespace {
+
+/// SampleSummary of a deque without the non-empty precondition of
+/// Summarize (an empty window is a legitimate state here).
+SampleSummary SummarizeDeque(const std::deque<double>& values) {
+  if (values.empty()) return {};
+  return Summarize(std::vector<double>(values.begin(), values.end()));
+}
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kShed:
+      return "shed";
+    case RequestOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+HealthTracker::HealthTracker(const Config& config) : config_(config) {
+  UAE_CHECK(config_.window > 0);
+  UAE_CHECK(config_.thresholds.min_samples > 0);
+}
+
+void HealthTracker::Record(uint64_t version, RequestOutcome outcome,
+                           double latency_s, double mean_score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Window& window = windows_[version];
+  window.outcomes.push_back(outcome);
+  if (static_cast<int>(window.outcomes.size()) > config_.window) {
+    window.outcomes.pop_front();
+  }
+  if ((outcome == RequestOutcome::kOk ||
+       outcome == RequestOutcome::kDegraded) &&
+      latency_s > 0.0) {
+    window.latencies.push_back(latency_s);
+    if (static_cast<int>(window.latencies.size()) > config_.window) {
+      window.latencies.pop_front();
+    }
+  }
+  if (outcome == RequestOutcome::kOk && std::isfinite(mean_score)) {
+    window.scores.push_back(mean_score);
+    if (static_cast<int>(window.scores.size()) > config_.window) {
+      window.scores.pop_front();
+    }
+  }
+}
+
+HealthTracker::WindowStats HealthTracker::StatsLocked(
+    const Window& window) const {
+  WindowStats stats;
+  stats.total = static_cast<int64_t>(window.outcomes.size());
+  for (const RequestOutcome outcome : window.outcomes) {
+    switch (outcome) {
+      case RequestOutcome::kOk:
+        ++stats.ok;
+        break;
+      case RequestOutcome::kDegraded:
+        ++stats.degraded;
+        break;
+      case RequestOutcome::kShed:
+        ++stats.shed;
+        break;
+      case RequestOutcome::kError:
+        ++stats.errors;
+        break;
+    }
+  }
+  if (stats.total > 0) {
+    stats.error_rate =
+        static_cast<double>(stats.errors) / static_cast<double>(stats.total);
+    stats.shed_degraded_rate =
+        static_cast<double>(stats.shed + stats.degraded) /
+        static_cast<double>(stats.total);
+  }
+  stats.latency = SummarizeDeque(window.latencies);
+  stats.score = SummarizeDeque(window.scores);
+  return stats;
+}
+
+HealthTracker::WindowStats HealthTracker::Stats(uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(version);
+  if (it == windows_.end()) return {};
+  return StatsLocked(it->second);
+}
+
+HealthTracker::Verdict HealthTracker::Judge(
+    uint64_t candidate_version, uint64_t incumbent_version) const {
+  const HealthThresholds& t = config_.thresholds;
+  WindowStats cand;
+  WindowStats inc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto cit = windows_.find(candidate_version);
+    if (cit != windows_.end()) cand = StatsLocked(cit->second);
+    auto iit = windows_.find(incumbent_version);
+    if (iit != windows_.end()) inc = StatsLocked(iit->second);
+  }
+
+  Verdict verdict;
+  verdict.error_rate = cand.error_rate;
+  // Insufficient evidence is never a rollback: a canary that has served
+  // three requests hasn't proven anything either way.
+  if (cand.total < t.min_samples) return verdict;
+
+  if (t.max_error_rate > 0.0 && cand.error_rate > t.max_error_rate) {
+    verdict.healthy = false;
+    verdict.reason = "error_rate";
+    return verdict;
+  }
+
+  const bool incumbent_ready = inc.total >= t.min_samples;
+  if (incumbent_ready) {
+    verdict.shed_degraded_delta =
+        cand.shed_degraded_rate - inc.shed_degraded_rate;
+    if (t.max_shed_degraded_delta > 0.0 &&
+        verdict.shed_degraded_delta > t.max_shed_degraded_delta) {
+      verdict.healthy = false;
+      verdict.reason = "shed_degraded_delta";
+      return verdict;
+    }
+    if (cand.latency.n >= 2 && inc.latency.n >= 2 &&
+        inc.latency.mean > 0.0) {
+      verdict.latency_ratio = cand.latency.mean / inc.latency.mean;
+      if (t.max_latency_ratio > 0.0 &&
+          verdict.latency_ratio > t.max_latency_ratio) {
+        verdict.healthy = false;
+        verdict.reason = "latency_ratio";
+        return verdict;
+      }
+    }
+    if (cand.score.n >= 2 && inc.score.n >= 2) {
+      verdict.score_drift = std::fabs(cand.score.mean - inc.score.mean);
+      verdict.score_drift_p =
+          WelchTTestFromSummary(cand.score, inc.score).p_value;
+      if (t.max_score_drift > 0.0 &&
+          verdict.score_drift > t.max_score_drift &&
+          verdict.score_drift_p < t.score_drift_p_value) {
+        verdict.healthy = false;
+        verdict.reason = "score_drift";
+        return verdict;
+      }
+    }
+  }
+  return verdict;
+}
+
+void HealthTracker::Forget(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.erase(version);
+}
+
+void HealthTracker::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+}
+
+}  // namespace uae::serve

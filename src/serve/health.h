@@ -1,0 +1,135 @@
+#ifndef UAE_SERVE_HEALTH_H_
+#define UAE_SERVE_HEALTH_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace uae::serve {
+
+/// Request outcome classes the health machinery reasons about. kShed is
+/// a refusal (kUnavailable), not a failure of the model itself; kError
+/// is everything else non-OK — the strongest signal a snapshot is bad.
+enum class RequestOutcome { kOk, kDegraded, kShed, kError };
+
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// Rollback / health criteria for judging a candidate snapshot against
+/// the incumbent. A threshold of 0 disables its criterion, so tests and
+/// deployments pick exactly the regression classes they care about.
+struct HealthThresholds {
+  /// Outcomes recorded per side before any judgement is made; below this
+  /// the verdict is "healthy" (insufficient evidence never rolls back).
+  int min_samples = 32;
+  /// Absolute error-rate ceiling on the candidate (errors / outcomes).
+  double max_error_rate = 0.02;
+  /// Ceiling on candidate shed+degraded rate *minus* the incumbent's:
+  /// shedding under global overload is not the candidate's fault, but
+  /// shedding/degrading more than the incumbent under the same load is.
+  double max_shed_degraded_delta = 0.25;
+  /// Candidate mean latency / incumbent mean latency ceiling. Wall-clock
+  /// noise makes this the loosest criterion; 0 disables (deterministic
+  /// tests disable it and rely on the drift/error criteria).
+  double max_latency_ratio = 0.0;
+  /// Absolute drift of the candidate's mean score (mean CTR of OK
+  /// responses) from the incumbent's. Catches corrupt / mistrained
+  /// weights, which shift the score distribution long before they show
+  /// up in latency.
+  double max_score_drift = 0.1;
+  /// Score drift must also be Welch-significant at this p-value before
+  /// it triggers (guards against tiny-sample false alarms). Only applies
+  /// when both sides carry >= 2 score samples.
+  double score_drift_p_value = 0.01;
+};
+
+/// Sliding-window health statistics per snapshot version.
+///
+/// The serve path records one entry per finished request — outcome,
+/// latency, and the response's mean score — under the snapshot version
+/// that produced it. Windows are bounded deques (last `window` entries),
+/// so a recovered snapshot's old sins age out. Judge() compares a
+/// candidate window against the incumbent's with the thresholds above,
+/// reusing common::stats' Welch t-test for the score-drift criterion.
+///
+/// Thread-safe; one mutex (recording is a few deque ops, far cheaper
+/// than the scoring work it trails).
+class HealthTracker {
+ public:
+  struct Config {
+    /// Entries retained per version window.
+    int window = 256;
+    HealthThresholds thresholds;
+  };
+
+  /// Point-in-time copy of one version's window.
+  struct WindowStats {
+    int64_t total = 0;
+    int64_t ok = 0;
+    int64_t degraded = 0;
+    int64_t shed = 0;
+    int64_t errors = 0;
+    double error_rate = 0.0;          // errors / total.
+    double shed_degraded_rate = 0.0;  // (shed + degraded) / total.
+    /// Latency summary over completed (ok + degraded) requests.
+    SampleSummary latency;
+    /// Mean-score summary over OK responses only (degraded scores come
+    /// from the fallback prior and would poison the drift signal).
+    SampleSummary score;
+  };
+
+  /// Judge() result: healthy, or the first tripped criterion.
+  struct Verdict {
+    bool healthy = true;
+    std::string reason;  // "" when healthy.
+    double error_rate = 0.0;
+    double shed_degraded_delta = 0.0;
+    double latency_ratio = 0.0;  // 0 when either side lacks samples.
+    double score_drift = 0.0;
+    double score_drift_p = 1.0;
+  };
+
+  explicit HealthTracker(const Config& config);
+
+  /// Records one finished request under `version`. `latency_s` applies
+  /// to completed requests (pass <= 0 for sheds); `mean_score` is the
+  /// response's mean CTR (ignored unless outcome == kOk).
+  void Record(uint64_t version, RequestOutcome outcome, double latency_s,
+              double mean_score);
+
+  WindowStats Stats(uint64_t version) const;
+
+  /// Compares the candidate's window against the incumbent's. Healthy
+  /// until the candidate has min_samples outcomes; the incumbent-relative
+  /// criteria additionally wait for the incumbent to have min_samples.
+  Verdict Judge(uint64_t candidate_version,
+                uint64_t incumbent_version) const;
+
+  /// Drops a version's window (after rollback or retirement).
+  void Forget(uint64_t version);
+
+  void Clear();
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Window {
+    std::deque<RequestOutcome> outcomes;
+    std::deque<double> latencies;  // Completed requests only.
+    std::deque<double> scores;     // OK responses only.
+  };
+
+  WindowStats StatsLocked(const Window& window) const;
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Window> windows_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_HEALTH_H_

@@ -62,19 +62,20 @@ StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
     if (!loaded.ok()) return loaded;
   }
   return FromModules(spec.schema, std::move(model), std::move(tower),
-                     spec.gamma, spec.version);
+                     spec.gamma, spec.version, spec.song_prior);
 }
 
 std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromModules(
     data::FeatureSchema schema, std::shared_ptr<models::Recommender> model,
     std::shared_ptr<const attention::AttentionTower> tower, float gamma,
-    uint64_t version) {
+    uint64_t version, std::vector<double> song_prior) {
   auto snapshot = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
   snapshot->schema_ = std::move(schema);
   snapshot->model_ = std::move(model);
   snapshot->tower_ = std::move(tower);
   snapshot->gamma_ = gamma;
   snapshot->version_ = version != 0 ? version : NextVersion();
+  snapshot->song_prior_ = std::move(song_prior);
   return snapshot;
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attention/towers.h"
 #include "common/status.h"
@@ -30,6 +31,12 @@ struct SnapshotSpec {
   /// 0 assigns the next process-wide version; explicit values let tests
   /// pin versions.
   uint64_t version = 0;
+  /// Optional popularity/recency prior per song id, in [0,1]. The
+  /// engine's degraded mode (circuit breaker open, deadline about to be
+  /// missed) ranks by this instead of running the model — a principled
+  /// baseline scorer rather than an arbitrary fallback. Empty: degraded
+  /// requests fall back to a history-free CTR pass (no GRU replay).
+  std::vector<double> song_prior;
 };
 
 /// Immutable forward-only model bundle: one downstream recommender plus
@@ -49,6 +56,13 @@ class ModelSnapshot {
   /// architecture fingerprint are validated against the spec's
   /// architecture and rejected with InvalidArgument on mismatch;
   /// fingerprint-less (older v2 and v1) files load unchecked.
+  ///
+  /// Failure is always a clean Status, never an abort: a CRC-corrupt or
+  /// truncated UAECKPT2 fails with IoError before any snapshot state is
+  /// built, so whatever snapshot an engine currently publishes stays
+  /// untouched (rollouts validate candidates with exactly this call —
+  /// see tests/serve_chaos_test.cc with the snapshot.load.corrupt fault
+  /// point armed).
   static StatusOr<std::shared_ptr<const ModelSnapshot>> Load(
       const SnapshotSpec& spec);
 
@@ -61,7 +75,8 @@ class ModelSnapshot {
       data::FeatureSchema schema,
       std::shared_ptr<models::Recommender> model,
       std::shared_ptr<const attention::AttentionTower> tower,
-      float gamma = 1.0f, uint64_t version = 0);
+      float gamma = 1.0f, uint64_t version = 0,
+      std::vector<double> song_prior = {});
 
   /// The downstream recommender. Logits is declared non-const on the
   /// training interface, but every implementation reads only constant
@@ -75,6 +90,18 @@ class ModelSnapshot {
   uint64_t version() const { return version_; }
   float gamma() const { return gamma_; }
 
+  /// True when the snapshot carries a popularity prior for degraded
+  /// scoring.
+  bool has_prior() const { return !song_prior_.empty(); }
+
+  /// Degraded-mode prior score for `song` (0 for out-of-range ids, so a
+  /// malformed candidate sinks to the bottom instead of faulting).
+  double PriorScore(int song) const {
+    return song >= 0 && static_cast<size_t>(song) < song_prior_.size()
+               ? song_prior_[static_cast<size_t>(song)]
+               : 0.0;
+  }
+
  private:
   ModelSnapshot() = default;
 
@@ -83,6 +110,7 @@ class ModelSnapshot {
   std::shared_ptr<const attention::AttentionTower> tower_;
   float gamma_ = 1.0f;
   uint64_t version_ = 0;
+  std::vector<double> song_prior_;
 };
 
 /// Canonical architecture string for recommender checkpoints, the

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "data/world.h"
 #include "nn/serialize.h"
+#include "serve/rollout.h"
 
 namespace uae::serve {
 namespace {
@@ -59,13 +60,33 @@ struct PassResult {
   std::vector<double> latencies_ms;  // Completed requests only.
   int64_t completed = 0;
   int64_t shed = 0;
+  int64_t degraded = 0;  // Completed with the fallback scorer.
+  int64_t retries = 0;   // Retry attempts spent (closed loop only).
   std::string first_error;  // Non-shed failure, "" when clean.
 };
 
-/// Client threads issue their share of `requests` back-to-back.
+void MergeInto(PassResult* merged, std::vector<PassResult>* per_thread) {
+  for (PassResult& local : *per_thread) {
+    merged->completed += local.completed;
+    merged->shed += local.shed;
+    merged->degraded += local.degraded;
+    merged->retries += local.retries;
+    merged->latencies_ms.insert(merged->latencies_ms.end(),
+                                local.latencies_ms.begin(),
+                                local.latencies_ms.end());
+    if (merged->first_error.empty()) merged->first_error = local.first_error;
+  }
+}
+
+/// Client threads issue their share of `requests` back-to-back, retrying
+/// kUnavailable sheds per the config's retry budget with exponential
+/// backoff + jitter — the standard client posture against a shedding
+/// server: back off instead of hammering, decorrelate instead of
+/// thundering back in lockstep.
 PassResult RunClosedLoop(Engine* engine,
                          const std::vector<ScoreRequest>& requests,
-                         int threads) {
+                         const ReplayConfig& config) {
+  const int threads = config.client_threads;
   std::vector<PassResult> per_thread(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
@@ -73,12 +94,25 @@ PassResult RunClosedLoop(Engine* engine,
   for (int k = 0; k < threads; ++k) {
     workers.emplace_back([&, k] {
       PassResult& local = per_thread[static_cast<size_t>(k)];
+      Rng backoff_rng(config.seed ^ (0x5e7ebac0ffULL + uint64_t(k)));
       for (size_t i = static_cast<size_t>(k); i < requests.size();
            i += static_cast<size_t>(threads)) {
         const Clock::time_point t0 = Clock::now();
-        const StatusOr<ScoreResponse> response = engine->Score(requests[i]);
+        StatusOr<ScoreResponse> response = engine->Score(requests[i]);
+        for (int attempt = 0;
+             attempt < config.retries && !response.ok() &&
+             response.status().code() == StatusCode::kUnavailable;
+             ++attempt) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(RetryBackoffMicros(
+                  attempt, config.backoff_base_us, config.backoff_jitter,
+                  &backoff_rng)));
+          ++local.retries;
+          response = engine->Score(requests[i]);
+        }
         if (response.ok()) {
           ++local.completed;
+          if (response.value().degraded) ++local.degraded;
           local.latencies_ms.push_back(
               std::chrono::duration<double, std::milli>(Clock::now() - t0)
                   .count());
@@ -94,14 +128,7 @@ PassResult RunClosedLoop(Engine* engine,
   PassResult merged;
   merged.seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
-  for (PassResult& local : per_thread) {
-    merged.completed += local.completed;
-    merged.shed += local.shed;
-    merged.latencies_ms.insert(merged.latencies_ms.end(),
-                               local.latencies_ms.begin(),
-                               local.latencies_ms.end());
-    if (merged.first_error.empty()) merged.first_error = local.first_error;
-  }
+  MergeInto(&merged, &per_thread);
   return merged;
 }
 
@@ -128,6 +155,7 @@ PassResult RunOpenLoop(Engine* engine,
         const StatusOr<ScoreResponse> response = engine->Score(std::move(req));
         if (response.ok()) {
           ++local.completed;
+          if (response.value().degraded) ++local.degraded;
         } else if (response.status().code() == StatusCode::kUnavailable) {
           ++local.shed;
         } else if (local.first_error.empty()) {
@@ -140,15 +168,24 @@ PassResult RunOpenLoop(Engine* engine,
   PassResult merged;
   merged.seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
-  for (PassResult& local : per_thread) {
-    merged.completed += local.completed;
-    merged.shed += local.shed;
-    if (merged.first_error.empty()) merged.first_error = local.first_error;
-  }
+  MergeInto(&merged, &per_thread);
   return merged;
 }
 
 }  // namespace
+
+int64_t RetryBackoffMicros(int attempt, int backoff_base_us, double jitter,
+                           Rng* rng) {
+  UAE_CHECK(attempt >= 0 && backoff_base_us > 0);
+  UAE_CHECK(jitter >= 0.0 && jitter < 1.0);
+  // Cap the shift so a misconfigured retry budget cannot overflow.
+  const int shift = std::min(attempt, 20);
+  const double base =
+      static_cast<double>(backoff_base_us) * static_cast<double>(1 << shift);
+  const double factor =
+      jitter > 0.0 ? rng->Uniform(1.0 - jitter, 1.0 + jitter) : 1.0;
+  return static_cast<int64_t>(base * factor);
+}
 
 StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   UAE_CHECK(config.requests > 0 && config.history_length > 0);
@@ -208,15 +245,19 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   ReplayReport report;
   report.snapshot_version = snapshot->version();
   report.closed_requests = static_cast<int64_t>(requests.size());
+  int64_t completed_total = 0;
 
-  PassResult cold = RunClosedLoop(&engine, requests, config.client_threads);
+  PassResult cold = RunClosedLoop(&engine, requests, config);
   if (!cold.first_error.empty()) {
     return Status::Internal("replay cold pass failed: " + cold.first_error);
   }
-  PassResult warm = RunClosedLoop(&engine, requests, config.client_threads);
+  PassResult warm = RunClosedLoop(&engine, requests, config);
   if (!warm.first_error.empty()) {
     return Status::Internal("replay warm pass failed: " + warm.first_error);
   }
+  report.degraded += cold.degraded + warm.degraded;
+  report.retries += cold.retries + warm.retries;
+  completed_total += cold.completed + warm.completed;
   report.cold_seconds = cold.seconds;
   report.warm_seconds = warm.seconds;
   report.warm_speedup =
@@ -262,7 +303,71 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
             ? static_cast<double>(open.shed) /
                   static_cast<double>(report.open_requests)
             : 0.0;
+    report.degraded += open.degraded;
+    completed_total += open.completed;
   }
+
+  if (config.exercise_rollout) {
+    // Promote a functionally identical candidate (aliasing shared_ptrs
+    // borrow the incumbent's modules, so it scores the same but carries
+    // a fresh version) through the full canary -> ramp -> full ladder
+    // under live traffic. With identical scores every health verdict
+    // passes; the phase proves the promotion machinery, not the model.
+    const std::shared_ptr<const ModelSnapshot> incumbent = snapshot;
+    auto candidate = ModelSnapshot::FromModules(
+        incumbent->schema(),
+        std::shared_ptr<models::Recommender>(incumbent, incumbent->model()),
+        std::shared_ptr<const attention::AttentionTower>(incumbent,
+                                                         incumbent->tower()),
+        incumbent->gamma());
+    RolloutConfig rc;
+    rc.stage_requests = std::max(8, config.requests / 2);
+    rc.health.thresholds.min_samples = std::max(2, rc.stage_requests / 8);
+    rc.health.thresholds.max_latency_ratio = 0.0;  // Wall-clock noise.
+    RolloutController rollout(&engine, rc);
+    Status begun = rollout.BeginRollout(candidate);
+    if (!begun.ok()) return begun;
+    // Three stage windows (canary, ramp, full soak) bring the rollout to
+    // completion; drive them with the same threaded closed-loop shape.
+    const int total = 3 * rc.stage_requests;
+    std::vector<PassResult> per_thread(
+        static_cast<size_t>(config.client_threads));
+    std::vector<std::thread> workers;
+    for (int k = 0; k < config.client_threads; ++k) {
+      workers.emplace_back([&, k] {
+        PassResult& local = per_thread[static_cast<size_t>(k)];
+        for (int i = k; i < total; i += config.client_threads) {
+          const StatusOr<ScoreResponse> response = rollout.Score(
+              requests[static_cast<size_t>(i) % requests.size()]);
+          if (response.ok()) {
+            ++local.completed;
+            if (response.value().degraded) ++local.degraded;
+          } else if (response.status().code() == StatusCode::kUnavailable) {
+            ++local.shed;
+          } else if (local.first_error.empty()) {
+            local.first_error = response.status().ToString();
+          }
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    PassResult rolled;
+    MergeInto(&rolled, &per_thread);
+    if (!rolled.first_error.empty()) {
+      return Status::Internal("replay rollout phase failed: " +
+                              rolled.first_error);
+    }
+    report.degraded += rolled.degraded;
+    completed_total += rolled.completed;
+    report.rollout_stage = RolloutStageName(rollout.stage());
+    report.rollout_rollbacks = rollout.rollbacks();
+  }
+
+  report.degraded_rate =
+      completed_total > 0
+          ? static_cast<double>(report.degraded) /
+                static_cast<double>(completed_total)
+          : 0.0;
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "data/generator.h"
 #include "serve/engine.h"
@@ -52,6 +53,24 @@ struct ReplayConfig {
   double offered_qps_factor = 0.0;
   int open_loop_requests = 0;
   int deadline_ms = 50;
+
+  /// Client-side resilience: closed-loop requests shed with kUnavailable
+  /// are retried up to this many times before counting as shed. 0 (the
+  /// default) keeps the historical behavior: a shed is final.
+  int retries = 0;
+  /// Exponential backoff base: retry r sleeps ~ backoff_base_us * 2^r.
+  int backoff_base_us = 200;
+  /// Each backoff sleep is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter) so retry storms decorrelate instead of
+  /// hammering the queue in lockstep. In [0, 1).
+  double backoff_jitter = 0.5;
+
+  /// After the closed-loop passes, stage a functionally identical
+  /// candidate snapshot through a full RolloutController promotion
+  /// (canary -> ramp -> full -> complete) while driving live traffic —
+  /// the production upgrade path, exercised end to end. The report
+  /// carries the final stage and rollback count.
+  bool exercise_rollout = false;
 };
 
 struct ReplayReport {
@@ -76,7 +95,22 @@ struct ReplayReport {
   double offered_qps = 0.0;
   double achieved_qps = 0.0;  // Completed responses per second.
   double shed_rate = 0.0;     // open_shed / open_requests.
+
+  // Resilience.
+  int64_t degraded = 0;       // Degraded (fallback) responses, all phases.
+  int64_t retries = 0;        // Retry attempts spent in the closed loop.
+  double degraded_rate = 0.0; // degraded / completed responses.
+
+  // Rollout exercise ("" / 0 when not requested).
+  std::string rollout_stage;
+  int64_t rollout_rollbacks = 0;
 };
+
+/// Backoff before retry `attempt` (0-based): backoff_base_us * 2^attempt
+/// micros, scaled by a jitter factor drawn uniformly from
+/// [1 - jitter, 1 + jitter). Exposed for the replay tool and tests.
+int64_t RetryBackoffMicros(int attempt, int backoff_base_us, double jitter,
+                           Rng* rng);
 
 /// Runs the replay; fails if staging the snapshot fails or any request
 /// errors for a reason other than shedding.

@@ -1,0 +1,225 @@
+#include "serve/rollout.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/trace.h"
+
+namespace uae::serve {
+namespace {
+
+/// splitmix64 — the same cheap bijective mixer the parallel substrate
+/// uses for seed derivation. Good avalanche, so cohort membership is
+/// uncorrelated with raw user ids.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double MeanCtr(const ScoreResponse& resp) {
+  if (resp.scores.empty()) return 0.0;
+  double sum = 0.0;
+  for (const CandidateScore& cs : resp.scores) sum += cs.ctr;
+  return sum / static_cast<double>(resp.scores.size());
+}
+
+}  // namespace
+
+const char* RolloutStageName(RolloutStage stage) {
+  switch (stage) {
+    case RolloutStage::kIdle:
+      return "idle";
+    case RolloutStage::kCanary:
+      return "canary";
+    case RolloutStage::kRamp:
+      return "ramp";
+    case RolloutStage::kFull:
+      return "full";
+    case RolloutStage::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
+RolloutController::RolloutController(Engine* engine,
+                                     const RolloutConfig& config)
+    : engine_(engine),
+      config_(config),
+      health_(config.health),
+      transitions_(telemetry::GetCounter("uae.serve.rollout.transitions")),
+      rollbacks_metric_(
+          telemetry::GetCounter("uae.serve.rollout.rollbacks")),
+      candidate_requests_(
+          telemetry::GetCounter("uae.serve.rollout.candidate_requests")),
+      stage_gauge_(telemetry::GetGauge("uae.serve.rollout.stage")) {
+  UAE_CHECK(engine_ != nullptr);
+  UAE_CHECK(config_.canary_fraction > 0.0 && config_.canary_fraction <= 1.0);
+  UAE_CHECK(config_.ramp_fraction >= config_.canary_fraction &&
+            config_.ramp_fraction <= 1.0);
+  UAE_CHECK(config_.stage_requests > 0);
+  stage_gauge_->Set(0.0);
+}
+
+bool RolloutController::InCohort(int user, double fraction) const {
+  // Hash to [0, 1): a user is in every cohort above their hash point, so
+  // widening the fraction only *adds* users — canary users stay on the
+  // candidate through the ramp, never flapping between versions.
+  const uint64_t h =
+      Mix64(static_cast<uint64_t>(static_cast<int64_t>(user)) ^
+            (config_.salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  const double point =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53.
+  return point < fraction;
+}
+
+void RolloutController::TransitionLocked(RolloutStage next) {
+  stage_ = next;
+  transitions_->Add();
+  stage_gauge_->Set(static_cast<double>(next));
+  trace::Instant("uae.serve.rollout.transition", "stage",
+                 static_cast<int64_t>(next));
+}
+
+void RolloutController::RollbackLocked(const char* reason) {
+  // Only the full stage ever published the candidate; earlier stages
+  // need no Swap — dropping the pin is the rollback.
+  if (stage_ == RolloutStage::kFull) {
+    engine_->Swap(incumbent_);
+  }
+  candidate_.reset();
+  stage_count_ = 0;
+  ++rollbacks_count_;
+  rollbacks_metric_->Add();
+  trace::Instant("uae.serve.rollout.rollback");
+  (void)reason;
+  TransitionLocked(RolloutStage::kRolledBack);
+}
+
+Status RolloutController::BeginRollout(
+    std::shared_ptr<const ModelSnapshot> candidate) {
+  UAE_CHECK(candidate != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stage_ == RolloutStage::kCanary || stage_ == RolloutStage::kRamp ||
+      stage_ == RolloutStage::kFull) {
+    return Status::FailedPrecondition(
+        std::string("rollout already in flight (stage ") +
+        RolloutStageName(stage_) + ")");
+  }
+  incumbent_ = engine_->snapshot();
+  if (candidate->version() == incumbent_->version()) {
+    return Status::InvalidArgument(
+        "candidate version " + std::to_string(candidate->version()) +
+        " collides with the incumbent's");
+  }
+  candidate_ = std::move(candidate);
+  stage_count_ = 0;
+  last_verdict_ = {};
+  health_.Forget(candidate_->version());
+  TransitionLocked(RolloutStage::kCanary);
+  return {};
+}
+
+StatusOr<ScoreResponse> RolloutController::Score(ScoreRequest request) {
+  // Routing decision under the lock; the (slow) engine call outside it.
+  uint64_t route_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    double fraction = 0.0;
+    if (stage_ == RolloutStage::kCanary) {
+      fraction = config_.canary_fraction;
+    } else if (stage_ == RolloutStage::kRamp) {
+      fraction = config_.ramp_fraction;
+    }
+    if (fraction > 0.0 && candidate_ != nullptr &&
+        InCohort(request.user, fraction)) {
+      request.pinned_snapshot = candidate_;
+      route_version = candidate_->version();
+      candidate_requests_->Add();
+    }
+  }
+  if (route_version == 0) {
+    route_version = engine_->snapshot()->version();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<ScoreResponse> result = engine_->Score(std::move(request));
+  const double latency_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RequestOutcome outcome;
+  double mean_score = 0.0;
+  if (result.ok()) {
+    outcome = result.value().degraded ? RequestOutcome::kDegraded
+                                      : RequestOutcome::kOk;
+    mean_score = MeanCtr(result.value());
+    // A completed response knows exactly which snapshot produced it.
+    route_version = result.value().snapshot_version;
+  } else if (result.status().code() == StatusCode::kUnavailable) {
+    outcome = RequestOutcome::kShed;
+  } else {
+    outcome = RequestOutcome::kError;
+  }
+  health_.Record(route_version, outcome,
+                 outcome == RequestOutcome::kShed ? 0.0 : latency_s,
+                 mean_score);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stage_ == RolloutStage::kCanary || stage_ == RolloutStage::kRamp ||
+      stage_ == RolloutStage::kFull) {
+    ++stage_count_;
+    if (stage_count_ >= config_.stage_requests && candidate_ != nullptr) {
+      stage_count_ = 0;
+      last_verdict_ =
+          health_.Judge(candidate_->version(), incumbent_->version());
+      if (!last_verdict_.healthy) {
+        RollbackLocked(last_verdict_.reason.c_str());
+      } else if (stage_ == RolloutStage::kCanary) {
+        TransitionLocked(RolloutStage::kRamp);
+      } else if (stage_ == RolloutStage::kRamp) {
+        // Promotion: the candidate becomes the published snapshot. The
+        // full stage is a soak — one more window before completion.
+        engine_->Swap(candidate_);
+        TransitionLocked(RolloutStage::kFull);
+      } else {
+        // Survived the soak: the candidate is the new incumbent.
+        incumbent_ = std::move(candidate_);
+        candidate_.reset();
+        TransitionLocked(RolloutStage::kIdle);
+      }
+    }
+  }
+  return result;
+}
+
+void RolloutController::Abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stage_ == RolloutStage::kCanary || stage_ == RolloutStage::kRamp ||
+      stage_ == RolloutStage::kFull) {
+    RollbackLocked("operator");
+  }
+}
+
+RolloutStage RolloutController::stage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage_;
+}
+
+uint64_t RolloutController::candidate_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return candidate_ != nullptr ? candidate_->version() : 0;
+}
+
+int64_t RolloutController::rollbacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rollbacks_count_;
+}
+
+HealthTracker::Verdict RolloutController::last_verdict() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_verdict_;
+}
+
+}  // namespace uae::serve

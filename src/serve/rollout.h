@@ -1,0 +1,118 @@
+#ifndef UAE_SERVE_ROLLOUT_H_
+#define UAE_SERVE_ROLLOUT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "serve/engine.h"
+#include "serve/health.h"
+
+namespace uae::serve {
+
+/// Where a rollout currently stands. kIdle doubles as "completed": a
+/// candidate that survives the full stage becomes the incumbent and the
+/// controller returns to idle pass-through.
+enum class RolloutStage { kIdle = 0, kCanary = 1, kRamp = 2, kFull = 3,
+                          kRolledBack = 4 };
+
+const char* RolloutStageName(RolloutStage stage);
+
+struct RolloutConfig {
+  /// Fraction of traffic routed to the candidate during canary / ramp.
+  double canary_fraction = 0.05;
+  double ramp_fraction = 0.5;
+  /// Requests routed through the controller per stage before the health
+  /// verdict is taken and the stage advances (or rolls back).
+  int stage_requests = 128;
+  /// Routing hash salt: different salts pick different (deterministic)
+  /// user cohorts for the canary.
+  uint64_t salt = 0;
+  HealthTracker::Config health;
+};
+
+/// Health-gated staged rollout of a new ModelSnapshot over an Engine.
+///
+/// The controller owns the promotion ladder canary -> ramp -> full.
+/// During canary and ramp the engine keeps publishing the incumbent;
+/// the configured fraction of requests ride the candidate via
+/// ScoreRequest::pinned_snapshot (a per-user hash split, so a user's
+/// session cache stays on one version). Entering the full stage is the
+/// only Engine::Swap; the candidate then soaks for one more stage
+/// window before the rollout completes and the candidate becomes the
+/// incumbent.
+///
+/// After every stage window the HealthTracker judges the candidate's
+/// sliding window against the incumbent's (error rate, shed/degraded
+/// delta, latency ratio, Welch-tested score drift). An unhealthy
+/// verdict rolls back: the incumbent is re-published if the candidate
+/// had been swapped in, the candidate's traffic share drops to zero,
+/// and the stage parks at kRolledBack until the operator begins a new
+/// rollout. Every transition is counted in telemetry
+/// (uae.serve.rollout.*) and marked on the trace timeline.
+///
+/// Thread-safe: Score may be called from many request threads while
+/// another thread polls stage()/last_verdict(). The serve hammer test
+/// runs exactly that shape under TSan.
+class RolloutController {
+ public:
+  RolloutController(Engine* engine, const RolloutConfig& config);
+
+  /// Starts a staged rollout of `candidate`. Fails with
+  /// FailedPrecondition while another rollout is in flight and
+  /// InvalidArgument when the candidate's version collides with the
+  /// incumbent's (the health windows could not be told apart).
+  Status BeginRollout(std::shared_ptr<const ModelSnapshot> candidate);
+
+  /// Routes one request (pinning the candidate snapshot for its cohort
+  /// during canary/ramp), scores it on the engine, records the outcome
+  /// under the serving version, and advances the stage machine when the
+  /// stage window fills. This is the intended serve entry point while a
+  /// rollout is active; requests sent straight to the engine still work,
+  /// they just bypass health accounting.
+  StatusOr<ScoreResponse> Score(ScoreRequest request);
+
+  /// Immediately abandons an in-flight rollout (re-publishing the
+  /// incumbent if the candidate was live). No-op when idle. The recorded
+  /// reason is "operator".
+  void Abort();
+
+  RolloutStage stage() const;
+  /// Version under rollout; 0 when idle / rolled back.
+  uint64_t candidate_version() const;
+  /// Rollbacks performed over the controller's lifetime.
+  int64_t rollbacks() const;
+  /// Verdict from the most recent stage judgement (default when none).
+  HealthTracker::Verdict last_verdict() const;
+
+  HealthTracker* health() { return &health_; }
+
+ private:
+  /// True when `user` falls in the candidate cohort at `fraction`.
+  bool InCohort(int user, double fraction) const;
+  void TransitionLocked(RolloutStage next);
+  void RollbackLocked(const char* reason);
+
+  Engine* engine_;
+  RolloutConfig config_;
+  HealthTracker health_;
+
+  mutable std::mutex mu_;
+  RolloutStage stage_ = RolloutStage::kIdle;
+  std::shared_ptr<const ModelSnapshot> incumbent_;
+  std::shared_ptr<const ModelSnapshot> candidate_;
+  int stage_count_ = 0;
+  int64_t rollbacks_count_ = 0;
+  HealthTracker::Verdict last_verdict_;
+
+  telemetry::Counter* transitions_;
+  telemetry::Counter* rollbacks_metric_;
+  telemetry::Counter* candidate_requests_;
+  telemetry::Gauge* stage_gauge_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_ROLLOUT_H_

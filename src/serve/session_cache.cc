@@ -1,6 +1,7 @@
 #include "serve/session_cache.h"
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace uae::serve {
 
@@ -16,6 +17,14 @@ bool SessionStateCache::Lookup(int user, uint64_t snapshot_version,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(user);
   if (it == shard.index.end()) return false;
+  // Chaos hook: an eviction storm turns would-be hits into evictions, so
+  // every affected request pays the full cold GRU replay — the latency
+  // shape of a cache wipe without actually wiping other shards.
+  if (UAE_FAULT_POINT("cache.evict.storm")) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return false;
+  }
   Entry& entry = it->second->second;
   if (entry.snapshot_version != snapshot_version) {
     // Computed by a previous snapshot: dead weight after a hot-swap.

@@ -1,13 +1,22 @@
 #include "sim/ab_test.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "models/trainer.h"
+#include "serve/rollout.h"
 
 namespace uae::sim {
 namespace {
+
+/// How the treatment group reaches a model: Engine::Score directly, or
+/// RolloutController::Score when the experiment doubles as a staged
+/// rollout.
+using ScoreFn =
+    std::function<StatusOr<serve::ScoreResponse>(serve::ScoreRequest)>;
 
 /// Ranks `candidates` for `user` with `model` and returns the top
 /// `playlist_length` song ids, best first.
@@ -47,11 +56,11 @@ std::vector<int> RankPlaylist(const data::World& world,
   return playlist;
 }
 
-/// Ranks the same request through the serving engine. The engine's CTR
+/// Ranks the same request through the serving path. The engine's CTR
 /// path runs the identical probe-dataset scoring and sort as
 /// RankPlaylist, so the returned playlist matches the offline ranking.
-std::vector<int> RankViaEngine(const data::World& world,
-                               serve::Engine* engine, int user,
+std::vector<int> RankViaScorer(const data::World& world,
+                               const ScoreFn& score, int user,
                                const std::vector<int>& candidates, int hour,
                                int weekday) {
   serve::ScoreRequest request;
@@ -62,8 +71,7 @@ std::vector<int> RankViaEngine(const data::World& world,
     request.candidates.push_back(
         world.ScoringEvent(user, song, hour, weekday));
   }
-  StatusOr<serve::ScoreResponse> response =
-      engine->Score(std::move(request));
+  StatusOr<serve::ScoreResponse> response = score(std::move(request));
   UAE_CHECK_MSG(response.ok(), response.status().ToString());
   return response.value().playlist;
 }
@@ -78,33 +86,13 @@ void Accumulate(const data::Session& session, DayMetrics* metrics) {
   }
 }
 
-}  // namespace
-
-AbTestResult RunAbTest(const data::World& world,
-                       models::Recommender* control_model,
-                       models::Recommender* treatment_model,
-                       const AbTestConfig& config) {
-  UAE_CHECK(treatment_model != nullptr);
-  // Serve the treatment group through the online engine. The model is
-  // borrowed (no-op deleter): the caller owns it past this call.
-  const std::shared_ptr<const serve::ModelSnapshot> snapshot =
-      serve::ModelSnapshot::FromModules(
-          world.schema(),
-          std::shared_ptr<models::Recommender>(treatment_model,
-                                               [](models::Recommender*) {}),
-          /*tower=*/nullptr);
-  serve::EngineConfig engine_config;
-  engine_config.max_wait_us = 0;  // Requests are sequential; never linger.
-  engine_config.playlist_length = config.playlist_length;
-  serve::Engine engine(snapshot, engine_config);
-  return RunAbTest(world, control_model, &engine, config);
-}
-
-AbTestResult RunAbTest(const data::World& world,
-                       models::Recommender* control_model,
-                       serve::Engine* treatment_engine,
-                       const AbTestConfig& config) {
-  UAE_CHECK(control_model != nullptr && treatment_engine != nullptr);
+/// The experiment proper, parameterized over how treatment requests are
+/// served.
+AbTestResult RunAbTestImpl(const data::World& world,
+                           models::Recommender* control_model,
+                           const ScoreFn& score,
+                           const AbTestConfig& config) {
+  UAE_CHECK(control_model != nullptr);
   UAE_CHECK(config.days > 0 && config.sessions_per_day > 0);
   UAE_CHECK(config.candidate_pool >= config.playlist_length);
 
@@ -126,8 +114,8 @@ AbTestResult RunAbTest(const data::World& world,
       const std::vector<int> control_playlist =
           RankPlaylist(world, control_model, user, candidates, hour, weekday,
                        config.playlist_length);
-      const std::vector<int> treatment_playlist = RankViaEngine(
-          world, treatment_engine, user, candidates, hour, weekday);
+      const std::vector<int> treatment_playlist = RankViaScorer(
+          world, score, user, candidates, hour, weekday);
       UAE_CHECK_MSG(static_cast<int>(treatment_playlist.size()) ==
                         config.playlist_length,
                     "treatment engine must be configured with "
@@ -164,6 +152,66 @@ AbTestResult RunAbTest(const data::World& world,
   result.avg_play_count_uplift_pct /= result.days.size();
   result.avg_play_time_uplift_pct /= result.days.size();
   return result;
+}
+
+}  // namespace
+
+AbTestResult RunAbTest(const data::World& world,
+                       models::Recommender* control_model,
+                       models::Recommender* treatment_model,
+                       const AbTestConfig& config) {
+  UAE_CHECK(treatment_model != nullptr);
+  // Serve the treatment group through the online engine, and stage the
+  // treatment model in the way production would reach this point: as a
+  // health-gated rollout over the incumbent. Both snapshots borrow the
+  // same treatment model (no-op deleter — the caller owns it past this
+  // call), so whichever version serves a cohort, the scores — and with
+  // them the Fig. 7 uplifts — are identical to ranking the model
+  // offline; the rollout machinery (cohort split, canary/ramp pinning,
+  // the one Swap into full) is what actually gets exercised.
+  const std::shared_ptr<models::Recommender> borrowed(
+      treatment_model, [](models::Recommender*) {});
+  const std::shared_ptr<const serve::ModelSnapshot> incumbent =
+      serve::ModelSnapshot::FromModules(world.schema(), borrowed,
+                                        /*tower=*/nullptr);
+  const std::shared_ptr<const serve::ModelSnapshot> candidate =
+      serve::ModelSnapshot::FromModules(world.schema(), borrowed,
+                                        /*tower=*/nullptr);
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;  // Requests are sequential; never linger.
+  engine_config.playlist_length = config.playlist_length;
+  serve::Engine engine(incumbent, engine_config);
+
+  serve::RolloutConfig rollout_config;
+  // One stage per simulated day of treatment traffic: the ladder
+  // reaches full partway through the experiment and completes before it
+  // ends (at the defaults, day 1 canaries, day 2 ramps, day 3 swaps).
+  rollout_config.stage_requests = config.sessions_per_day;
+  rollout_config.salt = config.seed;
+  // Wall-clock latency is nondeterministic noise here — both versions
+  // run the same modules — so only the deterministic criteria judge.
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  serve::RolloutController rollout(&engine, rollout_config);
+  UAE_CHECK(rollout.BeginRollout(candidate).ok());
+  return RunAbTestImpl(
+      world, control_model,
+      [&rollout](serve::ScoreRequest request) {
+        return rollout.Score(std::move(request));
+      },
+      config);
+}
+
+AbTestResult RunAbTest(const data::World& world,
+                       models::Recommender* control_model,
+                       serve::Engine* treatment_engine,
+                       const AbTestConfig& config) {
+  UAE_CHECK(treatment_engine != nullptr);
+  return RunAbTestImpl(
+      world, control_model,
+      [treatment_engine](serve::ScoreRequest request) {
+        return treatment_engine->Score(std::move(request));
+      },
+      config);
 }
 
 }  // namespace uae::sim

@@ -46,6 +46,14 @@ struct AbTestResult {
 /// and the user's interaction is simulated with the world's ground-truth
 /// attention/feedback process. Both groups see identical requests; only
 /// the ranking differs.
+///
+/// The treatment group is served the production way: through an online
+/// engine with the treatment model arriving as a health-gated staged
+/// rollout (serve::RolloutController) that canaries, ramps, and swaps
+/// to full during the experiment. Incumbent and candidate snapshots
+/// share the treatment modules, so the rollout machinery changes no
+/// score and the Fig. 7 uplifts are byte-identical to ranking the
+/// model offline.
 AbTestResult RunAbTest(const data::World& world,
                        models::Recommender* control_model,
                        models::Recommender* treatment_model,

@@ -1,0 +1,324 @@
+// Chaos harness for the serve path (ctest label: chaos; run under an
+// ASan build by tools/check_chaos.sh).
+//
+// The golden scenario: with latency spikes and cache-eviction storms
+// injected, a canary rollout of a genuinely bad snapshot (saturated
+// weights — a mistrained model, not a crash) must auto-roll-back on the
+// score-drift criterion with ZERO failed requests — every request is
+// scored (full or degraded) or cleanly shed, never aborted — and the
+// post-rollback engine must score bit-equal to an incumbent that never
+// saw chaos. The whole tape is deterministic at UAE_NUM_THREADS 1 and 8.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/parallel.h"
+#include "common/telemetry.h"
+#include "data/world.h"
+#include "models/registry.h"
+#include "nn/serialize.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace uae::serve {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 48;
+  cfg.num_songs = 120;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+std::shared_ptr<const ModelSnapshot> BuildSnapshot(
+    const data::World& world, uint64_t seed, uint64_t version,
+    bool saturate_weights = false) {
+  Rng rng(seed);
+  std::shared_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), models::ModelConfig());
+  if (saturate_weights) {
+    // A deterministic "bad" model: blowing the weights up pushes every
+    // logit deep into sigmoid saturation, the signature of a mistrained
+    // or corrupted snapshot — scores shift wholesale while the process
+    // stays perfectly healthy. Exactly what only the score-drift
+    // criterion can catch.
+    for (const nn::NodePtr& param : model->Parameters()) {
+      for (int r = 0; r < param->value.rows(); ++r) {
+        for (int c = 0; c < param->value.cols(); ++c) {
+          param->value.at(r, c) = param->value.at(r, c) * 10.0f + 2.0f;
+        }
+      }
+    }
+  }
+  auto tower = std::make_shared<attention::AttentionTower>(
+      &rng, world.schema(), attention::TowerConfig());
+  return ModelSnapshot::FromModules(world.schema(), std::move(model),
+                                    std::move(tower), /*gamma=*/1.0f,
+                                    version);
+}
+
+std::vector<ScoreRequest> BuildRequests(const data::World& world, int count,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScoreRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    ScoreRequest req;
+    req.user = i % world.config().num_users;
+    const int hour = static_cast<int>(rng.UniformInt(24));
+    const int weekday = static_cast<int>(rng.UniformInt(7));
+    std::vector<int> played = {world.SampleSong(&rng),
+                               world.SampleSong(&rng),
+                               world.SampleSong(&rng)};
+    req.history =
+        world.SimulateSession(req.user, played, hour, weekday, &rng).events;
+    for (int c = 0; c < 3; ++c) {
+      const int song = world.SampleSong(&rng);
+      req.candidate_songs.push_back(song);
+      req.candidates.push_back(
+          world.ScoringEvent(req.user, song, hour, weekday));
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+EngineConfig ImmediateDispatch() {
+  EngineConfig config;
+  config.max_wait_us = 0;
+  return config;
+}
+
+/// One run's observable tape: everything a client could see, in order.
+struct Tape {
+  std::vector<std::vector<double>> ctr;
+  std::vector<std::vector<int>> playlists;
+  std::vector<uint64_t> versions;
+  std::vector<bool> degraded;
+};
+
+TEST_F(ChaosTest, GoldenAutoRollbackUnderChaosBitEqualAcrossThreads) {
+  const data::World world(SmallWorldConfig(), 81);
+  const int kRequests = 96;
+  const int kStageRequests = 24;
+  const std::vector<ScoreRequest> requests =
+      BuildRequests(world, kRequests, 7);
+
+  // Reference: an incumbent-only engine, no chaos, single-threaded.
+  const int restore_threads = parallel::NumThreads();
+  parallel::SetNumThreads(1);
+  std::vector<std::vector<double>> reference_ctr;
+  {
+    Engine reference(BuildSnapshot(world, 91, 501), ImmediateDispatch());
+    for (const ScoreRequest& req : requests) {
+      const StatusOr<ScoreResponse> resp = reference.Score(req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      std::vector<double> ctr;
+      for (const CandidateScore& cs : resp.value().scores) {
+        ctr.push_back(cs.ctr);
+      }
+      reference_ctr.push_back(std::move(ctr));
+    }
+  }
+
+  std::vector<Tape> tapes;
+  for (const int threads : {1, 8}) {
+    parallel::SetNumThreads(threads);
+    // Re-arm per run so each run sees the identical fault schedule.
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().Arm(
+        "serve.score.delay", {/*probability=*/0.10, /*seed=*/11,
+                              /*delay_micros=*/500});
+    FaultInjector::Instance().Arm("cache.evict.storm",
+                                  {/*probability=*/0.20, /*seed=*/12});
+
+    Engine engine(BuildSnapshot(world, 91, 501), ImmediateDispatch());
+    RolloutConfig rc;
+    rc.canary_fraction = 0.5;
+    rc.ramp_fraction = 0.75;
+    rc.stage_requests = kStageRequests;
+    rc.health.thresholds.min_samples = 8;
+    rc.health.thresholds.max_latency_ratio = 0.0;  // Wall clock is noise.
+    rc.health.thresholds.max_score_drift = 0.05;
+    rc.health.thresholds.score_drift_p_value = 0.01;
+    RolloutController rollout(&engine, rc);
+    ASSERT_TRUE(
+        rollout
+            .BeginRollout(BuildSnapshot(world, 92, 502,
+                                        /*saturate_weights=*/true))
+            .ok());
+
+    Tape tape;
+    int rollback_index = -1;
+    for (int i = 0; i < kRequests; ++i) {
+      const StatusOr<ScoreResponse> resp =
+          rollout.Score(requests[static_cast<size_t>(i)]);
+      // The zero-aborts contract: chaos may slow or degrade requests,
+      // never fail them (no deadlines and a sequential driver here, so
+      // not even clean sheds are acceptable).
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      std::vector<double> ctr;
+      for (const CandidateScore& cs : resp.value().scores) {
+        ctr.push_back(cs.ctr);
+      }
+      tape.ctr.push_back(std::move(ctr));
+      tape.playlists.push_back(resp.value().playlist);
+      tape.versions.push_back(resp.value().snapshot_version);
+      tape.degraded.push_back(resp.value().degraded);
+      if (rollback_index < 0 && rollout.rollbacks() > 0) {
+        rollback_index = i + 1;
+      }
+    }
+
+    // The saturated canary drifted; the first stage judgement caught it.
+    EXPECT_EQ(rollout.stage(), RolloutStage::kRolledBack);
+    EXPECT_EQ(rollout.rollbacks(), 1);
+    EXPECT_EQ(rollout.last_verdict().reason, "score_drift");
+    // The candidate never reached the publication point: the engine
+    // still serves the incumbent and no swap ever happened.
+    EXPECT_EQ(engine.snapshot()->version(), 501u);
+
+    // Chaos actually happened in this run.
+    EXPECT_GT(
+        FaultInjector::Instance().Stats("serve.score.delay").fires, 0);
+    EXPECT_GT(
+        FaultInjector::Instance().Stats("cache.evict.storm").fires, 0);
+
+    // Post-rollback requests score bit-equal to the chaos-free
+    // incumbent reference — the engine fully recovered. The rollback
+    // lands on a stage boundary well before the tape ends.
+    ASSERT_GT(rollback_index, 0);
+    ASSERT_LT(rollback_index, kRequests - kStageRequests);
+    for (int i = rollback_index; i < kRequests; ++i) {
+      EXPECT_EQ(tape.versions[static_cast<size_t>(i)], 501u)
+          << "request " << i << " after rollback";
+      EXPECT_EQ(tape.ctr[static_cast<size_t>(i)],
+                reference_ctr[static_cast<size_t>(i)])
+          << "request " << i << " threads=" << threads;
+    }
+    tapes.push_back(std::move(tape));
+  }
+  parallel::SetNumThreads(restore_threads);
+
+  // The entire observable tape — scores, playlists, versions, degraded
+  // flags, including the pre-rollback canary responses — is identical
+  // at 1 and 8 threads.
+  ASSERT_EQ(tapes.size(), 2u);
+  EXPECT_EQ(tapes[0].ctr, tapes[1].ctr);
+  EXPECT_EQ(tapes[0].playlists, tapes[1].playlists);
+  EXPECT_EQ(tapes[0].versions, tapes[1].versions);
+  EXPECT_EQ(tapes[0].degraded, tapes[1].degraded);
+}
+
+TEST_F(ChaosTest, CorruptSnapshotLoadFailsCleanlyKeepsPublishedServing) {
+  const data::World world(SmallWorldConfig(), 82);
+  Rng rng(83);
+  models::ModelConfig model_config;
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), model_config);
+  const std::string path = testing::TempDir() + "/chaos_candidate.ckpt";
+  ASSERT_TRUE(
+      SaveRecommender(*model, models::ModelKind::kLr, model_config, path)
+          .ok());
+
+  Engine engine(BuildSnapshot(world, 93, 511), ImmediateDispatch());
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 2, 84);
+
+  SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_config = model_config;
+  spec.model_path = path;
+
+  // Every load sees a flipped payload byte: CRC validation must reject
+  // it with a clean Status — never abort, never hand back weights built
+  // from corrupt bytes.
+  FaultInjector::Instance().Arm("snapshot.load.corrupt",
+                                {/*probability=*/1.0, /*seed=*/21});
+  const StatusOr<std::shared_ptr<const ModelSnapshot>> corrupt =
+      ModelSnapshot::Load(spec);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kIoError);
+  EXPECT_GT(FaultInjector::Instance().Stats("snapshot.load.corrupt").fires,
+            0);
+
+  // The rollout path on top of a failed load: the published snapshot is
+  // untouched and keeps serving.
+  EXPECT_EQ(engine.snapshot()->version(), 511u);
+  const StatusOr<ScoreResponse> still_serving = engine.Score(requests[0]);
+  ASSERT_TRUE(still_serving.ok());
+  EXPECT_EQ(still_serving.value().snapshot_version, 511u);
+
+  // Heal the fault: the same file loads fine — the corruption was
+  // injected in the read path, the bytes on disk were always good.
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_TRUE(ModelSnapshot::Load(spec).ok());
+}
+
+TEST_F(ChaosTest, CacheEvictionStormForcesColdReplaysSameBits) {
+  const data::World world(SmallWorldConfig(), 85);
+  Engine engine(BuildSnapshot(world, 95, 521), ImmediateDispatch());
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 1, 86);
+
+  const StatusOr<ScoreResponse> clean = engine.Score(requests[0]);
+  ASSERT_TRUE(clean.ok());
+
+  telemetry::Counter* hits = telemetry::GetCounter("uae.serve.cache_hits");
+  telemetry::Counter* misses =
+      telemetry::GetCounter("uae.serve.cache_misses");
+
+  // Storm: every lookup evicts its own entry — a permanently cold cache.
+  FaultInjector::Instance().Arm("cache.evict.storm",
+                                {/*probability=*/1.0, /*seed=*/22});
+  const int64_t hits_before = hits->Get();
+  const int64_t misses_before = misses->Get();
+  for (int i = 0; i < 3; ++i) {
+    const StatusOr<ScoreResponse> stormy = engine.Score(requests[0]);
+    ASSERT_TRUE(stormy.ok());
+    // The cache is an accelerator, not a correctness dependency: cold
+    // replays produce the same bits as warm resumes.
+    ASSERT_EQ(stormy.value().scores.size(), clean.value().scores.size());
+    for (size_t k = 0; k < clean.value().scores.size(); ++k) {
+      EXPECT_EQ(stormy.value().scores[k].ctr, clean.value().scores[k].ctr);
+      EXPECT_EQ(stormy.value().scores[k].alpha,
+                clean.value().scores[k].alpha);
+    }
+  }
+  EXPECT_EQ(hits->Get() - hits_before, 0);
+  EXPECT_EQ(misses->Get() - misses_before, 3);
+}
+
+TEST_F(ChaosTest, LatencySpikesSlowButNeverChangeScores) {
+  const data::World world(SmallWorldConfig(), 87);
+  Engine engine(BuildSnapshot(world, 97, 531), ImmediateDispatch());
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 1, 88);
+
+  const StatusOr<ScoreResponse> clean = engine.Score(requests[0]);
+  ASSERT_TRUE(clean.ok());
+
+  FaultInjector::Instance().Arm(
+      "serve.score.delay",
+      {/*probability=*/1.0, /*seed=*/23, /*delay_micros=*/2000});
+  const StatusOr<ScoreResponse> delayed = engine.Score(requests[0]);
+  ASSERT_TRUE(delayed.ok());
+  EXPECT_GT(FaultInjector::Instance().Stats("serve.score.delay").fires, 0);
+  ASSERT_EQ(delayed.value().scores.size(), clean.value().scores.size());
+  for (size_t k = 0; k < clean.value().scores.size(); ++k) {
+    EXPECT_EQ(delayed.value().scores[k].ctr, clean.value().scores[k].ctr);
+    EXPECT_EQ(delayed.value().scores[k].alpha, clean.value().scores[k].alpha);
+  }
+}
+
+}  // namespace
+}  // namespace uae::serve

@@ -20,6 +20,7 @@
 #include "models/registry.h"
 #include "serve/engine.h"
 #include "serve/model_snapshot.h"
+#include "serve/rollout.h"
 
 namespace uae::serve {
 namespace {
@@ -103,6 +104,98 @@ TEST(ServeHammerTest, HotSwapUnderConcurrentScoring) {
 
   EXPECT_EQ(completed.load(), kScorers * kRequestsPerScorer);
   EXPECT_FALSE(bad_version.load());
+}
+
+// Rollout hammer: scorer threads drive traffic through a
+// RolloutController while a rollback thread begins and aborts rollouts
+// as fast as it can — the staged-promotion machinery (cohort routing,
+// candidate pinning, mid-flight rollback re-publication) under real
+// schedules. Every response must still come from one of the two pinned
+// versions and scoring must never fail just because the rollout state
+// machine moved underneath it.
+TEST(ServeHammerTest, RolloutAndRollbackUnderConcurrentScoring) {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 32;
+  cfg.num_songs = 80;
+  cfg.num_artists = 15;
+  cfg.num_albums = 30;
+  const data::World world(cfg, 34);
+
+  const std::shared_ptr<const ModelSnapshot> incumbent =
+      BuildSnapshot(world, 3, 103);
+  const std::shared_ptr<const ModelSnapshot> candidate =
+      BuildSnapshot(world, 4, 104);
+
+  EngineConfig config;
+  config.max_wait_us = 0;
+  config.max_batch = 4;
+  Engine engine(incumbent, config);
+
+  RolloutConfig rc;
+  rc.canary_fraction = 0.5;
+  rc.ramp_fraction = 0.75;
+  // A stage window larger than the whole run: no cycle can organically
+  // promote, so every Abort rolls back from canary and the incumbent
+  // must win in the end, however the threads interleave. (Promotion and
+  // post-promotion rollback have deterministic units in
+  // serve_resilience_test.)
+  rc.stage_requests = 1000000;
+  rc.health.thresholds.max_latency_ratio = 0.0;
+  RolloutController rollout(&engine, rc);
+
+  constexpr int kScorers = 4;
+  constexpr int kRequestsPerScorer = 120;
+  constexpr int kRolloutCycles = 50;
+
+  std::atomic<int> completed{0};
+  std::atomic<bool> bad_version{false};
+  std::vector<std::thread> scorers;
+  for (int s = 0; s < kScorers; ++s) {
+    scorers.emplace_back([&, s] {
+      Rng rng(200 + static_cast<uint64_t>(s));
+      for (int i = 0; i < kRequestsPerScorer; ++i) {
+        ScoreRequest req;
+        req.user = static_cast<int>(rng.UniformInt(cfg.num_users));
+        const int hour = static_cast<int>(rng.UniformInt(24));
+        const int weekday = static_cast<int>(rng.UniformInt(7));
+        std::vector<int> played = {world.SampleSong(&rng),
+                                   world.SampleSong(&rng)};
+        req.history =
+            world.SimulateSession(req.user, played, hour, weekday, &rng)
+                .events;
+        for (int c = 0; c < 2; ++c) {
+          const int song = world.SampleSong(&rng);
+          req.candidate_songs.push_back(song);
+          req.candidates.push_back(
+              world.ScoringEvent(req.user, song, hour, weekday));
+        }
+        const StatusOr<ScoreResponse> response =
+            rollout.Score(std::move(req));
+        if (!response.ok()) continue;
+        ++completed;
+        const uint64_t version = response.value().snapshot_version;
+        if (version != 103 && version != 104) bad_version = true;
+      }
+    });
+  }
+  std::thread roller([&] {
+    for (int i = 0; i < kRolloutCycles; ++i) {
+      // BeginRollout fails harmlessly when a previous cycle's rollout is
+      // mid-flight; Abort rolls whatever is active back.
+      (void)rollout.BeginRollout(candidate);
+      std::this_thread::yield();
+      rollout.Abort();
+    }
+  });
+  for (std::thread& t : scorers) t.join();
+  roller.join();
+  rollout.Abort();
+
+  EXPECT_EQ(completed.load(), kScorers * kRequestsPerScorer);
+  EXPECT_FALSE(bad_version.load());
+  // However the race played out, the rollback path always re-pins the
+  // incumbent in the end.
+  EXPECT_EQ(engine.snapshot()->version(), 103u);
 }
 
 }  // namespace

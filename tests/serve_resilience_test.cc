@@ -1,0 +1,593 @@
+// Serving resilience units: the HealthTracker's windows and verdicts,
+// the client retry backoff, the engine's circuit breaker + degraded
+// fallback, the draining status contract, and the RolloutController's
+// promotion ladder with auto-rollback. The organic end-to-end story
+// (fault injection driving a real rollback) lives in serve_chaos_test.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "data/world.h"
+#include "models/registry.h"
+#include "serve/engine.h"
+#include "serve/health.h"
+#include "serve/model_snapshot.h"
+#include "serve/replay.h"
+#include "serve/rollout.h"
+
+namespace uae::serve {
+namespace {
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 35;
+  return cfg;
+}
+
+std::shared_ptr<const ModelSnapshot> BuildSnapshot(
+    const data::World& world, uint64_t seed, uint64_t version,
+    std::vector<double> prior = {}) {
+  Rng rng(seed);
+  std::shared_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), models::ModelConfig());
+  auto tower = std::make_shared<attention::AttentionTower>(
+      &rng, world.schema(), attention::TowerConfig());
+  return ModelSnapshot::FromModules(world.schema(), std::move(model),
+                                    std::move(tower), /*gamma=*/1.0f,
+                                    version, std::move(prior));
+}
+
+ScoreRequest MakeRequest(const data::World& world, int user, int history_len,
+                         int num_candidates, Rng* rng) {
+  ScoreRequest req;
+  req.user = user;
+  const int hour = static_cast<int>(rng->UniformInt(24));
+  const int weekday = static_cast<int>(rng->UniformInt(7));
+  std::vector<int> played(static_cast<size_t>(history_len));
+  for (int& song : played) song = world.SampleSong(rng);
+  req.history =
+      world.SimulateSession(user, played, hour, weekday, rng).events;
+  for (int c = 0; c < num_candidates; ++c) {
+    const int song = world.SampleSong(rng);
+    req.candidate_songs.push_back(song);
+    req.candidates.push_back(world.ScoringEvent(user, song, hour, weekday));
+  }
+  return req;
+}
+
+EngineConfig ImmediateDispatch() {
+  EngineConfig config;
+  config.max_wait_us = 0;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// HealthTracker.
+
+TEST(HealthTrackerTest, WindowCountsRatesAndSliding) {
+  HealthTracker::Config config;
+  config.window = 4;
+  HealthTracker tracker(config);
+
+  tracker.Record(1, RequestOutcome::kOk, 0.010, 0.5);
+  tracker.Record(1, RequestOutcome::kDegraded, 0.001, 0.9);
+  tracker.Record(1, RequestOutcome::kShed, 0.0, 0.0);
+  tracker.Record(1, RequestOutcome::kError, 0.0, 0.0);
+
+  HealthTracker::WindowStats stats = tracker.Stats(1);
+  EXPECT_EQ(stats.total, 4);
+  EXPECT_EQ(stats.ok, 1);
+  EXPECT_EQ(stats.degraded, 1);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(stats.shed_degraded_rate, 0.5);
+  // Latency window holds completed requests only; scores OK only.
+  EXPECT_EQ(stats.latency.n, 2);
+  EXPECT_EQ(stats.score.n, 1);
+  EXPECT_DOUBLE_EQ(stats.score.mean, 0.5);
+
+  // Window slides: four more OKs push everything else out.
+  for (int i = 0; i < 4; ++i) {
+    tracker.Record(1, RequestOutcome::kOk, 0.010, 0.5);
+  }
+  stats = tracker.Stats(1);
+  EXPECT_EQ(stats.total, 4);
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+
+  tracker.Forget(1);
+  EXPECT_EQ(tracker.Stats(1).total, 0);
+}
+
+TEST(HealthTrackerTest, InsufficientEvidenceNeverRollsBack) {
+  HealthTracker::Config config;
+  config.thresholds.min_samples = 8;
+  HealthTracker tracker(config);
+  // All errors — but fewer than min_samples.
+  for (int i = 0; i < 7; ++i) {
+    tracker.Record(2, RequestOutcome::kError, 0.0, 0.0);
+  }
+  EXPECT_TRUE(tracker.Judge(2, 1).healthy);
+  tracker.Record(2, RequestOutcome::kError, 0.0, 0.0);
+  const HealthTracker::Verdict verdict = tracker.Judge(2, 1);
+  EXPECT_FALSE(verdict.healthy);
+  EXPECT_EQ(verdict.reason, "error_rate");
+  EXPECT_DOUBLE_EQ(verdict.error_rate, 1.0);
+}
+
+TEST(HealthTrackerTest, ShedDegradedDeltaIsIncumbentRelative) {
+  HealthTracker::Config config;
+  config.thresholds.min_samples = 8;
+  config.thresholds.max_shed_degraded_delta = 0.25;
+  HealthTracker tracker(config);
+  // Both sides shed half their traffic: global overload, nobody's fault.
+  for (int i = 0; i < 16; ++i) {
+    const RequestOutcome outcome =
+        i % 2 == 0 ? RequestOutcome::kOk : RequestOutcome::kShed;
+    tracker.Record(1, outcome, 0.01, 0.4);
+    tracker.Record(2, outcome, 0.01, 0.4);
+  }
+  EXPECT_TRUE(tracker.Judge(2, 1).healthy);
+  // Candidate degrades far beyond the incumbent under the same load.
+  for (int i = 0; i < 24; ++i) {
+    tracker.Record(2, RequestOutcome::kDegraded, 0.001, 0.4);
+  }
+  const HealthTracker::Verdict verdict = tracker.Judge(2, 1);
+  EXPECT_FALSE(verdict.healthy);
+  EXPECT_EQ(verdict.reason, "shed_degraded_delta");
+  EXPECT_GT(verdict.shed_degraded_delta, 0.25);
+}
+
+TEST(HealthTrackerTest, ScoreDriftNeedsMagnitudeAndSignificance) {
+  HealthTracker::Config config;
+  config.thresholds.min_samples = 4;
+  config.thresholds.max_score_drift = 0.1;
+  config.thresholds.score_drift_p_value = 0.01;
+  HealthTracker tracker(config);
+  // Incumbent scores tight around 0.15; candidate tight around 0.95:
+  // large drift, overwhelming significance.
+  for (int i = 0; i < 32; ++i) {
+    tracker.Record(1, RequestOutcome::kOk, 0.01,
+                   0.15 + (i % 2 == 0 ? 0.01 : -0.01));
+    tracker.Record(2, RequestOutcome::kOk, 0.01,
+                   0.95 + (i % 2 == 0 ? 0.01 : -0.01));
+  }
+  HealthTracker::Verdict verdict = tracker.Judge(2, 1);
+  EXPECT_FALSE(verdict.healthy);
+  EXPECT_EQ(verdict.reason, "score_drift");
+  EXPECT_NEAR(verdict.score_drift, 0.8, 1e-9);
+  EXPECT_LT(verdict.score_drift_p, 0.01);
+
+  // Same drift magnitude on 4 noisy samples: not significant, healthy.
+  tracker.Clear();
+  const double noisy_cand[4] = {0.0, 1.0, 0.0, 1.0};
+  const double tight_inc[4] = {0.1, 0.2, 0.1, 0.2};
+  for (int i = 0; i < 4; ++i) {
+    tracker.Record(1, RequestOutcome::kOk, 0.01, tight_inc[i]);
+    tracker.Record(2, RequestOutcome::kOk, 0.01, noisy_cand[i]);
+  }
+  verdict = tracker.Judge(2, 1);
+  EXPECT_TRUE(verdict.healthy);
+  EXPECT_GT(verdict.score_drift, 0.1);
+  EXPECT_GT(verdict.score_drift_p, 0.01);
+}
+
+// ---------------------------------------------------------------------
+// Retry backoff.
+
+TEST(RetryBackoffTest, GrowsExponentiallyWithBoundedJitter) {
+  Rng rng(77);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const double base = 100.0 * static_cast<double>(1 << attempt);
+    for (int draw = 0; draw < 16; ++draw) {
+      const int64_t us = RetryBackoffMicros(attempt, 100, 0.5, &rng);
+      EXPECT_GE(us, static_cast<int64_t>(base * 0.5));
+      EXPECT_LT(us, static_cast<int64_t>(base * 1.5) + 1);
+    }
+  }
+  // jitter = 0: exact exponential schedule.
+  EXPECT_EQ(RetryBackoffMicros(0, 200, 0.0, &rng), 200);
+  EXPECT_EQ(RetryBackoffMicros(3, 200, 0.0, &rng), 1600);
+  // Identical seeds draw identical jittered sequences.
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(RetryBackoffMicros(i, 100, 0.3, &a),
+              RetryBackoffMicros(i, 100, 0.3, &b));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Degraded scoring.
+
+TEST(DegradedTest, DeadlinePressureServesPriorScoresWhenConfigured) {
+  const data::World world(SmallWorldConfig(), 41);
+  // Prior: song id scaled into (0, 1], so ranking by prior is ranking by
+  // song id descending — easy to assert.
+  std::vector<double> prior(static_cast<size_t>(world.config().num_songs));
+  for (size_t s = 0; s < prior.size(); ++s) {
+    prior[s] = static_cast<double>(s + 1) / static_cast<double>(prior.size());
+  }
+  EngineConfig config = ImmediateDispatch();
+  config.degrade_on_deadline = true;
+  Engine engine(BuildSnapshot(world, 51, 301, prior), config);
+
+  Rng rng(42);
+  ScoreRequest request = MakeRequest(world, 2, 4, 5, &rng);
+  const std::vector<int> songs = request.candidate_songs;
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  telemetry::Counter* degraded = telemetry::GetCounter("uae.serve.degraded");
+  telemetry::Counter* shed = telemetry::GetCounter("uae.serve.shed");
+  const int64_t degraded_before = degraded->Get();
+  const int64_t shed_before = shed->Get();
+
+  const StatusOr<ScoreResponse> response = engine.Score(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().degraded);
+  EXPECT_EQ(response.value().degraded_reason, "deadline");
+  EXPECT_EQ(degraded->Get() - degraded_before, 1);
+  // Degraded is an answer, not a shed.
+  EXPECT_EQ(shed->Get() - shed_before, 0);
+
+  ASSERT_EQ(response.value().scores.size(), songs.size());
+  for (size_t i = 0; i < songs.size(); ++i) {
+    EXPECT_EQ(response.value().scores[i].song, songs[i]);
+    EXPECT_DOUBLE_EQ(response.value().scores[i].ctr,
+                     prior[static_cast<size_t>(songs[i])]);
+    EXPECT_FLOAT_EQ(response.value().scores[i].alpha, 1.0f);
+  }
+  // Playlist ranks by prior == by song id, descending.
+  std::vector<int> expected = songs;
+  std::sort(expected.begin(), expected.end(), std::greater<int>());
+  EXPECT_EQ(response.value().playlist, expected);
+}
+
+TEST(DegradedTest, ShedStaysTheDefaultWithoutOptIn) {
+  const data::World world(SmallWorldConfig(), 43);
+  Engine engine(BuildSnapshot(world, 53, 303), ImmediateDispatch());
+  Rng rng(44);
+  ScoreRequest request = MakeRequest(world, 1, 4, 3, &rng);
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  telemetry::Counter* by_reason =
+      telemetry::GetCounter("uae.serve.shed.deadline");
+  const int64_t before = by_reason->Get();
+  const StatusOr<ScoreResponse> response = engine.Score(std::move(request));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(by_reason->Get() - before, 1);
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker.
+
+TEST(BreakerTest, OpensDegradesThenProbesClosed) {
+  const data::World world(SmallWorldConfig(), 45);
+  EngineConfig config = ImmediateDispatch();
+  config.breaker.enabled = true;
+  config.breaker.window = 8;
+  config.breaker.failure_threshold = 4;
+  config.breaker.open_budget = 3;
+  Engine engine(BuildSnapshot(world, 55, 305), config);
+
+  Rng rng(46);
+  auto expired = [&] {
+    ScoreRequest req = MakeRequest(world, 3, 3, 2, &rng);
+    req.deadline =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    return req;
+  };
+  auto healthy = [&] { return MakeRequest(world, 3, 3, 2, &rng); };
+
+  // Rack up deadline failures until the breaker trips.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(engine.Score(expired()).status().code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+
+  // Open: the budget is served degraded — synchronously, without ever
+  // touching the queue, even for requests that would have been fine.
+  telemetry::Counter* degraded = telemetry::GetCounter("uae.serve.degraded");
+  const int64_t degraded_before = degraded->Get();
+  for (int i = 0; i < 3; ++i) {
+    const StatusOr<ScoreResponse> response = engine.Score(healthy());
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response.value().degraded);
+    EXPECT_EQ(response.value().degraded_reason, "breaker_open");
+  }
+  EXPECT_EQ(degraded->Get() - degraded_before, 3);
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+
+  // Budget spent: the next request is the half-open probe; it succeeds
+  // on the full path and closes the breaker.
+  const StatusOr<ScoreResponse> probe = engine.Score(healthy());
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe.value().degraded);
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kClosed);
+
+  // Closed again: full-path responses, no fallback.
+  const StatusOr<ScoreResponse> after = engine.Score(healthy());
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().degraded);
+}
+
+TEST(BreakerTest, FailedProbeReopensAndShedModeCountsReasons) {
+  const data::World world(SmallWorldConfig(), 47);
+  EngineConfig config = ImmediateDispatch();
+  config.breaker.enabled = true;
+  config.breaker.window = 8;
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_budget = 2;
+  config.breaker.degrade_when_open = false;  // Shed instead of degrade.
+  Engine engine(BuildSnapshot(world, 57, 307), config);
+
+  Rng rng(48);
+  auto expired = [&] {
+    ScoreRequest req = MakeRequest(world, 5, 3, 2, &rng);
+    req.deadline =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    return req;
+  };
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(engine.Score(expired()).ok());
+  }
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+
+  telemetry::Counter* shed = telemetry::GetCounter("uae.serve.shed");
+  telemetry::Counter* by_reason =
+      telemetry::GetCounter("uae.serve.shed.breaker_open");
+  const int64_t shed_before = shed->Get();
+  const int64_t reason_before = by_reason->Get();
+  for (int i = 0; i < 2; ++i) {
+    const StatusOr<ScoreResponse> response = engine.Score(expired());
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(shed->Get() - shed_before, 2);
+  EXPECT_EQ(by_reason->Get() - reason_before, 2);
+
+  // The probe itself fails (expired deadline) and re-opens the breaker.
+  EXPECT_FALSE(engine.Score(expired()).ok());
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+}
+
+// ---------------------------------------------------------------------
+// Draining status.
+
+TEST(DrainingTest, StoppedEngineIsNotAnOverloadSignal) {
+  const data::World world(SmallWorldConfig(), 49);
+  Engine engine(BuildSnapshot(world, 59, 309), ImmediateDispatch());
+  Rng rng(50);
+  const ScoreRequest warmup = MakeRequest(world, 1, 3, 2, &rng);
+  ASSERT_TRUE(engine.Score(warmup).ok());
+  engine.Stop();
+
+  telemetry::Counter* shed = telemetry::GetCounter("uae.serve.shed");
+  telemetry::Counter* draining =
+      telemetry::GetCounter("uae.serve.shed.draining");
+  const int64_t shed_before = shed->Get();
+  const int64_t draining_before = draining->Get();
+
+  const StatusOr<ScoreResponse> response =
+      engine.Score(MakeRequest(world, 2, 3, 2, &rng));
+  ASSERT_FALSE(response.ok());
+  // FailedPrecondition, not kUnavailable: "stop retrying", not "back
+  // off and retry" — a retrying client must be able to tell the two
+  // apart.
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(response.status().message(), "engine stopped");
+  EXPECT_EQ(draining->Get() - draining_before, 1);
+  // The overload shed counter stays untouched.
+  EXPECT_EQ(shed->Get() - shed_before, 0);
+}
+
+// ---------------------------------------------------------------------
+// Rollout controller.
+
+RolloutConfig FastRollout(int stage_requests) {
+  RolloutConfig rc;
+  rc.canary_fraction = 0.5;
+  rc.ramp_fraction = 0.75;
+  rc.stage_requests = stage_requests;
+  rc.health.thresholds.min_samples = 2;
+  rc.health.thresholds.max_latency_ratio = 0.0;  // Wall-clock noise.
+  // These tests target the promotion mechanics; the drift criterion gets
+  // its own units above and an organic end-to-end in serve_chaos_test.
+  rc.health.thresholds.max_score_drift = 0.0;
+  return rc;
+}
+
+TEST(RolloutTest, PromotionLadderCompletesAndSwapsOnce) {
+  const data::World world(SmallWorldConfig(), 61);
+  const auto incumbent = BuildSnapshot(world, 71, 401);
+  Engine engine(incumbent, ImmediateDispatch());
+  RolloutController rollout(&engine, FastRollout(12));
+
+  // Identical modules under a new version: same scores, new identity.
+  const auto candidate = ModelSnapshot::FromModules(
+      incumbent->schema(),
+      std::shared_ptr<models::Recommender>(incumbent, incumbent->model()),
+      std::shared_ptr<const attention::AttentionTower>(incumbent,
+                                                       incumbent->tower()),
+      incumbent->gamma(), /*version=*/402);
+  ASSERT_TRUE(rollout.BeginRollout(candidate).ok());
+  EXPECT_EQ(rollout.stage(), RolloutStage::kCanary);
+  EXPECT_EQ(rollout.candidate_version(), 402u);
+
+  // A second rollout cannot start while one is in flight.
+  EXPECT_EQ(rollout.BeginRollout(candidate).code(),
+            StatusCode::kFailedPrecondition);
+
+  telemetry::Counter* swaps = telemetry::GetCounter("uae.serve.swaps");
+  const int64_t swaps_before = swaps->Get();
+  Rng rng(62);
+  for (int i = 0; i < 36; ++i) {  // Three 12-request stage windows.
+    const StatusOr<ScoreResponse> response = rollout.Score(
+        MakeRequest(world, i % world.config().num_users, 3, 2, &rng));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  EXPECT_EQ(rollout.stage(), RolloutStage::kIdle);
+  EXPECT_EQ(rollout.rollbacks(), 0);
+  EXPECT_EQ(rollout.candidate_version(), 0u);
+  // Exactly one Swap — at the ramp -> full promotion.
+  EXPECT_EQ(swaps->Get() - swaps_before, 1);
+  EXPECT_EQ(engine.snapshot()->version(), 402u);
+}
+
+TEST(RolloutTest, CanaryRollbackNeedsNoSwapAndRepinsNothing) {
+  const data::World world(SmallWorldConfig(), 63);
+  const auto incumbent = BuildSnapshot(world, 73, 403);
+  Engine engine(incumbent, ImmediateDispatch());
+  RolloutController rollout(&engine, FastRollout(12));
+  const auto candidate = ModelSnapshot::FromModules(
+      incumbent->schema(),
+      std::shared_ptr<models::Recommender>(incumbent, incumbent->model()),
+      std::shared_ptr<const attention::AttentionTower>(incumbent,
+                                                       incumbent->tower()),
+      incumbent->gamma(), /*version=*/404);
+  ASSERT_TRUE(rollout.BeginRollout(candidate).ok());
+
+  // Poison the candidate's health window the way a crashing snapshot
+  // would: errors, recorded under its version.
+  for (int i = 0; i < 12; ++i) {
+    rollout.health()->Record(404, RequestOutcome::kError, 0.0, 0.0);
+  }
+  telemetry::Counter* swaps = telemetry::GetCounter("uae.serve.swaps");
+  telemetry::Counter* rollbacks =
+      telemetry::GetCounter("uae.serve.rollout.rollbacks");
+  const int64_t swaps_before = swaps->Get();
+  const int64_t rollbacks_before = rollbacks->Get();
+
+  Rng rng(64);
+  for (int i = 0; i < 12 && rollout.stage() == RolloutStage::kCanary; ++i) {
+    ASSERT_TRUE(rollout
+                    .Score(MakeRequest(world, i % world.config().num_users,
+                                       3, 2, &rng))
+                    .ok());
+  }
+  EXPECT_EQ(rollout.stage(), RolloutStage::kRolledBack);
+  EXPECT_EQ(rollout.rollbacks(), 1);
+  EXPECT_EQ(rollout.last_verdict().reason, "error_rate");
+  EXPECT_EQ(rollout.candidate_version(), 0u);
+  // The engine never published the candidate, so rollback swaps nothing.
+  EXPECT_EQ(swaps->Get() - swaps_before, 0);
+  EXPECT_EQ(engine.snapshot()->version(), 403u);
+  EXPECT_EQ(rollbacks->Get() - rollbacks_before, 1);
+
+  // A rolled-back controller accepts the next rollout attempt.
+  EXPECT_TRUE(rollout
+                  .BeginRollout(ModelSnapshot::FromModules(
+                      incumbent->schema(),
+                      std::shared_ptr<models::Recommender>(
+                          incumbent, incumbent->model()),
+                      std::shared_ptr<const attention::AttentionTower>(
+                          incumbent, incumbent->tower()),
+                      incumbent->gamma(), /*version=*/405))
+                  .ok());
+}
+
+TEST(RolloutTest, PostPromotionRegressionSwapsTheIncumbentBack) {
+  const data::World world(SmallWorldConfig(), 65);
+  const auto incumbent = BuildSnapshot(world, 75, 406);
+  Engine engine(incumbent, ImmediateDispatch());
+  RolloutController rollout(&engine, FastRollout(8));
+  const auto candidate = ModelSnapshot::FromModules(
+      incumbent->schema(),
+      std::shared_ptr<models::Recommender>(incumbent, incumbent->model()),
+      std::shared_ptr<const attention::AttentionTower>(incumbent,
+                                                       incumbent->tower()),
+      incumbent->gamma(), /*version=*/407);
+  ASSERT_TRUE(rollout.BeginRollout(candidate).ok());
+
+  Rng rng(66);
+  // Two healthy windows: canary -> ramp -> full (candidate published).
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(rollout
+                    .Score(MakeRequest(world, i % world.config().num_users,
+                                       3, 2, &rng))
+                    .ok());
+  }
+  ASSERT_EQ(rollout.stage(), RolloutStage::kFull);
+  ASSERT_EQ(engine.snapshot()->version(), 407u);
+
+  // The soak window turns sour.
+  for (int i = 0; i < 12; ++i) {
+    rollout.health()->Record(407, RequestOutcome::kError, 0.0, 0.0);
+  }
+  for (int i = 0; i < 8 && rollout.stage() == RolloutStage::kFull; ++i) {
+    ASSERT_TRUE(rollout
+                    .Score(MakeRequest(world, i % world.config().num_users,
+                                       3, 2, &rng))
+                    .ok());
+  }
+  EXPECT_EQ(rollout.stage(), RolloutStage::kRolledBack);
+  // Auto-rollback re-published the incumbent.
+  EXPECT_EQ(engine.snapshot()->version(), 406u);
+}
+
+TEST(RolloutTest, AbortRollsBackImmediately) {
+  const data::World world(SmallWorldConfig(), 67);
+  const auto incumbent = BuildSnapshot(world, 77, 408);
+  Engine engine(incumbent, ImmediateDispatch());
+  RolloutController rollout(&engine, FastRollout(8));
+  ASSERT_TRUE(rollout
+                  .BeginRollout(ModelSnapshot::FromModules(
+                      incumbent->schema(),
+                      std::shared_ptr<models::Recommender>(
+                          incumbent, incumbent->model()),
+                      std::shared_ptr<const attention::AttentionTower>(
+                          incumbent, incumbent->tower()),
+                      incumbent->gamma(), /*version=*/409))
+                  .ok());
+  rollout.Abort();
+  EXPECT_EQ(rollout.stage(), RolloutStage::kRolledBack);
+  EXPECT_EQ(rollout.rollbacks(), 1);
+  EXPECT_EQ(engine.snapshot()->version(), 408u);
+  rollout.Abort();  // Idempotent outside an active rollout.
+  EXPECT_EQ(rollout.rollbacks(), 1);
+}
+
+TEST(RolloutTest, RejectsVersionCollisionWithIncumbent) {
+  const data::World world(SmallWorldConfig(), 68);
+  const auto incumbent = BuildSnapshot(world, 78, 410);
+  Engine engine(incumbent, ImmediateDispatch());
+  RolloutController rollout(&engine, FastRollout(8));
+  EXPECT_EQ(rollout.BeginRollout(incumbent).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Replay resilience knobs.
+
+TEST(ReplayResilienceTest, RolloutExerciseCompletesAndReportsIt) {
+  ReplayConfig config;
+  config.world = SmallWorldConfig();
+  config.requests = 16;
+  config.history_length = 6;
+  config.candidates = 3;
+  config.client_threads = 2;
+  config.engine.max_wait_us = 0;
+  config.retries = 2;
+  config.exercise_rollout = true;
+  const StatusOr<ReplayReport> report = RunReplay(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().rollout_stage, "idle");  // Completed.
+  EXPECT_EQ(report.value().rollout_rollbacks, 0);
+  EXPECT_EQ(report.value().degraded, 0);
+}
+
+}  // namespace
+}  // namespace uae::serve

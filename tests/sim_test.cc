@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "data/world.h"
 #include "models/recommender.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
 #include "sim/ab_test.h"
 
 namespace uae::sim {
@@ -102,6 +105,45 @@ TEST(AbTestTest, DeterministicInSeed) {
     EXPECT_DOUBLE_EQ(a.days[i].play_time_uplift_pct,
                      b.days[i].play_time_uplift_pct);
   }
+}
+
+// The model/model overload now stages the treatment model through a
+// RolloutController (canary -> ramp -> full during the experiment).
+// Fig. 7's numbers must not notice: serving the same model straight
+// through an engine — no rollout machinery at all — has to give
+// byte-identical day metrics.
+TEST(AbTestTest, RolloutServingPathMatchesDirectEngineByteForByte) {
+  const data::World world(SmallWorldConfig(), 45);
+  ConstantRanker control;
+  AffinityRanker treatment(3.0f);
+  const AbTestConfig cfg = FastAbConfig();
+  const AbTestResult staged = RunAbTest(world, &control, &treatment, cfg);
+
+  const std::shared_ptr<const serve::ModelSnapshot> snapshot =
+      serve::ModelSnapshot::FromModules(
+          world.schema(),
+          std::shared_ptr<models::Recommender>(&treatment,
+                                               [](models::Recommender*) {}),
+          /*tower=*/nullptr);
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  engine_config.playlist_length = cfg.playlist_length;
+  serve::Engine engine(snapshot, engine_config);
+  const AbTestResult direct = RunAbTest(world, &control, &engine, cfg);
+
+  ASSERT_EQ(staged.days.size(), direct.days.size());
+  for (size_t i = 0; i < staged.days.size(); ++i) {
+    EXPECT_DOUBLE_EQ(staged.days[i].control.play_time,
+                     direct.days[i].control.play_time);
+    EXPECT_DOUBLE_EQ(staged.days[i].treatment.play_time,
+                     direct.days[i].treatment.play_time);
+    EXPECT_DOUBLE_EQ(staged.days[i].treatment.play_count,
+                     direct.days[i].treatment.play_count);
+    EXPECT_DOUBLE_EQ(staged.days[i].play_time_uplift_pct,
+                     direct.days[i].play_time_uplift_pct);
+  }
+  EXPECT_DOUBLE_EQ(staged.avg_play_count_uplift_pct,
+                   direct.avg_play_count_uplift_pct);
 }
 
 TEST(AbTestTest, MetricsArePopulatedPerDay) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the tree under AddressSanitizer and runs the chaos-labeled test
+# subset against it: the serve-path fault drills (corrupt snapshot
+# loads, cache eviction storms, injected latency spikes) and the golden
+# auto-rollback scenario, where a canary rollout of a bad snapshot must
+# roll back with zero failed requests and bit-equal post-rollback
+# scores at 1 and 8 threads.
+#
+# ASan is the right runtime here: chaos paths exercise error cleanup
+# (partially-built snapshots, abandoned batches, re-published
+# incumbents), which is exactly where lifetime bugs hide. The TSan
+# schedule drills live in tools/check_tsan.sh; the two runtimes cannot
+# coexist, so this uses a dedicated build-chaos/ tree.
+#
+# Usage: tools/check_chaos.sh [extra ctest args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-chaos"
+
+cmake -S "$repo" -B "$build" -DUAE_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j"$(nproc)" --target serve_chaos_test
+
+# detect_leaks catches snapshots or pending batches dropped on the
+# error paths the faults force open.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 halt_on_error=1}"
+
+cd "$build"
+ctest -L chaos --output-on-failure "$@"
+echo "Chaos serve subset: clean"

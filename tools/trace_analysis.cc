@@ -404,6 +404,27 @@ CompareResult CompareBench(const TraceData& old_trace,
   add("serve_shed_rate", old_bench.GetNumber("serve_shed_rate"),
       new_bench.GetNumber("serve_shed_rate"), /*gate=*/false,
       /*higher_is_worse=*/true);
+  // Resilience-layer rows. Degraded responses are cheap but lower
+  // fidelity (prior scores, no GRU replay), so a creeping degraded rate
+  // means the deadline/breaker path is firing more than it used to;
+  // rollbacks mean the health gate pulled a candidate. Shed-reason
+  // breakdown disambiguates the aggregate shed rate above.
+  add("serve_degraded_rate", old_bench.GetNumber("serve_degraded_rate"),
+      new_bench.GetNumber("serve_degraded_rate"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_rollbacks", old_bench.GetNumber("serve_rollbacks"),
+      new_bench.GetNumber("serve_rollbacks"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_shed_deadline", old_bench.GetNumber("serve_shed_deadline"),
+      new_bench.GetNumber("serve_shed_deadline"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_shed_queue_full", old_bench.GetNumber("serve_shed_queue_full"),
+      new_bench.GetNumber("serve_shed_queue_full"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_shed_breaker_open",
+      old_bench.GetNumber("serve_shed_breaker_open"),
+      new_bench.GetNumber("serve_shed_breaker_open"), /*gate=*/false,
+      /*higher_is_worse=*/true);
   result.total_old_us = old_bench.GetNumber("wall_s") * 1e6;
   result.total_new_us = new_bench.GetNumber("wall_s") * 1e6;
   result.regression = result.worst_ratio > tolerance;

@@ -24,6 +24,19 @@
 //                       validation); default serves in-process
 //   --sessions N        simulated world size                 (400)
 //
+// Resilience drills:
+//   --retries N           retry closed-loop sheds up to N times (0)
+//   --backoff-us N        exponential-backoff base per retry  (200)
+//   --rollout             after the closed loop, promote an
+//                         identical candidate snapshot through a
+//                         full canary -> ramp -> full rollout
+//   --degrade-on-deadline serve prior-ranked (degraded) responses
+//                         instead of shedding on deadline misses
+//   --chaos-delay-p P     arm the serve.score.delay fault point:
+//                         each scored request stalls with
+//                         probability P                       (0)
+//   --chaos-delay-us N    ... for N micros per fire           (2000)
+//
 // Exit codes: 0 ok, 1 replay failed, 2 usage error.
 
 #include <cstdio>
@@ -31,6 +44,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "serve/replay.h"
 
@@ -45,7 +59,11 @@ int Usage() {
                "                        [--max-wait-us N] [--qps X] "
                "[--qps-factor F] [--open-requests N]\n"
                "                        [--deadline-ms N] "
-               "[--checkpoint-dir DIR] [--sessions N]\n");
+               "[--checkpoint-dir DIR] [--sessions N]\n"
+               "                        [--retries N] [--backoff-us N] "
+               "[--rollout] [--degrade-on-deadline]\n"
+               "                        [--chaos-delay-p P] "
+               "[--chaos-delay-us N]\n");
   return 2;
 }
 
@@ -60,6 +78,8 @@ int main(int argc, char** argv) {
   config.world.num_sessions = 400;
   config.engine.max_wait_us = 0;
   int open_requests = 0;
+  double chaos_delay_p = 0.0;
+  int chaos_delay_us = 2000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +114,18 @@ int main(int argc, char** argv) {
       config.checkpoint_dir = argv[++i];
     } else if (arg == "--sessions") {
       if (!next_int(&config.world.num_sessions)) return Usage();
+    } else if (arg == "--retries") {
+      if (!next_int(&config.retries)) return Usage();
+    } else if (arg == "--backoff-us") {
+      if (!next_int(&config.backoff_base_us)) return Usage();
+    } else if (arg == "--rollout") {
+      config.exercise_rollout = true;
+    } else if (arg == "--degrade-on-deadline") {
+      config.engine.degrade_on_deadline = true;
+    } else if (arg == "--chaos-delay-p" && i + 1 < argc) {
+      chaos_delay_p = std::atof(argv[++i]);
+    } else if (arg == "--chaos-delay-us") {
+      if (!next_int(&chaos_delay_us)) return Usage();
     } else {
       std::fprintf(stderr, "uae_serve_replay: unknown flag %s\n",
                    arg.c_str());
@@ -102,6 +134,15 @@ int main(int argc, char** argv) {
   }
   config.open_loop_requests =
       open_requests > 0 ? open_requests : 4 * config.requests;
+
+  if (chaos_delay_p > 0.0) {
+    // Deterministic latency chaos for the whole run: each scored
+    // request stalls with probability P for the configured micros.
+    FaultInjector::Instance().Arm(
+        "serve.score.delay",
+        {/*probability=*/chaos_delay_p, /*seed=*/config.seed + 1,
+         /*delay_micros=*/chaos_delay_us});
+  }
 
   std::printf("replaying %d requests (history %d, %d candidates) on %d "
               "client threads%s...\n",
@@ -137,6 +178,28 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.open_completed), r.achieved_qps);
     std::printf("  shed            %lld (%.1f%%)\n",
                 static_cast<long long>(r.open_shed), 100.0 * r.shed_rate);
+  }
+  if (r.degraded > 0 || r.retries > 0 || config.retries > 0 ||
+      config.engine.degrade_on_deadline || chaos_delay_p > 0.0) {
+    std::printf("resilience\n");
+    std::printf("  degraded        %lld (%.1f%%)\n",
+                static_cast<long long>(r.degraded),
+                100.0 * r.degraded_rate);
+    std::printf("  retries spent   %lld\n",
+                static_cast<long long>(r.retries));
+    if (chaos_delay_p > 0.0) {
+      const FaultInjector::FaultStats chaos =
+          FaultInjector::Instance().Stats("serve.score.delay");
+      std::printf("  chaos delays    %lld/%lld fired\n",
+                  static_cast<long long>(chaos.fires),
+                  static_cast<long long>(chaos.trials));
+    }
+  }
+  if (!r.rollout_stage.empty()) {
+    std::printf("rollout           finished %s, %lld rollback%s\n",
+                r.rollout_stage.c_str(),
+                static_cast<long long>(r.rollout_rollbacks),
+                r.rollout_rollbacks == 1 ? "" : "s");
   }
   return 0;
 }
