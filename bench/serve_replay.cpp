@@ -46,6 +46,15 @@ int main(int argc, char** argv) {
   // on a healthy serve path, so any drift is a regression signal.
   config.exercise_rollout = true;
   config.retries = 2;
+  // Observability on, the production shape: Prometheus export kept
+  // fresh through the run, exemplar slowlog armed, SLO tracking with
+  // latency bounds derived from the deadline. The baseline extras below
+  // then watch the observability plane itself for drift — the 1.3x
+  // wall-time gate doubles as the "observing the engine is not allowed
+  // to slow the engine" check.
+  config.metrics_export_path = "bench_out/serve_replay_metrics.prom";
+  config.slowlog_path = "bench_out/serve_replay_slowlog.jsonl";
+  config.slo = true;
 
   std::printf("replaying %d requests (history %d, %d candidates), then "
               "offering 3x warm capacity...\n",
@@ -72,6 +81,10 @@ int main(int argc, char** argv) {
   table.AddRow({"degraded rate", AsciiTable::Fmt(r.degraded_rate, 3)});
   table.AddRow({"rollout finished", r.rollout_stage});
   table.AddRow({"rollbacks", AsciiTable::Fmt(double(r.rollout_rollbacks), 0)});
+  table.AddRow({"queue wait p95 (ms)", AsciiTable::Fmt(r.queue_wait_p95_ms, 2)});
+  table.AddRow({"score p95 (ms)", AsciiTable::Fmt(r.score_p95_ms, 2)});
+  table.AddRow({"slo budget consumed", AsciiTable::Fmt(r.slo_budget_consumed, 3)});
+  table.AddRow({"exemplars", AsciiTable::Fmt(double(r.exemplars), 0)});
   std::printf("%s", table.ToString().c_str());
 
   CsvWriter csv({"metric", "value"});
@@ -88,6 +101,11 @@ int main(int argc, char** argv) {
   csv.AddRow({"shed_rate", AsciiTable::Fmt(r.shed_rate, 3)});
   csv.AddRow({"degraded_rate", AsciiTable::Fmt(r.degraded_rate, 3)});
   csv.AddRow({"rollbacks", AsciiTable::Fmt(double(r.rollout_rollbacks), 0)});
+  csv.AddRow({"queue_wait_p95_ms", AsciiTable::Fmt(r.queue_wait_p95_ms, 3)});
+  csv.AddRow({"score_p95_ms", AsciiTable::Fmt(r.score_p95_ms, 3)});
+  csv.AddRow(
+      {"slo_budget_consumed", AsciiTable::Fmt(r.slo_budget_consumed, 4)});
+  csv.AddRow({"exemplars", AsciiTable::Fmt(double(r.exemplars), 0)});
   bench::ExportCsv(csv, "serve_replay");
 
   bench::RecordBaselineExtra("serve_warm_speedup",
@@ -109,6 +127,15 @@ int main(int argc, char** argv) {
   bench::RecordBaselineExtra(
       "serve_rollbacks",
       telemetry::JsonNumber(static_cast<double>(r.rollout_rollbacks)));
+  bench::RecordBaselineExtra("serve_queue_wait_p95_ms",
+                             telemetry::JsonNumber(r.queue_wait_p95_ms));
+  bench::RecordBaselineExtra("serve_score_p95_ms",
+                             telemetry::JsonNumber(r.score_p95_ms));
+  bench::RecordBaselineExtra("serve_slo_budget_consumed",
+                             telemetry::JsonNumber(r.slo_budget_consumed));
+  bench::RecordBaselineExtra(
+      "serve_exemplars",
+      telemetry::JsonNumber(static_cast<double>(r.exemplars)));
 
   const bool warm_ok = r.warm_speedup >= 5.0;
   const bool shed_ok = r.open_shed > 0 && r.open_completed > 0;

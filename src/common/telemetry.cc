@@ -254,6 +254,41 @@ void ResetRegistryForTest() {
   for (auto& [name, histogram] : registry.histograms) histogram->Reset();
 }
 
+RegistrySnapshot SnapshotRegistry() {
+  Registry& registry = GlobalRegistry();
+  // Pointers out under the lock; values read outside it (a histogram
+  // snapshot takes the histogram's own mutex).
+  std::vector<std::pair<std::string, Counter*>> counters;
+  std::vector<std::pair<std::string, Gauge*>> gauges;
+  std::vector<std::pair<std::string, Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& [name, counter] : registry.counters) {
+      counters.emplace_back(name, counter.get());
+    }
+    for (const auto& [name, gauge] : registry.gauges) {
+      gauges.emplace_back(name, gauge.get());
+    }
+    for (const auto& [name, histogram] : registry.histograms) {
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  RegistrySnapshot snapshot;
+  snapshot.counters.reserve(counters.size());
+  snapshot.gauges.reserve(gauges.size());
+  snapshot.histograms.reserve(histograms.size());
+  for (const auto& [name, counter] : counters) {
+    snapshot.counters.emplace_back(name, counter->Get());
+  }
+  for (const auto& [name, gauge] : gauges) {
+    snapshot.gauges.emplace_back(name, gauge->Get());
+  }
+  for (const auto& [name, histogram] : histograms) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
 // ---------------------------------------------------------------------
 // ScopedTimer
 

@@ -77,6 +77,12 @@ class Counter {
 class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Atomic increment, for gauges tracking a live count (e.g. in-flight
+  /// requests) updated from many threads — two racing Set calls would
+  /// lose one update; Add never does.
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
   double Get() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -143,6 +149,18 @@ Histogram* GetHistogram(const std::string& name,
 /// histograms emptied). Previously returned pointers stay valid — code
 /// that cached a metric keeps working. Test isolation only.
 void ResetRegistryForTest();
+
+/// Point-in-time copy of every registered metric, in name order. The
+/// metric list is captured under the registry lock, but each value is
+/// then read with its own synchronization — individually consistent,
+/// not a global atomic cut (fine for export: counters are monotonic).
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+RegistrySnapshot SnapshotRegistry();
 
 // ---------------------------------------------------------------------
 // Scoped wall-clock timer. Accumulates seconds into a histogram when

@@ -1,0 +1,420 @@
+#include "common/telemetry_export.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace uae::telemetry {
+namespace {
+
+bool ValidNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool ValidNameChar(char c) {
+  return ValidNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool ValidLabelStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ValidLabelChar(char c) {
+  return ValidLabelStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+double UnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds since the first render in this process — the denominator of
+/// uae_top's lifetime-QPS estimate. Steady clock, so file readers never
+/// see it move backwards.
+double UptimeSeconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void AppendSample(std::string* out, const std::string& name, double value) {
+  *out += name;
+  *out += ' ';
+  *out += JsonNumber(value);
+  *out += '\n';
+}
+
+void AppendTyped(std::string* out, const std::string& name,
+                 const char* type) {
+  *out += "# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out += ValidNameChar(c) ? c : '_';
+  }
+  if (out.empty() || !ValidNameStart(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  const RegistrySnapshot snapshot = SnapshotRegistry();
+  std::string out;
+  out.reserve(4096);
+
+  AppendTyped(&out, "uae_build_info", "gauge");
+  out += "uae_build_info{git=\"";
+  out += PrometheusEscapeLabelValue(BuildVersion());
+  out += "\"} 1\n";
+  AppendTyped(&out, "uae_export_unix_seconds", "gauge");
+  AppendSample(&out, "uae_export_unix_seconds", UnixSeconds());
+  AppendTyped(&out, "uae_export_uptime_seconds", "gauge");
+  AppendSample(&out, "uae_export_uptime_seconds", UptimeSeconds());
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    AppendTyped(&out, prom, "counter");
+    AppendSample(&out, prom, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    AppendTyped(&out, prom, "gauge");
+    AppendSample(&out, prom, value);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    AppendTyped(&out, prom, "histogram");
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      cumulative += hist.buckets[i];
+      out += prom;
+      out += "_bucket{le=\"";
+      out += i < hist.bounds.size()
+                 ? PrometheusEscapeLabelValue(JsonNumber(hist.bounds[i]))
+                 : std::string("+Inf");
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += prom;
+    out += "_sum ";
+    out += JsonNumber(hist.sum);
+    out += '\n';
+    out += prom;
+    out += "_count ";
+    out += std::to_string(hist.count);
+    out += '\n';
+    // Companion quantile gauges: dashboards (and uae_top) read p95
+    // directly instead of re-deriving it from the buckets.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p95", 0.95},
+          {"_p99", 0.99}}) {
+      const std::string qname = prom + suffix;
+      AppendTyped(&out, qname, "gauge");
+      AppendSample(&out, qname, hist.Quantile(q));
+    }
+  }
+  return out;
+}
+
+std::string PromSample::Label(const std::string& name) const {
+  for (const auto& [key, value] : labels) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+StatusOr<std::vector<PromSample>> ParsePrometheusText(
+    const std::string& text) {
+  std::vector<PromSample> samples;
+  size_t pos = 0;
+  int line_no = 0;
+  auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument("prometheus text line " +
+                                   std::to_string(line_no) + ": " + what);
+  };
+  while (pos < text.size()) {
+    ++line_no;
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>" and "# HELP <name> <text>" are the only
+      // meaningful comments; validate them, pass anything else through.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space == std::string::npos) return fail("TYPE missing type");
+        const std::string name = rest.substr(0, space);
+        const std::string type = rest.substr(space + 1);
+        if (name.empty() || !ValidNameStart(name[0])) {
+          return fail("TYPE has invalid metric name '" + name + "'");
+        }
+        for (const char c : name) {
+          if (!ValidNameChar(c)) {
+            return fail("TYPE has invalid metric name '" + name + "'");
+          }
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown TYPE '" + type + "'");
+        }
+      }
+      continue;
+    }
+    PromSample sample;
+    size_t i = 0;
+    if (!ValidNameStart(line[0])) return fail("invalid metric name start");
+    while (i < line.size() && ValidNameChar(line[i])) ++i;
+    sample.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      ++i;  // Consume '{'.
+      while (i < line.size() && line[i] != '}') {
+        size_t name_begin = i;
+        if (!ValidLabelStart(line[i])) return fail("invalid label name");
+        while (i < line.size() && ValidLabelChar(line[i])) ++i;
+        const std::string label_name = line.substr(name_begin, i - name_begin);
+        if (i >= line.size() || line[i] != '=') {
+          return fail("label '" + label_name + "' missing '='");
+        }
+        ++i;
+        if (i >= line.size() || line[i] != '"') {
+          return fail("label '" + label_name + "' value not quoted");
+        }
+        ++i;
+        std::string value;
+        bool closed = false;
+        while (i < line.size()) {
+          const char c = line[i++];
+          if (c == '\\') {
+            if (i >= line.size()) return fail("dangling escape");
+            const char esc = line[i++];
+            if (esc == '\\') {
+              value += '\\';
+            } else if (esc == '"') {
+              value += '"';
+            } else if (esc == 'n') {
+              value += '\n';
+            } else {
+              return fail(std::string("bad escape '\\") + esc + "'");
+            }
+          } else if (c == '"') {
+            closed = true;
+            break;
+          } else {
+            value += c;
+          }
+        }
+        if (!closed) return fail("unterminated label value");
+        sample.labels.emplace_back(label_name, value);
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') {
+        return fail("unterminated label set");
+      }
+      ++i;  // Consume '}'.
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail("sample missing value");
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::string value_text = line.substr(i);
+    if (value_text.empty()) return fail("sample missing value");
+    if (value_text == "+Inf" || value_text == "Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else if (value_text == "-Inf") {
+      sample.value = -std::numeric_limits<double>::infinity();
+    } else if (value_text == "NaN") {
+      sample.value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      char* parsed_end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &parsed_end);
+      if (parsed_end == value_text.c_str() || *parsed_end != '\0') {
+        return fail("unparseable value '" + value_text + "'");
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+Status WritePrometheusFile(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty export path");
+  const std::filesystem::path target(path);
+  const std::filesystem::path parent = target.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::Internal("cannot create " + parent.string() + ": " +
+                              ec.message());
+    }
+  }
+  const std::string text = RenderPrometheusText();
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool flushed = std::fclose(file) == 0 && written == text.size();
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  // Atomic replace: a tailing reader sees either the previous complete
+  // export or this one, never a partial file.
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " over " + path +
+                            ": " + ec.message());
+  }
+  return {};
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+Status MetricsExporter::Start(const std::string& path, int interval_ms) {
+  if (path.empty()) return Status::InvalidArgument("empty export path");
+  if (interval_ms <= 0) {
+    return Status::InvalidArgument("export interval must be positive");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("exporter already running");
+    }
+    path_ = path;
+    interval_ms_ = interval_ms;
+    stop_ = false;
+  }
+  // First export synchronously: an unwritable path fails Start instead
+  // of a background thread warning into the void.
+  const Status first = WritePrometheusFile(path);
+  if (!first.ok()) return first;
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return {};
+}
+
+void MetricsExporter::Stop() {
+  std::thread joinable;
+  std::string final_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+    joinable = std::move(thread_);
+    final_path = path_;
+  }
+  cv_.notify_all();
+  if (joinable.joinable()) joinable.join();
+  // One last export so the file reflects the run's end state.
+  const Status status = WritePrometheusFile(final_path);
+  if (!status.ok()) {
+    UAE_LOG(Warning) << "metrics exporter: final write failed: "
+                     << status.ToString();
+  }
+}
+
+bool MetricsExporter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::string MetricsExporter::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [&] { return stop_; });
+    if (stop_) return;
+    const std::string path = path_;
+    lock.unlock();
+    const Status status = WritePrometheusFile(path);
+    if (!status.ok()) {
+      UAE_LOG(Warning) << "metrics exporter: " << status.ToString();
+    }
+    lock.lock();
+  }
+}
+
+bool MaybeStartEnvExporter() {
+  // Leaked singleton: the exporter thread must be able to outlive any
+  // engine that triggered it (it snapshots the process-wide registry,
+  // not engine state), and the atexit-ordering problems of a static
+  // destructor joining a thread are not worth a clean shutdown here.
+  static MetricsExporter* exporter = new MetricsExporter();
+  static std::once_flag once;
+  static bool started = false;
+  std::call_once(once, [] {
+    const char* path = std::getenv("UAE_METRICS_EXPORT_PATH");
+    if (path == nullptr || path[0] == '\0') return;
+    int interval_ms = 500;
+    const char* interval = std::getenv("UAE_METRICS_EXPORT_INTERVAL_MS");
+    if (interval != nullptr && interval[0] != '\0') {
+      const int parsed = std::atoi(interval);
+      if (parsed > 0) interval_ms = parsed;
+    }
+    const Status status = exporter->Start(path, interval_ms);
+    if (!status.ok()) {
+      UAE_LOG(Warning) << "metrics exporter: cannot start at " << path
+                       << ": " << status.ToString();
+      return;
+    }
+    started = true;
+  });
+  return started;
+}
+
+}  // namespace uae::telemetry

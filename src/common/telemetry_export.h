@@ -1,0 +1,117 @@
+#ifndef UAE_COMMON_TELEMETRY_EXPORT_H_
+#define UAE_COMMON_TELEMETRY_EXPORT_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+
+namespace uae::telemetry {
+
+// Live metrics export (DESIGN.md §13 "Live serving observability").
+//
+// Where the JSONL sink is a post-mortem stream, this renders the whole
+// registry as Prometheus text exposition format (version 0.0.4) — the
+// lingua franca of ops tooling — and keeps a file on disk fresh via a
+// background thread with atomic replace (write temp, rename over), so a
+// tailing reader (`uae_top`, a node exporter, a curl in a loop) never
+// sees a torn file.
+//
+// Rendering rules:
+//   - Registry names are sanitized: '.' and every other character
+//     outside [a-zA-Z0-9_:] become '_' ("uae.serve.request_s" ->
+//     "uae_serve_request_s"); a leading digit gets a '_' prefix.
+//   - Counters / gauges render as one sample with a # TYPE line.
+//   - Histograms render the full cumulative form — _bucket{le="..."}
+//     series (inclusive upper bounds, closing with le="+Inf"), _sum and
+//     _count — plus _p50/_p95/_p99 companion gauges, interpolated the
+//     same way EmitMetricsSnapshot reports them, so dashboards get
+//     quantiles without PromQL.
+//   - Label values are escaped per the format: \\ , \" and \n.
+//   - Three synthetic samples ride along: uae_build_info{git="..."} 1,
+//     uae_export_unix_seconds and uae_export_uptime_seconds (seconds
+//     since the first render in this process — the time base uae_top
+//     uses for lifetime QPS).
+
+/// Sanitized metric name, valid for the exposition format.
+std::string PrometheusName(const std::string& name);
+
+/// Escapes a label value: backslash, double quote, newline.
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
+/// Renders the current registry (plus the synthetic samples above).
+std::string RenderPrometheusText();
+
+/// One parsed sample line.
+struct PromSample {
+  std::string name;
+  /// Label name/value pairs in file order; values unescaped.
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  /// First value of `label`, or "" when absent.
+  std::string Label(const std::string& name) const;
+};
+
+/// Strict parser for the exposition subset we emit: # TYPE / # HELP
+/// comment lines, then `name{labels} value` samples. Fails with
+/// InvalidArgument (line number + reason) on any malformed name, label
+/// syntax, escape, or value — the golden test and `uae_top` share it,
+/// so an export that stops parsing fails loudly in CI.
+StatusOr<std::vector<PromSample>> ParsePrometheusText(
+    const std::string& text);
+
+/// Renders and writes the registry to `path` atomically: temp file in
+/// the same directory, fsync-free rename over the target. Creates
+/// missing parent directories.
+Status WritePrometheusFile(const std::string& path);
+
+/// Background exporter: rewrites `path` every interval until stopped.
+/// Stop() (and the destructor) write one final export so the file
+/// always reflects the end state of the run.
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Starts the export thread. Fails with FailedPrecondition when
+  /// already running, InvalidArgument on an empty path or non-positive
+  /// interval, or the first write's error when the path is unwritable.
+  Status Start(const std::string& path, int interval_ms = 500);
+
+  /// Final export, then joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const;
+  std::string path() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string path_;
+  int interval_ms_ = 500;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+/// Arms a process-wide exporter from UAE_METRICS_EXPORT_PATH (interval
+/// from UAE_METRICS_EXPORT_INTERVAL_MS, default 500ms) on first call;
+/// later calls are no-ops. Returns true when the process exporter is
+/// running. The serve engine calls this on construction, so setting the
+/// env var is all it takes to watch any serving binary with uae_top.
+bool MaybeStartEnvExporter();
+
+}  // namespace uae::telemetry
+
+#endif  // UAE_COMMON_TELEMETRY_EXPORT_H_

@@ -244,7 +244,27 @@ void Instant(const char* name, int num_args, const char* key0,
   log->Push(event);
 }
 
+namespace {
+
+std::vector<const char*> ActiveSpanNamesImpl() {
+  ThreadLog* log = GetThreadLog();
+  std::vector<const char*> names;
+  names.reserve(log->stack.size());
+  for (const OpenSpan& open : log->stack) names.push_back(open.name);
+  return names;
+}
+
+}  // namespace
+
 }  // namespace internal
+
+std::vector<const char*> ActiveSpanNames() {
+  // The stack is owner-thread-only state; nothing to synchronize. When
+  // tracing is off it is empty (Span never begins), so skip the
+  // thread-log registration entirely.
+  if (!Enabled()) return {};
+  return internal::ActiveSpanNamesImpl();
+}
 
 size_t BufferCapacity() {
   static const size_t capacity = [] {

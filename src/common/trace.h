@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace uae::trace {
 
@@ -91,6 +92,14 @@ class Span {
  private:
   bool active_ = false;
 };
+
+/// Names of the calling thread's currently open spans, outermost first
+/// — the live call structure at the moment of an anomaly (the serve
+/// flight recorder attaches it to slow-request exemplars). The pointers
+/// are the borrowed span-name literals, valid for the process lifetime.
+/// Empty when tracing is disabled: spans only enter the stack while
+/// recording, so this costs one relaxed load on the fast path too.
+std::vector<const char*> ActiveSpanNames();
 
 /// Zero-duration marker on the calling thread's timeline (watchdog
 /// trips, negative-risk clips, fault injections...).

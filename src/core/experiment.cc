@@ -172,6 +172,21 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
               .Set("request_s_p50", request_snapshot.Quantile(0.50))
               .Set("request_s_p95", request_snapshot.Quantile(0.95))
               .Set("request_s_p99", request_snapshot.Quantile(0.99))
+              // Per-stage latency (DESIGN.md §13): queue wait vs. scoring
+              // splits a p95 regression into "batching backed up" vs.
+              // "the model got slower".
+              .Set("queue_wait_s_p95",
+                   telemetry::GetHistogram("uae.serve.queue_wait_s")
+                       ->Snapshot()
+                       .Quantile(0.95))
+              .Set("score_s_p95", telemetry::GetHistogram("uae.serve.score_s")
+                                      ->Snapshot()
+                                      .Quantile(0.95))
+              .Set("slo_budget_consumed",
+                   telemetry::GetGauge("uae.serve.slo.budget_consumed")
+                       ->Get())
+              .Set("exemplars",
+                   telemetry::GetCounter("uae.serve.exemplars")->Get())
               .Str());
     }
     telemetry::WriteRunManifest(manifest);

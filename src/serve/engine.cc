@@ -8,12 +8,21 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/parallel.h"
+#include "common/telemetry_export.h"
 #include "common/trace.h"
 #include "models/trainer.h"
 #include "nn/ops.h"
 
 namespace uae::serve {
 namespace {
+
+/// Bucket bounds for the batch-occupancy histogram: batch sizes, not
+/// seconds (the only non-timing histogram the engine owns).
+const std::vector<double>& BatchOccupancyBounds() {
+  static const std::vector<double>* bounds =
+      new std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return *bounds;
+}
 
 /// Scores one request against one snapshot. Pure w.r.t. the snapshot;
 /// the only shared mutable state is the (internally locked) cache.
@@ -190,6 +199,9 @@ struct Engine::Pending {
   ScoreRequest request;
   std::promise<StatusOr<ScoreResponse>> promise;
   std::chrono::steady_clock::time_point enqueued;
+  /// Flight-recorder stamps/context carried through the queue.
+  double enqueue_stamp = 0.0;        // FlightRecorder::Now() at admit.
+  int queue_depth_at_admit = 0;      // Queue depth including this one.
 };
 
 Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
@@ -197,6 +209,7 @@ Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
     : config_(config),
       snapshot_(std::move(snapshot)),
       cache_(config.cache),
+      recorder_(config.recorder),
       requests_(telemetry::GetCounter("uae.serve.requests")),
       shed_(telemetry::GetCounter("uae.serve.shed")),
       shed_deadline_(telemetry::GetCounter("uae.serve.shed.deadline")),
@@ -213,8 +226,13 @@ Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
       breaker_state_gauge_(telemetry::GetGauge("uae.serve.breaker.state")),
       queue_depth_(telemetry::GetGauge("uae.serve.queue_depth")),
       snapshot_version_(telemetry::GetGauge("uae.serve.snapshot_version")),
+      in_flight_gauge_(telemetry::GetGauge("uae.serve.in_flight")),
       request_hist_(telemetry::GetHistogram("uae.serve.request_s")),
-      batch_hist_(telemetry::GetHistogram("uae.serve.batch_s")) {
+      batch_hist_(telemetry::GetHistogram("uae.serve.batch_s")),
+      queue_wait_hist_(telemetry::GetHistogram("uae.serve.queue_wait_s")),
+      score_hist_(telemetry::GetHistogram("uae.serve.score_s")),
+      batch_occupancy_hist_(telemetry::GetHistogram(
+          "uae.serve.batch_occupancy", BatchOccupancyBounds())) {
   UAE_CHECK(snapshot_ != nullptr);
   UAE_CHECK(config_.max_batch > 0 && config_.max_queue > 0);
   UAE_CHECK(config_.playlist_length > 0);
@@ -224,12 +242,44 @@ Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
               config_.breaker.failure_threshold <= config_.breaker.window);
     UAE_CHECK(config_.breaker.open_budget > 0);
   }
+  if (config_.slo.enabled) slo_ = std::make_unique<SloTracker>(config_.slo);
   breaker_state_gauge_->Set(0.0);
   snapshot_version_->Set(static_cast<double>(snapshot_->version()));
+  in_flight_gauge_->Set(0.0);
+  // UAE_METRICS_EXPORT_PATH turns on the background Prometheus exporter
+  // for any process that serves (no-op when unset or already running).
+  telemetry::MaybeStartEnvExporter();
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
 Engine::~Engine() { Stop(); }
+
+void Engine::RecordTerminal(const FlightRecord& record) {
+  const bool completed = record.outcome == RequestOutcome::kOk ||
+                         record.outcome == RequestOutcome::kDegraded;
+  if (completed) {
+    queue_wait_hist_->Record(record.queue_wait_s());
+    score_hist_->Record(record.respond_s - record.dispatch_s);
+  }
+  if (slo_ != nullptr) slo_->Record(record.outcome, record.total_s());
+  recorder_.Record(record);
+}
+
+void Engine::RecordFrontDoor(const ScoreRequest& request,
+                             RequestOutcome outcome, const char* shed_reason,
+                             bool degraded, uint64_t snapshot_version) {
+  FlightRecord record;
+  record.user = request.user;
+  record.snapshot_version = snapshot_version;
+  const double now = recorder_.Now();
+  record.enqueue_s = now;
+  record.dispatch_s = now;
+  record.respond_s = now;
+  record.outcome = outcome;
+  record.shed_reason = shed_reason;
+  record.degraded = degraded;
+  RecordTerminal(record);
+}
 
 void Engine::Stop() {
   {
@@ -260,9 +310,11 @@ std::shared_ptr<const ModelSnapshot> Engine::snapshot() const {
 StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
   requests_->Add();
   if (request.candidates.empty()) {
+    RecordFrontDoor(request, RequestOutcome::kError, "invalid", false, 0);
     return Status::InvalidArgument("request has no candidates");
   }
   if (request.candidates.size() != request.candidate_songs.size()) {
+    RecordFrontDoor(request, RequestOutcome::kError, "invalid", false, 0);
     return Status::InvalidArgument(
         "candidates and candidate_songs disagree: " +
         std::to_string(request.candidates.size()) + " vs " +
@@ -281,11 +333,15 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
   };
   for (const data::Event& e : request.history) {
     if (malformed(e)) {
+      RecordFrontDoor(request, RequestOutcome::kError, "invalid", false,
+                      snap->version());
       return Status::InvalidArgument("history event feature width mismatch");
     }
   }
   for (const data::Event& e : request.candidates) {
     if (malformed(e)) {
+      RecordFrontDoor(request, RequestOutcome::kError, "invalid", false,
+                      snap->version());
       return Status::InvalidArgument(
           "candidate event feature width mismatch");
     }
@@ -299,13 +355,26 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
         break;
       case Admission::kDegrade: {
         degraded_->Add();
+        const double start = recorder_.Now();
         ScoreResponse resp = DegradedScore(*snap, config_, request);
         resp.degraded_reason = "breaker_open";
+        FlightRecord record;
+        record.user = request.user;
+        record.snapshot_version = snap->version();
+        record.enqueue_s = start;
+        record.dispatch_s = start;  // Never queued.
+        record.respond_s = recorder_.Now();
+        record.outcome = RequestOutcome::kDegraded;
+        record.shed_reason = "breaker_open";
+        record.degraded = true;
+        RecordTerminal(record);
         return resp;
       }
       case Admission::kShed:
         shed_->Add();
         shed_breaker_->Add();
+        RecordFrontDoor(request, RequestOutcome::kShed, "breaker_open",
+                        false, snap->version());
         return Status::Unavailable("breaker open");
     }
   }
@@ -323,6 +392,8 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
       // off and retry".
       shed_draining_->Add();
       if (config_.breaker.enabled && probe) BreakerRecord(false, true);
+      RecordFrontDoor(pending->request, RequestOutcome::kShed, "draining",
+                      false, snap->version());
       return Status::FailedPrecondition(
           queue_.empty() ? "engine stopped" : "engine draining");
     }
@@ -330,11 +401,16 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
       shed_->Add();
       shed_queue_full_->Add();
       if (config_.breaker.enabled) BreakerRecord(true, probe);
+      RecordFrontDoor(pending->request, RequestOutcome::kShed, "queue_full",
+                      false, snap->version());
       return Status::Unavailable("serve queue full (" +
                                  std::to_string(queue_.size()) + ")");
     }
+    pending->enqueue_stamp = recorder_.Now();
     queue_.push_back(std::move(pending));
+    queue_.back()->queue_depth_at_admit = static_cast<int>(queue_.size());
     queue_depth_->Set(static_cast<double>(queue_.size()));
+    in_flight_gauge_->Add(1.0);
   }
   cv_.notify_all();
   StatusOr<ScoreResponse> result = future.get();
@@ -460,7 +536,10 @@ void Engine::ProcessBatch(
                          static_cast<int64_t>(batch.size()));
   telemetry::ScopedTimer batch_timer(batch_hist_);
   batches_->Add();
+  batch_occupancy_hist_->Record(static_cast<double>(batch.size()));
   const auto dispatch_time = std::chrono::steady_clock::now();
+  const double dispatch_stamp = recorder_.Now();
+  const int batch_size = static_cast<int>(batch.size());
   // Requests are independent (the cache locks internally), so they fan
   // out across the pool; the nn kernels inside degrade to serial inline
   // in nested context, keeping thread usage bounded.
@@ -477,25 +556,53 @@ void Engine::ProcessBatch(
               pending.request.pinned_snapshot != nullptr
                   ? *pending.request.pinned_snapshot
                   : *snapshot;
+          FlightRecord record;
+          record.user = pending.request.user;
+          record.snapshot_version = snap.version();
+          record.enqueue_s = pending.enqueue_stamp;
+          record.dispatch_s = dispatch_stamp;
+          record.batch_size = batch_size;
+          record.queue_depth = pending.queue_depth_at_admit;
           if (dispatch_time > pending.request.deadline) {
             if (config_.degrade_on_deadline) {
               degraded_->Add();
               ScoreResponse resp =
                   DegradedScore(snap, config_, pending.request);
               resp.degraded_reason = "deadline";
+              record.respond_s = recorder_.Now();
+              record.outcome = RequestOutcome::kDegraded;
+              record.shed_reason = "deadline";
+              record.degraded = true;
+              RecordTerminal(record);
+              in_flight_gauge_->Add(-1.0);
               pending.promise.set_value(std::move(resp));
             } else {
               shed_->Add();
               shed_deadline_->Add();
+              record.respond_s = recorder_.Now();
+              record.outcome = RequestOutcome::kShed;
+              record.shed_reason = "deadline";
+              RecordTerminal(record);
+              in_flight_gauge_->Add(-1.0);
               pending.promise.set_value(Status::Unavailable(
                   "deadline expired before dispatch"));
             }
             continue;
           }
           UAE_FAULT_DELAY("serve.score.delay");
-          pending.promise.set_value(ScoreOne(snap, config_, &cache_,
-                                             cache_hits_, cache_misses_,
-                                             pending.request));
+          ScoreResponse resp = ScoreOne(snap, config_, &cache_, cache_hits_,
+                                        cache_misses_, pending.request);
+          // Record (and decrement in-flight) before fulfilling the
+          // promise: a client holding its response can always find the
+          // matching flight record, and an export taken after the client
+          // wakes never shows its request still in flight (set_value
+          // wakes the client, which on a loaded host may run a full
+          // export before this worker is scheduled again).
+          record.respond_s = recorder_.Now();
+          record.outcome = RequestOutcome::kOk;
+          RecordTerminal(record);
+          in_flight_gauge_->Add(-1.0);
+          pending.promise.set_value(std::move(resp));
           request_hist_->Record(
               std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - pending.enqueued)

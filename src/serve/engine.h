@@ -1,6 +1,7 @@
 #ifndef UAE_SERVE_ENGINE_H_
 #define UAE_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -12,8 +13,10 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "data/event.h"
+#include "serve/flight_recorder.h"
 #include "serve/model_snapshot.h"
 #include "serve/session_cache.h"
+#include "serve/slo.h"
 
 namespace uae::serve {
 
@@ -68,6 +71,11 @@ struct EngineConfig {
   bool degrade_on_deadline = false;
   BreakerConfig breaker;
   SessionStateCache::Config cache;
+  /// Flight recorder (always on — recording is lock-free and cheap;
+  /// exemplar capture additionally needs recorder.slowlog_path).
+  FlightRecorderConfig recorder;
+  /// SLO tracking (slo.enabled turns it on).
+  SloConfig slo;
 };
 
 /// One scoring request: the session tail observed so far plus the
@@ -170,6 +178,14 @@ class Engine {
 
   BreakerState breaker_state() const;
 
+  /// Per-request flight recorder; every terminal outcome (completed,
+  /// degraded, shed, invalid) writes one record before the response is
+  /// released to the caller.
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// SLO tracker; nullptr unless config.slo.enabled.
+  const SloTracker* slo() const { return slo_.get(); }
+
   const EngineConfig& config() const { return config_; }
 
  private:
@@ -181,6 +197,19 @@ class Engine {
   Admission BreakerAdmit(bool* probe);
   void BreakerRecord(bool failure, bool probe);
   void BreakerTransitionLocked(BreakerState next);
+
+  /// Records one terminal outcome everywhere observability looks: the
+  /// flight recorder ring (with exemplar capture), the SLO tracker, and
+  /// the per-stage latency histograms. Called before the response is
+  /// released (promise fulfilled / status returned), so a client that
+  /// has its answer can always find the matching record.
+  void RecordTerminal(const FlightRecord& record);
+
+  /// Front-door refusals/answers that never queued: stamps all three
+  /// stages with the same "now" and records.
+  void RecordFrontDoor(const ScoreRequest& request, RequestOutcome outcome,
+                       const char* shed_reason, bool degraded,
+                       uint64_t snapshot_version);
 
   void DispatcherLoop();
   void ProcessBatch(
@@ -196,6 +225,8 @@ class Engine {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
   SessionStateCache cache_;
+  FlightRecorder recorder_;
+  std::unique_ptr<SloTracker> slo_;  // Null unless config.slo.enabled.
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -227,8 +258,12 @@ class Engine {
   telemetry::Gauge* breaker_state_gauge_;
   telemetry::Gauge* queue_depth_;
   telemetry::Gauge* snapshot_version_;
+  telemetry::Gauge* in_flight_gauge_;
   telemetry::Histogram* request_hist_;
   telemetry::Histogram* batch_hist_;
+  telemetry::Histogram* queue_wait_hist_;
+  telemetry::Histogram* score_hist_;
+  telemetry::Histogram* batch_occupancy_hist_;
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,210 @@
+#include "serve/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace uae::serve {
+namespace {
+
+size_t RoundUpPow2(int value) {
+  size_t n = 1;
+  while (n < static_cast<size_t>(value)) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig& config)
+    : config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      capacity_(RoundUpPow2(config.capacity)),
+      slots_(std::make_unique<Slot[]>(capacity_)),
+      latency_bounds_(telemetry::DefaultTimeBounds()),
+      latency_buckets_(std::make_unique<std::atomic<int64_t>[]>(
+          latency_bounds_.size() + 1)),
+      exemplars_metric_(telemetry::GetCounter("uae.serve.exemplars")),
+      exemplars_dropped_metric_(
+          telemetry::GetCounter("uae.serve.exemplars.dropped")) {
+  UAE_CHECK(config_.capacity > 0);
+  UAE_CHECK(config_.exemplar_quantile > 0.0 &&
+            config_.exemplar_quantile < 1.0);
+  UAE_CHECK(config_.exemplar_min_samples > 0);
+  UAE_CHECK(config_.slowlog_max_records > 0);
+  if (!config_.slowlog_path.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(config_.slowlog_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    slowlog_ = std::fopen(config_.slowlog_path.c_str(), "w");
+    if (slowlog_ == nullptr) {
+      UAE_LOG(Warning) << "flight recorder: cannot open slowlog at "
+                       << config_.slowlog_path;
+    }
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::lock_guard<std::mutex> lock(slowlog_mu_);
+  if (slowlog_ != nullptr) std::fclose(slowlog_);
+  slowlog_ = nullptr;
+}
+
+double FlightRecorder::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+double FlightRecorder::exemplar_threshold_s() const {
+  const int64_t count = latency_count_.load(std::memory_order_relaxed);
+  if (count < config_.exemplar_min_samples) return 0.0;
+  // Conservative bucket-walk quantile: the upper bound of the bucket the
+  // rank lands in, so an exemplar is strictly slower than at least a
+  // `quantile` fraction of its predecessors. Approximate under
+  // concurrent updates, which only shifts the threshold by one in-flight
+  // sample.
+  const int64_t rank = static_cast<int64_t>(
+      std::ceil(config_.exemplar_quantile * static_cast<double>(count)));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < latency_bounds_.size(); ++i) {
+    cumulative += latency_buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return latency_bounds_[i];
+  }
+  // Rank falls in the overflow bucket: nothing short of the slowest
+  // bucket's edge qualifies.
+  return latency_bounds_.back();
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed);
+  record.id = claim + 1;
+  if (record.shed_reason == nullptr) record.shed_reason = "";
+
+  Slot& slot = slots_[claim & (capacity_ - 1)];
+  slot.seq.store(2 * claim + 1, std::memory_order_release);
+  slot.id.store(record.id, std::memory_order_relaxed);
+  slot.user.store(record.user, std::memory_order_relaxed);
+  slot.snapshot_version.store(record.snapshot_version,
+                              std::memory_order_relaxed);
+  slot.enqueue_s.store(record.enqueue_s, std::memory_order_relaxed);
+  slot.dispatch_s.store(record.dispatch_s, std::memory_order_relaxed);
+  slot.respond_s.store(record.respond_s, std::memory_order_relaxed);
+  slot.batch_size.store(record.batch_size, std::memory_order_relaxed);
+  slot.queue_depth.store(record.queue_depth, std::memory_order_relaxed);
+  slot.outcome.store(static_cast<int>(record.outcome),
+                     std::memory_order_relaxed);
+  slot.shed_reason.store(record.shed_reason, std::memory_order_relaxed);
+  slot.degraded.store(record.degraded, std::memory_order_relaxed);
+  slot.seq.store(2 * claim + 2, std::memory_order_release);
+
+  // Exemplar path: completed requests only (sheds are refusals, their
+  // latency is the refusal cost, not a scoring tail). The threshold is
+  // computed over the *predecessors*, then this sample joins the
+  // distribution — a burst of slow requests is caught from its first.
+  if (record.outcome != RequestOutcome::kOk &&
+      record.outcome != RequestOutcome::kDegraded) {
+    return;
+  }
+  const double total_s = record.total_s();
+  const double threshold_s = exemplar_threshold_s();
+  const size_t bucket =
+      std::lower_bound(latency_bounds_.begin(), latency_bounds_.end(),
+                       total_s) -
+      latency_bounds_.begin();
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_count_.fetch_add(1, std::memory_order_relaxed);
+  if (threshold_s > 0.0 && total_s > threshold_s) {
+    MaybeCaptureExemplar(record, threshold_s);
+  }
+}
+
+void FlightRecorder::MaybeCaptureExemplar(const FlightRecord& record,
+                                          double threshold_s) {
+  trace::Instant("uae.serve.slow_exemplar", "id",
+                 static_cast<int64_t>(record.id));
+  // The recording thread is the one that scored the request, so its
+  // open trace spans are the live call structure around the slow path.
+  const std::vector<const char*> spans = trace::ActiveSpanNames();
+  std::string spans_json = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) spans_json += ',';
+    spans_json += '"';
+    spans_json += telemetry::JsonEscape(spans[i]);
+    spans_json += '"';
+  }
+  spans_json += ']';
+
+  const std::string line =
+      telemetry::JsonObject()
+          .Set("id", static_cast<int64_t>(record.id))
+          .Set("user", record.user)
+          .Set("snapshot_version",
+               static_cast<int64_t>(record.snapshot_version))
+          .Set("enqueue_s", record.enqueue_s)
+          .Set("dispatch_s", record.dispatch_s)
+          .Set("respond_s", record.respond_s)
+          .Set("queue_wait_ms", 1e3 * record.queue_wait_s())
+          .Set("total_ms", 1e3 * record.total_s())
+          .Set("threshold_ms", 1e3 * threshold_s)
+          .Set("batch_size", record.batch_size)
+          .Set("queue_depth", record.queue_depth)
+          .Set("outcome", RequestOutcomeName(record.outcome))
+          .Set("shed_reason", record.shed_reason)
+          .Set("degraded", record.degraded)
+          .SetRaw("spans", spans_json)
+          .Str() +
+      "\n";
+
+  std::lock_guard<std::mutex> lock(slowlog_mu_);
+  if (slowlog_ == nullptr) return;
+  if (exemplars_written_.load(std::memory_order_relaxed) >=
+      config_.slowlog_max_records) {
+    exemplars_dropped_.fetch_add(1, std::memory_order_relaxed);
+    exemplars_dropped_metric_->Add();
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), slowlog_);
+  std::fflush(slowlog_);
+  exemplars_written_.fetch_add(1, std::memory_order_relaxed);
+  exemplars_metric_->Add();
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<FlightRecord> records;
+  records.reserve(static_cast<size_t>(end - begin));
+  for (uint64_t claim = begin; claim < end; ++claim) {
+    const Slot& slot = slots_[claim & (capacity_ - 1)];
+    const uint64_t want = 2 * claim + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    FlightRecord record;
+    record.id = slot.id.load(std::memory_order_relaxed);
+    record.user = slot.user.load(std::memory_order_relaxed);
+    record.snapshot_version =
+        slot.snapshot_version.load(std::memory_order_relaxed);
+    record.enqueue_s = slot.enqueue_s.load(std::memory_order_relaxed);
+    record.dispatch_s = slot.dispatch_s.load(std::memory_order_relaxed);
+    record.respond_s = slot.respond_s.load(std::memory_order_relaxed);
+    record.batch_size = slot.batch_size.load(std::memory_order_relaxed);
+    record.queue_depth = slot.queue_depth.load(std::memory_order_relaxed);
+    record.outcome = static_cast<RequestOutcome>(
+        slot.outcome.load(std::memory_order_relaxed));
+    record.shed_reason = slot.shed_reason.load(std::memory_order_relaxed);
+    if (record.shed_reason == nullptr) record.shed_reason = "";
+    record.degraded = slot.degraded.load(std::memory_order_relaxed);
+    // Re-check: a writer that recycled the slot mid-copy bumped seq.
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,160 @@
+#ifndef UAE_SERVE_FLIGHT_RECORDER_H_
+#define UAE_SERVE_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "serve/health.h"
+
+namespace uae::serve {
+
+/// One request's trip through the engine (DESIGN.md §13). Plain data:
+/// `shed_reason` borrows a string literal, so recording never allocates.
+struct FlightRecord {
+  /// Record sequence number (1-based, in completion order).
+  uint64_t id = 0;
+  int user = 0;
+  uint64_t snapshot_version = 0;
+  /// Stage timestamps, seconds since the recorder was constructed
+  /// (steady clock). A request refused at the front door carries three
+  /// equal stamps; dispatch_s == enqueue_s means it never queued.
+  double enqueue_s = 0.0;
+  double dispatch_s = 0.0;
+  double respond_s = 0.0;
+  /// Size of the batch the request was dispatched in (0 = never batched).
+  int batch_size = 0;
+  /// Queue depth observed at admit (including this request).
+  int queue_depth = 0;
+  RequestOutcome outcome = RequestOutcome::kOk;
+  /// "deadline", "queue_full", "breaker_open", "draining", "invalid";
+  /// "" for completed full-path responses.
+  const char* shed_reason = "";
+  bool degraded = false;
+
+  double queue_wait_s() const { return dispatch_s - enqueue_s; }
+  double total_s() const { return respond_s - enqueue_s; }
+};
+
+struct FlightRecorderConfig {
+  /// Ring slots (rounded up to a power of two). Older records are
+  /// overwritten — newest-wins, like the trace rings.
+  int capacity = 4096;
+  /// Exemplar slowlog JSONL path; "" disables exemplar capture.
+  std::string slowlog_path;
+  /// Exemplars written before further ones count as dropped (the
+  /// slowlog is bounded by construction, not by log rotation).
+  int slowlog_max_records = 256;
+  /// Rolling latency quantile a completed request must exceed to become
+  /// an exemplar.
+  double exemplar_quantile = 0.99;
+  /// Completed requests observed before the threshold arms. Below this
+  /// every request would be "slow" relative to an empty distribution.
+  int exemplar_min_samples = 64;
+};
+
+/// Lock-free ring of per-request flight records with slow-request
+/// exemplar capture.
+///
+/// Writers claim a slot with one fetch_add and publish it with a
+/// per-slot sequence number (odd while writing, 2*claim+2 when done);
+/// every slot field is a relaxed atomic, so concurrent batch workers
+/// record without locks and Snapshot() skips torn or recycled slots by
+/// re-checking the sequence. Recording is a passive observer of the
+/// serve path: it never blocks scoring and never perturbs scores.
+///
+/// Exemplars: completed requests keep a rolling latency distribution in
+/// fixed atomic buckets (telemetry::DefaultTimeBounds); once
+/// exemplar_min_samples have been seen, a request whose total latency
+/// exceeds the distribution's exemplar_quantile is appended — full
+/// record plus the calling thread's open trace spans — to a bounded
+/// JSONL slowlog. The slowlog write takes a mutex (file I/O), but only
+/// the rare exemplar pays it; the ring path stays lock-free.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderConfig& config);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one terminal request outcome. `record.id` is assigned here
+  /// (the claim sequence); all other fields are the caller's.
+  void Record(FlightRecord record);
+
+  /// Seconds since recorder construction — the time base for stamps.
+  double Now() const;
+
+  /// Consistent copies of the most recent records, oldest first. Slots
+  /// being overwritten during the read are skipped, so under concurrent
+  /// writes the result can be slightly shorter than capacity.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// Records ever written (monotonic, includes overwritten ones).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  int64_t exemplars_written() const {
+    return exemplars_written_.load(std::memory_order_relaxed);
+  }
+  int64_t exemplars_dropped() const {
+    return exemplars_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Current exemplar latency threshold in seconds; 0 while disarmed
+  /// (fewer than exemplar_min_samples completed requests seen).
+  double exemplar_threshold_s() const;
+
+  int capacity() const { return static_cast<int>(capacity_); }
+  const FlightRecorderConfig& config() const { return config_; }
+
+ private:
+  /// Seqlock-style slot: `seq` is odd while a writer owns the slot and
+  /// exactly 2*claim+2 once record `claim` is published. Fields are
+  /// relaxed atomics — readers and writers never race on plain memory.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> id{0};
+    std::atomic<int> user{0};
+    std::atomic<uint64_t> snapshot_version{0};
+    std::atomic<double> enqueue_s{0.0};
+    std::atomic<double> dispatch_s{0.0};
+    std::atomic<double> respond_s{0.0};
+    std::atomic<int> batch_size{0};
+    std::atomic<int> queue_depth{0};
+    std::atomic<int> outcome{0};
+    std::atomic<const char*> shed_reason{nullptr};
+    std::atomic<bool> degraded{false};
+  };
+
+  void MaybeCaptureExemplar(const FlightRecord& record, double threshold_s);
+
+  const FlightRecorderConfig config_;
+  const std::chrono::steady_clock::time_point epoch_;
+  const size_t capacity_;  // Power of two.
+  const std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+
+  // Rolling completed-latency distribution feeding the exemplar
+  // threshold: per-bucket relaxed atomics over fixed time bounds.
+  const std::vector<double>& latency_bounds_;
+  const std::unique_ptr<std::atomic<int64_t>[]> latency_buckets_;
+  std::atomic<int64_t> latency_count_{0};
+
+  std::atomic<int64_t> exemplars_written_{0};
+  std::atomic<int64_t> exemplars_dropped_{0};
+  telemetry::Counter* exemplars_metric_;
+  telemetry::Counter* exemplars_dropped_metric_;
+
+  std::mutex slowlog_mu_;
+  std::FILE* slowlog_ = nullptr;  // Guarded by slowlog_mu_.
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_FLIGHT_RECORDER_H_

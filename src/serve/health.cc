@@ -113,6 +113,7 @@ HealthTracker::Verdict HealthTracker::Judge(
 
   Verdict verdict;
   verdict.error_rate = cand.error_rate;
+  verdict.slo_burn = advisory_burn();
   // Insufficient evidence is never a rollback: a canary that has served
   // three requests hasn't proven anything either way.
   if (cand.total < t.min_samples) return verdict;
@@ -120,6 +121,12 @@ HealthTracker::Verdict HealthTracker::Judge(
   if (t.max_error_rate > 0.0 && cand.error_rate > t.max_error_rate) {
     verdict.healthy = false;
     verdict.reason = "error_rate";
+    return verdict;
+  }
+
+  if (t.max_slo_burn > 0.0 && verdict.slo_burn > t.max_slo_burn) {
+    verdict.healthy = false;
+    verdict.reason = "slo_burn";
     return verdict;
   }
 

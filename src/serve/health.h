@@ -1,6 +1,7 @@
 #ifndef UAE_SERVE_HEALTH_H_
 #define UAE_SERVE_HEALTH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -45,6 +46,12 @@ struct HealthThresholds {
   /// it triggers (guards against tiny-sample false alarms). Only applies
   /// when both sides carry >= 2 score samples.
   double score_drift_p_value = 0.01;
+  /// Ceiling on the SLO error-budget burn rate (see serve/slo.h) fed in
+  /// via SetAdvisoryBurn. Unlike the other criteria this judges the
+  /// whole service, not the candidate alone: a rollout should not
+  /// advance while the error budget is burning, whoever's fault it is.
+  /// 0 disables.
+  double max_slo_burn = 0.0;
 };
 
 /// Sliding-window health statistics per snapshot version.
@@ -91,6 +98,7 @@ class HealthTracker {
     double latency_ratio = 0.0;  // 0 when either side lacks samples.
     double score_drift = 0.0;
     double score_drift_p = 1.0;
+    double slo_burn = 0.0;  // Advisory burn at judgement time.
   };
 
   explicit HealthTracker(const Config& config);
@@ -108,6 +116,17 @@ class HealthTracker {
   /// criteria additionally wait for the incumbent to have min_samples.
   Verdict Judge(uint64_t candidate_version,
                 uint64_t incumbent_version) const;
+
+  /// Latest service-wide SLO burn rate (SloTracker::AdvisoryBurn). The
+  /// rollout controller refreshes it before judging; Judge reads it
+  /// against max_slo_burn. Advisory: versions without an SLO feed keep
+  /// the default 0 and the criterion never trips.
+  void SetAdvisoryBurn(double burn) {
+    advisory_burn_.store(burn, std::memory_order_relaxed);
+  }
+  double advisory_burn() const {
+    return advisory_burn_.load(std::memory_order_relaxed);
+  }
 
   /// Drops a version's window (after rollback or retirement).
   void Forget(uint64_t version);
@@ -128,6 +147,7 @@ class HealthTracker {
   Config config_;
   mutable std::mutex mu_;
   std::map<uint64_t, Window> windows_;
+  std::atomic<double> advisory_burn_{0.0};
 };
 
 }  // namespace uae::serve

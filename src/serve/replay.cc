@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/telemetry_export.h"
 #include "data/world.h"
 #include "nn/serialize.h"
 #include "serve/rollout.h"
@@ -232,7 +233,34 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
                                           std::move(tower), config.gamma);
   }
 
-  Engine engine(snapshot, config.engine);
+  // Observability knobs fold into a local copy of the engine config so
+  // callers' EngineConfig stays theirs.
+  EngineConfig engine_config = config.engine;
+  if (!config.slowlog_path.empty()) {
+    engine_config.recorder.slowlog_path = config.slowlog_path;
+  }
+  if (config.slo) {
+    engine_config.slo.enabled = true;
+    if (engine_config.slo.latency_p99_s <= 0.0) {
+      engine_config.slo.latency_p99_s =
+          static_cast<double>(config.deadline_ms) / 1e3;
+    }
+    if (engine_config.slo.latency_p95_s <= 0.0) {
+      engine_config.slo.latency_p95_s =
+          static_cast<double>(config.deadline_ms) / 2e3;
+    }
+  }
+
+  Engine engine(snapshot, engine_config);
+  // The exporter outlives every phase (scoped below the engine, so its
+  // final export still sees live gauges) and keeps the file fresh for
+  // anyone running `uae_top` against the replay.
+  telemetry::MetricsExporter exporter;
+  if (!config.metrics_export_path.empty()) {
+    Status started = exporter.Start(config.metrics_export_path,
+                                    config.metrics_export_interval_ms);
+    if (!started.ok()) return started;
+  }
   const std::vector<ScoreRequest> requests =
       BuildRequests(world, config, &rng);
 
@@ -368,6 +396,24 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
           ? static_cast<double>(report.degraded) /
                 static_cast<double>(completed_total)
           : 0.0;
+
+  // Engine-side observability over the whole run.
+  const FlightRecorder& recorder = engine.flight_recorder();
+  report.exemplars = recorder.exemplars_written();
+  report.exemplar_threshold_ms = 1e3 * recorder.exemplar_threshold_s();
+  report.queue_wait_p95_ms =
+      1e3 * telemetry::GetHistogram("uae.serve.queue_wait_s")
+                ->Snapshot()
+                .Quantile(0.95);
+  report.score_p95_ms = 1e3 * telemetry::GetHistogram("uae.serve.score_s")
+                                  ->Snapshot()
+                                  .Quantile(0.95);
+  if (engine.slo() != nullptr) {
+    const SloTracker::Status slo_status = engine.slo()->GetStatus();
+    report.slo_budget_consumed = slo_status.budget_consumed;
+    report.slo_advisory_burn = slo_status.advisory_burn;
+  }
+  exporter.Stop();  // Final export while the engine's gauges are live.
   return report;
 }
 

@@ -71,6 +71,19 @@ struct ReplayConfig {
   /// the production upgrade path, exercised end to end. The report
   /// carries the final stage and rollback count.
   bool exercise_rollout = false;
+
+  // Observability (DESIGN.md §13).
+  /// When non-empty, a MetricsExporter keeps a Prometheus text file
+  /// fresh at this path for the whole run (final export at the end).
+  std::string metrics_export_path;
+  int metrics_export_interval_ms = 200;
+  /// Exemplar slowlog path, forwarded to the engine's flight recorder
+  /// ("" leaves whatever config.engine.recorder already says).
+  std::string slowlog_path;
+  /// Enables SLO tracking over the run: availability from
+  /// config.engine.slo (default 0.999), latency p99 bound =
+  /// deadline_ms, latency p95 bound = deadline_ms / 2.
+  bool slo = false;
 };
 
 struct ReplayReport {
@@ -104,6 +117,14 @@ struct ReplayReport {
   // Rollout exercise ("" / 0 when not requested).
   std::string rollout_stage;
   int64_t rollout_rollbacks = 0;
+
+  // Observability (engine-side view over the whole run).
+  double queue_wait_p95_ms = 0.0;  // uae.serve.queue_wait_s p95.
+  double score_p95_ms = 0.0;       // uae.serve.score_s p95.
+  int64_t exemplars = 0;           // Slowlog records written.
+  double exemplar_threshold_ms = 0.0;  // Final rolling p-quantile bound.
+  double slo_budget_consumed = 0.0;    // 0 unless config.slo.
+  double slo_advisory_burn = 0.0;
 };
 
 /// Backoff before retry `attempt` (0-based): backoff_base_us * 2^attempt

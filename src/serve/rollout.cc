@@ -53,13 +53,18 @@ RolloutController::RolloutController(Engine* engine,
           telemetry::GetCounter("uae.serve.rollout.rollbacks")),
       candidate_requests_(
           telemetry::GetCounter("uae.serve.rollout.candidate_requests")),
-      stage_gauge_(telemetry::GetGauge("uae.serve.rollout.stage")) {
+      stage_gauge_(telemetry::GetGauge("uae.serve.rollout.stage")),
+      candidate_version_gauge_(
+          telemetry::GetGauge("uae.serve.rollout.candidate_version")),
+      healthy_gauge_(telemetry::GetGauge("uae.serve.rollout.healthy")) {
   UAE_CHECK(engine_ != nullptr);
   UAE_CHECK(config_.canary_fraction > 0.0 && config_.canary_fraction <= 1.0);
   UAE_CHECK(config_.ramp_fraction >= config_.canary_fraction &&
             config_.ramp_fraction <= 1.0);
   UAE_CHECK(config_.stage_requests > 0);
   stage_gauge_->Set(0.0);
+  candidate_version_gauge_->Set(0.0);
+  healthy_gauge_->Set(1.0);
 }
 
 bool RolloutController::InCohort(int user, double fraction) const {
@@ -92,6 +97,8 @@ void RolloutController::RollbackLocked(const char* reason) {
   stage_count_ = 0;
   ++rollbacks_count_;
   rollbacks_metric_->Add();
+  candidate_version_gauge_->Set(0.0);
+  healthy_gauge_->Set(0.0);
   trace::Instant("uae.serve.rollout.rollback");
   (void)reason;
   TransitionLocked(RolloutStage::kRolledBack);
@@ -117,6 +124,8 @@ Status RolloutController::BeginRollout(
   stage_count_ = 0;
   last_verdict_ = {};
   health_.Forget(candidate_->version());
+  candidate_version_gauge_->Set(static_cast<double>(candidate_->version()));
+  healthy_gauge_->Set(1.0);
   TransitionLocked(RolloutStage::kCanary);
   return {};
 }
@@ -172,8 +181,13 @@ StatusOr<ScoreResponse> RolloutController::Score(ScoreRequest request) {
     ++stage_count_;
     if (stage_count_ >= config_.stage_requests && candidate_ != nullptr) {
       stage_count_ = 0;
+      // Refresh the service-wide advisory before judging: a rollout
+      // should not advance while the SLO error budget is burning.
+      const SloTracker* slo = engine_->slo();
+      health_.SetAdvisoryBurn(slo != nullptr ? slo->AdvisoryBurn() : 0.0);
       last_verdict_ =
           health_.Judge(candidate_->version(), incumbent_->version());
+      healthy_gauge_->Set(last_verdict_.healthy ? 1.0 : 0.0);
       if (!last_verdict_.healthy) {
         RollbackLocked(last_verdict_.reason.c_str());
       } else if (stage_ == RolloutStage::kCanary) {
@@ -187,6 +201,7 @@ StatusOr<ScoreResponse> RolloutController::Score(ScoreRequest request) {
         // Survived the soak: the candidate is the new incumbent.
         incumbent_ = std::move(candidate_);
         candidate_.reset();
+        candidate_version_gauge_->Set(0.0);
         TransitionLocked(RolloutStage::kIdle);
       }
     }

@@ -111,6 +111,8 @@ class RolloutController {
   telemetry::Counter* rollbacks_metric_;
   telemetry::Counter* candidate_requests_;
   telemetry::Gauge* stage_gauge_;
+  telemetry::Gauge* candidate_version_gauge_;
+  telemetry::Gauge* healthy_gauge_;
 };
 
 }  // namespace uae::serve

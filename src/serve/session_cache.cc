@@ -7,7 +7,8 @@ namespace uae::serve {
 
 SessionStateCache::SessionStateCache(const Config& config)
     : capacity_per_shard_(config.capacity_per_shard),
-      shards_(static_cast<size_t>(config.shards > 0 ? config.shards : 1)) {
+      shards_(static_cast<size_t>(config.shards > 0 ? config.shards : 1)),
+      evictions_(telemetry::GetCounter("uae.serve.cache_evictions")) {
   UAE_CHECK(config.capacity_per_shard > 0);
 }
 
@@ -23,6 +24,7 @@ bool SessionStateCache::Lookup(int user, uint64_t snapshot_version,
   if (UAE_FAULT_POINT("cache.evict.storm")) {
     shard.lru.erase(it->second);
     shard.index.erase(it);
+    evictions_->Add();
     return false;
   }
   Entry& entry = it->second->second;
@@ -30,6 +32,7 @@ bool SessionStateCache::Lookup(int user, uint64_t snapshot_version,
     // Computed by a previous snapshot: dead weight after a hot-swap.
     shard.lru.erase(it->second);
     shard.index.erase(it);
+    evictions_->Add();
     return false;
   }
   if (entry.event_count > max_event_count) return false;
@@ -52,6 +55,7 @@ void SessionStateCache::Put(int user, Entry entry) {
   while (static_cast<int>(shard.lru.size()) > capacity_per_shard_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
+    evictions_->Add();
   }
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "nn/tensor.h"
 
 namespace uae::serve {
@@ -72,6 +73,10 @@ class SessionStateCache {
 
   int capacity_per_shard_;
   mutable std::vector<Shard> shards_;
+  /// uae.serve.cache_evictions: entries dropped for any reason (LRU
+  /// capacity, version invalidation, chaos storms) — the exporter's
+  /// companion to cache_hits/cache_misses.
+  telemetry::Counter* evictions_;
 };
 
 }  // namespace uae::serve

@@ -1,0 +1,144 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uae::serve {
+namespace {
+
+double Burn(int64_t bad, size_t total, double budget) {
+  if (total == 0 || budget <= 0.0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(const SloConfig& config)
+    : config_(config),
+      good_metric_(telemetry::GetCounter("uae.serve.slo.good")),
+      bad_metric_(telemetry::GetCounter("uae.serve.slo.bad")),
+      advisory_burn_metric_(
+          telemetry::GetGauge("uae.serve.slo.advisory_burn")),
+      budget_consumed_metric_(
+          telemetry::GetGauge("uae.serve.slo.budget_consumed")),
+      budget_remaining_metric_(
+          telemetry::GetGauge("uae.serve.slo.budget_remaining")) {
+  UAE_CHECK(config_.short_window > 0);
+  UAE_CHECK(config_.long_window >= config_.short_window);
+  UAE_CHECK(config_.availability < 1.0);
+  UAE_CHECK(config_.latency_p95_s >= 0.0);
+  UAE_CHECK(config_.latency_p99_s >= 0.0);
+  availability_.name = "availability";
+  availability_.objective = config_.availability;
+  latency_p95_.name = "latency_p95";
+  latency_p95_.objective = 0.95;
+  latency_p99_.name = "latency_p99";
+  latency_p99_.objective = 0.99;
+}
+
+void SloTracker::RecordStream(Stream* stream, bool is_bad) {
+  stream->total += 1;
+  if (is_bad) stream->bad += 1;
+  stream->short_window.push_back(is_bad);
+  if (is_bad) stream->short_bad += 1;
+  if (static_cast<int>(stream->short_window.size()) > config_.short_window) {
+    if (stream->short_window.front()) stream->short_bad -= 1;
+    stream->short_window.pop_front();
+  }
+  stream->long_window.push_back(is_bad);
+  if (is_bad) stream->long_bad += 1;
+  if (static_cast<int>(stream->long_window.size()) > config_.long_window) {
+    if (stream->long_window.front()) stream->long_bad -= 1;
+    stream->long_window.pop_front();
+  }
+}
+
+void SloTracker::Record(RequestOutcome outcome, double latency_s) {
+  const bool served = outcome == RequestOutcome::kOk ||
+                      (outcome == RequestOutcome::kDegraded &&
+                       !config_.degraded_is_bad);
+  const bool completed = outcome == RequestOutcome::kOk ||
+                         outcome == RequestOutcome::kDegraded;
+  bool any_bad = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (config_.availability > 0.0) {
+      RecordStream(&availability_, !served);
+      any_bad |= !served;
+    }
+    // Latency objectives only judge requests that actually ran: a shed
+    // has no scoring latency, and availability already charges for it.
+    if (completed) {
+      if (config_.latency_p95_s > 0.0) {
+        const bool bad = latency_s > config_.latency_p95_s;
+        RecordStream(&latency_p95_, bad);
+        any_bad |= bad;
+      }
+      if (config_.latency_p99_s > 0.0) {
+        const bool bad = latency_s > config_.latency_p99_s;
+        RecordStream(&latency_p99_, bad);
+        any_bad |= bad;
+      }
+    }
+  }
+  (any_bad ? bad_metric_ : good_metric_)->Add();
+
+  // Publish the derived gauges outside the lock; GetStatus re-acquires.
+  const Status status = GetStatus();
+  advisory_burn_metric_->Set(status.advisory_burn);
+  budget_consumed_metric_->Set(status.budget_consumed);
+  budget_remaining_metric_->Set(status.budget_remaining);
+  for (const StreamStatus& stream : status.streams) {
+    telemetry::GetGauge("uae.serve.slo." + stream.name + ".burn_short")
+        ->Set(stream.burn_short);
+    telemetry::GetGauge("uae.serve.slo." + stream.name + ".burn_long")
+        ->Set(stream.burn_long);
+  }
+}
+
+SloTracker::StreamStatus SloTracker::StatusLocked(
+    const Stream& stream) const {
+  StreamStatus status;
+  status.name = stream.name;
+  status.objective = stream.objective;
+  status.budget = 1.0 - stream.objective;
+  status.total = stream.total;
+  status.bad = stream.bad;
+  status.burn_short =
+      Burn(stream.short_bad, stream.short_window.size(), status.budget);
+  status.burn_long =
+      Burn(stream.long_bad, stream.long_window.size(), status.budget);
+  status.burn = std::min(status.burn_short, status.burn_long);
+  status.budget_consumed = Burn(stream.bad, stream.total, status.budget);
+  return status;
+}
+
+SloTracker::Status SloTracker::GetStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status;
+  if (config_.availability > 0.0) {
+    status.streams.push_back(StatusLocked(availability_));
+  }
+  if (config_.latency_p95_s > 0.0) {
+    status.streams.push_back(StatusLocked(latency_p95_));
+  }
+  if (config_.latency_p99_s > 0.0) {
+    status.streams.push_back(StatusLocked(latency_p99_));
+  }
+  for (const StreamStatus& stream : status.streams) {
+    status.advisory_burn = std::max(status.advisory_burn, stream.burn);
+    status.budget_consumed =
+        std::max(status.budget_consumed, stream.budget_consumed);
+  }
+  status.budget_remaining = std::max(0.0, 1.0 - status.budget_consumed);
+  return status;
+}
+
+double SloTracker::AdvisoryBurn() const {
+  return GetStatus().advisory_burn;
+}
+
+}  // namespace uae::serve

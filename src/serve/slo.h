@@ -1,0 +1,120 @@
+#ifndef UAE_SERVE_SLO_H_
+#define UAE_SERVE_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "serve/health.h"
+
+namespace uae::serve {
+
+/// Service-level objectives for the serving engine (DESIGN.md §13).
+/// Each enabled objective becomes one tracked stream; an objective of 0
+/// disables its stream (matching the HealthThresholds convention).
+struct SloConfig {
+  bool enabled = false;
+  /// Fraction of requests that must be served (not shed, not errored).
+  double availability = 0.999;
+  /// Latency objectives: a completed request slower than the bound is
+  /// "bad" for that stream. 0 disables.
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  /// Multi-window sizes, in requests rather than wall-clock — the serve
+  /// stack measures load in requests everywhere else (health windows,
+  /// breaker counts), which keeps replay-driven tests deterministic.
+  /// The short window catches fast burns, the long window keeps one
+  /// bad blip from tripping the advisory; a stream's burn rate is the
+  /// *minimum* of the two (both-windows-must-burn, the Google SRE
+  /// multi-window multi-burn-rate rule).
+  int short_window = 128;
+  int long_window = 1024;
+  /// When true, degraded (fallback-scored) responses count against
+  /// availability: they were answered, but not by the model.
+  bool degraded_is_bad = false;
+};
+
+/// Rolling error-budget tracker over the request stream.
+///
+/// Each stream keeps a short and a long bounded window of good/bad
+/// bits. Burn rate is bad_fraction / budget where budget = 1 -
+/// objective: burn 1.0 means "spending budget exactly as fast as the
+/// objective allows", >1 means the budget is shrinking. The advisory
+/// burn — max over streams of min(short, long) — feeds the
+/// HealthTracker so a rollout judges a candidate not just against the
+/// incumbent but against the service's promises.
+///
+/// Thread-safe; one mutex (a few deque ops per request, same cost class
+/// as HealthTracker::Record).
+class SloTracker {
+ public:
+  /// Point-in-time view of one stream.
+  struct StreamStatus {
+    std::string name;
+    double objective = 0.0;
+    double budget = 0.0;  // 1 - objective.
+    int64_t total = 0;    // Lifetime requests seen by this stream.
+    int64_t bad = 0;      // Lifetime bad requests.
+    double burn_short = 0.0;
+    double burn_long = 0.0;
+    double burn = 0.0;  // min(short, long).
+    /// Lifetime bad_fraction / budget, in [0, inf): the fraction of the
+    /// total error budget consumed so far (1.0 = budget exhausted).
+    double budget_consumed = 0.0;
+  };
+
+  struct Status {
+    std::vector<StreamStatus> streams;
+    double advisory_burn = 0.0;   // max over streams of stream.burn.
+    double budget_consumed = 0.0; // max over streams.
+    double budget_remaining = 0.0;  // max(0, 1 - budget_consumed).
+  };
+
+  explicit SloTracker(const SloConfig& config);
+
+  /// Records one terminal request. `latency_s` applies to completed
+  /// requests (ok/degraded); sheds and errors only feed availability.
+  void Record(RequestOutcome outcome, double latency_s);
+
+  Status GetStatus() const;
+
+  /// max over streams of min(short-window burn, long-window burn); the
+  /// advisory signal fed to HealthTracker. 0 when no stream is enabled.
+  double AdvisoryBurn() const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  struct Stream {
+    std::string name;
+    double objective = 0.0;
+    std::deque<bool> short_window;  // true = bad.
+    std::deque<bool> long_window;
+    int64_t short_bad = 0;
+    int64_t long_bad = 0;
+    int64_t total = 0;
+    int64_t bad = 0;
+  };
+
+  void RecordStream(Stream* stream, bool is_bad);
+  StreamStatus StatusLocked(const Stream& stream) const;
+
+  const SloConfig config_;
+  mutable std::mutex mu_;
+  Stream availability_;
+  Stream latency_p95_;
+  Stream latency_p99_;
+
+  telemetry::Counter* good_metric_;
+  telemetry::Counter* bad_metric_;
+  telemetry::Gauge* advisory_burn_metric_;
+  telemetry::Gauge* budget_consumed_metric_;
+  telemetry::Gauge* budget_remaining_metric_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_SLO_H_

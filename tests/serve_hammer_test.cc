@@ -2,7 +2,9 @@
 // thread republishes snapshots as fast as it can. Run under
 // ThreadSanitizer by tools/check_tsan.sh (label: concurrency); a clean
 // pass means the snapshot publication, the sharded session cache,
-// and the dispatcher queue race nothing under real schedules.
+// the dispatcher queue, and the observability plane (flight-recorder
+// ring, SLO tracker, Prometheus registry render) race nothing under
+// real schedules.
 //
 // Beyond data races, the invariants checked here are the serving
 // contract: every response is scored against exactly one published
@@ -11,16 +13,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/telemetry_export.h"
 #include "data/world.h"
 #include "models/registry.h"
 #include "serve/engine.h"
+#include "serve/flight_recorder.h"
 #include "serve/model_snapshot.h"
 #include "serve/rollout.h"
+#include "serve/slo.h"
 
 namespace uae::serve {
 namespace {
@@ -196,6 +204,119 @@ TEST(ServeHammerTest, RolloutAndRollbackUnderConcurrentScoring) {
   // However the race played out, the rollback path always re-pins the
   // incumbent in the end.
   EXPECT_EQ(engine.snapshot()->version(), 103u);
+}
+
+// Observability hammer: scorer threads and a swapper pound the engine
+// while an exporter thread renders the whole telemetry registry and an
+// observer drains the flight-recorder ring as fast as they can — the
+// lock-free ring (seqlock slots), the rolling exemplar distribution,
+// the SLO tracker, and the registry snapshot under real schedules. A
+// TSan-clean pass means watching the engine never races serving it;
+// the invariants checked are the recorder's: every snapshot is
+// internally consistent (ids strictly increasing, stamps ordered) and
+// every terminal outcome was recorded exactly once.
+TEST(ServeHammerTest, ExporterAndRecorderUnderConcurrentScoring) {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 32;
+  cfg.num_songs = 80;
+  cfg.num_artists = 15;
+  cfg.num_albums = 30;
+  const data::World world(cfg, 35);
+
+  const std::shared_ptr<const ModelSnapshot> a = BuildSnapshot(world, 5, 105);
+  const std::shared_ptr<const ModelSnapshot> b = BuildSnapshot(world, 6, 106);
+
+  EngineConfig config;
+  config.max_wait_us = 0;
+  config.max_batch = 4;
+  // Tiny ring so the scorers wrap it many times over while the observer
+  // reads — the recycled-slot re-check path runs for real.
+  config.recorder.capacity = 16;
+  config.recorder.exemplar_min_samples = 8;
+  config.slo.enabled = true;
+  config.slo.latency_p99_s = 0.5;
+  config.slo.short_window = 16;
+  config.slo.long_window = 64;
+  Engine engine(a, config);
+
+  constexpr int kScorers = 4;
+  constexpr int kRequestsPerScorer = 120;
+  constexpr int kSwaps = 100;
+
+  std::atomic<int> completed{0};
+  std::atomic<bool> stop_observers{false};
+  std::atomic<bool> torn_record{false};
+  std::vector<std::thread> scorers;
+  for (int s = 0; s < kScorers; ++s) {
+    scorers.emplace_back([&, s] {
+      Rng rng(300 + static_cast<uint64_t>(s));
+      for (int i = 0; i < kRequestsPerScorer; ++i) {
+        ScoreRequest req;
+        req.user = static_cast<int>(rng.UniformInt(cfg.num_users));
+        const int hour = static_cast<int>(rng.UniformInt(24));
+        const int weekday = static_cast<int>(rng.UniformInt(7));
+        std::vector<int> played = {world.SampleSong(&rng),
+                                   world.SampleSong(&rng)};
+        req.history =
+            world.SimulateSession(req.user, played, hour, weekday, &rng)
+                .events;
+        for (int c = 0; c < 2; ++c) {
+          const int song = world.SampleSong(&rng);
+          req.candidate_songs.push_back(song);
+          req.candidates.push_back(
+              world.ScoringEvent(req.user, song, hour, weekday));
+        }
+        if (engine.Score(std::move(req)).ok()) ++completed;
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      engine.Swap(i % 2 == 0 ? b : a);
+      std::this_thread::yield();
+    }
+  });
+  // The exporter the way production runs it: full registry render (every
+  // counter/gauge/histogram the scorers are updating) in a tight loop.
+  std::thread exporter([&] {
+    while (!stop_observers.load(std::memory_order_relaxed)) {
+      const std::string text = telemetry::RenderPrometheusText();
+      ASSERT_FALSE(text.empty());
+    }
+  });
+  std::thread observer([&] {
+    while (!stop_observers.load(std::memory_order_relaxed)) {
+      const std::vector<FlightRecord> records =
+          engine.flight_recorder().Snapshot();
+      uint64_t last_id = 0;
+      for (const FlightRecord& record : records) {
+        if (record.id <= last_id || record.respond_s < record.dispatch_s ||
+            record.dispatch_s < record.enqueue_s) {
+          torn_record = true;
+        }
+        last_id = record.id;
+      }
+    }
+  });
+  for (std::thread& t : scorers) t.join();
+  swapper.join();
+  stop_observers = true;
+  exporter.join();
+  observer.join();
+
+  EXPECT_EQ(completed.load(), kScorers * kRequestsPerScorer);
+  EXPECT_FALSE(torn_record.load());
+  // Every terminal outcome was recorded exactly once, wraps included.
+  EXPECT_GE(engine.flight_recorder().total_recorded(),
+            static_cast<uint64_t>(completed.load()));
+  // The SLO tracker saw the same traffic.
+  ASSERT_NE(engine.slo(), nullptr);
+  int64_t slo_total = 0;
+  for (const SloTracker::StreamStatus& stream :
+       engine.slo()->GetStatus().streams) {
+    slo_total = std::max(slo_total, stream.total);
+  }
+  EXPECT_EQ(slo_total, completed.load());
 }
 
 }  // namespace

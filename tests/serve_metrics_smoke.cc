@@ -1,0 +1,210 @@
+// Tier-1 smoke check for the live serving observability stack (no
+// gtest, pure ctest): replays a small load through serve::RunReplay
+// with the metrics export, exemplar slowlog, and SLO tracking all on,
+// then fails unless
+//   - the Prometheus export file exists, parses with the strict
+//     exposition parser, and carries the serve metrics (requests,
+//     in-flight drained to zero, per-stage histograms with monotonic
+//     cumulative buckets),
+//   - the exemplar slowlog contains only above-threshold JSONL records
+//     that parse and cross-check against their own threshold field,
+//   - the shipped `uae_top` CLI (path in argv[1]) summarizes the same
+//     export via `--once --json` with exit code 0 and sane fields.
+// Exits non-zero with a diagnostic on the first violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/json.h"
+#include "common/telemetry_export.h"
+#include "serve/replay.h"
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "serve_metrics_smoke FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const uae::telemetry::PromSample* Find(
+    const std::vector<uae::telemetry::PromSample>& samples,
+    const std::string& name) {
+  for (const uae::telemetry::PromSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: serve_metrics_smoke <path-to-uae_top>");
+  }
+  const std::string uae_top = argv[1];
+  const std::string export_path = "serve_metrics_smoke_out.prom";
+  const std::string slowlog_path = "serve_metrics_smoke_slowlog.jsonl";
+
+  uae::serve::ReplayConfig config;
+  config.world = uae::data::GeneratorConfig::ProductPreset();
+  config.world.num_sessions = 150;
+  config.world.num_users = 40;
+  config.world.num_songs = 100;
+  config.world.num_artists = 20;
+  config.world.num_albums = 40;
+  config.requests = 48;
+  config.history_length = 24;
+  config.candidates = 6;
+  config.client_threads = 4;
+  config.engine.max_wait_us = 0;
+  config.metrics_export_path = export_path;
+  config.metrics_export_interval_ms = 50;
+  config.slowlog_path = slowlog_path;
+  config.slo = true;
+  // Aggressive exemplar settings so a short run reliably arms the
+  // threshold and captures real tail requests.
+  config.engine.recorder.exemplar_quantile = 0.9;
+  config.engine.recorder.exemplar_min_samples = 8;
+  // Manufacture a latency tail: ~10% of scored requests stall 50ms via
+  // the seeded fault point (the same chaos knob uae_serve_replay
+  // exposes), which is decades above the typical sub-millisecond score,
+  // so the rolling-p90 threshold reliably flags them as exemplars.
+  uae::FaultInjector::Instance().Arm(
+      "serve.score.delay",
+      {/*probability=*/0.1, /*seed=*/1234, /*delay_micros=*/50000});
+
+  const uae::StatusOr<uae::serve::ReplayReport> replayed =
+      uae::serve::RunReplay(config);
+  if (!replayed.ok()) {
+    return Fail("replay failed: " + replayed.status().ToString());
+  }
+
+  // --- The export file is valid exposition format with serve coverage.
+  const std::string text = ReadFile(export_path);
+  if (text.empty()) return Fail("export file missing or empty");
+  const uae::StatusOr<std::vector<uae::telemetry::PromSample>> parsed =
+      uae::telemetry::ParsePrometheusText(text);
+  if (!parsed.ok()) {
+    return Fail("export does not parse: " + parsed.status().ToString());
+  }
+  const std::vector<uae::telemetry::PromSample>& samples = parsed.value();
+
+  const uae::telemetry::PromSample* requests =
+      Find(samples, "uae_serve_requests");
+  if (requests == nullptr) return Fail("uae_serve_requests missing");
+  const double expected_requests = 2.0 * config.requests;
+  if (requests->value != expected_requests) {
+    return Fail("uae_serve_requests = " + std::to_string(requests->value) +
+                ", want " + std::to_string(expected_requests));
+  }
+  const uae::telemetry::PromSample* in_flight =
+      Find(samples, "uae_serve_in_flight");
+  if (in_flight == nullptr) return Fail("uae_serve_in_flight missing");
+  if (in_flight->value != 0.0) {
+    return Fail("uae_serve_in_flight = " + std::to_string(in_flight->value) +
+                " after a fully drained run, want 0");
+  }
+  for (const char* name :
+       {"uae_serve_queue_wait_s_count", "uae_serve_score_s_count",
+        "uae_serve_batch_occupancy_count", "uae_serve_slo_budget_remaining",
+        "uae_export_uptime_seconds"}) {
+    if (Find(samples, name) == nullptr) {
+      return Fail(std::string(name) + " missing from export");
+    }
+  }
+  // Cumulative histogram buckets never decrease and close at _count.
+  double last = 0.0;
+  double inf_value = -1.0;
+  for (const uae::telemetry::PromSample& sample : samples) {
+    if (sample.name != "uae_serve_request_s_bucket") continue;
+    if (sample.value < last) {
+      return Fail("uae_serve_request_s_bucket not monotonic");
+    }
+    last = sample.value;
+    if (sample.Label("le") == "+Inf") inf_value = sample.value;
+  }
+  const uae::telemetry::PromSample* request_count =
+      Find(samples, "uae_serve_request_s_count");
+  if (request_count == nullptr || inf_value != request_count->value) {
+    return Fail("uae_serve_request_s buckets do not close at _count");
+  }
+
+  // --- The slowlog holds only above-threshold exemplars.
+  std::ifstream slowlog(slowlog_path);
+  if (!slowlog) return Fail("slowlog missing at " + slowlog_path);
+  std::string line;
+  int64_t exemplar_lines = 0;
+  while (std::getline(slowlog, line)) {
+    if (line.empty()) continue;
+    ++exemplar_lines;
+    const uae::StatusOr<uae::json::Value> record = uae::json::Parse(line);
+    if (!record.ok()) {
+      return Fail("slowlog line does not parse: " + line);
+    }
+    const double total_ms = record.value().GetNumber("total_ms");
+    const double threshold_ms = record.value().GetNumber("threshold_ms");
+    if (!(total_ms > threshold_ms) || threshold_ms <= 0.0) {
+      return Fail("slowlog exemplar not above threshold: " + line);
+    }
+    if (record.value().Find("spans") == nullptr) {
+      return Fail("slowlog exemplar missing spans: " + line);
+    }
+  }
+  if (exemplar_lines != replayed.value().exemplars) {
+    return Fail("slowlog has " + std::to_string(exemplar_lines) +
+                " lines but the report counted " +
+                std::to_string(replayed.value().exemplars));
+  }
+  if (exemplar_lines == 0) {
+    return Fail("no exemplars captured despite injected 50ms tail");
+  }
+
+  // --- uae_top summarizes the export end to end.
+  const std::string command =
+      uae_top + " --once --json --file " + export_path;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return Fail("cannot launch " + command);
+  std::string output;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) output += chunk;
+  const int status = pclose(pipe);
+  if (status != 0) {
+    return Fail("uae_top exited non-zero: " + output);
+  }
+  const uae::StatusOr<uae::json::Value> summary = uae::json::Parse(output);
+  if (!summary.ok()) {
+    return Fail("uae_top --json output does not parse: " + output);
+  }
+  const uae::json::Value& doc = summary.value();
+  if (doc.GetNumber("requests") != expected_requests) {
+    return Fail("uae_top requests = " +
+                std::to_string(doc.GetNumber("requests")) + ", want " +
+                std::to_string(expected_requests));
+  }
+  for (const char* key : {"latency_ms", "versions", "cache", "slo"}) {
+    if (doc.Find(key) == nullptr) {
+      return Fail(std::string("uae_top summary missing '") + key + "'");
+    }
+  }
+  if (doc.Find("slo")->GetNumber("budget_remaining", -1.0) < 0.0) {
+    return Fail("uae_top slo.budget_remaining missing or negative");
+  }
+
+  std::printf("serve_metrics_smoke OK: %lld requests exported, %lld "
+              "exemplars, uae_top summary valid\n",
+              static_cast<long long>(expected_requests),
+              static_cast<long long>(exemplar_lines));
+  return 0;
+}

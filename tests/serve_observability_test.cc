@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/telemetry.h"
+#include "common/telemetry_export.h"
+#include "data/world.h"
+#include "models/registry.h"
+#include "serve/engine.h"
+#include "serve/flight_recorder.h"
+#include "serve/health.h"
+#include "serve/model_snapshot.h"
+#include "serve/slo.h"
+
+namespace uae::serve {
+namespace {
+
+std::string TempPath(const std::string& leaf) {
+  return (std::filesystem::path(::testing::TempDir()) / leaf).string();
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+FlightRecord CompletedRecord(double enqueue_s, double total_s) {
+  FlightRecord record;
+  record.user = 7;
+  record.snapshot_version = 3;
+  record.enqueue_s = enqueue_s;
+  record.dispatch_s = enqueue_s;
+  record.respond_s = enqueue_s + total_s;
+  record.batch_size = 1;
+  record.queue_depth = 1;
+  record.outcome = RequestOutcome::kOk;
+  return record;
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder ring.
+
+TEST(FlightRecorderTest, RoundsCapacityToPowerOfTwo) {
+  FlightRecorderConfig config;
+  config.capacity = 5;
+  FlightRecorder recorder(config);
+  EXPECT_EQ(recorder.capacity(), 8);
+}
+
+TEST(FlightRecorderTest, AssignsSequentialIdsAndSnapshotsOldestFirst) {
+  FlightRecorderConfig config;
+  config.capacity = 16;
+  FlightRecorder recorder(config);
+  for (int i = 0; i < 5; ++i) {
+    FlightRecord record = CompletedRecord(static_cast<double>(i), 0.001);
+    record.user = 100 + i;
+    recorder.Record(record);
+  }
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 5u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, i + 1);
+    EXPECT_EQ(records[i].user, 100 + static_cast<int>(i));
+    EXPECT_EQ(records[i].outcome, RequestOutcome::kOk);
+    EXPECT_STREQ(records[i].shed_reason, "");
+  }
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsNewestRecords) {
+  FlightRecorderConfig config;
+  config.capacity = 4;
+  FlightRecorder recorder(config);
+  for (int i = 0; i < 10; ++i) {
+    FlightRecord record = CompletedRecord(static_cast<double>(i), 0.001);
+    record.user = i;
+    recorder.Record(record);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first among the survivors: ids 7..10 (users 6..9).
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, 7 + i);
+    EXPECT_EQ(records[i].user, 6 + static_cast<int>(i));
+  }
+}
+
+TEST(FlightRecorderTest, ShedRecordKeepsReasonAndSkipsExemplarPath) {
+  FlightRecorderConfig config;
+  config.capacity = 8;
+  config.exemplar_min_samples = 1;
+  FlightRecorder recorder(config);
+  FlightRecord record = CompletedRecord(0.0, 5.0);
+  record.outcome = RequestOutcome::kShed;
+  record.shed_reason = "queue_full";
+  recorder.Record(record);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kShed);
+  EXPECT_STREQ(records[0].shed_reason, "queue_full");
+  // Sheds never feed the latency distribution, so the threshold stays
+  // disarmed no matter how low min_samples is.
+  EXPECT_EQ(recorder.exemplar_threshold_s(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Exemplar capture.
+
+TEST(FlightRecorderTest, ExemplarThresholdArmsAfterMinSamples) {
+  FlightRecorderConfig config;
+  config.capacity = 64;
+  config.slowlog_path = TempPath("exemplar_arm_slowlog.jsonl");
+  config.exemplar_quantile = 0.5;
+  config.exemplar_min_samples = 8;
+  FlightRecorder recorder(config);
+  for (int i = 0; i < 8; ++i) {
+    recorder.Record(CompletedRecord(static_cast<double>(i), 0.001));
+    if (i < 7) {
+      EXPECT_EQ(recorder.exemplar_threshold_s(), 0.0);
+    }
+  }
+  // Armed now: the rolling median of 1ms samples sits in a bucket whose
+  // upper bound is well under a second.
+  const double threshold = recorder.exemplar_threshold_s();
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_LT(threshold, 1.0);
+  EXPECT_EQ(recorder.exemplars_written(), 0);
+
+  recorder.Record(CompletedRecord(100.0, 2.0));  // Far above threshold.
+  EXPECT_EQ(recorder.exemplars_written(), 1);
+  recorder.Record(CompletedRecord(101.0, 0.001));  // Typical: no exemplar.
+  EXPECT_EQ(recorder.exemplars_written(), 1);
+
+  const std::vector<std::string> lines = ReadLines(config.slowlog_path);
+  ASSERT_EQ(lines.size(), 1u);
+  const StatusOr<json::Value> parsed = json::Parse(lines[0]);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& doc = parsed.value();
+  EXPECT_EQ(doc.GetNumber("id"), 9.0);
+  EXPECT_EQ(doc.GetString("outcome"), "ok");
+  EXPECT_GT(doc.GetNumber("total_ms"), doc.GetNumber("threshold_ms"));
+  ASSERT_NE(doc.Find("spans"), nullptr);
+  EXPECT_TRUE(doc.Find("spans")->is_array());
+}
+
+TEST(FlightRecorderTest, SlowlogIsBoundedAndCountsDrops) {
+  FlightRecorderConfig config;
+  config.capacity = 64;
+  config.slowlog_path = TempPath("exemplar_bound_slowlog.jsonl");
+  config.slowlog_max_records = 2;
+  config.exemplar_quantile = 0.5;
+  config.exemplar_min_samples = 4;
+  FlightRecorder recorder(config);
+  for (int i = 0; i < 4; ++i) {
+    recorder.Record(CompletedRecord(static_cast<double>(i), 0.001));
+  }
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record(CompletedRecord(10.0 + i, 3.0));
+  }
+  EXPECT_EQ(recorder.exemplars_written(), 2);
+  EXPECT_GT(recorder.exemplars_dropped(), 0);
+  EXPECT_EQ(ReadLines(config.slowlog_path).size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// SLO tracker.
+
+TEST(SloTrackerTest, BurnIsMinOfShortAndLongWindows) {
+  SloConfig config;
+  config.enabled = true;
+  config.availability = 0.5;  // budget = 0.5, big enough to read burns.
+  config.short_window = 4;
+  config.long_window = 8;
+  SloTracker tracker(config);
+  for (int i = 0; i < 4; ++i) tracker.Record(RequestOutcome::kShed, 0.0);
+  SloTracker::Status status = tracker.GetStatus();
+  ASSERT_EQ(status.streams.size(), 1u);
+  // Short window: 4/4 bad -> burn 2.0. Long window: 4/4 seen so far ->
+  // also 2.0 (windows fill before they slide). min = 2.0.
+  EXPECT_DOUBLE_EQ(status.streams[0].burn_short, 2.0);
+  EXPECT_DOUBLE_EQ(status.streams[0].burn, 2.0);
+  EXPECT_DOUBLE_EQ(status.advisory_burn, 2.0);
+
+  for (int i = 0; i < 4; ++i) tracker.Record(RequestOutcome::kOk, 0.0);
+  status = tracker.GetStatus();
+  // Short window now all good (burn 0); long window 4/8 bad (burn 1).
+  // Both-windows-must-burn: the stream burn collapses to 0.
+  EXPECT_DOUBLE_EQ(status.streams[0].burn_short, 0.0);
+  EXPECT_DOUBLE_EQ(status.streams[0].burn_long, 1.0);
+  EXPECT_DOUBLE_EQ(status.streams[0].burn, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.AdvisoryBurn(), 0.0);
+}
+
+TEST(SloTrackerTest, LatencyStreamsJudgeOnlyCompletedRequests) {
+  SloConfig config;
+  config.enabled = true;
+  config.availability = 0.9;
+  config.latency_p99_s = 0.010;
+  config.short_window = 4;
+  config.long_window = 8;
+  SloTracker tracker(config);
+  // A shed is bad for availability but invisible to the latency stream:
+  // a refusal's latency is not a scoring latency.
+  tracker.Record(RequestOutcome::kShed, 1.0);
+  tracker.Record(RequestOutcome::kOk, 0.002);
+  tracker.Record(RequestOutcome::kOk, 0.020);  // Over the p99 bound.
+  const SloTracker::Status status = tracker.GetStatus();
+  ASSERT_EQ(status.streams.size(), 2u);
+  const SloTracker::StreamStatus* availability = nullptr;
+  const SloTracker::StreamStatus* latency = nullptr;
+  for (const SloTracker::StreamStatus& stream : status.streams) {
+    if (stream.name == "availability") availability = &stream;
+    if (stream.name == "latency_p99") latency = &stream;
+  }
+  ASSERT_NE(availability, nullptr);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(availability->total, 3);
+  EXPECT_EQ(availability->bad, 1);
+  EXPECT_EQ(latency->total, 2);  // Completed requests only.
+  EXPECT_EQ(latency->bad, 1);
+}
+
+TEST(SloTrackerTest, BudgetConsumedTracksLifetimeBadFraction) {
+  SloConfig config;
+  config.enabled = true;
+  config.availability = 0.9;  // budget = 0.1.
+  config.short_window = 4;
+  config.long_window = 8;
+  SloTracker tracker(config);
+  for (int i = 0; i < 9; ++i) tracker.Record(RequestOutcome::kOk, 0.0);
+  tracker.Record(RequestOutcome::kError, 0.0);
+  const SloTracker::Status status = tracker.GetStatus();
+  // 1 bad / 10 total = the whole 10% budget: consumed 1.0, nothing left.
+  EXPECT_DOUBLE_EQ(status.budget_consumed, 1.0);
+  EXPECT_DOUBLE_EQ(status.budget_remaining, 0.0);
+}
+
+TEST(SloTrackerTest, DegradedCountsAgainstAvailabilityOnlyWhenConfigured) {
+  SloConfig config;
+  config.enabled = true;
+  config.availability = 0.9;
+  config.short_window = 4;
+  config.long_window = 8;
+  SloTracker lenient(config);
+  lenient.Record(RequestOutcome::kDegraded, 0.0);
+  EXPECT_EQ(lenient.GetStatus().streams[0].bad, 0);
+
+  config.degraded_is_bad = true;
+  SloTracker strict(config);
+  strict.Record(RequestOutcome::kDegraded, 0.0);
+  EXPECT_EQ(strict.GetStatus().streams[0].bad, 1);
+}
+
+// ---------------------------------------------------------------------
+// HealthTracker advisory-burn criterion.
+
+TEST(HealthTrackerTest, SloBurnTripsTheVerdict) {
+  HealthTracker::Config config;
+  config.thresholds.min_samples = 2;
+  config.thresholds.max_error_rate = 0.0;         // Disabled.
+  config.thresholds.max_shed_degraded_delta = 0.0;  // Disabled.
+  config.thresholds.max_score_drift = 0.0;        // Disabled.
+  config.thresholds.max_slo_burn = 1.0;
+  HealthTracker health(config);
+  for (int i = 0; i < 4; ++i) {
+    health.Record(2, RequestOutcome::kOk, 0.001, 0.5);
+    health.Record(1, RequestOutcome::kOk, 0.001, 0.5);
+  }
+  health.SetAdvisoryBurn(0.5);
+  HealthTracker::Verdict verdict = health.Judge(2, 1);
+  EXPECT_TRUE(verdict.healthy);
+  EXPECT_DOUBLE_EQ(verdict.slo_burn, 0.5);
+
+  health.SetAdvisoryBurn(2.5);
+  verdict = health.Judge(2, 1);
+  EXPECT_FALSE(verdict.healthy);
+  EXPECT_EQ(verdict.reason, "slo_burn");
+  EXPECT_DOUBLE_EQ(verdict.slo_burn, 2.5);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition format.
+
+TEST(PrometheusExportTest, SanitizesMetricNames) {
+  EXPECT_EQ(telemetry::PrometheusName("uae.serve.request_s"),
+            "uae_serve_request_s");
+  EXPECT_EQ(telemetry::PrometheusName("uae.serve.shed.queue_full"),
+            "uae_serve_shed_queue_full");
+  EXPECT_EQ(telemetry::PrometheusName("9starts_with_digit"),
+            "_9starts_with_digit");
+  EXPECT_EQ(telemetry::PrometheusName("has-dash and space"),
+            "has_dash_and_space");
+  EXPECT_EQ(telemetry::PrometheusName(""), "_");
+}
+
+TEST(PrometheusExportTest, EscapesLabelValues) {
+  EXPECT_EQ(telemetry::PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(telemetry::PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::PrometheusEscapeLabelValue("say \"hi\""),
+            "say \\\"hi\\\"");
+  EXPECT_EQ(telemetry::PrometheusEscapeLabelValue("two\nlines"),
+            "two\\nlines");
+}
+
+TEST(PrometheusExportTest, RenderedTextParsesAsValidExposition) {
+  telemetry::ResetRegistryForTest();
+  telemetry::GetCounter("uae.test.events")->Add(42);
+  telemetry::GetGauge("uae.test.depth")->Set(3.5);
+  telemetry::Histogram* hist = telemetry::GetHistogram("uae.test.latency_s");
+  hist->Record(0.001);
+  hist->Record(0.002);
+  hist->Record(5.0);
+
+  const std::string text = telemetry::RenderPrometheusText();
+  const StatusOr<std::vector<telemetry::PromSample>> parsed =
+      telemetry::ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<telemetry::PromSample>& samples = parsed.value();
+
+  auto find = [&](const std::string& name) -> const telemetry::PromSample* {
+    for (const telemetry::PromSample& sample : samples) {
+      if (sample.name == name) return &sample;
+    }
+    return nullptr;
+  };
+  const telemetry::PromSample* counter = find("uae_test_events");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->value, 42.0);
+  const telemetry::PromSample* gauge = find("uae_test_depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 3.5);
+  ASSERT_NE(find("uae_build_info"), nullptr);
+  EXPECT_FALSE(find("uae_build_info")->Label("git").empty());
+  ASSERT_NE(find("uae_export_uptime_seconds"), nullptr);
+
+  // Histogram: cumulative buckets must be monotonic and close with
+  // le="+Inf" == _count.
+  double last_bucket = 0.0;
+  double inf_bucket = -1.0;
+  int buckets = 0;
+  for (const telemetry::PromSample& sample : samples) {
+    if (sample.name != "uae_test_latency_s_bucket") continue;
+    ++buckets;
+    EXPECT_GE(sample.value, last_bucket);
+    last_bucket = sample.value;
+    if (sample.Label("le") == "+Inf") inf_bucket = sample.value;
+  }
+  EXPECT_GT(buckets, 1);
+  const telemetry::PromSample* count = find("uae_test_latency_s_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 3.0);
+  EXPECT_DOUBLE_EQ(inf_bucket, 3.0);
+  const telemetry::PromSample* p95 = find("uae_test_latency_s_p95");
+  ASSERT_NE(p95, nullptr);
+  EXPECT_GT(p95->value, 0.0);
+  telemetry::ResetRegistryForTest();
+}
+
+TEST(PrometheusExportTest, HostileMetricNameStillParses) {
+  telemetry::ResetRegistryForTest();
+  telemetry::GetCounter("uae.weird metric-name{with=braces}")->Add();
+  const std::string text = telemetry::RenderPrometheusText();
+  const StatusOr<std::vector<telemetry::PromSample>> parsed =
+      telemetry::ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  bool found = false;
+  for (const telemetry::PromSample& sample : parsed.value()) {
+    if (sample.name == "uae_weird_metric_name_with_braces_") found = true;
+  }
+  EXPECT_TRUE(found);
+  telemetry::ResetRegistryForTest();
+}
+
+TEST(PrometheusExportTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(telemetry::ParsePrometheusText("1bad_name 3\n").ok());
+  EXPECT_FALSE(telemetry::ParsePrometheusText("name_without_value\n").ok());
+  EXPECT_FALSE(telemetry::ParsePrometheusText("name notanumber\n").ok());
+  EXPECT_FALSE(
+      telemetry::ParsePrometheusText("name{unterminated=\"x} 1\n").ok());
+  EXPECT_TRUE(telemetry::ParsePrometheusText(
+                  "# TYPE good counter\ngood{le=\"+Inf\"} 4\n")
+                  .ok());
+}
+
+TEST(PrometheusExportTest, WriteFileReplacesAtomically) {
+  telemetry::ResetRegistryForTest();
+  telemetry::GetCounter("uae.test.write")->Add(7);
+  const std::string path = TempPath("prom_write_test/metrics.prom");
+  ASSERT_TRUE(telemetry::WritePrometheusFile(path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const StatusOr<std::vector<telemetry::PromSample>> parsed =
+      telemetry::ParsePrometheusText(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  bool found = false;
+  for (const telemetry::PromSample& sample : parsed.value()) {
+    if (sample.name == "uae_test_write" && sample.value == 7.0) found = true;
+  }
+  EXPECT_TRUE(found);
+  telemetry::ResetRegistryForTest();
+}
+
+// ---------------------------------------------------------------------
+// Engine integration: every terminal outcome leaves a record.
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+std::shared_ptr<const ModelSnapshot> BuildSnapshot(const data::World& world,
+                                                   uint64_t seed,
+                                                   uint64_t version) {
+  Rng rng(seed);
+  std::shared_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), models::ModelConfig());
+  auto tower = std::make_shared<attention::AttentionTower>(
+      &rng, world.schema(), attention::TowerConfig());
+  return ModelSnapshot::FromModules(world.schema(), std::move(model),
+                                    std::move(tower), /*gamma=*/1.0f,
+                                    version);
+}
+
+ScoreRequest MakeRequest(const data::World& world, int user,
+                         int num_candidates, Rng* rng) {
+  ScoreRequest req;
+  req.user = user;
+  std::vector<int> played(8);
+  for (int& song : played) song = world.SampleSong(rng);
+  req.history = world.SimulateSession(user, played, 10, 2, rng).events;
+  for (int c = 0; c < num_candidates; ++c) {
+    const int song = world.SampleSong(rng);
+    req.candidate_songs.push_back(song);
+    req.candidates.push_back(world.ScoringEvent(user, song, 10, 2));
+  }
+  return req;
+}
+
+TEST(EngineObservabilityTest, EveryTerminalOutcomeLeavesARecord) {
+  data::World world(SmallWorldConfig(), 11);
+  Rng rng(13);
+  EngineConfig config;
+  config.max_wait_us = 0;
+  Engine engine(BuildSnapshot(world, 17, 5), config);
+
+  // Completed request: the record is visible as soon as Score returns.
+  ASSERT_TRUE(engine.Score(MakeRequest(world, 1, 5, &rng)).ok());
+  std::vector<FlightRecord> records = engine.flight_recorder().Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].user, 1);
+  EXPECT_EQ(records[0].snapshot_version, 5u);
+  EXPECT_EQ(records[0].outcome, RequestOutcome::kOk);
+  EXPECT_GE(records[0].batch_size, 1);
+  EXPECT_GE(records[0].queue_depth, 1);
+  EXPECT_GE(records[0].dispatch_s, records[0].enqueue_s);
+  EXPECT_GE(records[0].respond_s, records[0].dispatch_s);
+
+  // Invalid request: refused at the front door, still recorded.
+  ScoreRequest invalid;
+  invalid.user = 2;
+  EXPECT_FALSE(engine.Score(std::move(invalid)).ok());
+  records = engine.flight_recorder().Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].outcome, RequestOutcome::kError);
+  EXPECT_STREQ(records[1].shed_reason, "invalid");
+  EXPECT_EQ(records[1].batch_size, 0);  // Never dispatched.
+  EXPECT_DOUBLE_EQ(records[1].dispatch_s, records[1].enqueue_s);
+
+  engine.Stop();
+  // Post-stop requests are recorded as draining sheds.
+  EXPECT_FALSE(engine.Score(MakeRequest(world, 3, 5, &rng)).ok());
+  records = engine.flight_recorder().Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].outcome, RequestOutcome::kShed);
+  EXPECT_STREQ(records[2].shed_reason, "draining");
+}
+
+TEST(EngineObservabilityTest, SloTrackerFeedsOffServedTraffic) {
+  data::World world(SmallWorldConfig(), 19);
+  Rng rng(23);
+  EngineConfig config;
+  config.max_wait_us = 0;
+  config.slo.enabled = true;
+  config.slo.availability = 0.5;
+  config.slo.short_window = 4;
+  config.slo.long_window = 8;
+  Engine engine(BuildSnapshot(world, 29, 1), config);
+  ASSERT_NE(engine.slo(), nullptr);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine.Score(MakeRequest(world, i, 5, &rng)).ok());
+  }
+  const SloTracker::Status status = engine.slo()->GetStatus();
+  ASSERT_FALSE(status.streams.empty());
+  EXPECT_EQ(status.streams[0].total, 6);
+  EXPECT_EQ(status.streams[0].bad, 0);
+  EXPECT_DOUBLE_EQ(status.advisory_burn, 0.0);
+  EXPECT_DOUBLE_EQ(status.budget_remaining, 1.0);
+}
+
+TEST(EngineObservabilityTest, SloDisabledByDefault) {
+  data::World world(SmallWorldConfig(), 31);
+  EngineConfig config;
+  config.max_wait_us = 0;
+  Engine engine(BuildSnapshot(world, 37, 1), config);
+  EXPECT_EQ(engine.slo(), nullptr);
+}
+
+}  // namespace
+}  // namespace uae::serve

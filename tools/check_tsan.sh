@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-labeled
 # test subset (parallel_*, trace_test, telemetry_test, the serve
-# hot-swap hammer) against it.
+# hot-swap hammer plus its exporter/flight-recorder hammer — scorers,
+# snapshot swaps, a Prometheus registry render loop, and a ring
+# Snapshot() drain all racing) against it.
 #
 # TSan and ASan runtimes cannot coexist, so this uses a dedicated
 # build-tsan/ tree (-DUAE_SANITIZE=thread) next to the normal build.

@@ -425,6 +425,23 @@ CompareResult CompareBench(const TraceData& old_trace,
       old_bench.GetNumber("serve_shed_breaker_open"),
       new_bench.GetNumber("serve_shed_breaker_open"), /*gate=*/false,
       /*higher_is_worse=*/true);
+  // Observability rows (DESIGN.md §13). The stage split attributes an
+  // end-to-end p95 drift to queueing vs. scoring; budget consumed and
+  // exemplar count track how close the run sailed to its SLOs.
+  add("serve_queue_wait_p95_ms",
+      old_bench.GetNumber("serve_queue_wait_p95_ms"),
+      new_bench.GetNumber("serve_queue_wait_p95_ms"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_score_p95_ms", old_bench.GetNumber("serve_score_p95_ms"),
+      new_bench.GetNumber("serve_score_p95_ms"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_slo_budget_consumed",
+      old_bench.GetNumber("serve_slo_budget_consumed"),
+      new_bench.GetNumber("serve_slo_budget_consumed"), /*gate=*/false,
+      /*higher_is_worse=*/true);
+  add("serve_exemplars", old_bench.GetNumber("serve_exemplars"),
+      new_bench.GetNumber("serve_exemplars"), /*gate=*/false,
+      /*higher_is_worse=*/true);
   result.total_old_us = old_bench.GetNumber("wall_s") * 1e6;
   result.total_new_us = new_bench.GetNumber("wall_s") * 1e6;
   result.regression = result.worst_ratio > tolerance;

@@ -37,6 +37,18 @@
 //                         probability P                       (0)
 //   --chaos-delay-us N    ... for N micros per fire           (2000)
 //
+// Observability (DESIGN.md §13):
+//   --export-metrics PATH   keep a Prometheus text export fresh at
+//                           PATH for the whole run (watch it live
+//                           with `uae_top --file PATH`)
+//   --export-interval-ms N  exporter refresh period             (200)
+//   --slowlog PATH          append slow-request exemplars (rolling
+//                           p99 outliers, full flight record +
+//                           active trace spans) to PATH as JSONL
+//   --slo                   track SLOs over the run: availability
+//                           99.9%, latency p99 <= deadline-ms,
+//                           p95 <= deadline-ms/2
+//
 // Exit codes: 0 ok, 1 replay failed, 2 usage error.
 
 #include <cstdio>
@@ -63,7 +75,10 @@ int Usage() {
                "                        [--retries N] [--backoff-us N] "
                "[--rollout] [--degrade-on-deadline]\n"
                "                        [--chaos-delay-p P] "
-               "[--chaos-delay-us N]\n");
+               "[--chaos-delay-us N]\n"
+               "                        [--export-metrics PATH] "
+               "[--export-interval-ms N]\n"
+               "                        [--slowlog PATH] [--slo]\n");
   return 2;
 }
 
@@ -126,6 +141,14 @@ int main(int argc, char** argv) {
       chaos_delay_p = std::atof(argv[++i]);
     } else if (arg == "--chaos-delay-us") {
       if (!next_int(&chaos_delay_us)) return Usage();
+    } else if (arg == "--export-metrics" && i + 1 < argc) {
+      config.metrics_export_path = argv[++i];
+    } else if (arg == "--export-interval-ms") {
+      if (!next_int(&config.metrics_export_interval_ms)) return Usage();
+    } else if (arg == "--slowlog" && i + 1 < argc) {
+      config.slowlog_path = argv[++i];
+    } else if (arg == "--slo") {
+      config.slo = true;
     } else {
       std::fprintf(stderr, "uae_serve_replay: unknown flag %s\n",
                    arg.c_str());
@@ -200,6 +223,22 @@ int main(int argc, char** argv) {
                 r.rollout_stage.c_str(),
                 static_cast<long long>(r.rollout_rollbacks),
                 r.rollout_rollbacks == 1 ? "" : "s");
+  }
+  std::printf("observability\n");
+  std::printf("  stage p95       queue-wait %.2fms  score %.2fms\n",
+              r.queue_wait_p95_ms, r.score_p95_ms);
+  if (!config.slowlog_path.empty()) {
+    std::printf("  exemplars       %lld written to %s (threshold %.2fms)\n",
+                static_cast<long long>(r.exemplars),
+                config.slowlog_path.c_str(), r.exemplar_threshold_ms);
+  }
+  if (config.slo) {
+    std::printf("  slo budget      %.1f%% consumed, burn %.2f\n",
+                100.0 * r.slo_budget_consumed, r.slo_advisory_burn);
+  }
+  if (!config.metrics_export_path.empty()) {
+    std::printf("  metrics export  %s\n",
+                config.metrics_export_path.c_str());
   }
   return 0;
 }

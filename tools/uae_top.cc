@@ -1,0 +1,346 @@
+// uae_top: live ops dashboard over a Prometheus metrics export.
+//
+//   uae_top [--file PATH] [--interval-ms N] [--iterations N]
+//   uae_top --once [--json] [--file PATH]
+//
+// Tails the text-exposition file a serving process keeps fresh (via
+// UAE_METRICS_EXPORT_PATH or uae_serve_replay --export-metrics) and
+// renders a refreshing terminal dashboard: lifetime + interval QPS,
+// shed breakdown by reason, latency quantiles per stage, SLO error
+// budget, rollout/breaker state, session-cache traffic. The file is
+// replaced atomically by the exporter, so a read never sees a torn
+// export — uae_top is a pure observer with no connection to the
+// serving process beyond the file.
+//
+//   --file PATH       export file (default $UAE_METRICS_EXPORT_PATH)
+//   --interval-ms N   refresh period                          (1000)
+//   --iterations N    stop after N refreshes (0 = until ^C)   (0)
+//   --once            read once, print, exit
+//   --json            with --once: machine-readable summary on stdout
+//
+// Exit codes: 0 ok, 1 cannot read/parse the export, 2 usage error.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "common/telemetry_export.h"
+
+namespace {
+
+using uae::Status;
+using uae::StatusOr;
+using uae::telemetry::PromSample;
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  return text;
+}
+
+/// Unlabeled samples by name; labeled ones (histogram buckets) are
+/// summarized separately where needed.
+struct Export {
+  std::map<std::string, double> values;
+  std::string build;
+
+  double Get(const std::string& name, double fallback = 0.0) const {
+    const auto it = values.find(name);
+    return it != values.end() ? it->second : fallback;
+  }
+  bool Has(const std::string& name) const {
+    return values.count(name) > 0;
+  }
+};
+
+Export Index(const std::vector<PromSample>& samples) {
+  Export exported;
+  for (const PromSample& sample : samples) {
+    if (sample.name == "uae_build_info") {
+      exported.build = sample.Label("git");
+      continue;
+    }
+    if (sample.labels.empty()) exported.values[sample.name] = sample.value;
+  }
+  return exported;
+}
+
+const char* RolloutStageName(double stage) {
+  switch (static_cast<int>(stage)) {
+    case 0: return "idle";
+    case 1: return "canary";
+    case 2: return "ramp";
+    case 3: return "full";
+    case 4: return "rolled_back";
+  }
+  return "unknown";
+}
+
+const char* BreakerStateName(double state) {
+  switch (static_cast<int>(state)) {
+    case 0: return "closed";
+    case 1: return "open";
+    case 2: return "half_open";
+  }
+  return "unknown";
+}
+
+/// Everything the dashboard / JSON mode reports, derived from one read.
+struct Summary {
+  double uptime_s = 0.0;
+  double requests = 0.0;
+  double qps_lifetime = 0.0;
+  double shed_total = 0.0;
+  double shed_deadline = 0.0;
+  double shed_queue_full = 0.0;
+  double shed_breaker = 0.0;
+  double shed_draining = 0.0;
+  double degraded = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double score_p95_ms = 0.0;
+  double queue_depth = 0.0;
+  double in_flight = 0.0;
+  double snapshot_version = 0.0;
+  double candidate_version = 0.0;
+  double rollout_stage = 0.0;
+  double rollout_healthy = 1.0;
+  double breaker_state = 0.0;
+  double cache_hits = 0.0, cache_misses = 0.0, cache_evictions = 0.0;
+  double exemplars = 0.0;
+  bool has_slo = false;
+  double slo_budget_consumed = 0.0;
+  double slo_budget_remaining = 0.0;
+  double slo_advisory_burn = 0.0;
+  std::string build;
+};
+
+Summary Summarize(const Export& e) {
+  Summary s;
+  s.build = e.build;
+  s.uptime_s = e.Get("uae_export_uptime_seconds");
+  s.requests = e.Get("uae_serve_requests");
+  s.qps_lifetime = s.uptime_s > 0.0 ? s.requests / s.uptime_s : 0.0;
+  s.shed_total = e.Get("uae_serve_shed");
+  s.shed_deadline = e.Get("uae_serve_shed_deadline");
+  s.shed_queue_full = e.Get("uae_serve_shed_queue_full");
+  s.shed_breaker = e.Get("uae_serve_shed_breaker_open");
+  s.shed_draining = e.Get("uae_serve_shed_draining");
+  s.degraded = e.Get("uae_serve_degraded");
+  s.p50_ms = 1e3 * e.Get("uae_serve_request_s_p50");
+  s.p95_ms = 1e3 * e.Get("uae_serve_request_s_p95");
+  s.p99_ms = 1e3 * e.Get("uae_serve_request_s_p99");
+  s.queue_wait_p95_ms = 1e3 * e.Get("uae_serve_queue_wait_s_p95");
+  s.score_p95_ms = 1e3 * e.Get("uae_serve_score_s_p95");
+  s.queue_depth = e.Get("uae_serve_queue_depth");
+  s.in_flight = e.Get("uae_serve_in_flight");
+  s.snapshot_version = e.Get("uae_serve_snapshot_version");
+  s.candidate_version = e.Get("uae_serve_rollout_candidate_version");
+  s.rollout_stage = e.Get("uae_serve_rollout_stage");
+  s.rollout_healthy = e.Get("uae_serve_rollout_healthy", 1.0);
+  s.breaker_state = e.Get("uae_serve_breaker_state");
+  s.cache_hits = e.Get("uae_serve_cache_hits");
+  s.cache_misses = e.Get("uae_serve_cache_misses");
+  s.cache_evictions = e.Get("uae_serve_cache_evictions");
+  s.exemplars = e.Get("uae_serve_exemplars");
+  s.has_slo = e.Has("uae_serve_slo_budget_consumed");
+  s.slo_budget_consumed = e.Get("uae_serve_slo_budget_consumed");
+  s.slo_budget_remaining = e.Get("uae_serve_slo_budget_remaining");
+  s.slo_advisory_burn = e.Get("uae_serve_slo_advisory_burn");
+  return s;
+}
+
+std::string ToJson(const Summary& s) {
+  using uae::telemetry::JsonObject;
+  JsonObject shed;
+  shed.Set("total", s.shed_total)
+      .Set("deadline", s.shed_deadline)
+      .Set("queue_full", s.shed_queue_full)
+      .Set("breaker_open", s.shed_breaker)
+      .Set("draining", s.shed_draining);
+  JsonObject latency;
+  latency.Set("p50", s.p50_ms).Set("p95", s.p95_ms).Set("p99", s.p99_ms)
+      .Set("queue_wait_p95", s.queue_wait_p95_ms)
+      .Set("score_p95", s.score_p95_ms);
+  JsonObject versions;
+  versions.Set("published", static_cast<int64_t>(s.snapshot_version))
+      .Set("candidate", static_cast<int64_t>(s.candidate_version))
+      .Set("rollout_stage", RolloutStageName(s.rollout_stage))
+      .Set("healthy", s.rollout_healthy > 0.5)
+      .Set("breaker", BreakerStateName(s.breaker_state));
+  const double lookups = s.cache_hits + s.cache_misses;
+  JsonObject cache;
+  cache.Set("hits", s.cache_hits)
+      .Set("misses", s.cache_misses)
+      .Set("evictions", s.cache_evictions)
+      .Set("hit_rate", lookups > 0.0 ? s.cache_hits / lookups : 0.0);
+  JsonObject summary;
+  summary.Set("uptime_s", s.uptime_s)
+      .Set("requests", s.requests)
+      .Set("qps", s.qps_lifetime)
+      .Set("degraded", s.degraded)
+      .Set("exemplars", s.exemplars)
+      .Set("queue_depth", s.queue_depth)
+      .Set("in_flight", s.in_flight)
+      .Set("build", s.build)
+      .SetRaw("shed", shed.Str())
+      .SetRaw("latency_ms", latency.Str())
+      .SetRaw("versions", versions.Str())
+      .SetRaw("cache", cache.Str());
+  if (s.has_slo) {
+    JsonObject slo;
+    slo.Set("budget_consumed", s.slo_budget_consumed)
+        .Set("budget_remaining", s.slo_budget_remaining)
+        .Set("advisory_burn", s.slo_advisory_burn);
+    summary.SetRaw("slo", slo.Str());
+  }
+  return summary.Str();
+}
+
+/// `prev` carries the previous refresh for interval QPS; null on the
+/// first paint (and in --once mode).
+void Render(const Summary& s, const Summary* prev, double interval_s) {
+  std::printf("uae_top — build %s — up %.0fs\n",
+              s.build.empty() ? "?" : s.build.c_str(), s.uptime_s);
+  double interval_qps = -1.0;
+  if (prev != nullptr && interval_s > 0.0 && s.requests >= prev->requests) {
+    interval_qps = (s.requests - prev->requests) / interval_s;
+  }
+  if (interval_qps >= 0.0) {
+    std::printf("traffic    %.0f requests | %.1f QPS now | %.1f lifetime\n",
+                s.requests, interval_qps, s.qps_lifetime);
+  } else {
+    std::printf("traffic    %.0f requests | %.1f QPS lifetime\n",
+                s.requests, s.qps_lifetime);
+  }
+  std::printf("latency    p50 %.2fms  p95 %.2fms  p99 %.2fms   "
+              "(queue-wait p95 %.2fms, score p95 %.2fms)\n",
+              s.p50_ms, s.p95_ms, s.p99_ms, s.queue_wait_p95_ms,
+              s.score_p95_ms);
+  std::printf("queue      depth %.0f | in-flight %.0f\n", s.queue_depth,
+              s.in_flight);
+  std::printf("shed       %.0f total | deadline %.0f | queue_full %.0f | "
+              "breaker %.0f | draining %.0f | degraded %.0f\n",
+              s.shed_total, s.shed_deadline, s.shed_queue_full,
+              s.shed_breaker, s.shed_draining, s.degraded);
+  std::printf("versions   published v%.0f", s.snapshot_version);
+  if (s.candidate_version > 0.0) {
+    std::printf(" | candidate v%.0f", s.candidate_version);
+  }
+  std::printf(" | rollout %s (%s) | breaker %s\n",
+              RolloutStageName(s.rollout_stage),
+              s.rollout_healthy > 0.5 ? "healthy" : "unhealthy",
+              BreakerStateName(s.breaker_state));
+  if (s.has_slo) {
+    std::printf("slo        budget %.1f%% consumed (%.1f%% left) | "
+                "burn %.2f\n",
+                100.0 * s.slo_budget_consumed,
+                100.0 * s.slo_budget_remaining, s.slo_advisory_burn);
+  }
+  const double lookups = s.cache_hits + s.cache_misses;
+  std::printf("cache      %.0f hits / %.0f misses (%.1f%% hit) | "
+              "%.0f evictions\n",
+              s.cache_hits, s.cache_misses,
+              lookups > 0.0 ? 100.0 * s.cache_hits / lookups : 0.0,
+              s.cache_evictions);
+  std::printf("exemplars  %.0f slow-request records\n", s.exemplars);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: uae_top [--file PATH] [--interval-ms N] "
+               "[--iterations N] [--once] [--json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (const char* env = std::getenv("UAE_METRICS_EXPORT_PATH")) path = env;
+  int interval_ms = 1000;
+  int iterations = 0;
+  bool once = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--file" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      iterations = std::atoi(argv[++i]);
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "uae_top: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "uae_top: no export file (--file PATH or "
+                 "UAE_METRICS_EXPORT_PATH)\n");
+    return Usage();
+  }
+  if (json && !once) {
+    std::fprintf(stderr, "uae_top: --json requires --once\n");
+    return Usage();
+  }
+  if (interval_ms <= 0) interval_ms = 1000;
+
+  bool have_prev = false;
+  Summary prev;
+  for (int iter = 0;; ++iter) {
+    const StatusOr<std::string> text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "uae_top: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    const StatusOr<std::vector<PromSample>> samples =
+        uae::telemetry::ParsePrometheusText(text.value());
+    if (!samples.ok()) {
+      std::fprintf(stderr, "uae_top: %s does not parse: %s\n", path.c_str(),
+                   samples.status().ToString().c_str());
+      return 1;
+    }
+    const Summary summary = Summarize(Index(samples.value()));
+    if (once) {
+      if (json) {
+        std::printf("%s\n", ToJson(summary).c_str());
+      } else {
+        Render(summary, nullptr, 0.0);
+      }
+      return 0;
+    }
+    // ANSI clear + home keeps the dashboard in place between refreshes.
+    std::printf("\033[2J\033[H");
+    Render(summary, have_prev ? &prev : nullptr,
+           static_cast<double>(interval_ms) / 1e3);
+    std::fflush(stdout);
+    prev = summary;
+    have_prev = true;
+    if (iterations > 0 && iter + 1 >= iterations) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
