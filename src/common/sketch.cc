@@ -1,0 +1,289 @@
+#include "common/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace uae {
+namespace {
+
+/// Hex-float rendering: every bit of the double round-trips, so two
+/// serializations agree exactly when the values agree exactly.
+std::string HexDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<double> UniformBounds(double lo, double hi, int buckets) {
+  UAE_CHECK(buckets >= 2);
+  UAE_CHECK(hi > lo);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(buckets - 1));
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (int i = 1; i < buckets; ++i) {
+    bounds.push_back(lo + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> UnitIntervalBounds(int buckets) {
+  return UniformBounds(0.0, 1.0, buckets);
+}
+
+DistributionSketch::DistributionSketch(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1, 0) {
+  UAE_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    UAE_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+}
+
+void DistributionSketch::Add(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+void DistributionSketch::Merge(const DistributionSketch& other) {
+  UAE_CHECK_MSG(bounds_ == other.bounds_,
+                "cannot merge sketches with different bounds");
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void DistributionSketch::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double DistributionSketch::Mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+SampleSummary DistributionSketch::Summary() const {
+  SampleSummary summary;
+  summary.n = static_cast<int>(count_);
+  if (count_ == 0) return summary;
+  summary.mean = Mean();
+  if (count_ >= 2) {
+    const double n = static_cast<double>(count_);
+    // Sample variance from the moment sidecars; fp cancellation can
+    // push a constant stream epsilon-negative, so clamp.
+    const double var =
+        std::max(0.0, (sum_sq_ - n * summary.mean * summary.mean) / (n - 1.0));
+    summary.stddev = std::sqrt(var);
+    summary.stderr_ = summary.stddev / std::sqrt(n);
+    summary.ci95_half = TCritical95(n - 1.0) * summary.stderr_;
+  }
+  return summary;
+}
+
+double DistributionSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (count_ == 1) return min_;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double lower_edge =
+        i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+    const double upper_edge =
+        i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+    if (static_cast<double>(cumulative + buckets_[i]) >= rank) {
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[i]);
+      return lower_edge + (upper_edge - lower_edge) * into;
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+std::string DistributionSketch::Serialize() const {
+  std::string out = "UAESKETCH1 buckets=" + std::to_string(buckets_.size());
+  out += "\nbounds";
+  for (const double bound : bounds_) {
+    out += ' ';
+    out += HexDouble(bound);
+  }
+  out += "\nn=" + std::to_string(count_);
+  out += " sum=" + HexDouble(sum_);
+  out += " sumsq=" + HexDouble(sum_sq_);
+  out += " min=" + HexDouble(min_);
+  out += " max=" + HexDouble(max_);
+  out += "\ncounts";
+  for (const int64_t bucket : buckets_) {
+    out += ' ';
+    out += std::to_string(bucket);
+  }
+  out += '\n';
+  return out;
+}
+
+double Psi(const DistributionSketch& reference,
+           const DistributionSketch& current) {
+  UAE_CHECK_MSG(reference.bounds() == current.bounds(),
+                "cannot compare sketches with different bounds");
+  if (reference.count() == 0 || current.count() == 0) return 0.0;
+  const std::vector<int64_t>& ref = reference.buckets();
+  const std::vector<int64_t>& cur = current.buckets();
+  // 0.5 Laplace smoothing: an empty bucket contributes a finite,
+  // sample-size-aware penalty instead of an infinity.
+  const double smoothing = 0.5;
+  const double ref_total =
+      static_cast<double>(reference.count()) +
+      smoothing * static_cast<double>(ref.size());
+  const double cur_total =
+      static_cast<double>(current.count()) +
+      smoothing * static_cast<double>(cur.size());
+  double psi = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double p = (static_cast<double>(ref[i]) + smoothing) / ref_total;
+    const double q = (static_cast<double>(cur[i]) + smoothing) / cur_total;
+    psi += (p - q) * std::log(p / q);
+  }
+  return psi;
+}
+
+SketchComparison CompareSketches(const DistributionSketch& reference,
+                                 const DistributionSketch& current,
+                                 double psi_threshold, double p_value,
+                                 int min_samples) {
+  SketchComparison cmp;
+  cmp.ref_n = reference.count();
+  cmp.cur_n = current.count();
+  // The min_samples guard is also the n >= 2 precondition of the Welch
+  // test (HealthTracker convention: insufficient evidence never flags).
+  const int needed = std::max(2, min_samples);
+  if (reference.count() < needed || current.count() < needed) return cmp;
+  cmp.evaluated = true;
+  cmp.psi = Psi(reference, current);
+  cmp.ref_mean = reference.Mean();
+  cmp.cur_mean = current.Mean();
+  cmp.mean_delta = std::fabs(cmp.cur_mean - cmp.ref_mean);
+  cmp.p_value =
+      WelchTTestFromSummary(current.Summary(), reference.Summary()).p_value;
+  cmp.flagged = cmp.psi >= psi_threshold && cmp.p_value <= p_value;
+  return cmp;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  UAE_CHECK(q > 0.0 && q < 1.0);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::Add(double value) {
+  if (n_ < 5) {
+    heights_[n_] = value;
+    ++n_;
+    if (n_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  // Locate the cell and clamp the extremes.
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+
+  // Adjust the three interior markers toward their desired positions
+  // with the parabolic (P²) formula, falling back to linear when the
+  // parabola would leave the bracket.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double np = positions_[i + 1];
+      const double pp = positions_[i - 1];
+      const double cp = positions_[i];
+      const double parabolic =
+          heights_[i] +
+          s / (np - pp) *
+              ((cp - pp + s) * (heights_[i + 1] - heights_[i]) / (np - cp) +
+               (np - cp - s) * (heights_[i] - heights_[i - 1]) / (cp - pp));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact order statistic over the (unsorted below five) buffer.
+    double sorted[5];
+    std::copy(heights_, heights_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const int64_t rank = std::min(
+        n_ - 1,
+        std::max<int64_t>(
+            0, static_cast<int64_t>(
+                   std::ceil(q_ * static_cast<double>(n_))) -
+                   1));
+    return sorted[rank];
+  }
+  return heights_[2];
+}
+
+}  // namespace uae

@@ -1,0 +1,155 @@
+#ifndef UAE_COMMON_SKETCH_H_
+#define UAE_COMMON_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace uae {
+
+// Streaming distribution sketches (DESIGN.md §14 "Model-quality
+// monitoring & drift").
+//
+// Two estimators with different contracts:
+//
+//   DistributionSketch — a fixed-bucket CDF plus exact moment sidecars
+//     (count/sum/sum-of-squares/min/max). Bucket counts are integers,
+//     so Add order never changes the buckets, and Merge folds the
+//     moments with one addition per field — merging per-shard sketches
+//     strictly in shard-index order (parallel::ParallelReduce) is
+//     therefore bit-identical at any UAE_NUM_THREADS. This is the
+//     sketch the drift monitor windows, compares (PSI + Welch), and
+//     byte-compares in goldens via Serialize().
+//
+//   P2Quantile — the classic P² streaming quantile estimator (Jain &
+//     Chlamtac 1985): five markers, O(1) state, no buckets to choose.
+//     Sharper than a bucket walk for one quantile of an unknown range,
+//     but order-sensitive and not mergeable — the companion for
+//     single-stream tracking, never for cross-thread aggregation.
+
+/// `buckets - 1` equispaced inner bounds over [lo, hi]; with the
+/// implicit overflow bucket a sketch built on them has `buckets`
+/// buckets spanning the interval. Bounds for scores / CTR / alpha-hat /
+/// skip-rate signals, which all live in [0, 1], come from
+/// UnitIntervalBounds().
+std::vector<double> UniformBounds(double lo, double hi, int buckets);
+std::vector<double> UnitIntervalBounds(int buckets = 32);
+
+/// Mergeable fixed-bucket CDF sketch with exact moments.
+class DistributionSketch {
+ public:
+  /// `bounds` must be strictly increasing; bucket i counts values
+  /// <= bounds[i], one implicit overflow bucket follows (identical
+  /// convention to telemetry::Histogram).
+  explicit DistributionSketch(std::vector<double> bounds);
+  /// Default: 32 buckets over the unit interval.
+  DistributionSketch() : DistributionSketch(UnitIntervalBounds()) {}
+
+  void Add(double value);
+
+  /// Folds `other` in. Both sketches must share identical bounds.
+  void Merge(const DistributionSketch& other);
+
+  /// Drops every sample; bounds are kept.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // Meaningless until count > 0.
+  double max() const { return max_; }
+  double Mean() const;
+
+  /// n / mean / stddev (and stderr / CI) from the moment sidecars —
+  /// the summary WelchTTestFromSummary consumes, so two windows are
+  /// significance-tested without materializing their samples.
+  SampleSummary Summary() const;
+
+  /// Estimated q-quantile (q in [0, 1]), linearly interpolated inside
+  /// the bucket the rank lands in; always within [min, max]. 0 when
+  /// empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+
+  /// Deterministic byte representation (hex-float moments, decimal
+  /// counts): two sketches that saw the same multiset of samples via
+  /// any Add/Merge order serialize identically except for the
+  /// order-sensitive double moments, and per-shard accumulation merged
+  /// in shard order reproduces it bit-for-bit at any thread count —
+  /// the property the determinism goldens byte-compare.
+  std::string Serialize() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> buckets_;  // bounds_.size() + 1.
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Population Stability Index between two sketches over their shared
+/// buckets: sum over buckets of (p_ref - p_cur) * ln(p_ref / p_cur),
+/// with 0.5 Laplace smoothing per bucket so an empty bucket on one side
+/// never produces an infinity. 0 when either sketch is empty. The
+/// usual reading: < 0.1 stable, 0.1–0.2 moderate shift, >= 0.2 drifted.
+double Psi(const DistributionSketch& reference,
+           const DistributionSketch& current);
+
+/// One magnitude-AND-significance comparison of two sketch windows —
+/// the drift decision rule, shared by serve::DriftMonitor and the
+/// sim A/B drift golden.
+struct SketchComparison {
+  /// False = insufficient evidence (either side below min_samples);
+  /// every other field is then meaningless and flagged stays false.
+  bool evaluated = false;
+  /// PSI >= psi_threshold (magnitude) AND Welch p <= p_value
+  /// (significance).
+  bool flagged = false;
+  double psi = 0.0;
+  double p_value = 1.0;
+  double ref_mean = 0.0;
+  double cur_mean = 0.0;
+  double mean_delta = 0.0;  // |cur_mean - ref_mean|.
+  int64_t ref_n = 0;
+  int64_t cur_n = 0;
+};
+
+SketchComparison CompareSketches(const DistributionSketch& reference,
+                                 const DistributionSketch& current,
+                                 double psi_threshold, double p_value,
+                                 int min_samples);
+
+/// P² single-quantile streaming estimator. Exact below five samples,
+/// O(1) marker updates after. Order-sensitive; not mergeable.
+class P2Quantile {
+ public:
+  /// q in (0, 1).
+  explicit P2Quantile(double q);
+
+  void Add(double value);
+
+  /// Current estimate: exact order statistic below five samples, the
+  /// middle P² marker after. 0 when empty.
+  double Value() const;
+
+  int64_t count() const { return n_; }
+  double quantile() const { return q_; }
+
+ private:
+  double q_;
+  int64_t n_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5];
+  double increments_[5];
+};
+
+}  // namespace uae
+
+#endif  // UAE_COMMON_SKETCH_H_

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <map>
 #include <mutex>
 
 #include "common/logging.h"
@@ -316,6 +317,40 @@ Status WritePrometheusFile(const std::string& path) {
   return {};
 }
 
+namespace {
+
+std::mutex& FlushHookMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<int, std::function<void()>>& FlushHooks() {
+  static std::map<int, std::function<void()>> hooks;
+  return hooks;
+}
+
+}  // namespace
+
+int AddExportFlushHook(std::function<void()> hook) {
+  static int next_handle = 0;
+  std::lock_guard<std::mutex> lock(FlushHookMutex());
+  const int handle = next_handle++;
+  FlushHooks()[handle] = std::move(hook);
+  return handle;
+}
+
+void RemoveExportFlushHook(int handle) {
+  std::lock_guard<std::mutex> lock(FlushHookMutex());
+  FlushHooks().erase(handle);
+}
+
+void RunExportFlushHooks() {
+  std::lock_guard<std::mutex> lock(FlushHookMutex());
+  for (const auto& [handle, hook] : FlushHooks()) {
+    hook();
+  }
+}
+
 MetricsExporter::~MetricsExporter() { Stop(); }
 
 Status MetricsExporter::Start(const std::string& path, int interval_ms) {
@@ -355,6 +390,9 @@ void MetricsExporter::Stop() {
   }
   cv_.notify_all();
   if (joinable.joinable()) joinable.join();
+  // Flush buffered subsystems (drift windows, advisory streams) before
+  // the final render so the end-state export reflects them.
+  RunExportFlushHooks();
   // One last export so the file reflects the run's end state.
   const Status status = WritePrometheusFile(final_path);
   if (!status.ok()) {

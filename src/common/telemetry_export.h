@@ -2,6 +2,7 @@
 #define UAE_COMMON_TELEMETRY_EXPORT_H_
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -70,6 +71,30 @@ StatusOr<std::vector<PromSample>> ParsePrometheusText(
 /// the same directory, fsync-free rename over the target. Creates
 /// missing parent directories.
 Status WritePrometheusFile(const std::string& path);
+
+// ---------------------------------------------------------------------
+// Export flush hooks. A subsystem that buffers derived state (e.g. the
+// serve drift monitor's partial evaluation windows and its retrain-
+// advisory JSONL stream) registers a hook; MetricsExporter::Stop() runs
+// every hook once before its final export, so the last render — the one
+// a short replay run reads after shutdown — reflects fully-flushed
+// state and no trailing verdict is lost.
+//
+// Hooks run (and are removed) under one process-wide mutex:
+// RemoveExportFlushHook blocks until an in-progress run finishes, so a
+// hook owner's destructor can safely free state the hook touches after
+// removal returns. Consequence: a hook must not add or remove hooks.
+
+/// Registers `hook`; returns a handle for RemoveExportFlushHook.
+int AddExportFlushHook(std::function<void()> hook);
+
+/// Unregisters a handle. Unknown handles are ignored.
+void RemoveExportFlushHook(int handle);
+
+/// Runs every registered hook once, in registration order. Called by
+/// MetricsExporter::Stop(); safe to call directly (e.g. before reading
+/// the registry at the end of a run with no exporter).
+void RunExportFlushHooks();
 
 /// Background exporter: rewrites `path` every interval until stopped.
 /// Stop() (and the destructor) write one final export so the file

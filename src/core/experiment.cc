@@ -135,8 +135,7 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
     if (serve_requests > 0) {
       const telemetry::HistogramSnapshot request_snapshot =
           telemetry::GetHistogram("uae.serve.request_s")->Snapshot();
-      manifest.SetRaw(
-          "serving",
+      telemetry::JsonObject serving =
           telemetry::JsonObject()
               .Set("snapshot_version",
                    static_cast<int64_t>(
@@ -186,8 +185,38 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
                    telemetry::GetGauge("uae.serve.slo.budget_consumed")
                        ->Get())
               .Set("exemplars",
-                   telemetry::GetCounter("uae.serve.exemplars")->Get())
-              .Str());
+                   telemetry::GetCounter("uae.serve.exemplars")->Get());
+      // Model-quality drift (DESIGN.md §14), present when a DriftMonitor
+      // completed at least one window this process: the final verdict
+      // plus the last per-slice/per-signal PSI gauges, so a manifest
+      // diff shows *where* the distributions moved, not just that they
+      // did.
+      const int64_t drift_windows =
+          telemetry::GetCounter("uae.serve.drift.windows")->Get();
+      if (drift_windows > 0) {
+        telemetry::JsonObject drift;
+        drift.Set("windows", drift_windows)
+            .Set("samples",
+                 telemetry::GetCounter("uae.serve.drift.samples")->Get())
+            .Set("flags",
+                 telemetry::GetCounter("uae.serve.drift.flags")->Get())
+            .Set("advisories",
+                 telemetry::GetCounter("uae.serve.drift.advisories")->Get())
+            .Set("flagged",
+                 telemetry::GetGauge("uae.serve.drift.flagged")->Get() > 0.5)
+            .Set("score",
+                 telemetry::GetGauge("uae.serve.drift.score")->Get());
+        telemetry::JsonObject psi;
+        const std::string psi_prefix = "uae.serve.drift.psi.";
+        for (const auto& [name, value] : telemetry::SnapshotRegistry().gauges) {
+          if (name.rfind(psi_prefix, 0) == 0) {
+            psi.Set(name.substr(psi_prefix.size()), value);
+          }
+        }
+        drift.SetRaw("psi", psi.Str());
+        serving.SetRaw("drift", drift.Str());
+      }
+      manifest.SetRaw("serving", serving.Str());
     }
     telemetry::WriteRunManifest(manifest);
   }

@@ -1,0 +1,287 @@
+#include "serve/drift.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/telemetry_export.h"
+#include "common/trace.h"
+
+namespace uae::serve {
+namespace {
+
+// splitmix64 — same deterministic mixer the rollout controller uses for
+// user bucketing, so cohort membership is stable across runs and
+// machines.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* DriftSignalName(DriftSignal signal) {
+  switch (signal) {
+    case DriftSignal::kScore:
+      return "score";
+    case DriftSignal::kAlpha:
+      return "alpha";
+    case DriftSignal::kCtr:
+      return "ctr";
+    case DriftSignal::kSkip:
+      return "skip";
+  }
+  return "unknown";
+}
+
+DriftMonitor::DriftMonitor(const DriftConfig& config)
+    : config_(config),
+      samples_metric_(telemetry::GetCounter("uae.serve.drift.samples")),
+      windows_metric_(telemetry::GetCounter("uae.serve.drift.windows")),
+      flags_metric_(telemetry::GetCounter("uae.serve.drift.flags")),
+      advisories_metric_(telemetry::GetCounter("uae.serve.drift.advisories")),
+      advisories_dropped_metric_(
+          telemetry::GetCounter("uae.serve.drift.advisories.dropped")),
+      flagged_gauge_(telemetry::GetGauge("uae.serve.drift.flagged")),
+      score_gauge_(telemetry::GetGauge("uae.serve.drift.score")) {
+  UAE_CHECK(config_.window >= 1);
+  UAE_CHECK(config_.min_samples >= 1);
+  UAE_CHECK(config_.num_cohorts >= 1);
+  UAE_CHECK(config_.advisory_max_records > 0);
+
+  slices_.resize(static_cast<size_t>(config_.num_cohorts) + 1);
+  slices_[0].name = "all";
+  for (int c = 0; c < config_.num_cohorts; ++c) {
+    slices_[static_cast<size_t>(c) + 1].name = "cohort" + std::to_string(c);
+  }
+  for (Slice& slice : slices_) {
+    for (int s = 0; s < kNumDriftSignals; ++s) {
+      const char* signal = DriftSignalName(static_cast<DriftSignal>(s));
+      slice.psi_gauges[s] = telemetry::GetGauge(
+          "uae.serve.drift.psi." + std::string(signal) + "." + slice.name);
+      slice.p_gauges[s] = telemetry::GetGauge(
+          "uae.serve.drift.p." + std::string(signal) + "." + slice.name);
+      slice.latest[s].slice = slice.name;
+      slice.latest[s].signal = static_cast<DriftSignal>(s);
+    }
+  }
+
+  if (!config_.advisory_path.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(config_.advisory_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    advisory_ = std::fopen(config_.advisory_path.c_str(), "w");
+    if (advisory_ == nullptr) {
+      UAE_LOG(Warning) << "drift monitor: cannot open advisory stream at "
+                       << config_.advisory_path;
+    }
+  }
+
+  // The exporter's final flush on Stop() judges partial windows, so a
+  // short run's last verdict reaches the export file and the advisory
+  // stream before the process reads either.
+  flush_hook_ = telemetry::AddExportFlushHook([this] { Flush(); });
+}
+
+DriftMonitor::~DriftMonitor() {
+  // Blocks until any in-progress hook run finishes, so Flush can never
+  // race the destructor.
+  telemetry::RemoveExportFlushHook(flush_hook_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (advisory_ != nullptr) std::fclose(advisory_);
+  advisory_ = nullptr;
+}
+
+int DriftMonitor::CohortOf(int user) const {
+  const uint64_t mixed =
+      Mix64(static_cast<uint64_t>(static_cast<int64_t>(user)) ^
+            Mix64(config_.cohort_salt ^ 0xC0C0C0C0ull));
+  return static_cast<int>(mixed % static_cast<uint64_t>(config_.num_cohorts));
+}
+
+void DriftMonitor::Record(const DriftSample& sample) {
+  if (!sample.valid) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(sample);
+}
+
+void DriftMonitor::RecordBatch(const std::vector<DriftSample>& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const DriftSample& sample : samples) {
+    if (!sample.valid) continue;
+    RecordLocked(sample);
+  }
+}
+
+void DriftMonitor::RecordLocked(const DriftSample& sample) {
+  ++samples_;
+  samples_metric_->Add();
+  AddToSliceLocked(&slices_[0], sample);
+  AddToSliceLocked(
+      &slices_[static_cast<size_t>(CohortOf(sample.user)) + 1], sample);
+}
+
+void DriftMonitor::AddToSliceLocked(Slice* slice, const DriftSample& sample) {
+  if (sample.scored) {
+    slice->signals[static_cast<int>(DriftSignal::kScore)].current.Add(
+        sample.score);
+    slice->signals[static_cast<int>(DriftSignal::kAlpha)].current.Add(
+        sample.alpha);
+    slice->signals[static_cast<int>(DriftSignal::kCtr)].current.Add(
+        sample.ctr);
+  }
+  slice->signals[static_cast<int>(DriftSignal::kSkip)].current.Add(
+      sample.skip);
+  slice->cur_version = sample.snapshot_version;
+  ++slice->current_samples;
+  if (slice->current_samples >= config_.window) {
+    EvaluateSliceLocked(slice, /*rotate=*/true);
+    RefreshOverallLocked();
+  }
+}
+
+void DriftMonitor::EvaluateSliceLocked(Slice* slice, bool rotate) {
+  // The first window has no reference yet: rotate it into place
+  // silently — nothing to compare against.
+  const bool has_reference = slice->reference_samples > 0;
+  if (has_reference) {
+    ++slice->windows;
+    windows_metric_->Add();
+    for (int s = 0; s < kNumDriftSignals; ++s) {
+      const SignalWindows& windows = slice->signals[s];
+      DriftVerdict verdict;
+      verdict.slice = slice->name;
+      verdict.signal = static_cast<DriftSignal>(s);
+      verdict.comparison = CompareSketches(
+          windows.reference, windows.current, config_.psi_threshold,
+          config_.p_value, config_.min_samples);
+      verdict.ref_version = slice->ref_version;
+      verdict.cur_version = slice->cur_version;
+      verdict.window_index = slice->windows;
+      if (verdict.comparison.evaluated) {
+        slice->psi_gauges[s]->Set(verdict.comparison.psi);
+        slice->p_gauges[s]->Set(verdict.comparison.p_value);
+      }
+      if (verdict.comparison.flagged) {
+        ++flags_;
+        if (verdict.signal != DriftSignal::kSkip) ++flags_model_;
+        flags_metric_->Add();
+        WriteAdvisoryLocked(*slice, verdict);
+      }
+      slice->latest[s] = verdict;
+    }
+  }
+  if (rotate) {
+    for (int s = 0; s < kNumDriftSignals; ++s) {
+      SignalWindows& windows = slice->signals[s];
+      windows.reference = windows.current;
+      windows.current.Reset();
+    }
+    slice->reference_samples = slice->current_samples;
+    slice->current_samples = 0;
+    slice->last_flush_samples = -1;
+    slice->ref_version = slice->cur_version;
+    if (!has_reference) ++slice->windows;  // Count the seeding rotation.
+  }
+}
+
+void DriftMonitor::RefreshOverallLocked() {
+  bool drifting = false;
+  double score = 0.0;
+  for (const Slice& slice : slices_) {
+    for (const DriftVerdict& verdict : slice.latest) {
+      if (!verdict.comparison.flagged) continue;
+      drifting = true;
+      score = std::max(score, verdict.comparison.psi);
+    }
+  }
+  const bool was_drifting = drifting_.load(std::memory_order_relaxed);
+  drifting_.store(drifting, std::memory_order_relaxed);
+  advisory_score_.store(score, std::memory_order_relaxed);
+  flagged_gauge_->Set(drifting ? 1.0 : 0.0);
+  score_gauge_->Set(score);
+  if (drifting != was_drifting) {
+    trace::Instant("uae.serve.drift.transition", "drifting",
+                   drifting ? 1 : 0);
+  }
+}
+
+void DriftMonitor::WriteAdvisoryLocked(const Slice& slice,
+                                       const DriftVerdict& verdict) {
+  advisories_metric_->Add();
+  if (advisory_ == nullptr) return;
+  if (advisories_written_ >= config_.advisory_max_records) {
+    ++advisories_dropped_;
+    advisories_dropped_metric_->Add();
+    return;
+  }
+  // One retrain-advisory record per flagged verdict: everything the
+  // continuous-learning loop needs to decide whether (and on which
+  // cohort's data) to retrain, with the thresholds that fired so a
+  // consumer can re-derive the decision.
+  const std::string line =
+      telemetry::JsonObject()
+          .Set("kind", "retrain_advisory")
+          .Set("slice", verdict.slice)
+          .Set("signal", DriftSignalName(verdict.signal))
+          .Set("psi", verdict.comparison.psi)
+          .Set("p_value", verdict.comparison.p_value)
+          .Set("ref_mean", verdict.comparison.ref_mean)
+          .Set("cur_mean", verdict.comparison.cur_mean)
+          .Set("mean_delta", verdict.comparison.mean_delta)
+          .Set("ref_n", verdict.comparison.ref_n)
+          .Set("cur_n", verdict.comparison.cur_n)
+          .Set("ref_version", static_cast<int64_t>(verdict.ref_version))
+          .Set("cur_version", static_cast<int64_t>(verdict.cur_version))
+          .Set("window", verdict.window_index)
+          .Set("psi_threshold", config_.psi_threshold)
+          .Set("p_value_threshold", config_.p_value)
+          .Str() +
+      "\n";
+  std::fwrite(line.data(), 1, line.size(), advisory_);
+  std::fflush(advisory_);
+  ++advisories_written_;
+  (void)slice;
+}
+
+void DriftMonitor::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slice& slice : slices_) {
+    // Judge the partial current window without rotating: a short run
+    // that never filled a full window still reports a final verdict
+    // (or "insufficient evidence") against its reference.
+    if (slice.current_samples == 0) continue;
+    if (slice.current_samples == slice.last_flush_samples) continue;
+    EvaluateSliceLocked(&slice, /*rotate=*/false);
+    slice.last_flush_samples = slice.current_samples;
+  }
+  RefreshOverallLocked();
+}
+
+DriftStatus DriftMonitor::GetStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DriftStatus status;
+  status.samples = samples_;
+  status.flags = flags_;
+  status.flags_model = flags_model_;
+  status.advisories = advisories_written_;
+  status.advisories_dropped = advisories_dropped_;
+  status.drifting = drifting_.load(std::memory_order_relaxed);
+  status.score = advisory_score_.load(std::memory_order_relaxed);
+  for (const Slice& slice : slices_) {
+    status.windows += slice.windows;
+    for (const DriftVerdict& verdict : slice.latest) {
+      if (!verdict.comparison.evaluated) continue;
+      status.latest.push_back(verdict);
+    }
+  }
+  return status;
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,214 @@
+#ifndef UAE_SERVE_DRIFT_H_
+#define UAE_SERVE_DRIFT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sketch.h"
+#include "common/telemetry.h"
+
+namespace uae::serve {
+
+// Model-quality drift detection (DESIGN.md §14).
+//
+// Where the health tracker judges a *candidate against an incumbent*
+// during a rollout, the drift monitor watches the *service against its
+// own past*: rolling reference/current windows of what the model is
+// answering — score, alpha-hat, predicted CTR, and the shed/degraded-
+// adjusted skip rate — sliced by user cohort. When a current window's
+// distribution moves away from the reference by magnitude (PSI) AND
+// significance (Welch), the monitor flags drift, publishes it through
+// every observability surface (uae.serve.drift.* metrics, a trace
+// instant on the state transition, a machine-readable retrain-advisory
+// JSONL record), and exposes an advisory score the rollout health gate
+// can treat as a rollback criterion (HealthThresholds::max_drift_score).
+
+/// The four monitored signals. One sample of each per finished request
+/// (shed/degraded requests contribute only kSkip — their scores come
+/// from the fallback prior, or nowhere, and would poison the model
+/// distributions).
+enum class DriftSignal { kScore = 0, kAlpha = 1, kCtr = 2, kSkip = 3 };
+inline constexpr int kNumDriftSignals = 4;
+
+const char* DriftSignalName(DriftSignal signal);
+
+struct DriftConfig {
+  bool enabled = false;
+  /// Samples a slice accumulates before its current window is judged
+  /// against the reference and rotated into its place.
+  int window = 256;
+  /// Evidence floor per side (HealthTracker convention): below this a
+  /// comparison reports "insufficient evidence" and never flags.
+  int min_samples = 32;
+  /// Magnitude criterion: PSI at or above this flags (with
+  /// significance). 0.2 is the conventional "population has drifted"
+  /// line.
+  double psi_threshold = 0.2;
+  /// Significance criterion: Welch two-sided p at or below this.
+  double p_value = 0.01;
+  /// User popularity-cohort slices next to the "all" slice, so a drift
+  /// that hits one listener group (popularity-bias degradation) is not
+  /// averaged away. Cohort membership is a deterministic user hash.
+  int num_cohorts = 3;
+  uint64_t cohort_salt = 0;
+  /// Retrain-advisory JSONL path ("" disables the stream; verdicts
+  /// still publish through metrics and trace instants).
+  std::string advisory_path;
+  /// Advisory records written before further ones count as dropped
+  /// (bounded by construction, like the exemplar slowlog).
+  int advisory_max_records = 256;
+};
+
+/// What one request contributes. Batch workers fill these into
+/// per-batch slots; the engine merges them in batch-index order, so a
+/// serial request tape yields bit-identical monitor state at any
+/// UAE_NUM_THREADS.
+struct DriftSample {
+  bool valid = false;  // False slots are skipped (e.g. error outcomes).
+  int user = 0;
+  uint64_t snapshot_version = 0;
+  /// True for full-path OK responses: score/alpha/ctr below are live.
+  bool scored = false;
+  double score = 0.0;  // Mean Eq. 19 reweighted score of the response.
+  double alpha = 0.0;  // Mean alpha-hat (Eq. 18) of the response.
+  double ctr = 0.0;    // Mean predicted CTR of the response.
+  /// Shed/degraded-adjusted skip propensity: 1 - mean alpha for OK
+  /// responses, pinned to 1.0 for shed/degraded requests (a request the
+  /// model failed to serve properly is as bad as a predicted skip).
+  double skip = 0.0;
+};
+
+/// One (slice, signal) judgement.
+struct DriftVerdict {
+  std::string slice;
+  DriftSignal signal = DriftSignal::kScore;
+  SketchComparison comparison;
+  uint64_t ref_version = 0;  // Last snapshot version in each window.
+  uint64_t cur_version = 0;
+  int64_t window_index = 0;  // Rotations this slice has completed.
+};
+
+/// Point-in-time copy of the monitor.
+struct DriftStatus {
+  int64_t samples = 0;
+  int64_t windows = 0;      // Window rotations across all slices.
+  int64_t flags = 0;        // Flagged verdicts, cumulative.
+  int64_t flags_model = 0;  // Flags on score/alpha/ctr (excludes skip).
+  int64_t advisories = 0;   // Advisory records written.
+  int64_t advisories_dropped = 0;
+  bool drifting = false;    // Latest evaluation round had >= 1 flag.
+  /// Max PSI among currently-flagged verdicts (0 while quiet) — the
+  /// value fed to HealthTracker::SetAdvisoryDrift.
+  double score = 0.0;
+  /// Latest verdict per (slice, signal) that has been evaluated.
+  std::vector<DriftVerdict> latest;
+};
+
+/// Windowed, sliced drift detector. Thread-safe; recording takes one
+/// mutex (a sketch Add is a bucket increment plus three adds — far
+/// cheaper than the scoring work it trails, same posture as
+/// HealthTracker). Off the hot path entirely when disabled.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftConfig& config);
+  ~DriftMonitor();
+
+  DriftMonitor(const DriftMonitor&) = delete;
+  DriftMonitor& operator=(const DriftMonitor&) = delete;
+
+  void Record(const DriftSample& sample);
+
+  /// Records a batch in slot order — the engine's merge point that
+  /// keeps monitor state independent of worker scheduling.
+  void RecordBatch(const std::vector<DriftSample>& samples);
+
+  /// Judges every slice's partial current window against its reference
+  /// without rotating, so short runs surface a final verdict. Invoked
+  /// by the MetricsExporter final-flush hook on Stop(); safe to call
+  /// directly.
+  void Flush();
+
+  DriftStatus GetStatus() const;
+
+  /// Lock-free read of the current advisory drift score (max flagged
+  /// PSI, 0 while quiet). The rollout controller feeds this to
+  /// HealthTracker::SetAdvisoryDrift before judging.
+  double AdvisoryScore() const {
+    return advisory_score_.load(std::memory_order_relaxed);
+  }
+
+  bool drifting() const {
+    return drifting_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministic popularity-cohort of `user` in
+  /// [0, config.num_cohorts).
+  int CohortOf(int user) const;
+
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  /// Per-signal reference/current window pair.
+  struct SignalWindows {
+    DistributionSketch reference;
+    DistributionSketch current;
+  };
+  struct Slice {
+    std::string name;
+    SignalWindows signals[kNumDriftSignals];
+    int64_t current_samples = 0;  // Requests folded into `current`.
+    int64_t reference_samples = 0;
+    uint64_t ref_version = 0;
+    uint64_t cur_version = 0;
+    int64_t windows = 0;  // Rotations completed.
+    /// current_samples at the last Flush evaluation, so a second Flush
+    /// with no new traffic (explicit + exporter-Stop hook) is a no-op
+    /// instead of double-counting windows/flags/advisories.
+    int64_t last_flush_samples = -1;
+    /// Latest evaluated verdict per signal (evaluated == false until
+    /// the first judgement with sufficient evidence).
+    DriftVerdict latest[kNumDriftSignals];
+    telemetry::Gauge* psi_gauges[kNumDriftSignals];
+    telemetry::Gauge* p_gauges[kNumDriftSignals];
+  };
+
+  void RecordLocked(const DriftSample& sample);
+  void AddToSliceLocked(Slice* slice, const DriftSample& sample);
+  /// Judges `slice` now; rotates afterwards when `rotate`.
+  void EvaluateSliceLocked(Slice* slice, bool rotate);
+  /// Recomputes the drifting flag / advisory score from the latest
+  /// verdicts and publishes transitions.
+  void RefreshOverallLocked();
+  void WriteAdvisoryLocked(const Slice& slice, const DriftVerdict& verdict);
+
+  DriftConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Slice> slices_;  // [0] = "all", then cohorts.
+  int64_t samples_ = 0;
+  int64_t flags_ = 0;        // Cumulative flagged verdicts.
+  int64_t flags_model_ = 0;  // Cumulative flags excluding kSkip.
+
+  std::FILE* advisory_ = nullptr;  // Guarded by mu_.
+  int64_t advisories_written_ = 0;
+  int64_t advisories_dropped_ = 0;
+  int flush_hook_ = -1;
+
+  std::atomic<double> advisory_score_{0.0};
+  std::atomic<bool> drifting_{false};
+
+  telemetry::Counter* samples_metric_;
+  telemetry::Counter* windows_metric_;
+  telemetry::Counter* flags_metric_;
+  telemetry::Counter* advisories_metric_;
+  telemetry::Counter* advisories_dropped_metric_;
+  telemetry::Gauge* flagged_gauge_;
+  telemetry::Gauge* score_gauge_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_DRIFT_H_

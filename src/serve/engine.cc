@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 #include <numeric>
+#include <string_view>
 
 #include "attention/reweight.h"
 #include "common/check.h"
@@ -243,6 +244,9 @@ Engine::Engine(std::shared_ptr<const ModelSnapshot> snapshot,
     UAE_CHECK(config_.breaker.open_budget > 0);
   }
   if (config_.slo.enabled) slo_ = std::make_unique<SloTracker>(config_.slo);
+  if (config_.drift.enabled) {
+    drift_ = std::make_unique<DriftMonitor>(config_.drift);
+  }
   breaker_state_gauge_->Set(0.0);
   snapshot_version_->Set(static_cast<double>(snapshot_->version()));
   in_flight_gauge_->Set(0.0);
@@ -279,6 +283,20 @@ void Engine::RecordFrontDoor(const ScoreRequest& request,
   record.shed_reason = shed_reason;
   record.degraded = degraded;
   RecordTerminal(record);
+  // Overload refusals feed the drift skip signal (a user the model
+  // failed to serve is as lost as a predicted skip); shutdown drains
+  // and malformed requests say nothing about model quality.
+  if (drift_ != nullptr && shed_reason != nullptr &&
+      std::string_view(shed_reason) != "draining" &&
+      std::string_view(shed_reason) != "invalid") {
+    DriftSample sample;
+    sample.valid = true;
+    sample.user = request.user;
+    sample.snapshot_version = snapshot_version;
+    sample.scored = false;
+    sample.skip = 1.0;
+    drift_->Record(sample);
+  }
 }
 
 void Engine::Stop() {
@@ -368,6 +386,15 @@ StatusOr<ScoreResponse> Engine::Score(ScoreRequest request) {
         record.shed_reason = "breaker_open";
         record.degraded = true;
         RecordTerminal(record);
+        if (drift_ != nullptr) {
+          DriftSample sample;
+          sample.valid = true;
+          sample.user = record.user;
+          sample.snapshot_version = snap->version();
+          sample.scored = false;  // Prior fallback, not the model.
+          sample.skip = 1.0;
+          drift_->Record(sample);
+        }
         return resp;
       }
       case Admission::kShed:
@@ -540,6 +567,11 @@ void Engine::ProcessBatch(
   const auto dispatch_time = std::chrono::steady_clock::now();
   const double dispatch_stamp = recorder_.Now();
   const int batch_size = static_cast<int>(batch.size());
+  // Drift samples are filled per-slot by whichever worker scores the
+  // request, then merged in batch-index order after the fan-out — so
+  // the monitor sees the same sample sequence at any UAE_NUM_THREADS.
+  std::vector<DriftSample> drift_samples(
+      drift_ != nullptr ? batch.size() : 0);
   // Requests are independent (the cache locks internally), so they fan
   // out across the pool; the nn kernels inside degrade to serial inline
   // in nested context, keeping thread usage bounded.
@@ -564,6 +596,14 @@ void Engine::ProcessBatch(
           record.batch_size = batch_size;
           record.queue_depth = pending.queue_depth_at_admit;
           if (dispatch_time > pending.request.deadline) {
+            if (drift_ != nullptr) {
+              DriftSample& sample = drift_samples[static_cast<size_t>(i)];
+              sample.valid = true;
+              sample.user = pending.request.user;
+              sample.snapshot_version = snap.version();
+              sample.scored = false;
+              sample.skip = 1.0;
+            }
             if (config_.degrade_on_deadline) {
               degraded_->Add();
               ScoreResponse resp =
@@ -592,6 +632,27 @@ void Engine::ProcessBatch(
           UAE_FAULT_DELAY("serve.score.delay");
           ScoreResponse resp = ScoreOne(snap, config_, &cache_, cache_hits_,
                                         cache_misses_, pending.request);
+          if (drift_ != nullptr && !resp.scores.empty()) {
+            // Per-request means: one drift sample per request keeps the
+            // windows request-weighted (a 100-candidate request should
+            // not out-vote a 10-candidate one by 10x).
+            double sum_score = 0.0, sum_alpha = 0.0, sum_ctr = 0.0;
+            for (const CandidateScore& cs : resp.scores) {
+              sum_score += cs.reweighted;
+              sum_alpha += static_cast<double>(cs.alpha);
+              sum_ctr += cs.ctr;
+            }
+            const double n = static_cast<double>(resp.scores.size());
+            DriftSample& sample = drift_samples[static_cast<size_t>(i)];
+            sample.valid = true;
+            sample.user = pending.request.user;
+            sample.snapshot_version = snap.version();
+            sample.scored = true;
+            sample.score = sum_score / n;
+            sample.alpha = sum_alpha / n;
+            sample.ctr = sum_ctr / n;
+            sample.skip = 1.0 - sample.alpha;
+          }
           // Record (and decrement in-flight) before fulfilling the
           // promise: a client holding its response can always find the
           // matching flight record, and an export taken after the client
@@ -609,6 +670,8 @@ void Engine::ProcessBatch(
                   .count());
         }
       });
+  // Merge point: one lock acquisition per batch, slots in index order.
+  if (drift_ != nullptr) drift_->RecordBatch(drift_samples);
 }
 
 }  // namespace uae::serve

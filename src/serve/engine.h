@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "data/event.h"
+#include "serve/drift.h"
 #include "serve/flight_recorder.h"
 #include "serve/model_snapshot.h"
 #include "serve/session_cache.h"
@@ -76,6 +77,8 @@ struct EngineConfig {
   FlightRecorderConfig recorder;
   /// SLO tracking (slo.enabled turns it on).
   SloConfig slo;
+  /// Model-quality drift monitoring (drift.enabled turns it on).
+  DriftConfig drift;
 };
 
 /// One scoring request: the session tail observed so far plus the
@@ -186,6 +189,9 @@ class Engine {
   /// SLO tracker; nullptr unless config.slo.enabled.
   const SloTracker* slo() const { return slo_.get(); }
 
+  /// Model-quality drift monitor; nullptr unless config.drift.enabled.
+  DriftMonitor* drift() const { return drift_.get(); }
+
   const EngineConfig& config() const { return config_; }
 
  private:
@@ -227,6 +233,7 @@ class Engine {
   SessionStateCache cache_;
   FlightRecorder recorder_;
   std::unique_ptr<SloTracker> slo_;  // Null unless config.slo.enabled.
+  std::unique_ptr<DriftMonitor> drift_;  // Null unless config.drift.enabled.
 
   std::mutex mu_;
   std::condition_variable cv_;

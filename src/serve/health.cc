@@ -114,6 +114,7 @@ HealthTracker::Verdict HealthTracker::Judge(
   Verdict verdict;
   verdict.error_rate = cand.error_rate;
   verdict.slo_burn = advisory_burn();
+  verdict.drift_score = advisory_drift();
   // Insufficient evidence is never a rollback: a canary that has served
   // three requests hasn't proven anything either way.
   if (cand.total < t.min_samples) return verdict;
@@ -127,6 +128,12 @@ HealthTracker::Verdict HealthTracker::Judge(
   if (t.max_slo_burn > 0.0 && verdict.slo_burn > t.max_slo_burn) {
     verdict.healthy = false;
     verdict.reason = "slo_burn";
+    return verdict;
+  }
+
+  if (t.max_drift_score > 0.0 && verdict.drift_score > t.max_drift_score) {
+    verdict.healthy = false;
+    verdict.reason = "drift";
     return verdict;
   }
 

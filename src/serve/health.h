@@ -52,6 +52,13 @@ struct HealthThresholds {
   /// advance while the error budget is burning, whoever's fault it is.
   /// 0 disables.
   double max_slo_burn = 0.0;
+  /// Ceiling on the model-quality drift score fed in via
+  /// SetAdvisoryDrift (DriftMonitor::AdvisoryScore — the max PSI among
+  /// currently-flagged verdicts, already magnitude- AND significance-
+  /// gated, so this criterion only trips on confirmed drift). Like
+  /// max_slo_burn it judges the service, not the candidate alone.
+  /// 0 disables.
+  double max_drift_score = 0.0;
 };
 
 /// Sliding-window health statistics per snapshot version.
@@ -98,7 +105,8 @@ class HealthTracker {
     double latency_ratio = 0.0;  // 0 when either side lacks samples.
     double score_drift = 0.0;
     double score_drift_p = 1.0;
-    double slo_burn = 0.0;  // Advisory burn at judgement time.
+    double slo_burn = 0.0;     // Advisory burn at judgement time.
+    double drift_score = 0.0;  // Advisory drift at judgement time.
   };
 
   explicit HealthTracker(const Config& config);
@@ -128,6 +136,16 @@ class HealthTracker {
     return advisory_burn_.load(std::memory_order_relaxed);
   }
 
+  /// Latest service-wide drift score (DriftMonitor::AdvisoryScore),
+  /// refreshed by the rollout controller before judging; Judge reads it
+  /// against max_drift_score. Same advisory contract as the SLO burn.
+  void SetAdvisoryDrift(double score) {
+    advisory_drift_.store(score, std::memory_order_relaxed);
+  }
+  double advisory_drift() const {
+    return advisory_drift_.load(std::memory_order_relaxed);
+  }
+
   /// Drops a version's window (after rollback or retirement).
   void Forget(uint64_t version);
 
@@ -148,6 +166,7 @@ class HealthTracker {
   mutable std::mutex mu_;
   std::map<uint64_t, Window> windows_;
   std::atomic<double> advisory_burn_{0.0};
+  std::atomic<double> advisory_drift_{0.0};
 };
 
 }  // namespace uae::serve

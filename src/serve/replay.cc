@@ -250,6 +250,18 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
           static_cast<double>(config.deadline_ms) / 2e3;
     }
   }
+  if (config.drift) {
+    engine_config.drift.enabled = true;
+    if (config.drift_window > 0) {
+      engine_config.drift.window = config.drift_window;
+    }
+    if (config.drift_min_samples > 0) {
+      engine_config.drift.min_samples = config.drift_min_samples;
+    }
+    if (!config.drift_advisory_path.empty()) {
+      engine_config.drift.advisory_path = config.drift_advisory_path;
+    }
+  }
 
   Engine engine(snapshot, engine_config);
   // The exporter outlives every phase (scoped below the engine, so its
@@ -304,6 +316,14 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
           ? static_cast<double>(hit_delta) /
                 static_cast<double>(hit_delta + miss_delta)
           : 0.0;
+
+  if (engine.drift() != nullptr) {
+    // Snapshot the model-signal flag count while the population is
+    // still the unbiased closed-loop one (no shed yet); no Flush here —
+    // only fully rotated windows count, so the mid-run read does not
+    // perturb window mechanics.
+    report.drift_model_flags_closed = engine.drift()->GetStatus().flags_model;
+  }
 
   double offered_qps = config.offered_qps;
   if (config.offered_qps_factor > 0.0) {
@@ -412,6 +432,20 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
     const SloTracker::Status slo_status = engine.slo()->GetStatus();
     report.slo_budget_consumed = slo_status.budget_consumed;
     report.slo_advisory_burn = slo_status.advisory_burn;
+  }
+  if (engine.drift() != nullptr) {
+    // Judge partial windows now so a short run still reports a final
+    // verdict; exporter.Stop() re-runs the flush hook, which is a
+    // no-op for windows with no new samples.
+    engine.drift()->Flush();
+    const DriftStatus drift_status = engine.drift()->GetStatus();
+    report.drift_samples = drift_status.samples;
+    report.drift_windows = drift_status.windows;
+    report.drift_flags = drift_status.flags;
+    report.drift_model_flags = drift_status.flags_model;
+    report.drift_advisories = drift_status.advisories;
+    report.drift_flagged = drift_status.drifting;
+    report.drift_score = drift_status.score;
   }
   exporter.Stop();  // Final export while the engine's gauges are live.
   return report;

@@ -84,6 +84,13 @@ struct ReplayConfig {
   /// config.engine.slo (default 0.999), latency p99 bound =
   /// deadline_ms, latency p95 bound = deadline_ms / 2.
   bool slo = false;
+  /// Enables model-quality drift monitoring (DESIGN.md §14); window and
+  /// evidence floors below override config.engine.drift when > 0.
+  bool drift = false;
+  int drift_window = 0;
+  int drift_min_samples = 0;
+  /// Retrain-advisory JSONL path ("" leaves config.engine.drift's).
+  std::string drift_advisory_path;
 };
 
 struct ReplayReport {
@@ -125,6 +132,21 @@ struct ReplayReport {
   double exemplar_threshold_ms = 0.0;  // Final rolling p-quantile bound.
   double slo_budget_consumed = 0.0;    // 0 unless config.slo.
   double slo_advisory_burn = 0.0;
+
+  // Model-quality drift (all 0/false unless config.drift).
+  int64_t drift_samples = 0;
+  int64_t drift_windows = 0;      // Window evaluations + rotations.
+  int64_t drift_flags = 0;        // Flagged verdicts, cumulative.
+  int64_t drift_model_flags = 0;  // Flags on score/alpha/ctr only.
+  // Model-signal flags as of the end of the closed loop, before any
+  // open-loop overload. Shedding biases which requests get scored, so
+  // post-overload model flags can reflect that composition shift rather
+  // than model drift; this pre-overload count is the one that must stay
+  // zero on a healthy stationary run.
+  int64_t drift_model_flags_closed = 0;
+  int64_t drift_advisories = 0;   // Retrain-advisory records written.
+  bool drift_flagged = false;     // Latest round had >= 1 flag.
+  double drift_score = 0.0;       // Max PSI among current flags.
 };
 
 /// Backoff before retry `attempt` (0-based): backoff_base_us * 2^attempt

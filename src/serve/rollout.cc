@@ -181,10 +181,14 @@ StatusOr<ScoreResponse> RolloutController::Score(ScoreRequest request) {
     ++stage_count_;
     if (stage_count_ >= config_.stage_requests && candidate_ != nullptr) {
       stage_count_ = 0;
-      // Refresh the service-wide advisory before judging: a rollout
-      // should not advance while the SLO error budget is burning.
+      // Refresh the service-wide advisories before judging: a rollout
+      // should not advance while the SLO error budget is burning or
+      // while the drift monitor has a confirmed model-quality flag up.
       const SloTracker* slo = engine_->slo();
       health_.SetAdvisoryBurn(slo != nullptr ? slo->AdvisoryBurn() : 0.0);
+      const DriftMonitor* drift = engine_->drift();
+      health_.SetAdvisoryDrift(drift != nullptr ? drift->AdvisoryScore()
+                                                : 0.0);
       last_verdict_ =
           health_.Judge(candidate_->version(), incumbent_->version());
       healthy_gauge_->Set(last_verdict_.healthy ? 1.0 : 0.0);

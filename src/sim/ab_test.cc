@@ -19,11 +19,14 @@ using ScoreFn =
     std::function<StatusOr<serve::ScoreResponse>(serve::ScoreRequest)>;
 
 /// Ranks `candidates` for `user` with `model` and returns the top
-/// `playlist_length` song ids, best first.
+/// `playlist_length` song ids, best first. `mean_score_out` (optional)
+/// receives the mean score over the whole candidate pool — the per-
+/// request drift sample.
 std::vector<int> RankPlaylist(const data::World& world,
                               models::Recommender* model, int user,
                               const std::vector<int>& candidates, int hour,
-                              int weekday, int playlist_length) {
+                              int weekday, int playlist_length,
+                              double* mean_score_out = nullptr) {
   // Wrap the candidate scoring events in a probe dataset so the model's
   // standard batch interface can score them.
   data::Dataset probe;
@@ -42,6 +45,11 @@ std::vector<int> RankPlaylist(const data::World& world,
   }
   const std::vector<double> scores =
       models::ScoreEvents(model, probe, refs);
+  if (mean_score_out != nullptr && !scores.empty()) {
+    *mean_score_out =
+        std::accumulate(scores.begin(), scores.end(), 0.0) /
+        static_cast<double>(scores.size());
+  }
 
   std::vector<size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), 0);
@@ -62,7 +70,8 @@ std::vector<int> RankPlaylist(const data::World& world,
 std::vector<int> RankViaScorer(const data::World& world,
                                const ScoreFn& score, int user,
                                const std::vector<int>& candidates, int hour,
-                               int weekday) {
+                               int weekday,
+                               double* mean_score_out = nullptr) {
   serve::ScoreRequest request;
   request.user = user;
   request.candidate_songs = candidates;
@@ -73,6 +82,14 @@ std::vector<int> RankViaScorer(const data::World& world,
   }
   StatusOr<serve::ScoreResponse> response = score(std::move(request));
   UAE_CHECK_MSG(response.ok(), response.status().ToString());
+  if (mean_score_out != nullptr && !response.value().scores.empty()) {
+    double sum = 0.0;
+    for (const serve::CandidateScore& cs : response.value().scores) {
+      sum += cs.ctr;
+    }
+    *mean_score_out =
+        sum / static_cast<double>(response.value().scores.size());
+  }
   return response.value().playlist;
 }
 
@@ -97,6 +114,12 @@ AbTestResult RunAbTestImpl(const data::World& world,
   UAE_CHECK(config.candidate_pool >= config.playlist_length);
 
   AbTestResult result;
+  // Per-arm distribution sketches of the per-request mean candidate
+  // score, compared at the end with the serving drift rule — the A/B
+  // run doubles as a drift-detection golden (different models must
+  // flag, identical models must not).
+  DistributionSketch control_scores;
+  DistributionSketch treatment_scores;
   Rng request_rng(config.seed);
   for (int day = 0; day < config.days; ++day) {
     AbDayResult day_result;
@@ -111,11 +134,15 @@ AbTestResult RunAbTestImpl(const data::World& world,
       std::vector<int> candidates(config.candidate_pool);
       for (int& song : candidates) song = world.SampleSong(&request_rng);
 
+      double control_mean = 0.0;
+      double treatment_mean = 0.0;
       const std::vector<int> control_playlist =
           RankPlaylist(world, control_model, user, candidates, hour, weekday,
-                       config.playlist_length);
+                       config.playlist_length, &control_mean);
       const std::vector<int> treatment_playlist = RankViaScorer(
-          world, score, user, candidates, hour, weekday);
+          world, score, user, candidates, hour, weekday, &treatment_mean);
+      control_scores.Add(control_mean);
+      treatment_scores.Add(treatment_mean);
       UAE_CHECK_MSG(static_cast<int>(treatment_playlist.size()) ==
                         config.playlist_length,
                     "treatment engine must be configured with "
@@ -151,6 +178,9 @@ AbTestResult RunAbTestImpl(const data::World& world,
   }
   result.avg_play_count_uplift_pct /= result.days.size();
   result.avg_play_time_uplift_pct /= result.days.size();
+  result.score_drift = CompareSketches(control_scores, treatment_scores,
+                                       /*psi_threshold=*/0.2,
+                                       /*p_value=*/0.01, /*min_samples=*/32);
   return result;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/sketch.h"
 #include "data/world.h"
 #include "models/recommender.h"
 #include "serve/engine.h"
@@ -38,6 +39,13 @@ struct AbTestResult {
   std::vector<AbDayResult> days;
   double avg_play_count_uplift_pct = 0.0;
   double avg_play_time_uplift_pct = 0.0;
+  /// Drift comparison of the two arms' per-request mean candidate
+  /// scores (control as reference, treatment as current), judged with
+  /// the serving drift rule (PSI 0.2 + Welch p 0.01, min 32 requests).
+  /// Doubles as the drift-detection golden: a treatment model that
+  /// re-ranks (Fig. 7) must flag; a seed-vs-seed run — the same model
+  /// in both arms — must not.
+  SketchComparison score_drift;
 };
 
 /// Runs the simulated A/B test. Each serving request draws a user, an

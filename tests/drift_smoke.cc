@@ -1,0 +1,348 @@
+// Tier-1 smoke check for the model-quality drift stack (no gtest, pure
+// ctest): the acceptance scenario of DESIGN.md §14, end to end.
+//
+//   Control: an engine with drift monitoring on serves one window of
+//   traffic, hot-swaps to a functionally identical snapshot (same seed,
+//   new version), and serves another window. The monitor must stay
+//   QUIET on every surface: zero flags in the engine status, drift
+//   gauges exported as flagged=0, an empty retrain-advisory stream, and
+//   `uae_top --once --json` reporting drift.flagged == false.
+//
+//   Skewed: the same tape, but the swapped snapshot has saturated
+//   weights (param * 10 + 2 — a mistrained model, not a crash). Within
+//   ONE window of post-swap traffic the monitor must FLAG, visible in
+//   all three surfaces: the Prometheus export (uae_serve_drift_flagged
+//   = 1, score >= the PSI threshold), the uae_top JSON summary, and
+//   machine-readable retrain-advisory JSONL records whose psi/p_value
+//   re-derive the decision.
+//
+// Exits non-zero with a diagnostic on the first violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/telemetry_export.h"
+#include "data/world.h"
+#include "models/registry.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+
+namespace {
+
+using uae::StatusOr;
+
+constexpr int kWindow = 48;  // Drift window = one phase of traffic.
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "drift_smoke FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+uae::data::GeneratorConfig SmallWorldConfig() {
+  uae::data::GeneratorConfig cfg =
+      uae::data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 150;
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+std::shared_ptr<const uae::serve::ModelSnapshot> BuildSnapshot(
+    const uae::data::World& world, uint64_t seed, uint64_t version,
+    bool saturate_weights) {
+  uae::Rng rng(seed);
+  std::shared_ptr<uae::models::Recommender> model =
+      uae::models::CreateRecommender(uae::models::ModelKind::kLr, &rng,
+                                     world.schema(),
+                                     uae::models::ModelConfig());
+  if (saturate_weights) {
+    // The serve_chaos_test "bad model": every logit driven into sigmoid
+    // saturation. The process stays healthy; only the score
+    // distributions move — exactly what the drift monitor exists to
+    // catch.
+    for (const uae::nn::NodePtr& param : model->Parameters()) {
+      for (int r = 0; r < param->value.rows(); ++r) {
+        for (int c = 0; c < param->value.cols(); ++c) {
+          param->value.at(r, c) = param->value.at(r, c) * 10.0f + 2.0f;
+        }
+      }
+    }
+  }
+  auto tower = std::make_shared<uae::attention::AttentionTower>(
+      &rng, world.schema(), uae::attention::TowerConfig());
+  return uae::serve::ModelSnapshot::FromModules(
+      world.schema(), std::move(model), std::move(tower), /*gamma=*/1.0f,
+      version);
+}
+
+std::vector<uae::serve::ScoreRequest> BuildRequests(
+    const uae::data::World& world, int count, uint64_t seed) {
+  uae::Rng rng(seed);
+  std::vector<uae::serve::ScoreRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    uae::serve::ScoreRequest req;
+    req.user = i % world.config().num_users;
+    const int hour = static_cast<int>(rng.UniformInt(24));
+    const int weekday = static_cast<int>(rng.UniformInt(7));
+    const std::vector<int> played = {world.SampleSong(&rng),
+                                     world.SampleSong(&rng),
+                                     world.SampleSong(&rng)};
+    req.history =
+        world.SimulateSession(req.user, played, hour, weekday, &rng).events;
+    for (int c = 0; c < 4; ++c) {
+      const int song = world.SampleSong(&rng);
+      req.candidate_songs.push_back(song);
+      req.candidates.push_back(
+          world.ScoringEvent(req.user, song, hour, weekday));
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+struct PhaseResult {
+  uae::serve::DriftStatus status;
+  std::string export_text;
+  std::string advisory_text;
+};
+
+/// Serves 2 * kWindow requests — one window on the v1 snapshot, a swap,
+/// one window on the v2 snapshot — with the metrics exporter live, and
+/// returns the monitor status plus both file surfaces.
+StatusOr<PhaseResult> RunPhase(const uae::data::World& world,
+                               bool skewed_swap,
+                               const std::string& export_path,
+                               const std::string& advisory_path) {
+  uae::serve::EngineConfig config;
+  config.max_wait_us = 0;
+  config.drift.enabled = true;
+  config.drift.window = kWindow;
+  config.drift.min_samples = 32;
+  config.drift.advisory_path = advisory_path;
+  uae::serve::Engine engine(
+      BuildSnapshot(world, /*seed=*/21, /*version=*/1,
+                    /*saturate_weights=*/false),
+      config);
+
+  uae::telemetry::MetricsExporter exporter;
+  const uae::Status started = exporter.Start(export_path, /*interval_ms=*/50);
+  if (!started.ok()) return started;
+
+  const std::vector<uae::serve::ScoreRequest> requests =
+      BuildRequests(world, 2 * kWindow, /*seed=*/7);
+  for (int i = 0; i < 2 * kWindow; ++i) {
+    if (i == kWindow) {
+      // Hot-swap mid-tape: same modules (control) or the saturated
+      // snapshot (skewed) under a new version.
+      engine.Swap(BuildSnapshot(world, /*seed=*/21, /*version=*/2,
+                                skewed_swap));
+    }
+    const StatusOr<uae::serve::ScoreResponse> response =
+        engine.Score(requests[i]);
+    if (!response.ok()) return response.status();
+  }
+  engine.Stop();
+  // Stop() runs the export-flush hooks (judging any partial windows)
+  // and writes the final export the checks below read.
+  exporter.Stop();
+
+  PhaseResult result;
+  result.status = engine.drift()->GetStatus();
+  result.export_text = ReadFile(export_path);
+  result.advisory_text = ReadFile(advisory_path);
+  return result;
+}
+
+/// Unlabeled sample lookup in a parsed export; -1 when absent.
+double Metric(const std::vector<uae::telemetry::PromSample>& samples,
+              const std::string& name) {
+  for (const uae::telemetry::PromSample& sample : samples) {
+    if (sample.name == name && sample.labels.empty()) return sample.value;
+  }
+  return -1.0;
+}
+
+/// Runs `uae_top --once --json` over `export_path`; empty on failure.
+std::string UaeTopJson(const std::string& uae_top,
+                       const std::string& export_path) {
+  const std::string command =
+      uae_top + " --once --json --file " + export_path;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string output;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) output += chunk;
+  if (pclose(pipe) != 0) return "";
+  return output;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Fail("usage: drift_smoke <path-to-uae_top>");
+  const std::string uae_top = argv[1];
+  const uae::data::World world(SmallWorldConfig(), /*seed=*/81);
+
+  // ------------------------------------------------------ control run
+  const std::string control_export = "drift_smoke_control.prom";
+  const std::string control_advisory = "drift_smoke_control_advisory.jsonl";
+  const StatusOr<PhaseResult> control =
+      RunPhase(world, /*skewed_swap=*/false, control_export,
+               control_advisory);
+  if (!control.ok()) {
+    return Fail("control phase failed: " + control.status().ToString());
+  }
+  const uae::serve::DriftStatus& quiet = control.value().status;
+  if (quiet.samples != 2 * kWindow) {
+    return Fail("control monitor saw " + std::to_string(quiet.samples) +
+                " samples, want " + std::to_string(2 * kWindow));
+  }
+  if (quiet.windows < 2) {
+    return Fail("control run never judged a full window");
+  }
+  if (quiet.flags != 0 || quiet.drifting || quiet.score != 0.0) {
+    return Fail("control run flagged drift on an identical snapshot swap "
+                "(flags=" + std::to_string(quiet.flags) + ")");
+  }
+  if (!control.value().advisory_text.empty()) {
+    return Fail("control advisory stream is not empty");
+  }
+  const StatusOr<std::vector<uae::telemetry::PromSample>> control_samples =
+      uae::telemetry::ParsePrometheusText(control.value().export_text);
+  if (!control_samples.ok()) {
+    return Fail("control export does not parse: " +
+                control_samples.status().ToString());
+  }
+  if (Metric(control_samples.value(), "uae_serve_drift_flagged") != 0.0) {
+    return Fail("control export does not carry uae_serve_drift_flagged=0");
+  }
+  const std::string control_top = UaeTopJson(uae_top, control_export);
+  if (control_top.empty()) return Fail("uae_top failed on control export");
+  const StatusOr<uae::json::Value> control_doc =
+      uae::json::Parse(control_top);
+  if (!control_doc.ok() || control_doc.value().Find("drift") == nullptr) {
+    return Fail("uae_top control summary has no drift panel: " +
+                control_top);
+  }
+  if (control_doc.value().Find("drift")->GetNumber("flags", -1.0) != 0.0) {
+    return Fail("uae_top control summary reports flags != 0");
+  }
+
+  // The phases share the process-global metric registry; reset between
+  // them so the skewed run's gauges start from zero. (Safe here: the
+  // control engine, and with it the drift monitor holding gauge
+  // pointers, is already destroyed.)
+  uae::telemetry::ResetRegistryForTest();
+
+  // ------------------------------------------------------- skewed run
+  const std::string skewed_export = "drift_smoke_skewed.prom";
+  const std::string skewed_advisory = "drift_smoke_skewed_advisory.jsonl";
+  const StatusOr<PhaseResult> skewed = RunPhase(
+      world, /*skewed_swap=*/true, skewed_export, skewed_advisory);
+  if (!skewed.ok()) {
+    return Fail("skewed phase failed: " + skewed.status().ToString());
+  }
+
+  // Surface 1: the engine's own status — flagged within one window.
+  const uae::serve::DriftStatus& status = skewed.value().status;
+  if (!status.drifting) {
+    return Fail("skewed swap not flagged within one window");
+  }
+  if (status.flags_model <= 0) {
+    return Fail("skewed swap flagged no model signal (score/alpha/ctr)");
+  }
+  if (status.score < 0.2) {
+    return Fail("skewed drift score " + std::to_string(status.score) +
+                " below the PSI threshold");
+  }
+
+  // Surface 2: the Prometheus export.
+  const StatusOr<std::vector<uae::telemetry::PromSample>> parsed =
+      uae::telemetry::ParsePrometheusText(skewed.value().export_text);
+  if (!parsed.ok()) {
+    return Fail("skewed export does not parse: " +
+                parsed.status().ToString());
+  }
+  const std::vector<uae::telemetry::PromSample>& samples = parsed.value();
+  if (Metric(samples, "uae_serve_drift_flagged") != 1.0) {
+    return Fail("export uae_serve_drift_flagged != 1 after skewed swap");
+  }
+  if (Metric(samples, "uae_serve_drift_score") < 0.2) {
+    return Fail("export uae_serve_drift_score below threshold");
+  }
+  if (Metric(samples, "uae_serve_drift_flags") <
+      static_cast<double>(status.flags)) {
+    return Fail("export uae_serve_drift_flags disagrees with the monitor");
+  }
+
+  // Surface 3: uae_top's JSON drift panel over the same export.
+  const std::string top_json = UaeTopJson(uae_top, skewed_export);
+  if (top_json.empty()) return Fail("uae_top failed on skewed export");
+  const StatusOr<uae::json::Value> top_doc = uae::json::Parse(top_json);
+  if (!top_doc.ok()) {
+    return Fail("uae_top --json output does not parse: " + top_json);
+  }
+  const uae::json::Value* drift_panel = top_doc.value().Find("drift");
+  if (drift_panel == nullptr) {
+    return Fail("uae_top summary has no drift panel: " + top_json);
+  }
+  if (drift_panel->GetNumber("score", 0.0) < 0.2) {
+    return Fail("uae_top drift.score below threshold: " + top_json);
+  }
+
+  // Surface 4: the retrain-advisory JSONL stream.
+  std::istringstream advisories(skewed.value().advisory_text);
+  std::string line;
+  int64_t advisory_lines = 0;
+  while (std::getline(advisories, line)) {
+    if (line.empty()) continue;
+    ++advisory_lines;
+    const StatusOr<uae::json::Value> record = uae::json::Parse(line);
+    if (!record.ok()) {
+      return Fail("advisory line does not parse: " + line);
+    }
+    const uae::json::Value& doc = record.value();
+    if (doc.GetString("kind", "") != "retrain_advisory") {
+      return Fail("advisory record has wrong kind: " + line);
+    }
+    if (doc.GetNumber("psi") < doc.GetNumber("psi_threshold")) {
+      return Fail("advisory psi below its own threshold: " + line);
+    }
+    if (doc.GetNumber("p_value") > doc.GetNumber("p_value_threshold")) {
+      return Fail("advisory p_value above its own threshold: " + line);
+    }
+  }
+  if (advisory_lines == 0) {
+    return Fail("no retrain-advisory records despite flagged drift");
+  }
+  if (advisory_lines != status.advisories) {
+    return Fail("advisory stream has " + std::to_string(advisory_lines) +
+                " records but the monitor counted " +
+                std::to_string(status.advisories));
+  }
+
+  std::printf("drift_smoke OK: control quiet (%lld windows), skewed "
+              "flagged within one window (score %.3f, %lld model flags, "
+              "%lld advisories)\n",
+              static_cast<long long>(quiet.windows), status.score,
+              static_cast<long long>(status.flags_model),
+              static_cast<long long>(advisory_lines));
+  return 0;
+}

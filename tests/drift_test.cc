@@ -1,0 +1,256 @@
+#include "serve/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uae::serve {
+namespace {
+
+DriftConfig SmallConfig() {
+  DriftConfig config;
+  config.enabled = true;
+  config.window = 64;
+  config.min_samples = 32;
+  config.num_cohorts = 3;
+  return config;
+}
+
+/// A full-path OK sample around `center` (uniform +- 0.05), user fixed
+/// unless given, so the "all" slice and exactly one cohort see every
+/// sample.
+DriftSample ScoredSample(Rng* rng, double center, int user = 17,
+                         uint64_t version = 1) {
+  DriftSample sample;
+  sample.valid = true;
+  sample.user = user;
+  sample.snapshot_version = version;
+  sample.scored = true;
+  sample.score = center + 0.05 * (2.0 * rng->Uniform() - 1.0);
+  sample.alpha = center + 0.05 * (2.0 * rng->Uniform() - 1.0);
+  sample.ctr = center + 0.05 * (2.0 * rng->Uniform() - 1.0);
+  sample.skip = 1.0 - sample.alpha;
+  return sample;
+}
+
+TEST(DriftMonitorTest, CohortAssignmentIsDeterministicAndCovering) {
+  DriftMonitor monitor(SmallConfig());
+  DriftMonitor again(SmallConfig());
+  std::set<int> seen;
+  for (int user = 0; user < 200; ++user) {
+    const int cohort = monitor.CohortOf(user);
+    ASSERT_GE(cohort, 0);
+    ASSERT_LT(cohort, 3);
+    EXPECT_EQ(cohort, again.CohortOf(user));
+    seen.insert(cohort);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // 200 users must touch every cohort.
+  // A different salt reshuffles membership.
+  DriftConfig salted = SmallConfig();
+  salted.cohort_salt = 99;
+  DriftMonitor other(salted);
+  bool any_differs = false;
+  for (int user = 0; user < 200; ++user) {
+    any_differs |= other.CohortOf(user) != monitor.CohortOf(user);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(DriftMonitorTest, InvalidSamplesAreIgnored) {
+  DriftMonitor monitor(SmallConfig());
+  DriftSample invalid;  // valid = false.
+  monitor.Record(invalid);
+  monitor.RecordBatch({invalid, invalid});
+  EXPECT_EQ(monitor.GetStatus().samples, 0);
+}
+
+TEST(DriftMonitorTest, StableTrafficRotatesButStaysQuiet) {
+  DriftMonitor monitor(SmallConfig());
+  Rng rng(1);
+  // Three full windows of the same distribution: the first seeds the
+  // reference, the next two are judged against it — and must not flag.
+  for (int i = 0; i < 3 * 64; ++i) {
+    monitor.Record(ScoredSample(&rng, 0.5));
+  }
+  const DriftStatus status = monitor.GetStatus();
+  EXPECT_EQ(status.samples, 3 * 64);
+  EXPECT_GE(status.windows, 3);  // "all" alone rotates three times.
+  EXPECT_EQ(status.flags, 0);
+  EXPECT_FALSE(status.drifting);
+  EXPECT_DOUBLE_EQ(status.score, 0.0);
+  EXPECT_DOUBLE_EQ(monitor.AdvisoryScore(), 0.0);
+  // Every judged verdict carries evidence and a quiet comparison.
+  for (const DriftVerdict& verdict : status.latest) {
+    EXPECT_TRUE(verdict.comparison.evaluated);
+    EXPECT_FALSE(verdict.comparison.flagged);
+  }
+}
+
+TEST(DriftMonitorTest, DistributionShiftFlagsWithinOneWindow) {
+  DriftMonitor monitor(SmallConfig());
+  Rng rng(2);
+  for (int i = 0; i < 64; ++i) {
+    monitor.Record(ScoredSample(&rng, 0.2, /*user=*/17, /*version=*/1));
+  }
+  EXPECT_FALSE(monitor.drifting());  // Seeding window: nothing judged.
+  for (int i = 0; i < 64; ++i) {
+    monitor.Record(ScoredSample(&rng, 0.7, /*user=*/17, /*version=*/2));
+  }
+  const DriftStatus status = monitor.GetStatus();
+  EXPECT_TRUE(status.drifting);
+  EXPECT_TRUE(monitor.drifting());
+  EXPECT_GE(status.score, 0.2);
+  EXPECT_GE(monitor.AdvisoryScore(), 0.2);
+  EXPECT_GT(status.flags, 0);
+  EXPECT_GT(status.flags_model, 0);
+  // The fixed user lands every sample in "all" plus one cohort; both
+  // slices flag, and the verdicts carry the window versions.
+  bool saw_all = false;
+  bool saw_cohort = false;
+  for (const DriftVerdict& verdict : status.latest) {
+    if (!verdict.comparison.flagged) continue;
+    if (verdict.slice == "all") saw_all = true;
+    if (verdict.slice.rfind("cohort", 0) == 0) saw_cohort = true;
+    EXPECT_EQ(verdict.ref_version, 1u);
+    EXPECT_EQ(verdict.cur_version, 2u);
+  }
+  EXPECT_TRUE(saw_all);
+  EXPECT_TRUE(saw_cohort);
+}
+
+TEST(DriftMonitorTest, SkipOnlyDriftDoesNotCountAsModelDrift) {
+  DriftMonitor monitor(SmallConfig());
+  auto skip_sample = [](double skip) {
+    DriftSample sample;
+    sample.valid = true;
+    sample.user = 17;
+    sample.scored = false;  // Shed/degraded: only the skip signal.
+    sample.skip = skip;
+    return sample;
+  };
+  for (int i = 0; i < 64; ++i) monitor.Record(skip_sample(0.0));
+  for (int i = 0; i < 64; ++i) monitor.Record(skip_sample(1.0));
+  const DriftStatus status = monitor.GetStatus();
+  EXPECT_TRUE(status.drifting);
+  EXPECT_GT(status.flags, 0);
+  EXPECT_EQ(status.flags_model, 0);  // Score/alpha/ctr never saw data.
+  for (const DriftVerdict& verdict : status.latest) {
+    if (verdict.comparison.flagged) {
+      EXPECT_EQ(verdict.signal, DriftSignal::kSkip);
+    }
+  }
+}
+
+TEST(DriftMonitorTest, FlushJudgesPartialWindowOnceAndIsIdempotent) {
+  DriftConfig config = SmallConfig();
+  config.window = 1000;  // Never rotates on its own after seeding...
+  DriftMonitor monitor(config);
+  Rng rng(3);
+  // ...so seed the reference by hand-filling one window is impossible;
+  // instead rely on Flush judging current-vs-reference only when a
+  // reference exists: with none, a flush must stay silent.
+  for (int i = 0; i < 40; ++i) monitor.Record(ScoredSample(&rng, 0.2));
+  monitor.Flush();
+  EXPECT_EQ(monitor.GetStatus().windows, 0);
+  EXPECT_FALSE(monitor.drifting());
+
+  // Now with a real reference: a small window so it seeds, then a
+  // shifted partial current window that only a Flush can judge.
+  DriftConfig flushed = SmallConfig();
+  DriftMonitor judged(flushed);
+  for (int i = 0; i < 64; ++i) judged.Record(ScoredSample(&rng, 0.2));
+  for (int i = 0; i < 40; ++i) judged.Record(ScoredSample(&rng, 0.7));
+  EXPECT_FALSE(judged.drifting());  // 40 < window: not yet judged.
+  judged.Flush();
+  const DriftStatus first = judged.GetStatus();
+  EXPECT_TRUE(first.drifting);
+  EXPECT_GT(first.flags, 0);
+  // A second flush with no new samples is a no-op (the exporter's
+  // final-flush hook always follows an explicit flush).
+  judged.Flush();
+  const DriftStatus second = judged.GetStatus();
+  EXPECT_EQ(second.windows, first.windows);
+  EXPECT_EQ(second.flags, first.flags);
+  EXPECT_EQ(second.advisories, first.advisories);
+}
+
+TEST(DriftMonitorTest, AdvisoryStreamRecordsFlaggedVerdicts) {
+  const std::string path =
+      testing::TempDir() + "/drift_test_advisory.jsonl";
+  std::remove(path.c_str());
+  DriftConfig config = SmallConfig();
+  config.advisory_path = path;
+  Rng rng(4);
+  {
+    DriftMonitor monitor(config);
+    for (int i = 0; i < 64; ++i) monitor.Record(ScoredSample(&rng, 0.2));
+    for (int i = 0; i < 64; ++i) monitor.Record(ScoredSample(&rng, 0.8));
+    const DriftStatus status = monitor.GetStatus();
+    EXPECT_GT(status.advisories, 0);
+    EXPECT_EQ(status.advisories_dropped, 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int64_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      EXPECT_NE(line.find("\"kind\":\"retrain_advisory\""),
+                std::string::npos);
+      EXPECT_NE(line.find("\"psi\":"), std::string::npos);
+      EXPECT_NE(line.find("\"p_value\":"), std::string::npos);
+      EXPECT_NE(line.find("\"signal\":"), std::string::npos);
+    }
+    EXPECT_EQ(lines, status.advisories);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DriftMonitorTest, AdvisoryStreamIsBounded) {
+  const std::string path =
+      testing::TempDir() + "/drift_test_advisory_cap.jsonl";
+  std::remove(path.c_str());
+  DriftConfig config = SmallConfig();
+  config.advisory_path = path;
+  config.advisory_max_records = 1;
+  Rng rng(5);
+  {
+    DriftMonitor monitor(config);
+    for (int i = 0; i < 64; ++i) monitor.Record(ScoredSample(&rng, 0.2));
+    // The shifted window flags several signals across two slices — far
+    // more than one advisory.
+    for (int i = 0; i < 64; ++i) monitor.Record(ScoredSample(&rng, 0.8));
+    const DriftStatus status = monitor.GetStatus();
+    EXPECT_EQ(status.advisories, 1);
+    EXPECT_GT(status.advisories_dropped, 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DriftMonitorTest, RecordBatchMatchesSerialRecord) {
+  Rng rng(6);
+  std::vector<DriftSample> tape;
+  for (int i = 0; i < 128; ++i) {
+    tape.push_back(ScoredSample(&rng, i < 64 ? 0.2 : 0.7, /*user=*/i));
+  }
+  DriftMonitor serial(SmallConfig());
+  for (const DriftSample& sample : tape) serial.Record(sample);
+  DriftMonitor batched(SmallConfig());
+  batched.RecordBatch(tape);
+  const DriftStatus a = serial.GetStatus();
+  const DriftStatus b = batched.GetStatus();
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.flags, b.flags);
+  EXPECT_EQ(a.drifting, b.drifting);
+  EXPECT_DOUBLE_EQ(a.score, b.score);
+}
+
+}  // namespace
+}  // namespace uae::serve

@@ -319,5 +319,91 @@ TEST(ServeHammerTest, ExporterAndRecorderUnderConcurrentScoring) {
   EXPECT_EQ(slo_total, completed.load());
 }
 
+// Drift hammer: scorer threads and a swapper pound a drift-enabled
+// engine while an observer thread reads the monitor every way the
+// production plane does — GetStatus (full verdict copy under the
+// mutex), AdvisoryScore/drifting (lock-free atomics), and explicit
+// Flush (the exporter final-flush hook's path) — as fast as it can. A
+// TSan-clean pass means watching the drift plane never races feeding
+// it. Invariant: the monitor saw exactly one sample per completed
+// request (batch merges neither drop nor double-count under real
+// schedules).
+TEST(ServeHammerTest, DriftMonitorUnderConcurrentScoring) {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 32;
+  cfg.num_songs = 80;
+  cfg.num_artists = 15;
+  cfg.num_albums = 30;
+  const data::World world(cfg, 36);
+
+  const std::shared_ptr<const ModelSnapshot> a = BuildSnapshot(world, 7, 107);
+  const std::shared_ptr<const ModelSnapshot> b = BuildSnapshot(world, 8, 108);
+
+  EngineConfig config;
+  config.max_wait_us = 0;
+  config.max_batch = 4;
+  // A small window so rotations and judgements happen many times while
+  // the scorers are still running.
+  config.drift.enabled = true;
+  config.drift.window = 32;
+  config.drift.min_samples = 16;
+  Engine engine(a, config);
+  ASSERT_NE(engine.drift(), nullptr);
+
+  constexpr int kScorers = 4;
+  constexpr int kRequestsPerScorer = 120;
+  constexpr int kSwaps = 100;
+
+  std::atomic<int> completed{0};
+  std::atomic<bool> stop_observer{false};
+  std::vector<std::thread> scorers;
+  for (int s = 0; s < kScorers; ++s) {
+    scorers.emplace_back([&, s] {
+      Rng rng(400 + static_cast<uint64_t>(s));
+      for (int i = 0; i < kRequestsPerScorer; ++i) {
+        ScoreRequest req;
+        req.user = static_cast<int>(rng.UniformInt(cfg.num_users));
+        const int hour = static_cast<int>(rng.UniformInt(24));
+        const int weekday = static_cast<int>(rng.UniformInt(7));
+        std::vector<int> played = {world.SampleSong(&rng),
+                                   world.SampleSong(&rng)};
+        req.history =
+            world.SimulateSession(req.user, played, hour, weekday, &rng)
+                .events;
+        for (int c = 0; c < 2; ++c) {
+          const int song = world.SampleSong(&rng);
+          req.candidate_songs.push_back(song);
+          req.candidates.push_back(
+              world.ScoringEvent(req.user, song, hour, weekday));
+        }
+        if (engine.Score(std::move(req)).ok()) ++completed;
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      engine.Swap(i % 2 == 0 ? b : a);
+      std::this_thread::yield();
+    }
+  });
+  std::thread observer([&] {
+    while (!stop_observer.load(std::memory_order_relaxed)) {
+      const DriftStatus status = engine.drift()->GetStatus();
+      ASSERT_GE(status.samples, 0);
+      (void)engine.drift()->AdvisoryScore();
+      (void)engine.drift()->drifting();
+      engine.drift()->Flush();
+    }
+  });
+  for (std::thread& t : scorers) t.join();
+  swapper.join();
+  stop_observer = true;
+  observer.join();
+
+  EXPECT_EQ(completed.load(), kScorers * kRequestsPerScorer);
+  const DriftStatus status = engine.drift()->GetStatus();
+  EXPECT_EQ(status.samples, completed.load());
+}
+
 }  // namespace
 }  // namespace uae::serve

@@ -1,0 +1,265 @@
+#include "common/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace uae {
+namespace {
+
+// ---------------------------------------------------------- Bounds
+
+TEST(SketchBoundsTest, UniformBoundsShape) {
+  const std::vector<double> bounds = UniformBounds(0.0, 1.0, 4);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.25);
+  EXPECT_DOUBLE_EQ(bounds[1], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[2], 0.75);
+}
+
+TEST(SketchBoundsTest, UnitIntervalDefault) {
+  const std::vector<double> bounds = UnitIntervalBounds();
+  EXPECT_EQ(bounds.size(), 31u);  // 32 buckets with the overflow bucket.
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+// --------------------------------------------- DistributionSketch
+
+TEST(DistributionSketchTest, MomentsAreExact) {
+  DistributionSketch sketch;
+  sketch.Add(0.1);
+  sketch.Add(0.2);
+  sketch.Add(0.3);
+  EXPECT_EQ(sketch.count(), 3);
+  EXPECT_NEAR(sketch.Mean(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.1);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.3);
+  const SampleSummary summary = sketch.Summary();
+  EXPECT_EQ(summary.n, 3);
+  EXPECT_NEAR(summary.mean, 0.2, 1e-12);
+  EXPECT_NEAR(summary.stddev, 0.1, 1e-9);
+}
+
+TEST(DistributionSketchTest, QuantileTracksExactSort) {
+  Rng rng(1234);
+  DistributionSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 4000; ++i) {
+    // Mixture: a broad base plus a narrow mode, all inside [0, 1].
+    const double value = rng.Bernoulli(0.3)
+                             ? 0.7 + 0.05 * rng.Uniform()
+                             : rng.Uniform();
+    values.push_back(value);
+    sketch.Add(value);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    // A 32-bucket CDF walk is accurate to about a bucket width.
+    EXPECT_NEAR(sketch.Quantile(q), exact, 1.0 / 31.0)
+        << "q=" << q;
+  }
+  EXPECT_GE(sketch.Quantile(0.0), sketch.min());
+  EXPECT_LE(sketch.Quantile(1.0), sketch.max());
+}
+
+TEST(DistributionSketchTest, MergeMatchesSingleStream) {
+  Rng rng(7);
+  DistributionSketch all;
+  DistributionSketch left;
+  DistributionSketch right;
+  for (int i = 0; i < 500; ++i) {
+    const double value = rng.Uniform();
+    all.Add(value);
+    (i < 250 ? left : right).Add(value);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(left.buckets(), all.buckets());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  // Sums differ only by FP association order; Serialize golden below
+  // pins the case that must be *bit* identical (shard-order merges).
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+}
+
+TEST(DistributionSketchTest, SerializeGoldenAcrossThreadCounts) {
+  // The determinism contract (DESIGN.md §14): per-shard sketches merged
+  // in shard-index order are bit-identical at any UAE_NUM_THREADS. Run
+  // the same ParallelReduce at 1/2/8 threads and byte-compare.
+  const int64_t n = 10000;
+  const auto sketch_of = [&]() {
+    return parallel::ParallelReduce<DistributionSketch>(
+        0, n, /*grain=*/256, DistributionSketch(),
+        [](int64_t begin, int64_t end) {
+          DistributionSketch shard;
+          for (int64_t i = begin; i < end; ++i) {
+            Rng rng(static_cast<uint64_t>(i) + 1);
+            shard.Add(rng.Uniform());
+          }
+          return shard;
+        },
+        [](DistributionSketch acc, DistributionSketch next) {
+          acc.Merge(next);
+          return acc;
+        });
+  };
+  const int saved_threads = parallel::NumThreads();
+  parallel::SetNumThreads(1);
+  const std::string golden = sketch_of().Serialize();
+  parallel::SetNumThreads(2);
+  const std::string two = sketch_of().Serialize();
+  parallel::SetNumThreads(8);
+  const std::string eight = sketch_of().Serialize();
+  parallel::SetNumThreads(saved_threads);
+  EXPECT_EQ(golden, two);
+  EXPECT_EQ(golden, eight);
+  EXPECT_NE(golden.find("UAESKETCH1"), std::string::npos);
+}
+
+TEST(DistributionSketchTest, ResetKeepsBounds) {
+  DistributionSketch sketch(UniformBounds(0.0, 10.0, 8));
+  sketch.Add(3.0);
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_EQ(sketch.bounds().size(), 7u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);  // Empty.
+}
+
+// ----------------------------------------------------- PSI + verdict
+
+TEST(PsiTest, IdenticalDistributionsScoreNearZero) {
+  Rng rng(42);
+  DistributionSketch a;
+  DistributionSketch b;
+  for (int i = 0; i < 2000; ++i) {
+    a.Add(rng.Uniform());
+    b.Add(rng.Uniform());
+  }
+  EXPECT_LT(Psi(a, b), 0.05);
+}
+
+TEST(PsiTest, ShiftedDistributionScoresHigh) {
+  Rng rng(42);
+  DistributionSketch a;
+  DistributionSketch b;
+  for (int i = 0; i < 2000; ++i) {
+    a.Add(0.3 * rng.Uniform());        // Mass in [0, 0.3).
+    b.Add(0.7 + 0.3 * rng.Uniform());  // Mass in [0.7, 1.0).
+  }
+  EXPECT_GT(Psi(a, b), 1.0);
+}
+
+TEST(PsiTest, EmptySketchIsZero) {
+  DistributionSketch a;
+  DistributionSketch b;
+  b.Add(0.5);
+  EXPECT_DOUBLE_EQ(Psi(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Psi(b, a), 0.0);
+}
+
+TEST(CompareSketchesTest, InsufficientEvidenceDoesNotFlag) {
+  DistributionSketch reference;
+  DistributionSketch current;
+  for (int i = 0; i < 10; ++i) {
+    reference.Add(0.1);
+    current.Add(0.9);  // Wildly different, but only 10 samples.
+  }
+  const SketchComparison verdict =
+      CompareSketches(reference, current, 0.2, 0.01, /*min_samples=*/32);
+  EXPECT_FALSE(verdict.evaluated);
+  EXPECT_FALSE(verdict.flagged);
+}
+
+TEST(CompareSketchesTest, FlagsRealShift) {
+  Rng rng(5);
+  DistributionSketch reference;
+  DistributionSketch current;
+  for (int i = 0; i < 500; ++i) {
+    reference.Add(0.2 + 0.1 * rng.Uniform());
+    current.Add(0.6 + 0.1 * rng.Uniform());
+  }
+  const SketchComparison verdict =
+      CompareSketches(reference, current, 0.2, 0.01, 32);
+  EXPECT_TRUE(verdict.evaluated);
+  EXPECT_TRUE(verdict.flagged);
+  EXPECT_GE(verdict.psi, 0.2);
+  EXPECT_LE(verdict.p_value, 0.01);
+  EXPECT_NEAR(verdict.mean_delta, 0.4, 0.02);
+  EXPECT_EQ(verdict.ref_n, 500);
+  EXPECT_EQ(verdict.cur_n, 500);
+}
+
+TEST(CompareSketchesTest, SameDistributionStaysQuiet) {
+  Rng rng(5);
+  DistributionSketch reference;
+  DistributionSketch current;
+  for (int i = 0; i < 500; ++i) {
+    reference.Add(rng.Uniform());
+    current.Add(rng.Uniform());
+  }
+  const SketchComparison verdict =
+      CompareSketches(reference, current, 0.2, 0.01, 32);
+  EXPECT_TRUE(verdict.evaluated);
+  EXPECT_FALSE(verdict.flagged);
+}
+
+TEST(CompareSketchesTest, ConstantSignalStaysQuiet) {
+  // Zero-variance windows (e.g. skip == 1.0 under full shedding, or a
+  // tower-less snapshot's constant alpha-hat) must not flag: equal
+  // means degenerate to Welch p = 1.
+  DistributionSketch reference;
+  DistributionSketch current;
+  for (int i = 0; i < 100; ++i) {
+    reference.Add(1.0);
+    current.Add(1.0);
+  }
+  const SketchComparison verdict =
+      CompareSketches(reference, current, 0.2, 0.01, 32);
+  EXPECT_TRUE(verdict.evaluated);
+  EXPECT_FALSE(verdict.flagged);
+}
+
+// ------------------------------------------------------- P2Quantile
+
+TEST(P2QuantileTest, ExactBelowFiveSamples) {
+  P2Quantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.Value(), 0.0);
+  median.Add(3.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 3.0);
+  median.Add(1.0);
+  median.Add(2.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 2.0);
+}
+
+TEST(P2QuantileTest, TracksUniformQuantiles) {
+  Rng rng(99);
+  P2Quantile p50(0.5);
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 20000; ++i) {
+    const double value = rng.Uniform();
+    p50.Add(value);
+    p95.Add(value);
+  }
+  EXPECT_NEAR(p50.Value(), 0.5, 0.02);
+  EXPECT_NEAR(p95.Value(), 0.95, 0.02);
+  EXPECT_EQ(p50.count(), 20000);
+  EXPECT_DOUBLE_EQ(p95.quantile(), 0.95);
+}
+
+TEST(P2QuantileTest, TracksNormalMedian) {
+  Rng rng(7);
+  P2Quantile median(0.5);
+  for (int i = 0; i < 20000; ++i) median.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(median.Value(), 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace uae

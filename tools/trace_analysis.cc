@@ -442,6 +442,24 @@ CompareResult CompareBench(const TraceData& old_trace,
   add("serve_exemplars", old_bench.GetNumber("serve_exemplars"),
       new_bench.GetNumber("serve_exemplars"), /*gate=*/false,
       /*higher_is_worse=*/true);
+  // Model-quality drift rows (DESIGN.md §14). Window count is
+  // informational (it scales with the replay length); flags, the max
+  // flagged PSI, and retrain advisories are gated — the bench replay is
+  // a steady-state run on one snapshot, so any flag here means either
+  // the detector regressed (false positives) or the serving path
+  // changed what it feeds the monitor.
+  add("drift_windows", old_bench.GetNumber("drift_windows"),
+      new_bench.GetNumber("drift_windows"), /*gate=*/false,
+      /*higher_is_worse=*/false);
+  add("drift_flags", old_bench.GetNumber("drift_flags"),
+      new_bench.GetNumber("drift_flags"), /*gate=*/true,
+      /*higher_is_worse=*/true);
+  add("drift_score", old_bench.GetNumber("drift_score"),
+      new_bench.GetNumber("drift_score"), /*gate=*/true,
+      /*higher_is_worse=*/true);
+  add("retrain_advisory", old_bench.GetNumber("retrain_advisory"),
+      new_bench.GetNumber("retrain_advisory"), /*gate=*/true,
+      /*higher_is_worse=*/true);
   result.total_old_us = old_bench.GetNumber("wall_s") * 1e6;
   result.total_new_us = new_bench.GetNumber("wall_s") * 1e6;
   result.regression = result.worst_ratio > tolerance;

@@ -48,6 +48,12 @@
 //   --slo                   track SLOs over the run: availability
 //                           99.9%, latency p99 <= deadline-ms,
 //                           p95 <= deadline-ms/2
+//   --drift                 track model-quality drift (score / alpha /
+//                           CTR / skip distributions, PSI + Welch,
+//                           DESIGN.md §14) over the run
+//   --drift-window N        samples per drift window            (256)
+//   --drift-advisory PATH   write retrain-advisory JSONL records
+//                           for flagged verdicts to PATH
 //
 // Exit codes: 0 ok, 1 replay failed, 2 usage error.
 
@@ -78,7 +84,9 @@ int Usage() {
                "[--chaos-delay-us N]\n"
                "                        [--export-metrics PATH] "
                "[--export-interval-ms N]\n"
-               "                        [--slowlog PATH] [--slo]\n");
+               "                        [--slowlog PATH] [--slo] [--drift]\n"
+               "                        [--drift-window N] "
+               "[--drift-advisory PATH]\n");
   return 2;
 }
 
@@ -149,6 +157,14 @@ int main(int argc, char** argv) {
       config.slowlog_path = argv[++i];
     } else if (arg == "--slo") {
       config.slo = true;
+    } else if (arg == "--drift") {
+      config.drift = true;
+    } else if (arg == "--drift-window") {
+      if (!next_int(&config.drift_window)) return Usage();
+      config.drift = true;
+    } else if (arg == "--drift-advisory" && i + 1 < argc) {
+      config.drift_advisory_path = argv[++i];
+      config.drift = true;
     } else {
       std::fprintf(stderr, "uae_serve_replay: unknown flag %s\n",
                    arg.c_str());
@@ -235,6 +251,19 @@ int main(int argc, char** argv) {
   if (config.slo) {
     std::printf("  slo budget      %.1f%% consumed, burn %.2f\n",
                 100.0 * r.slo_budget_consumed, r.slo_advisory_burn);
+  }
+  if (config.drift) {
+    std::printf("  drift           %s (score %.3f): %lld windows, "
+                "%lld flags (%lld model), %lld advisories\n",
+                r.drift_flagged ? "FLAGGED" : "quiet", r.drift_score,
+                static_cast<long long>(r.drift_windows),
+                static_cast<long long>(r.drift_flags),
+                static_cast<long long>(r.drift_model_flags),
+                static_cast<long long>(r.drift_advisories));
+    if (!config.drift_advisory_path.empty()) {
+      std::printf("  drift advisory  %s\n",
+                  config.drift_advisory_path.c_str());
+    }
   }
   if (!config.metrics_export_path.empty()) {
     std::printf("  metrics export  %s\n",

@@ -128,6 +128,13 @@ struct Summary {
   double slo_budget_consumed = 0.0;
   double slo_budget_remaining = 0.0;
   double slo_advisory_burn = 0.0;
+  bool has_drift = false;
+  double drift_samples = 0.0;
+  double drift_windows = 0.0;
+  double drift_flags = 0.0;
+  double drift_flagged = 0.0;
+  double drift_score = 0.0;
+  double drift_advisories = 0.0;
   std::string build;
 };
 
@@ -163,6 +170,13 @@ Summary Summarize(const Export& e) {
   s.slo_budget_consumed = e.Get("uae_serve_slo_budget_consumed");
   s.slo_budget_remaining = e.Get("uae_serve_slo_budget_remaining");
   s.slo_advisory_burn = e.Get("uae_serve_slo_advisory_burn");
+  s.has_drift = e.Has("uae_serve_drift_windows");
+  s.drift_samples = e.Get("uae_serve_drift_samples");
+  s.drift_windows = e.Get("uae_serve_drift_windows");
+  s.drift_flags = e.Get("uae_serve_drift_flags");
+  s.drift_flagged = e.Get("uae_serve_drift_flagged");
+  s.drift_score = e.Get("uae_serve_drift_score");
+  s.drift_advisories = e.Get("uae_serve_drift_advisories");
   return s;
 }
 
@@ -210,6 +224,16 @@ std::string ToJson(const Summary& s) {
         .Set("advisory_burn", s.slo_advisory_burn);
     summary.SetRaw("slo", slo.Str());
   }
+  if (s.has_drift) {
+    JsonObject drift;
+    drift.Set("samples", s.drift_samples)
+        .Set("windows", s.drift_windows)
+        .Set("flags", s.drift_flags)
+        .Set("flagged", s.drift_flagged > 0.5)
+        .Set("score", s.drift_score)
+        .Set("advisories", s.drift_advisories);
+    summary.SetRaw("drift", drift.Str());
+  }
   return summary.Str();
 }
 
@@ -252,6 +276,13 @@ void Render(const Summary& s, const Summary* prev, double interval_s) {
                 "burn %.2f\n",
                 100.0 * s.slo_budget_consumed,
                 100.0 * s.slo_budget_remaining, s.slo_advisory_burn);
+  }
+  if (s.has_drift) {
+    std::printf("drift      %s (score %.3f) | %.0f samples, %.0f windows, "
+                "%.0f flags | %.0f advisories\n",
+                s.drift_flagged > 0.5 ? "FLAGGED" : "quiet", s.drift_score,
+                s.drift_samples, s.drift_windows, s.drift_flags,
+                s.drift_advisories);
   }
   const double lookups = s.cache_hits + s.cache_misses;
   std::printf("cache      %.0f hits / %.0f misses (%.1f%% hit) | "
