@@ -10,14 +10,34 @@
 // --check-against machinery and records warm speedup, latency
 // percentiles, cache hit-rate, and shed-rate as baseline extras
 // (surfaced side by side in `uae_trace --compare`).
+//
+// `--shards N` (N > 1) reruns the same load through a consistent-hash
+// ShardRouter over N engines — every request crossing the binary wire
+// protocol both ways — on a multi-million synthetic-user key space,
+// with the rollout phase promoting the whole fleet shard by shard. The
+// run then tags its baseline BENCH_serve_replay_shard<N>.json (via
+// UAE_BENCH_VARIANT, unless already set), so 1- and 4-shard baselines
+// are committed and gated side by side.
 
 #include "bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
 
 #include "common/table.h"
 #include "serve/replay.h"
 
 int main(int argc, char** argv) {
   using namespace uae;
+  int shards = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[i + 1]);
+  }
+  if (shards > 1 && std::getenv("UAE_BENCH_VARIANT") == nullptr) {
+    // Sharded runs get their own committed baseline file.
+    setenv("UAE_BENCH_VARIANT", ("shard" + std::to_string(shards)).c_str(),
+           /*overwrite=*/0);
+  }
   bench::Banner(argc, argv, "serve_replay", "Serving replay",
                 "online engine throughput/latency under simulated traffic");
 
@@ -64,10 +84,17 @@ int main(int argc, char** argv) {
   // doubles as the drift-plane overhead budget.
   config.drift = true;
   config.drift_advisory_path = "bench_out/serve_replay_drift.jsonl";
+  // Sharded mode: route through the consistent-hash fleet with the wire
+  // protocol in the path, on a production-scale synthetic key space
+  // (the ring sees millions of distinct users; the feature payloads
+  // still come from the small simulated world).
+  config.shards = shards;
+  if (shards > 1) config.synthetic_users = 2'000'000;
 
-  std::printf("replaying %d requests (history %d, %d candidates), then "
-              "offering 3x warm capacity...\n",
-              config.requests, config.history_length, config.candidates);
+  std::printf("replaying %d requests (history %d, %d candidates) on "
+              "%d shard%s, then offering 3x warm capacity...\n",
+              config.requests, config.history_length, config.candidates,
+              shards, shards == 1 ? "" : "s");
   const StatusOr<serve::ReplayReport> replayed = serve::RunReplay(config);
   if (!replayed.ok()) {
     std::printf("replay failed: %s\n", replayed.status().ToString().c_str());
@@ -103,6 +130,17 @@ int main(int argc, char** argv) {
   table.AddRow({"drift score", AsciiTable::Fmt(r.drift_score, 3)});
   table.AddRow({"retrain advisories",
                 AsciiTable::Fmt(double(r.drift_advisories), 0)});
+  if (r.shards > 1) {
+    table.AddRow({"shards", AsciiTable::Fmt(double(r.shards), 0)});
+    table.AddRow({"shard balance",
+                  AsciiTable::Fmt(r.shard_balance, 2) + "x uniform"});
+    table.AddRow({"wire tx (MiB)",
+                  AsciiTable::Fmt(r.wire_bytes_tx / (1024.0 * 1024.0), 1)});
+    table.AddRow({"wire rx (MiB)",
+                  AsciiTable::Fmt(r.wire_bytes_rx / (1024.0 * 1024.0), 1)});
+    table.AddRow({"wire rejects",
+                  AsciiTable::Fmt(double(r.wire_rejects), 0)});
+  }
   std::printf("%s", table.ToString().c_str());
 
   CsvWriter csv({"metric", "value"});
@@ -133,6 +171,13 @@ int main(int argc, char** argv) {
   csv.AddRow({"drift_score", AsciiTable::Fmt(r.drift_score, 3)});
   csv.AddRow({"retrain_advisory",
               AsciiTable::Fmt(double(r.drift_advisories), 0)});
+  if (r.shards > 1) {
+    csv.AddRow({"shards", AsciiTable::Fmt(double(r.shards), 0)});
+    csv.AddRow({"shard_balance", AsciiTable::Fmt(r.shard_balance, 3)});
+    csv.AddRow({"wire_bytes_tx", AsciiTable::Fmt(double(r.wire_bytes_tx), 0)});
+    csv.AddRow({"wire_bytes_rx", AsciiTable::Fmt(double(r.wire_bytes_rx), 0)});
+    csv.AddRow({"wire_rejects", AsciiTable::Fmt(double(r.wire_rejects), 0)});
+  }
   bench::ExportCsv(csv, "serve_replay");
 
   bench::RecordBaselineExtra("serve_warm_speedup",
@@ -174,8 +219,25 @@ int main(int argc, char** argv) {
   bench::RecordBaselineExtra(
       "retrain_advisory",
       telemetry::JsonNumber(static_cast<double>(r.drift_advisories)));
+  if (r.shards > 1) {
+    bench::RecordBaselineExtra(
+        "serve_shards", telemetry::JsonNumber(static_cast<double>(r.shards)));
+    bench::RecordBaselineExtra("serve_shard_balance",
+                               telemetry::JsonNumber(r.shard_balance));
+    bench::RecordBaselineExtra(
+        "serve_wire_bytes_tx",
+        telemetry::JsonNumber(static_cast<double>(r.wire_bytes_tx)));
+    bench::RecordBaselineExtra(
+        "serve_wire_rejects",
+        telemetry::JsonNumber(static_cast<double>(r.wire_rejects)));
+  }
 
-  const bool warm_ok = r.warm_speedup >= 5.0;
+  // Sharded runs pay a per-request constant — wire framing both ways
+  // plus the fan-out across engines — on BOTH passes, which dilutes the
+  // cold/warm ratio even though the cache saves exactly as much GRU
+  // replay. The floor drops accordingly; the cache must still clearly
+  // win.
+  const bool warm_ok = r.warm_speedup >= (r.shards > 1 ? 1.5 : 5.0);
   const bool shed_ok = r.open_shed > 0 && r.open_completed > 0;
   // A healthy, identical candidate must ride the whole ladder without
   // the health gate firing.
@@ -188,14 +250,32 @@ int main(int argc, char** argv) {
   // register as alpha/score drift in the scored subpopulation. Total
   // model flags stay informational (table/CSV rows above).
   const bool drift_ok = r.drift_model_flags_closed == 0;
-  std::printf("\nshape check: warm cache >= 5x over full replay: %s\n",
-              warm_ok ? "PASS" : "FAIL");
+  // Sharded shape (shards > 1): every shard took traffic, the ring
+  // spread keys within 2x of the uniform share on the synthetic key
+  // space, and the wire never rejected a frame end to end.
+  bool shards_ok = true;
+  if (r.shards > 1) {
+    shards_ok = static_cast<int>(r.shard_requests.size()) == r.shards &&
+                r.shard_balance > 0.0 && r.shard_balance < 2.0 &&
+                r.wire_rejects == 0;
+    for (const int64_t routed : r.shard_requests) {
+      if (routed <= 0) shards_ok = false;
+    }
+  }
+  std::printf("\nshape check: warm cache >= %.1fx over full replay: %s\n",
+              r.shards > 1 ? 1.5 : 5.0, warm_ok ? "PASS" : "FAIL");
   std::printf("shape check: overload sheds while still serving: %s\n",
               shed_ok ? "PASS" : "FAIL");
   std::printf("shape check: identical candidate promotes cleanly: %s\n",
               rollout_ok ? "PASS" : "FAIL");
   std::printf("shape check: drift quiet through the closed loop: %s\n",
               drift_ok ? "PASS" : "FAIL");
+  if (r.shards > 1) {
+    std::printf("shape check: fleet balanced, zero wire rejects: %s\n",
+                shards_ok ? "PASS" : "FAIL");
+  }
   const int finish = bench::Finish();
-  return (warm_ok && shed_ok && rollout_ok && drift_ok) ? finish : 1;
+  return (warm_ok && shed_ok && rollout_ok && drift_ok && shards_ok)
+             ? finish
+             : 1;
 }

@@ -216,6 +216,33 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
         drift.SetRaw("psi", psi.Str());
         serving.SetRaw("drift", drift.Str());
       }
+      // Sharded serving (DESIGN.md §15), present when a ShardRouter
+      // served this process: fleet shape, per-shard request counts, and
+      // the wire totals — a manifest diff shows a rebalanced ring or a
+      // shard that started shedding, per shard.
+      const int num_shards = static_cast<int>(
+          telemetry::GetGauge("uae.serve.router.shards")->Get());
+      if (num_shards > 0) {
+        telemetry::JsonObject sharding;
+        sharding.Set("shards", static_cast<int64_t>(num_shards))
+            .Set("fleet_rollbacks",
+                 telemetry::GetCounter("uae.serve.fleet.rollbacks")->Get())
+            .Set("wire_bytes_tx",
+                 telemetry::GetCounter("uae.serve.wire.bytes_tx")->Get())
+            .Set("wire_bytes_rx",
+                 telemetry::GetCounter("uae.serve.wire.bytes_rx")->Get())
+            .Set("wire_rejects",
+                 telemetry::GetCounter("uae.serve.wire.rejects")->Get());
+        std::vector<double> per_shard;
+        for (int shard = 0; shard < num_shards; ++shard) {
+          per_shard.push_back(static_cast<double>(
+              telemetry::GetCounter("uae.serve.shard." +
+                                    std::to_string(shard) + ".requests")
+                  ->Get()));
+        }
+        sharding.SetRaw("shard_requests", JsonArray(per_shard));
+        serving.SetRaw("sharding", sharding.Str());
+      }
       manifest.SetRaw("serving", serving.Str());
     }
     telemetry::WriteRunManifest(manifest);

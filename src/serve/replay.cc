@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -11,11 +12,25 @@
 #include "data/world.h"
 #include "nn/serialize.h"
 #include "serve/rollout.h"
+#include "serve/shard_router.h"
 
 namespace uae::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Where one request goes: straight at an Engine (shards == 1) or
+/// through the ShardRouter (shards > 1). Both phases' client loops are
+/// written against this so the sharded path reuses them unchanged.
+using Scorer = std::function<StatusOr<ScoreResponse>(ScoreRequest)>;
+
+/// splitmix64 — same mixer as the ring and the rollout cohort split.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 /// Exact q-quantile of a sorted sample, linearly interpolated.
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -51,6 +66,16 @@ std::vector<ScoreRequest> BuildRequests(const data::World& world,
       req.candidates.push_back(
           world.ScoringEvent(req.user, song, hour, weekday));
     }
+    if (config.synthetic_users > 0) {
+      // Synthetic load mode: the feature payload stays the simulated
+      // world's, but the routing/cache identity is stamped from a key
+      // space as large as the operator asks for (millions). The stamp
+      // is a pure function of the request index, so the warm pass
+      // revisits exactly the same users.
+      req.user = static_cast<int>(
+          Mix64(config.seed ^ static_cast<uint64_t>(i)) %
+          static_cast<uint64_t>(config.synthetic_users));
+    }
     requests.push_back(std::move(req));
   }
   return requests;
@@ -84,7 +109,7 @@ void MergeInto(PassResult* merged, std::vector<PassResult>* per_thread) {
 /// backoff + jitter — the standard client posture against a shedding
 /// server: back off instead of hammering, decorrelate instead of
 /// thundering back in lockstep.
-PassResult RunClosedLoop(Engine* engine,
+PassResult RunClosedLoop(const Scorer& scorer,
                          const std::vector<ScoreRequest>& requests,
                          const ReplayConfig& config) {
   const int threads = config.client_threads;
@@ -99,7 +124,7 @@ PassResult RunClosedLoop(Engine* engine,
       for (size_t i = static_cast<size_t>(k); i < requests.size();
            i += static_cast<size_t>(threads)) {
         const Clock::time_point t0 = Clock::now();
-        StatusOr<ScoreResponse> response = engine->Score(requests[i]);
+        StatusOr<ScoreResponse> response = scorer(requests[i]);
         for (int attempt = 0;
              attempt < config.retries && !response.ok() &&
              response.status().code() == StatusCode::kUnavailable;
@@ -109,7 +134,7 @@ PassResult RunClosedLoop(Engine* engine,
                   attempt, config.backoff_base_us, config.backoff_jitter,
                   &backoff_rng)));
           ++local.retries;
-          response = engine->Score(requests[i]);
+          response = scorer(requests[i]);
         }
         if (response.ok()) {
           ++local.completed;
@@ -136,7 +161,7 @@ PassResult RunClosedLoop(Engine* engine,
 /// Paced arrivals: request i is released at start + i/qps with a
 /// deadline, cycling over the prepared request set. Shed requests return
 /// immediately, so issuer threads hold the schedule even past capacity.
-PassResult RunOpenLoop(Engine* engine,
+PassResult RunOpenLoop(const Scorer& scorer,
                        const std::vector<ScoreRequest>& requests,
                        double qps, int total, int threads, int deadline_ms) {
   std::vector<PassResult> per_thread(static_cast<size_t>(threads));
@@ -153,7 +178,7 @@ PassResult RunOpenLoop(Engine* engine,
         std::this_thread::sleep_until(scheduled);
         ScoreRequest req = requests[static_cast<size_t>(i) % requests.size()];
         req.deadline = scheduled + std::chrono::milliseconds(deadline_ms);
-        const StatusOr<ScoreResponse> response = engine->Score(std::move(req));
+        const StatusOr<ScoreResponse> response = scorer(std::move(req));
         if (response.ok()) {
           ++local.completed;
           if (response.value().degraded) ++local.degraded;
@@ -191,6 +216,8 @@ int64_t RetryBackoffMicros(int attempt, int backoff_base_us, double jitter,
 StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   UAE_CHECK(config.requests > 0 && config.history_length > 0);
   UAE_CHECK(config.candidates > 0 && config.client_threads > 0);
+  UAE_CHECK(config.shards >= 1 && config.virtual_nodes > 0);
+  UAE_CHECK(config.synthetic_users >= 0);
   data::World world(config.world, config.world_seed);
   Rng rng(config.seed);
 
@@ -263,8 +290,68 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
     }
   }
 
-  Engine engine(snapshot, engine_config);
-  // The exporter outlives every phase (scoped below the engine, so its
+  // Rollout knobs are decided up front: with shards > 1 every shard's
+  // controller is constructed with them (the router builds its
+  // RolloutControllers at construction time).
+  RolloutConfig rollout_config;
+  rollout_config.stage_requests =
+      std::max(8, config.requests / (2 * std::max(1, config.shards)));
+  rollout_config.health.thresholds.min_samples =
+      std::max(2, rollout_config.stage_requests / 8);
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;  // Wall noise.
+
+  // The serving fabric: one direct engine, or a consistent-hash router
+  // over N of them with every request crossing the wire codec.
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<ShardRouter> router;
+  Scorer scorer;
+  if (config.shards > 1) {
+    ShardRouterConfig router_config;
+    router_config.shards = config.shards;
+    router_config.virtual_nodes = config.virtual_nodes;
+    router_config.engine = engine_config;
+    router_config.rollout = rollout_config;
+    router = std::make_unique<ShardRouter>(snapshot, router_config);
+    scorer = [&router](ScoreRequest req) {
+      return router->Score(std::move(req));
+    };
+  } else {
+    engine = std::make_unique<Engine>(snapshot, engine_config);
+    scorer = [&engine](ScoreRequest req) {
+      return engine->Score(std::move(req));
+    };
+  }
+  // Runs one hook per live engine (each shard's, or the single one).
+  const auto for_each_engine = [&](const std::function<void(Engine*)>& fn) {
+    if (engine != nullptr) {
+      fn(engine.get());
+      return;
+    }
+    for (int i = 0; i < router->num_shards(); ++i) {
+      fn(router->shard(i)->engine());
+    }
+  };
+
+  // Per-shard and wire counters are process-cumulative; deltas against
+  // these baselines attribute them to this run.
+  std::vector<telemetry::Counter*> shard_request_counters;
+  std::vector<int64_t> shard_request_base;
+  telemetry::Counter* wire_tx =
+      telemetry::GetCounter("uae.serve.wire.bytes_tx");
+  telemetry::Counter* wire_rx =
+      telemetry::GetCounter("uae.serve.wire.bytes_rx");
+  telemetry::Counter* wire_rejects =
+      telemetry::GetCounter("uae.serve.wire.rejects");
+  const int64_t wire_tx_base = wire_tx->Get();
+  const int64_t wire_rx_base = wire_rx->Get();
+  const int64_t wire_rejects_base = wire_rejects->Get();
+  for (int i = 0; i < config.shards; ++i) {
+    shard_request_counters.push_back(telemetry::GetCounter(
+        "uae.serve.shard." + std::to_string(i) + ".requests"));
+    shard_request_base.push_back(shard_request_counters.back()->Get());
+  }
+
+  // The exporter outlives every phase (scoped below the engines, so its
   // final export still sees live gauges) and keeps the file fresh for
   // anyone running `uae_top` against the replay.
   telemetry::MetricsExporter exporter;
@@ -287,11 +374,11 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   report.closed_requests = static_cast<int64_t>(requests.size());
   int64_t completed_total = 0;
 
-  PassResult cold = RunClosedLoop(&engine, requests, config);
+  PassResult cold = RunClosedLoop(scorer, requests, config);
   if (!cold.first_error.empty()) {
     return Status::Internal("replay cold pass failed: " + cold.first_error);
   }
-  PassResult warm = RunClosedLoop(&engine, requests, config);
+  PassResult warm = RunClosedLoop(scorer, requests, config);
   if (!warm.first_error.empty()) {
     return Status::Internal("replay warm pass failed: " + warm.first_error);
   }
@@ -317,13 +404,15 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
                 static_cast<double>(hit_delta + miss_delta)
           : 0.0;
 
-  if (engine.drift() != nullptr) {
-    // Snapshot the model-signal flag count while the population is
-    // still the unbiased closed-loop one (no shed yet); no Flush here —
-    // only fully rotated windows count, so the mid-run read does not
-    // perturb window mechanics.
-    report.drift_model_flags_closed = engine.drift()->GetStatus().flags_model;
-  }
+  // Snapshot the model-signal flag count while the population is still
+  // the unbiased closed-loop one (no shed yet); no Flush here — only
+  // fully rotated windows count, so the mid-run read does not perturb
+  // window mechanics. Sharded runs sum across every shard's monitor.
+  for_each_engine([&](Engine* e) {
+    if (e->drift() != nullptr) {
+      report.drift_model_flags_closed += e->drift()->GetStatus().flags_model;
+    }
+  });
 
   double offered_qps = config.offered_qps;
   if (config.offered_qps_factor > 0.0) {
@@ -331,7 +420,7 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   }
   if (offered_qps > 0.0 && config.open_loop_requests > 0) {
     PassResult open =
-        RunOpenLoop(&engine, requests, offered_qps,
+        RunOpenLoop(scorer, requests, offered_qps,
                     config.open_loop_requests, config.client_threads,
                     config.deadline_ms);
     if (!open.first_error.empty()) {
@@ -362,53 +451,94 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
     // under live traffic. With identical scores every health verdict
     // passes; the phase proves the promotion machinery, not the model.
     const std::shared_ptr<const ModelSnapshot> incumbent = snapshot;
-    auto candidate = ModelSnapshot::FromModules(
-        incumbent->schema(),
-        std::shared_ptr<models::Recommender>(incumbent, incumbent->model()),
-        std::shared_ptr<const attention::AttentionTower>(incumbent,
-                                                         incumbent->tower()),
-        incumbent->gamma());
-    RolloutConfig rc;
-    rc.stage_requests = std::max(8, config.requests / 2);
-    rc.health.thresholds.min_samples = std::max(2, rc.stage_requests / 8);
-    rc.health.thresholds.max_latency_ratio = 0.0;  // Wall-clock noise.
-    RolloutController rollout(&engine, rc);
-    Status begun = rollout.BeginRollout(candidate);
-    if (!begun.ok()) return begun;
-    // Three stage windows (canary, ramp, full soak) bring the rollout to
-    // completion; drive them with the same threaded closed-loop shape.
-    const int total = 3 * rc.stage_requests;
-    std::vector<PassResult> per_thread(
-        static_cast<size_t>(config.client_threads));
-    std::vector<std::thread> workers;
-    for (int k = 0; k < config.client_threads; ++k) {
-      workers.emplace_back([&, k] {
-        PassResult& local = per_thread[static_cast<size_t>(k)];
-        for (int i = k; i < total; i += config.client_threads) {
-          const StatusOr<ScoreResponse> response = rollout.Score(
-              requests[static_cast<size_t>(i) % requests.size()]);
-          if (response.ok()) {
-            ++local.completed;
-            if (response.value().degraded) ++local.degraded;
-          } else if (response.status().code() == StatusCode::kUnavailable) {
-            ++local.shed;
-          } else if (local.first_error.empty()) {
-            local.first_error = response.status().ToString();
+    const auto make_candidate = [incumbent]() {
+      return ModelSnapshot::FromModules(
+          incumbent->schema(),
+          std::shared_ptr<models::Recommender>(incumbent,
+                                               incumbent->model()),
+          std::shared_ptr<const attention::AttentionTower>(
+              incumbent, incumbent->tower()),
+          incumbent->gamma());
+    };
+    // Threaded closed-loop shape for `total` requests against `s`.
+    const auto drive = [&](const Scorer& s, int total) {
+      std::vector<PassResult> per_thread(
+          static_cast<size_t>(config.client_threads));
+      std::vector<std::thread> workers;
+      for (int k = 0; k < config.client_threads; ++k) {
+        workers.emplace_back([&, k] {
+          PassResult& local = per_thread[static_cast<size_t>(k)];
+          for (int i = k; i < total; i += config.client_threads) {
+            const StatusOr<ScoreResponse> response =
+                s(requests[static_cast<size_t>(i) % requests.size()]);
+            if (response.ok()) {
+              ++local.completed;
+              if (response.value().degraded) ++local.degraded;
+            } else if (response.status().code() ==
+                       StatusCode::kUnavailable) {
+              ++local.shed;
+            } else if (local.first_error.empty()) {
+              local.first_error = response.status().ToString();
+            }
           }
-        }
-      });
-    }
-    for (std::thread& t : workers) t.join();
+        });
+      }
+      for (std::thread& t : workers) t.join();
+      PassResult merged;
+      MergeInto(&merged, &per_thread);
+      return merged;
+    };
     PassResult rolled;
-    MergeInto(&rolled, &per_thread);
+    if (router != nullptr) {
+      // Fleet rollout: every shard upgraded shard-by-shard (canary shard
+      // first) by its own controller, live traffic driving each ladder.
+      Status begun = router->BeginFleetRollout(
+          [make_candidate](int /*shard*/)
+              -> StatusOr<std::shared_ptr<const ModelSnapshot>> {
+            return make_candidate();
+          });
+      if (!begun.ok()) return begun;
+      // Only the ~1/N of traffic the ring routes to the upgrading shard
+      // advances its ladder, so completion needs about
+      // 3 * stage_requests * shards^2 requests; 4x that bounds the pump
+      // against ring imbalance.
+      const int64_t needed = 3LL * rollout_config.stage_requests *
+                             config.shards * config.shards;
+      const int max_rounds =
+          static_cast<int>(4 * needed /
+                           static_cast<int64_t>(requests.size())) +
+          8;
+      for (int round = 0; round < max_rounds; ++round) {
+        if (router->fleet_status().stage != FleetStage::kUpgrading) break;
+        PassResult pass = drive(scorer, static_cast<int>(requests.size()));
+        std::vector<PassResult> one;
+        one.push_back(std::move(pass));
+        MergeInto(&rolled, &one);
+        if (!rolled.first_error.empty()) break;
+      }
+      const FleetStatus fleet = router->fleet_status();
+      report.rollout_stage = FleetStageName(fleet.stage);
+      report.rollout_rollbacks = fleet.rollbacks;
+    } else {
+      RolloutController rollout(engine.get(), rollout_config);
+      Status begun = rollout.BeginRollout(make_candidate());
+      if (!begun.ok()) return begun;
+      // Three stage windows (canary, ramp, full soak) bring the rollout
+      // to completion.
+      rolled = drive(
+          [&rollout](ScoreRequest req) {
+            return rollout.Score(std::move(req));
+          },
+          3 * rollout_config.stage_requests);
+      report.rollout_stage = RolloutStageName(rollout.stage());
+      report.rollout_rollbacks = rollout.rollbacks();
+    }
     if (!rolled.first_error.empty()) {
       return Status::Internal("replay rollout phase failed: " +
                               rolled.first_error);
     }
     report.degraded += rolled.degraded;
     completed_total += rolled.completed;
-    report.rollout_stage = RolloutStageName(rollout.stage());
-    report.rollout_rollbacks = rollout.rollbacks();
   }
 
   report.degraded_rate =
@@ -417,10 +547,39 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
                 static_cast<double>(completed_total)
           : 0.0;
 
-  // Engine-side observability over the whole run.
-  const FlightRecorder& recorder = engine.flight_recorder();
-  report.exemplars = recorder.exemplars_written();
-  report.exemplar_threshold_ms = 1e3 * recorder.exemplar_threshold_s();
+  // Engine-side observability over the whole run. Counts (exemplars,
+  // drift samples/flags) sum across shards; levels (SLO burn, drift
+  // score, exemplar threshold) take the worst shard — the one an
+  // operator would page on.
+  for_each_engine([&](Engine* e) {
+    const FlightRecorder& recorder = e->flight_recorder();
+    report.exemplars += recorder.exemplars_written();
+    report.exemplar_threshold_ms = std::max(
+        report.exemplar_threshold_ms, 1e3 * recorder.exemplar_threshold_s());
+    if (e->slo() != nullptr) {
+      const SloTracker::Status slo_status = e->slo()->GetStatus();
+      report.slo_budget_consumed =
+          std::max(report.slo_budget_consumed, slo_status.budget_consumed);
+      report.slo_advisory_burn =
+          std::max(report.slo_advisory_burn, slo_status.advisory_burn);
+    }
+    if (e->drift() != nullptr) {
+      // Judge partial windows now so a short run still reports a final
+      // verdict; exporter.Stop() re-runs the flush hook, which is a
+      // no-op for windows with no new samples.
+      e->drift()->Flush();
+      const DriftStatus drift_status = e->drift()->GetStatus();
+      report.drift_samples += drift_status.samples;
+      report.drift_windows += drift_status.windows;
+      report.drift_flags += drift_status.flags;
+      report.drift_model_flags += drift_status.flags_model;
+      report.drift_advisories += drift_status.advisories;
+      report.drift_flagged = report.drift_flagged || drift_status.drifting;
+      report.drift_score = std::max(report.drift_score, drift_status.score);
+    }
+  });
+  // The request-stage histograms are process-global, already aggregated
+  // across shards.
   report.queue_wait_p95_ms =
       1e3 * telemetry::GetHistogram("uae.serve.queue_wait_s")
                 ->Snapshot()
@@ -428,26 +587,28 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   report.score_p95_ms = 1e3 * telemetry::GetHistogram("uae.serve.score_s")
                                   ->Snapshot()
                                   .Quantile(0.95);
-  if (engine.slo() != nullptr) {
-    const SloTracker::Status slo_status = engine.slo()->GetStatus();
-    report.slo_budget_consumed = slo_status.budget_consumed;
-    report.slo_advisory_burn = slo_status.advisory_burn;
+
+  report.shards = config.shards;
+  if (router != nullptr) {
+    int64_t routed_total = 0;
+    int64_t routed_max = 0;
+    for (int i = 0; i < config.shards; ++i) {
+      const int64_t routed =
+          shard_request_counters[static_cast<size_t>(i)]->Get() -
+          shard_request_base[static_cast<size_t>(i)];
+      report.shard_requests.push_back(routed);
+      routed_total += routed;
+      routed_max = std::max(routed_max, routed);
+    }
+    report.shard_balance =
+        routed_total > 0 ? static_cast<double>(routed_max) * config.shards /
+                               static_cast<double>(routed_total)
+                         : 0.0;
+    report.wire_bytes_tx = wire_tx->Get() - wire_tx_base;
+    report.wire_bytes_rx = wire_rx->Get() - wire_rx_base;
+    report.wire_rejects = wire_rejects->Get() - wire_rejects_base;
   }
-  if (engine.drift() != nullptr) {
-    // Judge partial windows now so a short run still reports a final
-    // verdict; exporter.Stop() re-runs the flush hook, which is a
-    // no-op for windows with no new samples.
-    engine.drift()->Flush();
-    const DriftStatus drift_status = engine.drift()->GetStatus();
-    report.drift_samples = drift_status.samples;
-    report.drift_windows = drift_status.windows;
-    report.drift_flags = drift_status.flags;
-    report.drift_model_flags = drift_status.flags_model;
-    report.drift_advisories = drift_status.advisories;
-    report.drift_flagged = drift_status.drifting;
-    report.drift_score = drift_status.score;
-  }
-  exporter.Stop();  // Final export while the engine's gauges are live.
+  exporter.Stop();  // Final export while the engines' gauges are live.
   return report;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -42,6 +43,22 @@ struct ReplayConfig {
   int candidates = 10;       // Candidate pool per request.
   int client_threads = 8;
   uint64_t seed = 99;
+
+  /// Sharded serving: with shards > 1 requests route through a
+  /// consistent-hash ShardRouter over this many independent engines,
+  /// each request crossing the binary wire protocol both ways. 1 keeps
+  /// the direct single-engine path (the baseline the sharded run's
+  /// scores must stay bit-identical to).
+  int shards = 1;
+  /// Ring points per shard (shards > 1 only).
+  int virtual_nodes = 64;
+  /// When > 0, request users are remapped onto this many synthetic user
+  /// ids (a stable splitmix64 stamp per request index, so the warm pass
+  /// still revisits the same users). Routing, session caches, and the
+  /// ring then see a production-scale key space — set it to millions —
+  /// while the feature payloads still come from the small simulated
+  /// world.
+  int64_t synthetic_users = 0;
 
   /// Open-loop phase; offered_qps <= 0 disables it (unless the factor
   /// below is set).
@@ -121,9 +138,20 @@ struct ReplayReport {
   int64_t retries = 0;        // Retry attempts spent in the closed loop.
   double degraded_rate = 0.0; // degraded / completed responses.
 
-  // Rollout exercise ("" / 0 when not requested).
+  // Rollout exercise ("" / 0 when not requested). With shards > 1 these
+  // describe the *fleet* rollout ("idle" again means completed).
   std::string rollout_stage;
   int64_t rollout_rollbacks = 0;
+
+  // Sharding (defaults when shards == 1: no router in the path).
+  int shards = 1;
+  std::vector<int64_t> shard_requests;  // Routed per shard, this run.
+  /// Max per-shard request share over the uniform share (1.0 = perfectly
+  /// balanced ring).
+  double shard_balance = 0.0;
+  int64_t wire_bytes_tx = 0;
+  int64_t wire_bytes_rx = 0;
+  int64_t wire_rejects = 0;
 
   // Observability (engine-side view over the whole run).
   double queue_wait_p95_ms = 0.0;  // uae.serve.queue_wait_s p95.

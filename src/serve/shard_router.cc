@@ -1,0 +1,358 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/trace.h"
+#include "serve/wire.h"
+
+namespace uae::serve {
+namespace {
+
+/// splitmix64 — same mixer as the rollout cohort split and the parallel
+/// substrate's seed derivation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string ShardMetricName(int shard, const char* field) {
+  return "uae.serve.shard." + std::to_string(shard) + "." + field;
+}
+
+}  // namespace
+
+// ---- HashRing -------------------------------------------------------
+
+uint64_t HashRing::PointHash(int shard_id, int vnode, uint64_t salt) {
+  // Two mixing rounds: one to decorrelate (shard, vnode) pairs, one to
+  // fold in the salt. A single round with additive inputs would leave
+  // adjacent vnodes of one shard correlated.
+  const uint64_t packed =
+      (static_cast<uint64_t>(static_cast<uint32_t>(shard_id)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(vnode));
+  return Mix64(Mix64(packed) ^ salt);
+}
+
+uint64_t HashRing::KeyHash(int user, uint64_t salt) {
+  return Mix64(static_cast<uint64_t>(static_cast<uint32_t>(user)) ^
+               (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+HashRing::HashRing(const std::vector<int>& shard_ids, int virtual_nodes,
+                   uint64_t salt)
+    : salt_(salt) {
+  UAE_CHECK(!shard_ids.empty());
+  UAE_CHECK(virtual_nodes > 0);
+  points_.reserve(shard_ids.size() * static_cast<size_t>(virtual_nodes));
+  for (const int shard : shard_ids) {
+    for (int v = 0; v < virtual_nodes; ++v) {
+      points_.emplace_back(PointHash(shard, v, salt), shard);
+    }
+  }
+  // Sorting by (hash, shard) makes placement a pure function of the
+  // shard *set*: the construction order of shard_ids cannot matter.
+  std::sort(points_.begin(), points_.end());
+}
+
+int HashRing::ShardFor(int user) const {
+  const uint64_t key = KeyHash(user, salt_);
+  // First point clockwise from the key, wrapping past the top.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<uint64_t, int>& point, uint64_t k) {
+        return point.first < k;
+      });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+// ---- ShardServer ----------------------------------------------------
+
+ShardServer::ShardServer(int shard_id,
+                         std::shared_ptr<const ModelSnapshot> snapshot,
+                         const EngineConfig& engine_config,
+                         const RolloutConfig& rollout_config)
+    : shard_id_(shard_id),
+      engine_(std::make_unique<Engine>(std::move(snapshot), engine_config)),
+      rollout_(
+          std::make_unique<RolloutController>(engine_.get(), rollout_config)),
+      rejects_(telemetry::GetCounter("uae.serve.wire.rejects")) {}
+
+std::string ShardServer::HandleFrame(std::string_view frame_bytes) {
+  StatusOr<wire::Frame> frame = wire::DecodeFrame(frame_bytes);
+  if (!frame.ok()) {
+    rejects_->Add();
+    return wire::EncodeStatus(frame.status());
+  }
+  if (frame.value().type != wire::FrameType::kScoreRequest) {
+    rejects_->Add();
+    return wire::EncodeStatus(Status::InvalidArgument(
+        "wire: shard expects kScoreRequest frames"));
+  }
+  StatusOr<ScoreRequest> request =
+      wire::DecodeScoreRequest(frame.value().payload);
+  if (!request.ok()) {
+    rejects_->Add();
+    return wire::EncodeStatus(request.status());
+  }
+  // Always through the rollout controller: pass-through when idle, and
+  // health accounting / cohort pinning when a rollout is in flight.
+  StatusOr<ScoreResponse> response =
+      rollout_->Score(std::move(request).value());
+  if (!response.ok()) return wire::EncodeStatus(response.status());
+  return wire::EncodeScoreResponse(response.value());
+}
+
+// ---- ShardRouter ----------------------------------------------------
+
+const char* FleetStageName(FleetStage stage) {
+  switch (stage) {
+    case FleetStage::kIdle:
+      return "idle";
+    case FleetStage::kUpgrading:
+      return "upgrading";
+    case FleetStage::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<int> AllShardIds(int shards) {
+  std::vector<int> ids(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) ids[static_cast<size_t>(i)] = i;
+  return ids;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::shared_ptr<const ModelSnapshot> snapshot,
+                         const ShardRouterConfig& config)
+    : ShardRouter(std::vector<std::shared_ptr<const ModelSnapshot>>(
+                      static_cast<size_t>(config.shards), std::move(snapshot)),
+                  config) {}
+
+ShardRouter::ShardRouter(
+    std::vector<std::shared_ptr<const ModelSnapshot>> snapshots,
+    const ShardRouterConfig& config)
+    : config_(config),
+      ring_(AllShardIds(config.shards), config.virtual_nodes, config.salt),
+      wire_frames_(telemetry::GetCounter("uae.serve.wire.frames")),
+      wire_bytes_tx_(telemetry::GetCounter("uae.serve.wire.bytes_tx")),
+      wire_bytes_rx_(telemetry::GetCounter("uae.serve.wire.bytes_rx")),
+      wire_rejects_(telemetry::GetCounter("uae.serve.wire.rejects")),
+      shards_gauge_(telemetry::GetGauge("uae.serve.router.shards")),
+      fleet_stage_gauge_(telemetry::GetGauge("uae.serve.fleet.stage")),
+      fleet_rollbacks_metric_(
+          telemetry::GetCounter("uae.serve.fleet.rollbacks")),
+      fleet_upgraded_gauge_(telemetry::GetGauge("uae.serve.fleet.upgraded")) {
+  UAE_CHECK(config_.shards > 0);
+  UAE_CHECK(snapshots.size() == static_cast<size_t>(config_.shards));
+  UAE_CHECK(config_.canary_shard >= 0 &&
+            config_.canary_shard < config_.shards);
+  shards_.reserve(snapshots.size());
+  transports_.reserve(snapshots.size());
+  shard_metrics_.reserve(snapshots.size());
+  for (int i = 0; i < config_.shards; ++i) {
+    UAE_CHECK(snapshots[static_cast<size_t>(i)] != nullptr);
+    EngineConfig shard_engine = config_.engine;
+    if (!shard_engine.recorder.slowlog_path.empty() && config_.shards > 1) {
+      // One exemplar file per shard: N engines appending to one path
+      // would interleave mid-line.
+      shard_engine.recorder.slowlog_path += ".shard" + std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<ShardServer>(
+        i, std::move(snapshots[static_cast<size_t>(i)]), shard_engine,
+        config_.rollout));
+    transports_.push_back(
+        std::make_unique<InProcessTransport>(shards_.back().get()));
+    shard_metrics_.push_back(ShardMetrics{
+        telemetry::GetCounter(ShardMetricName(i, "requests")),
+        telemetry::GetCounter(ShardMetricName(i, "ok")),
+        telemetry::GetCounter(ShardMetricName(i, "shed")),
+        telemetry::GetCounter(ShardMetricName(i, "errors")),
+    });
+  }
+  shards_gauge_->Set(static_cast<double>(config_.shards));
+  fleet_stage_gauge_->Set(0.0);
+  fleet_upgraded_gauge_->Set(0.0);
+}
+
+StatusOr<ScoreResponse> ShardRouter::Score(ScoreRequest request) {
+  AdvanceFleet();
+  const int shard = ring_.ShardFor(request.user);
+  const ShardMetrics& metrics = shard_metrics_[static_cast<size_t>(shard)];
+  metrics.requests->Add();
+  const std::string frame = wire::EncodeScoreRequest(request);
+  wire_frames_->Add();
+  wire_bytes_tx_->Add(static_cast<int64_t>(frame.size()));
+  StatusOr<std::string> reply =
+      transports_[static_cast<size_t>(shard)]->RoundTrip(frame);
+  if (!reply.ok()) {
+    metrics.errors->Add();
+    return reply.status();
+  }
+  wire_bytes_rx_->Add(static_cast<int64_t>(reply.value().size()));
+  StatusOr<ScoreResponse> response = wire::DecodeReply(reply.value());
+  if (response.ok()) {
+    metrics.ok->Add();
+  } else if (response.status().code() == StatusCode::kUnavailable) {
+    metrics.shed->Add();
+  } else {
+    metrics.errors->Add();
+  }
+  return response;
+}
+
+Status ShardRouter::BeginFleetRollout(SnapshotLoader loader) {
+  UAE_CHECK(loader != nullptr);
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  if (fleet_stage_ == FleetStage::kUpgrading) {
+    return Status::FailedPrecondition("fleet rollout already in flight");
+  }
+  if (fleet_stage_ == FleetStage::kRolledBack) {
+    return Status::FailedPrecondition(
+        "fleet parked at rolled_back; ResetFleet() first");
+  }
+  loader_ = std::move(loader);
+  fleet_order_.clear();
+  fleet_order_.push_back(config_.canary_shard);
+  for (int i = 0; i < config_.shards; ++i) {
+    if (i != config_.canary_shard) fleet_order_.push_back(i);
+  }
+  fleet_index_ = 0;
+  fleet_started_current_ = false;
+  fleet_upgraded_ = 0;
+  fleet_failed_shard_ = -1;
+  fleet_candidate_version_ = 0;
+  fleet_reason_.clear();
+  fleet_stage_ = FleetStage::kUpgrading;
+  fleet_stage_gauge_->Set(static_cast<double>(fleet_stage_));
+  fleet_upgraded_gauge_->Set(0.0);
+  trace::Instant("uae.serve.fleet.begin", "shards",
+                 static_cast<int64_t>(config_.shards));
+  return {};
+}
+
+Status ShardRouter::BeginFleetRollout(const SnapshotSpec& spec) {
+  if (spec.version != 0) {
+    return Status::InvalidArgument(
+        "fleet rollout requires spec.version == 0 (auto-assign): every "
+        "shard's candidate needs a distinct version");
+  }
+  return BeginFleetRollout(
+      [spec](int /*shard*/) { return ModelSnapshot::Load(spec); });
+}
+
+void ShardRouter::ResetFleet() {
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  if (fleet_stage_ != FleetStage::kRolledBack) return;
+  fleet_stage_ = FleetStage::kIdle;
+  fleet_stage_gauge_->Set(0.0);
+  loader_ = nullptr;
+}
+
+void ShardRouter::AdvanceFleet() {
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  if (fleet_stage_ != FleetStage::kUpgrading) return;
+  const int shard_id = fleet_order_[fleet_index_];
+  ShardServer* shard = shards_[static_cast<size_t>(shard_id)].get();
+  if (!fleet_started_current_) {
+    // Lazy start: the load happens on the first Score after the previous
+    // shard completed, one shard at a time — a corrupt read or an
+    // unhealthy candidate is discovered on exactly one shard.
+    StatusOr<std::shared_ptr<const ModelSnapshot>> candidate =
+        loader_(shard_id);
+    if (!candidate.ok()) {
+      fleet_failed_shard_ = shard_id;
+      fleet_reason_ = "load: " + candidate.status().ToString();
+      fleet_stage_ = FleetStage::kRolledBack;
+      fleet_stage_gauge_->Set(static_cast<double>(fleet_stage_));
+      ++fleet_rollbacks_;
+      fleet_rollbacks_metric_->Add();
+      trace::Instant("uae.serve.fleet.rollback", "shard",
+                     static_cast<int64_t>(shard_id));
+      return;
+    }
+    const Status begun = shard->rollout()->BeginRollout(candidate.value());
+    if (!begun.ok()) {
+      fleet_failed_shard_ = shard_id;
+      fleet_reason_ = "begin: " + begun.ToString();
+      fleet_stage_ = FleetStage::kRolledBack;
+      fleet_stage_gauge_->Set(static_cast<double>(fleet_stage_));
+      ++fleet_rollbacks_;
+      fleet_rollbacks_metric_->Add();
+      trace::Instant("uae.serve.fleet.rollback", "shard",
+                     static_cast<int64_t>(shard_id));
+      return;
+    }
+    if (fleet_index_ == 0) {
+      fleet_candidate_version_ = candidate.value()->version();
+    }
+    fleet_started_current_ = true;
+    return;
+  }
+  switch (shard->rollout()->stage()) {
+    case RolloutStage::kRolledBack: {
+      // The shard's own controller already restored its incumbent; the
+      // fleet parks, leaving every other shard exactly where it was.
+      fleet_failed_shard_ = shard_id;
+      fleet_reason_ = shard->rollout()->last_verdict().reason;
+      if (fleet_reason_.empty()) fleet_reason_ = "unhealthy";
+      fleet_stage_ = FleetStage::kRolledBack;
+      fleet_stage_gauge_->Set(static_cast<double>(fleet_stage_));
+      ++fleet_rollbacks_;
+      fleet_rollbacks_metric_->Add();
+      trace::Instant("uae.serve.fleet.rollback", "shard",
+                     static_cast<int64_t>(shard_id));
+      break;
+    }
+    case RolloutStage::kIdle: {
+      // A controller only returns to idle by completing the soak: this
+      // shard now serves the candidate as its incumbent.
+      ++fleet_upgraded_;
+      fleet_upgraded_gauge_->Set(static_cast<double>(fleet_upgraded_));
+      ++fleet_index_;
+      fleet_started_current_ = false;
+      if (fleet_index_ >= fleet_order_.size()) {
+        fleet_stage_ = FleetStage::kIdle;
+        fleet_stage_gauge_->Set(0.0);
+        loader_ = nullptr;
+        trace::Instant("uae.serve.fleet.complete");
+      }
+      break;
+    }
+    case RolloutStage::kCanary:
+    case RolloutStage::kRamp:
+    case RolloutStage::kFull:
+      break;  // Stage machine still advancing on this shard's traffic.
+  }
+}
+
+FleetStatus ShardRouter::fleet_status() const {
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  FleetStatus status;
+  status.stage = fleet_stage_;
+  status.upgrading_shard =
+      fleet_stage_ == FleetStage::kUpgrading && fleet_started_current_
+          ? fleet_order_[fleet_index_]
+          : -1;
+  status.upgraded = fleet_upgraded_;
+  status.failed_shard = fleet_failed_shard_;
+  status.candidate_version = fleet_candidate_version_;
+  status.rollbacks = fleet_rollbacks_;
+  status.reason = fleet_reason_;
+  return status;
+}
+
+void ShardRouter::Stop() {
+  for (std::unique_ptr<ShardServer>& shard : shards_) {
+    shard->engine()->Stop();
+  }
+}
+
+}  // namespace uae::serve

@@ -1,0 +1,273 @@
+#ifndef UAE_SERVE_SHARD_ROUTER_H_
+#define UAE_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace uae::serve {
+
+/// Consistent-hash ring over shard ids (DESIGN.md §15).
+///
+/// Each shard contributes `virtual_nodes` points, hashed with the same
+/// splitmix64 mixer the rollout cohort split uses; a user key routes to
+/// the first point clockwise from its own hash. Two invariants the
+/// router's tests pin down:
+///
+///   * Placement is a pure function of (shard ids, virtual_nodes, salt).
+///     Construction order of the shard list does not matter — points are
+///     sorted by (hash, shard), a total order.
+///   * Adding or removing one shard moves only the keys whose successor
+///     point changed: expected 1/N of keys, never a full reshuffle.
+class HashRing {
+ public:
+  HashRing(const std::vector<int>& shard_ids, int virtual_nodes,
+           uint64_t salt);
+
+  /// The shard owning `user`. The ring must be non-empty.
+  int ShardFor(int user) const;
+
+  /// Ring point for one (shard, vnode) pair — exposed so tests can
+  /// reason about placement directly.
+  static uint64_t PointHash(int shard_id, int vnode, uint64_t salt);
+  /// Position of a user key on the ring.
+  static uint64_t KeyHash(int user, uint64_t salt);
+
+  size_t num_points() const { return points_.size(); }
+
+ private:
+  uint64_t salt_;
+  /// (point hash, shard id), sorted ascending.
+  std::vector<std::pair<uint64_t, int>> points_;
+};
+
+/// Byte-level request/reply channel to one shard. The in-process
+/// implementation below calls the shard directly; a socket transport
+/// would write/read the same frames — the contract is the bytes, not
+/// the call.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one request frame, returns the reply frame. A transport
+  /// error (not a shard-side scoring error — those come back as kStatus
+  /// frames) is the only non-OK return.
+  virtual StatusOr<std::string> RoundTrip(std::string_view frame) = 0;
+};
+
+/// One serving shard: an Engine (with its own SessionStateCache) behind
+/// a RolloutController, speaking the wire protocol. HandleFrame is the
+/// entire server loop body a socket listener would run: every input —
+/// including a malformed one — produces exactly one reply frame.
+class ShardServer {
+ public:
+  ShardServer(int shard_id, std::shared_ptr<const ModelSnapshot> snapshot,
+              const EngineConfig& engine_config,
+              const RolloutConfig& rollout_config);
+
+  /// Decodes one request frame, scores it through the rollout
+  /// controller (pass-through when no rollout is active), and encodes
+  /// the reply: a kScoreResponse on success, a kStatus frame otherwise.
+  /// Malformed frames are rejected with a clean kStatus reply and
+  /// counted in uae.serve.wire.rejects — never a crash, never a
+  /// partially-applied request. Thread-safe.
+  std::string HandleFrame(std::string_view frame_bytes);
+
+  int shard_id() const { return shard_id_; }
+  Engine* engine() { return engine_.get(); }
+  const Engine* engine() const { return engine_.get(); }
+  RolloutController* rollout() { return rollout_.get(); }
+  const RolloutController* rollout() const { return rollout_.get(); }
+
+ private:
+  int shard_id_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<RolloutController> rollout_;
+  telemetry::Counter* rejects_;
+};
+
+/// Zero-copy local transport: RoundTrip is a direct HandleFrame call.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(ShardServer* server) : server_(server) {}
+  StatusOr<std::string> RoundTrip(std::string_view frame) override {
+    return server_->HandleFrame(frame);
+  }
+
+ private:
+  ShardServer* server_;
+};
+
+struct ShardRouterConfig {
+  int shards = 1;
+  /// Ring points per shard. More points -> smoother balance; 64 keeps
+  /// the max/mean shard load within ~30% at 4 shards.
+  int virtual_nodes = 64;
+  /// Ring salt: different salts produce different (deterministic)
+  /// placements.
+  uint64_t salt = 0;
+  /// The shard upgraded first by a fleet rollout.
+  int canary_shard = 0;
+  /// Applied to every shard's engine (each gets its own session cache).
+  /// A non-empty recorder.slowlog_path is suffixed ".shard<i>" per shard
+  /// so exemplar files never share a writer.
+  EngineConfig engine;
+  /// Applied to every shard's rollout controller.
+  RolloutConfig rollout;
+};
+
+/// Where a fleet rollout stands. kIdle doubles as "completed", mirroring
+/// RolloutStage.
+enum class FleetStage { kIdle = 0, kUpgrading = 1, kRolledBack = 2 };
+
+const char* FleetStageName(FleetStage stage);
+
+struct FleetStatus {
+  FleetStage stage = FleetStage::kIdle;
+  /// Shard currently under staged rollout; -1 when none.
+  int upgrading_shard = -1;
+  /// Shards fully upgraded to the candidate so far.
+  int upgraded = 0;
+  /// Shard whose rollout failed; -1 when none.
+  int failed_shard = -1;
+  /// Candidate version on the canary shard (0 before the first load).
+  uint64_t candidate_version = 0;
+  /// Fleet rollbacks over the router's lifetime.
+  int64_t rollbacks = 0;
+  /// Why the fleet parked at kRolledBack ("" otherwise).
+  std::string reason;
+};
+
+/// User-sharded serving fleet: a consistent-hash router in front of N
+/// independent Engine shards, talking wire frames over a Transport.
+///
+/// Scoring: Score hashes the user onto the ring, encodes the request,
+/// round-trips the owning shard, and decodes the reply. Because every
+/// shard serves the same snapshot bit-identically and the wire codec
+/// round-trips floats exactly, an N-shard fleet's scores are
+/// byte-identical to a single engine given the same snapshot — the
+/// golden test in tests/shard_router_test.cc compares serialized
+/// responses.
+///
+/// Fleet rollouts upgrade one shard at a time, canary_shard first, each
+/// through its own RolloutController (canary -> ramp -> full -> idle),
+/// advancing lazily on Score calls: when the upgrading shard's
+/// controller completes, the next Score starts the next shard's load +
+/// rollout. One shard's failure — an unhealthy verdict (rollback) or a
+/// candidate load error — parks the whole fleet at kRolledBack touching
+/// only that shard: already-upgraded shards keep the candidate,
+/// remaining shards never load it, and no request ever fails because of
+/// the rollout (the failed shard's controller passes traffic through on
+/// the incumbent).
+///
+/// Thread-safe: Score may be called from many threads while another
+/// polls fleet_status() — the multi-shard hammer runs that shape under
+/// TSan.
+class ShardRouter {
+ public:
+  /// Loads the rollout candidate for one shard. Each shard gets its own
+  /// load (own version, own validation) so one shard's corrupt read
+  /// cannot poison another's.
+  using SnapshotLoader =
+      std::function<StatusOr<std::shared_ptr<const ModelSnapshot>>(int shard)>;
+
+  /// All shards start on `snapshot`.
+  ShardRouter(std::shared_ptr<const ModelSnapshot> snapshot,
+              const ShardRouterConfig& config);
+  /// Per-shard initial snapshots; `snapshots.size()` must equal
+  /// config.shards.
+  ShardRouter(std::vector<std::shared_ptr<const ModelSnapshot>> snapshots,
+              const ShardRouterConfig& config);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes, encodes, round-trips, decodes. Shard-side refusals come
+  /// back as their original status (a shed is still kUnavailable to the
+  /// caller); transport or framing failures surface as the decode
+  /// status. Advances an in-flight fleet rollout first.
+  StatusOr<ScoreResponse> Score(ScoreRequest request);
+
+  /// The shard that owns `user` on the ring.
+  int ShardFor(int user) const { return ring_.ShardFor(user); }
+
+  /// Begins a shard-by-shard fleet rollout. Fails with
+  /// FailedPrecondition while one is in flight (park at kRolledBack
+  /// included — acknowledge via ResetFleet, as an operator would).
+  Status BeginFleetRollout(SnapshotLoader loader);
+  /// Convenience: every shard loads from `spec`. spec.version must be 0
+  /// (auto-assign) so each shard's candidate gets a distinct version.
+  Status BeginFleetRollout(const SnapshotSpec& spec);
+
+  /// Acknowledges a rolled-back fleet, returning it to kIdle so a new
+  /// rollout may begin. No-op unless parked at kRolledBack.
+  void ResetFleet();
+
+  FleetStatus fleet_status() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ShardServer* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+  const ShardServer* shard(int i) const {
+    return shards_[static_cast<size_t>(i)].get();
+  }
+  const HashRing& ring() const { return ring_; }
+  const ShardRouterConfig& config() const { return config_; }
+
+  /// Stops every shard's engine (idempotent; also run by destruction).
+  void Stop();
+
+ private:
+  /// One lazy step of the fleet state machine; called at the top of
+  /// every Score.
+  void AdvanceFleet();
+
+  ShardRouterConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<ShardServer>> shards_;
+  std::vector<std::unique_ptr<Transport>> transports_;
+
+  mutable std::mutex fleet_mu_;
+  FleetStage fleet_stage_ = FleetStage::kIdle;
+  SnapshotLoader loader_;
+  /// Upgrade order: canary first, then the rest ascending.
+  std::vector<int> fleet_order_;
+  size_t fleet_index_ = 0;
+  bool fleet_started_current_ = false;
+  int fleet_upgraded_ = 0;
+  int fleet_failed_shard_ = -1;
+  uint64_t fleet_candidate_version_ = 0;
+  int64_t fleet_rollbacks_ = 0;
+  std::string fleet_reason_;
+
+  // Hot-path metrics, resolved once.
+  telemetry::Counter* wire_frames_;
+  telemetry::Counter* wire_bytes_tx_;
+  telemetry::Counter* wire_bytes_rx_;
+  telemetry::Counter* wire_rejects_;
+  telemetry::Gauge* shards_gauge_;
+  telemetry::Gauge* fleet_stage_gauge_;
+  telemetry::Counter* fleet_rollbacks_metric_;
+  telemetry::Gauge* fleet_upgraded_gauge_;
+  struct ShardMetrics {
+    telemetry::Counter* requests;
+    telemetry::Counter* ok;
+    telemetry::Counter* shed;
+    telemetry::Counter* errors;
+  };
+  std::vector<ShardMetrics> shard_metrics_;
+};
+
+}  // namespace uae::serve
+
+#endif  // UAE_SERVE_SHARD_ROUTER_H_

@@ -1,0 +1,389 @@
+#include "serve/wire.h"
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "nn/serialize.h"
+
+namespace uae::serve::wire {
+namespace {
+
+// ---- Little-endian primitive writers/readers -----------------------
+//
+// Explicit byte shuffles instead of memcpy-of-struct: the wire bytes are
+// identical on any host, and the reader can never run past the buffer —
+// every Read* checks remaining length before touching it.
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader over a payload. Every failure is
+/// sticky: once a read trips the underflow flag, all later reads return
+/// zeros and the caller sees one clean error at the end (no partial
+/// apply — decoders only build their result after a fully clean parse).
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  uint16_t U16() {
+    const uint16_t lo = U8();
+    return static_cast<uint16_t>(lo | (static_cast<uint16_t>(U8()) << 8));
+  }
+  uint32_t U32() {
+    const uint32_t lo = U16();
+    return lo | (static_cast<uint32_t>(U16()) << 16);
+  }
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    return lo | (static_cast<uint64_t>(U32()) << 32);
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  float F32() {
+    const uint32_t bits = U32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string String() {
+    const uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  /// Element count for a length-prefixed array whose elements occupy at
+  /// least `min_element_bytes` each. Checking the count against the
+  /// bytes actually remaining rejects a hostile "4 billion elements"
+  /// prefix before any reserve/loop runs.
+  uint32_t ArrayCount(size_t min_element_bytes) {
+    const uint32_t n = U32();
+    if (min_element_bytes > 0 &&
+        static_cast<uint64_t>(n) * min_element_bytes >
+            static_cast<uint64_t>(bytes_.size() - pos_)) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("wire: malformed ") + what);
+}
+
+// ---- Event codec ---------------------------------------------------
+//
+// Only the observable fields (what a production log or client holds):
+// sparse ids, dense features, action, play/song durations. The
+// simulator's true_* latents are deliberately not wire fields; they
+// decode to their zero defaults.
+
+void PutEvent(std::string* out, const data::Event& e) {
+  PutU32(out, static_cast<uint32_t>(e.sparse.size()));
+  for (const int id : e.sparse) PutI32(out, id);
+  PutU32(out, static_cast<uint32_t>(e.dense.size()));
+  for (const float v : e.dense) PutF32(out, v);
+  PutU8(out, static_cast<uint8_t>(e.action));
+  PutF32(out, e.play_seconds);
+  PutF32(out, e.song_duration);
+}
+
+data::Event ReadEvent(Reader* r) {
+  data::Event e;
+  const uint32_t sparse = r->ArrayCount(4);
+  e.sparse.reserve(sparse);
+  for (uint32_t i = 0; i < sparse && r->ok(); ++i) {
+    e.sparse.push_back(r->I32());
+  }
+  const uint32_t dense = r->ArrayCount(4);
+  e.dense.reserve(dense);
+  for (uint32_t i = 0; i < dense && r->ok(); ++i) {
+    e.dense.push_back(r->F32());
+  }
+  e.action = static_cast<data::FeedbackAction>(r->U8());
+  e.play_seconds = r->F32();
+  e.song_duration = r->F32();
+  return e;
+}
+
+bool ValidAction(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(data::FeedbackAction::kDownload);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  UAE_CHECK(payload.size() <= kMaxPayload);
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  PutU32(&frame, kMagic);
+  PutU8(&frame, kProtocolVersion);
+  PutU8(&frame, static_cast<uint8_t>(type));
+  PutU16(&frame, 0);  // Reserved.
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload.data(), payload.size());
+  PutU32(&frame, nn::Crc32(frame.data(), frame.size()));
+  return frame;
+}
+
+StatusOr<Frame> DecodeFrame(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize + kTrailerSize) {
+    return Malformed("frame: truncated header");
+  }
+  Reader header(bytes.substr(0, kHeaderSize));
+  if (header.U32() != kMagic) return Malformed("frame: bad magic");
+  if (header.U8() != kProtocolVersion) {
+    return Malformed("frame: unsupported protocol version");
+  }
+  const uint8_t raw_type = header.U8();
+  if (raw_type < static_cast<uint8_t>(FrameType::kScoreRequest) ||
+      raw_type > static_cast<uint8_t>(FrameType::kStatus)) {
+    return Malformed("frame: unknown type");
+  }
+  if (header.U16() != 0) return Malformed("frame: reserved bits set");
+  const uint32_t payload_size = header.U32();
+  if (payload_size > kMaxPayload) {
+    return Malformed("frame: payload length exceeds kMaxPayload");
+  }
+  // The length field is validated against the actual buffer before any
+  // payload byte is read; both a lying length and a truncated buffer
+  // land here.
+  if (bytes.size() != kHeaderSize + payload_size + kTrailerSize) {
+    return Malformed("frame: length mismatch");
+  }
+  const size_t checked = kHeaderSize + payload_size;
+  Reader trailer(bytes.substr(checked, kTrailerSize));
+  const uint32_t expected_crc = trailer.U32();
+  const uint32_t actual_crc = nn::Crc32(bytes.data(), checked);
+  if (expected_crc != actual_crc) return Malformed("frame: crc mismatch");
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.assign(bytes.data() + kHeaderSize, payload_size);
+  return frame;
+}
+
+std::string EncodeScoreRequest(const ScoreRequest& request) {
+  std::string payload;
+  PutI32(&payload, request.user);
+  // Deadline rebasing: absolute steady_clock points are process-local,
+  // so the wire carries "micros still available as of encode time"
+  // (clamped at 0 — an already-expired deadline stays expired).
+  const bool has_deadline =
+      request.deadline != std::chrono::steady_clock::time_point::max();
+  PutU8(&payload, has_deadline ? 1 : 0);
+  int64_t remaining_us = 0;
+  if (has_deadline) {
+    remaining_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       request.deadline - std::chrono::steady_clock::now())
+                       .count();
+    if (remaining_us < 0) remaining_us = 0;
+  }
+  PutI64(&payload, remaining_us);
+  PutU32(&payload, static_cast<uint32_t>(request.history.size()));
+  for (const data::Event& e : request.history) PutEvent(&payload, e);
+  PutU32(&payload, static_cast<uint32_t>(request.candidates.size()));
+  for (const data::Event& e : request.candidates) PutEvent(&payload, e);
+  PutU32(&payload, static_cast<uint32_t>(request.candidate_songs.size()));
+  for (const int song : request.candidate_songs) PutI32(&payload, song);
+  return EncodeFrame(FrameType::kScoreRequest, payload);
+}
+
+StatusOr<ScoreRequest> DecodeScoreRequest(std::string_view payload) {
+  Reader r(payload);
+  ScoreRequest request;
+  request.user = r.I32();
+  const uint8_t has_deadline = r.U8();
+  const int64_t remaining_us = r.I64();
+  if (has_deadline > 1 || remaining_us < 0) {
+    return Malformed("request: deadline");
+  }
+  const uint32_t history = r.ArrayCount(17);  // Minimal event encoding.
+  request.history.reserve(history);
+  for (uint32_t i = 0; i < history && r.ok(); ++i) {
+    request.history.push_back(ReadEvent(&r));
+  }
+  const uint32_t candidates = r.ArrayCount(17);
+  request.candidates.reserve(candidates);
+  for (uint32_t i = 0; i < candidates && r.ok(); ++i) {
+    request.candidates.push_back(ReadEvent(&r));
+  }
+  const uint32_t songs = r.ArrayCount(4);
+  request.candidate_songs.reserve(songs);
+  for (uint32_t i = 0; i < songs && r.ok(); ++i) {
+    request.candidate_songs.push_back(r.I32());
+  }
+  if (!r.AtEnd()) return Malformed("request: truncated or trailing bytes");
+  for (const data::Event& e : request.history) {
+    if (!ValidAction(static_cast<uint8_t>(e.action))) {
+      return Malformed("request: feedback action out of range");
+    }
+  }
+  for (const data::Event& e : request.candidates) {
+    if (!ValidAction(static_cast<uint8_t>(e.action))) {
+      return Malformed("request: feedback action out of range");
+    }
+  }
+  if (has_deadline == 1) {
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(remaining_us);
+  }
+  return request;
+}
+
+std::string EncodeScoreResponse(const ScoreResponse& response) {
+  std::string payload;
+  PutU64(&payload, response.snapshot_version);
+  PutU8(&payload, response.degraded ? 1 : 0);
+  PutString(&payload, response.degraded_reason);
+  PutU32(&payload, static_cast<uint32_t>(response.scores.size()));
+  for (const CandidateScore& cs : response.scores) {
+    PutI32(&payload, cs.song);
+    PutF64(&payload, cs.ctr);
+    PutF32(&payload, cs.alpha);
+    PutF64(&payload, cs.reweighted);
+  }
+  PutU32(&payload, static_cast<uint32_t>(response.playlist.size()));
+  for (const int song : response.playlist) PutI32(&payload, song);
+  return EncodeFrame(FrameType::kScoreResponse, payload);
+}
+
+StatusOr<ScoreResponse> DecodeScoreResponse(std::string_view payload) {
+  Reader r(payload);
+  ScoreResponse response;
+  response.snapshot_version = r.U64();
+  const uint8_t degraded = r.U8();
+  if (degraded > 1) return Malformed("response: degraded flag");
+  response.degraded = degraded == 1;
+  response.degraded_reason = r.String();
+  const uint32_t scores = r.ArrayCount(24);
+  response.scores.reserve(scores);
+  for (uint32_t i = 0; i < scores && r.ok(); ++i) {
+    CandidateScore cs;
+    cs.song = r.I32();
+    cs.ctr = r.F64();
+    cs.alpha = r.F32();
+    cs.reweighted = r.F64();
+    response.scores.push_back(cs);
+  }
+  const uint32_t playlist = r.ArrayCount(4);
+  response.playlist.reserve(playlist);
+  for (uint32_t i = 0; i < playlist && r.ok(); ++i) {
+    response.playlist.push_back(r.I32());
+  }
+  if (!r.AtEnd()) return Malformed("response: truncated or trailing bytes");
+  return response;
+}
+
+std::string EncodeStatus(const Status& status) {
+  std::string payload;
+  PutI32(&payload, static_cast<int32_t>(status.code()));
+  PutString(&payload, status.message());
+  return EncodeFrame(FrameType::kStatus, payload);
+}
+
+Status DecodeStatus(std::string_view payload, Status* carried) {
+  Reader r(payload);
+  const int32_t code = r.I32();
+  const std::string message = r.String();
+  if (!r.AtEnd()) return Malformed("status: truncated or trailing bytes");
+  if (code < static_cast<int32_t>(StatusCode::kOk) ||
+      code > static_cast<int32_t>(StatusCode::kUnavailable)) {
+    return Malformed("status: code out of range");
+  }
+  if (code == static_cast<int32_t>(StatusCode::kOk)) {
+    // OK travels as a kScoreResponse frame, never as a status frame; an
+    // OK status frame means a confused peer.
+    return Malformed("status: ok status frame");
+  }
+  *carried = Status(static_cast<StatusCode>(code), message);
+  return Status::Ok();
+}
+
+StatusOr<ScoreResponse> DecodeReply(std::string_view frame_bytes) {
+  StatusOr<Frame> frame = DecodeFrame(frame_bytes);
+  if (!frame.ok()) return frame.status();
+  switch (frame.value().type) {
+    case FrameType::kScoreResponse:
+      return DecodeScoreResponse(frame.value().payload);
+    case FrameType::kStatus: {
+      Status carried;
+      const Status decode = DecodeStatus(frame.value().payload, &carried);
+      if (!decode.ok()) return decode;
+      return carried;
+    }
+    case FrameType::kScoreRequest:
+      break;
+  }
+  return Malformed("reply: unexpected frame type");
+}
+
+}  // namespace uae::serve::wire

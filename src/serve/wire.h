@@ -1,0 +1,100 @@
+#ifndef UAE_SERVE_WIRE_H_
+#define UAE_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace uae::serve::wire {
+
+/// Binary wire protocol for ScoreRequest / ScoreResponse (DESIGN.md §15).
+///
+/// Frame layout (all integers little-endian, independent of host order):
+///
+///   offset  size  field
+///   0       4     magic "UAEW"
+///   4       1     protocol version (kProtocolVersion)
+///   5       1     frame type (FrameType)
+///   6       2     reserved, must be 0
+///   8       4     payload length N (<= kMaxPayload)
+///   12      N     payload
+///   12+N    4     CRC-32 (IEEE) over bytes [0, 12+N)
+///
+/// The CRC covers header AND payload, so any single-bit flip anywhere in
+/// the frame — including the length field and the type byte — is
+/// rejected. A decoder never trusts the length field beyond bounds
+/// checks: an oversized or truncated frame fails before any payload is
+/// touched. Decode failures are always a clean Status (kInvalidArgument
+/// for malformed bytes), never a crash or a partially-applied request —
+/// the contract the wire corruption battery in tests/wire_test.cc
+/// enforces frame by frame.
+///
+/// Scope: this framing is the socket-ready contract between the shard
+/// router and its shards. Today frames travel over an in-process
+/// transport (serve/shard_router.h); the bytes are already what a local
+/// socket would carry. Only the *observable* request fields cross the
+/// wire: simulator ground-truth latents (Event::true_*) never leave the
+/// client, and ScoreRequest::pinned_snapshot is in-process routing state
+/// that cannot be serialized — shard-side rollout controllers make their
+/// own pinning decisions.
+
+/// Frame types carried in the header. A reply is either a kScoreResponse
+/// or a kStatus frame (a serialized non-OK Status).
+enum class FrameType : uint8_t {
+  kScoreRequest = 1,
+  kScoreResponse = 2,
+  kStatus = 3,
+};
+
+inline constexpr uint32_t kMagic = 0x57454155u;  // "UAEW" little-endian.
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 12;
+inline constexpr size_t kTrailerSize = 4;  // CRC-32.
+/// Payload ceiling: a frame claiming more than this is rejected before
+/// any allocation. Generous for playlists, far below anything that could
+/// wedge a shard.
+inline constexpr uint32_t kMaxPayload = 64u * 1024u * 1024u;
+
+/// A decoded frame: type plus raw payload bytes (still to be decoded by
+/// the type-specific decoder below).
+struct Frame {
+  FrameType type = FrameType::kStatus;
+  std::string payload;
+};
+
+/// Wraps `payload` in a checked frame.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Strict whole-buffer decode: `bytes` must be exactly one well-formed
+/// frame (trailing garbage is rejected — a stream transport delivers
+/// exact frames by construction of the length prefix).
+StatusOr<Frame> DecodeFrame(std::string_view bytes);
+
+// ---- Type-specific payload codecs ----------------------------------
+
+/// Encodes a full request frame. Deadlines are rebased to a relative
+/// "micros from now" on the wire (a steady_clock time_point means
+/// nothing to another process); no-deadline requests stay no-deadline.
+std::string EncodeScoreRequest(const ScoreRequest& request);
+StatusOr<ScoreRequest> DecodeScoreRequest(std::string_view payload);
+
+std::string EncodeScoreResponse(const ScoreResponse& response);
+StatusOr<ScoreResponse> DecodeScoreResponse(std::string_view payload);
+
+/// A non-OK Status as a reply frame (code + message).
+std::string EncodeStatus(const Status& status);
+/// Decodes a kStatus payload. The return value is the *decode* status;
+/// on success `*carried` holds the transported (non-OK) status.
+Status DecodeStatus(std::string_view payload, Status* carried);
+
+/// Client-side reply decode: a kScoreResponse frame yields the response,
+/// a kStatus frame yields the carried (non-OK) status, anything else is
+/// kInvalidArgument.
+StatusOr<ScoreResponse> DecodeReply(std::string_view frame_bytes);
+
+}  // namespace uae::serve::wire
+
+#endif  // UAE_SERVE_WIRE_H_

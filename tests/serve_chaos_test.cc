@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/fault.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
@@ -24,6 +25,7 @@
 #include "serve/engine.h"
 #include "serve/model_snapshot.h"
 #include "serve/rollout.h"
+#include "serve/shard_router.h"
 
 namespace uae::serve {
 namespace {
@@ -318,6 +320,156 @@ TEST_F(ChaosTest, LatencySpikesSlowButNeverChangeScores) {
     EXPECT_EQ(delayed.value().scores[k].ctr, clean.value().scores[k].ctr);
     EXPECT_EQ(delayed.value().scores[k].alpha, clean.value().scores[k].alpha);
   }
+}
+
+// ---- Sharded fleet chaos (DESIGN.md §15) ----------------------------
+//
+// Mid-fleet-rollout, one shard's candidate load is corrupted (with
+// latency spikes layered on top). The contract: the fleet parks touching
+// only that shard — the canary keeps its already-promoted candidate, the
+// failed shard and everyone after it keep the incumbent — with ZERO
+// failed requests, and the full client-visible tape is bit-equal to an
+// undisturbed run.
+TEST_F(ChaosTest, ShardLoadCorruptionParksFleetTouchingOnlyThatShard) {
+  const data::World world(SmallWorldConfig(), 89);
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 96, 90);
+  const int restore_threads = parallel::NumThreads();
+  parallel::SetNumThreads(1);
+
+  // Candidate and incumbent are the same checkpoint bytes, so every
+  // response is bit-comparable no matter which snapshot served it;
+  // versions tell them apart. Staging through a real file is what makes
+  // the snapshot.load.corrupt fault point reachable.
+  Rng rng(91);
+  models::ModelConfig model_config;
+  std::unique_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), model_config);
+  const std::string path = testing::TempDir() + "/fleet_candidate.ckpt";
+  ASSERT_TRUE(
+      SaveRecommender(*model, models::ModelKind::kLr, model_config, path)
+          .ok());
+  SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_config = model_config;
+  spec.model_path = path;
+
+  const uint64_t kIncumbentVersion = 701;
+  auto make_router = [&]() {
+    SnapshotSpec incumbent = spec;
+    incumbent.version = kIncumbentVersion;
+    const StatusOr<std::shared_ptr<const ModelSnapshot>> loaded =
+        ModelSnapshot::Load(incumbent);
+    UAE_CHECK_MSG(loaded.ok(), "incumbent load failed");
+    ShardRouterConfig config;
+    config.shards = 3;
+    config.engine = ImmediateDispatch();
+    config.rollout.canary_fraction = 0.5;
+    config.rollout.ramp_fraction = 0.75;
+    config.rollout.stage_requests = 16;
+    config.rollout.health.thresholds.min_samples = 4;
+    config.rollout.health.thresholds.max_latency_ratio = 0.0;
+    config.rollout.health.thresholds.max_score_drift = 0.05;
+    config.rollout.health.thresholds.score_drift_p_value = 0.01;
+    return std::make_unique<ShardRouter>(loaded.value(), config);
+  };
+
+  // Undisturbed run: the fleet promotes every shard; record how many
+  // rounds that takes so the chaos run can drive the identical request
+  // sequence.
+  Tape undisturbed;
+  int rounds = 0;
+  {
+    std::unique_ptr<ShardRouter> router = make_router();
+    ASSERT_TRUE(router->BeginFleetRollout(spec).ok());
+    for (; rounds < 64 &&
+           router->fleet_status().stage == FleetStage::kUpgrading;
+         ++rounds) {
+      for (const ScoreRequest& req : requests) {
+        const StatusOr<ScoreResponse> resp = router->Score(req);
+        ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+        std::vector<double> ctr;
+        for (const CandidateScore& cs : resp.value().scores) {
+          ctr.push_back(cs.ctr);
+        }
+        undisturbed.ctr.push_back(std::move(ctr));
+        undisturbed.playlists.push_back(resp.value().playlist);
+        undisturbed.degraded.push_back(resp.value().degraded);
+      }
+    }
+    const FleetStatus fleet = router->fleet_status();
+    ASSERT_EQ(fleet.stage, FleetStage::kIdle) << fleet.reason;
+    ASSERT_EQ(fleet.upgraded, 3);
+    router->Stop();
+  }
+
+  // Chaos run: same rounds, but once the canary (shard 0) has been
+  // promoted, every subsequent checkpoint read sees a flipped byte and
+  // scoring sees latency spikes. The next fleet step — loading shard 1's
+  // candidate — must fail cleanly and park the fleet.
+  Tape chaos;
+  std::unique_ptr<ShardRouter> router = make_router();
+  ASSERT_TRUE(router->BeginFleetRollout(spec).ok());
+  bool armed = false;
+  for (int round = 0; round < rounds; ++round) {
+    for (const ScoreRequest& req : requests) {
+      if (!armed && router->fleet_status().upgraded == 1) {
+        FaultInjector::Instance().Arm("snapshot.load.corrupt",
+                                      {/*probability=*/1.0, /*seed=*/31});
+        FaultInjector::Instance().Arm(
+            "serve.score.delay", {/*probability=*/0.10, /*seed=*/32,
+                                  /*delay_micros=*/500});
+        armed = true;
+      }
+      const StatusOr<ScoreResponse> resp = router->Score(req);
+      // The zero-aborts contract extends to the fleet: a shard whose
+      // upgrade fails keeps serving its incumbent; nobody else notices.
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      std::vector<double> ctr;
+      for (const CandidateScore& cs : resp.value().scores) {
+        ctr.push_back(cs.ctr);
+      }
+      chaos.ctr.push_back(std::move(ctr));
+      chaos.playlists.push_back(resp.value().playlist);
+      chaos.degraded.push_back(resp.value().degraded);
+    }
+  }
+  ASSERT_TRUE(armed);
+  EXPECT_GT(FaultInjector::Instance().Stats("snapshot.load.corrupt").fires,
+            0);
+  EXPECT_GT(FaultInjector::Instance().Stats("serve.score.delay").fires, 0);
+
+  // The fleet parked on exactly the shard whose load was corrupted.
+  const FleetStatus fleet = router->fleet_status();
+  EXPECT_EQ(fleet.stage, FleetStage::kRolledBack);
+  EXPECT_EQ(fleet.failed_shard, 1);
+  EXPECT_EQ(fleet.upgraded, 1);
+  EXPECT_EQ(fleet.rollbacks, 1);
+  EXPECT_NE(fleet.reason.find("load:"), std::string::npos) << fleet.reason;
+
+  // Blast radius: the canary keeps its promoted candidate; the failed
+  // shard and the one behind it still serve the incumbent, untouched.
+  EXPECT_NE(router->shard(0)->engine()->snapshot()->version(),
+            kIncumbentVersion);
+  EXPECT_EQ(router->shard(1)->engine()->snapshot()->version(),
+            kIncumbentVersion);
+  EXPECT_EQ(router->shard(2)->engine()->snapshot()->version(),
+            kIncumbentVersion);
+  EXPECT_EQ(router->shard(1)->rollout()->rollbacks(), 0);
+  EXPECT_EQ(router->shard(2)->rollout()->rollbacks(), 0);
+
+  // The client-visible tape — identical checkpoint bytes either way —
+  // is bit-equal to the undisturbed fleet's.
+  EXPECT_EQ(chaos.ctr, undisturbed.ctr);
+  EXPECT_EQ(chaos.playlists, undisturbed.playlists);
+  EXPECT_EQ(chaos.degraded, undisturbed.degraded);
+
+  // Healed: after ResetFleet a fresh rollout is accepted again.
+  FaultInjector::Instance().DisarmAll();
+  router->ResetFleet();
+  EXPECT_TRUE(router->BeginFleetRollout(spec).ok());
+  router->Stop();
+  parallel::SetNumThreads(restore_threads);
 }
 
 }  // namespace

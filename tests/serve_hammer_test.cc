@@ -28,6 +28,7 @@
 #include "serve/flight_recorder.h"
 #include "serve/model_snapshot.h"
 #include "serve/rollout.h"
+#include "serve/shard_router.h"
 #include "serve/slo.h"
 
 namespace uae::serve {
@@ -403,6 +404,119 @@ TEST(ServeHammerTest, DriftMonitorUnderConcurrentScoring) {
   EXPECT_EQ(completed.load(), kScorers * kRequestsPerScorer);
   const DriftStatus status = engine.drift()->GetStatus();
   EXPECT_EQ(status.samples, completed.load());
+}
+
+// Shard-router hammer: scorer threads push traffic through a 4-shard
+// ShardRouter — consistent-hash routing plus a full wire encode/decode
+// round trip per request — while per-shard swappers republish snapshots
+// underneath the fleet and an observer renders the telemetry registry
+// and polls fleet_status() as fast as it can. A TSan-clean pass means
+// the router's fleet state, the per-shard engines, the wire counters,
+// and the ring share nothing hot. Invariants: no request fails, every
+// response carries one of the pinned versions, and the per-shard
+// request counters account for every routed request exactly once.
+TEST(ServeHammerTest, ShardRouterUnderConcurrentScoringAndSwaps) {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 32;
+  cfg.num_songs = 80;
+  cfg.num_artists = 15;
+  cfg.num_albums = 30;
+  const data::World world(cfg, 37);
+
+  constexpr int kShards = 4;
+  const std::shared_ptr<const ModelSnapshot> incumbent =
+      BuildSnapshot(world, 9, 109);
+  std::vector<std::shared_ptr<const ModelSnapshot>> alternates;
+  for (int s = 0; s < kShards; ++s) {
+    alternates.push_back(BuildSnapshot(
+        world, 10 + static_cast<uint64_t>(s), 110 + static_cast<uint64_t>(s)));
+  }
+
+  ShardRouterConfig config;
+  config.shards = kShards;
+  config.engine.max_wait_us = 0;
+  config.engine.max_batch = 4;
+  ShardRouter router(incumbent, config);
+
+  telemetry::Counter* shard_requests[kShards];
+  for (int s = 0; s < kShards; ++s) {
+    shard_requests[s] = telemetry::GetCounter(
+        "uae.serve.shard." + std::to_string(s) + ".requests");
+  }
+  int64_t shard_before = 0;
+  for (int s = 0; s < kShards; ++s) shard_before += shard_requests[s]->Get();
+
+  constexpr int kScorers = 4;
+  constexpr int kRequestsPerScorer = 120;
+  constexpr int kSwaps = 100;
+
+  std::atomic<int> completed{0};
+  std::atomic<bool> bad_version{false};
+  std::atomic<bool> stop_observer{false};
+  std::vector<std::thread> scorers;
+  for (int s = 0; s < kScorers; ++s) {
+    scorers.emplace_back([&, s] {
+      Rng rng(500 + static_cast<uint64_t>(s));
+      for (int i = 0; i < kRequestsPerScorer; ++i) {
+        ScoreRequest req;
+        req.user = static_cast<int>(rng.UniformInt(cfg.num_users));
+        const int hour = static_cast<int>(rng.UniformInt(24));
+        const int weekday = static_cast<int>(rng.UniformInt(7));
+        std::vector<int> played = {world.SampleSong(&rng),
+                                   world.SampleSong(&rng)};
+        req.history =
+            world.SimulateSession(req.user, played, hour, weekday, &rng)
+                .events;
+        for (int c = 0; c < 2; ++c) {
+          const int song = world.SampleSong(&rng);
+          req.candidate_songs.push_back(song);
+          req.candidates.push_back(
+              world.ScoringEvent(req.user, song, hour, weekday));
+        }
+        const StatusOr<ScoreResponse> response = router.Score(std::move(req));
+        if (!response.ok()) continue;
+        ++completed;
+        const uint64_t version = response.value().snapshot_version;
+        if (version != 109 &&
+            (version < 110 || version >= 110 + kShards)) {
+          bad_version = true;
+        }
+      }
+    });
+  }
+  // One swapper per shard: hot-swaps land on every shard while the
+  // router keeps routing through them.
+  std::vector<std::thread> swappers;
+  for (int s = 0; s < kShards; ++s) {
+    swappers.emplace_back([&, s] {
+      for (int i = 0; i < kSwaps; ++i) {
+        router.shard(s)->engine()->Swap(
+            i % 2 == 0 ? alternates[static_cast<size_t>(s)] : incumbent);
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread observer([&] {
+    while (!stop_observer.load(std::memory_order_relaxed)) {
+      const std::string text = telemetry::RenderPrometheusText();
+      ASSERT_FALSE(text.empty());
+      const FleetStatus fleet = router.fleet_status();
+      ASSERT_EQ(fleet.stage, FleetStage::kIdle);  // No rollout in flight.
+    }
+  });
+  for (std::thread& t : scorers) t.join();
+  for (std::thread& t : swappers) t.join();
+  stop_observer = true;
+  observer.join();
+  router.Stop();
+
+  EXPECT_EQ(completed.load(), kScorers * kRequestsPerScorer);
+  EXPECT_FALSE(bad_version.load());
+  // Per-shard accounting: every request routed to exactly one shard.
+  int64_t shard_after = 0;
+  for (int s = 0; s < kShards; ++s) shard_after += shard_requests[s]->Get();
+  EXPECT_EQ(shard_after - shard_before,
+            static_cast<int64_t>(kScorers) * kRequestsPerScorer);
 }
 
 }  // namespace

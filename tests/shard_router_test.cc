@@ -1,0 +1,405 @@
+// Shard-router goldens (ctest label: sharding; DESIGN.md §15).
+//
+// The load-bearing invariants: (1) an N-shard fleet's replies are
+// byte-identical to a single engine serving the same snapshot — wire
+// framing and routing add zero score perturbation; (2) user→shard
+// placement is a pure function of the shard set (not construction
+// order) and rebalances minimally on add/remove; (3) a fleet rollout
+// promotes shard by shard and a failing shard parks the fleet touching
+// only itself, with zero failed requests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/telemetry.h"
+#include "data/world.h"
+#include "models/registry.h"
+#include "serve/model_snapshot.h"
+#include "serve/shard_router.h"
+#include "serve/wire.h"
+
+namespace uae::serve {
+namespace {
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_users = 48;
+  cfg.num_songs = 120;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+std::shared_ptr<const ModelSnapshot> BuildSnapshot(
+    const data::World& world, uint64_t seed, uint64_t version,
+    bool saturate_weights = false) {
+  Rng rng(seed);
+  std::shared_ptr<models::Recommender> model = models::CreateRecommender(
+      models::ModelKind::kLr, &rng, world.schema(), models::ModelConfig());
+  if (saturate_weights) {
+    // The serve_chaos_test "mistrained model": saturated logits shift
+    // scores wholesale while the process stays healthy — only the
+    // score-drift health criterion can catch it.
+    for (const nn::NodePtr& param : model->Parameters()) {
+      for (int r = 0; r < param->value.rows(); ++r) {
+        for (int c = 0; c < param->value.cols(); ++c) {
+          param->value.at(r, c) = param->value.at(r, c) * 10.0f + 2.0f;
+        }
+      }
+    }
+  }
+  auto tower = std::make_shared<attention::AttentionTower>(
+      &rng, world.schema(), attention::TowerConfig());
+  return ModelSnapshot::FromModules(world.schema(), std::move(model),
+                                    std::move(tower), /*gamma=*/1.0f,
+                                    version);
+}
+
+std::vector<ScoreRequest> BuildRequests(const data::World& world, int count,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScoreRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    ScoreRequest req;
+    req.user = i % world.config().num_users;
+    const int hour = static_cast<int>(rng.UniformInt(24));
+    const int weekday = static_cast<int>(rng.UniformInt(7));
+    std::vector<int> played = {world.SampleSong(&rng),
+                               world.SampleSong(&rng),
+                               world.SampleSong(&rng)};
+    req.history =
+        world.SimulateSession(req.user, played, hour, weekday, &rng).events;
+    for (int c = 0; c < 3; ++c) {
+      const int song = world.SampleSong(&rng);
+      req.candidate_songs.push_back(song);
+      req.candidates.push_back(
+          world.ScoringEvent(req.user, song, hour, weekday));
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+EngineConfig ImmediateDispatch() {
+  EngineConfig config;
+  config.max_wait_us = 0;
+  return config;
+}
+
+ShardRouterConfig RouterConfig(int shards) {
+  ShardRouterConfig config;
+  config.shards = shards;
+  config.engine = ImmediateDispatch();
+  // Small stage windows so fleet tests complete in a few hundred
+  // requests; thresholds tuned like the chaos harness: latency is
+  // wall-clock noise, score drift is the signal.
+  config.rollout.canary_fraction = 0.5;
+  config.rollout.ramp_fraction = 0.75;
+  config.rollout.stage_requests = 16;
+  config.rollout.health.thresholds.min_samples = 4;
+  config.rollout.health.thresholds.max_latency_ratio = 0.0;
+  config.rollout.health.thresholds.max_score_drift = 0.05;
+  config.rollout.health.thresholds.score_drift_p_value = 0.01;
+  return config;
+}
+
+// ---- Ring invariants ------------------------------------------------
+
+TEST(HashRing, PlacementIndependentOfConstructionOrder) {
+  const HashRing forward({0, 1, 2, 3}, 64, /*salt=*/7);
+  const HashRing shuffled({3, 1, 0, 2}, 64, /*salt=*/7);
+  for (int user = 0; user < 10000; ++user) {
+    ASSERT_EQ(forward.ShardFor(user), shuffled.ShardFor(user))
+        << "user " << user;
+  }
+}
+
+TEST(HashRing, EveryShardOwnsASaneShare) {
+  const int kShards = 4;
+  const int kUsers = 40000;
+  const HashRing ring({0, 1, 2, 3}, 64, /*salt=*/0);
+  std::vector<int> counts(kShards, 0);
+  for (int user = 0; user < kUsers; ++user) ++counts[ring.ShardFor(user)];
+  const double uniform = static_cast<double>(kUsers) / kShards;
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], uniform * 0.5) << "shard " << s << " starved";
+    EXPECT_LT(counts[s], uniform * 1.5) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(HashRing, RemovingAShardOnlyMovesItsOwnKeys) {
+  const int kUsers = 20000;
+  const HashRing before({0, 1, 2, 3}, 64, /*salt=*/3);
+  const HashRing after({0, 1, 3}, 64, /*salt=*/3);  // Shard 2 removed.
+  int moved = 0;
+  for (int user = 0; user < kUsers; ++user) {
+    const int was = before.ShardFor(user);
+    const int now = after.ShardFor(user);
+    if (was != 2) {
+      // The strong consistent-hashing guarantee: keys not owned by the
+      // removed shard do not move at all.
+      ASSERT_EQ(now, was) << "user " << user << " moved needlessly";
+    } else {
+      EXPECT_NE(now, 2);
+      ++moved;
+    }
+  }
+  // Orphaned keys exist and are roughly the removed shard's 1/4 share.
+  EXPECT_GT(moved, kUsers / 8);
+  EXPECT_LT(moved, kUsers / 2);
+}
+
+TEST(HashRing, AddingAShardStealsOnlyForItself) {
+  const int kUsers = 20000;
+  const HashRing before({0, 1, 2, 3}, 64, /*salt=*/3);
+  const HashRing after({0, 1, 2, 3, 4}, 64, /*salt=*/3);
+  int moved = 0;
+  for (int user = 0; user < kUsers; ++user) {
+    const int was = before.ShardFor(user);
+    const int now = after.ShardFor(user);
+    if (now != was) {
+      // A key may move only TO the new shard, never between survivors.
+      ASSERT_EQ(now, 4) << "user " << user << " reshuffled to shard " << now;
+      ++moved;
+    }
+  }
+  // The newcomer takes about its 1/5 share — bounded key movement, not
+  // a reshuffle.
+  EXPECT_GT(moved, kUsers / 10);
+  EXPECT_LT(moved, static_cast<int>(kUsers * 0.35));
+}
+
+// ---- Golden: sharded == single engine, at any thread count ----------
+
+TEST(ShardRouter, FourShardsBitIdenticalToOneEngineAcrossThreadCounts) {
+  const data::World world(SmallWorldConfig(), 61);
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 96, 5);
+  const int restore_threads = parallel::NumThreads();
+
+  // Reference tape: one engine, single-threaded, serialized replies —
+  // byte comparison covers every field of every response.
+  parallel::SetNumThreads(1);
+  std::vector<std::string> reference;
+  {
+    Engine engine(BuildSnapshot(world, 71, 601), ImmediateDispatch());
+    for (const ScoreRequest& req : requests) {
+      const StatusOr<ScoreResponse> resp = engine.Score(req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      reference.push_back(wire::EncodeScoreResponse(resp.value()));
+    }
+  }
+
+  std::vector<int> reference_assignment;
+  for (const int threads : {1, 2, 8}) {
+    parallel::SetNumThreads(threads);
+    ShardRouter router(BuildSnapshot(world, 71, 601), RouterConfig(4));
+    std::vector<int> assignment;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      assignment.push_back(router.ShardFor(requests[i].user));
+      const StatusOr<ScoreResponse> resp = router.Score(requests[i]);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      EXPECT_EQ(wire::EncodeScoreResponse(resp.value()), reference[i])
+          << "request " << i << " threads=" << threads;
+    }
+    if (reference_assignment.empty()) {
+      reference_assignment = assignment;
+      // All four shards actually served.
+      std::vector<int> sorted = assignment;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      EXPECT_EQ(sorted.size(), 4u);
+    } else {
+      EXPECT_EQ(assignment, reference_assignment)
+          << "assignment changed at threads=" << threads;
+    }
+  }
+  parallel::SetNumThreads(restore_threads);
+}
+
+TEST(ShardRouter, PerShardCountersAttributeEveryRequest) {
+  const data::World world(SmallWorldConfig(), 62);
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 48, 6);
+  ShardRouter router(BuildSnapshot(world, 72, 611), RouterConfig(4));
+  std::vector<telemetry::Counter*> counters;
+  std::vector<int64_t> base;
+  for (int s = 0; s < 4; ++s) {
+    counters.push_back(telemetry::GetCounter(
+        "uae.serve.shard." + std::to_string(s) + ".requests"));
+    base.push_back(counters.back()->Get());
+  }
+  std::vector<int64_t> expected(4, 0);
+  for (const ScoreRequest& req : requests) {
+    ++expected[static_cast<size_t>(router.ShardFor(req.user))];
+    ASSERT_TRUE(router.Score(req).ok());
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(counters[static_cast<size_t>(s)]->Get() -
+                  base[static_cast<size_t>(s)],
+              expected[static_cast<size_t>(s)])
+        << "shard " << s;
+  }
+  EXPECT_EQ(telemetry::GetGauge("uae.serve.router.shards")->Get(), 4.0);
+}
+
+// ---- Wire errors through the full stack -----------------------------
+
+TEST(ShardRouter, MalformedFrameGetsCleanStatusReply) {
+  const data::World world(SmallWorldConfig(), 63);
+  ShardRouter router(BuildSnapshot(world, 73, 621), RouterConfig(2));
+  telemetry::Counter* rejects =
+      telemetry::GetCounter("uae.serve.wire.rejects");
+  const int64_t rejects_before = rejects->Get();
+  // Straight at the shard server, as a socket listener would deliver it.
+  const std::string reply = router.shard(0)->HandleFrame("not a frame");
+  const StatusOr<ScoreResponse> decoded = wire::DecodeReply(reply);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rejects->Get() - rejects_before, 1);
+  // A reply frame is not a request: the shard bounces it cleanly too.
+  const std::string reply2 = router.shard(0)->HandleFrame(
+      wire::EncodeStatus(Status::Internal("loopback")));
+  EXPECT_EQ(wire::DecodeReply(reply2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardRouter, EngineValidationCrossesTheWireBack) {
+  const data::World world(SmallWorldConfig(), 64);
+  ShardRouter router(BuildSnapshot(world, 74, 631), RouterConfig(2));
+  ScoreRequest empty;
+  empty.user = 9;  // No candidates: the engine must refuse it.
+  const StatusOr<ScoreResponse> resp = router.Score(empty);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Fleet rollout --------------------------------------------------
+
+/// Pumps the request set through the router until the fleet leaves
+/// kUpgrading (or the round budget runs out). Every request must
+/// succeed — a fleet rollout is invisible to clients.
+void PumpUntilSettled(ShardRouter* router,
+                      const std::vector<ScoreRequest>& requests,
+                      int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    if (router->fleet_status().stage != FleetStage::kUpgrading) return;
+    for (const ScoreRequest& req : requests) {
+      const StatusOr<ScoreResponse> resp = router->Score(req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    }
+  }
+}
+
+TEST(ShardRouter, FleetRolloutUpgradesEveryShardCanaryFirst) {
+  const data::World world(SmallWorldConfig(), 65);
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 48, 7);
+  const std::shared_ptr<const ModelSnapshot> incumbent =
+      BuildSnapshot(world, 75, 641);
+  ShardRouterConfig config = RouterConfig(3);
+  config.canary_shard = 1;
+  ShardRouter router(incumbent, config);
+
+  ASSERT_TRUE(router
+                  .BeginFleetRollout([&world](int /*shard*/) {
+                    // Fresh auto-assigned version per shard, same bits.
+                    return StatusOr<std::shared_ptr<const ModelSnapshot>>(
+                        BuildSnapshot(world, 75, 0));
+                  })
+                  .ok());
+  // Second begin while in flight is refused.
+  EXPECT_EQ(router
+                .BeginFleetRollout(
+                    [&world](int) {
+                      return StatusOr<
+                          std::shared_ptr<const ModelSnapshot>>(
+                          BuildSnapshot(world, 75, 0));
+                    })
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // The canary shard upgrades strictly first.
+  bool saw_canary_upgrading = false;
+  for (int round = 0; round < 64 && router.fleet_status().upgraded == 0;
+       ++round) {
+    const FleetStatus status = router.fleet_status();
+    ASSERT_EQ(status.stage, FleetStage::kUpgrading);
+    if (status.upgrading_shard >= 0) {
+      ASSERT_EQ(status.upgrading_shard, 1);
+      saw_canary_upgrading = true;
+    }
+    for (const ScoreRequest& req : requests) {
+      ASSERT_TRUE(router.Score(req).ok());
+    }
+  }
+  EXPECT_TRUE(saw_canary_upgrading);
+  ASSERT_GE(router.fleet_status().upgraded, 1);
+
+  PumpUntilSettled(&router, requests, /*max_rounds=*/64);
+  const FleetStatus done = router.fleet_status();
+  EXPECT_EQ(done.stage, FleetStage::kIdle);
+  EXPECT_EQ(done.upgraded, 3);
+  EXPECT_EQ(done.failed_shard, -1);
+  EXPECT_EQ(done.rollbacks, 0);
+  // Every shard now serves a fresh auto-assigned version, each distinct
+  // (per-shard loads, per-shard versions).
+  std::vector<uint64_t> versions;
+  for (int s = 0; s < 3; ++s) {
+    const uint64_t v = router.shard(s)->engine()->snapshot()->version();
+    EXPECT_NE(v, 641u) << "shard " << s << " still on the incumbent";
+    versions.push_back(v);
+  }
+  std::sort(versions.begin(), versions.end());
+  EXPECT_EQ(std::unique(versions.begin(), versions.end()), versions.end());
+}
+
+TEST(ShardRouter, UnhealthyCandidateParksFleetTouchingOnlyCanary) {
+  const data::World world(SmallWorldConfig(), 66);
+  const std::vector<ScoreRequest> requests = BuildRequests(world, 48, 8);
+  ShardRouter router(BuildSnapshot(world, 76, 651), RouterConfig(3));
+
+  ASSERT_TRUE(router
+                  .BeginFleetRollout([&world](int) {
+                    return StatusOr<std::shared_ptr<const ModelSnapshot>>(
+                        BuildSnapshot(world, 77, 0,
+                                      /*saturate_weights=*/true));
+                  })
+                  .ok());
+  PumpUntilSettled(&router, requests, /*max_rounds=*/64);
+
+  const FleetStatus status = router.fleet_status();
+  EXPECT_EQ(status.stage, FleetStage::kRolledBack);
+  EXPECT_EQ(status.failed_shard, 0);  // Default canary shard.
+  EXPECT_EQ(status.upgraded, 0);
+  EXPECT_EQ(status.rollbacks, 1);
+  EXPECT_EQ(status.reason, "score_drift");
+  // Every shard — the failed canary included — still serves the
+  // incumbent: the bad model never reached publication anywhere.
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(router.shard(s)->engine()->snapshot()->version(), 651u)
+        << "shard " << s;
+  }
+  // Only the canary's controller ever saw a rollout.
+  EXPECT_EQ(router.shard(0)->rollout()->rollbacks(), 1);
+  EXPECT_EQ(router.shard(1)->rollout()->rollbacks(), 0);
+  EXPECT_EQ(router.shard(2)->rollout()->rollbacks(), 0);
+  // Serving continues, and a new rollout needs an explicit Reset first.
+  ASSERT_TRUE(router.Score(requests[0]).ok());
+  EXPECT_EQ(router
+                .BeginFleetRollout(
+                    [&world](int) {
+                      return StatusOr<
+                          std::shared_ptr<const ModelSnapshot>>(
+                          BuildSnapshot(world, 76, 0));
+                    })
+                .code(),
+            StatusCode::kFailedPrecondition);
+  router.ResetFleet();
+  EXPECT_EQ(router.fleet_status().stage, FleetStage::kIdle);
+}
+
+}  // namespace
+}  // namespace uae::serve

@@ -1,0 +1,436 @@
+// Wire-protocol corruption battery (DESIGN.md §15).
+//
+// The framing contract under attack: every malformed frame — truncated,
+// bit-flipped, oversized-length, CRC-mismatched, trailing-garbage —
+// must be rejected with a clean kInvalidArgument, no crash and no
+// partially-applied request; every well-formed frame must round-trip
+// its payload bit-exactly. The corruption corpus is seeded, so a
+// failure reproduces byte for byte.
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+#include "data/event.h"
+#include "gtest/gtest.h"
+#include "nn/serialize.h"
+#include "serve/wire.h"
+
+namespace uae::serve::wire {
+namespace {
+
+bool BitsEq(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+bool BitsEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+data::Event MakeEvent(int salt) {
+  data::Event e;
+  e.sparse = {salt, salt * 31 + 7, -salt};
+  e.dense = {0.25f * static_cast<float>(salt), -1.5f, 3.14159f};
+  e.action = static_cast<data::FeedbackAction>(salt % 6);
+  e.play_seconds = 12.5f + static_cast<float>(salt);
+  e.song_duration = 180.0f;
+  // Ground truth a production log never carries; must NOT survive the
+  // wire.
+  e.true_attention = true;
+  e.true_alpha = 0.9f;
+  e.true_propensity = 0.7f;
+  e.true_relevance = 1;
+  e.relevance_prob = 0.6f;
+  return e;
+}
+
+ScoreRequest MakeRequest() {
+  ScoreRequest req;
+  req.user = 1234567;
+  for (int i = 0; i < 5; ++i) req.history.push_back(MakeEvent(i));
+  for (int i = 0; i < 3; ++i) {
+    req.candidates.push_back(MakeEvent(10 + i));
+    req.candidate_songs.push_back(100 + i);
+  }
+  return req;
+}
+
+ScoreResponse MakeResponse() {
+  ScoreResponse resp;
+  resp.snapshot_version = 0xdeadbeefcafe1234ULL;
+  resp.degraded = true;
+  resp.degraded_reason = "breaker_open";
+  for (int i = 0; i < 4; ++i) {
+    CandidateScore cs;
+    cs.song = 40 + i;
+    cs.ctr = 1.0 / (3.0 + i);  // Not exactly representable: bit test.
+    cs.alpha = 0.1f * static_cast<float>(i) - 0.05f;
+    cs.reweighted = cs.ctr * 0.81234567890123;
+    resp.scores.push_back(cs);
+  }
+  resp.playlist = {43, 41, 42, 40};
+  return resp;
+}
+
+void ExpectEventsEqualObservable(const data::Event& a, const data::Event& b) {
+  EXPECT_EQ(a.sparse, b.sparse);
+  ASSERT_EQ(a.dense.size(), b.dense.size());
+  for (size_t i = 0; i < a.dense.size(); ++i) {
+    EXPECT_TRUE(BitsEq(a.dense[i], b.dense[i]));
+  }
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_TRUE(BitsEq(a.play_seconds, b.play_seconds));
+  EXPECT_TRUE(BitsEq(a.song_duration, b.song_duration));
+}
+
+/// Rewrites the CRC trailer so header/payload mutations exercise their
+/// own checks instead of tripping the CRC first.
+void FixCrc(std::string* frame) {
+  ASSERT_GE(frame->size(), kHeaderSize + kTrailerSize);
+  const size_t checked = frame->size() - kTrailerSize;
+  const uint32_t crc = nn::Crc32(frame->data(), checked);
+  (*frame)[checked + 0] = static_cast<char>(crc);
+  (*frame)[checked + 1] = static_cast<char>(crc >> 8);
+  (*frame)[checked + 2] = static_cast<char>(crc >> 16);
+  (*frame)[checked + 3] = static_cast<char>(crc >> 24);
+}
+
+TEST(WireFrame, RoundTripsPayloads) {
+  for (const std::string payload :
+       {std::string(), std::string("x"), std::string(1000, '\xab')}) {
+    const std::string frame = EncodeFrame(FrameType::kScoreRequest, payload);
+    EXPECT_EQ(frame.size(), kHeaderSize + payload.size() + kTrailerSize);
+    const StatusOr<Frame> decoded = DecodeFrame(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().type, FrameType::kScoreRequest);
+    EXPECT_EQ(decoded.value().payload, payload);
+  }
+}
+
+TEST(WireFrame, EncodingIsDeterministic) {
+  const ScoreRequest req = MakeRequest();
+  EXPECT_EQ(EncodeScoreRequest(req), EncodeScoreRequest(req));
+  const ScoreResponse resp = MakeResponse();
+  EXPECT_EQ(EncodeScoreResponse(resp), EncodeScoreResponse(resp));
+}
+
+TEST(WireRequest, RoundTripsObservableFieldsBitExactly) {
+  const ScoreRequest req = MakeRequest();
+  const std::string frame = EncodeScoreRequest(req);
+  const StatusOr<Frame> decoded_frame = DecodeFrame(frame);
+  ASSERT_TRUE(decoded_frame.ok());
+  ASSERT_EQ(decoded_frame.value().type, FrameType::kScoreRequest);
+  const StatusOr<ScoreRequest> decoded =
+      DecodeScoreRequest(decoded_frame.value().payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ScoreRequest& got = decoded.value();
+  EXPECT_EQ(got.user, req.user);
+  ASSERT_EQ(got.history.size(), req.history.size());
+  for (size_t i = 0; i < req.history.size(); ++i) {
+    ExpectEventsEqualObservable(req.history[i], got.history[i]);
+  }
+  ASSERT_EQ(got.candidates.size(), req.candidates.size());
+  for (size_t i = 0; i < req.candidates.size(); ++i) {
+    ExpectEventsEqualObservable(req.candidates[i], got.candidates[i]);
+  }
+  EXPECT_EQ(got.candidate_songs, req.candidate_songs);
+  // No deadline in, no deadline out.
+  EXPECT_EQ(got.deadline, std::chrono::steady_clock::time_point::max());
+  // In-process-only state never crosses the wire.
+  EXPECT_EQ(got.pinned_snapshot, nullptr);
+  // Simulator ground truth never crosses the wire: defaults on arrival.
+  for (const data::Event& e : got.history) {
+    EXPECT_FALSE(e.true_attention);
+    EXPECT_EQ(e.true_alpha, 0.0f);
+    EXPECT_EQ(e.true_propensity, 0.0f);
+    EXPECT_EQ(e.true_relevance, 0);
+    EXPECT_EQ(e.relevance_prob, 0.0f);
+  }
+}
+
+TEST(WireRequest, DeadlineRebasesToRelativeMicros) {
+  ScoreRequest req = MakeRequest();
+  const auto encode_time = std::chrono::steady_clock::now();
+  req.deadline = encode_time + std::chrono::milliseconds(50);
+  const std::string frame = EncodeScoreRequest(req);
+  const StatusOr<Frame> f = DecodeFrame(frame);
+  ASSERT_TRUE(f.ok());
+  const StatusOr<ScoreRequest> decoded = DecodeScoreRequest(f.value().payload);
+  ASSERT_TRUE(decoded.ok());
+  const auto decode_time = std::chrono::steady_clock::now();
+  // The decoded deadline is "remaining micros" re-anchored at decode
+  // time: no earlier than what was left at encode, no later than the
+  // full budget from decode.
+  EXPECT_GE(decoded.value().deadline, encode_time);
+  EXPECT_LE(decoded.value().deadline,
+            decode_time + std::chrono::milliseconds(50));
+  // An already-expired deadline stays (effectively) expired.
+  req.deadline = encode_time - std::chrono::seconds(1);
+  const StatusOr<Frame> f2 = DecodeFrame(EncodeScoreRequest(req));
+  ASSERT_TRUE(f2.ok());
+  const StatusOr<ScoreRequest> expired =
+      DecodeScoreRequest(f2.value().payload);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_LE(expired.value().deadline,
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(1));
+}
+
+TEST(WireResponse, RoundTripsScoresBitExactly) {
+  const ScoreResponse resp = MakeResponse();
+  const std::string frame = EncodeScoreResponse(resp);
+  const StatusOr<ScoreResponse> decoded = DecodeReply(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ScoreResponse& got = decoded.value();
+  EXPECT_EQ(got.snapshot_version, resp.snapshot_version);
+  EXPECT_EQ(got.degraded, resp.degraded);
+  EXPECT_EQ(got.degraded_reason, resp.degraded_reason);
+  ASSERT_EQ(got.scores.size(), resp.scores.size());
+  for (size_t i = 0; i < resp.scores.size(); ++i) {
+    EXPECT_EQ(got.scores[i].song, resp.scores[i].song);
+    EXPECT_TRUE(BitsEq(got.scores[i].ctr, resp.scores[i].ctr));
+    EXPECT_TRUE(BitsEq(got.scores[i].alpha, resp.scores[i].alpha));
+    EXPECT_TRUE(BitsEq(got.scores[i].reweighted, resp.scores[i].reweighted));
+  }
+  EXPECT_EQ(got.playlist, resp.playlist);
+}
+
+TEST(WireResponse, NonFiniteScoresSurviveBitExactly) {
+  // The codec must not "clean up" pathological values — a NaN produced
+  // by a broken model should arrive as that NaN, not as 0.
+  ScoreResponse resp;
+  resp.snapshot_version = 7;
+  CandidateScore cs;
+  cs.song = 1;
+  const uint64_t nan_bits = 0x7ff8000000000042ULL;  // Payload-carrying NaN.
+  std::memcpy(&cs.ctr, &nan_bits, sizeof(cs.ctr));
+  cs.alpha = -0.0f;
+  cs.reweighted = std::numeric_limits<double>::infinity();
+  resp.scores.push_back(cs);
+  resp.playlist = {1};
+  const StatusOr<ScoreResponse> decoded =
+      DecodeReply(EncodeScoreResponse(resp));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(BitsEq(decoded.value().scores[0].ctr, cs.ctr));
+  EXPECT_TRUE(BitsEq(decoded.value().scores[0].alpha, cs.alpha));
+  EXPECT_TRUE(BitsEq(decoded.value().scores[0].reweighted, cs.reweighted));
+}
+
+TEST(WireStatus, RoundTripsEveryErrorCode) {
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kUnavailable}) {
+    const Status original(code, "shard said no");
+    const std::string frame = EncodeStatus(original);
+    // Client view: the reply decodes to the carried status.
+    const StatusOr<ScoreResponse> reply = DecodeReply(frame);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), code);
+    EXPECT_EQ(reply.status().message(), "shard said no");
+  }
+}
+
+TEST(WireStatus, RejectsCarriedOkStatus) {
+  // An OK result travels as a kScoreResponse; an OK *status frame* can
+  // only mean a confused peer.
+  const std::string frame = EncodeStatus(Status::Ok());
+  const StatusOr<Frame> decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok());
+  Status carried;
+  EXPECT_EQ(DecodeStatus(decoded.value().payload, &carried).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireReply, RequestFrameIsNotAValidReply) {
+  const std::string frame = EncodeScoreRequest(MakeRequest());
+  const StatusOr<ScoreResponse> reply = DecodeReply(frame);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Corruption battery ---------------------------------------------
+
+TEST(WireCorruption, EveryTruncationIsRejected) {
+  const std::string frame = EncodeScoreRequest(MakeRequest());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    const StatusOr<Frame> decoded = DecodeFrame(frame.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "truncation at " << len << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCorruption, TrailingGarbageIsRejected) {
+  const std::string frame = EncodeScoreResponse(MakeResponse());
+  for (const char extra : {'\0', 'x'}) {
+    const StatusOr<Frame> decoded = DecodeFrame(frame + extra);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCorruption, EverySingleBitFlipIsRejected) {
+  // CRC-32 detects all single-bit errors, and the CRC covers the whole
+  // frame — so *every* one of the frame's bits is load-bearing. Flip
+  // each one and require a clean reject. (The decoded payload of a
+  // kStatus frame is not re-CRC'd, but a flipped frame never decodes.)
+  const std::string frame = EncodeScoreRequest(MakeRequest());
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      const StatusOr<Frame> decoded = DecodeFrame(corrupt);
+      ASSERT_FALSE(decoded.ok())
+          << "bit " << bit << " of byte " << byte << " accepted";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(WireCorruption, SeededMultiBitCorpusIsRejected) {
+  // Deterministic multi-bit corruption: random byte splats at random
+  // offsets. Multi-bit errors are where CRC-32 is probabilistic, but at
+  // frame sizes this small the miss probability (~2^-32 per trial) is
+  // negligible across the corpus; a systematic decoder hole shows up
+  // immediately.
+  const std::string frame = EncodeScoreRequest(MakeRequest());
+  Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupt = frame;
+    const int edits = 1 + static_cast<int>(rng.UniformInt(8));
+    bool changed = false;
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(corrupt.size())));
+      const char value = static_cast<char>(rng.UniformInt(256));
+      changed = changed || corrupt[pos] != value;
+      corrupt[pos] = value;
+    }
+    if (!changed) continue;
+    const StatusOr<Frame> decoded = DecodeFrame(corrupt);
+    ASSERT_FALSE(decoded.ok()) << "trial " << trial << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCorruption, OversizedLengthRejectedBeforeAllocation) {
+  // A frame *claiming* a huge payload must be bounced by the length
+  // checks alone — kMaxPayload first, then the actual buffer size —
+  // never trusted enough to allocate or read.
+  std::string frame = EncodeFrame(FrameType::kScoreRequest, "tiny");
+  for (const uint32_t lie :
+       {kMaxPayload + 1, 0xffffffffu, static_cast<uint32_t>(1) << 30}) {
+    std::string corrupt = frame;
+    corrupt[8] = static_cast<char>(lie);
+    corrupt[9] = static_cast<char>(lie >> 8);
+    corrupt[10] = static_cast<char>(lie >> 16);
+    corrupt[11] = static_cast<char>(lie >> 24);
+    FixCrc(&corrupt);  // Isolate the length check from the CRC check.
+    const StatusOr<Frame> decoded = DecodeFrame(corrupt);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireCorruption, CrcMismatchIsRejected) {
+  std::string frame = EncodeScoreResponse(MakeResponse());
+  frame[frame.size() - 1] = static_cast<char>(frame[frame.size() - 1] ^ 0xff);
+  const StatusOr<Frame> decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCorruption, HeaderFieldChecksFireWithValidCrc) {
+  const std::string base = EncodeFrame(FrameType::kScoreRequest, "payload");
+  // Bad magic.
+  {
+    std::string corrupt = base;
+    corrupt[0] = 'X';
+    FixCrc(&corrupt);
+    EXPECT_FALSE(DecodeFrame(corrupt).ok());
+  }
+  // Unsupported protocol version.
+  {
+    std::string corrupt = base;
+    corrupt[4] = static_cast<char>(kProtocolVersion + 1);
+    FixCrc(&corrupt);
+    EXPECT_FALSE(DecodeFrame(corrupt).ok());
+  }
+  // Unknown frame type.
+  {
+    std::string corrupt = base;
+    corrupt[5] = 99;
+    FixCrc(&corrupt);
+    EXPECT_FALSE(DecodeFrame(corrupt).ok());
+  }
+  // Reserved bits set.
+  {
+    std::string corrupt = base;
+    corrupt[6] = 1;
+    FixCrc(&corrupt);
+    EXPECT_FALSE(DecodeFrame(corrupt).ok());
+  }
+}
+
+TEST(WireCorruption, HostileArrayCountsRejectedWithoutAllocation) {
+  // A payload whose array count claims 2^32-1 events must fail on the
+  // "count * min-size > remaining bytes" bound, not attempt a reserve.
+  std::string payload;
+  const auto put_u32 = [&payload](uint32_t v) {
+    payload.push_back(static_cast<char>(v));
+    payload.push_back(static_cast<char>(v >> 8));
+    payload.push_back(static_cast<char>(v >> 16));
+    payload.push_back(static_cast<char>(v >> 24));
+  };
+  put_u32(42);                   // user
+  payload.push_back(0);          // has_deadline
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // deadline micros
+  put_u32(0xffffffffu);          // history count: hostile
+  const StatusOr<ScoreRequest> decoded = DecodeScoreRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCorruption, PayloadTruncationsAndFuzzRejectedCleanly) {
+  // Type-specific decoders under the same discipline: every truncation
+  // of a valid payload fails (the strict AtEnd check means no proper
+  // prefix can parse), and seeded random payloads never crash.
+  const StatusOr<Frame> req_frame =
+      DecodeFrame(EncodeScoreRequest(MakeRequest()));
+  ASSERT_TRUE(req_frame.ok());
+  const std::string& req_payload = req_frame.value().payload;
+  for (size_t len = 0; len < req_payload.size(); ++len) {
+    EXPECT_FALSE(DecodeScoreRequest(req_payload.substr(0, len)).ok())
+        << "request payload truncation at " << len;
+  }
+  const StatusOr<Frame> resp_frame =
+      DecodeFrame(EncodeScoreResponse(MakeResponse()));
+  ASSERT_TRUE(resp_frame.ok());
+  const std::string& resp_payload = resp_frame.value().payload;
+  for (size_t len = 0; len < resp_payload.size(); ++len) {
+    EXPECT_FALSE(DecodeScoreResponse(resp_payload.substr(0, len)).ok())
+        << "response payload truncation at " << len;
+  }
+  Rng rng(0xfeedface);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string junk(rng.UniformInt(256), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.UniformInt(256));
+    // Must not crash; accept-or-reject is the decoder's call, but any
+    // accepted request must carry in-range enum values.
+    const StatusOr<ScoreRequest> maybe_req = DecodeScoreRequest(junk);
+    if (maybe_req.ok()) {
+      for (const data::Event& e : maybe_req.value().history) {
+        EXPECT_LE(static_cast<int>(e.action),
+                  static_cast<int>(data::FeedbackAction::kDownload));
+      }
+    }
+    (void)DecodeScoreResponse(junk);
+    Status carried;
+    (void)DecodeStatus(junk, &carried);
+    (void)DecodeFrame(junk);
+  }
+}
+
+}  // namespace
+}  // namespace uae::serve::wire

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-labeled
 # test subset (parallel_*, trace_test, telemetry_test, the serve
-# hot-swap hammer plus its exporter/flight-recorder hammer — scorers,
-# snapshot swaps, a Prometheus registry render loop, and a ring
-# Snapshot() drain all racing) against it.
+# hot-swap hammer plus its exporter/flight-recorder hammer and the
+# shard-router hammer — scorers, snapshot swaps on every shard of a
+# 4-shard fleet, wire-protocol round trips, a Prometheus registry
+# render loop, a fleet_status() poll loop, and a ring Snapshot() drain
+# all racing) against it.
 #
 # TSan and ASan runtimes cannot coexist, so this uses a dedicated
 # build-tsan/ tree (-DUAE_SANITIZE=thread) next to the normal build.

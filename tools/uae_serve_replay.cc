@@ -24,6 +24,16 @@
 //                       validation); default serves in-process
 //   --sessions N        simulated world size                 (400)
 //
+// Sharded serving (DESIGN.md §15):
+//   --shards N          route through a consistent-hash ShardRouter
+//                       over N engines, each request crossing the
+//                       binary wire protocol both ways; 1 keeps the
+//                       direct single-engine path              (1)
+//   --vnodes N          ring points per shard                  (64)
+//   --synthetic-users N remap request users onto N synthetic ids
+//                       (set to millions for a production-scale
+//                       routing key space)                     (0)
+//
 // Resilience drills:
 //   --retries N           retry closed-loop sheds up to N times (0)
 //   --backoff-us N        exponential-backoff base per retry  (200)
@@ -78,6 +88,8 @@ int Usage() {
                "[--qps-factor F] [--open-requests N]\n"
                "                        [--deadline-ms N] "
                "[--checkpoint-dir DIR] [--sessions N]\n"
+               "                        [--shards N] [--vnodes N] "
+               "[--synthetic-users N]\n"
                "                        [--retries N] [--backoff-us N] "
                "[--rollout] [--degrade-on-deadline]\n"
                "                        [--chaos-delay-p P] "
@@ -137,6 +149,12 @@ int main(int argc, char** argv) {
       config.checkpoint_dir = argv[++i];
     } else if (arg == "--sessions") {
       if (!next_int(&config.world.num_sessions)) return Usage();
+    } else if (arg == "--shards") {
+      if (!next_int(&config.shards)) return Usage();
+    } else if (arg == "--vnodes") {
+      if (!next_int(&config.virtual_nodes)) return Usage();
+    } else if (arg == "--synthetic-users" && i + 1 < argc) {
+      config.synthetic_users = std::atoll(argv[++i]);
     } else if (arg == "--retries") {
       if (!next_int(&config.retries)) return Usage();
     } else if (arg == "--backoff-us") {
@@ -239,6 +257,27 @@ int main(int argc, char** argv) {
                 r.rollout_stage.c_str(),
                 static_cast<long long>(r.rollout_rollbacks),
                 r.rollout_rollbacks == 1 ? "" : "s");
+  }
+  if (r.shards > 1) {
+    std::printf("sharding          %d shards (%d vnodes/shard", r.shards,
+                config.virtual_nodes);
+    if (config.synthetic_users > 0) {
+      std::printf(", %lld synthetic users",
+                  static_cast<long long>(config.synthetic_users));
+    }
+    std::printf(")\n");
+    std::printf("  routed          ");
+    for (size_t s = 0; s < r.shard_requests.size(); ++s) {
+      std::printf("%s#%zu %lld", s == 0 ? "" : "  ", s,
+                  static_cast<long long>(r.shard_requests[s]));
+    }
+    std::printf("\n");
+    std::printf("  balance         %.2fx the uniform share (worst shard)\n",
+                r.shard_balance);
+    std::printf("  wire            %.1f MiB tx  %.1f MiB rx  %lld rejects\n",
+                r.wire_bytes_tx / (1024.0 * 1024.0),
+                r.wire_bytes_rx / (1024.0 * 1024.0),
+                static_cast<long long>(r.wire_rejects));
   }
   std::printf("observability\n");
   std::printf("  stage p95       queue-wait %.2fms  score %.2fms\n",

@@ -92,6 +92,15 @@ const char* RolloutStageName(double stage) {
   return "unknown";
 }
 
+const char* FleetStageName(double stage) {
+  switch (static_cast<int>(stage)) {
+    case 0: return "idle";
+    case 1: return "upgrading";
+    case 2: return "rolled_back";
+  }
+  return "unknown";
+}
+
 const char* BreakerStateName(double state) {
   switch (static_cast<int>(state)) {
     case 0: return "closed";
@@ -128,6 +137,23 @@ struct Summary {
   double slo_budget_consumed = 0.0;
   double slo_budget_remaining = 0.0;
   double slo_advisory_burn = 0.0;
+  // Sharded serving (DESIGN.md §15): present when a ShardRouter exported
+  // uae_serve_router_shards > 1.
+  struct ShardRow {
+    double requests = 0.0;
+    double ok = 0.0;
+    double shed = 0.0;
+    double errors = 0.0;
+  };
+  bool has_shards = false;
+  std::vector<ShardRow> shards;
+  double fleet_stage = 0.0;
+  double fleet_upgraded = 0.0;
+  double fleet_rollbacks = 0.0;
+  double wire_frames = 0.0;
+  double wire_bytes_tx = 0.0;
+  double wire_bytes_rx = 0.0;
+  double wire_rejects = 0.0;
   bool has_drift = false;
   double drift_samples = 0.0;
   double drift_windows = 0.0;
@@ -170,6 +196,27 @@ Summary Summarize(const Export& e) {
   s.slo_budget_consumed = e.Get("uae_serve_slo_budget_consumed");
   s.slo_budget_remaining = e.Get("uae_serve_slo_budget_remaining");
   s.slo_advisory_burn = e.Get("uae_serve_slo_advisory_burn");
+  s.has_shards = e.Get("uae_serve_router_shards") > 1.0;
+  if (s.has_shards) {
+    for (int shard = 0;; ++shard) {
+      const std::string prefix =
+          "uae_serve_shard_" + std::to_string(shard) + "_";
+      if (!e.Has(prefix + "requests")) break;
+      Summary::ShardRow row;
+      row.requests = e.Get(prefix + "requests");
+      row.ok = e.Get(prefix + "ok");
+      row.shed = e.Get(prefix + "shed");
+      row.errors = e.Get(prefix + "errors");
+      s.shards.push_back(row);
+    }
+    s.fleet_stage = e.Get("uae_serve_fleet_stage");
+    s.fleet_upgraded = e.Get("uae_serve_fleet_upgraded");
+    s.fleet_rollbacks = e.Get("uae_serve_fleet_rollbacks");
+    s.wire_frames = e.Get("uae_serve_wire_frames");
+    s.wire_bytes_tx = e.Get("uae_serve_wire_bytes_tx");
+    s.wire_bytes_rx = e.Get("uae_serve_wire_bytes_rx");
+    s.wire_rejects = e.Get("uae_serve_wire_rejects");
+  }
   s.has_drift = e.Has("uae_serve_drift_windows");
   s.drift_samples = e.Get("uae_serve_drift_samples");
   s.drift_windows = e.Get("uae_serve_drift_windows");
@@ -234,6 +281,32 @@ std::string ToJson(const Summary& s) {
         .Set("advisories", s.drift_advisories);
     summary.SetRaw("drift", drift.Str());
   }
+  if (s.has_shards) {
+    std::string rows = "[";
+    for (size_t i = 0; i < s.shards.size(); ++i) {
+      JsonObject row;
+      row.Set("shard", static_cast<int64_t>(i))
+          .Set("requests", s.shards[i].requests)
+          .Set("ok", s.shards[i].ok)
+          .Set("shed", s.shards[i].shed)
+          .Set("errors", s.shards[i].errors);
+      if (i > 0) rows += ",";
+      rows += row.Str();
+    }
+    rows += "]";
+    JsonObject wire;
+    wire.Set("frames", s.wire_frames)
+        .Set("bytes_tx", s.wire_bytes_tx)
+        .Set("bytes_rx", s.wire_bytes_rx)
+        .Set("rejects", s.wire_rejects);
+    JsonObject sharding;
+    sharding.Set("fleet_stage", FleetStageName(s.fleet_stage))
+        .Set("fleet_upgraded", s.fleet_upgraded)
+        .Set("fleet_rollbacks", s.fleet_rollbacks)
+        .SetRaw("shards", rows)
+        .SetRaw("wire", wire.Str());
+    summary.SetRaw("sharding", sharding.Str());
+  }
   return summary.Str();
 }
 
@@ -283,6 +356,22 @@ void Render(const Summary& s, const Summary* prev, double interval_s) {
                 s.drift_flagged > 0.5 ? "FLAGGED" : "quiet", s.drift_score,
                 s.drift_samples, s.drift_windows, s.drift_flags,
                 s.drift_advisories);
+  }
+  if (s.has_shards) {
+    std::printf("shards     %zu shards | fleet %s (%.0f upgraded, "
+                "%.0f rollbacks)\n",
+                s.shards.size(), FleetStageName(s.fleet_stage),
+                s.fleet_upgraded, s.fleet_rollbacks);
+    for (size_t i = 0; i < s.shards.size(); ++i) {
+      std::printf("  shard %-2zu %.0f req | %.0f ok | %.0f shed | "
+                  "%.0f err\n",
+                  i, s.shards[i].requests, s.shards[i].ok, s.shards[i].shed,
+                  s.shards[i].errors);
+    }
+    std::printf("wire       %.0f frames | %.1f MiB tx | %.1f MiB rx | "
+                "%.0f rejects\n",
+                s.wire_frames, s.wire_bytes_tx / (1024.0 * 1024.0),
+                s.wire_bytes_rx / (1024.0 * 1024.0), s.wire_rejects);
   }
   const double lookups = s.cache_hits + s.cache_misses;
   std::printf("cache      %.0f hits / %.0f misses (%.1f%% hit) | "
