@@ -1,0 +1,283 @@
+// Continuous-learning loop baseline: the stream → incremental-train →
+// publish → swap cycle of DESIGN.md §16 under simulated live traffic.
+//
+// Three timed legs:
+//   1. stream — closed-loop serving with the feedback tap on: every
+//      response's playlist is walked by the simulated user and appended
+//      to the CRC-framed feedback log (the lock-free writer in the
+//      serving path), then a fresh tailer decodes the whole stream.
+//   2. cycle — one manual LearnLoop cycle: ingest the log, fine-tune
+//      the incumbent, publish the fingerprinted candidate into the
+//      health-gated rollout ladder.
+//   3. swap — live traffic promotes the candidate canary → ramp → full
+//      until the engine serves it; the leg ends at the version flip.
+//
+// The committed BENCH_continuous_loop.json gates wall time via the
+// usual --check-against machinery (UAE_BENCH_TOLERANCE, default 1.3x)
+// and records per-leg rates as baseline extras: feedback append and
+// ingest decode rates (records/s), the cycle wall, and the
+// publish-to-serving promotion wall.
+
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/table.h"
+#include "data/world.h"
+#include "learn/bridge.h"
+#include "learn/feedback_log.h"
+#include "learn/ingest.h"
+#include "learn/learn_loop.h"
+#include "models/registry.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uae;
+  bench::Banner(argc, argv, "continuous_loop", "Continuous learning loop",
+                "stream -> incremental train -> publish -> swap under "
+                "live traffic");
+
+  const int requests = bench::PaperScale() ? 2048 : 768;
+  const int epochs = bench::PaperScale() ? 4 : 2;
+
+  data::GeneratorConfig world_config = bench::ProductConfig();
+  world_config.num_sessions = 300;  // The loop only needs the world.
+  const data::World world(world_config, bench::kDatasetSeed);
+
+  std::filesystem::create_directories("bench_out");
+  const std::string incumbent_path = "bench_out/loop_incumbent.ckpt";
+  const std::string candidate_path = "bench_out/loop_candidate.ckpt";
+  const std::string feedback_path = "bench_out/loop_feedback.log";
+  std::remove(candidate_path.c_str());
+  std::remove(feedback_path.c_str());
+
+  const models::ModelKind kind = models::ModelKind::kLr;
+  const models::ModelConfig model_config;
+  Rng init_rng(1);
+  const std::unique_ptr<models::Recommender> incumbent =
+      models::CreateRecommender(kind, &init_rng, world.schema(),
+                                model_config);
+  if (!serve::SaveRecommender(*incumbent, kind, model_config,
+                              incumbent_path)
+           .ok()) {
+    std::printf("cannot stage incumbent checkpoint\n");
+    return 1;
+  }
+  serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = kind;
+  spec.model_path = incumbent_path;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(spec);
+  if (!snapshot.ok()) {
+    std::printf("cannot load incumbent snapshot: %s\n",
+                snapshot.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  engine_config.playlist_length = 10;
+  serve::Engine engine(snapshot.value(), engine_config);
+  serve::RolloutConfig rollout_config;
+  rollout_config.stage_requests = 32;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  // The candidate legitimately re-ranks (it fine-tuned on feedback the
+  // fresh-init incumbent never saw); the drift gate catching a bad
+  // candidate is covered by tests/learn_chaos_test.cc.
+  rollout_config.health.thresholds.max_score_drift = 0.0;
+  serve::RolloutController rollout(&engine, rollout_config);
+
+  StatusOr<std::unique_ptr<learn::FeedbackLog>> log =
+      learn::FeedbackLog::Open({feedback_path});
+  if (!log.ok()) {
+    std::printf("cannot open feedback log\n");
+    return 1;
+  }
+
+  Rng traffic_rng(7);
+  uint64_t request_id = 0;
+  const auto serve_one = [&]() -> bool {
+    const int user =
+        static_cast<int>(request_id % world.config().num_users);
+    const int hour = static_cast<int>(traffic_rng.UniformInt(24));
+    const int weekday = static_cast<int>(traffic_rng.UniformInt(7));
+    serve::ScoreRequest request;
+    request.user = user;
+    for (int c = 0; c < 16; ++c) {
+      const int song = world.SampleSong(&traffic_rng);
+      request.candidate_songs.push_back(song);
+      request.candidates.push_back(
+          world.ScoringEvent(user, song, hour, weekday));
+    }
+    StatusOr<serve::ScoreResponse> response =
+        rollout.Score(std::move(request));
+    if (!response.ok()) return false;
+    const data::Session walk = world.SimulateSession(
+        user, response.value().playlist, hour, weekday, &traffic_rng);
+    learn::AppendWalk(log.value().get(), walk, response.value().playlist,
+                      response.value().scores,
+                      response.value().snapshot_version, request_id, hour,
+                      weekday);
+    ++request_id;
+    return true;
+  };
+
+  // Leg 1: the stream. Closed-loop serving with the feedback tap, then
+  // a fresh tailer decoding everything it produced.
+  std::printf("leg 1: %d requests with the feedback tap on...\n", requests);
+  const auto stream_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    if (!serve_one()) {
+      std::printf("request %d failed\n", i);
+      return 1;
+    }
+  }
+  const double stream_s = Seconds(stream_start);
+  const int64_t stream_records = log.value()->records_written();
+
+  const auto ingest_start = std::chrono::steady_clock::now();
+  learn::StreamIngester tailer({feedback_path});
+  std::vector<learn::FeedbackRecord> decoded;
+  if (!tailer.Poll(&decoded).ok() ||
+      static_cast<int64_t>(decoded.size()) != stream_records) {
+    std::printf("tailer decoded %zu of %lld records\n", decoded.size(),
+                static_cast<long long>(stream_records));
+    return 1;
+  }
+  const double ingest_s = Seconds(ingest_start);
+
+  // Leg 2: one ingest → fine-tune → publish cycle.
+  learn::LearnLoopConfig loop_config;
+  loop_config.ingest.path = feedback_path;
+  loop_config.trainer.kind = kind;
+  loop_config.trainer.incumbent_path = incumbent_path;
+  loop_config.trainer.candidate_path = candidate_path;
+  loop_config.trainer.train.epochs = epochs;
+  loop_config.trainer.train.batch_size = 64;
+  loop_config.publisher.schema = world.schema();
+  loop_config.publisher.kind = kind;
+  loop_config.min_records = 64;
+  learn::LearnLoop loop(&world, &rollout, loop_config);
+
+  std::printf("leg 2: learn cycle (fine-tune %d epochs)...\n", epochs);
+  const auto cycle_start = std::chrono::steady_clock::now();
+  const StatusOr<learn::CycleReport> cycle =
+      loop.RunCycle(learn::CycleTrigger::kManual);
+  const double cycle_s = Seconds(cycle_start);
+  if (!cycle.ok() || !cycle.value().published) {
+    std::printf("cycle did not publish: %s\n",
+                cycle.ok() ? cycle.value().skipped_reason.c_str()
+                           : cycle.status().ToString().c_str());
+    return 1;
+  }
+
+  // Leg 3: live traffic rides the candidate canary → ramp → full; the
+  // leg ends when the engine serves the candidate version.
+  std::printf("leg 3: promoting under live traffic...\n");
+  const auto swap_start = std::chrono::steady_clock::now();
+  int promote_requests = 0;
+  for (int window = 0; window < 8; ++window) {
+    if (rollout.stage() == serve::RolloutStage::kIdle ||
+        rollout.stage() == serve::RolloutStage::kRolledBack) {
+      break;
+    }
+    for (int i = 0; i < rollout_config.stage_requests; ++i) {
+      if (!serve_one()) {
+        std::printf("promotion request failed\n");
+        return 1;
+      }
+      ++promote_requests;
+    }
+  }
+  const double swap_s = Seconds(swap_start);
+  const bool promoted =
+      rollout.stage() == serve::RolloutStage::kIdle &&
+      rollout.rollbacks() == 0 &&
+      engine.snapshot()->version() == cycle.value().candidate_version;
+
+  const double append_rate =
+      stream_s > 0.0 ? static_cast<double>(stream_records) / stream_s : 0.0;
+  const double ingest_rate =
+      ingest_s > 0.0 ? static_cast<double>(stream_records) / ingest_s : 0.0;
+
+  AsciiTable table({"metric", "value"});
+  table.AddRow({"serve+append (s)", AsciiTable::Fmt(stream_s, 3)});
+  table.AddRow({"feedback records",
+                AsciiTable::Fmt(double(stream_records), 0)});
+  table.AddRow({"append rate (rec/s)", AsciiTable::Fmt(append_rate, 0)});
+  table.AddRow({"ingest decode (s)", AsciiTable::Fmt(ingest_s, 4)});
+  table.AddRow({"ingest rate (rec/s)", AsciiTable::Fmt(ingest_rate, 0)});
+  table.AddRow({"cycle wall (s)", AsciiTable::Fmt(cycle_s, 3)});
+  table.AddRow({"records trained",
+                AsciiTable::Fmt(double(cycle.value().records), 0)});
+  table.AddRow({"valid AUC",
+                AsciiTable::Fmt(cycle.value().train.best_valid_auc, 4)});
+  table.AddRow({"promotion wall (s)", AsciiTable::Fmt(swap_s, 3)});
+  table.AddRow({"promotion requests",
+                AsciiTable::Fmt(double(promote_requests), 0)});
+  table.AddRow({"rollbacks",
+                AsciiTable::Fmt(double(rollout.rollbacks()), 0)});
+  table.AddRow({"promoted", promoted ? "yes" : "NO"});
+  std::printf("%s", table.ToString().c_str());
+
+  CsvWriter csv({"metric", "value"});
+  csv.AddRow({"stream_seconds", AsciiTable::Fmt(stream_s, 4)});
+  csv.AddRow({"feedback_records",
+              AsciiTable::Fmt(double(stream_records), 0)});
+  csv.AddRow({"append_rate", AsciiTable::Fmt(append_rate, 1)});
+  csv.AddRow({"ingest_seconds", AsciiTable::Fmt(ingest_s, 5)});
+  csv.AddRow({"ingest_rate", AsciiTable::Fmt(ingest_rate, 1)});
+  csv.AddRow({"cycle_seconds", AsciiTable::Fmt(cycle_s, 4)});
+  csv.AddRow({"records_trained",
+              AsciiTable::Fmt(double(cycle.value().records), 0)});
+  csv.AddRow({"swap_seconds", AsciiTable::Fmt(swap_s, 4)});
+  csv.AddRow({"promote_requests",
+              AsciiTable::Fmt(double(promote_requests), 0)});
+  csv.AddRow({"rollbacks", AsciiTable::Fmt(double(rollout.rollbacks()), 0)});
+  bench::ExportCsv(csv, "continuous_loop");
+
+  bench::RecordBaselineExtra("loop_append_rate",
+                             telemetry::JsonNumber(append_rate));
+  bench::RecordBaselineExtra("loop_ingest_rate",
+                             telemetry::JsonNumber(ingest_rate));
+  bench::RecordBaselineExtra("loop_cycle_wall_s",
+                             telemetry::JsonNumber(cycle_s));
+  bench::RecordBaselineExtra(
+      "loop_records_trained",
+      telemetry::JsonNumber(static_cast<double>(cycle.value().records)));
+  bench::RecordBaselineExtra("loop_swap_wall_s",
+                             telemetry::JsonNumber(swap_s));
+  bench::RecordBaselineExtra(
+      "loop_rollbacks",
+      telemetry::JsonNumber(static_cast<double>(rollout.rollbacks())));
+
+  // Shape checks: the stream round-trips losslessly, the cycle
+  // publishes, and the candidate is live with zero rollbacks.
+  const bool stream_ok =
+      log.value()->dropped() == 0 && tailer.bad_frames() == 0;
+  std::printf("\nshape check: stream lossless (0 drops, 0 bad frames): "
+              "%s\n",
+              stream_ok ? "PASS" : "FAIL");
+  std::printf("shape check: cycle published a candidate: PASS\n");
+  std::printf("shape check: candidate promoted, zero rollbacks: %s\n",
+              promoted ? "PASS" : "FAIL");
+  const int finish = bench::Finish();
+  return (stream_ok && promoted) ? finish : 1;
+}

@@ -245,6 +245,37 @@ CellResult RunCell(const data::Dataset& dataset, const CellSpec& spec,
       }
       manifest.SetRaw("serving", serving.Str());
     }
+    // Continuous learning (DESIGN.md §16), present when a LearnLoop ran
+    // a cycle this process: how much feedback was ingested, how many
+    // cycles succeeded/failed/skipped, and which candidate version the
+    // loop last published — a manifest diff shows a loop that stopped
+    // promoting. Registry reads only; core never links learn.
+    const int64_t learn_cycles =
+        telemetry::GetCounter("uae.learn.cycles")->Get();
+    const int64_t learn_cycles_failed =
+        telemetry::GetCounter("uae.learn.cycles.failed")->Get();
+    const int64_t learn_cycles_skipped =
+        telemetry::GetCounter("uae.learn.cycles.skipped")->Get();
+    if (learn_cycles + learn_cycles_failed + learn_cycles_skipped > 0) {
+      telemetry::JsonObject learn;
+      learn.Set("cycles", learn_cycles)
+          .Set("cycles_failed", learn_cycles_failed)
+          .Set("cycles_skipped", learn_cycles_skipped)
+          .Set("records_trained",
+               telemetry::GetCounter("uae.learn.records.trained")->Get())
+          .Set("feedback_records",
+               telemetry::GetCounter("uae.learn.feedback.records")->Get())
+          .Set("ingest_bad_frames",
+               telemetry::GetCounter("uae.learn.ingest.bad_frames")->Get())
+          .Set("advisories_consumed",
+               telemetry::GetCounter("uae.learn.advisories.consumed")
+                   ->Get())
+          .Set("candidate_version",
+               static_cast<int64_t>(telemetry::GetGauge(
+                                        "uae.learn.candidate.version")
+                                        ->Get()));
+      manifest.SetRaw("learn", learn.Str());
+    }
     telemetry::WriteRunManifest(manifest);
   }
   return result;

@@ -1,0 +1,92 @@
+#include "learn/bridge.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "data/world.h"
+
+namespace uae::learn {
+namespace {
+
+/// splitmix64 — the same mixer the replay driver stamps synthetic users
+/// with; here it decorrelates the per-request walk RNG streams.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+float AlphaForSong(const std::vector<serve::CandidateScore>& scores,
+                   int song) {
+  for (const serve::CandidateScore& cs : scores) {
+    if (cs.song == song) return cs.alpha;
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+void AppendWalk(FeedbackLog* log, const data::Session& session,
+                const std::vector<int>& playlist,
+                const std::vector<serve::CandidateScore>& scores,
+                uint64_t snapshot_version, uint64_t request_id, int hour,
+                int weekday) {
+  const size_t steps =
+      std::min(session.events.size(), playlist.size());
+  std::vector<FeedbackRecord> records;
+  records.reserve(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    FeedbackRecord record;
+    record.user = session.user;
+    record.song = playlist[t];
+    record.hour = static_cast<int16_t>(hour);
+    record.weekday = static_cast<int16_t>(weekday);
+    record.action = static_cast<uint8_t>(session.events[t].action);
+    record.alpha_hat = AlphaForSong(scores, playlist[t]);
+    record.snapshot_version = snapshot_version;
+    record.request_id = request_id;
+    record.step = static_cast<int32_t>(t);
+    // Logical clock: unique and reproducible from the request identity.
+    record.timestamp_us =
+        static_cast<int64_t>(request_id) * 1000 + static_cast<int64_t>(t);
+    records.push_back(record);
+  }
+  const Status appended = log->AppendBatch(records);
+  if (!appended.ok()) {
+    telemetry::GetCounter("uae.learn.feedback.append_errors")->Add(1);
+  }
+}
+
+void AttachReplayFeedback(serve::ReplayConfig* config, FeedbackLog* log,
+                          uint64_t seed) {
+  config->feedback_hook =
+      [log, seed](const serve::ReplayConfig::FeedbackEvent& event) {
+        const uint64_t request_id =
+            (static_cast<uint64_t>(event.request_index) << 1) |
+            static_cast<uint64_t>(event.pass & 1);
+        // The walk is the feedback a production service would log for
+        // this response; its randomness is a pure function of (seed,
+        // request, pass), independent of thread scheduling.
+        Rng rng(Mix64(seed ^ Mix64(request_id + 1)));
+        const data::Session session = event.world->SimulateSession(
+            event.user, event.response->playlist, event.hour, event.weekday,
+            &rng);
+        AppendWalk(log, session, event.response->playlist,
+                   event.response->scores,
+                   event.response->snapshot_version, request_id, event.hour,
+                   event.weekday);
+      };
+}
+
+void AttachAbTestFeedback(sim::AbTestConfig* config, FeedbackLog* log) {
+  config->feedback_hook =
+      [log](const sim::AbTestConfig::TreatmentFeedback& feedback) {
+        AppendWalk(log, *feedback.session, *feedback.playlist,
+                   *feedback.scores, feedback.snapshot_version,
+                   feedback.request_id, feedback.hour, feedback.weekday);
+      };
+}
+
+}  // namespace uae::learn

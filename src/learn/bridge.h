@@ -1,0 +1,47 @@
+#ifndef UAE_LEARN_BRIDGE_H_
+#define UAE_LEARN_BRIDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/event.h"
+#include "learn/feedback_log.h"
+#include "serve/engine.h"
+#include "serve/replay.h"
+#include "sim/ab_test.h"
+
+namespace uae::learn {
+
+/// Turns one served playlist walk into FeedbackRecords and appends them
+/// as one contiguous batch: playlist[t] is the song session.events[t]
+/// walked, alpha-hat is matched from the serve-time candidate scores by
+/// song id (1.0 when the serving path did not report one), and the
+/// logical timestamp is a pure function of (request_id, step) so the
+/// resulting stream is bit-reproducible. Append failures are counted in
+/// uae.learn.feedback.append_errors; the serving path is never failed by
+/// its feedback tap.
+void AppendWalk(FeedbackLog* log, const data::Session& session,
+                const std::vector<int>& playlist,
+                const std::vector<serve::CandidateScore>& scores,
+                uint64_t snapshot_version, uint64_t request_id, int hour,
+                int weekday);
+
+/// Installs a ReplayConfig::feedback_hook that emits the continuous-
+/// learning stream from replay traffic (DESIGN.md §16): each completed
+/// closed-loop response's playlist is walked by the replay world's
+/// simulated user (Rng seeded deterministically from `seed`, the request
+/// index, and the pass) and the walk is appended to `log`. The hook is
+/// called concurrently from the client threads; the log's lock-free
+/// writer absorbs that. `log` must outlive the replay run.
+void AttachReplayFeedback(serve::ReplayConfig* config, FeedbackLog* log,
+                          uint64_t seed);
+
+/// Installs an AbTestConfig::feedback_hook that appends each treatment
+/// request's walk — the experiment already simulated it — to `log`.
+/// `log` must outlive the experiment.
+void AttachAbTestFeedback(sim::AbTestConfig* config, FeedbackLog* log);
+
+}  // namespace uae::learn
+
+#endif  // UAE_LEARN_BRIDGE_H_

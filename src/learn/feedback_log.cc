@@ -1,0 +1,211 @@
+#include "learn/feedback_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/telemetry.h"
+#include "nn/serialize.h"
+
+namespace uae::learn {
+namespace {
+
+// Little-endian primitive writers/readers — the explicit byte shuffles
+// of serve/wire.cc, so the stream bytes are identical on any host.
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint16_t GetU16(const uint8_t* data) {
+  return static_cast<uint16_t>(data[0] |
+                               (static_cast<uint16_t>(data[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* data) {
+  return GetU16(data) | (static_cast<uint32_t>(GetU16(data + 2)) << 16);
+}
+
+uint64_t GetU64(const uint8_t* data) {
+  return GetU32(data) | (static_cast<uint64_t>(GetU32(data + 4)) << 32);
+}
+
+void EncodePayload(const FeedbackRecord& record, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(record.user));
+  PutU32(out, static_cast<uint32_t>(record.song));
+  PutU16(out, static_cast<uint16_t>(record.hour));
+  PutU16(out, static_cast<uint16_t>(record.weekday));
+  PutU8(out, record.action);
+  PutU8(out, 0);  // Pad to 4-byte alignment of the next field.
+  uint32_t alpha_bits = 0;
+  std::memcpy(&alpha_bits, &record.alpha_hat, sizeof(alpha_bits));
+  PutU32(out, alpha_bits);
+  PutU64(out, record.snapshot_version);
+  PutU64(out, record.request_id);
+  PutU32(out, static_cast<uint32_t>(record.step));
+  PutU64(out, static_cast<uint64_t>(record.timestamp_us));
+}
+
+void DecodePayload(const uint8_t* payload, FeedbackRecord* record) {
+  record->user = static_cast<int32_t>(GetU32(payload));
+  record->song = static_cast<int32_t>(GetU32(payload + 4));
+  record->hour = static_cast<int16_t>(GetU16(payload + 8));
+  record->weekday = static_cast<int16_t>(GetU16(payload + 10));
+  record->action = payload[12];  // payload[13] is the pad byte.
+  const uint32_t alpha_bits = GetU32(payload + 14);
+  std::memcpy(&record->alpha_hat, &alpha_bits, sizeof(alpha_bits));
+  record->snapshot_version = GetU64(payload + 18);
+  record->request_id = GetU64(payload + 26);
+  record->step = static_cast<int32_t>(GetU32(payload + 34));
+  record->timestamp_us = static_cast<int64_t>(GetU64(payload + 38));
+}
+
+}  // namespace
+
+void EncodeFeedbackFrame(const FeedbackRecord& record, std::string* out) {
+  const size_t frame_start = out->size();
+  PutU32(out, kFeedbackMagic);
+  PutU8(out, kFeedbackVersion);
+  PutU8(out, kFeedbackFrameRecord);
+  PutU16(out, 0);  // Reserved.
+  PutU32(out, static_cast<uint32_t>(kFeedbackPayloadSize));
+  EncodePayload(record, out);
+  const uint32_t crc = nn::Crc32(out->data() + frame_start,
+                                 out->size() - frame_start);
+  PutU32(out, crc);
+}
+
+FrameParse ParseFeedbackFrame(const uint8_t* data, size_t size,
+                              FeedbackRecord* record, size_t* frame_size) {
+  // Every header check distinguishes "valid prefix, keep waiting" from
+  // "provably corrupt": a producer may be mid-append, so short reads are
+  // pending, but a byte that can never become a valid frame is bad now.
+  if (size < 4) {
+    for (size_t i = 0; i < size; ++i) {
+      if (data[i] != static_cast<uint8_t>((kFeedbackMagic >> (8 * i)) & 0xff)) {
+        return FrameParse::kBad;
+      }
+    }
+    return FrameParse::kPending;
+  }
+  if (GetU32(data) != kFeedbackMagic) return FrameParse::kBad;
+  if (size < kFeedbackHeaderSize) return FrameParse::kPending;
+  if (data[4] != kFeedbackVersion) return FrameParse::kBad;
+  if (data[5] != kFeedbackFrameRecord) return FrameParse::kBad;
+  if (data[6] != 0 || data[7] != 0) return FrameParse::kBad;
+  const uint32_t payload_len = GetU32(data + 8);
+  // Never trust the length field beyond bounds checks: a hostile length
+  // is rejected here, before it sizes any read or allocation.
+  if (payload_len > kFeedbackMaxPayload) return FrameParse::kBad;
+  const size_t total =
+      kFeedbackHeaderSize + payload_len + kFeedbackTrailerSize;
+  if (size < total) return FrameParse::kPending;
+  const uint32_t expected =
+      GetU32(data + kFeedbackHeaderSize + payload_len);
+  if (nn::Crc32(data, kFeedbackHeaderSize + payload_len) != expected) {
+    return FrameParse::kBad;
+  }
+  // CRC-valid but not a record we know how to decode (a future payload
+  // revision): still corrupt from this reader's point of view.
+  if (payload_len != kFeedbackPayloadSize) return FrameParse::kBad;
+  DecodePayload(data + kFeedbackHeaderSize, record);
+  *frame_size = total;
+  return FrameParse::kOk;
+}
+
+StatusOr<std::unique_ptr<FeedbackLog>> FeedbackLog::Open(
+    const Config& config) {
+  if (config.path.empty()) {
+    return Status::InvalidArgument("feedback log path is empty");
+  }
+  if (config.max_bytes <= 0) {
+    return Status::InvalidArgument("feedback log max_bytes must be > 0");
+  }
+  const int fd = ::open(config.path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open feedback log " + config.path);
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::IoError("cannot seek feedback log " + config.path);
+  }
+  return std::unique_ptr<FeedbackLog>(
+      new FeedbackLog(fd, static_cast<int64_t>(end), config));
+}
+
+FeedbackLog::FeedbackLog(int fd, int64_t offset, const Config& config)
+    : config_(config), fd_(fd), offset_(offset) {}
+
+FeedbackLog::~FeedbackLog() { ::close(fd_); }
+
+Status FeedbackLog::AppendEncoded(const std::string& buffer,
+                                  int64_t num_records) {
+  const int64_t size = static_cast<int64_t>(buffer.size());
+  // Lock-free range reservation: one CAS claims [reserved, reserved +
+  // size); the subsequent pwrite cannot interleave with any other
+  // producer's bytes. A reservation that would cross the bound drops the
+  // whole batch — the offset is left untouched so a smaller append can
+  // still fit.
+  int64_t reserved = offset_.load(std::memory_order_relaxed);
+  do {
+    if (reserved + size > config_.max_bytes) {
+      dropped_.fetch_add(num_records, std::memory_order_relaxed);
+      telemetry::GetCounter("uae.learn.feedback.dropped")->Add(num_records);
+      return Status::Ok();
+    }
+  } while (!offset_.compare_exchange_weak(reserved, reserved + size,
+                                          std::memory_order_relaxed));
+  int64_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::pwrite(fd_, buffer.data() + written,
+                               static_cast<size_t>(size - written),
+                               static_cast<off_t>(reserved + written));
+    if (n < 0) {
+      dropped_.fetch_add(num_records, std::memory_order_relaxed);
+      telemetry::GetCounter("uae.learn.feedback.dropped")->Add(num_records);
+      return Status::IoError("feedback log write failed: " + config_.path);
+    }
+    written += n;
+  }
+  records_written_.fetch_add(num_records, std::memory_order_relaxed);
+  bytes_written_.fetch_add(size, std::memory_order_relaxed);
+  telemetry::GetCounter("uae.learn.feedback.records")->Add(num_records);
+  telemetry::GetCounter("uae.learn.feedback.bytes")->Add(size);
+  return Status::Ok();
+}
+
+Status FeedbackLog::Append(const FeedbackRecord& record) {
+  std::string buffer;
+  buffer.reserve(kFeedbackFrameSize);
+  EncodeFeedbackFrame(record, &buffer);
+  return AppendEncoded(buffer, 1);
+}
+
+Status FeedbackLog::AppendBatch(const std::vector<FeedbackRecord>& records) {
+  if (records.empty()) return Status::Ok();
+  std::string buffer;
+  buffer.reserve(kFeedbackFrameSize * records.size());
+  for (const FeedbackRecord& record : records) {
+    EncodeFeedbackFrame(record, &buffer);
+  }
+  return AppendEncoded(buffer, static_cast<int64_t>(records.size()));
+}
+
+}  // namespace uae::learn

@@ -1,0 +1,142 @@
+#ifndef UAE_LEARN_FEEDBACK_LOG_H_
+#define UAE_LEARN_FEEDBACK_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uae::learn {
+
+/// One serving outcome on the continuous-learning stream (DESIGN.md §16):
+/// what was served, what the user did, and what the attention tower
+/// believed at serve time. `request_id` + `step` group one playlist walk
+/// back into a chronological data::Session at ingest; `timestamp_us` is a
+/// *logical* clock stamped by the producer (never wall time — the
+/// ingest→train→publish cycle must stay bit-reproducible from the log
+/// alone).
+struct FeedbackRecord {
+  int32_t user = 0;
+  int32_t song = 0;
+  int16_t hour = 0;
+  int16_t weekday = 0;
+  uint8_t action = 0;  // data::FeedbackAction value.
+  float alpha_hat = 1.0f;        // Serve-time attention estimate.
+  uint64_t snapshot_version = 0; // Snapshot that served the playlist.
+  uint64_t request_id = 0;       // Groups one playlist walk.
+  int32_t step = 0;              // Position within the walk.
+  int64_t timestamp_us = 0;      // Producer logical clock.
+};
+
+// Frame layout, the serve/wire.h contract with a learn magic (all
+// integers little-endian, independent of host order):
+//
+//   offset  size  field
+//   0       4     magic "UAEL"
+//   4       1     stream version (kFeedbackVersion)
+//   5       1     frame type (1 = feedback record)
+//   6       2     reserved, must be 0
+//   8       4     payload length N (<= kFeedbackMaxPayload)
+//   12      N     payload (fixed 46-byte record encoding)
+//   12+N    4     CRC-32 (IEEE) over bytes [0, 12+N)
+//
+// The CRC covers header AND payload, so any single-bit flip anywhere in
+// a frame — including the length field — is rejected; a decoder never
+// trusts the length beyond bounds checks. A corrupt frame is always a
+// clean skip-and-resync at the tailer, never a crash (the feedback-log
+// corruption battery in tests/feedback_log_test.cc enforces this frame
+// by frame, mirroring tests/wire_test.cc).
+inline constexpr uint32_t kFeedbackMagic = 0x4C454155u;  // "UAEL" LE.
+inline constexpr uint8_t kFeedbackVersion = 1;
+inline constexpr uint8_t kFeedbackFrameRecord = 1;
+inline constexpr size_t kFeedbackHeaderSize = 12;
+inline constexpr size_t kFeedbackTrailerSize = 4;
+inline constexpr size_t kFeedbackPayloadSize = 46;
+inline constexpr size_t kFeedbackFrameSize =
+    kFeedbackHeaderSize + kFeedbackPayloadSize + kFeedbackTrailerSize;
+/// Hostile-length bound: a frame claiming more than this is rejected
+/// before any allocation sized by attacker-controlled bytes.
+inline constexpr uint32_t kFeedbackMaxPayload = 4096;
+
+/// Appends one CRC-framed record encoding to `*out`.
+void EncodeFeedbackFrame(const FeedbackRecord& record, std::string* out);
+
+/// How ParseFeedbackFrame classified the bytes at the cursor.
+enum class FrameParse {
+  kOk,       // One whole valid frame: *record and *frame_size are set.
+  kPending,  // Bytes so far are a valid prefix — wait for more (a
+             // producer may be mid-append; never treated as corruption).
+  kBad,      // Provably corrupt (bad magic/version/length/CRC): skip and
+             // resync to the next magic.
+};
+
+/// Decodes the frame starting at data[0]. On kOk, `*record` holds the
+/// decoded record and `*frame_size` the bytes consumed.
+FrameParse ParseFeedbackFrame(const uint8_t* data, size_t size,
+                              FeedbackRecord* record, size_t* frame_size);
+
+/// Bounded append-only feedback stream behind a lock-free writer.
+///
+/// Append reserves a file range with one CAS on the shared offset, then
+/// writes its frame with pwrite — concurrent producers (engine client
+/// threads, the A/B simulator) never take a lock and never interleave
+/// bytes within a frame. AppendBatch reserves one contiguous range for a
+/// whole playlist walk, so a session's records are adjacent on disk.
+/// When the log reaches `max_bytes` further appends are dropped and
+/// counted (uae.learn.feedback.dropped) instead of growing without
+/// bound — feedback is a stream, losing the newest tail under pressure
+/// is the correct failure mode.
+class FeedbackLog {
+ public:
+  struct Config {
+    std::string path;
+    /// Log size bound; appends that would cross it are dropped+counted.
+    int64_t max_bytes = 64LL << 20;
+  };
+
+  /// Opens (creating if absent) for append; new frames land after any
+  /// existing bytes, so a restarted producer extends the same stream.
+  static StatusOr<std::unique_ptr<FeedbackLog>> Open(const Config& config);
+  ~FeedbackLog();
+
+  FeedbackLog(const FeedbackLog&) = delete;
+  FeedbackLog& operator=(const FeedbackLog&) = delete;
+
+  /// Appends one record. OK even when dropped by the size bound (the
+  /// drop is counted); IoError only when the write itself fails.
+  Status Append(const FeedbackRecord& record);
+
+  /// Appends all records as one contiguous range (one reservation, one
+  /// pwrite) — either the whole batch lands or, at the size bound, the
+  /// whole batch is dropped; a session is never half-logged.
+  Status AppendBatch(const std::vector<FeedbackRecord>& records);
+
+  int64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FeedbackLog(int fd, int64_t offset, const Config& config);
+
+  Status AppendEncoded(const std::string& buffer, int64_t num_records);
+
+  const Config config_;
+  const int fd_;
+  std::atomic<int64_t> offset_;  // Next unreserved file offset.
+  std::atomic<int64_t> records_written_{0};
+  std::atomic<int64_t> bytes_written_{0};
+  std::atomic<int64_t> dropped_{0};
+};
+
+}  // namespace uae::learn
+
+#endif  // UAE_LEARN_FEEDBACK_LOG_H_

@@ -1,0 +1,94 @@
+#include "learn/incremental_trainer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "nn/serialize.h"
+#include "serve/model_snapshot.h"
+
+namespace uae::learn {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+IncrementalTrainer::IncrementalTrainer(const IncrementalTrainerConfig& config)
+    : config_(config) {}
+
+StatusOr<IncrementalTrainReport> IncrementalTrainer::Train(
+    const data::Dataset& dataset, const data::EventScores* weights) {
+  if (config_.candidate_path.empty()) {
+    return Status::InvalidArgument("candidate_path is empty");
+  }
+  trace::Span span("learn.train");
+  const auto start = std::chrono::steady_clock::now();
+
+  IncrementalTrainReport report;
+  Rng rng(config_.init_seed);
+  report.model = models::CreateRecommender(config_.kind, &rng,
+                                           dataset.schema,
+                                           config_.model_config);
+  if (!config_.incumbent_path.empty()) {
+    const Status restored = nn::LoadParametersChecked(
+        report.model.get(), config_.incumbent_path,
+        serve::ModelArchConfig(config_.kind, config_.model_config));
+    if (!restored.ok()) return restored;
+  }
+
+  // A durable mid-train checkpoint left by a killed cycle resumes the
+  // run step-for-step; otherwise train the full bounded budget.
+  report.resumed = !config_.train.checkpoint_path.empty() &&
+                   FileExists(config_.train.checkpoint_path);
+  if (report.resumed) {
+    const Status resumed = models::ResumeTrainRecommender(
+        report.model.get(), dataset, weights, config_.train,
+        &report.result);
+    if (!resumed.ok()) return resumed;
+  } else {
+    report.result = models::TrainRecommender(report.model.get(), dataset,
+                                             weights, config_.train);
+  }
+  telemetry::GetCounter("uae.learn.train.cycles")->Add(1);
+  if (report.result.recovered_steps > 0) {
+    telemetry::GetCounter("uae.learn.train.recovered_steps")
+        ->Add(report.result.recovered_steps);
+  }
+  if (report.result.diverged) {
+    // The watchdog exhausted its budget: the parameters are the last
+    // good snapshot, but a model that could not finish its budget is
+    // not publishable. No candidate is written.
+    telemetry::GetCounter("uae.learn.train.diverged")->Add(1);
+    return Status::FailedPrecondition(
+        "fine-tune diverged (NaN-watchdog budget exhausted); candidate "
+        "not written");
+  }
+  telemetry::GetHistogram("uae.learn.train.valid_auc")
+      ->Record(report.result.best_valid_auc);
+
+  const Status saved =
+      serve::SaveRecommender(*report.model, config_.kind,
+                             config_.model_config, config_.candidate_path);
+  if (!saved.ok()) return saved;
+  // The fine-tune finished and the candidate is durable: the mid-train
+  // checkpoint has served its purpose and must not leak into the next
+  // cycle's resume detection.
+  if (report.resumed || !config_.train.checkpoint_path.empty()) {
+    std::remove(config_.train.checkpoint_path.c_str());
+  }
+  telemetry::GetHistogram("uae.learn.train.wall_s")
+      ->Record(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return report;
+}
+
+}  // namespace uae::learn

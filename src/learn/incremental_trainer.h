@@ -1,0 +1,67 @@
+#ifndef UAE_LEARN_INCREMENTAL_TRAINER_H_
+#define UAE_LEARN_INCREMENTAL_TRAINER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace uae::learn {
+
+/// Fine-tunes the serving model from its latest checkpoint on a freshly
+/// ingested batch and writes a fingerprinted candidate (DESIGN.md §16).
+struct IncrementalTrainerConfig {
+  models::ModelKind kind = models::ModelKind::kLr;
+  models::ModelConfig model_config;
+  /// UAECKPT2 of the incumbent to fine-tune from (fingerprint-checked
+  /// against kind/model_config); "" starts from a fresh init — the
+  /// bootstrap cycle before any model has been published.
+  std::string incumbent_path;
+  /// Where the fingerprinted candidate checkpoint is written.
+  std::string candidate_path;
+  /// Bounded fine-tune budget. `train.checkpoint_path` additionally
+  /// enables the durable mid-train checkpoint, so a cycle killed
+  /// mid-train resumes step-for-step identical (ResumeTrainRecommender);
+  /// clip_grad_norm / max_bad_steps are the NaN watchdog knobs.
+  models::TrainConfig train;
+  /// Seed of the pre-restore parameter init (also the fresh-init seed
+  /// when incumbent_path is ""). Fixed seed + fixed batch => the whole
+  /// cycle is a pure function of the feedback log.
+  uint64_t init_seed = 1;
+};
+
+struct IncrementalTrainReport {
+  models::TrainResult result;
+  /// True when a durable mid-train checkpoint was found and the run
+  /// resumed from it instead of starting epoch 0.
+  bool resumed = false;
+  /// The model holding the fine-tuned parameters (already saved to
+  /// candidate_path) — callers can score/evaluate without a reload.
+  std::unique_ptr<models::Recommender> model;
+};
+
+class IncrementalTrainer {
+ public:
+  explicit IncrementalTrainer(const IncrementalTrainerConfig& config);
+
+  /// Runs one bounded fine-tune: restore incumbent → train (or resume a
+  /// killed run) → save candidate. A diverged run (NaN-watchdog budget
+  /// exhausted) fails with FailedPrecondition and writes NO candidate;
+  /// a failed candidate write (e.g. the ckpt.write fault point) fails
+  /// with the save's IoError. Either way the incumbent checkpoint and
+  /// whatever snapshot is serving stay untouched.
+  StatusOr<IncrementalTrainReport> Train(const data::Dataset& dataset,
+                                         const data::EventScores* weights);
+
+  const IncrementalTrainerConfig& config() const { return config_; }
+
+ private:
+  IncrementalTrainerConfig config_;
+};
+
+}  // namespace uae::learn
+
+#endif  // UAE_LEARN_INCREMENTAL_TRAINER_H_

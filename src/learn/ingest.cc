@@ -1,0 +1,198 @@
+#include "learn/ingest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "attention/reweight.h"
+#include "common/telemetry.h"
+
+namespace uae::learn {
+namespace {
+
+uint8_t MagicByte(size_t i) {
+  return static_cast<uint8_t>((kFeedbackMagic >> (8 * i)) & 0xff);
+}
+
+/// Index of the first magic byte sequence in [data, data + size), or
+/// npos. Used to resync after a corrupt frame.
+size_t FindMagic(const uint8_t* data, size_t size) {
+  if (size < 4) return std::string::npos;
+  for (size_t i = 0; i + 4 <= size; ++i) {
+    if (data[i] == MagicByte(0) && data[i + 1] == MagicByte(1) &&
+        data[i + 2] == MagicByte(2) && data[i + 3] == MagicByte(3)) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+StreamIngester::StreamIngester(const Config& config) : config_(config) {}
+
+Status StreamIngester::Poll(std::vector<FeedbackRecord>* out) {
+  std::FILE* file = std::fopen(config_.path.c_str(), "rb");
+  if (file == nullptr) return Status::Ok();  // Nothing produced yet.
+  if (std::fseek(file, static_cast<long>(file_offset_), SEEK_SET) != 0) {
+    std::fclose(file);
+    return Status::IoError("cannot seek feedback log " + config_.path);
+  }
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    carry_.append(chunk, n);
+    file_offset_ += static_cast<int64_t>(n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("cannot read feedback log " + config_.path);
+  }
+
+  telemetry::Counter* bad_frames_counter =
+      telemetry::GetCounter("uae.learn.ingest.bad_frames");
+  telemetry::Counter* records_counter =
+      telemetry::GetCounter("uae.learn.ingest.records");
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(carry_.data());
+  size_t pos = 0;
+  while (pos < carry_.size()) {
+    FeedbackRecord record;
+    size_t frame_size = 0;
+    const FrameParse parse =
+        ParseFeedbackFrame(data + pos, carry_.size() - pos, &record,
+                           &frame_size);
+    if (parse == FrameParse::kPending) break;
+    if (parse == FrameParse::kOk) {
+      out->push_back(record);
+      ++records_;
+      records_counter->Add(1);
+      pos += frame_size;
+      continue;
+    }
+    // Corrupt: count once, then resync to the next magic *after* this
+    // position.
+    ++bad_frames_;
+    bad_frames_counter->Add(1);
+    const size_t next =
+        FindMagic(data + pos + 1, carry_.size() - pos - 1);
+    if (next != std::string::npos) {
+      pos += 1 + next;
+      continue;
+    }
+    // No magic ahead: consume the rest, keeping only a suffix that is a
+    // proper prefix of the magic (it may complete on the next append).
+    size_t keep = 0;
+    const size_t tail = std::min<size_t>(3, carry_.size() - pos - 1);
+    for (size_t k = tail; k > 0 && keep == 0; --k) {
+      bool match = true;
+      for (size_t j = 0; j < k; ++j) {
+        if (data[carry_.size() - k + j] != MagicByte(j)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) keep = k;
+    }
+    pos = carry_.size() - keep;
+    break;
+  }
+  carry_.erase(0, pos);
+  return Status::Ok();
+}
+
+StatusOr<IngestedBatch> BuildTrainingBatch(
+    const data::World& world, const std::vector<FeedbackRecord>& records,
+    const DatasetBuildConfig& config) {
+  if (config.gamma <= 0.0f) {
+    return Status::InvalidArgument("gamma must be > 0");
+  }
+  const data::GeneratorConfig& world_config = world.config();
+  // Group records into playlist walks by request_id, in first-seen order
+  // (the producer's append order), so the dataset is a pure function of
+  // the record list.
+  std::vector<uint64_t> walk_order;
+  std::map<uint64_t, std::vector<FeedbackRecord>> walks;
+  int64_t invalid = 0;
+  for (const FeedbackRecord& record : records) {
+    const bool valid =
+        record.user >= 0 && record.user < world_config.num_users &&
+        record.song >= 0 && record.song < world_config.num_songs &&
+        record.hour >= 0 && record.hour < 24 && record.weekday >= 0 &&
+        record.weekday < 7 && record.step >= 0 &&
+        record.action <=
+            static_cast<uint8_t>(data::FeedbackAction::kDownload) &&
+        record.alpha_hat >= 0.0f && record.alpha_hat <= 1.0f;
+    if (!valid) {
+      ++invalid;
+      continue;
+    }
+    auto [it, inserted] = walks.try_emplace(record.request_id);
+    if (inserted) walk_order.push_back(record.request_id);
+    it->second.push_back(record);
+  }
+  if (invalid > 0) {
+    telemetry::GetCounter("uae.learn.ingest.invalid_records")->Add(invalid);
+  }
+  if (walk_order.empty()) {
+    return Status::FailedPrecondition(
+        "no valid feedback records to build a training batch from");
+  }
+
+  IngestedBatch batch;
+  batch.dataset.name = config.name;
+  batch.dataset.schema = world.schema();
+  batch.dataset.num_users = world_config.num_users;
+  batch.dataset.num_songs = world_config.num_songs;
+  batch.dataset.num_feedback_types = world_config.num_feedback_types;
+  std::vector<std::vector<float>> alpha_hats;
+  for (const uint64_t request_id : walk_order) {
+    std::vector<FeedbackRecord>& walk = walks[request_id];
+    std::stable_sort(walk.begin(), walk.end(),
+                     [](const FeedbackRecord& a, const FeedbackRecord& b) {
+                       return a.step < b.step;
+                     });
+    data::Session session;
+    session.user = walk.front().user;
+    std::vector<float> alphas;
+    for (const FeedbackRecord& record : walk) {
+      // The features a production ranker logs at request time: the
+      // world's scoring context for (user, song, hour, weekday). The
+      // observed action overrides the neutral default.
+      data::Event event = world.ScoringEvent(record.user, record.song,
+                                             record.hour, record.weekday);
+      event.action = static_cast<data::FeedbackAction>(record.action);
+      session.events.push_back(std::move(event));
+      alphas.push_back(record.alpha_hat);
+      ++batch.records;
+    }
+    batch.dataset.sessions.push_back(std::move(session));
+    alpha_hats.push_back(std::move(alphas));
+  }
+  batch.dataset.split = data::MakeChronologicalSplit(
+      static_cast<int>(batch.dataset.sessions.size()), config.train_ratio,
+      config.valid_ratio);
+
+  // Eq. 18 weights from the serve-time attention estimates: weight 1 on
+  // active events, ReweightFunction(alpha-hat, gamma) on passive ones.
+  batch.weights = std::make_unique<data::EventScores>(batch.dataset, 1.0f);
+  for (size_t s = 0; s < batch.dataset.sessions.size(); ++s) {
+    const data::Session& session = batch.dataset.sessions[s];
+    for (size_t t = 0; t < session.events.size(); ++t) {
+      if (!session.events[t].active()) {
+        batch.weights->set(
+            static_cast<int>(s), static_cast<int>(t),
+            attention::ReweightFunction(alpha_hats[s][t], config.gamma));
+      }
+    }
+  }
+  return batch;
+}
+
+data::SessionBatcher MakeSessionBatcher(const IngestedBatch& batch,
+                                        int batch_size) {
+  return data::SessionBatcher(batch.dataset, batch.dataset.split.train,
+                              batch_size);
+}
+
+}  // namespace uae::learn

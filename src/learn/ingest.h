@@ -1,0 +1,91 @@
+#ifndef UAE_LEARN_INGEST_H_
+#define UAE_LEARN_INGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/world.h"
+#include "learn/feedback_log.h"
+
+namespace uae::learn {
+
+/// Tails a FeedbackLog file into decoded records (DESIGN.md §16).
+///
+/// Poll reads everything appended since the last call and walks it frame
+/// by frame. A frame that is merely incomplete (a producer mid-append)
+/// stays pending and is retried next poll; a frame that is provably
+/// corrupt — bad magic, hostile length, CRC mismatch — is skipped by
+/// scanning forward to the next magic, counted once per resync in
+/// uae.learn.ingest.bad_frames. Corruption never crashes the ingester
+/// and never stalls it past the corrupt region (the feedback-log
+/// corruption battery drives every truncation point and bit flip).
+class StreamIngester {
+ public:
+  struct Config {
+    std::string path;
+  };
+
+  explicit StreamIngester(const Config& config);
+
+  /// Appends newly readable records to `*out`. A missing file is OK
+  /// (nothing yet); only a read error on an existing file fails.
+  Status Poll(std::vector<FeedbackRecord>* out);
+
+  /// File bytes consumed so far (pending tail bytes excluded).
+  int64_t offset() const { return file_offset_ - carry_bytes(); }
+  int64_t records() const { return records_; }
+  int64_t bad_frames() const { return bad_frames_; }
+
+ private:
+  int64_t carry_bytes() const {
+    return static_cast<int64_t>(carry_.size());
+  }
+
+  const Config config_;
+  std::string carry_;  // Unconsumed tail: a pending frame's prefix.
+  int64_t file_offset_ = 0;
+  int64_t records_ = 0;
+  int64_t bad_frames_ = 0;
+};
+
+/// A training-ready view over one poll's worth of feedback.
+struct IngestedBatch {
+  data::Dataset dataset;
+  /// Eq. 18 per-event weights: 1 on active events, the Eq. 19 reweight
+  /// of the serve-time alpha-hat on passive ones.
+  std::unique_ptr<data::EventScores> weights;
+  int64_t records = 0;  // Records that survived validation.
+};
+
+struct DatasetBuildConfig {
+  std::string name = "feedback-stream";
+  double train_ratio = 0.8;
+  double valid_ratio = 0.1;
+  /// Eq. 19 reweight exponent applied to passive events' alpha-hat.
+  float gamma = 1.0f;
+};
+
+/// Groups records into chronological data::Sessions (by request_id in
+/// first-seen order, steps sorted within a walk) and rebuilds each
+/// event's features from the world's scoring context — exactly what the
+/// production ranker logs at request time. Records with out-of-range
+/// ids/hours/actions are dropped and counted
+/// (uae.learn.ingest.invalid_records); the build is a pure function of
+/// the record list, so the same log always yields the same dataset.
+StatusOr<IngestedBatch> BuildTrainingBatch(
+    const data::World& world, const std::vector<FeedbackRecord>& records,
+    const DatasetBuildConfig& config);
+
+/// The incremental batching seam: equal-length session minibatches over
+/// the batch's train split, ready for the GRU towers or the trainer.
+data::SessionBatcher MakeSessionBatcher(const IngestedBatch& batch,
+                                        int batch_size);
+
+}  // namespace uae::learn
+
+#endif  // UAE_LEARN_INGEST_H_

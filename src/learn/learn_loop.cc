@@ -1,0 +1,276 @@
+#include "learn/learn_loop.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace uae::learn {
+namespace {
+
+/// uae.learn.state gauge values — what the loop is doing right now.
+enum class LoopState { kIdle = 0, kIngest = 1, kTrain = 2, kPublish = 3 };
+
+void SetState(LoopState state) {
+  telemetry::GetGauge("uae.learn.state")
+      ->Set(static_cast<double>(static_cast<int>(state)));
+}
+
+}  // namespace
+
+const char* CycleTriggerName(CycleTrigger trigger) {
+  switch (trigger) {
+    case CycleTrigger::kManual:
+      return "manual";
+    case CycleTrigger::kPeriodic:
+      return "periodic";
+    case CycleTrigger::kAdvisory:
+      return "advisory";
+  }
+  return "unknown";
+}
+
+StatusOr<RetrainAdvisory> ParseRetrainAdvisory(const std::string& line) {
+  StatusOr<json::Value> parsed = json::Parse(line);
+  if (!parsed.ok()) return parsed.status();
+  const json::Value& value = parsed.value();
+  if (!value.is_object()) {
+    return Status::InvalidArgument("advisory line is not a JSON object");
+  }
+  if (value.GetString("kind") != "retrain_advisory") {
+    return Status::InvalidArgument("not a retrain_advisory record");
+  }
+  RetrainAdvisory advisory;
+  // advisory_seq arrived with the continuous-learning loop; tolerate
+  // its absence (pre-loop logs) with the -1 sentinel.
+  advisory.seq =
+      static_cast<int64_t>(value.GetNumber("advisory_seq", -1.0));
+  advisory.slice = value.GetString("slice");
+  advisory.signal = value.GetString("signal");
+  advisory.psi = value.GetNumber("psi");
+  advisory.p_value = value.GetNumber("p_value", 1.0);
+  advisory.mean_delta = value.GetNumber("mean_delta");
+  advisory.cur_version =
+      static_cast<uint64_t>(value.GetNumber("cur_version"));
+  return advisory;
+}
+
+AdvisoryTail::AdvisoryTail(const Config& config) : config_(config) {}
+
+Status AdvisoryTail::Poll(std::vector<RetrainAdvisory>* out) {
+  if (config_.path.empty()) return Status::Ok();
+  std::FILE* file = std::fopen(config_.path.c_str(), "rb");
+  if (file == nullptr) return Status::Ok();  // No advisories yet.
+  if (std::fseek(file, static_cast<long>(file_offset_), SEEK_SET) != 0) {
+    std::fclose(file);
+    return Status::IoError("cannot seek advisory log " + config_.path);
+  }
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    carry_.append(chunk, n);
+    file_offset_ += static_cast<int64_t>(n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("cannot read advisory log " + config_.path);
+  }
+  size_t start = 0;
+  for (size_t i = 0; i < carry_.size(); ++i) {
+    if (carry_[i] != '\n') continue;
+    const std::string line = carry_.substr(start, i - start);
+    start = i + 1;
+    if (line.empty()) continue;
+    StatusOr<RetrainAdvisory> advisory = ParseRetrainAdvisory(line);
+    if (!advisory.ok()) {
+      telemetry::GetCounter("uae.learn.advisory.parse_errors")->Add(1);
+      continue;
+    }
+    // Exactly-once across restarts: a restored tail re-reads the file
+    // but suppresses sequence numbers it already consumed. Seq-less
+    // records (pre-loop logs) can only rely on byte-offset dedup.
+    if (advisory.value().seq >= 0 && advisory.value().seq <= last_seq_) {
+      continue;
+    }
+    if (advisory.value().seq > last_seq_) last_seq_ = advisory.value().seq;
+    out->push_back(std::move(advisory).value());
+  }
+  carry_.erase(0, start);
+  if (last_seq_ >= 0) {
+    telemetry::GetGauge("uae.learn.advisory.seq")
+        ->Set(static_cast<double>(last_seq_));
+  }
+  return Status::Ok();
+}
+
+LearnLoop::LearnLoop(const data::World* world,
+                     serve::RolloutController* rollout,
+                     const LearnLoopConfig& config)
+    : world_(world),
+      config_(config),
+      ingester_(config.ingest),
+      advisories_(AdvisoryTail::Config{config.advisory_path}),
+      trainer_(config.trainer),
+      publisher_(rollout, config.publisher) {
+  SetState(LoopState::kIdle);
+}
+
+LearnLoop::~LearnLoop() { Stop(); }
+
+int64_t LearnLoop::pending_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_.size());
+}
+
+int64_t LearnLoop::last_advisory_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return advisories_.last_seq();
+}
+
+StatusOr<CycleReport> LearnLoop::RunCycle(CycleTrigger trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status error = Status::Ok();
+  CycleReport report = RunCycleLocked(trigger, &error);
+  if (!error.ok()) return error;
+  return report;
+}
+
+CycleReport LearnLoop::RunCycleLocked(CycleTrigger trigger, Status* error) {
+  trace::Span span("learn.cycle", "trigger",
+                   static_cast<int64_t>(trigger));
+  const auto start = std::chrono::steady_clock::now();
+  CycleReport report;
+  report.trigger = trigger;
+
+  SetState(LoopState::kIngest);
+  const Status polled = ingester_.Poll(&pending_);
+  if (!polled.ok()) {
+    SetState(LoopState::kIdle);
+    cycles_failed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::GetCounter("uae.learn.cycles.failed")->Add(1);
+    *error = polled;
+    return report;
+  }
+  if (static_cast<int64_t>(pending_.size()) < config_.min_records) {
+    SetState(LoopState::kIdle);
+    cycles_skipped_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::GetCounter("uae.learn.cycles.skipped")->Add(1);
+    report.skipped_reason = "insufficient_records";
+    return report;
+  }
+
+  StatusOr<IngestedBatch> batch =
+      BuildTrainingBatch(*world_, pending_, config_.batch);
+  if (!batch.ok()) {
+    SetState(LoopState::kIdle);
+    cycles_failed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::GetCounter("uae.learn.cycles.failed")->Add(1);
+    report.skipped_reason = "ingest: " + batch.status().ToString();
+    return report;
+  }
+  report.records = batch.value().records;
+
+  SetState(LoopState::kTrain);
+  StatusOr<IncrementalTrainReport> trained =
+      trainer_.Train(batch.value().dataset, batch.value().weights.get());
+  if (!trained.ok()) {
+    // A diverged fine-tune or a failed candidate write is a *refused
+    // publish*, not a loop failure: the incumbent stays untouched and
+    // the pending records are kept for the next attempt.
+    SetState(LoopState::kIdle);
+    cycles_failed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::GetCounter("uae.learn.cycles.failed")->Add(1);
+    report.skipped_reason = "train: " + trained.status().ToString();
+    return report;
+  }
+  report.trained = true;
+  report.train = trained.value().result;
+
+  SetState(LoopState::kPublish);
+  StatusOr<uint64_t> version =
+      publisher_.Publish(config_.trainer.candidate_path);
+  if (!version.ok()) {
+    SetState(LoopState::kIdle);
+    cycles_failed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::GetCounter("uae.learn.cycles.failed")->Add(1);
+    report.skipped_reason = "publish: " + version.status().ToString();
+    return report;
+  }
+  report.published = true;
+  report.candidate_version = version.value();
+  last_candidate_version_.store(version.value(),
+                                std::memory_order_relaxed);
+
+  // The cycle consumed its records only on full success: a failed cycle
+  // retries them, a successful one starts the next batch fresh.
+  telemetry::GetCounter("uae.learn.records.trained")
+      ->Add(report.records);
+  pending_.clear();
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::GetCounter("uae.learn.cycles")->Add(1);
+  telemetry::GetHistogram("uae.learn.cycle.wall_s")
+      ->Record(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  trace::Instant("learn.cycle.published", "version",
+                 static_cast<int64_t>(report.candidate_version));
+  SetState(LoopState::kIdle);
+  return report;
+}
+
+StatusOr<CycleReport> LearnLoop::PollOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RetrainAdvisory> advisories;
+  const Status polled = advisories_.Poll(&advisories);
+  if (!polled.ok()) return polled;
+  if (advisories.empty()) {
+    CycleReport report;
+    report.skipped_reason = "no_trigger";
+    return report;
+  }
+  telemetry::GetCounter("uae.learn.advisories.consumed")
+      ->Add(static_cast<int64_t>(advisories.size()));
+  Status error = Status::Ok();
+  CycleReport report = RunCycleLocked(CycleTrigger::kAdvisory, &error);
+  if (!error.ok()) return error;
+  return report;
+}
+
+Status LearnLoop::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("learn loop already running");
+  }
+  stop_.store(false);
+  background_ = std::thread([this] { BackgroundLoop(); });
+  return Status::Ok();
+}
+
+void LearnLoop::Stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  if (background_.joinable()) background_.join();
+  running_.store(false);
+}
+
+void LearnLoop::BackgroundLoop() {
+  auto last_periodic = std::chrono::steady_clock::now();
+  while (!stop_.load()) {
+    const StatusOr<CycleReport> polled = PollOnce();
+    (void)polled;  // Failures are counted; the loop keeps serving.
+    if (config_.period_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_periodic >=
+          std::chrono::milliseconds(config_.period_ms)) {
+        last_periodic = now;
+        (void)RunCycle(CycleTrigger::kPeriodic);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        config_.poll_ms > 0 ? config_.poll_ms : 20));
+  }
+}
+
+}  // namespace uae::learn

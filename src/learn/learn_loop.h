@@ -1,0 +1,189 @@
+#ifndef UAE_LEARN_LEARN_LOOP_H_
+#define UAE_LEARN_LEARN_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "data/world.h"
+#include "learn/incremental_trainer.h"
+#include "learn/ingest.h"
+#include "learn/publisher.h"
+
+namespace uae::learn {
+
+/// One parsed retrain-advisory record from the DriftMonitor's JSONL
+/// stream (serve/drift.cc WriteAdvisoryLocked).
+struct RetrainAdvisory {
+  /// Monotonic per-monitor sequence number (0-based, in write order).
+  /// -1 for records written before the field existed — the tail then
+  /// falls back to byte-offset-only dedup.
+  int64_t seq = -1;
+  std::string slice;   // "<signal>/<cohort>".
+  std::string signal;  // score | alpha | ctr | skip.
+  double psi = 0.0;
+  double p_value = 1.0;
+  double mean_delta = 0.0;
+  uint64_t cur_version = 0;
+};
+
+/// Parses one advisory JSONL line. Fails with InvalidArgument on
+/// non-JSON input or a record whose kind is not "retrain_advisory".
+/// Tolerates a missing advisory_seq (pre-PR10 logs) with seq = -1.
+StatusOr<RetrainAdvisory> ParseRetrainAdvisory(const std::string& line);
+
+/// Tails the retrain-advisory JSONL, delivering each advisory exactly
+/// once. Restart-idempotent: a restarted tailer re-reads the file from
+/// the start, and Restore(last_seq) suppresses every advisory with
+/// seq <= last_seq, so an advisory never triggers two cycles across a
+/// crash/restart (the reason the stream carries advisory_seq at all).
+class AdvisoryTail {
+ public:
+  struct Config {
+    std::string path;
+  };
+
+  explicit AdvisoryTail(const Config& config);
+
+  /// Resume point after a restart: advisories with seq <= last_seq are
+  /// already consumed and will not be delivered again.
+  void Restore(int64_t last_seq) { last_seq_ = last_seq; }
+
+  /// Appends newly delivered advisories to `*out`. Unparsable lines are
+  /// skipped and counted (uae.learn.advisory.parse_errors); a missing
+  /// file is OK (no advisories yet).
+  Status Poll(std::vector<RetrainAdvisory>* out);
+
+  /// Highest advisory_seq delivered (or restored); -1 initially.
+  int64_t last_seq() const { return last_seq_; }
+
+ private:
+  const Config config_;
+  std::string carry_;  // Partial trailing line.
+  int64_t file_offset_ = 0;
+  int64_t last_seq_ = -1;
+};
+
+/// What caused a cycle to run.
+enum class CycleTrigger { kManual = 0, kPeriodic = 1, kAdvisory = 2 };
+
+const char* CycleTriggerName(CycleTrigger trigger);
+
+/// The continuous-learning orchestrator (DESIGN.md §16): tails the
+/// feedback stream, and on a trigger — manual, periodic, or a drift
+/// retrain-advisory — runs one ingest→train→publish cycle against the
+/// serving engine's rollout controller. The cycle never touches the
+/// engine directly: promotion and rollback are entirely the
+/// RolloutController's health-gated ladder, advanced by whatever live
+/// traffic is flowing.
+///
+/// Determinism contract: with a fixed feedback log, fixed config, and
+/// fixed seeds, the candidate's parameter bytes — and therefore the
+/// scores the promoted snapshot serves — are bit-identical at any
+/// UAE_NUM_THREADS (tests/learn_test.cc golden). Wall-clock only enters
+/// metrics, never the training path.
+struct LearnLoopConfig {
+  StreamIngester::Config ingest;
+  DatasetBuildConfig batch;
+  IncrementalTrainerConfig trainer;
+  PublisherConfig publisher;
+  /// Records required before a cycle trains; below this the cycle is
+  /// skipped (counted, retrying next trigger with the records kept).
+  int64_t min_records = 64;
+  /// Retrain-advisory JSONL to tail ("" disables the drift trigger).
+  std::string advisory_path;
+  /// Background loop (Start()): trigger a periodic cycle every this
+  /// many milliseconds; <= 0 leaves only the advisory/manual triggers.
+  int64_t period_ms = 0;
+  /// Background poll cadence for advisories/feedback.
+  int64_t poll_ms = 20;
+};
+
+struct CycleReport {
+  CycleTrigger trigger = CycleTrigger::kManual;
+  bool trained = false;
+  bool published = false;
+  int64_t records = 0;          // Records the cycle trained on.
+  uint64_t candidate_version = 0;
+  models::TrainResult train;
+  /// Why the cycle stopped short ("" when it ran to publish): e.g.
+  /// "insufficient_records", "train: <status>", "publish: <status>".
+  std::string skipped_reason;
+};
+
+class LearnLoop {
+ public:
+  /// `world` supplies the feature context for ingested records;
+  /// `rollout` is the serving side's controller. Both must outlive the
+  /// loop.
+  LearnLoop(const data::World* world, serve::RolloutController* rollout,
+            const LearnLoopConfig& config);
+  ~LearnLoop();
+
+  LearnLoop(const LearnLoop&) = delete;
+  LearnLoop& operator=(const LearnLoop&) = delete;
+
+  /// Runs one synchronous cycle now. Never fails on a *model* problem —
+  /// a diverged fine-tune or rejected publish is reported in
+  /// skipped_reason (and counted) while the loop, the incumbent, and
+  /// pending records stay intact. Only infrastructure errors (e.g. an
+  /// unreadable feedback log) surface as a Status.
+  StatusOr<CycleReport> RunCycle(CycleTrigger trigger);
+
+  /// Polls the advisory tail; runs an advisory-triggered cycle when one
+  /// or more new advisories arrived. Returns the cycle's report, or a
+  /// report with skipped_reason = "no_trigger" when nothing was due.
+  StatusOr<CycleReport> PollOnce();
+
+  /// Starts the background thread: advisory-driven cycles plus the
+  /// periodic trigger. Fails if already running.
+  Status Start();
+  /// Stops and joins the background thread (idempotent; run by the
+  /// destructor).
+  void Stop();
+
+  int64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+  int64_t cycles_failed() const {
+    return cycles_failed_.load(std::memory_order_relaxed);
+  }
+  int64_t cycles_skipped() const {
+    return cycles_skipped_.load(std::memory_order_relaxed);
+  }
+  int64_t pending_records() const;
+  int64_t last_advisory_seq() const;
+  uint64_t last_candidate_version() const {
+    return last_candidate_version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  CycleReport RunCycleLocked(CycleTrigger trigger, Status* error);
+  void BackgroundLoop();
+
+  const data::World* world_;
+  LearnLoopConfig config_;
+
+  mutable std::mutex mu_;  // Serializes cycles and tail state.
+  StreamIngester ingester_;
+  AdvisoryTail advisories_;
+  IncrementalTrainer trainer_;
+  SnapshotPublisher publisher_;
+  std::vector<FeedbackRecord> pending_;
+
+  std::atomic<int64_t> cycles_{0};
+  std::atomic<int64_t> cycles_failed_{0};
+  std::atomic<int64_t> cycles_skipped_{0};
+  std::atomic<uint64_t> last_candidate_version_{0};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread background_;
+};
+
+}  // namespace uae::learn
+
+#endif  // UAE_LEARN_LEARN_LOOP_H_

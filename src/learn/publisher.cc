@@ -1,0 +1,45 @@
+#include "learn/publisher.h"
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "serve/model_snapshot.h"
+
+namespace uae::learn {
+
+SnapshotPublisher::SnapshotPublisher(serve::RolloutController* rollout,
+                                     const PublisherConfig& config)
+    : rollout_(rollout), config_(config) {}
+
+StatusOr<uint64_t> SnapshotPublisher::Publish(
+    const std::string& candidate_path) {
+  trace::Span span("learn.publish");
+  serve::SnapshotSpec spec;
+  spec.schema = config_.schema;
+  spec.kind = config_.kind;
+  spec.model_config = config_.model_config;
+  spec.model_path = candidate_path;
+  spec.tower_path = config_.tower_path;
+  spec.tower_config = config_.tower_config;
+  spec.gamma = config_.gamma;
+  spec.song_prior = config_.song_prior;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> candidate =
+      serve::ModelSnapshot::Load(spec);
+  if (!candidate.ok()) {
+    telemetry::GetCounter("uae.learn.publish.rejected")->Add(1);
+    return candidate.status();
+  }
+  const uint64_t version = candidate.value()->version();
+  const Status begun = rollout_->BeginRollout(candidate.value());
+  if (!begun.ok()) {
+    telemetry::GetCounter("uae.learn.publish.rejected")->Add(1);
+    return begun;
+  }
+  ++published_;
+  telemetry::GetCounter("uae.learn.publish.begun")->Add(1);
+  telemetry::GetGauge("uae.learn.candidate.version")
+      ->Set(static_cast<double>(version));
+  trace::Instant("learn.publish.begun");
+  return version;
+}
+
+}  // namespace uae::learn

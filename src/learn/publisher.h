@@ -1,0 +1,57 @@
+#ifndef UAE_LEARN_PUBLISHER_H_
+#define UAE_LEARN_PUBLISHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attention/towers.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "models/registry.h"
+#include "serve/rollout.h"
+
+namespace uae::learn {
+
+/// Builds a ModelSnapshot from a candidate checkpoint and stages it
+/// through the health-gated rollout ladder (DESIGN.md §16). The
+/// publisher never calls Engine::Swap itself: promotion is entirely the
+/// RolloutController's canary→ramp→full machinery, so every candidate —
+/// however it was trained — faces the same health/SLO/drift criteria
+/// and auto-rollback as a hand-rolled deploy.
+struct PublisherConfig {
+  data::FeatureSchema schema;
+  models::ModelKind kind = models::ModelKind::kLr;
+  models::ModelConfig model_config;
+  /// Attention-tower checkpoint served alongside the candidate ("" =
+  /// CTR-only, alpha-hat pinned to 1).
+  std::string tower_path;
+  attention::TowerConfig tower_config;
+  float gamma = 1.0f;
+  /// Optional degraded-mode popularity prior (SnapshotSpec::song_prior).
+  std::vector<double> song_prior;
+};
+
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher(serve::RolloutController* rollout,
+                    const PublisherConfig& config);
+
+  /// Loads the candidate checkpoint (fingerprint-validated; corrupt or
+  /// mismatched files fail cleanly before any serving state changes)
+  /// and begins the staged rollout. Returns the candidate's snapshot
+  /// version. Fails with FailedPrecondition while a rollout is already
+  /// in flight.
+  StatusOr<uint64_t> Publish(const std::string& candidate_path);
+
+  int64_t published() const { return published_; }
+
+ private:
+  serve::RolloutController* rollout_;
+  PublisherConfig config_;
+  int64_t published_ = 0;
+};
+
+}  // namespace uae::learn
+
+#endif  // UAE_LEARN_PUBLISHER_H_

@@ -228,6 +228,10 @@ void DriftMonitor::WriteAdvisoryLocked(const Slice& slice,
   const std::string line =
       telemetry::JsonObject()
           .Set("kind", "retrain_advisory")
+          // Monotonic per-monitor sequence number (0-based): a restarted
+          // advisory tailer (learn::AdvisoryTail) re-reads the file and
+          // suppresses records it already consumed by this field.
+          .Set("advisory_seq", advisories_written_)
           .Set("slice", verdict.slice)
           .Set("signal", DriftSignalName(verdict.signal))
           .Set("psi", verdict.comparison.psi)

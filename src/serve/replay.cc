@@ -42,9 +42,19 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// World-side identity of one prepared request, kept for the feedback
+/// hook: the user before any synthetic remap and the time-of-day the
+/// features were built with.
+struct RequestContext {
+  int user = 0;
+  int hour = 0;
+  int weekday = 0;
+};
+
 std::vector<ScoreRequest> BuildRequests(const data::World& world,
                                         const ReplayConfig& config,
-                                        Rng* rng) {
+                                        Rng* rng,
+                                        std::vector<RequestContext>* contexts) {
   std::vector<ScoreRequest> requests;
   requests.reserve(static_cast<size_t>(config.requests));
   for (int i = 0; i < config.requests; ++i) {
@@ -52,6 +62,7 @@ std::vector<ScoreRequest> BuildRequests(const data::World& world,
     req.user = i % world.config().num_users;
     const int hour = static_cast<int>(rng->UniformInt(24));
     const int weekday = static_cast<int>(rng->UniformInt(7));
+    contexts->push_back({req.user, hour, weekday});
     // The session tail: simulate the user walking a served playlist, so
     // the history events carry realistic feature/feedback structure.
     std::vector<int> played(static_cast<size_t>(config.history_length));
@@ -111,7 +122,10 @@ void MergeInto(PassResult* merged, std::vector<PassResult>* per_thread) {
 /// thundering back in lockstep.
 PassResult RunClosedLoop(const Scorer& scorer,
                          const std::vector<ScoreRequest>& requests,
-                         const ReplayConfig& config) {
+                         const ReplayConfig& config,
+                         const std::function<void(size_t,
+                                                  const ScoreResponse&)>&
+                             on_response = nullptr) {
   const int threads = config.client_threads;
   std::vector<PassResult> per_thread(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
@@ -139,6 +153,7 @@ PassResult RunClosedLoop(const Scorer& scorer,
         if (response.ok()) {
           ++local.completed;
           if (response.value().degraded) ++local.degraded;
+          if (on_response) on_response(i, response.value());
           local.latencies_ms.push_back(
               std::chrono::duration<double, std::milli>(Clock::now() - t0)
                   .count());
@@ -360,8 +375,37 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
                                     config.metrics_export_interval_ms);
     if (!started.ok()) return started;
   }
+  std::vector<RequestContext> contexts;
   const std::vector<ScoreRequest> requests =
-      BuildRequests(world, config, &rng);
+      BuildRequests(world, config, &rng, &contexts);
+
+  // Continuous-learning feedback plumbing: serve never links learn, so
+  // the record/byte counts are read back through the string-keyed
+  // counters the learn-side bridge increments.
+  telemetry::Counter* feedback_records =
+      telemetry::GetCounter("uae.learn.feedback.records");
+  telemetry::Counter* feedback_bytes =
+      telemetry::GetCounter("uae.learn.feedback.bytes");
+  const int64_t feedback_records_base = feedback_records->Get();
+  const int64_t feedback_bytes_base = feedback_bytes->Get();
+  // Adapts the raw closed-loop completion callback to the installed
+  // feedback hook, labeling the pass (0 = cold, 1 = warm).
+  const auto feedback_adapter = [&](int pass)
+      -> std::function<void(size_t, const ScoreResponse&)> {
+    if (!config.feedback_hook) return nullptr;
+    return [&, pass](size_t i, const ScoreResponse& response) {
+      ReplayConfig::FeedbackEvent event;
+      event.world = &world;
+      event.request_index = static_cast<int64_t>(i);
+      event.pass = pass;
+      event.user = contexts[i].user;
+      event.hour = contexts[i].hour;
+      event.weekday = contexts[i].weekday;
+      event.request = &requests[i];
+      event.response = &response;
+      config.feedback_hook(event);
+    };
+  };
 
   telemetry::Counter* hits = telemetry::GetCounter("uae.serve.cache_hits");
   telemetry::Counter* misses =
@@ -374,14 +418,18 @@ StatusOr<ReplayReport> RunReplay(const ReplayConfig& config) {
   report.closed_requests = static_cast<int64_t>(requests.size());
   int64_t completed_total = 0;
 
-  PassResult cold = RunClosedLoop(scorer, requests, config);
+  PassResult cold = RunClosedLoop(scorer, requests, config,
+                                  feedback_adapter(/*pass=*/0));
   if (!cold.first_error.empty()) {
     return Status::Internal("replay cold pass failed: " + cold.first_error);
   }
-  PassResult warm = RunClosedLoop(scorer, requests, config);
+  PassResult warm = RunClosedLoop(scorer, requests, config,
+                                  feedback_adapter(/*pass=*/1));
   if (!warm.first_error.empty()) {
     return Status::Internal("replay warm pass failed: " + warm.first_error);
   }
+  report.feedback_records = feedback_records->Get() - feedback_records_base;
+  report.feedback_bytes = feedback_bytes->Get() - feedback_bytes_base;
   report.degraded += cold.degraded + warm.degraded;
   report.retries += cold.retries + warm.retries;
   completed_total += cold.completed + warm.completed;

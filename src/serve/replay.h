@@ -2,6 +2,7 @@
 #define UAE_SERVE_REPLAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "common/status.h"
 #include "data/generator.h"
 #include "serve/engine.h"
+
+namespace uae::data {
+class World;
+}  // namespace uae::data
 
 namespace uae::serve {
 
@@ -108,6 +113,30 @@ struct ReplayConfig {
   int drift_min_samples = 0;
   /// Retrain-advisory JSONL path ("" leaves config.engine.drift's).
   std::string drift_advisory_path;
+
+  /// Continuous-learning feedback emission (DESIGN.md §16): when set,
+  /// every *completed* closed-loop response is offered to this hook with
+  /// the request's world-side identity (the pre-synthetic-remap user and
+  /// the hour/weekday the request was built with), so the learn-side
+  /// bridge can simulate the playlist walk and append feedback records.
+  /// Called concurrently from the client threads — installers must be
+  /// thread-safe (learn::FeedbackLog's writer is lock-free). The open
+  /// loop does not emit: its shed-biased completions would skew the
+  /// training stream. The report picks up record/byte counts from the
+  /// uae.learn.feedback.* counters, so serve never links learn.
+  struct FeedbackEvent {
+    /// The replay's world (constructed inside RunReplay) — the bridge
+    /// needs it to simulate the served playlist's walk.
+    const data::World* world = nullptr;
+    int64_t request_index = 0;  // Index into the prepared request set.
+    int pass = 0;               // 0 = cold closed pass, 1 = warm.
+    int user = 0;               // World user id (pre-synthetic remap).
+    int hour = 0;
+    int weekday = 0;
+    const ScoreRequest* request = nullptr;
+    const ScoreResponse* response = nullptr;
+  };
+  std::function<void(const FeedbackEvent&)> feedback_hook;
 };
 
 struct ReplayReport {
@@ -160,6 +189,11 @@ struct ReplayReport {
   double exemplar_threshold_ms = 0.0;  // Final rolling p-quantile bound.
   double slo_budget_consumed = 0.0;    // 0 unless config.slo.
   double slo_advisory_burn = 0.0;
+
+  // Continuous-learning feedback (0 unless config.feedback_hook; counts
+  // come from the uae.learn.feedback.* counter deltas over the run).
+  int64_t feedback_records = 0;
+  int64_t feedback_bytes = 0;
 
   // Model-quality drift (all 0/false unless config.drift).
   int64_t drift_samples = 0;

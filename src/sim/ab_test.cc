@@ -71,7 +71,10 @@ std::vector<int> RankViaScorer(const data::World& world,
                                const ScoreFn& score, int user,
                                const std::vector<int>& candidates, int hour,
                                int weekday,
-                               double* mean_score_out = nullptr) {
+                               double* mean_score_out = nullptr,
+                               std::vector<serve::CandidateScore>*
+                                   scores_out = nullptr,
+                               uint64_t* version_out = nullptr) {
   serve::ScoreRequest request;
   request.user = user;
   request.candidate_songs = candidates;
@@ -90,6 +93,8 @@ std::vector<int> RankViaScorer(const data::World& world,
     *mean_score_out =
         sum / static_cast<double>(response.value().scores.size());
   }
+  if (scores_out != nullptr) *scores_out = response.value().scores;
+  if (version_out != nullptr) *version_out = response.value().snapshot_version;
   return response.value().playlist;
 }
 
@@ -136,11 +141,15 @@ AbTestResult RunAbTestImpl(const data::World& world,
 
       double control_mean = 0.0;
       double treatment_mean = 0.0;
+      std::vector<serve::CandidateScore> treatment_candidate_scores;
+      uint64_t treatment_version = 0;
       const std::vector<int> control_playlist =
           RankPlaylist(world, control_model, user, candidates, hour, weekday,
                        config.playlist_length, &control_mean);
       const std::vector<int> treatment_playlist = RankViaScorer(
-          world, score, user, candidates, hour, weekday, &treatment_mean);
+          world, score, user, candidates, hour, weekday, &treatment_mean,
+          config.feedback_hook ? &treatment_candidate_scores : nullptr,
+          config.feedback_hook ? &treatment_version : nullptr);
       control_scores.Add(control_mean);
       treatment_scores.Add(treatment_mean);
       UAE_CHECK_MSG(static_cast<int>(treatment_playlist.size()) ==
@@ -158,9 +167,26 @@ AbTestResult RunAbTestImpl(const data::World& world,
       Accumulate(world.SimulateSession(user, control_playlist, hour, weekday,
                                        &control_rng),
                  &day_result.control);
-      Accumulate(world.SimulateSession(user, treatment_playlist, hour,
-                                       weekday, &treatment_rng),
-                 &day_result.treatment);
+      const data::Session treatment_session = world.SimulateSession(
+          user, treatment_playlist, hour, weekday, &treatment_rng);
+      Accumulate(treatment_session, &day_result.treatment);
+      if (config.feedback_hook) {
+        // The treatment walk is exactly the feedback a production
+        // service would log: what was served, what the user did, what
+        // the tower believed. The hook observes; the experiment's
+        // metrics and RNG streams are untouched.
+        AbTestConfig::TreatmentFeedback feedback;
+        feedback.request_id = request_id * 2 + 2;  // The treatment stream.
+        feedback.day = day;
+        feedback.user = user;
+        feedback.hour = hour;
+        feedback.weekday = weekday;
+        feedback.playlist = &treatment_playlist;
+        feedback.session = &treatment_session;
+        feedback.scores = &treatment_candidate_scores;
+        feedback.snapshot_version = treatment_version;
+        config.feedback_hook(feedback);
+      }
     }
     day_result.play_count_uplift_pct =
         (day_result.treatment.play_count / day_result.control.play_count -

@@ -1,6 +1,8 @@
 #ifndef UAE_SIM_AB_TEST_H_
 #define UAE_SIM_AB_TEST_H_
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/sketch.h"
@@ -19,6 +21,27 @@ struct AbTestConfig {
   int playlist_length = 15;     // Songs served per request.
   int candidate_pool = 60;      // Candidates the ranker chooses from.
   uint64_t seed = 777;
+
+  /// Continuous-learning feedback emission (DESIGN.md §16): when set,
+  /// each treatment request's simulated walk of its served playlist is
+  /// offered to this hook — the request identity, the walked session
+  /// (observed actions + ground truth), and the serve-time candidate
+  /// scores. learn::AttachAbTestFeedback bridges it onto a lock-free
+  /// FeedbackLog; the experiment's results are unchanged by the hook.
+  struct TreatmentFeedback {
+    uint64_t request_id = 0;  // Deterministic (seed, day, request) stamp.
+    int day = 0;              // 0-based experiment day.
+    int user = 0;
+    int hour = 0;
+    int weekday = 0;
+    /// The served playlist: playlist[t] is the song session->events[t]
+    /// walked.
+    const std::vector<int>* playlist = nullptr;
+    const data::Session* session = nullptr;  // The treatment walk.
+    const std::vector<serve::CandidateScore>* scores = nullptr;
+    uint64_t snapshot_version = 0;  // Snapshot that served the playlist.
+  };
+  std::function<void(const TreatmentFeedback&)> feedback_hook;
 };
 
 /// Engagement metrics of one group on one day.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <string>
@@ -200,12 +201,21 @@ TEST(DriftMonitorTest, AdvisoryStreamRecordsFlaggedVerdicts) {
     std::string line;
     int64_t lines = 0;
     while (std::getline(in, line)) {
-      ++lines;
       EXPECT_NE(line.find("\"kind\":\"retrain_advisory\""),
                 std::string::npos);
       EXPECT_NE(line.find("\"psi\":"), std::string::npos);
       EXPECT_NE(line.find("\"p_value\":"), std::string::npos);
       EXPECT_NE(line.find("\"signal\":"), std::string::npos);
+      // advisory_seq is the LearnLoop's exactly-once cursor: 0-based
+      // and monotone in write order, so a restarted tailer can resume
+      // past everything it already consumed.
+      const std::string seq_key = "\"advisory_seq\":";
+      const size_t seq_at = line.find(seq_key);
+      ASSERT_NE(seq_at, std::string::npos) << line;
+      EXPECT_EQ(std::atoll(line.c_str() + seq_at + seq_key.size()),
+                lines)
+          << line;
+      ++lines;
     }
     EXPECT_EQ(lines, status.advisories);
   }

@@ -1,0 +1,488 @@
+// Feedback-log corruption battery (DESIGN.md §16), mirroring the wire
+// protocol's tests/wire_test.cc discipline for the on-disk stream.
+//
+// The framing contract under attack: a frame that is merely incomplete
+// (a producer mid-append) must classify as kPending and never as
+// corruption; a frame that is provably corrupt — bad magic, version,
+// type, reserved bits, hostile length, CRC mismatch — must classify as
+// kBad; and the StreamIngester tailing a log with injected garbage must
+// skip each corrupt region exactly once (uae.learn.ingest.bad_frames),
+// recover every intact frame, and never crash. The corruption corpus is
+// seeded, so a failure reproduces byte for byte.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "gtest/gtest.h"
+#include "learn/feedback_log.h"
+#include "learn/ingest.h"
+#include "nn/serialize.h"
+
+namespace uae::learn {
+namespace {
+
+bool BitsEq(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+/// A record whose encoded bytes contain no 'U','A','E','L' runs, so a
+/// single bit flip can never mint a spurious magic inside the payload
+/// and confuse the resync assertions below.
+FeedbackRecord MakeRecord(int salt) {
+  FeedbackRecord record;
+  record.user = salt;
+  record.song = salt * 3 + 1;
+  record.hour = static_cast<int16_t>(salt % 24);
+  record.weekday = static_cast<int16_t>(salt % 7);
+  record.action = static_cast<uint8_t>(salt % 6);
+  record.alpha_hat = 0.5f + 0.001f * static_cast<float>(salt % 100);
+  record.snapshot_version = static_cast<uint64_t>(7 + salt);
+  record.request_id = static_cast<uint64_t>(1000 + salt);
+  record.step = salt % 15;
+  record.timestamp_us = 1000000 + salt;
+  return record;
+}
+
+std::string EncodeOne(const FeedbackRecord& record) {
+  std::string frame;
+  EncodeFeedbackFrame(record, &frame);
+  return frame;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+void AppendFile(const std::string& path, const std::string& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return "";
+  std::string bytes;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.append(chunk, n);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+TEST(FeedbackFrame, RoundTripsEveryFieldBitExactly) {
+  FeedbackRecord record;
+  record.user = 123456789;
+  record.song = -7;  // Hostile on purpose; the codec must not "fix" it.
+  record.hour = 23;
+  record.weekday = 6;
+  record.action = 5;
+  record.alpha_hat = 0.12345678f;
+  record.snapshot_version = 0xdeadbeefcafe1234ULL;
+  record.request_id = 0xffffffffffffffffULL;
+  record.step = 2147483647;
+  record.timestamp_us = -42;
+  const std::string frame = EncodeOne(record);
+  EXPECT_EQ(frame.size(), kFeedbackFrameSize);
+
+  FeedbackRecord decoded;
+  size_t frame_size = 0;
+  const FrameParse parse = ParseFeedbackFrame(
+      reinterpret_cast<const uint8_t*>(frame.data()), frame.size(), &decoded,
+      &frame_size);
+  ASSERT_EQ(parse, FrameParse::kOk);
+  EXPECT_EQ(frame_size, kFeedbackFrameSize);
+  EXPECT_EQ(decoded.user, record.user);
+  EXPECT_EQ(decoded.song, record.song);
+  EXPECT_EQ(decoded.hour, record.hour);
+  EXPECT_EQ(decoded.weekday, record.weekday);
+  EXPECT_EQ(decoded.action, record.action);
+  EXPECT_TRUE(BitsEq(decoded.alpha_hat, record.alpha_hat));
+  EXPECT_EQ(decoded.snapshot_version, record.snapshot_version);
+  EXPECT_EQ(decoded.request_id, record.request_id);
+  EXPECT_EQ(decoded.step, record.step);
+  EXPECT_EQ(decoded.timestamp_us, record.timestamp_us);
+}
+
+TEST(FeedbackFrame, EncodingIsDeterministic) {
+  const FeedbackRecord record = MakeRecord(17);
+  EXPECT_EQ(EncodeOne(record), EncodeOne(record));
+}
+
+TEST(FeedbackFrameCorruption, EveryTruncationIsPendingNeverBad) {
+  // A producer may be mid-append at any byte: every proper prefix of a
+  // valid frame is a valid prefix, so the tailer must wait, not resync.
+  const std::string frame = EncodeOne(MakeRecord(1));
+  for (size_t len = 0; len < frame.size(); ++len) {
+    FeedbackRecord decoded;
+    size_t frame_size = 0;
+    const FrameParse parse = ParseFeedbackFrame(
+        reinterpret_cast<const uint8_t*>(frame.data()), len, &decoded,
+        &frame_size);
+    EXPECT_EQ(parse, FrameParse::kPending) << "truncation at " << len;
+  }
+}
+
+TEST(FeedbackFrameCorruption, EverySingleBitFlipIsRejected) {
+  // The CRC covers header AND payload, so every bit is load-bearing.
+  // Flipping one may only ever produce kBad — or kPending when the flip
+  // landed in the length field and the inflated claim makes the frame
+  // look incomplete (a later CRC check rejects it once "enough" bytes
+  // arrive); it must NEVER decode as a valid record.
+  const std::string frame = EncodeOne(MakeRecord(2));
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      FeedbackRecord decoded;
+      size_t frame_size = 0;
+      const FrameParse parse = ParseFeedbackFrame(
+          reinterpret_cast<const uint8_t*>(corrupt.data()), corrupt.size(),
+          &decoded, &frame_size);
+      ASSERT_NE(parse, FrameParse::kOk)
+          << "bit " << bit << " of byte " << byte << " accepted";
+      if (parse == FrameParse::kPending) {
+        EXPECT_GE(byte, 8u) << "pending outside the length field";
+        EXPECT_LT(byte, 12u) << "pending outside the length field";
+      }
+    }
+  }
+}
+
+TEST(FeedbackFrameCorruption, HostileLengthRejectedBeforeAllocation) {
+  // A frame *claiming* a huge payload is bounced on the length bound
+  // alone — before the claim sizes any read, wait, or allocation. That
+  // includes lengths far beyond the bytes actually present: hostile is
+  // rejected now, not "pending more data".
+  const std::string frame = EncodeOne(MakeRecord(3));
+  for (const uint32_t lie :
+       {kFeedbackMaxPayload + 1, 0xffffffffu,
+        static_cast<uint32_t>(1) << 30}) {
+    std::string corrupt = frame;
+    corrupt[8] = static_cast<char>(lie);
+    corrupt[9] = static_cast<char>(lie >> 8);
+    corrupt[10] = static_cast<char>(lie >> 16);
+    corrupt[11] = static_cast<char>(lie >> 24);
+    FeedbackRecord decoded;
+    size_t frame_size = 0;
+    const FrameParse parse = ParseFeedbackFrame(
+        reinterpret_cast<const uint8_t*>(corrupt.data()), corrupt.size(),
+        &decoded, &frame_size);
+    EXPECT_EQ(parse, FrameParse::kBad) << "hostile length " << lie;
+  }
+}
+
+TEST(FeedbackFrameCorruption, CrcValidForeignPayloadSizeIsRejected) {
+  // A CRC-*valid* frame whose payload is not the record encoding this
+  // reader knows (a future stream revision, or a deliberate confusion
+  // attack) is still corrupt from this reader's point of view.
+  std::string frame;
+  frame.push_back('U');
+  frame.push_back('A');
+  frame.push_back('E');
+  frame.push_back('L');
+  frame.push_back(static_cast<char>(kFeedbackVersion));
+  frame.push_back(static_cast<char>(kFeedbackFrameRecord));
+  frame.push_back(0);
+  frame.push_back(0);
+  const uint32_t payload_len = 10;  // <= max, != kFeedbackPayloadSize.
+  frame.push_back(static_cast<char>(payload_len));
+  frame.push_back(static_cast<char>(payload_len >> 8));
+  frame.push_back(static_cast<char>(payload_len >> 16));
+  frame.push_back(static_cast<char>(payload_len >> 24));
+  frame.append(payload_len, '\x5a');
+  const uint32_t crc = nn::Crc32(frame.data(), frame.size());
+  frame.push_back(static_cast<char>(crc));
+  frame.push_back(static_cast<char>(crc >> 8));
+  frame.push_back(static_cast<char>(crc >> 16));
+  frame.push_back(static_cast<char>(crc >> 24));
+
+  FeedbackRecord decoded;
+  size_t frame_size = 0;
+  EXPECT_EQ(ParseFeedbackFrame(
+                reinterpret_cast<const uint8_t*>(frame.data()), frame.size(),
+                &decoded, &frame_size),
+            FrameParse::kBad);
+}
+
+TEST(FeedbackFrameCorruption, HeaderFieldChecksAreIndividuallyBad) {
+  const std::string base = EncodeOne(MakeRecord(4));
+  const auto parse_of = [](std::string frame) {
+    FeedbackRecord decoded;
+    size_t frame_size = 0;
+    return ParseFeedbackFrame(
+        reinterpret_cast<const uint8_t*>(frame.data()), frame.size(),
+        &decoded, &frame_size);
+  };
+  for (size_t magic_byte = 0; magic_byte < 4; ++magic_byte) {
+    std::string corrupt = base;
+    corrupt[magic_byte] = 'X';
+    EXPECT_EQ(parse_of(corrupt), FrameParse::kBad);
+    // Same flaw visible from a one-byte read: a first byte that can
+    // never start a frame is bad immediately, not pending.
+    if (magic_byte == 0) {
+      FeedbackRecord decoded;
+      size_t frame_size = 0;
+      EXPECT_EQ(ParseFeedbackFrame(
+                    reinterpret_cast<const uint8_t*>(corrupt.data()), 1,
+                    &decoded, &frame_size),
+                FrameParse::kBad);
+    }
+  }
+  {
+    std::string corrupt = base;
+    corrupt[4] = static_cast<char>(kFeedbackVersion + 1);
+    EXPECT_EQ(parse_of(corrupt), FrameParse::kBad);
+  }
+  {
+    std::string corrupt = base;
+    corrupt[5] = 99;  // Unknown frame type.
+    EXPECT_EQ(parse_of(corrupt), FrameParse::kBad);
+  }
+  {
+    std::string corrupt = base;
+    corrupt[6] = 1;  // Reserved bits set.
+    EXPECT_EQ(parse_of(corrupt), FrameParse::kBad);
+  }
+}
+
+TEST(FeedbackFrameCorruption, SeededMultiBitCorpusNeverDecodes) {
+  const std::string frame = EncodeOne(MakeRecord(5));
+  Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupt = frame;
+    const int edits = 1 + static_cast<int>(rng.UniformInt(8));
+    bool changed = false;
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(corrupt.size())));
+      const char value = static_cast<char>(rng.UniformInt(256));
+      changed = changed || corrupt[pos] != value;
+      corrupt[pos] = value;
+    }
+    if (!changed) continue;
+    FeedbackRecord decoded;
+    size_t frame_size = 0;
+    const FrameParse parse = ParseFeedbackFrame(
+        reinterpret_cast<const uint8_t*>(corrupt.data()), corrupt.size(),
+        &decoded, &frame_size);
+    ASSERT_NE(parse, FrameParse::kOk) << "trial " << trial << " accepted";
+  }
+}
+
+// ---- The ingester under the same attacks ----------------------------
+
+class IngesterCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/feedback_corruption.log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(IngesterCorruptionTest, GarbageBetweenFramesIsSkippedAndCountedOnce) {
+  std::string bytes = EncodeOne(MakeRecord(1));
+  // 64 bytes of garbage with no magic inside: one corrupt region, one
+  // bad-frame count, however many bytes it spans.
+  bytes.append(64, '\xff');
+  bytes += EncodeOne(MakeRecord(2));
+  bytes += EncodeOne(MakeRecord(3));
+  WriteFile(path_, bytes);
+
+  StreamIngester ingester({path_});
+  std::vector<FeedbackRecord> records;
+  ASSERT_TRUE(ingester.Poll(&records).ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].user, MakeRecord(1).user);
+  EXPECT_EQ(records[1].user, MakeRecord(2).user);
+  EXPECT_EQ(records[2].user, MakeRecord(3).user);
+  EXPECT_EQ(ingester.bad_frames(), 1);
+  EXPECT_EQ(ingester.records(), 3);
+}
+
+TEST_F(IngesterCorruptionTest, TruncatedTailStaysPendingThenCompletes) {
+  const std::string full = EncodeOne(MakeRecord(9));
+  WriteFile(path_, EncodeOne(MakeRecord(8)) + full.substr(0, 20));
+
+  StreamIngester ingester({path_});
+  std::vector<FeedbackRecord> records;
+  ASSERT_TRUE(ingester.Poll(&records).ok());
+  // The half-written frame is a producer mid-append: pending, not bad.
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(ingester.bad_frames(), 0);
+  // Consumed offset excludes the pending tail, so a restarted ingester
+  // re-reads from the frame boundary.
+  EXPECT_EQ(ingester.offset(),
+            static_cast<int64_t>(kFeedbackFrameSize));
+
+  AppendFile(path_, full.substr(20));
+  ASSERT_TRUE(ingester.Poll(&records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].user, MakeRecord(9).user);
+  EXPECT_EQ(ingester.bad_frames(), 0);
+}
+
+TEST_F(IngesterCorruptionTest, EverySingleBitFlipRecoversCleanly) {
+  // Flip every bit of the middle frame in a 3-frame log. Whatever the
+  // flip does — magic break, header break, CRC mismatch, length lie —
+  // the ingester must never crash, never fabricate a record, and must
+  // recover both intact neighbors unless the flip's inflated length
+  // swallowed the rest of the file as "pending".
+  const std::string f1 = EncodeOne(MakeRecord(11));
+  const std::string f2 = EncodeOne(MakeRecord(22));
+  const std::string f3 = EncodeOne(MakeRecord(33));
+  for (size_t byte = 0; byte < f2.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = f2;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      WriteFile(path_, f1 + corrupt + f3);
+
+      StreamIngester ingester({path_});
+      std::vector<FeedbackRecord> records;
+      ASSERT_TRUE(ingester.Poll(&records).ok())
+          << "bit " << bit << " of byte " << byte;
+      // Frame 1 always survives; the corrupted frame never decodes.
+      ASSERT_GE(records.size(), 1u);
+      ASSERT_LE(records.size(), 2u);
+      EXPECT_EQ(records[0].user, MakeRecord(11).user);
+      for (const FeedbackRecord& record : records) {
+        EXPECT_NE(record.user, MakeRecord(22).user);
+      }
+      const bool length_flip = byte >= 8 && byte < 12;
+      if (!length_flip) {
+        // Outside the length field the damage is provable on the spot:
+        // exactly one bad region, and frame 3 is recovered behind it.
+        ASSERT_EQ(records.size(), 2u)
+            << "bit " << bit << " of byte " << byte;
+        EXPECT_EQ(records[1].user, MakeRecord(33).user);
+        EXPECT_EQ(ingester.bad_frames(), 1)
+            << "bit " << bit << " of byte " << byte;
+      }
+    }
+  }
+}
+
+TEST_F(IngesterCorruptionTest, SeededGarbageFuzzNeverCrashes) {
+  // Interleave seeded random garbage with valid frames: all valid
+  // frames whose bytes the garbage cannot mimic must be recovered, and
+  // every poll must return cleanly.
+  Rng rng(0xfeedface);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string bytes;
+    int valid = 0;
+    for (int piece = 0; piece < 8; ++piece) {
+      if (rng.UniformInt(2) == 0) {
+        bytes += EncodeOne(MakeRecord(trial * 100 + piece));
+        ++valid;
+      } else {
+        const size_t len = 1 + rng.UniformInt(100);
+        for (size_t i = 0; i < len; ++i) {
+          bytes.push_back(static_cast<char>(rng.UniformInt(256)));
+        }
+      }
+    }
+    WriteFile(path_, bytes);
+    StreamIngester ingester({path_});
+    std::vector<FeedbackRecord> records;
+    ASSERT_TRUE(ingester.Poll(&records).ok()) << "trial " << trial;
+    // Random garbage can eat a following frame (a fake header whose
+    // length claim spans it) but can never mint a record that was not
+    // appended: every decoded record is one of ours, in order.
+    EXPECT_LE(records.size(), static_cast<size_t>(valid));
+    for (const FeedbackRecord& record : records) {
+      EXPECT_EQ(record.user / 100, trial);
+    }
+  }
+}
+
+TEST(FeedbackLogTest, AppendsFramesAByteExactReaderDecodes) {
+  const std::string path = ::testing::TempDir() + "/feedback_rw.log";
+  std::remove(path.c_str());
+  {
+    StatusOr<std::unique_ptr<FeedbackLog>> log = FeedbackLog::Open({path});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value()->Append(MakeRecord(1)).ok());
+    ASSERT_TRUE(
+        log.value()->AppendBatch({MakeRecord(2), MakeRecord(3)}).ok());
+    EXPECT_EQ(log.value()->records_written(), 3);
+    EXPECT_EQ(log.value()->bytes_written(),
+              static_cast<int64_t>(3 * kFeedbackFrameSize));
+    EXPECT_EQ(log.value()->dropped(), 0);
+  }
+  // The on-disk bytes are exactly the three encodings, in order.
+  EXPECT_EQ(ReadFileBytes(path), EncodeOne(MakeRecord(1)) +
+                                     EncodeOne(MakeRecord(2)) +
+                                     EncodeOne(MakeRecord(3)));
+
+  // A reopened producer extends the same stream.
+  {
+    StatusOr<std::unique_ptr<FeedbackLog>> log = FeedbackLog::Open({path});
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value()->Append(MakeRecord(4)).ok());
+  }
+  StreamIngester ingester({path});
+  std::vector<FeedbackRecord> records;
+  ASSERT_TRUE(ingester.Poll(&records).ok());
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].user, MakeRecord(i + 1).user);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeedbackLogTest, SizeBoundDropsWholeBatchesAndCounts) {
+  const std::string path = ::testing::TempDir() + "/feedback_bound.log";
+  std::remove(path.c_str());
+  FeedbackLog::Config config;
+  config.path = path;
+  config.max_bytes = static_cast<int64_t>(2 * kFeedbackFrameSize);
+  StatusOr<std::unique_ptr<FeedbackLog>> log = FeedbackLog::Open(config);
+  ASSERT_TRUE(log.ok());
+  const int64_t dropped_before =
+      telemetry::GetCounter("uae.learn.feedback.dropped")->Get();
+
+  ASSERT_TRUE(log.value()->Append(MakeRecord(1)).ok());
+  // A 2-record batch would cross the bound: dropped whole, not split.
+  ASSERT_TRUE(log.value()->AppendBatch({MakeRecord(2), MakeRecord(3)}).ok());
+  EXPECT_EQ(log.value()->dropped(), 2);
+  // A single record still fits — the bound drops batches, not the log.
+  ASSERT_TRUE(log.value()->Append(MakeRecord(4)).ok());
+  // Now the log is full: everything further is dropped, Append stays OK.
+  ASSERT_TRUE(log.value()->Append(MakeRecord(5)).ok());
+  EXPECT_EQ(log.value()->records_written(), 2);
+  EXPECT_EQ(log.value()->dropped(), 3);
+  EXPECT_EQ(telemetry::GetCounter("uae.learn.feedback.dropped")->Get() -
+                dropped_before,
+            3);
+
+  StreamIngester ingester({path});
+  std::vector<FeedbackRecord> records;
+  ASSERT_TRUE(ingester.Poll(&records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].user, MakeRecord(1).user);
+  EXPECT_EQ(records[1].user, MakeRecord(4).user);
+  std::remove(path.c_str());
+}
+
+TEST(FeedbackLogTest, OpenRejectsBadConfig) {
+  EXPECT_FALSE(FeedbackLog::Open({""}).ok());
+  FeedbackLog::Config config;
+  config.path = ::testing::TempDir() + "/feedback_cfg.log";
+  config.max_bytes = 0;
+  EXPECT_FALSE(FeedbackLog::Open(config).ok());
+}
+
+}  // namespace
+}  // namespace uae::learn

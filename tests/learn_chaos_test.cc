@@ -1,0 +1,476 @@
+// Chaos harness for the continuous-learning loop (ctest label: chaos;
+// run under an ASan build by tools/check_chaos.sh).
+//
+// The golden scenario (DESIGN.md §16): a poisoned fine-tune must NEVER
+// reach full rollout. Three poisons, three containment proofs:
+//   - saturated gradients (the grad.nan fault) exhaust the NaN watchdog:
+//     the cycle fails cleanly, writes no candidate, keeps its records,
+//     and the very next healthy cycle publishes them;
+//   - a failing candidate write (the ckpt.write fault) aborts the cycle
+//     with the incumbent checkpoint byte-identical on disk;
+//   - a candidate that trained into saturation and DID get published is
+//     caught by the canary's score-drift criterion and auto-rolled-back
+//     with zero failed requests, post-rollback scores bit-equal to an
+//     engine that never saw the rollout.
+// Plus the durability drill: a cycle killed mid-train resumes from its
+// durable checkpoint to a bit-identical candidate.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "data/world.h"
+#include "learn/feedback_log.h"
+#include "learn/incremental_trainer.h"
+#include "learn/ingest.h"
+#include "learn/learn_loop.h"
+#include "learn/publisher.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+#include "nn/serialize.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace uae::learn {
+namespace {
+
+class LearnChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 150;
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Deterministic feedback: `walks` playlist walks of `steps` events.
+std::vector<FeedbackRecord> SyntheticRecords(const data::World& world,
+                                             int walks, int steps) {
+  Rng rng(5);
+  std::vector<FeedbackRecord> records;
+  for (int w = 0; w < walks; ++w) {
+    for (int t = 0; t < steps; ++t) {
+      FeedbackRecord record;
+      record.user = w % world.config().num_users;
+      record.song = world.SampleSong(&rng);
+      record.hour = static_cast<int16_t>(rng.UniformInt(24));
+      record.weekday = static_cast<int16_t>(rng.UniformInt(7));
+      record.action = static_cast<uint8_t>(rng.UniformInt(6));
+      record.alpha_hat = 0.2f + 0.6f * static_cast<float>(rng.Uniform());
+      record.snapshot_version = 1;
+      record.request_id = static_cast<uint64_t>(w);
+      record.step = t;
+      record.timestamp_us = static_cast<int64_t>(w) * 1000 + t;
+      records.push_back(record);
+    }
+  }
+  return records;
+}
+
+void SaveFreshIncumbent(const data::World& world, const std::string& path) {
+  Rng rng(1);
+  const std::unique_ptr<models::Recommender> model =
+      models::CreateRecommender(models::ModelKind::kLr, &rng, world.schema(),
+                                models::ModelConfig());
+  ASSERT_TRUE(serve::SaveRecommender(*model, models::ModelKind::kLr,
+                                     models::ModelConfig(), path)
+                  .ok());
+}
+
+void WriteFeedbackLog(const data::World& world, const std::string& path,
+                      int walks, int steps) {
+  std::remove(path.c_str());
+  StatusOr<std::unique_ptr<FeedbackLog>> log = FeedbackLog::Open({path});
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(
+      log.value()->AppendBatch(SyntheticRecords(world, walks, steps)).ok());
+}
+
+serve::ScoreRequest MakeScoreRequest(const data::World& world, int user,
+                                     Rng* rng) {
+  serve::ScoreRequest request;
+  request.user = user;
+  const int hour = static_cast<int>(rng->UniformInt(24));
+  const int weekday = static_cast<int>(rng->UniformInt(7));
+  for (int c = 0; c < 8; ++c) {
+    const int song = world.SampleSong(rng);
+    request.candidate_songs.push_back(song);
+    request.candidates.push_back(
+        world.ScoringEvent(user, song, hour, weekday));
+  }
+  return request;
+}
+
+LearnLoopConfig LoopConfig(const data::World& world,
+                           const std::string& feedback_path,
+                           const std::string& incumbent_path,
+                           const std::string& candidate_path) {
+  LearnLoopConfig config;
+  config.ingest.path = feedback_path;
+  config.trainer.kind = models::ModelKind::kLr;
+  config.trainer.incumbent_path = incumbent_path;
+  config.trainer.candidate_path = candidate_path;
+  config.trainer.train.epochs = 2;
+  config.trainer.train.batch_size = 32;
+  config.publisher.schema = world.schema();
+  config.publisher.kind = models::ModelKind::kLr;
+  config.min_records = 32;
+  return config;
+}
+
+TEST_F(LearnChaosTest, PoisonedFineTuneKeepsRecordsAndRetries) {
+  const std::string dir = testing::TempDir();
+  const std::string incumbent_path = dir + "/chaos_nan_incumbent.ckpt";
+  const std::string candidate_path = dir + "/chaos_nan_candidate.ckpt";
+  const std::string feedback_path = dir + "/chaos_nan_feedback.log";
+  std::remove(candidate_path.c_str());
+  const data::World world(SmallWorldConfig(), /*seed=*/42);
+  SaveFreshIncumbent(world, incumbent_path);
+  WriteFeedbackLog(world, feedback_path, /*walks=*/12, /*steps=*/8);
+
+  serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_path = incumbent_path;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(spec);
+  ASSERT_TRUE(snapshot.ok());
+  const uint64_t incumbent_version = snapshot.value()->version();
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  serve::Engine engine(snapshot.value(), engine_config);
+  serve::RolloutConfig rollout_config;
+  rollout_config.stage_requests = 16;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  rollout_config.health.thresholds.max_score_drift = 0.0;
+  serve::RolloutController rollout(&engine, rollout_config);
+
+  LearnLoopConfig config =
+      LoopConfig(world, feedback_path, incumbent_path, candidate_path);
+  // A tiny watchdog budget so the poisoned run diverges immediately.
+  config.trainer.train.max_bad_steps = 2;
+  LearnLoop loop(&world, &rollout, config);
+
+  // Every gradient is poisoned: the watchdog must give up, and the
+  // failure must be a *contained* one.
+  FaultInjector::Instance().Arm("grad.nan", {/*probability=*/1.0,
+                                             /*seed=*/7});
+  const StatusOr<CycleReport> poisoned =
+      loop.RunCycle(CycleTrigger::kManual);
+  const int64_t nan_fires =
+      FaultInjector::Instance().Stats("grad.nan").fires;
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(poisoned.ok()) << poisoned.status().ToString();
+  EXPECT_FALSE(poisoned.value().published);
+  EXPECT_EQ(poisoned.value().skipped_reason.rfind("train:", 0), 0u)
+      << poisoned.value().skipped_reason;
+  EXPECT_GT(nan_fires, 0);
+  // No candidate reached disk, no rollout began, the engine still
+  // serves the incumbent, and the records are kept for the retry.
+  EXPECT_FALSE(FileExists(candidate_path));
+  EXPECT_EQ(rollout.stage(), serve::RolloutStage::kIdle);
+  EXPECT_EQ(engine.snapshot()->version(), incumbent_version);
+  EXPECT_EQ(loop.cycles_failed(), 1);
+  EXPECT_EQ(loop.cycles(), 0);
+  EXPECT_EQ(loop.pending_records(), 96);
+
+  // The next healthy cycle trains the SAME records and publishes.
+  const StatusOr<CycleReport> retried =
+      loop.RunCycle(CycleTrigger::kManual);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(retried.value().published) << retried.value().skipped_reason;
+  EXPECT_EQ(retried.value().records, 96);
+  EXPECT_TRUE(FileExists(candidate_path));
+  EXPECT_EQ(loop.cycles(), 1);
+  EXPECT_EQ(loop.pending_records(), 0);
+  std::remove(feedback_path.c_str());
+  std::remove(incumbent_path.c_str());
+  std::remove(candidate_path.c_str());
+}
+
+TEST_F(LearnChaosTest, CandidateWriteFaultLeavesIncumbentUntouched) {
+  const std::string dir = testing::TempDir();
+  const std::string incumbent_path = dir + "/chaos_io_incumbent.ckpt";
+  const std::string candidate_path = dir + "/chaos_io_candidate.ckpt";
+  const std::string feedback_path = dir + "/chaos_io_feedback.log";
+  std::remove(candidate_path.c_str());
+  const data::World world(SmallWorldConfig(), /*seed=*/42);
+  SaveFreshIncumbent(world, incumbent_path);
+  WriteFeedbackLog(world, feedback_path, /*walks=*/12, /*steps=*/8);
+  const std::string incumbent_bytes = ReadFileBytes(incumbent_path);
+  ASSERT_FALSE(incumbent_bytes.empty());
+
+  serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_path = incumbent_path;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(spec);
+  ASSERT_TRUE(snapshot.ok());
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  serve::Engine engine(snapshot.value(), engine_config);
+  serve::RolloutConfig rollout_config;
+  rollout_config.stage_requests = 16;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  rollout_config.health.thresholds.max_score_drift = 0.0;
+  serve::RolloutController rollout(&engine, rollout_config);
+  LearnLoop loop(&world, &rollout,
+                 LoopConfig(world, feedback_path, incumbent_path,
+                            candidate_path));
+
+  // Every candidate write is torn.
+  FaultInjector::Instance().Arm("ckpt.write", {/*probability=*/1.0,
+                                               /*seed=*/9});
+  const StatusOr<CycleReport> torn = loop.RunCycle(CycleTrigger::kManual);
+  const int64_t write_fires =
+      FaultInjector::Instance().Stats("ckpt.write").fires;
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_FALSE(torn.value().published);
+  EXPECT_EQ(torn.value().skipped_reason.rfind("train:", 0), 0u)
+      << torn.value().skipped_reason;
+  EXPECT_GT(write_fires, 0);
+  // The incumbent checkpoint is byte-identical, no rollout began, and
+  // no *loadable* candidate leaked (a torn write never half-publishes).
+  EXPECT_EQ(ReadFileBytes(incumbent_path), incumbent_bytes);
+  EXPECT_EQ(rollout.stage(), serve::RolloutStage::kIdle);
+  if (FileExists(candidate_path)) {
+    serve::SnapshotSpec torn_spec = spec;
+    torn_spec.model_path = candidate_path;
+    EXPECT_FALSE(serve::ModelSnapshot::Load(torn_spec).ok());
+  }
+
+  // Healed disk: the retry publishes the kept records.
+  const StatusOr<CycleReport> retried =
+      loop.RunCycle(CycleTrigger::kManual);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_TRUE(retried.value().published) << retried.value().skipped_reason;
+  std::remove(feedback_path.c_str());
+  std::remove(incumbent_path.c_str());
+  std::remove(candidate_path.c_str());
+}
+
+TEST_F(LearnChaosTest, SaturatedCandidateNeverReachesFullAndRollsBack) {
+  const std::string dir = testing::TempDir();
+  const std::string incumbent_path = dir + "/chaos_sat_incumbent.ckpt";
+  const std::string candidate_path = dir + "/chaos_sat_candidate.ckpt";
+  const data::World world(SmallWorldConfig(), /*seed=*/42);
+  SaveFreshIncumbent(world, incumbent_path);
+
+  // A candidate that "fine-tuned" into sigmoid saturation: start from
+  // the incumbent's own parameters and blow them up — the mistrained
+  // model of serve_chaos_test, arriving via the learn loop's publish
+  // path this time.
+  {
+    Rng rng(1);
+    const std::unique_ptr<models::Recommender> model =
+        models::CreateRecommender(models::ModelKind::kLr, &rng,
+                                  world.schema(), models::ModelConfig());
+    ASSERT_TRUE(nn::LoadParametersChecked(
+                    model.get(), incumbent_path,
+                    serve::ModelArchConfig(models::ModelKind::kLr,
+                                           models::ModelConfig()))
+                    .ok());
+    for (const nn::NodePtr& param : model->Parameters()) {
+      for (int r = 0; r < param->value.rows(); ++r) {
+        for (int c = 0; c < param->value.cols(); ++c) {
+          param->value.at(r, c) = param->value.at(r, c) * 10.0f + 2.0f;
+        }
+      }
+    }
+    ASSERT_TRUE(serve::SaveRecommender(*model, models::ModelKind::kLr,
+                                       models::ModelConfig(),
+                                       candidate_path)
+                    .ok());
+  }
+
+  serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_path = incumbent_path;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(spec);
+  ASSERT_TRUE(snapshot.ok());
+  const uint64_t incumbent_version = snapshot.value()->version();
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  serve::Engine engine(snapshot.value(), engine_config);
+  // The production health gate: the score-drift criterion is ON.
+  serve::RolloutConfig rollout_config;
+  rollout_config.canary_fraction = 0.5;
+  rollout_config.ramp_fraction = 0.75;
+  rollout_config.stage_requests = 16;
+  rollout_config.health.thresholds.min_samples = 8;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  rollout_config.health.thresholds.max_score_drift = 0.05;
+  rollout_config.health.thresholds.score_drift_p_value = 0.01;
+  serve::RolloutController rollout(&engine, rollout_config);
+
+  SnapshotPublisher publisher(&rollout, PublisherConfig{
+                                            world.schema(),
+                                            models::ModelKind::kLr,
+                                        });
+  const StatusOr<uint64_t> version = publisher.Publish(candidate_path);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(rollout.stage(), serve::RolloutStage::kCanary);
+
+  // A reference engine that never saw the rollout, for the bit-equality
+  // check below.
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> reference_snapshot =
+      serve::ModelSnapshot::Load(spec);
+  ASSERT_TRUE(reference_snapshot.ok());
+  serve::Engine reference(reference_snapshot.value(), engine_config);
+
+  // Drive traffic through the ladder. Zero failed requests is the
+  // contract: the canary may serve bad scores, it may never error.
+  bool saw_full = false;
+  Rng traffic_rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const StatusOr<serve::ScoreResponse> response = rollout.Score(
+        MakeScoreRequest(world, i % world.config().num_users,
+                         &traffic_rng));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    saw_full = saw_full || rollout.stage() == serve::RolloutStage::kFull;
+  }
+
+  // The first stage judgement caught the drift: rolled back, never
+  // full, never swapped.
+  EXPECT_FALSE(saw_full);
+  EXPECT_EQ(rollout.stage(), serve::RolloutStage::kRolledBack);
+  EXPECT_EQ(rollout.rollbacks(), 1);
+  EXPECT_EQ(rollout.last_verdict().reason, "score_drift");
+  EXPECT_EQ(engine.snapshot()->version(), incumbent_version);
+
+  // Post-rollback, the serving path is bit-equal to the engine that
+  // never saw the candidate.
+  Rng eval_rng(17);
+  for (int i = 0; i < 16; ++i) {
+    const serve::ScoreRequest request = MakeScoreRequest(
+        world, (i * 5) % world.config().num_users, &eval_rng);
+    const StatusOr<serve::ScoreResponse> via_rollout =
+        rollout.Score(request);
+    const StatusOr<serve::ScoreResponse> via_reference =
+        reference.Score(request);
+    ASSERT_TRUE(via_rollout.ok());
+    ASSERT_TRUE(via_reference.ok());
+    ASSERT_EQ(via_rollout.value().scores.size(),
+              via_reference.value().scores.size());
+    for (size_t s = 0; s < via_rollout.value().scores.size(); ++s) {
+      EXPECT_EQ(via_rollout.value().scores[s].song,
+                via_reference.value().scores[s].song);
+      EXPECT_EQ(via_rollout.value().scores[s].ctr,
+                via_reference.value().scores[s].ctr);
+      EXPECT_EQ(via_rollout.value().scores[s].alpha,
+                via_reference.value().scores[s].alpha);
+      EXPECT_EQ(via_rollout.value().scores[s].reweighted,
+                via_reference.value().scores[s].reweighted);
+    }
+    EXPECT_EQ(via_rollout.value().playlist,
+              via_reference.value().playlist);
+  }
+  std::remove(incumbent_path.c_str());
+  std::remove(candidate_path.c_str());
+}
+
+TEST_F(LearnChaosTest, KillMidTrainResumesToBitIdenticalCandidate) {
+  const std::string dir = testing::TempDir();
+  const std::string incumbent_path = dir + "/chaos_kill_incumbent.ckpt";
+  const std::string checkpoint_path = dir + "/chaos_kill_midtrain.bin";
+  const std::string candidate_a = dir + "/chaos_kill_candidate_a.ckpt";
+  const std::string candidate_b = dir + "/chaos_kill_candidate_b.ckpt";
+  std::remove(checkpoint_path.c_str());
+  const data::World world(SmallWorldConfig(), /*seed=*/42);
+  SaveFreshIncumbent(world, incumbent_path);
+
+  const StatusOr<IngestedBatch> batch = BuildTrainingBatch(
+      world, SyntheticRecords(world, /*walks=*/12, /*steps=*/8),
+      DatasetBuildConfig());
+  ASSERT_TRUE(batch.ok());
+
+  IncrementalTrainerConfig config;
+  config.kind = models::ModelKind::kLr;
+  config.incumbent_path = incumbent_path;
+  config.candidate_path = candidate_a;
+  config.train.epochs = 4;
+  config.train.batch_size = 32;
+  config.train.checkpoint_path = checkpoint_path;
+  config.train.checkpoint_every = 1;
+
+  // Reference: the uninterrupted 4-epoch fine-tune.
+  {
+    IncrementalTrainer trainer(config);
+    const StatusOr<IncrementalTrainReport> report =
+        trainer.Train(batch.value().dataset, batch.value().weights.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_FALSE(report.value().resumed);
+    // A finished cycle leaves no mid-train checkpoint behind.
+    EXPECT_FALSE(FileExists(checkpoint_path));
+  }
+  const std::string reference_bytes = ReadFileBytes(candidate_a);
+  ASSERT_FALSE(reference_bytes.empty());
+
+  // "Kill" after epoch 2: replicate the trainer's own restore, run a
+  // truncated horizon, and leave the durable checkpoint on disk — the
+  // exact state a SIGKILLed cycle leaves behind.
+  {
+    Rng rng(config.init_seed);
+    const std::unique_ptr<models::Recommender> model =
+        models::CreateRecommender(config.kind, &rng, world.schema(),
+                                  config.model_config);
+    ASSERT_TRUE(nn::LoadParametersChecked(
+                    model.get(), incumbent_path,
+                    serve::ModelArchConfig(config.kind,
+                                           config.model_config))
+                    .ok());
+    models::TrainConfig half = config.train;
+    half.epochs = 2;
+    (void)models::TrainRecommender(model.get(), batch.value().dataset,
+                                   batch.value().weights.get(), half);
+    ASSERT_TRUE(FileExists(checkpoint_path));
+  }
+
+  // The restarted cycle must notice the checkpoint, resume from epoch
+  // 2, and land on the same candidate bit for bit.
+  config.candidate_path = candidate_b;
+  IncrementalTrainer trainer(config);
+  const StatusOr<IncrementalTrainReport> resumed =
+      trainer.Train(batch.value().dataset, batch.value().weights.get());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed.value().resumed);
+  EXPECT_EQ(resumed.value().result.start_epoch, 2);
+  EXPECT_EQ(ReadFileBytes(candidate_b), reference_bytes);
+  // The consumed checkpoint must not leak into the next cycle.
+  EXPECT_FALSE(FileExists(checkpoint_path));
+
+  std::remove(incumbent_path.c_str());
+  std::remove(candidate_a.c_str());
+  std::remove(candidate_b.c_str());
+}
+
+}  // namespace
+}  // namespace uae::learn

@@ -1,0 +1,388 @@
+// Tier-1 smoke check for the continuous-learning loop (no gtest, pure
+// ctest): the acceptance scenario of DESIGN.md §16, end to end.
+//
+//   An engine with drift monitoring serves one window of traffic on a
+//   good incumbent while every completed playlist walk lands on the
+//   feedback log. The snapshot is then hot-swapped to a saturated
+//   (mistrained) model; within one window the drift monitor flags and
+//   writes machine-readable retrain advisories. One LearnLoop::PollOnce
+//   must consume the advisories, run an advisory-triggered
+//   ingest→train→publish cycle from the *good* incumbent checkpoint,
+//   and live traffic must then promote the candidate through the
+//   health-gated canary→ramp→full ladder with zero rollbacks.
+//
+//   The loop must be visible on every surface: the Prometheus export
+//   (uae_learn_cycles, advisories_consumed, feedback_records,
+//   candidate_version), `uae_top --once --json` (the learn panel), and
+//   the run manifest's "learn" section.
+//
+// Exits non-zero with a diagnostic on the first violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/telemetry_export.h"
+#include "core/experiment.h"
+#include "data/generator.h"
+#include "data/world.h"
+#include "learn/bridge.h"
+#include "learn/feedback_log.h"
+#include "learn/learn_loop.h"
+#include "models/registry.h"
+#include "nn/serialize.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace {
+
+using uae::Status;
+using uae::StatusOr;
+
+constexpr int kWindow = 48;  // Drift window = one phase of traffic.
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "learn_smoke FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+uae::data::GeneratorConfig SmallWorldConfig() {
+  uae::data::GeneratorConfig cfg =
+      uae::data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 150;
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+/// Writes the incumbent checkpoint (a fresh LR init) and, when
+/// `saturate` is set, the serve_chaos_test "bad model": the same
+/// parameters driven into sigmoid saturation — a mistrained snapshot,
+/// not a crash.
+Status SaveModel(const uae::data::World& world, const std::string& path,
+                 bool saturate) {
+  uae::Rng rng(21);
+  const std::unique_ptr<uae::models::Recommender> model =
+      uae::models::CreateRecommender(uae::models::ModelKind::kLr, &rng,
+                                     world.schema(),
+                                     uae::models::ModelConfig());
+  if (saturate) {
+    for (const uae::nn::NodePtr& param : model->Parameters()) {
+      for (int r = 0; r < param->value.rows(); ++r) {
+        for (int c = 0; c < param->value.cols(); ++c) {
+          param->value.at(r, c) = param->value.at(r, c) * 10.0f + 2.0f;
+        }
+      }
+    }
+  }
+  return uae::serve::SaveRecommender(*model, uae::models::ModelKind::kLr,
+                                     uae::models::ModelConfig(), path);
+}
+
+StatusOr<std::shared_ptr<const uae::serve::ModelSnapshot>> LoadSnapshot(
+    const uae::data::World& world, const std::string& path) {
+  uae::serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = uae::models::ModelKind::kLr;
+  spec.model_path = path;
+  return uae::serve::ModelSnapshot::Load(spec);
+}
+
+/// Unlabeled sample lookup in a parsed export; -1 when absent.
+double Metric(const std::vector<uae::telemetry::PromSample>& samples,
+              const std::string& name) {
+  for (const uae::telemetry::PromSample& sample : samples) {
+    if (sample.name == name && sample.labels.empty()) return sample.value;
+  }
+  return -1.0;
+}
+
+/// Runs `uae_top --once --json` over `export_path`; empty on failure.
+std::string UaeTopJson(const std::string& uae_top,
+                       const std::string& export_path) {
+  const std::string command =
+      uae_top + " --once --json --file " + export_path;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string output;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) output += chunk;
+  if (pclose(pipe) != 0) return "";
+  return output;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Fail("usage: learn_smoke <path-to-uae_top>");
+  const std::string uae_top = argv[1];
+
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "uae_learn_smoke";
+  std::filesystem::create_directories(dir);
+  const std::string incumbent_path = dir + "/incumbent.ckpt";
+  const std::string saturated_path = dir + "/saturated.ckpt";
+  const std::string candidate_path = dir + "/candidate.ckpt";
+  const std::string feedback_path = dir + "/feedback.log";
+  const std::string advisory_path = dir + "/advisories.jsonl";
+  const std::string export_path = dir + "/metrics.prom";
+  std::remove(candidate_path.c_str());
+  std::remove(feedback_path.c_str());
+  std::remove(advisory_path.c_str());
+
+  const uae::data::World world(SmallWorldConfig(), /*seed=*/81);
+  if (!SaveModel(world, incumbent_path, /*saturate=*/false).ok()) {
+    return Fail("cannot save incumbent checkpoint");
+  }
+  if (!SaveModel(world, saturated_path, /*saturate=*/true).ok()) {
+    return Fail("cannot save saturated checkpoint");
+  }
+
+  StatusOr<std::shared_ptr<const uae::serve::ModelSnapshot>> incumbent =
+      LoadSnapshot(world, incumbent_path);
+  if (!incumbent.ok()) return Fail("cannot load incumbent snapshot");
+  StatusOr<std::shared_ptr<const uae::serve::ModelSnapshot>> saturated =
+      LoadSnapshot(world, saturated_path);
+  if (!saturated.ok()) return Fail("cannot load saturated snapshot");
+
+  uae::serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  engine_config.playlist_length = 10;
+  engine_config.drift.enabled = true;
+  engine_config.drift.window = kWindow;
+  engine_config.drift.min_samples = 32;
+  engine_config.drift.advisory_path = advisory_path;
+  uae::serve::Engine engine(incumbent.value(), engine_config);
+
+  uae::serve::RolloutConfig rollout_config;
+  rollout_config.stage_requests = 32;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  // The candidate is *supposed* to re-rank (it fine-tuned on feedback
+  // the fresh-init incumbent never saw), so the promotion's score-drift
+  // criterion is off here; learn_chaos_test covers the gate catching a
+  // genuinely bad candidate.
+  rollout_config.health.thresholds.max_score_drift = 0.0;
+  uae::serve::RolloutController rollout(&engine, rollout_config);
+
+  StatusOr<std::unique_ptr<uae::learn::FeedbackLog>> log =
+      uae::learn::FeedbackLog::Open({feedback_path});
+  if (!log.ok()) return Fail("cannot open feedback log");
+
+  uae::telemetry::MetricsExporter exporter;
+  if (!exporter.Start(export_path, /*interval_ms=*/50).ok()) {
+    return Fail("cannot start metrics exporter");
+  }
+
+  // One serving request + the feedback tap: the simulated user walks the
+  // playlist and the walk is appended to the stream.
+  uae::Rng traffic_rng(7);
+  uint64_t request_id = 0;
+  const auto serve_one = [&]() -> Status {
+    const int user =
+        static_cast<int>(request_id % world.config().num_users);
+    const int hour = static_cast<int>(traffic_rng.UniformInt(24));
+    const int weekday = static_cast<int>(traffic_rng.UniformInt(7));
+    uae::serve::ScoreRequest request;
+    request.user = user;
+    for (int c = 0; c < 8; ++c) {
+      const int song = world.SampleSong(&traffic_rng);
+      request.candidate_songs.push_back(song);
+      request.candidates.push_back(
+          world.ScoringEvent(user, song, hour, weekday));
+    }
+    StatusOr<uae::serve::ScoreResponse> response =
+        rollout.Score(std::move(request));
+    if (!response.ok()) return response.status();
+    const uae::data::Session walk = world.SimulateSession(
+        user, response.value().playlist, hour, weekday, &traffic_rng);
+    uae::learn::AppendWalk(log.value().get(), walk,
+                           response.value().playlist,
+                           response.value().scores,
+                           response.value().snapshot_version, request_id,
+                           hour, weekday);
+    ++request_id;
+    return Status::Ok();
+  };
+
+  // Window 1: the good incumbent builds the drift reference and fills
+  // the feedback log.
+  for (int i = 0; i < kWindow; ++i) {
+    const Status served = serve_one();
+    if (!served.ok()) {
+      return Fail("window 1 request failed: " + served.ToString());
+    }
+  }
+
+  // The regression: a saturated model goes live. Window 2 must flag.
+  engine.Swap(saturated.value());
+  for (int i = 0; i < kWindow; ++i) {
+    const Status served = serve_one();
+    if (!served.ok()) {
+      return Fail("window 2 request failed: " + served.ToString());
+    }
+  }
+  if (ReadFile(advisory_path).empty()) {
+    return Fail("drift monitor wrote no retrain advisories after the "
+                "saturated swap");
+  }
+
+  // The loop: one poll must consume the advisories and run an
+  // advisory-triggered cycle from the good incumbent checkpoint.
+  uae::learn::LearnLoopConfig loop_config;
+  loop_config.ingest.path = feedback_path;
+  loop_config.trainer.kind = uae::models::ModelKind::kLr;
+  loop_config.trainer.incumbent_path = incumbent_path;
+  loop_config.trainer.candidate_path = candidate_path;
+  loop_config.trainer.train.epochs = 2;
+  loop_config.trainer.train.batch_size = 64;
+  loop_config.publisher.schema = world.schema();
+  loop_config.publisher.kind = uae::models::ModelKind::kLr;
+  loop_config.min_records = 32;
+  loop_config.advisory_path = advisory_path;
+  uae::learn::LearnLoop loop(&world, &rollout, loop_config);
+
+  const StatusOr<uae::learn::CycleReport> cycle = loop.PollOnce();
+  if (!cycle.ok()) {
+    return Fail("PollOnce failed: " + cycle.status().ToString());
+  }
+  if (cycle.value().trigger != uae::learn::CycleTrigger::kAdvisory) {
+    return Fail(std::string("cycle trigger is ") +
+                uae::learn::CycleTriggerName(cycle.value().trigger) +
+                ", want advisory (skipped_reason: " +
+                cycle.value().skipped_reason + ")");
+  }
+  if (!cycle.value().published) {
+    return Fail("advisory cycle did not publish: " +
+                cycle.value().skipped_reason);
+  }
+  if (cycle.value().records < 32) {
+    return Fail("cycle trained on only " +
+                std::to_string(cycle.value().records) + " records");
+  }
+
+  // Live traffic promotes the candidate through canary→ramp→full.
+  for (int window = 0; window < 8; ++window) {
+    if (rollout.stage() == uae::serve::RolloutStage::kIdle ||
+        rollout.stage() == uae::serve::RolloutStage::kRolledBack) {
+      break;
+    }
+    for (int i = 0; i < rollout_config.stage_requests; ++i) {
+      const Status served = serve_one();
+      if (!served.ok()) {
+        return Fail("promotion request failed: " + served.ToString());
+      }
+    }
+  }
+  if (rollout.stage() != uae::serve::RolloutStage::kIdle ||
+      rollout.rollbacks() != 0) {
+    return Fail("candidate was not promoted cleanly (stage " +
+                std::string(uae::serve::RolloutStageName(rollout.stage())) +
+                ", " + std::to_string(rollout.rollbacks()) + " rollbacks)");
+  }
+  if (engine.snapshot()->version() != cycle.value().candidate_version) {
+    return Fail("engine serves v" +
+                std::to_string(engine.snapshot()->version()) +
+                ", want the published candidate v" +
+                std::to_string(cycle.value().candidate_version));
+  }
+
+  engine.Stop();
+  exporter.Stop();
+
+  // Surface 1: the Prometheus export.
+  const StatusOr<std::vector<uae::telemetry::PromSample>> parsed =
+      uae::telemetry::ParsePrometheusText(ReadFile(export_path));
+  if (!parsed.ok()) {
+    return Fail("export does not parse: " + parsed.status().ToString());
+  }
+  const std::vector<uae::telemetry::PromSample>& samples = parsed.value();
+  if (Metric(samples, "uae_learn_cycles") != 1.0) {
+    return Fail("export uae_learn_cycles != 1");
+  }
+  if (Metric(samples, "uae_learn_advisories_consumed") < 1.0) {
+    return Fail("export uae_learn_advisories_consumed < 1");
+  }
+  if (Metric(samples, "uae_learn_feedback_records") <
+      static_cast<double>(2 * kWindow)) {
+    return Fail("export uae_learn_feedback_records below the traffic");
+  }
+  if (Metric(samples, "uae_learn_candidate_version") !=
+      static_cast<double>(cycle.value().candidate_version)) {
+    return Fail("export uae_learn_candidate_version disagrees with the "
+                "cycle report");
+  }
+
+  // Surface 2: uae_top's JSON learn panel over the same export.
+  const std::string top_json = UaeTopJson(uae_top, export_path);
+  if (top_json.empty()) return Fail("uae_top failed on the export");
+  const StatusOr<uae::json::Value> top_doc = uae::json::Parse(top_json);
+  if (!top_doc.ok()) {
+    return Fail("uae_top --json output does not parse: " + top_json);
+  }
+  const uae::json::Value* learn_panel = top_doc.value().Find("learn");
+  if (learn_panel == nullptr) {
+    return Fail("uae_top summary has no learn panel: " + top_json);
+  }
+  if (learn_panel->GetNumber("cycles", 0.0) != 1.0) {
+    return Fail("uae_top learn.cycles != 1: " + top_json);
+  }
+  if (learn_panel->GetNumber("candidate_version", 0.0) !=
+      static_cast<double>(cycle.value().candidate_version)) {
+    return Fail("uae_top learn.candidate_version disagrees: " + top_json);
+  }
+
+  // Surface 3: the run manifest. A tiny cell with the sink enabled makes
+  // the experiment layer write its manifest; because this process ran a
+  // learn cycle, the manifest must carry the "learn" section.
+  const std::string jsonl = dir + "/run.jsonl";
+  if (!uae::telemetry::ConfigureSink(jsonl)) {
+    return Fail("cannot open telemetry sink at " + jsonl);
+  }
+  uae::data::GeneratorConfig cell_cfg = SmallWorldConfig();
+  const uae::data::Dataset dataset =
+      uae::data::GenerateDataset(cell_cfg, 3);
+  uae::core::CellSpec spec;
+  spec.model = uae::models::ModelKind::kLr;
+  spec.method = std::nullopt;
+  spec.num_seeds = 1;
+  spec.train_config.epochs = 1;
+  spec.train_config.batch_size = 64;
+  const uae::core::CellResult cell = uae::core::RunCell(dataset, spec);
+  if (cell.auc_runs.size() != 1) return Fail("manifest cell did not run");
+  uae::telemetry::EmitMetricsSnapshot("learn_smoke_end");
+  const std::string manifest_path = uae::telemetry::ManifestPath();
+  uae::telemetry::CloseSink();
+  const std::string manifest = ReadFile(manifest_path);
+  if (manifest.find("\"learn\"") == std::string::npos) {
+    return Fail("run manifest has no learn section: " + manifest_path);
+  }
+  if (manifest.find("\"advisories_consumed\"") == std::string::npos) {
+    return Fail("manifest learn section is missing advisories_consumed");
+  }
+
+  std::printf("learn_smoke OK: advisory-triggered cycle trained %lld "
+              "records and candidate v%llu was promoted with 0 rollbacks\n",
+              static_cast<long long>(cycle.value().records),
+              static_cast<unsigned long long>(
+                  cycle.value().candidate_version));
+  return 0;
+}

@@ -1,0 +1,449 @@
+// Unit tests for the continuous-learning loop (DESIGN.md §16): ingest
+// grouping and Eq. 18/19 weighting, the retrain-advisory tail's
+// exactly-once delivery across restarts, and the headline determinism
+// golden — one feedback log, one config, and the full ingest → train →
+// publish → promote cycle must produce bit-identical candidate
+// parameter bytes AND bit-identical served scores at any
+// UAE_NUM_THREADS.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attention/reweight.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "data/world.h"
+#include "gtest/gtest.h"
+#include "learn/bridge.h"
+#include "learn/feedback_log.h"
+#include "learn/ingest.h"
+#include "learn/learn_loop.h"
+#include "models/registry.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace uae::learn {
+namespace {
+
+data::GeneratorConfig SmallWorldConfig() {
+  data::GeneratorConfig cfg = data::GeneratorConfig::ProductPreset();
+  cfg.num_sessions = 150;
+  cfg.num_users = 40;
+  cfg.num_songs = 100;
+  cfg.num_artists = 20;
+  cfg.num_albums = 40;
+  return cfg;
+}
+
+FeedbackRecord MakeRecord(uint64_t request_id, int step, int user, int song,
+                          data::FeedbackAction action, float alpha) {
+  FeedbackRecord record;
+  record.user = user;
+  record.song = song;
+  record.hour = 10;
+  record.weekday = 2;
+  record.action = static_cast<uint8_t>(action);
+  record.alpha_hat = alpha;
+  record.request_id = request_id;
+  record.step = step;
+  record.timestamp_us = static_cast<int64_t>(request_id) * 1000 + step;
+  return record;
+}
+
+TEST(BuildTrainingBatchTest, GroupsWalksSortsStepsAndWeights) {
+  const data::World world(SmallWorldConfig(), /*seed=*/11);
+  const int64_t invalid_before =
+      telemetry::GetCounter("uae.learn.ingest.invalid_records")->Get();
+
+  // Two interleaved walks, steps deliberately out of order, plus one
+  // provably invalid record (negative user) that must be dropped.
+  std::vector<FeedbackRecord> records;
+  records.push_back(MakeRecord(7, 1, 3, 10, data::FeedbackAction::kAutoPlay,
+                               0.25f));
+  records.push_back(
+      MakeRecord(3, 0, 5, 20, data::FeedbackAction::kSkip, 0.75f));
+  records.push_back(
+      MakeRecord(7, 0, 3, 11, data::FeedbackAction::kLike, 0.9f));
+  records.push_back(
+      MakeRecord(9, 0, -1, 10, data::FeedbackAction::kLike, 0.5f));
+
+  DatasetBuildConfig config;
+  config.gamma = 0.5f;
+  StatusOr<IngestedBatch> batch =
+      BuildTrainingBatch(world, records, config);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch.value().records, 3);
+  EXPECT_EQ(telemetry::GetCounter("uae.learn.ingest.invalid_records")
+                    ->Get() -
+                invalid_before,
+            1);
+
+  // Walks appear in first-seen request order (7 before 3), each sorted
+  // by step; the observed action overrides the scoring default.
+  const data::Dataset& dataset = batch.value().dataset;
+  ASSERT_EQ(dataset.sessions.size(), 2u);
+  EXPECT_EQ(dataset.sessions[0].user, 3);
+  ASSERT_EQ(dataset.sessions[0].events.size(), 2u);
+  EXPECT_EQ(dataset.sessions[0].events[0].action,
+            data::FeedbackAction::kLike);
+  EXPECT_EQ(dataset.sessions[0].events[1].action,
+            data::FeedbackAction::kAutoPlay);
+  EXPECT_EQ(dataset.sessions[1].user, 5);
+  ASSERT_EQ(dataset.sessions[1].events.size(), 1u);
+  EXPECT_EQ(dataset.sessions[1].events[0].action,
+            data::FeedbackAction::kSkip);
+
+  // Eq. 18: weight 1 on active events; Eq. 19 reweight of the
+  // serve-time alpha-hat on passive ones.
+  ASSERT_NE(batch.value().weights, nullptr);
+  EXPECT_EQ(batch.value().weights->at(0, 0), 1.0f);
+  EXPECT_EQ(batch.value().weights->at(0, 1),
+            attention::ReweightFunction(0.25f, 0.5f));
+  EXPECT_EQ(batch.value().weights->at(1, 0), 1.0f);
+
+  // The build is a pure function of the record list.
+  StatusOr<IngestedBatch> again =
+      BuildTrainingBatch(world, records, config);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().dataset.sessions.size(), 2u);
+  EXPECT_EQ(again.value().dataset.sessions[0].events[0].sparse,
+            dataset.sessions[0].events[0].sparse);
+}
+
+TEST(BuildTrainingBatchTest, AllInvalidRecordsFailCleanly) {
+  const data::World world(SmallWorldConfig(), /*seed=*/12);
+  const std::vector<FeedbackRecord> records = {
+      MakeRecord(1, 0, 999999, 0, data::FeedbackAction::kLike, 0.5f)};
+  const StatusOr<IngestedBatch> batch =
+      BuildTrainingBatch(world, records, DatasetBuildConfig());
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- Advisory parsing and the exactly-once tail ---------------------
+
+TEST(ParseRetrainAdvisoryTest, ParsesFullRecord) {
+  const StatusOr<RetrainAdvisory> advisory = ParseRetrainAdvisory(
+      R"({"kind":"retrain_advisory","advisory_seq":5,"slice":"score/all",)"
+      R"("signal":"score","psi":0.4,"p_value":0.001,"mean_delta":0.2,)"
+      R"("cur_version":3})");
+  ASSERT_TRUE(advisory.ok()) << advisory.status().ToString();
+  EXPECT_EQ(advisory.value().seq, 5);
+  EXPECT_EQ(advisory.value().slice, "score/all");
+  EXPECT_EQ(advisory.value().signal, "score");
+  EXPECT_DOUBLE_EQ(advisory.value().psi, 0.4);
+  EXPECT_DOUBLE_EQ(advisory.value().p_value, 0.001);
+  EXPECT_DOUBLE_EQ(advisory.value().mean_delta, 0.2);
+  EXPECT_EQ(advisory.value().cur_version, 3u);
+}
+
+TEST(ParseRetrainAdvisoryTest, ToleratesMissingSeqRejectsForeignKinds) {
+  // Pre-loop advisory logs carry no advisory_seq: sentinel, not error.
+  const StatusOr<RetrainAdvisory> old = ParseRetrainAdvisory(
+      R"({"kind":"retrain_advisory","signal":"ctr","psi":0.3})");
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value().seq, -1);
+
+  EXPECT_FALSE(ParseRetrainAdvisory("not json").ok());
+  EXPECT_FALSE(ParseRetrainAdvisory("[1,2,3]").ok());
+  EXPECT_FALSE(ParseRetrainAdvisory(R"({"kind":"slo_report"})").ok());
+}
+
+std::string AdvisoryLine(int64_t seq) {
+  return R"({"kind":"retrain_advisory","advisory_seq":)" +
+         std::to_string(seq) +
+         R"(,"slice":"score/all","signal":"score","psi":0.5,)"
+         R"("p_value":0.001,"mean_delta":0.1,"cur_version":2})" "\n";
+}
+
+TEST(AdvisoryTailTest, DeliversExactlyOnceAcrossRestarts) {
+  const std::string path = ::testing::TempDir() + "/advisory_tail.jsonl";
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path);
+    out << AdvisoryLine(0) << AdvisoryLine(1) << AdvisoryLine(2);
+  }
+
+  AdvisoryTail tail({path});
+  std::vector<RetrainAdvisory> advisories;
+  ASSERT_TRUE(tail.Poll(&advisories).ok());
+  ASSERT_EQ(advisories.size(), 3u);
+  EXPECT_EQ(tail.last_seq(), 2);
+
+  // Nothing new: a second poll delivers nothing.
+  ASSERT_TRUE(tail.Poll(&advisories).ok());
+  EXPECT_EQ(advisories.size(), 3u);
+
+  // A partial trailing line (a writer mid-append) stays carried until
+  // its newline arrives.
+  {
+    std::ofstream out(path, std::ios::app);
+    const std::string line = AdvisoryLine(3);
+    out << line.substr(0, 20);
+  }
+  ASSERT_TRUE(tail.Poll(&advisories).ok());
+  EXPECT_EQ(advisories.size(), 3u);
+  {
+    std::ofstream out(path, std::ios::app);
+    const std::string line = AdvisoryLine(3);
+    out << line.substr(20);
+  }
+  ASSERT_TRUE(tail.Poll(&advisories).ok());
+  ASSERT_EQ(advisories.size(), 4u);
+  EXPECT_EQ(advisories[3].seq, 3);
+
+  // A restarted tailer re-reads the whole file but Restore() suppresses
+  // already-consumed sequence numbers — an advisory never triggers two
+  // cycles across a crash/restart.
+  AdvisoryTail restarted({path});
+  restarted.Restore(1);
+  std::vector<RetrainAdvisory> replay;
+  ASSERT_TRUE(restarted.Poll(&replay).ok());
+  ASSERT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay[0].seq, 2);
+  EXPECT_EQ(replay[1].seq, 3);
+  std::remove(path.c_str());
+}
+
+TEST(AdvisoryTailTest, SkipsAndCountsUnparsableLines) {
+  const std::string path = ::testing::TempDir() + "/advisory_bad.jsonl";
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path);
+    out << AdvisoryLine(0) << "this is not json\n" << AdvisoryLine(1);
+  }
+  const int64_t errors_before =
+      telemetry::GetCounter("uae.learn.advisory.parse_errors")->Get();
+  AdvisoryTail tail({path});
+  std::vector<RetrainAdvisory> advisories;
+  ASSERT_TRUE(tail.Poll(&advisories).ok());
+  EXPECT_EQ(advisories.size(), 2u);
+  EXPECT_EQ(telemetry::GetCounter("uae.learn.advisory.parse_errors")
+                    ->Get() -
+                errors_before,
+            1);
+  std::remove(path.c_str());
+}
+
+// ---- The determinism golden -----------------------------------------
+
+struct ServedTape {
+  std::string candidate_bytes;  // The published checkpoint, verbatim.
+  std::string score_bits;       // Every served score, bit patterns.
+  std::vector<std::vector<int>> playlists;
+  uint64_t candidate_version = 0;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void AppendBits(std::string* out, const void* data, size_t size) {
+  out->append(reinterpret_cast<const char*>(data), size);
+}
+
+serve::ScoreRequest MakeScoreRequest(const data::World& world, int user,
+                                     Rng* rng) {
+  serve::ScoreRequest request;
+  request.user = user;
+  const int hour = static_cast<int>(rng->UniformInt(24));
+  const int weekday = static_cast<int>(rng->UniformInt(7));
+  for (int c = 0; c < 12; ++c) {
+    const int song = world.SampleSong(rng);
+    request.candidate_songs.push_back(song);
+    request.candidates.push_back(
+        world.ScoringEvent(user, song, hour, weekday));
+  }
+  return request;
+}
+
+/// One full continuous-learning cycle at the given thread count: fresh
+/// engine on the incumbent, LearnLoop over the (pre-built, shared)
+/// feedback log, promotion under live traffic, then a fixed eval tape
+/// served by the promoted snapshot.
+ServedTape RunCycleAtThreads(const data::World& world,
+                             const std::string& incumbent_path,
+                             const std::string& feedback_path,
+                             const std::string& candidate_path,
+                             int num_threads) {
+  parallel::SetNumThreads(num_threads);
+  std::remove(candidate_path.c_str());
+  ServedTape tape;
+
+  serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = models::ModelKind::kLr;
+  spec.model_path = incumbent_path;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(spec);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  if (!snapshot.ok()) return tape;
+
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  serve::Engine engine(snapshot.value(), engine_config);
+  serve::RolloutConfig rollout_config;
+  rollout_config.stage_requests = 32;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  // The candidate fine-tuned on feedback the fresh-init incumbent never
+  // saw, so it is *supposed* to re-rank; the drift criterion guards
+  // unexpected shifts and is off for this promotion (learn_chaos_test
+  // covers it catching a genuinely bad candidate).
+  rollout_config.health.thresholds.max_score_drift = 0.0;
+  serve::RolloutController rollout(&engine, rollout_config);
+
+  LearnLoopConfig loop_config;
+  loop_config.ingest.path = feedback_path;
+  loop_config.trainer.kind = models::ModelKind::kLr;
+  loop_config.trainer.incumbent_path = incumbent_path;
+  loop_config.trainer.candidate_path = candidate_path;
+  loop_config.trainer.train.epochs = 2;
+  loop_config.trainer.train.batch_size = 64;
+  loop_config.publisher.schema = world.schema();
+  loop_config.publisher.kind = models::ModelKind::kLr;
+  loop_config.min_records = 32;
+  LearnLoop loop(&world, &rollout, loop_config);
+
+  const StatusOr<CycleReport> cycle = loop.RunCycle(CycleTrigger::kManual);
+  EXPECT_TRUE(cycle.ok()) << cycle.status().ToString();
+  if (!cycle.ok()) return tape;
+  EXPECT_TRUE(cycle.value().published) << cycle.value().skipped_reason;
+  tape.candidate_version = cycle.value().candidate_version;
+  tape.candidate_bytes = ReadFileBytes(candidate_path);
+  EXPECT_FALSE(tape.candidate_bytes.empty());
+
+  // Promotion traffic: identically seeded across thread counts, and
+  // never appended to the shared feedback log.
+  Rng promo_rng(99);
+  for (int window = 0; window < 8; ++window) {
+    if (rollout.stage() == serve::RolloutStage::kIdle ||
+        rollout.stage() == serve::RolloutStage::kRolledBack) {
+      break;
+    }
+    for (int i = 0; i < rollout_config.stage_requests; ++i) {
+      const StatusOr<serve::ScoreResponse> response = rollout.Score(
+          MakeScoreRequest(world, i % world.config().num_users,
+                           &promo_rng));
+      EXPECT_TRUE(response.ok()) << response.status().ToString();
+    }
+  }
+  EXPECT_EQ(rollout.stage(), serve::RolloutStage::kIdle);
+  EXPECT_EQ(rollout.rollbacks(), 0);
+  EXPECT_EQ(engine.snapshot()->version(), tape.candidate_version);
+
+  // The eval tape: fixed requests against the promoted snapshot.
+  Rng eval_rng(1234);
+  for (int i = 0; i < 16; ++i) {
+    const StatusOr<serve::ScoreResponse> response = engine.Score(
+        MakeScoreRequest(world, (i * 7) % world.config().num_users,
+                         &eval_rng));
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) continue;
+    for (const serve::CandidateScore& cs : response.value().scores) {
+      AppendBits(&tape.score_bits, &cs.song, sizeof(cs.song));
+      AppendBits(&tape.score_bits, &cs.ctr, sizeof(cs.ctr));
+      AppendBits(&tape.score_bits, &cs.alpha, sizeof(cs.alpha));
+      AppendBits(&tape.score_bits, &cs.reweighted, sizeof(cs.reweighted));
+    }
+    tape.playlists.push_back(response.value().playlist);
+  }
+  return tape;
+}
+
+TEST(LearnLoopGolden, CycleIsBitIdenticalAtAnyThreadCount) {
+  const std::string dir = ::testing::TempDir();
+  const std::string incumbent_path = dir + "/golden_incumbent.ckpt";
+  const std::string candidate_path = dir + "/golden_candidate.ckpt";
+  const std::string feedback_path = dir + "/golden_feedback.log";
+  std::remove(feedback_path.c_str());
+
+  const data::World world(SmallWorldConfig(), /*seed=*/42);
+  Rng init_rng(1);
+  const std::unique_ptr<models::Recommender> incumbent =
+      models::CreateRecommender(models::ModelKind::kLr, &init_rng,
+                                world.schema(), models::ModelConfig());
+  ASSERT_TRUE(serve::SaveRecommender(*incumbent, models::ModelKind::kLr,
+                                     models::ModelConfig(), incumbent_path)
+                  .ok());
+
+  // Build the shared feedback log ONCE, serially: incumbent-served
+  // traffic whose playlists the simulated users walk.
+  {
+    serve::SnapshotSpec spec;
+    spec.schema = world.schema();
+    spec.kind = models::ModelKind::kLr;
+    spec.model_path = incumbent_path;
+    StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+        serve::ModelSnapshot::Load(spec);
+    ASSERT_TRUE(snapshot.ok());
+    serve::EngineConfig engine_config;
+    engine_config.max_wait_us = 0;
+    engine_config.playlist_length = 10;
+    serve::Engine engine(snapshot.value(), engine_config);
+    StatusOr<std::unique_ptr<FeedbackLog>> log =
+        FeedbackLog::Open({feedback_path});
+    ASSERT_TRUE(log.ok());
+    Rng traffic_rng(7);
+    for (int i = 0; i < 96; ++i) {
+      const int user = i % world.config().num_users;
+      const int hour = static_cast<int>(traffic_rng.UniformInt(24));
+      const int weekday = static_cast<int>(traffic_rng.UniformInt(7));
+      serve::ScoreRequest request;
+      request.user = user;
+      for (int c = 0; c < 16; ++c) {
+        const int song = world.SampleSong(&traffic_rng);
+        request.candidate_songs.push_back(song);
+        request.candidates.push_back(
+            world.ScoringEvent(user, song, hour, weekday));
+      }
+      const StatusOr<serve::ScoreResponse> response =
+          engine.Score(std::move(request));
+      ASSERT_TRUE(response.ok());
+      const data::Session walk = world.SimulateSession(
+          user, response.value().playlist, hour, weekday, &traffic_rng);
+      AppendWalk(log.value().get(), walk, response.value().playlist,
+                 response.value().scores,
+                 response.value().snapshot_version,
+                 static_cast<uint64_t>(i), hour, weekday);
+    }
+    ASSERT_GE(log.value()->records_written(), 64);
+  }
+
+  const ServedTape t1 = RunCycleAtThreads(world, incumbent_path,
+                                          feedback_path, candidate_path, 1);
+  const ServedTape t2 = RunCycleAtThreads(world, incumbent_path,
+                                          feedback_path, candidate_path, 2);
+  const ServedTape t8 = RunCycleAtThreads(world, incumbent_path,
+                                          feedback_path, candidate_path, 8);
+  parallel::SetNumThreads(1);
+
+  // The determinism contract, both halves: the candidate's parameter
+  // bytes on disk, and every score the promoted snapshot served.
+  // (Snapshot *versions* come from a process-wide monotone counter and
+  // legitimately differ between the three runs; the served bits do not.)
+  EXPECT_TRUE(t1.candidate_bytes == t2.candidate_bytes)
+      << "candidate checkpoint bytes differ between 1 and 2 threads";
+  EXPECT_TRUE(t1.candidate_bytes == t8.candidate_bytes)
+      << "candidate checkpoint bytes differ between 1 and 8 threads";
+  EXPECT_TRUE(t1.score_bits == t2.score_bits)
+      << "served score bits differ between 1 and 2 threads";
+  EXPECT_TRUE(t1.score_bits == t8.score_bits)
+      << "served score bits differ between 1 and 8 threads";
+  EXPECT_EQ(t1.playlists, t2.playlists);
+  EXPECT_EQ(t1.playlists, t8.playlists);
+
+  std::remove(feedback_path.c_str());
+  std::remove(incumbent_path.c_str());
+  std::remove(candidate_path.c_str());
+}
+
+}  // namespace
+}  // namespace uae::learn

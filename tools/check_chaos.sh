@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Builds the tree under AddressSanitizer and runs the chaos-labeled test
 # subset against it: the serve-path fault drills (corrupt snapshot
-# loads, cache eviction storms, injected latency spikes) and the golden
-# auto-rollback scenario, where a canary rollout of a bad snapshot must
-# roll back with zero failed requests and bit-equal post-rollback
-# scores at 1 and 8 threads.
+# loads, cache eviction storms, injected latency spikes), the golden
+# auto-rollback scenario — a canary rollout of a bad snapshot must roll
+# back with zero failed requests and bit-equal post-rollback scores at
+# 1 and 8 threads — and the continuous-learning drills: poisoned
+# fine-tunes (grad.nan), torn candidate writes (ckpt.write), a
+# saturated candidate caught by the rollout's drift gate, and a cycle
+# killed mid-train resuming to a bit-identical candidate.
 #
 # ASan is the right runtime here: chaos paths exercise error cleanup
 # (partially-built snapshots, abandoned batches, re-published
@@ -20,7 +23,8 @@ build="$repo/build-chaos"
 
 cmake -S "$repo" -B "$build" -DUAE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j"$(nproc)" --target serve_chaos_test
+cmake --build "$build" -j"$(nproc)" --target serve_chaos_test \
+  learn_chaos_test
 
 # detect_leaks catches snapshots or pending batches dropped on the
 # error paths the faults force open.

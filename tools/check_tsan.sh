@@ -5,7 +5,9 @@
 # shard-router hammer — scorers, snapshot swaps on every shard of a
 # 4-shard fleet, wire-protocol round trips, a Prometheus registry
 # render loop, a fleet_status() poll loop, and a ring Snapshot() drain
-# all racing) against it.
+# all racing — and the continuous-learning hammer: lock-free feedback
+# producers, the scorer-side feedback tap, and a background LearnLoop
+# running ingest→train→publish cycles under live traffic) against it.
 #
 # TSan and ASan runtimes cannot coexist, so this uses a dedicated
 # build-tsan/ tree (-DUAE_SANITIZE=thread) next to the normal build.
@@ -22,7 +24,7 @@ cmake -S "$repo" -B "$build" -DUAE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j"$(nproc)" --target \
   parallel_test parallel_determinism_test trace_test telemetry_test \
-  serve_hammer_test
+  serve_hammer_test learn_hammer_test
 
 # second_deadlock_stack gives both stacks on lock-order reports;
 # halt_on_error fails fast instead of drowning in repeats.

@@ -1,0 +1,246 @@
+// uae_learn: self-contained continuous-learning loop demo (DESIGN.md
+// §16).
+//
+//   uae_learn [--dir D] [--requests N] [--epochs N] [--min-records N]
+//
+// One process plays every role of the loop: it stages an incumbent
+// checkpoint, serves it through an Engine + RolloutController, drives
+// live traffic whose completed playlists are walked by the simulated
+// users and appended to the CRC-framed feedback log, then runs one
+// ingest → incremental-train → publish cycle and keeps traffic flowing
+// until the health-gated canary → ramp → full ladder promotes the
+// candidate into the serving engine. The printed report shows each leg.
+//
+//   --dir D          working directory for checkpoints + the feedback
+//                    log (default /tmp/uae_learn_demo; created)
+//   --requests N     serving requests per traffic phase        (96)
+//   --epochs N       fine-tune epochs per cycle                (2)
+//   --min-records N  records required before a cycle trains    (32)
+//
+// Exit codes: 0 ok, 1 a leg failed, 2 usage error.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "learn/bridge.h"
+#include "learn/learn_loop.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "serve/rollout.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: uae_learn [--dir D] [--requests N] [--epochs N] "
+               "[--min-records N]\n");
+  return 2;
+}
+
+int Fail(const uae::Status& status) {
+  std::fprintf(stderr, "uae_learn: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uae;
+  SetLogLevel(LogLevel::kWarning);
+
+  std::string dir = "/tmp/uae_learn_demo";
+  int requests = 96;
+  int epochs = 2;
+  int min_records = 32;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else if (arg == "--min-records" && i + 1 < argc) {
+      min_records = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "uae_learn: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  ::mkdir(dir.c_str(), 0755);
+  const std::string incumbent_path = dir + "/incumbent.ckpt";
+  const std::string candidate_path = dir + "/candidate.ckpt";
+  const std::string feedback_path = dir + "/feedback.log";
+  std::remove(feedback_path.c_str());
+
+  // A small simulated world; everything downstream is a deterministic
+  // function of it and the seeds below.
+  data::GeneratorConfig world_config = data::GeneratorConfig::ProductPreset();
+  world_config.num_sessions = 150;
+  world_config.num_users = 40;
+  world_config.num_songs = 100;
+  world_config.num_artists = 20;
+  world_config.num_albums = 40;
+  const data::World world(world_config, /*seed=*/42);
+
+  // Leg 1: stage the incumbent — a fresh LR init, exactly what the
+  // bootstrap cycle of a new deployment would serve.
+  const models::ModelKind kind = models::ModelKind::kLr;
+  const models::ModelConfig model_config;
+  Rng init_rng(1);
+  const std::unique_ptr<models::Recommender> incumbent =
+      models::CreateRecommender(kind, &init_rng, world.schema(),
+                                model_config);
+  Status saved =
+      serve::SaveRecommender(*incumbent, kind, model_config, incumbent_path);
+  if (!saved.ok()) return Fail(saved);
+
+  serve::SnapshotSpec spec;
+  spec.schema = world.schema();
+  spec.kind = kind;
+  spec.model_config = model_config;
+  spec.model_path = incumbent_path;
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(spec);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+
+  serve::EngineConfig engine_config;
+  engine_config.max_wait_us = 0;
+  engine_config.playlist_length = 10;
+  serve::Engine engine(snapshot.value(), engine_config);
+
+  serve::RolloutConfig rollout_config;
+  rollout_config.stage_requests = 32;
+  rollout_config.health.thresholds.max_latency_ratio = 0.0;
+  // The demo's candidate is *supposed* to re-rank (it fine-tuned on real
+  // feedback the fresh-init incumbent never saw), so the score-drift
+  // criterion — which guards against unexpected distribution shifts —
+  // is disabled for the promotion. Production loops retrain from the
+  // incumbent and keep it on.
+  rollout_config.health.thresholds.max_score_drift = 0.0;
+  serve::RolloutController rollout(&engine, rollout_config);
+
+  StatusOr<std::unique_ptr<learn::FeedbackLog>> log =
+      learn::FeedbackLog::Open({feedback_path});
+  if (!log.ok()) return Fail(log.status());
+
+  // One serving request + simulated walk, appended to the feedback log.
+  Rng traffic_rng(7);
+  const auto serve_one = [&](uint64_t request_id) -> Status {
+    const int user =
+        static_cast<int>(request_id % world.config().num_users);
+    const int hour = static_cast<int>(traffic_rng.UniformInt(24));
+    const int weekday = static_cast<int>(traffic_rng.UniformInt(7));
+    serve::ScoreRequest request;
+    request.user = user;
+    for (int c = 0; c < 20; ++c) {
+      const int song = world.SampleSong(&traffic_rng);
+      request.candidate_songs.push_back(song);
+      request.candidates.push_back(
+          world.ScoringEvent(user, song, hour, weekday));
+    }
+    StatusOr<serve::ScoreResponse> response =
+        rollout.Score(std::move(request));
+    if (!response.ok()) return response.status();
+    const data::Session walk = world.SimulateSession(
+        user, response.value().playlist, hour, weekday, &traffic_rng);
+    learn::AppendWalk(log.value().get(), walk, response.value().playlist,
+                      response.value().scores,
+                      response.value().snapshot_version, request_id, hour,
+                      weekday);
+    return Status::Ok();
+  };
+
+  std::printf("phase 1: serving v%llu, emitting feedback...\n",
+              static_cast<unsigned long long>(
+                  snapshot.value()->version()));
+  for (int i = 0; i < requests; ++i) {
+    const Status served = serve_one(static_cast<uint64_t>(i));
+    if (!served.ok()) return Fail(served);
+  }
+  std::printf("  %lld records (%.1f KiB) -> %s\n",
+              static_cast<long long>(log.value()->records_written()),
+              log.value()->bytes_written() / 1024.0,
+              feedback_path.c_str());
+
+  // Leg 2: one manual ingest → train → publish cycle.
+  learn::LearnLoopConfig loop_config;
+  loop_config.ingest.path = feedback_path;
+  loop_config.trainer.kind = kind;
+  loop_config.trainer.model_config = model_config;
+  loop_config.trainer.incumbent_path = incumbent_path;
+  loop_config.trainer.candidate_path = candidate_path;
+  loop_config.trainer.train.epochs = epochs;
+  loop_config.trainer.train.batch_size = 64;
+  loop_config.publisher.schema = world.schema();
+  loop_config.publisher.kind = kind;
+  loop_config.publisher.model_config = model_config;
+  loop_config.min_records = min_records;
+  learn::LearnLoop loop(&world, &rollout, loop_config);
+
+  std::printf("phase 2: learn cycle (fine-tune %d epochs)...\n", epochs);
+  StatusOr<learn::CycleReport> cycle =
+      loop.RunCycle(learn::CycleTrigger::kManual);
+  if (!cycle.ok()) return Fail(cycle.status());
+  const learn::CycleReport& report = cycle.value();
+  if (!report.published) {
+    std::fprintf(stderr, "uae_learn: cycle did not publish: %s\n",
+                 report.skipped_reason.c_str());
+    return 1;
+  }
+  std::printf("  trained on %lld records, valid AUC %.4f -> candidate "
+              "v%llu staged\n",
+              static_cast<long long>(report.records),
+              report.train.best_valid_auc,
+              static_cast<unsigned long long>(report.candidate_version));
+
+  // Leg 3: live traffic advances the canary → ramp → full ladder.
+  std::printf("phase 3: promoting under live traffic...\n");
+  serve::RolloutStage stage = rollout.stage();
+  uint64_t request_id = static_cast<uint64_t>(requests);
+  for (int window = 0; window < 8; ++window) {
+    if (rollout.stage() == serve::RolloutStage::kIdle ||
+        rollout.stage() == serve::RolloutStage::kRolledBack) {
+      break;
+    }
+    for (int i = 0; i < rollout_config.stage_requests; ++i) {
+      const Status served = serve_one(request_id++);
+      if (!served.ok()) return Fail(served);
+    }
+    if (rollout.stage() != stage) {
+      std::printf("  stage -> %s\n",
+                  serve::RolloutStageName(rollout.stage()));
+      stage = rollout.stage();
+    }
+  }
+
+  const bool promoted =
+      rollout.stage() == serve::RolloutStage::kIdle &&
+      rollout.rollbacks() == 0 &&
+      engine.snapshot()->version() == report.candidate_version;
+  std::printf("\nresult\n");
+  std::printf("  serving version   v%llu\n",
+              static_cast<unsigned long long>(
+                  engine.snapshot()->version()));
+  std::printf("  rollout           %s, %lld rollback%s\n",
+              serve::RolloutStageName(rollout.stage()),
+              static_cast<long long>(rollout.rollbacks()),
+              rollout.rollbacks() == 1 ? "" : "s");
+  std::printf("  cycles            %lld ok, %lld failed, %lld skipped\n",
+              static_cast<long long>(loop.cycles()),
+              static_cast<long long>(loop.cycles_failed()),
+              static_cast<long long>(loop.cycles_skipped()));
+  std::printf("  loop              %s\n",
+              promoted ? "PROMOTED — the model the users taught is live"
+                       : "candidate not promoted");
+  return promoted ? 0 : 1;
+}

@@ -65,15 +65,26 @@
 //   --drift-advisory PATH   write retrain-advisory JSONL records
 //                           for flagged verdicts to PATH
 //
+// Continuous learning (DESIGN.md §16):
+//   --feedback-log PATH     emit the closed-loop traffic's feedback
+//                           stream (CRC-framed (user, song, outcome,
+//                           alpha-hat) records) to PATH — the input
+//                           the LearnLoop tails for incremental
+//                           retraining
+//
 // Exit codes: 0 ok, 1 replay failed, 2 usage error.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "learn/bridge.h"
+#include "learn/feedback_log.h"
 #include "serve/replay.h"
 
 namespace {
@@ -98,7 +109,8 @@ int Usage() {
                "[--export-interval-ms N]\n"
                "                        [--slowlog PATH] [--slo] [--drift]\n"
                "                        [--drift-window N] "
-               "[--drift-advisory PATH]\n");
+               "[--drift-advisory PATH]\n"
+               "                        [--feedback-log PATH]\n");
   return 2;
 }
 
@@ -115,6 +127,7 @@ int main(int argc, char** argv) {
   int open_requests = 0;
   double chaos_delay_p = 0.0;
   int chaos_delay_us = 2000;
+  std::string feedback_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -183,6 +196,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--drift-advisory" && i + 1 < argc) {
       config.drift_advisory_path = argv[++i];
       config.drift = true;
+    } else if (arg == "--feedback-log" && i + 1 < argc) {
+      feedback_log_path = argv[++i];
     } else {
       std::fprintf(stderr, "uae_serve_replay: unknown flag %s\n",
                    arg.c_str());
@@ -199,6 +214,19 @@ int main(int argc, char** argv) {
         "serve.score.delay",
         {/*probability=*/chaos_delay_p, /*seed=*/config.seed + 1,
          /*delay_micros=*/chaos_delay_us});
+  }
+
+  std::unique_ptr<learn::FeedbackLog> feedback_log;
+  if (!feedback_log_path.empty()) {
+    StatusOr<std::unique_ptr<learn::FeedbackLog>> opened =
+        learn::FeedbackLog::Open({feedback_log_path});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "uae_serve_replay: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    feedback_log = std::move(opened).value();
+    learn::AttachReplayFeedback(&config, feedback_log.get(), config.seed);
   }
 
   std::printf("replaying %d requests (history %d, %d candidates) on %d "
@@ -307,6 +335,16 @@ int main(int argc, char** argv) {
   if (!config.metrics_export_path.empty()) {
     std::printf("  metrics export  %s\n",
                 config.metrics_export_path.c_str());
+  }
+  if (feedback_log != nullptr) {
+    std::printf("feedback\n");
+    std::printf("  records         %lld (%.1f KiB) -> %s\n",
+                static_cast<long long>(r.feedback_records),
+                r.feedback_bytes / 1024.0, feedback_log_path.c_str());
+    if (feedback_log->dropped() > 0) {
+      std::printf("  dropped         %lld (log at its size bound)\n",
+                  static_cast<long long>(feedback_log->dropped()));
+    }
   }
   return 0;
 }

@@ -101,6 +101,16 @@ const char* FleetStageName(double stage) {
   return "unknown";
 }
 
+const char* LearnStateName(double state) {
+  switch (static_cast<int>(state)) {
+    case 0: return "idle";
+    case 1: return "ingest";
+    case 2: return "train";
+    case 3: return "publish";
+  }
+  return "unknown";
+}
+
 const char* BreakerStateName(double state) {
   switch (static_cast<int>(state)) {
     case 0: return "closed";
@@ -161,6 +171,18 @@ struct Summary {
   double drift_flagged = 0.0;
   double drift_score = 0.0;
   double drift_advisories = 0.0;
+  // Continuous learning (DESIGN.md §16): present when a LearnLoop
+  // exported uae_learn_cycles.
+  bool has_learn = false;
+  double learn_state = 0.0;
+  double learn_cycles = 0.0;
+  double learn_cycles_failed = 0.0;
+  double learn_cycles_skipped = 0.0;
+  double learn_records_trained = 0.0;
+  double learn_feedback_records = 0.0;
+  double learn_bad_frames = 0.0;
+  double learn_candidate_version = 0.0;
+  double learn_advisory_seq = 0.0;
   std::string build;
 };
 
@@ -224,6 +246,18 @@ Summary Summarize(const Export& e) {
   s.drift_flagged = e.Get("uae_serve_drift_flagged");
   s.drift_score = e.Get("uae_serve_drift_score");
   s.drift_advisories = e.Get("uae_serve_drift_advisories");
+  s.has_learn = e.Has("uae_learn_cycles");
+  if (s.has_learn) {
+    s.learn_state = e.Get("uae_learn_state");
+    s.learn_cycles = e.Get("uae_learn_cycles");
+    s.learn_cycles_failed = e.Get("uae_learn_cycles_failed");
+    s.learn_cycles_skipped = e.Get("uae_learn_cycles_skipped");
+    s.learn_records_trained = e.Get("uae_learn_records_trained");
+    s.learn_feedback_records = e.Get("uae_learn_feedback_records");
+    s.learn_bad_frames = e.Get("uae_learn_ingest_bad_frames");
+    s.learn_candidate_version = e.Get("uae_learn_candidate_version");
+    s.learn_advisory_seq = e.Get("uae_learn_advisory_seq", -1.0);
+  }
   return s;
 }
 
@@ -280,6 +314,20 @@ std::string ToJson(const Summary& s) {
         .Set("score", s.drift_score)
         .Set("advisories", s.drift_advisories);
     summary.SetRaw("drift", drift.Str());
+  }
+  if (s.has_learn) {
+    JsonObject learn;
+    learn.Set("state", LearnStateName(s.learn_state))
+        .Set("cycles", s.learn_cycles)
+        .Set("cycles_failed", s.learn_cycles_failed)
+        .Set("cycles_skipped", s.learn_cycles_skipped)
+        .Set("records_trained", s.learn_records_trained)
+        .Set("feedback_records", s.learn_feedback_records)
+        .Set("bad_frames", s.learn_bad_frames)
+        .Set("candidate_version",
+             static_cast<int64_t>(s.learn_candidate_version))
+        .Set("advisory_seq", static_cast<int64_t>(s.learn_advisory_seq));
+    summary.SetRaw("learn", learn.Str());
   }
   if (s.has_shards) {
     std::string rows = "[";
@@ -356,6 +404,19 @@ void Render(const Summary& s, const Summary* prev, double interval_s) {
                 s.drift_flagged > 0.5 ? "FLAGGED" : "quiet", s.drift_score,
                 s.drift_samples, s.drift_windows, s.drift_flags,
                 s.drift_advisories);
+  }
+  if (s.has_learn) {
+    std::printf("learn      %s | %.0f cycles (%.0f failed, %.0f skipped) | "
+                "%.0f records trained | candidate v%.0f\n",
+                LearnStateName(s.learn_state), s.learn_cycles,
+                s.learn_cycles_failed, s.learn_cycles_skipped,
+                s.learn_records_trained, s.learn_candidate_version);
+    std::printf("  stream   %.0f feedback records | %.0f bad frames",
+                s.learn_feedback_records, s.learn_bad_frames);
+    if (s.learn_advisory_seq >= 0.0) {
+      std::printf(" | advisory seq %.0f", s.learn_advisory_seq);
+    }
+    std::printf("\n");
   }
   if (s.has_shards) {
     std::printf("shards     %zu shards | fleet %s (%.0f upgraded, "
